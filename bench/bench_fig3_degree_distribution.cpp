@@ -1,0 +1,128 @@
+/// FIG3 — vertex degree frequency distribution of the full collocation
+/// network for one simulated week (paper Fig 3).
+///
+/// The paper overlays three model curves on the log-log degree plot:
+///   power law        p(k) ~ k^-1.5
+///   truncated plaw   p(k) ~ k^-1.25 exp(-k/1000)
+///   exponential      p(k) ~ exp(-k/kc)
+/// and observes that none captures the full structure, with the truncated
+/// form fitting the tail roll-off best. This bench reproduces the
+/// distribution at scale-down, fits all three forms and ranks them by
+/// log-space SSE.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace chisimnet;
+  using namespace chisimnet::bench;
+
+  printHeader("FIG3 degree distribution",
+              "Fig 3: log-log degree distribution, 2.9M persons, 1 week");
+
+  const auto population = makePopulation(scaledPersons(30'000));
+  const SimulatedLogs logs = simulate(population);
+
+  net::SynthesisConfig config;
+  config.windowEnd = pop::kHoursPerWeek;
+  config.workers = 8;
+  net::NetworkSynthesizer synthesizer(config);
+  const graph::Graph network = synthesizer.synthesizeGraph(logs.files);
+  std::cout << "network: " << fmtCount(network.vertexCount()) << " vertices, "
+            << fmtCount(network.edgeCount()) << " edges (synthesis "
+            << fmt(synthesizer.report().totalSeconds, 1) << " s)\n\n";
+
+  const auto degrees = graph::degreeSequence(network);
+  const auto distribution = stats::frequencyDistribution(degrees);
+
+  // Head of the distribution: the paper notes degrees 1-7 are each held by
+  // roughly equal population mass (flat head) before the drop.
+  std::cout << "distribution head (k : persons):\n";
+  for (const stats::FrequencyPoint& point : distribution) {
+    if (point.value >= 1 && point.value <= 10) {
+      std::cout << "  k=" << point.value << " : " << fmtCount(point.count)
+                << "\n";
+    }
+  }
+  double headMin = 1e18;
+  double headMax = 0;
+  for (const stats::FrequencyPoint& point : distribution) {
+    if (point.value >= 1 && point.value <= 7) {
+      headMin = std::min(headMin, static_cast<double>(point.count));
+      headMax = std::max(headMax, static_cast<double>(point.count));
+    }
+  }
+  printRow("head flatness max/min (k=1..7)", "~1 (flat head)",
+           fmt(headMax / headMin, 2));
+
+  // Log-binned tail for the log-log shape.
+  std::cout << "\nlog-binned distribution (bin center : density):\n";
+  for (const stats::FrequencyPoint& point :
+       stats::logBinnedDistribution(degrees, 2.0)) {
+    std::cout << "  k~" << point.value << " : " << point.fraction << "\n";
+  }
+
+  // The three fits of Fig 3.
+  const auto powerLaw = stats::fitPowerLaw(distribution);
+  const auto truncated = stats::fitTruncatedPowerLaw(distribution);
+  const auto exponential = stats::fitExponential(distribution);
+  std::cout << "\n";
+  printRow("power-law alpha", "1.5 (overlay)", fmt(powerLaw.alpha, 3));
+  printRow("truncated-plaw alpha", "1.25 (overlay)", fmt(truncated.alpha, 3));
+  printRow("truncated-plaw k_c", "1000 (overlay)", fmt(truncated.cutoff, 0),
+           "cutoff scales with largest congregate place");
+  printRow("exponential k_c", "(plotted, no value)",
+           fmt(exponential.cutoff, 1));
+
+  std::cout << "\nfit quality (log-space SSE; paper: no single form fits):\n";
+  printRow("SSE power law", "worst tail fit", fmt(powerLaw.sseLog, 1));
+  printRow("SSE truncated power law", "best tail fit", fmt(truncated.sseLog, 1));
+  printRow("SSE exponential", "captures roll-off only",
+           fmt(exponential.sseLog, 1));
+  printRow("KS power law", "-", fmt(stats::ksStatistic(powerLaw, distribution), 3));
+  printRow("KS truncated", "-", fmt(stats::ksStatistic(truncated, distribution), 3));
+  printRow("KS exponential", "-",
+           fmt(stats::ksStatistic(exponential, distribution), 3));
+
+  // Regenerate the figure itself: degree frequency scatter with the three
+  // model overlays, log-log axes — the paper's Fig 3 layout.
+  {
+    stats::ScatterPlot plot("Fig 3 — vertex degree frequency distribution",
+                            "vertex degree k", "frequency p(k)");
+    plot.setLogX(true);
+    plot.setLogY(true);
+    stats::PlotSeries data;
+    data.label = "collocation network";
+    data.color = "#1f6fb4";
+    for (const stats::FrequencyPoint& point : distribution) {
+      data.points.push_back(stats::PlotPoint{
+          static_cast<double>(point.value), point.fraction});
+    }
+    plot.addSeries(std::move(data));
+    const auto curve = [&](const stats::FitResult& fit, const char* label,
+                           const char* color, const char* dash) {
+      stats::PlotSeries series;
+      series.label = label;
+      series.color = color;
+      series.drawLine = true;
+      series.drawMarkers = false;
+      series.dash = dash;
+      for (double k = 1.0; k <= static_cast<double>(distribution.back().value);
+           k *= 1.25) {
+        series.points.push_back(stats::PlotPoint{k, fit.evaluate(k)});
+      }
+      plot.addSeries(std::move(series));
+    };
+    curve(powerLaw, "power law", "#c23b22", "6,3");
+    curve(truncated, "truncated power law", "#2e8540", "");
+    curve(exponential, "exponential", "#333333", "2,3");
+    const auto figurePath = resultsDir() / "fig3_degree_distribution.svg";
+    plot.writeSvg(figurePath);
+    std::cout << "\nwrote " << figurePath.string() << "\n";
+  }
+
+  const bool truncatedBest = truncated.sseLog <= powerLaw.sseLog;
+  std::cout << "\nshape check: truncated power law fits better than pure "
+               "power law: "
+            << (truncatedBest ? "YES (matches paper)" : "NO") << "\n";
+  return truncatedBest ? 0 : 1;
+}

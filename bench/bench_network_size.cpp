@@ -1,0 +1,70 @@
+/// NET-SIZE — full collocation network size and memory (paper §V).
+///
+/// Paper numbers: the complete one-week network for Chicago has 2,927,761
+/// vertices (persons) and 830,328,649 edges (collocations) and takes ~10 GB
+/// of memory in R. This bench reports the synthesized network's size at
+/// scale-down, the bytes-per-edge of our CSR + triplet storage, and the
+/// extrapolated footprint at 2.9 M persons.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace chisimnet;
+  using namespace chisimnet::bench;
+
+  printHeader("NET-SIZE network size & memory",
+              "§V: 2,927,761 vertices / 830,328,649 edges / ~10 GB in R");
+
+  const auto population = makePopulation(scaledPersons(30'000));
+  const SimulatedLogs logs = simulate(population);
+
+  net::SynthesisConfig config;
+  config.windowEnd = pop::kHoursPerWeek;
+  config.workers = 8;
+  net::NetworkSynthesizer synthesizer(config);
+  const auto adjacency = synthesizer.synthesizeAdjacency(logs.files);
+  const graph::Graph network = graph::Graph::fromTriplets(adjacency.toTriplets());
+
+  const double persons = static_cast<double>(population.persons().size());
+  const double vertices = static_cast<double>(network.vertexCount());
+  const double edges = static_cast<double>(network.edgeCount());
+
+  printRow("vertices", fmtCount(kPaperVertices) + " @2.9M",
+           fmtCount(network.vertexCount()));
+  printRow("edges", fmtCount(kPaperEdges) + " @2.9M",
+           fmtCount(network.edgeCount()));
+  printRow("vertex coverage of population", "~100% (everyone collocates)",
+           fmt(100.0 * vertices / persons, 1) + "%");
+
+  const double paperMeanDegree = 2.0 * kPaperEdges / kPaperVertices;
+  printRow("mean degree", fmt(paperMeanDegree, 0) + " @2.9M",
+           fmt(graph::meanDegree(network), 0),
+           "largest places grow with city size");
+
+  const double csrBytesPerEdge = static_cast<double>(network.memoryBytes()) / edges;
+  const double mapBytesPerEdge =
+      static_cast<double>(adjacency.memoryBytes()) / edges;
+  printRow("CSR bytes / edge", "~13 (R sparse triangular, 10GB/830M)",
+           fmt(csrBytesPerEdge, 1));
+  printRow("accumulator bytes / edge", "-", fmt(mapBytesPerEdge, 1),
+           "open-addressing pair map, load<=0.7");
+
+  // Extrapolate memory using the paper's own edge count.
+  printRow("extrapolated CSR memory @830M edges", "~10 GB in R",
+           fmt(csrBytesPerEdge * kPaperEdges / 1e9, 1) + " GB");
+
+  const auto& report = synthesizer.report();
+  std::cout << "\nsynthesis cost: " << fmt(report.totalSeconds, 1)
+            << " s total (load " << fmt(report.loadSeconds, 1) << ", colloc "
+            << fmt(report.collocationSeconds, 1) << ", adjacency "
+            << fmt(report.adjacencySeconds, 1) << ", reduce "
+            << fmt(report.reduceSeconds, 1) << ")\n";
+
+  const bool coverageOk = vertices > 0.95 * persons;
+  const bool memoryOk = csrBytesPerEdge < 40.0;
+  std::cout << "\nshape checks: nearly all persons appear as vertices: "
+            << (coverageOk ? "YES" : "NO")
+            << "; edge storage within sparse-matrix ballpark: "
+            << (memoryOk ? "YES" : "NO") << "\n";
+  return coverageOk && memoryOk ? 0 : 1;
+}

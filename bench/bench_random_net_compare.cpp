@@ -1,0 +1,145 @@
+/// RANDNET — synthetic random networks vs the emergent collocation network
+/// (paper §VI).
+///
+/// "Various methods exist for generating random scale-free networks that
+/// may be superficially similar in structure to those displayed by the
+/// chiSIM model. Random synthetic networks could be a starting point ...
+/// but would need to be tailored to capture the more complex structure in
+/// the vertex degree distribution graphs."
+///
+/// This bench builds Barabási-Albert, Erdős-Rényi and Watts-Strogatz
+/// networks matched on vertex count and (approximately) mean degree, and
+/// compares degree-distribution shape, clustering and fit quality against
+/// the emergent network.
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct NetSummary {
+  std::string name;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  double meanDegree = 0.0;
+  double meanClustering = 0.0;
+  double plawAlpha = 0.0;
+  double plawSse = 0.0;
+  double headFlatness = 0.0;  // max/min population over degrees 1..7
+};
+
+NetSummary summarize(const std::string& name,
+                     const chisimnet::graph::Graph& network) {
+  using namespace chisimnet;
+  NetSummary summary;
+  summary.name = name;
+  summary.vertices = network.vertexCount();
+  summary.edges = network.edgeCount();
+  summary.meanDegree = graph::meanDegree(network);
+  const auto coefficients = graph::localClusteringCoefficients(network);
+  summary.meanClustering = stats::mean(coefficients);
+  const auto degrees = graph::degreeSequence(network);
+  const auto distribution = stats::frequencyDistribution(degrees);
+  if (distribution.size() >= 2) {
+    const auto fit = stats::fitPowerLaw(distribution);
+    summary.plawAlpha = fit.alpha;
+    summary.plawSse = fit.sseLog / static_cast<double>(fit.points);
+  }
+  double headMin = 1e18;
+  double headMax = 0.0;
+  for (const auto& point : distribution) {
+    if (point.value >= 1 && point.value <= 7) {
+      headMin = std::min(headMin, static_cast<double>(point.count));
+      headMax = std::max(headMax, static_cast<double>(point.count));
+    }
+  }
+  summary.headFlatness = headMin < 1e17 ? headMax / headMin : 0.0;
+  return summary;
+}
+
+}  // namespace
+
+int main() {
+  using namespace chisimnet;
+  using namespace chisimnet::bench;
+
+  printHeader("RANDNET random generators vs emergent network",
+              "§VI: generated scale-free nets are superficially similar but "
+              "miss the structure");
+
+  const auto population = makePopulation(scaledPersons(15'000));
+  const SimulatedLogs logs = simulate(population);
+  net::SynthesisConfig config;
+  config.windowEnd = pop::kHoursPerWeek;
+  config.workers = 8;
+  net::NetworkSynthesizer synthesizer(config);
+  const graph::Graph emergent = synthesizer.synthesizeGraph(logs.files);
+
+  const auto n = emergent.vertexCount();
+  const auto m = emergent.edgeCount();
+  const auto mOver = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(graph::meanDegree(emergent) / 2.0));
+
+  util::Rng rng(1234);
+  std::vector<NetSummary> summaries;
+  summaries.push_back(summarize("emergent (chiSIM-like)", emergent));
+  summaries.push_back(summarize(
+      "barabasi-albert",
+      graph::barabasiAlbert(n, static_cast<unsigned>(std::min<std::uint64_t>(
+                                   mOver, 64)),
+                            rng)));
+  summaries.push_back(summarize("erdos-renyi", graph::erdosRenyi(n, m, rng)));
+  summaries.push_back(summarize(
+      "watts-strogatz",
+      graph::wattsStrogatz(n, static_cast<unsigned>(std::min<std::uint64_t>(
+                                  std::max<std::uint64_t>(mOver, 1), 64)),
+                           0.1, rng)));
+  // The §VI "tailored" generator: match the emergent degree sequence
+  // exactly, then see what structure degree alone fails to carry.
+  summaries.push_back(summarize(
+      "config-model (degree-matched)",
+      graph::configurationModel(graph::degreeSequence(emergent), rng)));
+
+  std::cout << "network               vertices   edges       mean-deg  "
+               "clustering  plaw-alpha  plaw-SSE/pt  head-max/min\n";
+  for (const NetSummary& s : summaries) {
+    std::cout << "  " << s.name;
+    for (std::size_t i = s.name.size(); i < 20; ++i) {
+      std::cout << ' ';
+    }
+    std::cout << fmtCount(s.vertices) << "     " << fmtCount(s.edges)
+              << "    " << fmt(s.meanDegree, 1) << "     "
+              << fmt(s.meanClustering, 3) << "       " << fmt(s.plawAlpha, 2)
+              << "        " << fmt(s.plawSse, 3) << "        "
+              << fmt(s.headFlatness, 1) << "\n";
+  }
+
+  const NetSummary& real = summaries[0];
+  const NetSummary& ba = summaries[1];
+  const NetSummary& er = summaries[2];
+  const NetSummary& matched = summaries[4];
+  std::cout << "\n";
+  printRow("degree-matched null: degree shape", "identical by construction",
+           "alpha " + fmt(matched.plawAlpha, 2) + " vs " +
+               fmt(real.plawAlpha, 2));
+  printRow("degree-matched null: clustering", "collapses without place cliques",
+           fmt(matched.meanClustering, 3) + " vs " +
+               fmt(real.meanClustering, 3));
+  printRow("emergent clustering vs BA", "real net far more clustered",
+           fmt(real.meanClustering, 3) + " vs " + fmt(ba.meanClustering, 3));
+  printRow("emergent clustering vs ER", "real net far more clustered",
+           fmt(real.meanClustering, 3) + " vs " + fmt(er.meanClustering, 3));
+  printRow("power-law residual, emergent", "poor fit (complex structure)",
+           fmt(real.plawSse, 3));
+  printRow("power-law residual, BA", "good fit (by construction)",
+           fmt(ba.plawSse, 3));
+
+  const bool clusteringGap = real.meanClustering > 3.0 * ba.meanClustering &&
+                             real.meanClustering > 3.0 * er.meanClustering;
+  const bool fitGap = real.plawSse > ba.plawSse;
+  std::cout << "\nshape checks: emergent net clusters far above generators: "
+            << (clusteringGap ? "YES" : "NO")
+            << "; emergent degree shape deviates from power law more than "
+               "BA does: "
+            << (fitGap ? "YES (matches paper)" : "NO") << "\n";
+  return clusteringGap ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+/// SPGEMM — per-place adjacency computation A = x·xᵀ (paper §IV).
+///
+/// Microbenchmarks of the two equivalent kernels (sparse column outer
+/// products — the paper's math — vs pairwise interval intersection) across
+/// place profiles: a household (tiny, always-on), a classroom (30 persons,
+/// school hours), a workplace (hundreds, business hours) and a congregate
+/// hub (thousands, mixed hours). The crossover explains why the pipeline
+/// defaults to SpGEMM.
+
+#include <benchmark/benchmark.h>
+
+#include "chisimnet/sparse/adjacency.hpp"
+#include "chisimnet/sparse/collocation.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace {
+
+using namespace chisimnet;
+
+/// A place visited by `persons` persons, each present for `hoursEach`
+/// uniformly placed hours of a week.
+sparse::CollocationMatrix makePlace(std::size_t persons, unsigned hoursEach,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<table::Event> events;
+  for (std::size_t p = 0; p < persons; ++p) {
+    const auto start = static_cast<table::Hour>(rng.uniformBelow(168 - hoursEach));
+    events.push_back(table::Event{start,
+                                  static_cast<table::Hour>(start + hoursEach),
+                                  static_cast<table::PersonId>(p), 0, 1});
+  }
+  return sparse::CollocationMatrix(1, events, 0, 168);
+}
+
+void runMethod(benchmark::State& state, std::size_t persons, unsigned hours,
+               sparse::AdjacencyMethod method) {
+  const sparse::CollocationMatrix matrix = makePlace(persons, hours, 42);
+  std::uint64_t edges = 0;
+  for (auto _ : state) {
+    sparse::SymmetricAdjacency adjacency(matrix.nnz());
+    adjacency.addCollocation(matrix, method);
+    benchmark::DoNotOptimize(adjacency);
+    edges = adjacency.edgeCount();
+  }
+  state.counters["nnz"] = static_cast<double>(matrix.nnz());
+  state.counters["edges"] = static_cast<double>(edges);
+}
+
+void BM_SpGemm_Household(benchmark::State& state) {
+  runMethod(state, 4, 120, sparse::AdjacencyMethod::kSpGemm);
+}
+void BM_Intersect_Household(benchmark::State& state) {
+  runMethod(state, 4, 120, sparse::AdjacencyMethod::kIntervalIntersection);
+}
+void BM_SpGemm_Classroom(benchmark::State& state) {
+  runMethod(state, 30, 30, sparse::AdjacencyMethod::kSpGemm);
+}
+void BM_Intersect_Classroom(benchmark::State& state) {
+  runMethod(state, 30, 30, sparse::AdjacencyMethod::kIntervalIntersection);
+}
+void BM_SpGemm_Workplace(benchmark::State& state) {
+  runMethod(state, 300, 40, sparse::AdjacencyMethod::kSpGemm);
+}
+void BM_Intersect_Workplace(benchmark::State& state) {
+  runMethod(state, 300, 40, sparse::AdjacencyMethod::kIntervalIntersection);
+}
+void BM_SpGemm_CongregateHub(benchmark::State& state) {
+  runMethod(state, 2000, 30, sparse::AdjacencyMethod::kSpGemm);
+}
+void BM_Intersect_CongregateHub(benchmark::State& state) {
+  runMethod(state, 2000, 30, sparse::AdjacencyMethod::kIntervalIntersection);
+}
+// A shop: many distinct visitors but only a couple present at a time. Most
+// visitor pairs never overlap, so the pairwise-intersection kernel wastes
+// O(p^2) empty intersections while SpGEMM only touches co-present pairs.
+void BM_SpGemm_Shop(benchmark::State& state) {
+  runMethod(state, 3000, 1, sparse::AdjacencyMethod::kSpGemm);
+}
+void BM_Intersect_Shop(benchmark::State& state) {
+  runMethod(state, 3000, 1, sparse::AdjacencyMethod::kIntervalIntersection);
+}
+
+BENCHMARK(BM_SpGemm_Household);
+BENCHMARK(BM_Intersect_Household);
+BENCHMARK(BM_SpGemm_Classroom);
+BENCHMARK(BM_Intersect_Classroom);
+BENCHMARK(BM_SpGemm_Workplace)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Intersect_Workplace)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpGemm_CongregateHub)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Intersect_CongregateHub)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpGemm_Shop)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Intersect_Shop)->Unit(benchmark::kMillisecond);
+
+/// Merge (reduction) cost: summing worker adjacencies at the root.
+void BM_AdjacencyMerge(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  sparse::SymmetricAdjacency a(entries);
+  sparse::SymmetricAdjacency b(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    a.add(static_cast<std::uint32_t>(rng.uniformBelow(100000)),
+          static_cast<std::uint32_t>(100000 + rng.uniformBelow(100000)), 1);
+    b.add(static_cast<std::uint32_t>(rng.uniformBelow(100000)),
+          static_cast<std::uint32_t>(100000 + rng.uniformBelow(100000)), 1);
+  }
+  for (auto _ : state) {
+    sparse::SymmetricAdjacency sum(entries * 2);
+    sum.merge(a);
+    sum.merge(b);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries) * 2);
+}
+BENCHMARK(BM_AdjacencyMerge)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

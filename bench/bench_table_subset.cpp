@@ -1,0 +1,110 @@
+/// TABLE-SUBSET — time-slice subsetting speed (paper §IV.A.2).
+///
+/// "The sub-setting step is extremely fast (seconds) performed serially
+/// even on tables with millions of rows due to the data.table
+/// implementation." The data.table trick is a sorted key + binary search;
+/// this bench compares our binary-search subsetting against a linear-scan
+/// filter on a multi-million-row event table, plus the one-time sort cost
+/// and the place-index build.
+
+#include <benchmark/benchmark.h>
+
+#include "chisimnet/table/event_table.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace {
+
+using namespace chisimnet;
+
+table::EventTable makeTable(std::size_t rows) {
+  util::Rng rng(7);
+  table::EventTable table;
+  table.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto start = static_cast<table::Hour>(rng.uniformBelow(672));
+    table.append(table::Event{
+        start, start + 1 + static_cast<table::Hour>(rng.uniformBelow(10)),
+        static_cast<table::PersonId>(rng.uniformBelow(100'000)),
+        static_cast<table::ActivityId>(rng.uniformBelow(9)),
+        static_cast<table::PlaceId>(rng.uniformBelow(40'000))});
+  }
+  return table;
+}
+
+const table::EventTable& sortedTable(std::size_t rows) {
+  static std::map<std::size_t, table::EventTable> cache;
+  auto it = cache.find(rows);
+  if (it == cache.end()) {
+    table::EventTable table = makeTable(rows);
+    table.sortByStart();
+    it = cache.emplace(rows, std::move(table)).first;
+  }
+  return it->second;
+}
+
+void BM_SubsetBinarySearch(benchmark::State& state) {
+  const auto& table = sortedTable(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.rowsOverlapping(168, 336));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SubsetBinarySearch)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Arg(4'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SubsetLinearScan(benchmark::State& state) {
+  const auto& table = sortedTable(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<table::RowIndex> rows;
+    const auto starts = table.startColumn();
+    const auto ends = table.endColumn();
+    for (std::uint64_t i = 0; i < table.size(); ++i) {
+      if (starts[i] < 336 && ends[i] > 168) {
+        rows.push_back(i);
+      }
+    }
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SubsetLinearScan)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Arg(4'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SortByStart(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    table::EventTable table = makeTable(static_cast<std::size_t>(state.range(0)));
+    state.ResumeTiming();
+    table.sortByStart();
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_SortByStart)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+void BM_BuildPlaceIndex(benchmark::State& state) {
+  const auto& table = sortedTable(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.buildPlaceIndex());
+  }
+}
+BENCHMARK(BM_BuildPlaceIndex)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+void BM_UniquePlaces(benchmark::State& state) {
+  const auto& table = sortedTable(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.uniquePlaces());
+  }
+}
+BENCHMARK(BM_UniquePlaces)->Arg(1'000'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

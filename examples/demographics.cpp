@@ -1,0 +1,101 @@
+/// Demographic network analysis (the paper's Fig 5 workflow): synthesize
+/// the full collocation network, then disaggregate by age group and compare
+/// the within-group degree distributions and their fits.
+///
+/// Run:  ./build/examples/demographics [persons]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "chisimnet/chisimnet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace chisimnet;
+
+  pop::PopulationConfig popConfig;
+  popConfig.personCount = argc > 1
+                              ? static_cast<std::uint32_t>(std::atoi(argv[1]))
+                              : 20'000;
+  popConfig.seed = 1701;
+  const auto population = pop::SyntheticPopulation::generate(popConfig);
+
+  abm::ModelConfig modelConfig;
+  modelConfig.logDirectory =
+      std::filesystem::temp_directory_path() / "chisimnet_demo_logs";
+  std::filesystem::remove_all(modelConfig.logDirectory);
+  modelConfig.rankCount = 4;
+  abm::runModel(population, modelConfig);
+
+  const auto files = elog::listLogFiles(modelConfig.logDirectory);
+  const table::EventTable events =
+      elog::loadEvents(files, 0, pop::kHoursPerWeek);
+
+  net::SynthesisConfig synthConfig;
+  synthConfig.windowEnd = pop::kHoursPerWeek;
+  synthConfig.workers = 4;
+  net::NetworkSynthesizer synthesizer(synthConfig);
+
+  std::cout << std::fixed << std::setprecision(3);
+  std::cout << "group   persons   vertices   edges      mean-deg  max-deg  "
+               "plaw-alpha  trunc-alpha  trunc-kc\n";
+
+  const auto analyze = [&](const std::string& name,
+                           const table::EventTable& groupEvents,
+                           std::uint64_t personCount) {
+    const graph::Graph network = synthesizer.synthesizeGraph(groupEvents);
+    const auto degrees = graph::degreeSequence(network);
+    std::uint64_t maxDegree = 0;
+    for (std::uint64_t degree : degrees) {
+      maxDegree = std::max(maxDegree, degree);
+    }
+    const auto distribution = stats::frequencyDistribution(degrees);
+    const auto powerLaw = stats::fitPowerLaw(distribution);
+    const auto truncated = stats::fitTruncatedPowerLaw(distribution);
+    std::cout << std::left << std::setw(8) << name << std::setw(10)
+              << personCount << std::setw(11) << network.vertexCount()
+              << std::setw(11) << network.edgeCount() << std::setw(10)
+              << graph::meanDegree(network) << std::setw(9) << maxDegree
+              << std::setw(12) << powerLaw.alpha << std::setw(13)
+              << truncated.alpha << truncated.cutoff << "\n";
+  };
+
+  analyze("all", events, population.persons().size());
+  const auto groupCounts = population.ageGroupCounts();
+  for (std::size_t g = 0; g < pop::kAgeGroupCount; ++g) {
+    const auto group = static_cast<pop::AgeGroup>(g);
+    const table::EventTable groupEvents =
+        net::eventsForAgeGroup(events, population, group);
+    analyze(pop::ageGroupName(group), groupEvents, groupCounts[g]);
+  }
+
+  // Location-type sub-networks (paper §VI: match distributions "for
+  // population sub-groups such as age or location type, e.g., work or
+  // school").
+  std::cout << "\nlocation-type sub-networks:\n";
+  for (const pop::PlaceType type :
+       {pop::PlaceType::kWorkplace, pop::PlaceType::kClassroom,
+        pop::PlaceType::kSchoolCommon, pop::PlaceType::kHousehold,
+        pop::PlaceType::kShop}) {
+    const table::EventTable typeEvents =
+        net::eventsForPlaceType(events, population, type);
+    if (typeEvents.empty()) {
+      continue;
+    }
+    const graph::Graph network = synthesizer.synthesizeGraph(typeEvents);
+    std::cout << "  " << pop::placeTypeName(type) << ": "
+              << network.vertexCount() << " vertices, " << network.edgeCount()
+              << " edges, mean degree " << graph::meanDegree(network)
+              << ", assortativity "
+              << graph::degreeAssortativity(network) << "\n";
+  }
+
+  std::cout << "\nNote (paper §V.B): the 0-14 group departs furthest from a\n"
+               "power law because school and class sizes cap the number of\n"
+               "distinct contacts; congregate places (university, prison,\n"
+               "retirement homes) produce outlying clusters in the 19-44 and\n"
+               "65+ groups.\n";
+
+  std::filesystem::remove_all(modelConfig.logDirectory);
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "chisimnet/abm/disease.hpp"
+
+namespace chisimnet::abm {
+
+std::string seirStateName(SeirState state) {
+  switch (state) {
+    case SeirState::kSusceptible:
+      return "susceptible";
+    case SeirState::kExposed:
+      return "exposed";
+    case SeirState::kInfectious:
+      return "infectious";
+    case SeirState::kRecovered:
+      return "recovered";
+  }
+  return "unknown";
+}
+
+}  // namespace chisimnet::abm

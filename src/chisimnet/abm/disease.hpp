@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chisimnet/pop/types.hpp"
+
+/// SEIR disease layer for the distributed model (paper §II: chiSIM "is an
+/// extension of an infectious disease transmission model that was
+/// generalized to model any kind of social interaction"; §III: the log
+/// schema is extended with integer columns such as disease state).
+///
+/// Transmission happens per (place, hour): each susceptible occupant of a
+/// place with I infectious occupants becomes exposed with probability
+/// 1 - (1-beta)^I. The random draw is a hash of (seed, person, hour), so an
+/// epidemic realization is *identical for any rank count* — like the
+/// activity log, only its distribution over rank log files changes. State
+/// transitions are recorded to per-rank CLX5 extended logs with two extra
+/// columns: the new disease state and the infector person id (or
+/// kNoInfector for seeds and E->I->R progressions).
+
+namespace chisimnet::abm {
+
+enum class SeirState : std::uint8_t {
+  kSusceptible = 0,
+  kExposed = 1,
+  kInfectious = 2,
+  kRecovered = 3,
+};
+
+std::string seirStateName(SeirState state);
+
+inline constexpr std::uint32_t kNoInfector = static_cast<std::uint32_t>(-1);
+
+struct DiseaseConfig {
+  double beta = 0.002;               ///< per infectious contact-hour
+  table::Hour latentHours = 24;      ///< E -> I
+  table::Hour infectiousHours = 96;  ///< I -> R
+  std::uint32_t seedCount = 5;       ///< initial infectious persons
+  std::uint64_t seed = 99;           ///< transmission randomness
+};
+
+struct DiseaseStats {
+  std::uint64_t seeded = 0;
+  std::uint64_t infections = 0;       ///< transmission events (S -> E)
+  std::uint64_t recovered = 0;        ///< completed courses by horizon
+  std::uint32_t peakInfectious = 0;   ///< max simultaneous I
+  table::Hour peakHour = 0;
+  std::vector<std::uint32_t> hourlyInfectious;  ///< prevalence per hour
+  std::vector<std::uint8_t> finalStates;        ///< per person (SeirState)
+
+  /// Fraction of the population ever infected (excluding seeds).
+  double attackRate() const noexcept {
+    return finalStates.empty()
+               ? 0.0
+               : static_cast<double>(infections + seeded) /
+                     static_cast<double>(finalStates.size());
+  }
+};
+
+}  // namespace chisimnet::abm

@@ -1,0 +1,485 @@
+#include "chisimnet/abm/model.hpp"
+
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "chisimnet/elog/extended.hpp"
+#include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/runtime/comm.hpp"
+#include "chisimnet/runtime/scheduler.hpp"
+#include "chisimnet/util/error.hpp"
+#include "chisimnet/util/rng.hpp"
+#include "chisimnet/util/timer.hpp"
+
+namespace chisimnet::abm {
+
+namespace {
+
+using pop::kHoursPerWeek;
+using pop::PersonId;
+using pop::PlaceId;
+using pop::ScheduleEntry;
+using table::Hour;
+
+constexpr int kMigrationTagBase = 1 << 20;  // below the reserved collective tags
+
+/// A resident agent: its current week's schedule and position within it.
+struct AgentCursor {
+  PersonId person = 0;
+  std::uint32_t week = 0;
+  std::vector<ScheduleEntry> schedule;
+  std::size_t index = 0;
+
+  const ScheduleEntry& current() const { return schedule[index]; }
+};
+
+/// Loads the stint that covers hour `now` (regenerating the weekly schedule
+/// as needed).
+AgentCursor makeCursor(PersonId person, Hour now,
+                       const pop::ScheduleGenerator& generator) {
+  AgentCursor cursor;
+  cursor.person = person;
+  cursor.week = now / kHoursPerWeek;
+  cursor.schedule = generator.weeklySchedule(person, cursor.week);
+  cursor.index = 0;
+  while (cursor.current().end <= now) {
+    ++cursor.index;
+    CHISIM_CHECK(cursor.index < cursor.schedule.size(),
+                 "schedule does not cover the requested hour");
+  }
+  return cursor;
+}
+
+/// Advances past the stint ending at `now`; rolls into the next week when
+/// the week is exhausted. Returns the new current stint.
+const ScheduleEntry& advanceCursor(AgentCursor& cursor, Hour now,
+                                   const pop::ScheduleGenerator& generator) {
+  CHISIM_CHECK(cursor.current().end == now, "advance called off-boundary");
+  ++cursor.index;
+  if (cursor.index >= cursor.schedule.size()) {
+    ++cursor.week;
+    cursor.schedule = generator.weeklySchedule(cursor.person, cursor.week);
+    cursor.index = 0;
+  }
+  CHISIM_CHECK(cursor.current().start == now, "schedule has a gap");
+  return cursor.current();
+}
+
+struct RankOutcome {
+  std::uint64_t events = 0;
+  std::uint64_t migrationsOut = 0;
+  std::uint64_t localMoves = 0;
+  std::uint64_t initialAgents = 0;
+  std::uint64_t logBytes = 0;
+  std::uint64_t infections = 0;
+};
+
+/// Uniform double in [0, 1) from a hash of (seed, a, b) — rank-count
+/// invariant randomness for transmission draws.
+double hashUniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state =
+      seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xbf58476d1ce4e5b9ULL);
+  return static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Shared (cross-rank) epidemic state. Each agent resides on exactly one
+/// rank and only that rank reads/writes its entries; the mailbox hand-off
+/// at migration provides the required happens-before ordering.
+struct DiseaseShared {
+  const DiseaseConfig* config = nullptr;
+  std::vector<std::uint8_t> state;  ///< SeirState per person
+  std::vector<Hour> since;          ///< hour the current state was entered
+  /// hourlyInfectious[rank][hour]: I residents of that rank at that hour.
+  std::vector<std::vector<std::uint32_t>> hourlyInfectious;
+
+  bool enabled() const noexcept { return config != nullptr; }
+};
+
+/// Per-rank epidemic bookkeeping: who is at which owned place right now,
+/// and the extended log of state transitions.
+class DiseaseRank {
+ public:
+  DiseaseRank(DiseaseShared& shared, int rank,
+              const std::filesystem::path& directory)
+      : shared_(shared), rank_(rank) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "rank_%04d.clx5", rank);
+    writer_ = std::make_unique<elog::ExtendedLogWriter>(directory / name, 2);
+  }
+
+  void occupy(PersonId person, PlaceId place) {
+    occupants_[place].push_back(person);
+  }
+
+  void vacate(PersonId person, PlaceId place) {
+    auto& list = occupants_[place];
+    for (auto& occupant : list) {
+      if (occupant == person) {
+        occupant = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+    CHISIM_CHECK(false, "vacate: person not present at place");
+  }
+
+  void logTransition(Hour now, const AgentCursor& cursor, SeirState newState,
+                     std::uint32_t infector, RankOutcome& outcome) {
+    elog::ExtendedEvent entry;
+    entry.base = table::Event{now, now + 1, cursor.person,
+                              cursor.current().activity,
+                              cursor.current().place};
+    entry.extras = {static_cast<std::uint32_t>(newState), infector};
+    buffer_.push_back(std::move(entry));
+    if (buffer_.size() >= 4096) {
+      writer_->writeChunk(buffer_);
+      buffer_.clear();
+    }
+    if (newState == SeirState::kExposed && infector != kNoInfector) {
+      ++outcome.infections;
+    }
+  }
+
+  /// One epidemic hour covering [now, now+1): progress E->I->R for this
+  /// rank's residents, then transmit within each owned place.
+  void step(Hour now, std::unordered_map<PersonId, AgentCursor>& residents,
+            RankOutcome& outcome) {
+    const DiseaseConfig& config = *shared_.config;
+
+    // Progression.
+    std::uint32_t infectiousCount = 0;
+    for (auto& [person, cursor] : residents) {
+      auto& state = shared_.state[person];
+      if (state == static_cast<std::uint8_t>(SeirState::kExposed) &&
+          now - shared_.since[person] >= config.latentHours) {
+        state = static_cast<std::uint8_t>(SeirState::kInfectious);
+        shared_.since[person] = now;
+        logTransition(now, cursor, SeirState::kInfectious, kNoInfector,
+                      outcome);
+      } else if (state == static_cast<std::uint8_t>(SeirState::kInfectious) &&
+                 now - shared_.since[person] >= config.infectiousHours) {
+        state = static_cast<std::uint8_t>(SeirState::kRecovered);
+        shared_.since[person] = now;
+        logTransition(now, cursor, SeirState::kRecovered, kNoInfector, outcome);
+      }
+      if (state == static_cast<std::uint8_t>(SeirState::kInfectious)) {
+        ++infectiousCount;
+      }
+    }
+    shared_.hourlyInfectious[static_cast<std::size_t>(rank_)][now] =
+        infectiousCount;
+
+    // Transmission per owned place.
+    for (auto& [place, persons] : occupants_) {
+      if (persons.size() < 2) {
+        continue;
+      }
+      std::uint32_t infectious = 0;
+      for (PersonId person : persons) {
+        if (shared_.state[person] ==
+            static_cast<std::uint8_t>(SeirState::kInfectious)) {
+          ++infectious;
+        }
+      }
+      if (infectious == 0) {
+        continue;
+      }
+      const double escape =
+          std::pow(1.0 - config.beta, static_cast<double>(infectious));
+      const double infectionProbability = 1.0 - escape;
+      for (PersonId person : persons) {
+        if (shared_.state[person] !=
+            static_cast<std::uint8_t>(SeirState::kSusceptible)) {
+          continue;
+        }
+        if (hashUniform(config.seed, person, now) >= infectionProbability) {
+          continue;
+        }
+        shared_.state[person] = static_cast<std::uint8_t>(SeirState::kExposed);
+        shared_.since[person] = now;
+        // Deterministic, rank-invariant infector choice: the infectious
+        // occupant minimizing a pair hash.
+        std::uint32_t infector = kNoInfector;
+        double best = 2.0;
+        for (PersonId candidate : persons) {
+          if (shared_.state[candidate] !=
+              static_cast<std::uint8_t>(SeirState::kInfectious)) {
+            continue;
+          }
+          const double score =
+              hashUniform(config.seed ^ 0xD15EA5Eull,
+                          static_cast<std::uint64_t>(person) * 2654435761ull + now,
+                          candidate);
+          if (score < best) {
+            best = score;
+            infector = candidate;
+          }
+        }
+        logTransition(now, residents.at(person), SeirState::kExposed, infector,
+                      outcome);
+      }
+    }
+  }
+
+  void close() {
+    if (!buffer_.empty()) {
+      writer_->writeChunk(buffer_);
+      buffer_.clear();
+    }
+    writer_->close();
+  }
+
+ private:
+  DiseaseShared& shared_;
+  int rank_;
+  std::unique_ptr<elog::ExtendedLogWriter> writer_;
+  std::vector<elog::ExtendedEvent> buffer_;
+  std::unordered_map<PlaceId, std::vector<PersonId>> occupants_;
+};
+
+ModelStats runModelImpl(const pop::SyntheticPopulation& population,
+                        const ModelConfig& config, DiseaseShared& disease,
+                        DiseaseStats* diseaseStats) {
+  CHISIM_REQUIRE(config.rankCount >= 1, "need at least one rank");
+  CHISIM_REQUIRE(config.weeks >= 1, "need at least one week");
+  std::filesystem::create_directories(config.logDirectory);
+
+  const std::vector<int> placeRank =
+      assignPlacesToRanks(population, config.rankCount, config.strategy);
+  const pop::ScheduleGenerator generator(population, config.scheduleSeed);
+  const Hour totalHours = config.weeks * kHoursPerWeek;
+
+  std::uint64_t seeded = 0;
+  if (disease.enabled()) {
+    const std::size_t personCount = population.persons().size();
+    disease.state.assign(personCount,
+                         static_cast<std::uint8_t>(SeirState::kSusceptible));
+    disease.since.assign(personCount, 0);
+    disease.hourlyInfectious.assign(
+        static_cast<std::size_t>(config.rankCount),
+        std::vector<std::uint32_t>(totalHours + 1, 0));
+    util::Rng seedRng(disease.config->seed);
+    while (seeded < disease.config->seedCount && seeded < personCount) {
+      const auto person =
+          static_cast<PersonId>(seedRng.uniformBelow(personCount));
+      if (disease.state[person] ==
+          static_cast<std::uint8_t>(SeirState::kSusceptible)) {
+        disease.state[person] =
+            static_cast<std::uint8_t>(SeirState::kInfectious);
+        ++seeded;
+      }
+    }
+  }
+
+  std::vector<RankOutcome> outcomes(static_cast<std::size_t>(config.rankCount));
+  util::WallTimer wall;
+
+  runtime::Communicator::run(config.rankCount, [&](runtime::RankHandle& rank) {
+    const int self = rank.rank();
+    RankOutcome& outcome = outcomes[static_cast<std::size_t>(self)];
+
+    elog::EventLogger logger(
+        std::make_unique<elog::ChunkedLogWriter>(
+            elog::logFilePath(config.logDirectory, self),
+            config.logCompression),
+        config.logCacheEntries);
+
+    std::unique_ptr<DiseaseRank> epidemic;
+    if (disease.enabled()) {
+      epidemic =
+          std::make_unique<DiseaseRank>(disease, self, config.logDirectory);
+    }
+
+    // Agents whose current place this rank owns, plus an agenda of stint
+    // end hours -> persons, so each step touches only agents in transition.
+    std::unordered_map<PersonId, AgentCursor> residents;
+    std::vector<std::vector<PersonId>> agenda(totalHours + 1);
+
+    const auto adopt = [&](AgentCursor cursor) {
+      const Hour due = std::min<Hour>(cursor.current().end, totalHours);
+      agenda[due].push_back(cursor.person);
+      if (epidemic) {
+        epidemic->occupy(cursor.person, cursor.current().place);
+      }
+      residents.emplace(cursor.person, std::move(cursor));
+    };
+
+    // Initial residency from the first stint of week 0.
+    for (const pop::Person& person : population.persons()) {
+      AgentCursor cursor = makeCursor(person.id, 0, generator);
+      if (placeRank[cursor.current().place] == self) {
+        adopt(std::move(cursor));
+      }
+    }
+    outcome.initialAgents = residents.size();
+
+    if (epidemic) {
+      // Record the seed infections owned by this rank, then run hour 0.
+      for (auto& [person, cursor] : residents) {
+        if (disease.state[person] ==
+            static_cast<std::uint8_t>(SeirState::kInfectious)) {
+          epidemic->logTransition(0, cursor, SeirState::kInfectious,
+                                  kNoInfector, outcome);
+        }
+      }
+      epidemic->step(0, residents, outcome);
+    }
+
+    std::vector<std::vector<std::uint32_t>> outbound(
+        static_cast<std::size_t>(rank.size()));
+
+    // Each rank drives its hour loop from a Repast-style tick schedule: the
+    // movement/logging action runs at normal priority each hour, the
+    // epidemic action late in the same tick (after migrants have arrived).
+    runtime::Scheduler scheduler;
+    const auto hourAction = [&](runtime::Tick tick) {
+      const Hour now = static_cast<Hour>(tick);
+      for (auto& bucket : outbound) {
+        bucket.clear();
+      }
+
+      for (PersonId personId : agenda[now]) {
+        auto it = residents.find(personId);
+        CHISIM_CHECK(it != residents.end(), "agenda references missing agent");
+        AgentCursor& cursor = it->second;
+        const ScheduleEntry ending = cursor.current();
+        CHISIM_CHECK(ending.end == now || now == totalHours,
+                     "agenda hour mismatch");
+
+        // Event-based logging: the stint is recorded when it ends
+        // (clipped to the simulation horizon).
+        logger.log(table::Event{ending.start,
+                                std::min<Hour>(ending.end, totalHours),
+                                personId, ending.activity, ending.place});
+        ++outcome.events;
+
+        if (now == totalHours) {
+          residents.erase(it);
+          continue;  // simulation over; no further movement
+        }
+
+        const ScheduleEntry& next = advanceCursor(cursor, now, generator);
+        const int dest = placeRank[next.place];
+        if (epidemic) {
+          epidemic->vacate(personId, ending.place);
+        }
+        if (dest == self) {
+          ++outcome.localMoves;
+          if (epidemic) {
+            epidemic->occupy(personId, next.place);
+          }
+          agenda[std::min<Hour>(next.end, totalHours)].push_back(personId);
+        } else {
+          ++outcome.migrationsOut;
+          outbound[static_cast<std::size_t>(dest)].push_back(personId);
+          residents.erase(it);
+        }
+      }
+
+      if (now == totalHours) {
+        scheduler.stop();  // simulation horizon: skip exchange and epidemic
+        return;
+      }
+
+      // Exchange migrants: every rank sends to every other rank each step
+      // (possibly empty), so receive counts are deterministic.
+      const int tag = kMigrationTagBase + static_cast<int>(now % (1 << 19));
+      for (int dest = 0; dest < rank.size(); ++dest) {
+        if (dest != self) {
+          rank.sendVector<std::uint32_t>(
+              dest, tag, outbound[static_cast<std::size_t>(dest)]);
+        }
+      }
+      for (int source = 0; source < rank.size(); ++source) {
+        if (source == self) {
+          continue;
+        }
+        const runtime::Message message = rank.recv(source, tag);
+        for (std::uint32_t personId : message.as<std::uint32_t>()) {
+          adopt(makeCursor(personId, now, generator));
+        }
+      }
+    };
+    scheduler.scheduleRepeating(1, 1, hourAction, runtime::Scheduler::kNormal);
+    if (epidemic) {
+      scheduler.scheduleRepeating(
+          1, 1,
+          [&](runtime::Tick tick) {
+            epidemic->step(static_cast<Hour>(tick), residents, outcome);
+          },
+          runtime::Scheduler::kLate);
+    }
+    scheduler.run(totalHours);
+
+    CHISIM_CHECK(residents.empty(), "agents left after the final hour");
+    logger.close();
+    if (epidemic) {
+      epidemic->close();
+    }
+    outcome.logBytes = logger.writer().bytesWritten();
+  });
+
+  ModelStats stats;
+  stats.simulatedHours = totalHours;
+  stats.wallSeconds = wall.seconds();
+  stats.agentHours =
+      static_cast<std::uint64_t>(population.persons().size()) * totalHours;
+  stats.perRankEvents.reserve(outcomes.size());
+  stats.perRankMigrationsOut.reserve(outcomes.size());
+  stats.perRankInitialAgents.reserve(outcomes.size());
+  for (const RankOutcome& outcome : outcomes) {
+    stats.eventsLogged += outcome.events;
+    stats.migrations += outcome.migrationsOut;
+    stats.localMoves += outcome.localMoves;
+    stats.logBytes += outcome.logBytes;
+    stats.perRankEvents.push_back(outcome.events);
+    stats.perRankMigrationsOut.push_back(outcome.migrationsOut);
+    stats.perRankInitialAgents.push_back(outcome.initialAgents);
+  }
+
+  if (disease.enabled() && diseaseStats != nullptr) {
+    DiseaseStats& out = *diseaseStats;
+    out = DiseaseStats{};
+    out.seeded = seeded;
+    for (const RankOutcome& outcome : outcomes) {
+      out.infections += outcome.infections;
+    }
+    out.hourlyInfectious.assign(totalHours + 1, 0);
+    for (const auto& perRank : disease.hourlyInfectious) {
+      for (Hour h = 0; h <= totalHours; ++h) {
+        out.hourlyInfectious[h] += perRank[h];
+      }
+    }
+    for (Hour h = 0; h <= totalHours; ++h) {
+      if (out.hourlyInfectious[h] > out.peakInfectious) {
+        out.peakInfectious = out.hourlyInfectious[h];
+        out.peakHour = h;
+      }
+    }
+    out.finalStates = disease.state;
+    for (std::uint8_t state : out.finalStates) {
+      out.recovered +=
+          state == static_cast<std::uint8_t>(SeirState::kRecovered) ? 1 : 0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+ModelStats runModel(const pop::SyntheticPopulation& population,
+                    const ModelConfig& config) {
+  DiseaseShared noDisease;
+  return runModelImpl(population, config, noDisease, nullptr);
+}
+
+ModelStats runModel(const pop::SyntheticPopulation& population,
+                    const ModelConfig& config, const DiseaseConfig& disease,
+                    DiseaseStats& diseaseStats) {
+  DiseaseShared shared;
+  shared.config = &disease;
+  return runModelImpl(population, config, shared, &diseaseStats);
+}
+
+}  // namespace chisimnet::abm

@@ -1,0 +1,58 @@
+#include "chisimnet/abm/place_partition.hpp"
+
+#include "chisimnet/runtime/partition.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::abm {
+
+std::string partitionStrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kNeighborhood:
+      return "neighborhood";
+    case PartitionStrategy::kRoundRobin:
+      return "round-robin";
+  }
+  return "unknown";
+}
+
+std::vector<int> assignPlacesToRanks(const pop::SyntheticPopulation& population,
+                                     int rankCount,
+                                     PartitionStrategy strategy) {
+  CHISIM_REQUIRE(rankCount >= 1, "need at least one rank");
+  std::vector<int> placeRank(population.places().size(), 0);
+  if (rankCount == 1) {
+    return placeRank;
+  }
+
+  switch (strategy) {
+    case PartitionStrategy::kRoundRobin: {
+      for (std::size_t p = 0; p < placeRank.size(); ++p) {
+        placeRank[p] = static_cast<int>(p % static_cast<std::size_t>(rankCount));
+      }
+      return placeRank;
+    }
+    case PartitionStrategy::kNeighborhood: {
+      // Balance neighborhoods over ranks by resident count.
+      std::vector<std::uint64_t> hoodPopulation(population.neighborhoodCount(),
+                                                0);
+      for (const pop::Person& person : population.persons()) {
+        ++hoodPopulation[person.neighborhood];
+      }
+      const runtime::Partition partition = runtime::partitionGreedyLpt(
+          hoodPopulation, static_cast<std::size_t>(rankCount));
+      std::vector<int> hoodRank(population.neighborhoodCount(), 0);
+      for (std::size_t rank = 0; rank < partition.assignment.size(); ++rank) {
+        for (std::size_t hood : partition.assignment[rank]) {
+          hoodRank[hood] = static_cast<int>(rank);
+        }
+      }
+      for (const pop::Place& place : population.places()) {
+        placeRank[place.id] = hoodRank[place.neighborhood];
+      }
+      return placeRank;
+    }
+  }
+  CHISIM_CHECK(false, "unknown partition strategy");
+}
+
+}  // namespace chisimnet::abm

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chisimnet/pop/population.hpp"
+
+/// Place-to-rank assignment (paper §II: "A spatially partitioned set of
+/// locations is developed that assigns locations to compute processes with
+/// the objective of minimizing person agent movement between processes").
+
+namespace chisimnet::abm {
+
+enum class PartitionStrategy {
+  /// Spatial: whole neighborhoods go to ranks, balanced by resident count
+  /// (greedy LPT). Most daily movement is within-neighborhood, so most
+  /// location changes stay on-rank.
+  kNeighborhood,
+  /// Naive baseline for the ablation: place id modulo rank count, which
+  /// scatters a neighborhood across all ranks and maximizes migration.
+  kRoundRobin,
+};
+
+std::string partitionStrategyName(PartitionStrategy strategy);
+
+/// placeRank[p] is the rank that owns place p.
+std::vector<int> assignPlacesToRanks(const pop::SyntheticPopulation& population,
+                                     int rankCount,
+                                     PartitionStrategy strategy);
+
+}  // namespace chisimnet::abm

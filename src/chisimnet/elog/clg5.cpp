@@ -1,0 +1,324 @@
+#include "chisimnet/elog/clg5.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "chisimnet/util/binary_io.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::elog {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'L', 'G', '5'};
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 4 + 8;
+constexpr std::uint64_t kChunkHeaderBytes = 4 * 6;
+
+std::vector<std::byte> serializeRaw(std::span<const table::Event> entries) {
+  std::vector<std::byte> payload(entries.size() * kEntryBytes);
+  std::size_t cursor = 0;
+  const auto put = [&payload, &cursor](std::uint32_t value) {
+    payload[cursor++] = static_cast<std::byte>(value);
+    payload[cursor++] = static_cast<std::byte>(value >> 8);
+    payload[cursor++] = static_cast<std::byte>(value >> 16);
+    payload[cursor++] = static_cast<std::byte>(value >> 24);
+  };
+  for (const table::Event& event : entries) {
+    put(event.start);
+    put(event.end);
+    put(event.person);
+    put(event.activity);
+    put(event.place);
+  }
+  return payload;
+}
+
+std::vector<table::Event> deserializeRaw(std::span<const std::byte> payload) {
+  CHISIM_CHECK(payload.size() % kEntryBytes == 0, "corrupt chunk payload size");
+  std::vector<table::Event> entries(payload.size() / kEntryBytes);
+  std::size_t cursor = 0;
+  const auto take = [&payload, &cursor]() {
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(payload[cursor]) |
+        (static_cast<std::uint32_t>(payload[cursor + 1]) << 8) |
+        (static_cast<std::uint32_t>(payload[cursor + 2]) << 16) |
+        (static_cast<std::uint32_t>(payload[cursor + 3]) << 24);
+    cursor += 4;
+    return value;
+  };
+  for (table::Event& event : entries) {
+    event.start = take();
+    event.end = take();
+    event.person = take();
+    event.activity = take();
+    event.place = take();
+  }
+  return entries;
+}
+
+/// Column-split packed encoding: start/end as zigzag deltas (near-sorted in
+/// real logs since stints are recorded when they end), the id columns as
+/// plain varints.
+std::vector<std::byte> serializePacked(std::span<const table::Event> entries) {
+  std::vector<std::byte> payload;
+  payload.reserve(entries.size() * 10);
+  std::int64_t previousStart = 0;
+  std::int64_t previousEnd = 0;
+  for (const table::Event& event : entries) {
+    util::putVarint(payload, util::zigzagEncode(static_cast<std::int32_t>(
+                                 static_cast<std::int64_t>(event.start) -
+                                 previousStart)));
+    previousStart = event.start;
+  }
+  for (const table::Event& event : entries) {
+    util::putVarint(payload, util::zigzagEncode(static_cast<std::int32_t>(
+                                 static_cast<std::int64_t>(event.end) -
+                                 previousEnd)));
+    previousEnd = event.end;
+  }
+  for (const table::Event& event : entries) {
+    util::putVarint(payload, event.person);
+  }
+  for (const table::Event& event : entries) {
+    util::putVarint(payload, event.activity);
+  }
+  for (const table::Event& event : entries) {
+    util::putVarint(payload, event.place);
+  }
+  return payload;
+}
+
+std::vector<table::Event> deserializePacked(std::span<const std::byte> payload,
+                                            std::uint32_t entryCount) {
+  std::vector<table::Event> entries(entryCount);
+  std::size_t cursor = 0;
+  std::int64_t previous = 0;
+  for (table::Event& event : entries) {
+    previous += util::zigzagDecode(util::getVarint(payload, cursor));
+    CHISIM_CHECK(previous >= 0, "corrupt packed start column");
+    event.start = static_cast<table::Hour>(previous);
+  }
+  previous = 0;
+  for (table::Event& event : entries) {
+    previous += util::zigzagDecode(util::getVarint(payload, cursor));
+    CHISIM_CHECK(previous >= 0, "corrupt packed end column");
+    event.end = static_cast<table::Hour>(previous);
+  }
+  for (table::Event& event : entries) {
+    event.person = util::getVarint(payload, cursor);
+  }
+  for (table::Event& event : entries) {
+    event.activity = util::getVarint(payload, cursor);
+  }
+  for (table::Event& event : entries) {
+    event.place = util::getVarint(payload, cursor);
+  }
+  CHISIM_CHECK(cursor == payload.size(), "trailing bytes in packed chunk");
+  return entries;
+}
+
+}  // namespace
+
+ChunkedLogWriter::ChunkedLogWriter(const std::filesystem::path& path,
+                                   LogCompression compression)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      compression_(compression) {
+  CHISIM_CHECK(out_.good(), "cannot open log file for writing: " + path.string());
+  out_.write(kMagic, 4);
+  util::writeU32(out_, kClg5Version);
+  util::writeU32(out_, 5);  // fields per entry
+  util::writeU64(out_, 0);  // footer offset, patched in close()
+  bytesWritten_ = kHeaderBytes;
+}
+
+ChunkedLogWriter::~ChunkedLogWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an explicit close() surfaces errors.
+  }
+}
+
+void ChunkedLogWriter::writeChunk(std::span<const table::Event> entries) {
+  CHISIM_REQUIRE(!closed_, "writer already closed");
+  if (entries.empty()) {
+    return;
+  }
+  CHISIM_REQUIRE(entries.size() <= std::numeric_limits<std::uint32_t>::max(),
+                 "chunk too large");
+
+  ChunkInfo info;
+  info.offset = bytesWritten_;
+  info.entryCount = static_cast<std::uint32_t>(entries.size());
+  info.minStart = std::numeric_limits<table::Hour>::max();
+  info.maxEnd = 0;
+  for (const table::Event& event : entries) {
+    info.minStart = std::min(info.minStart, event.start);
+    info.maxEnd = std::max(info.maxEnd, event.end);
+  }
+
+  const std::vector<std::byte> payload = compression_ == LogCompression::kPacked
+                                             ? serializePacked(entries)
+                                             : serializeRaw(entries);
+  util::writeU32(out_, info.entryCount);
+  util::writeU32(out_, info.minStart);
+  util::writeU32(out_, info.maxEnd);
+  util::writeU32(out_, util::crc32(payload));
+  util::writeU32(out_, static_cast<std::uint32_t>(compression_));
+  util::writeU32(out_, static_cast<std::uint32_t>(payload.size()));
+  util::writeBytes(out_, payload);
+  CHISIM_CHECK(out_.good(), "log chunk write failed: " + path_.string());
+
+  bytesWritten_ += kChunkHeaderBytes + payload.size();
+  entriesWritten_ += entries.size();
+  chunks_.push_back(info);
+}
+
+void ChunkedLogWriter::close() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+
+  const std::uint64_t footerOffset = bytesWritten_;
+  // Footer body is also CRC-protected so truncation is detectable.
+  std::vector<std::byte> body;
+  body.reserve(8 + chunks_.size() * 20);
+  const auto putU32 = [&body](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      body.push_back(static_cast<std::byte>(value >> shift));
+    }
+  };
+  const auto putU64 = [&putU32](std::uint64_t value) {
+    putU32(static_cast<std::uint32_t>(value));
+    putU32(static_cast<std::uint32_t>(value >> 32));
+  };
+  putU64(chunks_.size());
+  for (const ChunkInfo& chunk : chunks_) {
+    putU64(chunk.offset);
+    putU32(chunk.entryCount);
+    putU32(chunk.minStart);
+    putU32(chunk.maxEnd);
+  }
+  util::writeBytes(out_, body);
+  util::writeU32(out_, util::crc32(body));
+
+  out_.seekp(12);  // footerOffset slot in the header
+  util::writeU64(out_, footerOffset);
+  out_.flush();
+  CHISIM_CHECK(out_.good(), "log footer write failed: " + path_.string());
+  out_.close();
+}
+
+ChunkedLogReader::ChunkedLogReader(const std::filesystem::path& path)
+    : path_(path), in_(path, std::ios::binary) {
+  CHISIM_CHECK(in_.good(), "cannot open log file for reading: " + path.string());
+
+  char magic[4];
+  in_.read(magic, 4);
+  CHISIM_CHECK(in_.gcount() == 4 && std::equal(magic, magic + 4, kMagic),
+               "not a CLG5 file: " + path.string());
+  const std::uint32_t version = util::readU32(in_);
+  CHISIM_CHECK(version == kClg5Version, "unsupported CLG5 version");
+  const std::uint32_t fields = util::readU32(in_);
+  CHISIM_CHECK(fields == 5, "unsupported CLG5 schema");
+  const std::uint64_t footerOffset = util::readU64(in_);
+  CHISIM_CHECK(footerOffset >= kHeaderBytes,
+               "CLG5 file was not closed (missing footer): " + path.string());
+
+  in_.seekg(static_cast<std::streamoff>(footerOffset));
+  const std::uint64_t chunkCount = util::readU64(in_);
+  std::vector<std::byte> body(8 + chunkCount * 20);
+  // Re-read the footer body for CRC validation.
+  in_.seekg(static_cast<std::streamoff>(footerOffset));
+  util::readBytes(in_, body);
+  const std::uint32_t storedCrc = util::readU32(in_);
+  CHISIM_CHECK(storedCrc == util::crc32(body),
+               "CLG5 footer CRC mismatch: " + path.string());
+
+  std::size_t cursor = 8;
+  const auto takeU32 = [&body, &cursor]() {
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(body[cursor]) |
+        (static_cast<std::uint32_t>(body[cursor + 1]) << 8) |
+        (static_cast<std::uint32_t>(body[cursor + 2]) << 16) |
+        (static_cast<std::uint32_t>(body[cursor + 3]) << 24);
+    cursor += 4;
+    return value;
+  };
+  chunks_.resize(chunkCount);
+  for (ChunkInfo& chunk : chunks_) {
+    const std::uint64_t low = takeU32();
+    const std::uint64_t high = takeU32();
+    chunk.offset = low | (high << 32);
+    chunk.entryCount = takeU32();
+    chunk.minStart = takeU32();
+    chunk.maxEnd = takeU32();
+  }
+}
+
+std::uint64_t ChunkedLogReader::totalEntries() const noexcept {
+  std::uint64_t total = 0;
+  for (const ChunkInfo& chunk : chunks_) {
+    total += chunk.entryCount;
+  }
+  return total;
+}
+
+std::vector<table::Event> ChunkedLogReader::readChunk(std::size_t index) {
+  CHISIM_REQUIRE(index < chunks_.size(), "chunk index out of range");
+  const ChunkInfo& info = chunks_[index];
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(info.offset));
+  const std::uint32_t entryCount = util::readU32(in_);
+  CHISIM_CHECK(entryCount == info.entryCount, "chunk header/index mismatch");
+  util::readU32(in_);  // minStart (already in the index)
+  util::readU32(in_);  // maxEnd
+  const std::uint32_t storedCrc = util::readU32(in_);
+  const std::uint32_t encoding = util::readU32(in_);
+  const std::uint32_t payloadBytes = util::readU32(in_);
+  std::vector<std::byte> payload(payloadBytes);
+  util::readBytes(in_, payload);
+  CHISIM_CHECK(storedCrc == util::crc32(payload),
+               "chunk CRC mismatch (corrupt log): " + path_.string());
+  switch (static_cast<LogCompression>(encoding)) {
+    case LogCompression::kRaw:
+      return deserializeRaw(payload);
+    case LogCompression::kPacked:
+      return deserializePacked(payload, entryCount);
+  }
+  CHISIM_CHECK(false, "unknown chunk encoding in " + path_.string());
+  return {};
+}
+
+std::vector<table::Event> ChunkedLogReader::readAll() {
+  std::vector<table::Event> all;
+  all.reserve(totalEntries());
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const std::vector<table::Event> chunk = readChunk(i);
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
+}
+
+std::vector<table::Event> ChunkedLogReader::readOverlapping(
+    table::Hour windowStart, table::Hour windowEnd) {
+  std::vector<table::Event> selected;
+  lastChunksRead_ = 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const ChunkInfo& info = chunks_[i];
+    if (info.minStart >= windowEnd || info.maxEnd <= windowStart) {
+      continue;  // chunk cannot contain overlapping entries
+    }
+    ++lastChunksRead_;
+    for (const table::Event& event : readChunk(i)) {
+      if (table::overlapsWindow(event, windowStart, windowEnd)) {
+        selected.push_back(event);
+      }
+    }
+  }
+  return selected;
+}
+
+}  // namespace chisimnet::elog

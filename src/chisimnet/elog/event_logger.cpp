@@ -1,0 +1,56 @@
+#include "chisimnet/elog/event_logger.hpp"
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::elog {
+
+EventLogger::EventLogger(std::unique_ptr<ChunkedLogWriter> writer,
+                         std::size_t cacheEntries)
+    : writer_(std::move(writer)), cacheCapacity_(cacheEntries) {
+  CHISIM_REQUIRE(writer_ != nullptr, "logger needs a writer");
+  CHISIM_REQUIRE(cacheEntries >= 1, "cache must hold at least one entry");
+  cache_.reserve(cacheEntries);
+}
+
+EventLogger::~EventLogger() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an explicit close() surfaces errors.
+  }
+}
+
+void EventLogger::log(const table::Event& event) {
+  CHISIM_REQUIRE(!closed_, "logger already closed");
+  cache_.push_back(
+      CacheRow{event.start, event.end, event.person, event.activity, event.place});
+  ++entriesLogged_;
+  if (cache_.size() >= cacheCapacity_) {
+    flush();
+  }
+}
+
+void EventLogger::flush() {
+  if (cache_.empty()) {
+    return;
+  }
+  std::vector<table::Event> entries;
+  entries.reserve(cache_.size());
+  for (const CacheRow& row : cache_) {
+    entries.push_back(table::Event{row[0], row[1], row[2], row[3], row[4]});
+  }
+  writer_->writeChunk(entries);
+  cache_.clear();
+  ++flushCount_;
+}
+
+void EventLogger::close() {
+  if (closed_) {
+    return;
+  }
+  flush();
+  writer_->close();
+  closed_ = true;
+}
+
+}  // namespace chisimnet::elog

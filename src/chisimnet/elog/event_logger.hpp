@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chisimnet/elog/clg5.hpp"
+#include "chisimnet/table/event.hpp"
+
+/// Per-rank event-based logger (paper §III).
+///
+/// One EventLogger instance exists per rank; it records a log entry each
+/// time a person agent changes activities. Entries accumulate in an
+/// in-memory cache — the paper stores it as a 2D integer array with a
+/// nominal capacity of 10,000 entries — and the whole cache is written to
+/// disk as a single chunk when full. A smaller cache lowers memory use but
+/// issues more writes; a larger one is the opposite (the tradeoff
+/// bench_log_cache sweeps).
+
+namespace chisimnet::elog {
+
+inline constexpr std::size_t kDefaultCacheEntries = 10'000;
+
+class EventLogger {
+ public:
+  /// Owns the file writer. `cacheEntries` must be >= 1.
+  EventLogger(std::unique_ptr<ChunkedLogWriter> writer,
+              std::size_t cacheEntries = kDefaultCacheEntries);
+  ~EventLogger();
+
+  EventLogger(const EventLogger&) = delete;
+  EventLogger& operator=(const EventLogger&) = delete;
+
+  /// Records an activity-change entry; flushes the cache when it fills.
+  void log(const table::Event& event);
+
+  /// Forces the cache to disk (no-op when empty).
+  void flush();
+
+  /// Flushes and finalizes the underlying file. Idempotent.
+  void close();
+
+  std::uint64_t entriesLogged() const noexcept { return entriesLogged_; }
+  std::uint64_t flushCount() const noexcept { return flushCount_; }
+  std::size_t cacheCapacity() const noexcept { return cacheCapacity_; }
+  std::size_t cachedEntries() const noexcept { return cache_.size(); }
+  const ChunkedLogWriter& writer() const noexcept { return *writer_; }
+
+ private:
+  // The cache is the paper's "2D integer array": rows of five u32 fields.
+  using CacheRow = std::array<std::uint32_t, 5>;
+
+  std::unique_ptr<ChunkedLogWriter> writer_;
+  std::vector<CacheRow> cache_;
+  std::size_t cacheCapacity_;
+  std::uint64_t entriesLogged_ = 0;
+  std::uint64_t flushCount_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace chisimnet::elog

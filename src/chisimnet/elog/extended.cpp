@@ -1,0 +1,230 @@
+#include "chisimnet/elog/extended.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "chisimnet/util/binary_io.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::elog {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'L', 'X', '5'};
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 4 + 8;
+constexpr std::uint64_t kChunkHeaderBytes = 4 * 4;
+constexpr std::uint32_t kVersion = 1;
+
+void putU32(std::vector<std::byte>& buffer, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer.push_back(static_cast<std::byte>(value >> shift));
+  }
+}
+
+std::uint32_t takeU32(std::span<const std::byte> buffer, std::size_t& cursor) {
+  const std::uint32_t value =
+      static_cast<std::uint32_t>(buffer[cursor]) |
+      (static_cast<std::uint32_t>(buffer[cursor + 1]) << 8) |
+      (static_cast<std::uint32_t>(buffer[cursor + 2]) << 16) |
+      (static_cast<std::uint32_t>(buffer[cursor + 3]) << 24);
+  cursor += 4;
+  return value;
+}
+
+}  // namespace
+
+ExtendedLogWriter::ExtendedLogWriter(const std::filesystem::path& path,
+                                     std::uint32_t extraColumns)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      extraColumns_(extraColumns) {
+  CHISIM_CHECK(out_.good(),
+               "cannot open extended log for writing: " + path.string());
+  out_.write(kMagic, 4);
+  util::writeU32(out_, kVersion);
+  util::writeU32(out_, 5 + extraColumns_);
+  util::writeU64(out_, 0);  // footer offset, patched on close
+  bytesWritten_ = kHeaderBytes;
+}
+
+ExtendedLogWriter::~ExtendedLogWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; explicit close() surfaces errors.
+  }
+}
+
+void ExtendedLogWriter::writeChunk(std::span<const ExtendedEvent> entries) {
+  CHISIM_REQUIRE(!closed_, "writer already closed");
+  if (entries.empty()) {
+    return;
+  }
+
+  ExtendedChunkInfo info;
+  info.offset = bytesWritten_;
+  info.entryCount = static_cast<std::uint32_t>(entries.size());
+  info.minStart = std::numeric_limits<table::Hour>::max();
+  info.maxEnd = 0;
+
+  std::vector<std::byte> payload;
+  payload.reserve(entries.size() * (5 + extraColumns_) * 4);
+  for (const ExtendedEvent& entry : entries) {
+    CHISIM_REQUIRE(entry.extras.size() == extraColumns_,
+                   "entry extras do not match the configured column count");
+    info.minStart = std::min(info.minStart, entry.base.start);
+    info.maxEnd = std::max(info.maxEnd, entry.base.end);
+    putU32(payload, entry.base.start);
+    putU32(payload, entry.base.end);
+    putU32(payload, entry.base.person);
+    putU32(payload, entry.base.activity);
+    putU32(payload, entry.base.place);
+    for (std::uint32_t extra : entry.extras) {
+      putU32(payload, extra);
+    }
+  }
+
+  util::writeU32(out_, info.entryCount);
+  util::writeU32(out_, info.minStart);
+  util::writeU32(out_, info.maxEnd);
+  util::writeU32(out_, util::crc32(payload));
+  util::writeBytes(out_, payload);
+  CHISIM_CHECK(out_.good(), "extended log chunk write failed");
+
+  bytesWritten_ += kChunkHeaderBytes + payload.size();
+  entriesWritten_ += entries.size();
+  chunks_.push_back(info);
+}
+
+void ExtendedLogWriter::close() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+
+  const std::uint64_t footerOffset = bytesWritten_;
+  std::vector<std::byte> body;
+  putU32(body, static_cast<std::uint32_t>(chunks_.size()));
+  putU32(body, static_cast<std::uint32_t>(chunks_.size() >> 32));
+  for (const ExtendedChunkInfo& chunk : chunks_) {
+    putU32(body, static_cast<std::uint32_t>(chunk.offset));
+    putU32(body, static_cast<std::uint32_t>(chunk.offset >> 32));
+    putU32(body, chunk.entryCount);
+    putU32(body, chunk.minStart);
+    putU32(body, chunk.maxEnd);
+  }
+  util::writeBytes(out_, body);
+  util::writeU32(out_, util::crc32(body));
+
+  out_.seekp(12);
+  util::writeU64(out_, footerOffset);
+  out_.flush();
+  CHISIM_CHECK(out_.good(), "extended log footer write failed");
+  out_.close();
+}
+
+ExtendedLogReader::ExtendedLogReader(const std::filesystem::path& path)
+    : path_(path), in_(path, std::ios::binary) {
+  CHISIM_CHECK(in_.good(),
+               "cannot open extended log for reading: " + path.string());
+  char magic[4];
+  in_.read(magic, 4);
+  CHISIM_CHECK(in_.gcount() == 4 && std::equal(magic, magic + 4, kMagic),
+               "not a CLX5 file: " + path.string());
+  CHISIM_CHECK(util::readU32(in_) == kVersion, "unsupported CLX5 version");
+  const std::uint32_t fields = util::readU32(in_);
+  CHISIM_CHECK(fields >= 5, "corrupt CLX5 schema");
+  extraColumns_ = fields - 5;
+  const std::uint64_t footerOffset = util::readU64(in_);
+  CHISIM_CHECK(footerOffset >= kHeaderBytes,
+               "CLX5 file was not closed (missing footer): " + path.string());
+
+  in_.seekg(static_cast<std::streamoff>(footerOffset));
+  const std::uint64_t chunkCount = util::readU64(in_);
+  std::vector<std::byte> body(8 + chunkCount * 20);
+  in_.seekg(static_cast<std::streamoff>(footerOffset));
+  util::readBytes(in_, body);
+  const std::uint32_t storedCrc = util::readU32(in_);
+  CHISIM_CHECK(storedCrc == util::crc32(body),
+               "CLX5 footer CRC mismatch: " + path.string());
+
+  std::size_t cursor = 8;
+  chunks_.resize(chunkCount);
+  for (ExtendedChunkInfo& chunk : chunks_) {
+    const std::uint64_t low = takeU32(body, cursor);
+    const std::uint64_t high = takeU32(body, cursor);
+    chunk.offset = low | (high << 32);
+    chunk.entryCount = takeU32(body, cursor);
+    chunk.minStart = takeU32(body, cursor);
+    chunk.maxEnd = takeU32(body, cursor);
+  }
+}
+
+std::uint64_t ExtendedLogReader::totalEntries() const noexcept {
+  std::uint64_t total = 0;
+  for (const ExtendedChunkInfo& chunk : chunks_) {
+    total += chunk.entryCount;
+  }
+  return total;
+}
+
+std::vector<ExtendedEvent> ExtendedLogReader::readChunk(std::size_t index) {
+  CHISIM_REQUIRE(index < chunks_.size(), "chunk index out of range");
+  const ExtendedChunkInfo& info = chunks_[index];
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(info.offset));
+  const std::uint32_t entryCount = util::readU32(in_);
+  CHISIM_CHECK(entryCount == info.entryCount, "chunk header/index mismatch");
+  util::readU32(in_);  // minStart
+  util::readU32(in_);  // maxEnd
+  const std::uint32_t storedCrc = util::readU32(in_);
+  const std::size_t rowBytes = (5 + extraColumns_) * 4;
+  std::vector<std::byte> payload(static_cast<std::size_t>(entryCount) * rowBytes);
+  util::readBytes(in_, payload);
+  CHISIM_CHECK(storedCrc == util::crc32(payload),
+               "CLX5 chunk CRC mismatch: " + path_.string());
+
+  std::vector<ExtendedEvent> entries(entryCount);
+  std::size_t cursor = 0;
+  for (ExtendedEvent& entry : entries) {
+    entry.base.start = takeU32(payload, cursor);
+    entry.base.end = takeU32(payload, cursor);
+    entry.base.person = takeU32(payload, cursor);
+    entry.base.activity = takeU32(payload, cursor);
+    entry.base.place = takeU32(payload, cursor);
+    entry.extras.resize(extraColumns_);
+    for (std::uint32_t& extra : entry.extras) {
+      extra = takeU32(payload, cursor);
+    }
+  }
+  return entries;
+}
+
+std::vector<ExtendedEvent> ExtendedLogReader::readAll() {
+  std::vector<ExtendedEvent> all;
+  all.reserve(totalEntries());
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    auto chunk = readChunk(i);
+    std::move(chunk.begin(), chunk.end(), std::back_inserter(all));
+  }
+  return all;
+}
+
+std::vector<ExtendedEvent> ExtendedLogReader::readOverlapping(
+    table::Hour windowStart, table::Hour windowEnd) {
+  std::vector<ExtendedEvent> selected;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const ExtendedChunkInfo& info = chunks_[i];
+    if (info.minStart >= windowEnd || info.maxEnd <= windowStart) {
+      continue;
+    }
+    for (ExtendedEvent& entry : readChunk(i)) {
+      if (table::overlapsWindow(entry.base, windowStart, windowEnd)) {
+        selected.push_back(std::move(entry));
+      }
+    }
+  }
+  return selected;
+}
+
+}  // namespace chisimnet::elog

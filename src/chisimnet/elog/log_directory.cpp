@@ -1,0 +1,54 @@
+#include "chisimnet/elog/log_directory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "chisimnet/elog/clg5.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::elog {
+
+std::filesystem::path logFilePath(const std::filesystem::path& directory,
+                                  int rank) {
+  CHISIM_REQUIRE(rank >= 0, "rank must be non-negative");
+  char name[32];
+  std::snprintf(name, sizeof(name), "rank_%04d.clg5", rank);
+  return directory / name;
+}
+
+std::vector<std::filesystem::path> listLogFiles(
+    const std::filesystem::path& directory) {
+  std::vector<std::filesystem::path> files;
+  if (!std::filesystem::exists(directory)) {
+    return files;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".clg5") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+table::EventTable loadEvents(const std::vector<std::filesystem::path>& files,
+                             table::Hour windowStart, table::Hour windowEnd) {
+  table::EventTable table;
+  for (const std::filesystem::path& file : files) {
+    ChunkedLogReader reader(file);
+    const std::vector<table::Event> events =
+        reader.readOverlapping(windowStart, windowEnd);
+    table.appendAll(events);
+  }
+  return table;
+}
+
+std::uintmax_t totalFileBytes(const std::vector<std::filesystem::path>& files) {
+  std::uintmax_t total = 0;
+  for (const std::filesystem::path& file : files) {
+    total += std::filesystem::file_size(file);
+  }
+  return total;
+}
+
+}  // namespace chisimnet::elog

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "chisimnet/table/event.hpp"
+#include "chisimnet/table/event_table.hpp"
+
+/// Management of the per-rank log file sets a distributed run produces
+/// (paper §III: "This scenario generates 64 log files which can then be
+/// easily loaded ... in an iterative or batch fashion").
+
+namespace chisimnet::elog {
+
+/// Canonical per-rank file name: <dir>/rank_<NNNN>.clg5.
+std::filesystem::path logFilePath(const std::filesystem::path& directory,
+                                  int rank);
+
+/// All CLG5 log files in a directory, sorted by name.
+std::vector<std::filesystem::path> listLogFiles(
+    const std::filesystem::path& directory);
+
+/// Loads the entries of `files` that overlap [windowStart, windowEnd) into
+/// one event table (unsorted). Pass windowEnd = UINT32_MAX (with
+/// windowStart = 0) to load everything.
+table::EventTable loadEvents(const std::vector<std::filesystem::path>& files,
+                             table::Hour windowStart, table::Hour windowEnd);
+
+/// Total on-disk size of the given files in bytes.
+std::uintmax_t totalFileBytes(const std::vector<std::filesystem::path>& files);
+
+}  // namespace chisimnet::elog

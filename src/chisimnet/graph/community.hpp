@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chisimnet/graph/graph.hpp"
+#include "chisimnet/util/rng.hpp"
+
+/// Community detection (paper §I: "more novel approaches such as community
+/// detection algorithms that can capture emergent macro level
+/// characteristics of the network").
+///
+/// Two standard algorithms over the weighted collocation network:
+///   - label propagation (Raghavan et al.): near-linear, each vertex
+///     repeatedly adopts the weight-dominant label among its neighbors;
+///   - Louvain (Blondel et al.): greedy modularity optimization with graph
+///     aggregation between passes.
+/// plus weighted modularity, the standard partition quality score.
+
+namespace chisimnet::graph {
+
+struct CommunityAssignment {
+  /// communityOf[v] in [0, communityCount) for every vertex.
+  std::vector<std::uint32_t> communityOf;
+  std::uint32_t communityCount = 0;
+  double modularity = 0.0;  ///< of this assignment on the source graph
+  unsigned iterations = 0;  ///< sweeps (LP) or levels (Louvain) executed
+
+  /// Sizes of each community, indexed by community id.
+  std::vector<std::uint64_t> sizes() const;
+};
+
+/// Weighted Newman-Girvan modularity of an arbitrary assignment:
+/// Q = (1/2m) Σ_ij [A_ij - k_i k_j / 2m] δ(c_i, c_j).
+double modularity(const Graph& graph,
+                  std::span<const std::uint32_t> communityOf);
+
+/// Asynchronous weighted label propagation. Vertices are visited in random
+/// order each sweep; ties broken by smallest label. Stops when a sweep
+/// changes nothing or after maxSweeps.
+CommunityAssignment labelPropagation(const Graph& graph, util::Rng& rng,
+                                     unsigned maxSweeps = 50);
+
+/// Louvain method: local-move phase to a fixed point, then aggregation,
+/// repeated until modularity stops improving. Deterministic for a given
+/// rng seed (vertex visit order is shuffled per pass).
+CommunityAssignment louvain(const Graph& graph, util::Rng& rng,
+                            unsigned maxLevels = 10);
+
+/// Renumbers labels to a dense [0, count) range; returns the count.
+std::uint32_t compactLabels(std::vector<std::uint32_t>& labels);
+
+}  // namespace chisimnet::graph

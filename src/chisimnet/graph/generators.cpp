@@ -1,0 +1,175 @@
+#include "chisimnet/graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::graph {
+
+Graph erdosRenyi(Vertex vertexCount, std::uint64_t edgeCount, util::Rng& rng) {
+  CHISIM_REQUIRE(vertexCount >= 2, "need at least two vertices");
+  const std::uint64_t maxEdges =
+      static_cast<std::uint64_t>(vertexCount) * (vertexCount - 1) / 2;
+  CHISIM_REQUIRE(edgeCount <= maxEdges, "more edges than pairs");
+
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(edgeCount * 2);
+  std::vector<Edge> edges;
+  edges.reserve(edgeCount);
+  while (edges.size() < edgeCount) {
+    const auto u = static_cast<Vertex>(rng.uniformBelow(vertexCount));
+    const auto v = static_cast<Vertex>(rng.uniformBelow(vertexCount));
+    if (u == v) {
+      continue;
+    }
+    const std::uint64_t key = sparse::packPair(u, v);
+    if (chosen.insert(key).second) {
+      edges.push_back(Edge{u, v, 1});
+    }
+  }
+  return Graph::fromEdges(edges, vertexCount);
+}
+
+Graph barabasiAlbert(Vertex vertexCount, unsigned edgesPerVertex,
+                     util::Rng& rng) {
+  CHISIM_REQUIRE(edgesPerVertex >= 1, "need at least one edge per vertex");
+  CHISIM_REQUIRE(vertexCount > edgesPerVertex,
+                 "need more vertices than edges per vertex");
+
+  std::vector<Edge> edges;
+  // Seed: a clique over the first edgesPerVertex+1 vertices.
+  const Vertex seed = edgesPerVertex + 1;
+  for (Vertex u = 0; u < seed; ++u) {
+    for (Vertex v = u + 1; v < seed; ++v) {
+      edges.push_back(Edge{u, v, 1});
+    }
+  }
+  // Degree-proportional sampling via the repeated-endpoints trick: every
+  // edge endpoint appears once in `endpoints`, so a uniform draw from it is
+  // a degree-proportional draw.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(vertexCount) * edgesPerVertex * 2);
+  for (const Edge& edge : edges) {
+    endpoints.push_back(edge.u);
+    endpoints.push_back(edge.v);
+  }
+
+  std::vector<Vertex> targets;
+  for (Vertex newcomer = seed; newcomer < vertexCount; ++newcomer) {
+    targets.clear();
+    while (targets.size() < edgesPerVertex) {
+      const Vertex candidate =
+          endpoints[rng.uniformBelow(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (Vertex target : targets) {
+      edges.push_back(Edge{newcomer, target, 1});
+      endpoints.push_back(newcomer);
+      endpoints.push_back(target);
+    }
+  }
+  return Graph::fromEdges(edges, vertexCount);
+}
+
+Graph wattsStrogatz(Vertex vertexCount, unsigned neighborsEachSide, double beta,
+                    util::Rng& rng) {
+  CHISIM_REQUIRE(neighborsEachSide >= 1, "need at least one lattice neighbor");
+  CHISIM_REQUIRE(vertexCount > 2 * neighborsEachSide,
+                 "ring too small for the lattice degree");
+  CHISIM_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be a probability");
+
+  std::unordered_set<std::uint64_t> present;
+  std::vector<Edge> edges;
+  const auto addEdge = [&](Vertex u, Vertex v) {
+    if (u == v) {
+      return false;
+    }
+    if (present.insert(sparse::packPair(u, v)).second) {
+      edges.push_back(Edge{u, v, 1});
+      return true;
+    }
+    return false;
+  };
+
+  for (Vertex u = 0; u < vertexCount; ++u) {
+    for (unsigned offset = 1; offset <= neighborsEachSide; ++offset) {
+      addEdge(u, static_cast<Vertex>((u + offset) % vertexCount));
+    }
+  }
+
+  // Rewire: each lattice edge keeps its source, re-targets uniformly.
+  for (Edge& edge : edges) {
+    if (!rng.bernoulli(beta)) {
+      continue;
+    }
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto target = static_cast<Vertex>(rng.uniformBelow(vertexCount));
+      if (target == edge.u || target == edge.v) {
+        continue;
+      }
+      if (present.contains(sparse::packPair(edge.u, target))) {
+        continue;
+      }
+      present.erase(sparse::packPair(edge.u, edge.v));
+      present.insert(sparse::packPair(edge.u, target));
+      edge.v = target;
+      break;
+    }
+  }
+  return Graph::fromEdges(edges, vertexCount);
+}
+
+Graph configurationModel(std::span<const std::uint64_t> degrees,
+                         util::Rng& rng) {
+  CHISIM_REQUIRE(!degrees.empty(), "need at least one degree");
+  // Stub list: vertex v appears degrees[v] times.
+  std::vector<Vertex> stubs;
+  const std::uint64_t total =
+      std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0});
+  stubs.reserve(total + 1);
+  for (Vertex v = 0; v < degrees.size(); ++v) {
+    for (std::uint64_t d = 0; d < degrees[v]; ++d) {
+      stubs.push_back(v);
+    }
+  }
+  if (stubs.size() % 2 == 1) {
+    stubs.pop_back();  // odd total degree cannot be fully matched
+  }
+  rng.shuffle(stubs);
+
+  // Pair consecutive stubs; a self-loop or duplicate pair is retried by
+  // swapping in a random later stub a bounded number of times, then the
+  // offending pair is dropped (slightly truncating two degrees).
+  std::unordered_set<std::uint64_t> present;
+  present.reserve(stubs.size());
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 32 && !placed; ++attempt) {
+      const Vertex u = stubs[i];
+      const Vertex v = stubs[i + 1];
+      if (u != v && !present.contains(sparse::packPair(u, v))) {
+        present.insert(sparse::packPair(u, v));
+        edges.push_back(Edge{u, v, 1});
+        placed = true;
+        break;
+      }
+      // Swap the second stub with a uniformly chosen later stub and retry.
+      if (i + 2 >= stubs.size()) {
+        break;
+      }
+      const std::size_t other =
+          i + 2 + static_cast<std::size_t>(rng.uniformBelow(stubs.size() - i - 2));
+      std::swap(stubs[i + 1], stubs[other]);
+    }
+  }
+  return Graph::fromEdges(edges, static_cast<Vertex>(degrees.size()));
+}
+
+}  // namespace chisimnet::graph

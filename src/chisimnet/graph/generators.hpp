@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "chisimnet/graph/graph.hpp"
+#include "chisimnet/util/rng.hpp"
+
+/// Random-graph generators (paper §VI): the paper contrasts the simulated
+/// collocation network against generated scale-free / random networks that
+/// are "superficially similar in structure". These three classical models
+/// are the comparison baselines in bench_random_net_compare.
+
+namespace chisimnet::graph {
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform random edges.
+Graph erdosRenyi(Vertex vertexCount, std::uint64_t edgeCount, util::Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `edgesPerVertex` existing vertices chosen
+/// proportionally to degree. Produces a power-law degree tail.
+Graph barabasiAlbert(Vertex vertexCount, unsigned edgesPerVertex,
+                     util::Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `neighborsEachSide`
+/// neighbors per side, each edge rewired with probability beta.
+Graph wattsStrogatz(Vertex vertexCount, unsigned neighborsEachSide, double beta,
+                    util::Rng& rng);
+
+/// Configuration model: a random simple graph whose degree sequence
+/// approximates `degrees` (random stub matching with self-loop / parallel-
+/// edge rejection; a bounded number of re-shuffles, then offending stubs
+/// are dropped, so realized degrees can fall slightly short). This is the
+/// §VI "tailored" generator: it matches the emergent network's degree
+/// distribution exactly, so any remaining structural difference (e.g.
+/// clustering) demonstrates what degree alone cannot capture.
+Graph configurationModel(std::span<const std::uint64_t> degrees,
+                         util::Rng& rng);
+
+}  // namespace chisimnet::graph

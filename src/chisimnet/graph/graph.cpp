@@ -1,0 +1,159 @@
+#include "chisimnet/graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::graph {
+
+Graph Graph::fromTriplets(std::span<const sparse::AdjacencyTriplet> triplets) {
+  // Collect and compact the person ids that appear.
+  std::vector<std::uint32_t> labels;
+  labels.reserve(triplets.size() * 2);
+  for (const sparse::AdjacencyTriplet& triplet : triplets) {
+    labels.push_back(triplet.i);
+    labels.push_back(triplet.j);
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return fromTriplets(triplets, labels);
+}
+
+Graph Graph::fromTriplets(std::span<const sparse::AdjacencyTriplet> triplets,
+                          std::span<const std::uint32_t> vertexLabels) {
+  std::vector<std::uint32_t> labels(vertexLabels.begin(), vertexLabels.end());
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+
+  const auto compact = [&labels](std::uint32_t id) {
+    const auto it = std::lower_bound(labels.begin(), labels.end(), id);
+    CHISIM_REQUIRE(it != labels.end() && *it == id,
+                   "triplet endpoint missing from vertex label universe");
+    return static_cast<Vertex>(it - labels.begin());
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(triplets.size());
+  for (const sparse::AdjacencyTriplet& triplet : triplets) {
+    CHISIM_REQUIRE(triplet.i != triplet.j, "self-loop in adjacency triplets");
+    edges.push_back(Edge{compact(triplet.i), compact(triplet.j), triplet.weight});
+  }
+  return build(std::move(edges), std::move(labels));
+}
+
+Graph Graph::fromEdges(std::span<const Edge> edges, Vertex vertexCount) {
+  std::vector<std::uint32_t> labels(vertexCount);
+  std::iota(labels.begin(), labels.end(), 0u);
+  std::vector<Edge> copy(edges.begin(), edges.end());
+  for (const Edge& edge : copy) {
+    CHISIM_REQUIRE(edge.u < vertexCount && edge.v < vertexCount,
+                   "edge endpoint out of range");
+    CHISIM_REQUIRE(edge.u != edge.v, "self-loops are not supported");
+  }
+  return build(std::move(copy), std::move(labels));
+}
+
+Graph Graph::build(std::vector<Edge> edges, std::vector<std::uint32_t> labels) {
+  // Canonicalize, sort and merge parallel edges.
+  for (Edge& edge : edges) {
+    if (edge.u > edge.v) {
+      std::swap(edge.u, edge.v);
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<Edge> merged;
+  merged.reserve(edges.size());
+  for (const Edge& edge : edges) {
+    if (!merged.empty() && merged.back().u == edge.u && merged.back().v == edge.v) {
+      merged.back().weight += edge.weight;
+    } else {
+      merged.push_back(edge);
+    }
+  }
+
+  Graph graph;
+  graph.labels_ = std::move(labels);
+  const std::size_t n = graph.labels_.size();
+  graph.offsets_.assign(n + 1, 0);
+  for (const Edge& edge : merged) {
+    ++graph.offsets_[edge.u + 1];
+    ++graph.offsets_[edge.v + 1];
+  }
+  for (std::size_t v = 1; v <= n; ++v) {
+    graph.offsets_[v] += graph.offsets_[v - 1];
+  }
+  graph.neighbors_.resize(merged.size() * 2);
+  graph.weights_.resize(merged.size() * 2);
+  std::vector<std::uint64_t> cursor(graph.offsets_.begin(),
+                                    graph.offsets_.end() - 1);
+  for (const Edge& edge : merged) {
+    graph.neighbors_[cursor[edge.u]] = edge.v;
+    graph.weights_[cursor[edge.u]++] = edge.weight;
+    graph.neighbors_[cursor[edge.v]] = edge.u;
+    graph.weights_[cursor[edge.v]++] = edge.weight;
+  }
+
+  // Sort each adjacency row by neighbor id (weights permuted alongside).
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t begin = graph.offsets_[v];
+    const std::uint64_t end = graph.offsets_[v + 1];
+    std::vector<std::pair<Vertex, Weight>> row;
+    row.reserve(end - begin);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      row.emplace_back(graph.neighbors_[i], graph.weights_[i]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::uint64_t i = begin; i < end; ++i) {
+      graph.neighbors_[i] = row[i - begin].first;
+      graph.weights_[i] = row[i - begin].second;
+    }
+  }
+  return graph;
+}
+
+Weight Graph::totalWeight() const noexcept {
+  Weight doubled = 0;
+  for (Weight weight : weights_) {
+    doubled += weight;
+  }
+  return doubled / 2;
+}
+
+bool Graph::hasEdge(Vertex u, Vertex v) const noexcept {
+  if (u >= vertexCount() || v >= vertexCount()) {
+    return false;
+  }
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+Weight Graph::weightBetween(Vertex u, Vertex v) const noexcept {
+  if (u >= vertexCount() || v >= vertexCount()) {
+    return 0;
+  }
+  const auto row = neighbors(u);
+  const auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v) {
+    return 0;
+  }
+  return edgeWeights(u)[static_cast<std::size_t>(it - row.begin())];
+}
+
+std::optional<Vertex> Graph::vertexForLabel(std::uint32_t label) const noexcept {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) {
+    return std::nullopt;
+  }
+  return static_cast<Vertex>(it - labels_.begin());
+}
+
+std::size_t Graph::memoryBytes() const noexcept {
+  return offsets_.size() * sizeof(std::uint64_t) +
+         neighbors_.size() * sizeof(Vertex) + weights_.size() * sizeof(Weight) +
+         labels_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace chisimnet::graph

@@ -1,0 +1,78 @@
+#include "chisimnet/graph/io.hpp"
+
+#include <fstream>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::graph {
+
+namespace {
+
+std::ofstream openOut(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  CHISIM_CHECK(out.good(), "cannot open for writing: " + path.string());
+  return out;
+}
+
+}  // namespace
+
+void writeEdgeListTsv(const Graph& graph, const std::filesystem::path& path) {
+  std::ofstream out = openOut(path);
+  for (Vertex u = 0; u < graph.vertexCount(); ++u) {
+    const auto row = graph.neighbors(u);
+    const auto rowWeights = graph.edgeWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] > u) {
+        out << graph.label(u) << '\t' << graph.label(row[i]) << '\t'
+            << rowWeights[i] << '\n';
+      }
+    }
+  }
+  CHISIM_CHECK(out.good(), "edge list write failed: " + path.string());
+}
+
+void writeGraphMl(const Graph& graph, const std::filesystem::path& path) {
+  std::ofstream out = openOut(path);
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n"
+      << "  <key id=\"d0\" for=\"node\" attr.name=\"degree\" attr.type=\"long\"/>\n"
+      << "  <key id=\"d1\" for=\"edge\" attr.name=\"weight\" attr.type=\"long\"/>\n"
+      << "  <graph id=\"G\" edgedefault=\"undirected\">\n";
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    out << "    <node id=\"n" << graph.label(v) << "\"><data key=\"d0\">"
+        << graph.degree(v) << "</data></node>\n";
+  }
+  std::uint64_t edgeId = 0;
+  for (Vertex u = 0; u < graph.vertexCount(); ++u) {
+    const auto row = graph.neighbors(u);
+    const auto rowWeights = graph.edgeWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] > u) {
+        out << "    <edge id=\"e" << edgeId++ << "\" source=\"n"
+            << graph.label(u) << "\" target=\"n" << graph.label(row[i])
+            << "\"><data key=\"d1\">" << rowWeights[i] << "</data></edge>\n";
+      }
+    }
+  }
+  out << "  </graph>\n</graphml>\n";
+  CHISIM_CHECK(out.good(), "GraphML write failed: " + path.string());
+}
+
+void writeDot(const Graph& graph, const std::filesystem::path& path) {
+  std::ofstream out = openOut(path);
+  out << "graph G {\n";
+  for (Vertex u = 0; u < graph.vertexCount(); ++u) {
+    const auto row = graph.neighbors(u);
+    const auto rowWeights = graph.edgeWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] > u) {
+        out << "  " << graph.label(u) << " -- " << graph.label(row[i])
+            << " [weight=" << rowWeights[i] << "];\n";
+      }
+    }
+  }
+  out << "}\n";
+  CHISIM_CHECK(out.good(), "DOT write failed: " + path.string());
+}
+
+}  // namespace chisimnet::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <filesystem>
+
+#include "chisimnet/graph/graph.hpp"
+
+/// Graph exporters. The paper exports ego-network subgraphs from R/iGraph
+/// into Gephi for visualization; these writers produce the equivalent
+/// interchange files (edge list, GraphML — Gephi's native import — and
+/// Graphviz DOT).
+
+namespace chisimnet::graph {
+
+/// Tab-separated "<source>\t<target>\t<weight>" lines using vertex labels.
+void writeEdgeListTsv(const Graph& graph, const std::filesystem::path& path);
+
+/// GraphML with a node attribute `degree` and an edge attribute `weight`
+/// (what Gephi reads to color by degree, as in Figs 1-2).
+void writeGraphMl(const Graph& graph, const std::filesystem::path& path);
+
+/// Graphviz DOT (undirected).
+void writeDot(const Graph& graph, const std::filesystem::path& path);
+
+}  // namespace chisimnet::graph

@@ -1,0 +1,171 @@
+#include "chisimnet/graph/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::graph {
+
+std::vector<Point> forceAtlas2Layout(const Graph& graph,
+                                     const LayoutOptions& options,
+                                     util::Rng& rng) {
+  const std::size_t n = graph.vertexCount();
+  std::vector<Point> positions(n);
+  if (n == 0) {
+    return positions;
+  }
+  // Random initial placement on a disc scaled with sqrt(n).
+  const double radius = std::sqrt(static_cast<double>(n));
+  for (Point& point : positions) {
+    const double angle = rng.uniformReal(0.0, 2.0 * 3.141592653589793);
+    const double r = radius * std::sqrt(rng.uniform01());
+    point.x = r * std::cos(angle);
+    point.y = r * std::sin(angle);
+  }
+
+  std::vector<Point> forces(n);
+  std::vector<double> mass(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    mass[v] = 1.0 + static_cast<double>(graph.degree(v));
+  }
+
+  for (unsigned iteration = 0; iteration < options.iterations; ++iteration) {
+    std::fill(forces.begin(), forces.end(), Point{});
+
+    // Degree-scaled pairwise repulsion (FA2's (deg+1)(deg+1)/d force).
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        double dx = positions[a].x - positions[b].x;
+        double dy = positions[a].y - positions[b].y;
+        double distanceSq = dx * dx + dy * dy;
+        if (distanceSq < 1e-9) {
+          dx = rng.uniformReal(-1e-3, 1e-3);
+          dy = rng.uniformReal(-1e-3, 1e-3);
+          distanceSq = dx * dx + dy * dy;
+        }
+        const double force =
+            options.repulsion * mass[a] * mass[b] / distanceSq;
+        forces[a].x += dx * force;
+        forces[a].y += dy * force;
+        forces[b].x -= dx * force;
+        forces[b].y -= dy * force;
+      }
+    }
+
+    // Linear attraction along edges (weighted by log(1 + w)).
+    for (Vertex u = 0; u < graph.vertexCount(); ++u) {
+      const auto row = graph.neighbors(u);
+      const auto rowWeights = graph.edgeWeights(u);
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        const Vertex v = row[i];
+        if (v <= u) {
+          continue;
+        }
+        const double dx = positions[v].x - positions[u].x;
+        const double dy = positions[v].y - positions[u].y;
+        const double pull =
+            options.weightedAttraction
+                ? std::log1p(static_cast<double>(rowWeights[i]))
+                : 1.0;
+        forces[u].x += dx * pull;
+        forces[u].y += dy * pull;
+        forces[v].x -= dx * pull;
+        forces[v].y -= dy * pull;
+      }
+    }
+
+    // Gravity toward the origin, scaled by mass.
+    for (std::size_t v = 0; v < n; ++v) {
+      forces[v].x -= options.gravity * mass[v] * positions[v].x;
+      forces[v].y -= options.gravity * mass[v] * positions[v].y;
+    }
+
+    // Integrate with a decaying step and a per-node speed cap.
+    const double decay = 1.0 - static_cast<double>(iteration) /
+                                   static_cast<double>(options.iterations);
+    const double step = options.step * decay;
+    for (std::size_t v = 0; v < n; ++v) {
+      double fx = forces[v].x / mass[v];
+      double fy = forces[v].y / mass[v];
+      const double magnitude = std::sqrt(fx * fx + fy * fy);
+      const double cap = 10.0;
+      if (magnitude > cap) {
+        fx *= cap / magnitude;
+        fy *= cap / magnitude;
+      }
+      positions[v].x += step * fx;
+      positions[v].y += step * fy;
+    }
+  }
+  return positions;
+}
+
+void writeSvg(const Graph& graph, std::span<const Point> positions,
+              const std::filesystem::path& path, const SvgOptions& options) {
+  CHISIM_REQUIRE(positions.size() == graph.vertexCount(),
+                 "positions/vertex count mismatch");
+  std::ofstream out(path);
+  CHISIM_CHECK(out.good(), "cannot open SVG for writing: " + path.string());
+
+  double minX = 0.0;
+  double maxX = 1.0;
+  double minY = 0.0;
+  double maxY = 1.0;
+  if (!positions.empty()) {
+    minX = maxX = positions[0].x;
+    minY = maxY = positions[0].y;
+    for (const Point& point : positions) {
+      minX = std::min(minX, point.x);
+      maxX = std::max(maxX, point.x);
+      minY = std::min(minY, point.y);
+      maxY = std::max(maxY, point.y);
+    }
+  }
+  const double margin = 20.0;
+  const double spanX = std::max(1e-9, maxX - minX);
+  const double spanY = std::max(1e-9, maxY - minY);
+  const auto mapX = [&](double x) {
+    return margin + (x - minX) / spanX * (options.width - 2 * margin);
+  };
+  const auto mapY = [&](double y) {
+    return margin + (y - minY) / spanY * (options.height - 2 * margin);
+  };
+
+  std::uint64_t maxDegree = 1;
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    maxDegree = std::max(maxDegree, graph.degree(v));
+  }
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\" viewBox=\"0 0 "
+      << options.width << " " << options.height << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << "<g stroke=\"#3060a0\" stroke-opacity=\"" << options.edgeOpacity
+      << "\" stroke-width=\"0.5\">\n";
+  for (Vertex u = 0; u < graph.vertexCount(); ++u) {
+    for (Vertex v : graph.neighbors(u)) {
+      if (v > u) {
+        out << "<line x1=\"" << mapX(positions[u].x) << "\" y1=\""
+            << mapY(positions[u].y) << "\" x2=\"" << mapX(positions[v].x)
+            << "\" y2=\"" << mapY(positions[v].y) << "\"/>\n";
+      }
+    }
+  }
+  out << "</g>\n<g>\n";
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    // Dark = high degree, matching the paper's coloring.
+    const double fraction = static_cast<double>(graph.degree(v)) /
+                            static_cast<double>(maxDegree);
+    const int shade = static_cast<int>(220.0 * (1.0 - fraction));
+    out << "<circle cx=\"" << mapX(positions[v].x) << "\" cy=\""
+        << mapY(positions[v].y) << "\" r=\"" << options.nodeRadius
+        << "\" fill=\"rgb(" << shade << ',' << shade << ',' << shade
+        << ")\"/>\n";
+  }
+  out << "</g>\n</svg>\n";
+  CHISIM_CHECK(out.good(), "SVG write failed: " + path.string());
+}
+
+}  // namespace chisimnet::graph

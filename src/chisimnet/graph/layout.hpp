@@ -1,0 +1,50 @@
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "chisimnet/graph/graph.hpp"
+#include "chisimnet/util/rng.hpp"
+
+/// Force-directed layout in the spirit of Gephi's ForceAtlas 2 (paper §V.A:
+/// clusters of highly connected nodes pull together; edge weights shorten
+/// springs), plus an SVG renderer that colors nodes by degree — darker
+/// means higher degree, exactly as in Figs 1 and 2.
+
+namespace chisimnet::graph {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct LayoutOptions {
+  unsigned iterations = 200;
+  double repulsion = 1.0;       ///< scaling of the n-body repulsive force
+  double gravity = 0.05;        ///< pull toward the origin (keeps components together)
+  double step = 0.1;            ///< integration step (decays over iterations)
+  bool weightedAttraction = true;  ///< scale springs by log(1 + weight)
+};
+
+/// Computes positions for every vertex. ForceAtlas2-style forces:
+/// attraction along edges proportional to distance, degree-scaled repulsion
+/// between all vertex pairs, and weak gravity. O(n^2) per iteration — meant
+/// for ego-network scale graphs (10^3..10^4 vertices), matching the paper's
+/// visualization workflow.
+std::vector<Point> forceAtlas2Layout(const Graph& graph,
+                                     const LayoutOptions& options,
+                                     util::Rng& rng);
+
+struct SvgOptions {
+  double width = 1600.0;
+  double height = 1600.0;
+  double nodeRadius = 3.0;
+  double edgeOpacity = 0.08;
+};
+
+/// Renders the laid-out graph to an SVG file; node fill goes from light
+/// gray (minimum degree) to near-black (maximum degree).
+void writeSvg(const Graph& graph, std::span<const Point> positions,
+              const std::filesystem::path& path, const SvgOptions& options = {});
+
+}  // namespace chisimnet::graph

@@ -1,0 +1,168 @@
+#include "chisimnet/graph/mixing.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "chisimnet/sparse/pair_count_map.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::graph {
+
+MixingMatrix::MixingMatrix(const Graph& graph,
+                           std::span<const std::uint32_t> groupOf,
+                           std::uint32_t groupCount)
+    : groupCount_(groupCount) {
+  CHISIM_REQUIRE(groupOf.size() == graph.vertexCount(),
+                 "grouping size must match vertex count");
+  CHISIM_REQUIRE(groupCount > 0, "need at least one group");
+  for (std::uint32_t group : groupOf) {
+    CHISIM_REQUIRE(group < groupCount, "group id out of range");
+  }
+  edges_.assign(static_cast<std::size_t>(groupCount) * groupCount, 0);
+  weights_.assign(static_cast<std::size_t>(groupCount) * groupCount, 0);
+
+  for (Vertex u = 0; u < graph.vertexCount(); ++u) {
+    const auto row = graph.neighbors(u);
+    const auto rowWeights = graph.edgeWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] <= u) {
+        continue;
+      }
+      const std::uint32_t a = groupOf[u];
+      const std::uint32_t b = groupOf[row[i]];
+      ++edges_[index(a, b)];
+      weights_[index(a, b)] += rowWeights[i];
+      if (a != b) {
+        ++edges_[index(b, a)];
+        weights_[index(b, a)] += rowWeights[i];
+      }
+      ++totalEdges_;
+    }
+  }
+}
+
+std::uint64_t MixingMatrix::edgeCount(std::uint32_t a, std::uint32_t b) const {
+  CHISIM_REQUIRE(a < groupCount_ && b < groupCount_, "group out of range");
+  return edges_[index(a, b)];
+}
+
+std::uint64_t MixingMatrix::weight(std::uint32_t a, std::uint32_t b) const {
+  CHISIM_REQUIRE(a < groupCount_ && b < groupCount_, "group out of range");
+  return weights_[index(a, b)];
+}
+
+double MixingMatrix::edgeFraction(std::uint32_t a, std::uint32_t b) const {
+  if (totalEdges_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(edgeCount(a, b)) /
+         static_cast<double>(totalEdges_);
+}
+
+double MixingMatrix::assortativity() const {
+  if (totalEdges_ == 0) {
+    return 0.0;
+  }
+  // e_ij over *edge ends*: each edge contributes 1/2 to e_ab and e_ba
+  // (or 1 to e_aa when intra-group), so rows sum to the group's share of
+  // edge ends.
+  const double m = static_cast<double>(totalEdges_);
+  double diagonal = 0.0;
+  double squares = 0.0;
+  for (std::uint32_t g = 0; g < groupCount_; ++g) {
+    double rowSum = 0.0;
+    for (std::uint32_t h = 0; h < groupCount_; ++h) {
+      const double value = g == h
+                               ? static_cast<double>(edges_[index(g, h)]) / m
+                               : static_cast<double>(edges_[index(g, h)]) / m / 2.0;
+      rowSum += value;
+      if (g == h) {
+        diagonal += value;
+      }
+    }
+    squares += rowSum * rowSum;
+  }
+  if (squares >= 1.0) {
+    return 1.0;
+  }
+  return (diagonal - squares) / (1.0 - squares);
+}
+
+Graph groupedConfigurationModel(std::span<const std::uint64_t> degrees,
+                                std::span<const std::uint32_t> groupOf,
+                                std::span<const std::uint64_t> pairEdgeCounts,
+                                std::uint32_t groupCount, util::Rng& rng) {
+  CHISIM_REQUIRE(degrees.size() == groupOf.size(),
+                 "degrees and grouping must have equal size");
+  CHISIM_REQUIRE(pairEdgeCounts.size() ==
+                     static_cast<std::size_t>(groupCount) * groupCount,
+                 "pair table must be groupCount^2");
+
+  // Per-group stub pools.
+  std::vector<std::vector<Vertex>> stubs(groupCount);
+  for (Vertex v = 0; v < degrees.size(); ++v) {
+    CHISIM_REQUIRE(groupOf[v] < groupCount, "group id out of range");
+    for (std::uint64_t d = 0; d < degrees[v]; ++d) {
+      stubs[groupOf[v]].push_back(v);
+    }
+  }
+  for (auto& pool : stubs) {
+    rng.shuffle(pool);
+  }
+
+  std::unordered_set<std::uint64_t> present;
+  std::vector<Edge> edges;
+  const auto popStub = [&stubs](std::uint32_t group) -> std::optional<Vertex> {
+    auto& pool = stubs[group];
+    if (pool.empty()) {
+      return std::nullopt;
+    }
+    const Vertex v = pool.back();
+    pool.pop_back();
+    return v;
+  };
+
+  const auto placePair = [&](std::uint32_t ga, std::uint32_t gb) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto u = popStub(ga);
+      if (!u.has_value()) {
+        return;
+      }
+      const auto v = popStub(gb);
+      if (!v.has_value()) {
+        stubs[ga].push_back(*u);
+        return;
+      }
+      if (*u != *v && !present.contains(sparse::packPair(*u, *v))) {
+        present.insert(sparse::packPair(*u, *v));
+        edges.push_back(Edge{*u, *v, 1});
+        return;
+      }
+      // Conflict: return the stubs at random positions and retry.
+      auto& poolA = stubs[ga];
+      auto& poolB = stubs[gb];
+      poolA.push_back(*u);
+      poolB.push_back(*v);
+      if (poolA.size() > 1) {
+        std::swap(poolA.back(), poolA[rng.uniformBelow(poolA.size())]);
+      }
+      if (poolB.size() > 1) {
+        std::swap(poolB.back(), poolB[rng.uniformBelow(poolB.size())]);
+      }
+    }
+  };
+
+  for (std::uint32_t ga = 0; ga < groupCount; ++ga) {
+    for (std::uint32_t gb = ga; gb < groupCount; ++gb) {
+      const std::uint64_t target =
+          pairEdgeCounts[static_cast<std::size_t>(ga) * groupCount + gb];
+      for (std::uint64_t e = 0; e < target; ++e) {
+        placePair(ga, gb);
+      }
+    }
+  }
+  return Graph::fromEdges(edges, static_cast<Vertex>(degrees.size()));
+}
+
+}  // namespace chisimnet::graph

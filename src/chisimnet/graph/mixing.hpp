@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chisimnet/graph/graph.hpp"
+#include "chisimnet/util/rng.hpp"
+
+/// Group mixing analysis and group-structured generation (paper §VI: "an
+/// accurate characterization of the real population social network will
+/// require that synthetically generated networks also match the vertex
+/// degree distributions for population sub-groups such as age").
+///
+/// MixingMatrix is the discrete contact matrix between vertex groups (e.g.
+/// age bands) — the collocation analogue of the POLYMOD-style contact
+/// matrices epidemiology builds from surveys. groupedConfigurationModel is
+/// the §VI "tailored" generator taken one step further than the plain
+/// configuration model: it preserves both per-vertex degrees and the
+/// group-pair edge counts.
+
+namespace chisimnet::graph {
+
+class MixingMatrix {
+ public:
+  /// Computes group-pair edge and weight totals for `graph`, where
+  /// groupOf[v] < groupCount assigns every vertex to a group.
+  MixingMatrix(const Graph& graph, std::span<const std::uint32_t> groupOf,
+               std::uint32_t groupCount);
+
+  std::uint32_t groupCount() const noexcept { return groupCount_; }
+
+  /// Number of edges between groups a and b (symmetric; diagonal counts
+  /// intra-group edges once).
+  std::uint64_t edgeCount(std::uint32_t a, std::uint32_t b) const;
+
+  /// Total collocation weight between groups a and b.
+  std::uint64_t weight(std::uint32_t a, std::uint32_t b) const;
+
+  /// Fraction of all edges that join groups a and b.
+  double edgeFraction(std::uint32_t a, std::uint32_t b) const;
+
+  /// Newman's discrete assortativity coefficient over the grouping:
+  /// r = (Σ_i e_ii − Σ_i a_i²) / (1 − Σ_i a_i²); 1 = perfectly assortative
+  /// (all edges intra-group), 0 = random mixing.
+  double assortativity() const;
+
+  /// Flat row-major group-pair edge-count table (for the generator).
+  std::vector<std::uint64_t> edgeCountTable() const { return edges_; }
+
+ private:
+  std::size_t index(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::size_t>(a) * groupCount_ + b;
+  }
+
+  std::uint32_t groupCount_ = 0;
+  std::uint64_t totalEdges_ = 0;
+  std::vector<std::uint64_t> edges_;    ///< symmetric, row-major
+  std::vector<std::uint64_t> weights_;  ///< symmetric, row-major
+};
+
+/// Random simple graph approximately matching both the per-vertex degree
+/// sequence and the group-pair edge counts (row-major groupCount² table,
+/// symmetric, diagonal = intra-group edge count). Stub matching with
+/// rejection: conflicting pairs are retried a bounded number of times then
+/// dropped, so realized counts can fall slightly short.
+Graph groupedConfigurationModel(std::span<const std::uint64_t> degrees,
+                                std::span<const std::uint32_t> groupOf,
+                                std::span<const std::uint64_t> pairEdgeCounts,
+                                std::uint32_t groupCount, util::Rng& rng);
+
+}  // namespace chisimnet::graph

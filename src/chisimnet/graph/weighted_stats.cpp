@@ -1,0 +1,141 @@
+#include "chisimnet/graph/weighted_stats.hpp"
+
+#include <cmath>
+
+namespace chisimnet::graph {
+
+namespace {
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double meanX = 0.0;
+  double meanY = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    meanX += x[i];
+    meanY += y[i];
+  }
+  meanX /= static_cast<double>(n);
+  meanY /= static_cast<double>(n);
+  double covariance = 0.0;
+  double varX = 0.0;
+  double varY = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - meanX;
+    const double dy = y[i] - meanY;
+    covariance += dx * dy;
+    varX += dx * dx;
+    varY += dy * dy;
+  }
+  if (varX <= 0.0 || varY <= 0.0) {
+    return 0.0;
+  }
+  return covariance / std::sqrt(varX * varY);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> strengthSequence(const Graph& graph) {
+  std::vector<std::uint64_t> strengths(graph.vertexCount(), 0);
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    for (Weight weight : graph.edgeWeights(v)) {
+      strengths[v] += weight;
+    }
+  }
+  return strengths;
+}
+
+std::vector<std::uint64_t> edgeWeightSequence(const Graph& graph) {
+  std::vector<std::uint64_t> weights;
+  weights.reserve(graph.edgeCount());
+  for (Vertex u = 0; u < graph.vertexCount(); ++u) {
+    const auto row = graph.neighbors(u);
+    const auto rowWeights = graph.edgeWeights(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] > u) {
+        weights.push_back(rowWeights[i]);
+      }
+    }
+  }
+  return weights;
+}
+
+double degreeStrengthCorrelation(const Graph& graph) {
+  const auto strengths = strengthSequence(graph);
+  std::vector<double> degrees(graph.vertexCount());
+  std::vector<double> strengthsD(graph.vertexCount());
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    degrees[v] = static_cast<double>(graph.degree(v));
+    strengthsD[v] = static_cast<double>(strengths[v]);
+  }
+  return pearson(degrees, strengthsD);
+}
+
+double degreeAssortativity(const Graph& graph) {
+  std::vector<double> left;
+  std::vector<double> right;
+  left.reserve(graph.edgeCount() * 2);
+  right.reserve(graph.edgeCount() * 2);
+  for (Vertex u = 0; u < graph.vertexCount(); ++u) {
+    for (Vertex v : graph.neighbors(u)) {
+      if (v > u) {
+        // Symmetrize: include the edge in both orientations so the
+        // correlation is orientation-free.
+        left.push_back(static_cast<double>(graph.degree(u)));
+        right.push_back(static_cast<double>(graph.degree(v)));
+        left.push_back(static_cast<double>(graph.degree(v)));
+        right.push_back(static_cast<double>(graph.degree(u)));
+      }
+    }
+  }
+  return pearson(left, right);
+}
+
+std::vector<double> weightedClusteringCoefficients(const Graph& graph) {
+  std::vector<double> coefficients(graph.vertexCount(), 0.0);
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    const auto row = graph.neighbors(v);
+    if (row.size() < 2) {
+      continue;
+    }
+    const auto rowWeights = graph.edgeWeights(v);
+    double strength = 0.0;
+    for (Weight weight : rowWeights) {
+      strength += static_cast<double>(weight);
+    }
+    // Barrat's sum runs over ordered neighbor pairs; iterating unordered
+    // pairs, each triangle contributes (w_a + w_b)/2 twice = (w_a + w_b).
+    double weightedTriangles = 0.0;
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      for (std::size_t b = a + 1; b < row.size(); ++b) {
+        if (graph.hasEdge(row[a], row[b])) {
+          weightedTriangles += static_cast<double>(rowWeights[a]) +
+                               static_cast<double>(rowWeights[b]);
+        }
+      }
+    }
+    coefficients[v] = weightedTriangles /
+                      (strength * static_cast<double>(row.size() - 1));
+  }
+  return coefficients;
+}
+
+std::vector<double> meanNeighborDegree(const Graph& graph) {
+  std::vector<double> result(graph.vertexCount(), 0.0);
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    const auto row = graph.neighbors(v);
+    if (row.empty()) {
+      continue;
+    }
+    double sum = 0.0;
+    for (Vertex neighbor : row) {
+      sum += static_cast<double>(graph.degree(neighbor));
+    }
+    result[v] = sum / static_cast<double>(row.size());
+  }
+  return result;
+}
+
+}  // namespace chisimnet::graph

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chisimnet/graph/graph.hpp"
+
+/// Weighted network statistics (paper §VI future work: "identify additional
+/// network statistics and their relative contributions to the features of
+/// the network"). The collocation network is inherently weighted — edge
+/// weights are collocated person-hours — so alongside the paper's
+/// unweighted degree analyses these capture the time dimension: vertex
+/// strength (total collocation hours), the edge-weight distribution, and
+/// degree assortativity.
+
+namespace chisimnet::graph {
+
+/// strength[v] = sum of incident edge weights (total collocation hours).
+std::vector<std::uint64_t> strengthSequence(const Graph& graph);
+
+/// All edge weights, one per undirected edge.
+std::vector<std::uint64_t> edgeWeightSequence(const Graph& graph);
+
+/// Pearson correlation between degree and strength across vertices
+/// (1.0 when every contact lasts equally long; lower when a few long-
+/// duration ties dominate). Returns 0 for degenerate inputs.
+double degreeStrengthCorrelation(const Graph& graph);
+
+/// Degree assortativity: the Pearson correlation of the degrees at the two
+/// ends of each edge (Newman 2002). Social networks are typically
+/// assortative (> 0). Returns 0 for degenerate inputs.
+double degreeAssortativity(const Graph& graph);
+
+/// Mean neighbor degree per vertex (0 for isolated vertices) — the
+/// k_nn(v) ingredient of assortative-mixing analyses.
+std::vector<double> meanNeighborDegree(const Graph& graph);
+
+/// Barrat et al. weighted local clustering coefficient:
+/// c_w(v) = 1/(s_v (k_v - 1)) Σ_{(u,t) triangles at v} (w_vu + w_vt)/2,
+/// which weighs each closed triangle by the collocation time of the two
+/// edges incident to v. Equals the unweighted coefficient when all weights
+/// are equal; 0 by convention for degree < 2.
+std::vector<double> weightedClusteringCoefficients(const Graph& graph);
+
+}  // namespace chisimnet::graph

@@ -1,0 +1,37 @@
+#include "chisimnet/net/demography.hpp"
+
+namespace chisimnet::net {
+
+table::EventTable eventsForAgeGroup(const table::EventTable& events,
+                                    const pop::SyntheticPopulation& population,
+                                    pop::AgeGroup group) {
+  return eventsForPersons(events, population,
+                          [group](const pop::Person& person) {
+                            return person.group == group;
+                          });
+}
+
+table::EventTable eventsForPersons(
+    const table::EventTable& events, const pop::SyntheticPopulation& population,
+    const std::function<bool(const pop::Person&)>& predicate) {
+  return events.filter([&](const table::Event& event) {
+    return predicate(population.person(event.person));
+  });
+}
+
+table::EventTable eventsForPlaceType(const table::EventTable& events,
+                                     const pop::SyntheticPopulation& population,
+                                     pop::PlaceType type) {
+  return events.filter([&](const table::Event& event) {
+    return population.place(event.place).type == type;
+  });
+}
+
+table::EventTable eventsForActivity(const table::EventTable& events,
+                                    table::ActivityId activity) {
+  return events.filter([activity](const table::Event& event) {
+    return event.activity == activity;
+  });
+}
+
+}  // namespace chisimnet::net

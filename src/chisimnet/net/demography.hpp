@@ -1,0 +1,37 @@
+#pragma once
+
+#include "chisimnet/pop/population.hpp"
+#include "chisimnet/table/event_table.hpp"
+
+/// Demographic sub-setting of log data (paper §III: "unique ID numbers
+/// recorded in the log data can be cross-referenced to the model input data
+/// ... for filtering simulation results via queries on the input data" and
+/// §V.B: within-group networks per age band).
+
+namespace chisimnet::net {
+
+/// Events whose person belongs to the given age group. A collocation
+/// network synthesized from this subset is the paper's "within-group"
+/// network: only edges between members of the group survive, exactly as if
+/// cross-group edges had been removed from the full network.
+table::EventTable eventsForAgeGroup(const table::EventTable& events,
+                                    const pop::SyntheticPopulation& population,
+                                    pop::AgeGroup group);
+
+/// Events matching an arbitrary person predicate.
+table::EventTable eventsForPersons(
+    const table::EventTable& events, const pop::SyntheticPopulation& population,
+    const std::function<bool(const pop::Person&)>& predicate);
+
+/// Events at places of the given type. A network synthesized from this
+/// subset is the paper §VI "location type" sub-network (e.g. the work-only
+/// or school-only collocation network).
+table::EventTable eventsForPlaceType(const table::EventTable& events,
+                                     const pop::SyntheticPopulation& population,
+                                     pop::PlaceType type);
+
+/// Events with the given activity id (e.g. activity::kWork).
+table::EventTable eventsForActivity(const table::EventTable& events,
+                                    table::ActivityId activity);
+
+}  // namespace chisimnet::net

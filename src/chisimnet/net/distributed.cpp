@@ -1,0 +1,200 @@
+#include "chisimnet/net/distributed.hpp"
+
+#include <mutex>
+
+#include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/runtime/comm.hpp"
+#include "chisimnet/runtime/partition.hpp"
+#include "chisimnet/util/error.hpp"
+#include "chisimnet/util/timer.hpp"
+
+namespace chisimnet::net {
+
+namespace {
+
+constexpr int kRoot = 0;
+constexpr int kEventsTag = 100;    ///< stage 2: root -> worker event groups
+constexpr int kMatrixTag = 101;    ///< stage 3: worker -> root matrices
+constexpr int kBatchTag = 102;     ///< stage 4: root -> worker matrix batches
+constexpr int kSumTag = 103;       ///< stage 5: worker -> root adjacency sums
+
+/// Stage-2 payload: [placeCount u32][per place: eventCount u32]
+/// followed by a second message with the concatenated events.
+struct EventScatter {
+  std::vector<std::uint32_t> header;
+  std::vector<table::Event> events;
+};
+
+std::vector<std::byte> packMatrices(
+    const std::vector<sparse::CollocationMatrix>& matrices) {
+  // [count u32][per matrix: byteLength u32 + payload]
+  std::vector<std::byte> packed;
+  const auto put32 = [&packed](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      packed.push_back(static_cast<std::byte>(value >> shift));
+    }
+  };
+  put32(static_cast<std::uint32_t>(matrices.size()));
+  for (const sparse::CollocationMatrix& matrix : matrices) {
+    const std::vector<std::byte> bytes = matrix.toBytes();
+    put32(static_cast<std::uint32_t>(bytes.size()));
+    packed.insert(packed.end(), bytes.begin(), bytes.end());
+  }
+  return packed;
+}
+
+std::vector<sparse::CollocationMatrix> unpackMatrices(
+    std::span<const std::byte> packed) {
+  std::size_t cursor = 0;
+  const auto take32 = [&packed, &cursor]() {
+    CHISIM_CHECK(cursor + 4 <= packed.size(), "truncated matrix pack");
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(packed[cursor]) |
+        (static_cast<std::uint32_t>(packed[cursor + 1]) << 8) |
+        (static_cast<std::uint32_t>(packed[cursor + 2]) << 16) |
+        (static_cast<std::uint32_t>(packed[cursor + 3]) << 24);
+    cursor += 4;
+    return value;
+  };
+  const std::uint32_t count = take32();
+  std::vector<sparse::CollocationMatrix> matrices;
+  matrices.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t length = take32();
+    CHISIM_CHECK(cursor + length <= packed.size(), "truncated matrix pack");
+    matrices.push_back(
+        sparse::CollocationMatrix::fromBytes(packed.subspan(cursor, length)));
+    cursor += length;
+  }
+  return matrices;
+}
+
+}  // namespace
+
+sparse::SymmetricAdjacency synthesizeDistributed(
+    const std::vector<std::filesystem::path>& logFiles,
+    const SynthesisConfig& config, DistributedReport* report) {
+  CHISIM_REQUIRE(!logFiles.empty(), "no log files given");
+  CHISIM_REQUIRE(config.windowStart < config.windowEnd,
+                 "time window must be non-empty");
+  CHISIM_REQUIRE(config.workers >= 1, "need at least one rank");
+
+  util::WallTimer total;
+  DistributedReport localReport;
+  sparse::SymmetricAdjacency result(1024);
+
+  const int ranks = static_cast<int>(config.workers);
+  runtime::Communicator::run(ranks, [&](runtime::RankHandle& rank) {
+    const int self = rank.rank();
+
+    // ---- stage 1-2: root loads serially and scatters place groups -------
+    if (self == kRoot) {
+      table::EventTable events =
+          elog::loadEvents(logFiles, config.windowStart, config.windowEnd);
+      localReport.logEntriesLoaded = events.size();
+      const table::PlaceIndex index = events.buildPlaceIndex();
+
+      // Round-robin place groups across ranks (the colloc stage is roughly
+      // uniform per row; the nnz balancing happens in stage 4).
+      std::vector<EventScatter> scatters(static_cast<std::size_t>(ranks));
+      for (std::size_t group = 0; group < index.placeIds.size(); ++group) {
+        EventScatter& scatter = scatters[group % ranks];
+        const auto rows = index.groupRows(group);
+        scatter.header.push_back(static_cast<std::uint32_t>(rows.size()));
+        for (table::RowIndex row : rows) {
+          scatter.events.push_back(events.row(row));
+        }
+      }
+      for (int dest = 0; dest < ranks; ++dest) {
+        const EventScatter& scatter = scatters[static_cast<std::size_t>(dest)];
+        rank.sendVector<std::uint32_t>(dest, kEventsTag, scatter.header);
+        rank.sendVector<table::Event>(dest, kEventsTag, scatter.events);
+        localReport.bytesScattered += scatter.events.size() * sizeof(table::Event);
+      }
+    }
+
+    // ---- stage 3: every rank builds its collocation matrices -------------
+    const auto header = rank.recv(kRoot, kEventsTag).as<std::uint32_t>();
+    const auto myEvents = rank.recv(kRoot, kEventsTag).as<table::Event>();
+    std::vector<sparse::CollocationMatrix> built;
+    std::size_t eventCursor = 0;
+    for (std::uint32_t groupSize : header) {
+      const std::span<const table::Event> groupEvents(
+          myEvents.data() + eventCursor, groupSize);
+      eventCursor += groupSize;
+      CHISIM_CHECK(!groupEvents.empty(), "empty place group scattered");
+      sparse::CollocationMatrix matrix(groupEvents.front().place, groupEvents,
+                                       config.windowStart, config.windowEnd);
+      if (matrix.nnz() > 0) {
+        built.push_back(std::move(matrix));
+      }
+    }
+    // Return the matrix list to the root (paper: "saved in a list and
+    // returned to the root process").
+    const std::vector<std::byte> packed = packMatrices(built);
+    rank.send(kRoot, kMatrixTag, packed);
+
+    // ---- stage 4: root re-partitions by nnz and re-scatters ---------------
+    if (self == kRoot) {
+      std::vector<sparse::CollocationMatrix> all;
+      for (int source = 0; source < ranks; ++source) {
+        const runtime::Message message = rank.recv(source, kMatrixTag);
+        localReport.bytesReturned += message.payload.size();
+        for (sparse::CollocationMatrix& matrix :
+             unpackMatrices(message.payload)) {
+          all.push_back(std::move(matrix));
+        }
+      }
+      localReport.placesProcessed = all.size();
+      std::vector<std::uint64_t> weights;
+      weights.reserve(all.size());
+      for (const sparse::CollocationMatrix& matrix : all) {
+        weights.push_back(matrix.nnz());
+        localReport.collocationNnz += matrix.nnz();
+      }
+      const runtime::Partition partition =
+          config.balancedPartition
+              ? runtime::partitionGreedyLpt(weights, config.workers)
+              : runtime::partitionContiguous(weights, config.workers);
+      localReport.partitionImbalance = partition.imbalance();
+      for (int dest = 0; dest < ranks; ++dest) {
+        std::vector<sparse::CollocationMatrix> batch;
+        for (std::size_t item :
+             partition.assignment[static_cast<std::size_t>(dest)]) {
+          batch.push_back(std::move(all[item]));
+        }
+        rank.send(dest, kBatchTag, packMatrices(batch));
+      }
+    }
+
+    // ---- stage 5: every rank computes and sums its adjacencies -----------
+    const runtime::Message batchMessage = rank.recv(kRoot, kBatchTag);
+    const auto batch = unpackMatrices(batchMessage.payload);
+    sparse::SymmetricAdjacency sum(1024);
+    for (const sparse::CollocationMatrix& matrix : batch) {
+      sum.addCollocation(matrix, config.method);
+    }
+    const std::vector<sparse::AdjacencyTriplet> triplets = sum.toTriplets();
+    rank.sendVector<sparse::AdjacencyTriplet>(kRoot, kSumTag, triplets);
+
+    // ---- stage 6: root reduces worker sums -------------------------------
+    if (self == kRoot) {
+      for (int source = 0; source < ranks; ++source) {
+        const auto sumTriplets =
+            rank.recv(source, kSumTag).as<sparse::AdjacencyTriplet>();
+        for (const sparse::AdjacencyTriplet& triplet : sumTriplets) {
+          result.add(triplet.i, triplet.j, triplet.weight);
+        }
+      }
+    }
+  });
+
+  localReport.edges = result.edgeCount();
+  localReport.totalSeconds = total.seconds();
+  if (report != nullptr) {
+    *report = localReport;
+  }
+  return result;
+}
+
+}  // namespace chisimnet::net

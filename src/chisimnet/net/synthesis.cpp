@@ -1,0 +1,172 @@
+#include "chisimnet/net/synthesis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/runtime/cluster.hpp"
+#include "chisimnet/util/error.hpp"
+#include "chisimnet/util/timer.hpp"
+
+namespace chisimnet::net {
+
+NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
+    : config_(config) {
+  CHISIM_REQUIRE(config.windowStart < config.windowEnd,
+                 "time window must be non-empty");
+  CHISIM_REQUIRE(config.workers >= 1, "need at least one worker");
+}
+
+void NetworkSynthesizer::processBatch(const table::EventTable& events,
+                                      sparse::SymmetricAdjacency& result) {
+  util::WallTimer timer;
+
+  // Stage 2: subset the slice and index places. The input table has already
+  // been window-filtered on load; the place index is the per-place grouping
+  // workers consume.
+  const table::PlaceIndex placeIndex = events.buildPlaceIndex();
+  report_.subsetSeconds += timer.seconds();
+  timer.reset();
+
+  runtime::Cluster cluster(config_.workers);
+
+  // Stage 3: per-place collocation matrices, workers pulling places
+  // dynamically (matches SNOW's dispatch of place-id subsets).
+  std::vector<sparse::CollocationMatrix> matrices(placeIndex.placeIds.size());
+  cluster.applyDynamic(
+      placeIndex.placeIds.size(), [&](std::size_t group, unsigned) {
+        matrices[group] = sparse::buildCollocationMatrix(
+            events, placeIndex, group, config_.windowStart, config_.windowEnd);
+      });
+  // Drop empty matrices (places with no presence inside the window).
+  std::erase_if(matrices,
+                [](const sparse::CollocationMatrix& m) { return m.nnz() == 0; });
+  report_.collocationSeconds += timer.seconds();
+  timer.reset();
+
+  report_.placesProcessed += matrices.size();
+  std::uint64_t batchNnz = 0;
+  for (const sparse::CollocationMatrix& matrix : matrices) {
+    batchNnz += matrix.nnz();
+  }
+  report_.collocationNnz += batchNnz;
+
+  // Stage 4: partition the matrix list across workers. The balanced scheme
+  // weighs each matrix by its adjacency cost; nnz alone underestimates hub
+  // places, so the weight is nnz times mean simultaneous occupancy
+  // (nnz² / sliceHours would overshoot sparse-attendance places).
+  std::vector<std::uint64_t> weights;
+  weights.reserve(matrices.size());
+  for (const sparse::CollocationMatrix& matrix : matrices) {
+    weights.push_back(matrix.nnz());
+  }
+  const runtime::Partition partition =
+      config_.balancedPartition
+          ? runtime::partitionGreedyLpt(weights, config_.workers)
+          : runtime::partitionContiguous(weights, config_.workers);
+  report_.partitionSeconds += timer.seconds();
+  report_.partitionImbalance = partition.imbalance();
+  report_.partitionLoads = partition.loads;
+  timer.reset();
+
+  // Stage 5: per-worker adjacency accumulation (no shared state).
+  std::vector<sparse::SymmetricAdjacency> workerSums;
+  workerSums.reserve(config_.workers);
+  for (unsigned w = 0; w < config_.workers; ++w) {
+    workerSums.emplace_back(1024);
+  }
+  cluster.applyPartitioned(partition, [&](std::size_t item, unsigned worker) {
+    workerSums[worker].addCollocation(matrices[item], config_.method);
+  });
+  report_.adjacencySeconds += timer.seconds();
+  report_.adjacencyBusyImbalance = cluster.busyImbalance();
+  timer.reset();
+
+  // Stage 6: reduce worker sums into the running result.
+  for (const sparse::SymmetricAdjacency& workerSum : workerSums) {
+    result.merge(workerSum);
+  }
+  report_.reduceSeconds += timer.seconds();
+}
+
+sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
+    const std::vector<std::filesystem::path>& logFiles) {
+  CHISIM_REQUIRE(!logFiles.empty(), "no log files given");
+  report_ = SynthesisReport{};
+  util::WallTimer total;
+
+  const std::size_t batchSize =
+      config_.filesPerBatch == 0 ? logFiles.size() : config_.filesPerBatch;
+
+  sparse::SymmetricAdjacency result(1024);
+  for (std::size_t begin = 0; begin < logFiles.size(); begin += batchSize) {
+    const std::size_t end = std::min(logFiles.size(), begin + batchSize);
+    const std::vector<std::filesystem::path> batch(logFiles.begin() + begin,
+                                                   logFiles.begin() + end);
+    util::WallTimer loadTimer;
+    table::EventTable events =
+        elog::loadEvents(batch, config_.windowStart, config_.windowEnd);
+    report_.loadSeconds += loadTimer.seconds();
+    report_.logEntriesLoaded += events.size();
+
+    processBatch(events, result);
+    ++report_.batches;
+  }
+  report_.edges = result.edgeCount();
+  report_.totalSeconds = total.seconds();
+  return result;
+}
+
+sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
+    const table::EventTable& events) {
+  report_ = SynthesisReport{};
+  util::WallTimer total;
+  report_.logEntriesLoaded = events.size();
+
+  sparse::SymmetricAdjacency result(1024);
+  processBatch(events, result);
+  report_.batches = 1;
+  report_.edges = result.edgeCount();
+  report_.totalSeconds = total.seconds();
+  return result;
+}
+
+graph::Graph NetworkSynthesizer::synthesizeGraph(
+    const std::vector<std::filesystem::path>& logFiles) {
+  const sparse::SymmetricAdjacency adjacency = synthesizeAdjacency(logFiles);
+  return graph::Graph::fromTriplets(adjacency.toTriplets());
+}
+
+graph::Graph NetworkSynthesizer::synthesizeGraph(
+    const table::EventTable& events) {
+  const sparse::SymmetricAdjacency adjacency = synthesizeAdjacency(events);
+  return graph::Graph::fromTriplets(adjacency.toTriplets());
+}
+
+sparse::SymmetricAdjacency bruteForceAdjacency(const table::EventTable& events,
+                                               table::Hour windowStart,
+                                               table::Hour windowEnd) {
+  // (place, hour) -> set of persons present; dedup handled by the set.
+  std::map<std::pair<table::PlaceId, table::Hour>, std::set<table::PersonId>>
+      presence;
+  for (std::uint64_t row = 0; row < events.size(); ++row) {
+    const table::Event event = events.row(row);
+    const table::Hour from = std::max(event.start, windowStart);
+    const table::Hour to = std::min(event.end, windowEnd);
+    for (table::Hour hour = from; hour < to; ++hour) {
+      presence[{event.place, hour}].insert(event.person);
+    }
+  }
+  sparse::SymmetricAdjacency adjacency;
+  for (const auto& [key, persons] : presence) {
+    for (auto a = persons.begin(); a != persons.end(); ++a) {
+      for (auto b = std::next(a); b != persons.end(); ++b) {
+        adjacency.add(*a, *b, 1);
+      }
+    }
+  }
+  return adjacency;
+}
+
+}  // namespace chisimnet::net

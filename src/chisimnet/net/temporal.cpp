@@ -1,0 +1,84 @@
+#include "chisimnet/net/temporal.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::net {
+
+namespace {
+
+std::vector<TemporalSlice> slicesOver(
+    const SynthesisConfig& config, table::Hour sliceHours,
+    const std::function<sparse::SymmetricAdjacency(const SynthesisConfig&)>&
+        synthesize) {
+  CHISIM_REQUIRE(sliceHours > 0, "slice width must be positive");
+  CHISIM_REQUIRE(config.windowStart < config.windowEnd,
+                 "time window must be non-empty");
+  std::vector<TemporalSlice> slices;
+  for (table::Hour start = config.windowStart; start < config.windowEnd;
+       start += sliceHours) {
+    TemporalSlice slice;
+    slice.start = start;
+    slice.end = std::min<table::Hour>(config.windowEnd, start + sliceHours);
+    SynthesisConfig sliceConfig = config;
+    sliceConfig.windowStart = slice.start;
+    sliceConfig.windowEnd = slice.end;
+    slice.adjacency = synthesize(sliceConfig);
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+}  // namespace
+
+std::vector<TemporalSlice> synthesizeSlices(
+    const std::vector<std::filesystem::path>& logFiles,
+    const SynthesisConfig& config, table::Hour sliceHours) {
+  return slicesOver(config, sliceHours,
+                    [&logFiles](const SynthesisConfig& sliceConfig) {
+                      NetworkSynthesizer synthesizer(sliceConfig);
+                      return synthesizer.synthesizeAdjacency(logFiles);
+                    });
+}
+
+std::vector<TemporalSlice> synthesizeSlices(const table::EventTable& events,
+                                            const SynthesisConfig& config,
+                                            table::Hour sliceHours) {
+  return slicesOver(config, sliceHours,
+                    [&events](const SynthesisConfig& sliceConfig) {
+                      NetworkSynthesizer synthesizer(sliceConfig);
+                      return synthesizer.synthesizeAdjacency(events);
+                    });
+}
+
+double edgeJaccard(const sparse::SymmetricAdjacency& a,
+                   const sparse::SymmetricAdjacency& b) {
+  if (a.edgeCount() == 0 && b.edgeCount() == 0) {
+    return 1.0;
+  }
+  std::uint64_t shared = 0;
+  for (const sparse::AdjacencyTriplet& triplet : a.toTriplets()) {
+    shared += b.weight(triplet.i, triplet.j) > 0 ? 1 : 0;
+  }
+  const std::uint64_t unionSize = a.edgeCount() + b.edgeCount() - shared;
+  return unionSize == 0 ? 1.0
+                        : static_cast<double>(shared) /
+                              static_cast<double>(unionSize);
+}
+
+double edgePersistence(const sparse::SymmetricAdjacency& a,
+                       const sparse::SymmetricAdjacency& b) {
+  if (a.edgeCount() == 0) {
+    return 1.0;
+  }
+  std::uint64_t shared = 0;
+  for (const sparse::AdjacencyTriplet& triplet : a.toTriplets()) {
+    shared += b.weight(triplet.i, triplet.j) > 0 ? 1 : 0;
+  }
+  return static_cast<double>(shared) / static_cast<double>(a.edgeCount());
+}
+
+}  // namespace chisimnet::net

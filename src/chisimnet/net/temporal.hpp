@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "chisimnet/net/synthesis.hpp"
+
+/// Time-sliced collocation networks (paper §II: the event log "contains the
+/// complete information required to create a person collocation network
+/// with arbitrary time granularity, e.g., hourly, daily, weekly or monthly
+/// aggregates").
+///
+/// synthesizeSlices cuts the window into equal slices and synthesizes one
+/// adjacency per slice; slice adjacencies sum to the whole-window network
+/// (the additivity the paper's batch workflow relies on). The comparison
+/// helpers quantify how the network changes over time — e.g. weekday vs
+/// weekend structure.
+
+namespace chisimnet::net {
+
+struct TemporalSlice {
+  table::Hour start = 0;
+  table::Hour end = 0;
+  sparse::SymmetricAdjacency adjacency;
+};
+
+/// Synthesizes one network per `sliceHours`-wide slice of
+/// [config.windowStart, config.windowEnd). The final slice may be shorter.
+std::vector<TemporalSlice> synthesizeSlices(
+    const std::vector<std::filesystem::path>& logFiles,
+    const SynthesisConfig& config, table::Hour sliceHours);
+
+/// Same, from an in-memory table.
+std::vector<TemporalSlice> synthesizeSlices(const table::EventTable& events,
+                                            const SynthesisConfig& config,
+                                            table::Hour sliceHours);
+
+/// Jaccard similarity of the edge sets (ignoring weights) of two
+/// adjacencies: |E_a ∩ E_b| / |E_a ∪ E_b|; 1 when identical, 0 when
+/// disjoint (0/0 defined as 1).
+double edgeJaccard(const sparse::SymmetricAdjacency& a,
+                   const sparse::SymmetricAdjacency& b);
+
+/// Fraction of a's edges that also appear in b (edge persistence).
+double edgePersistence(const sparse::SymmetricAdjacency& a,
+                       const sparse::SymmetricAdjacency& b);
+
+}  // namespace chisimnet::net

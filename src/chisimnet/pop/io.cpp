@@ -1,0 +1,244 @@
+#include "chisimnet/pop/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::pop {
+
+namespace {
+
+std::ofstream openOut(const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  CHISIM_CHECK(out.good(), "cannot open for writing: " + path.string());
+  return out;
+}
+
+std::ifstream openIn(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  CHISIM_CHECK(in.good(), "cannot open for reading: " + path.string());
+  return in;
+}
+
+std::vector<std::string> splitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', begin);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(begin));
+      return fields;
+    }
+    fields.push_back(line.substr(begin, tab - begin));
+    begin = tab + 1;
+  }
+}
+
+std::uint64_t parseU64(const std::string& text, const char* context) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  CHISIM_CHECK(ec == std::errc{} && ptr == text.data() + text.size(),
+               std::string("bad integer field in ") + context + ": " + text);
+  return value;
+}
+
+double parseDouble(const std::string& text, const char* context) {
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("bad real field in ") + context +
+                             ": " + text);
+  }
+}
+
+/// kNoPlace round-trips as the literal "-".
+std::string placeField(PlaceId place) {
+  return place == kNoPlace ? "-" : std::to_string(place);
+}
+
+PlaceId parsePlaceField(const std::string& text) {
+  if (text == "-") {
+    return kNoPlace;
+  }
+  return static_cast<PlaceId>(parseU64(text, "place reference"));
+}
+
+}  // namespace
+
+void savePopulation(const SyntheticPopulation& population,
+                    const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+
+  {
+    std::ofstream out = openOut(directory / "persons.tsv");
+    out << "id\tage\tneighborhood\thome\tclassroom\tschool_common\t"
+           "workplace\tuniversity\tinstitution\n";
+    for (const Person& person : population.persons()) {
+      out << person.id << '\t' << static_cast<unsigned>(person.age) << '\t'
+          << person.neighborhood << '\t' << placeField(person.home) << '\t'
+          << placeField(person.classroom) << '\t'
+          << placeField(person.schoolCommon) << '\t'
+          << placeField(person.workplace) << '\t'
+          << placeField(person.university) << '\t'
+          << placeField(person.institution) << '\n';
+    }
+    CHISIM_CHECK(out.good(), "persons.tsv write failed");
+  }
+  {
+    std::ofstream out = openOut(directory / "places.tsv");
+    out << "id\ttype\tneighborhood\tcapacity\n";
+    for (const Place& place : population.places()) {
+      out << place.id << '\t' << static_cast<unsigned>(place.type) << '\t'
+          << place.neighborhood << '\t' << place.capacity << '\n';
+    }
+    CHISIM_CHECK(out.good(), "places.tsv write failed");
+  }
+  {
+    // Static activity vocabulary: the cross-reference table for looking up
+    // string descriptions of logged activity ids (paper §III).
+    std::ofstream out = openOut(directory / "activities.tsv");
+    out << "id\tdescription\n";
+    for (table::ActivityId id = 0; id < activity::kCount; ++id) {
+      out << id << '\t' << activity::name(id) << '\n';
+    }
+    CHISIM_CHECK(out.good(), "activities.tsv write failed");
+  }
+  {
+    // Generator parameters needed to re-derive venue weights on load.
+    const PopulationConfig& config = population.config();
+    std::ofstream out = openOut(directory / "config.tsv");
+    out << "personCount\t" << config.personCount << '\n'
+        << "seed\t" << config.seed << '\n'
+        << "personsPerNeighborhood\t" << config.personsPerNeighborhood << '\n'
+        << "schoolSize\t" << config.schoolSize << '\n'
+        << "schoolSizeMin\t" << config.schoolSizeMin << '\n'
+        << "classroomSize\t" << config.classroomSize << '\n'
+        << "classroomSizeMin\t" << config.classroomSizeMin << '\n'
+        << "employmentRate\t" << config.employmentRate << '\n'
+        << "universityRate\t" << config.universityRate << '\n'
+        << "venueZipfExponent\t" << config.venueZipfExponent << '\n'
+        << "retirementHomeRate\t" << config.retirementHomeRate << '\n'
+        << "prisonRate\t" << config.prisonRate << '\n';
+    CHISIM_CHECK(out.good(), "config.tsv write failed");
+  }
+}
+
+SyntheticPopulation loadPopulation(const std::filesystem::path& directory) {
+  PopulationConfig config;
+  {
+    std::ifstream in = openIn(directory / "config.tsv");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      const auto fields = splitTabs(line);
+      CHISIM_CHECK(fields.size() == 2, "config.tsv: malformed line: " + line);
+      const std::string& key = fields[0];
+      const std::string& value = fields[1];
+      if (key == "personCount") {
+        config.personCount = static_cast<std::uint32_t>(parseU64(value, "config"));
+      } else if (key == "seed") {
+        config.seed = parseU64(value, "config");
+      } else if (key == "personsPerNeighborhood") {
+        config.personsPerNeighborhood =
+            static_cast<std::uint32_t>(parseU64(value, "config"));
+      } else if (key == "schoolSize") {
+        config.schoolSize = static_cast<std::uint32_t>(parseU64(value, "config"));
+      } else if (key == "schoolSizeMin") {
+        config.schoolSizeMin =
+            static_cast<std::uint32_t>(parseU64(value, "config"));
+      } else if (key == "classroomSize") {
+        config.classroomSize =
+            static_cast<std::uint32_t>(parseU64(value, "config"));
+      } else if (key == "classroomSizeMin") {
+        config.classroomSizeMin =
+            static_cast<std::uint32_t>(parseU64(value, "config"));
+      } else if (key == "employmentRate") {
+        config.employmentRate = parseDouble(value, "config");
+      } else if (key == "universityRate") {
+        config.universityRate = parseDouble(value, "config");
+      } else if (key == "venueZipfExponent") {
+        config.venueZipfExponent = parseDouble(value, "config");
+      } else if (key == "retirementHomeRate") {
+        config.retirementHomeRate = parseDouble(value, "config");
+      } else if (key == "prisonRate") {
+        config.prisonRate = parseDouble(value, "config");
+      }
+      // Unknown keys are tolerated for forward compatibility.
+    }
+  }
+
+  std::vector<Place> places;
+  {
+    std::ifstream in = openIn(directory / "places.tsv");
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      const auto fields = splitTabs(line);
+      CHISIM_CHECK(fields.size() == 4, "places.tsv: malformed line: " + line);
+      Place place;
+      place.id = static_cast<PlaceId>(parseU64(fields[0], "places.tsv"));
+      const auto type = parseU64(fields[1], "places.tsv");
+      CHISIM_CHECK(type < kPlaceTypeCount, "places.tsv: unknown place type");
+      place.type = static_cast<PlaceType>(type);
+      place.neighborhood =
+          static_cast<std::uint32_t>(parseU64(fields[2], "places.tsv"));
+      place.capacity =
+          static_cast<std::uint32_t>(parseU64(fields[3], "places.tsv"));
+      places.push_back(place);
+    }
+  }
+
+  std::vector<Person> persons;
+  {
+    std::ifstream in = openIn(directory / "persons.tsv");
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      const auto fields = splitTabs(line);
+      CHISIM_CHECK(fields.size() == 9, "persons.tsv: malformed line: " + line);
+      Person person;
+      person.id = static_cast<PersonId>(parseU64(fields[0], "persons.tsv"));
+      person.age = static_cast<std::uint8_t>(parseU64(fields[1], "persons.tsv"));
+      person.group = ageGroupForAge(person.age);
+      person.neighborhood =
+          static_cast<std::uint32_t>(parseU64(fields[2], "persons.tsv"));
+      person.home = parsePlaceField(fields[3]);
+      person.classroom = parsePlaceField(fields[4]);
+      person.schoolCommon = parsePlaceField(fields[5]);
+      person.workplace = parsePlaceField(fields[6]);
+      person.university = parsePlaceField(fields[7]);
+      person.institution = parsePlaceField(fields[8]);
+      persons.push_back(person);
+    }
+  }
+
+  return SyntheticPopulation::fromParts(config, std::move(persons),
+                                        std::move(places));
+}
+
+std::uintmax_t populationFileBytes(const std::filesystem::path& directory) {
+  std::uintmax_t total = 0;
+  for (const char* name :
+       {"persons.tsv", "places.tsv", "activities.tsv", "config.tsv"}) {
+    const auto path = directory / name;
+    if (std::filesystem::exists(path)) {
+      total += std::filesystem::file_size(path);
+    }
+  }
+  return total;
+}
+
+}  // namespace chisimnet::pop

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <filesystem>
+
+#include "chisimnet/pop/population.hpp"
+
+/// Population input-data files (paper §II: "The chiSIM model input data for
+/// the entire Chicago area population consists of multiple files for
+/// activities, persons, and locations totaling almost 800MB"; §III: log ids
+/// "can be cross-referenced to the model input data for persons, activities
+/// and locations for the purpose of looking up the string description").
+///
+/// savePopulation writes the canonical three-file input set as TSV:
+///   persons.tsv     id, age, group, neighborhood, home, classroom,
+///                   school_common, workplace, university, institution
+///   places.tsv      id, type, neighborhood, capacity
+///   activities.tsv  id, description          (static activity vocabulary)
+/// plus venues.tsv (neighborhood venue lists with popularity weights) so a
+/// population round-trips exactly. loadPopulation reads them back; the
+/// result is interchangeable with a generated population, which makes the
+/// generator just one possible data source — real census-derived files
+/// could be dropped in the same format.
+
+namespace chisimnet::pop {
+
+/// Writes persons.tsv, places.tsv, activities.tsv and venues.tsv into
+/// `directory` (created if missing).
+void savePopulation(const SyntheticPopulation& population,
+                    const std::filesystem::path& directory);
+
+/// Loads a population from the files written by savePopulation. Validates
+/// referential integrity (every place id a person references must exist).
+SyntheticPopulation loadPopulation(const std::filesystem::path& directory);
+
+/// Total bytes of the input-data files in `directory`.
+std::uintmax_t populationFileBytes(const std::filesystem::path& directory);
+
+}  // namespace chisimnet::pop

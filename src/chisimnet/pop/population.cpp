@@ -1,0 +1,362 @@
+#include "chisimnet/pop/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::pop {
+
+namespace {
+
+/// Uniform age within the band of an age group.
+std::uint8_t sampleAge(AgeGroup group, util::Rng& rng) {
+  switch (group) {
+    case AgeGroup::kChild0to14:
+      return static_cast<std::uint8_t>(rng.uniformInt(0, 14));
+    case AgeGroup::kTeen15to18:
+      return static_cast<std::uint8_t>(rng.uniformInt(15, 18));
+    case AgeGroup::kAdult19to44:
+      return static_cast<std::uint8_t>(rng.uniformInt(19, 44));
+    case AgeGroup::kAdult45to64:
+      return static_cast<std::uint8_t>(rng.uniformInt(45, 64));
+    case AgeGroup::kSenior65plus:
+      return static_cast<std::uint8_t>(rng.uniformInt(65, 90));
+  }
+  return 0;
+}
+
+}  // namespace
+
+SyntheticPopulation SyntheticPopulation::generate(
+    const PopulationConfig& config) {
+  CHISIM_REQUIRE(config.personCount >= 10, "population too small");
+  CHISIM_REQUIRE(config.classroomSize >= 2, "classrooms need >= 2 students");
+  CHISIM_REQUIRE(config.schoolSize >= config.classroomSize,
+                 "school smaller than one classroom");
+
+  SyntheticPopulation population;
+  population.config_ = config;
+  util::Rng rng(config.seed);
+
+  const auto newPlace = [&population](PlaceType type, std::uint32_t hood,
+                                      std::uint32_t capacity) {
+    const auto id = static_cast<PlaceId>(population.places_.size());
+    population.places_.push_back(Place{id, type, hood, capacity});
+    return id;
+  };
+
+  // ---- demographics ------------------------------------------------------
+  population.persons_.resize(config.personCount);
+  const util::AliasTable ageSampler(
+      std::span<const double>(config.ageFractions));
+  for (std::uint32_t i = 0; i < config.personCount; ++i) {
+    Person& person = population.persons_[i];
+    person.id = i;
+    person.group = static_cast<AgeGroup>(ageSampler.sample(rng));
+    person.age = sampleAge(person.group, rng);
+  }
+
+  // ---- neighborhoods -----------------------------------------------------
+  const std::uint32_t hoods = std::max<std::uint32_t>(
+      1, config.personCount / std::max<std::uint32_t>(1,
+                                  config.personsPerNeighborhood));
+  population.neighborhoodCount_ = hoods;
+
+  // ---- households --------------------------------------------------------
+  // Shuffle person indices and carve consecutive runs into households of
+  // sampled sizes; each household lands in a random neighborhood.
+  std::vector<PersonId> order(config.personCount);
+  for (std::uint32_t i = 0; i < config.personCount; ++i) {
+    order[i] = i;
+  }
+  rng.shuffle(order);
+  const util::AliasTable householdSampler(
+      std::span<const double>(config.householdSizeWeights));
+  std::size_t cursor = 0;
+  while (cursor < order.size()) {
+    const std::size_t size =
+        std::min(order.size() - cursor, householdSampler.sample(rng) + 1);
+    const auto hood = static_cast<std::uint32_t>(rng.uniformBelow(hoods));
+    const PlaceId home = newPlace(PlaceType::kHousehold, hood,
+                                  static_cast<std::uint32_t>(size));
+    for (std::size_t member = 0; member < size; ++member) {
+      Person& person = population.persons_[order[cursor + member]];
+      person.home = home;
+      person.neighborhood = hood;
+    }
+    cursor += size;
+  }
+
+  // ---- institutions (prisons, retirement homes) ---------------------------
+  std::vector<PlaceId> prisons;
+  const std::uint32_t prisonCount = std::max<std::uint32_t>(
+      1, config.personCount / config.personsPerPrison);
+  for (std::uint32_t i = 0; i < prisonCount; ++i) {
+    prisons.push_back(newPlace(PlaceType::kPrison,
+                               static_cast<std::uint32_t>(rng.uniformBelow(hoods)),
+                               0));
+  }
+  std::vector<PlaceId> retirementHomes;
+  for (Person& person : population.persons_) {
+    if (person.group == AgeGroup::kSenior65plus &&
+        rng.bernoulli(config.retirementHomeRate)) {
+      // Open a new home when the last one is full.
+      if (retirementHomes.empty() ||
+          population.places_[retirementHomes.back()].capacity >=
+              config.retirementHomeSize) {
+        retirementHomes.push_back(
+            newPlace(PlaceType::kRetirementHome,
+                     static_cast<std::uint32_t>(rng.uniformBelow(hoods)), 0));
+      }
+      person.institution = retirementHomes.back();
+      ++population.places_[retirementHomes.back()].capacity;
+    } else if ((person.group == AgeGroup::kAdult19to44 ||
+                person.group == AgeGroup::kAdult45to64) &&
+               rng.bernoulli(config.prisonRate)) {
+      const PlaceId prison = prisons[rng.uniformBelow(prisons.size())];
+      person.institution = prison;
+      ++population.places_[prison].capacity;
+    }
+  }
+
+  // ---- schools -----------------------------------------------------------
+  // Per neighborhood, students aged 5-18 fill schools whose sizes are
+  // sampled log-uniformly in [schoolSizeMin, schoolSize], chunked into
+  // age-sorted classrooms of uniformly sampled size, with one shared
+  // school-common place per school (lunch hour mixing). The size spread is
+  // deliberate: within-group child degree tracks school size (Fig 5).
+  std::vector<std::vector<PersonId>> studentsByHood(hoods);
+  for (const Person& person : population.persons_) {
+    if (person.age >= 5 && person.age <= 18 && !person.isInstitutionalized()) {
+      studentsByHood[person.neighborhood].push_back(person.id);
+    }
+  }
+  for (std::uint32_t hood = 0; hood < hoods; ++hood) {
+    auto& students = studentsByHood[hood];
+    // Sort by age so classrooms are age-homogeneous, like real grades.
+    std::sort(students.begin(), students.end(),
+              [&population](PersonId a, PersonId b) {
+                const auto ageA = population.persons_[a].age;
+                const auto ageB = population.persons_[b].age;
+                return ageA != ageB ? ageA < ageB : a < b;
+              });
+    const double logMin = std::log(static_cast<double>(config.schoolSizeMin));
+    const double logMax = std::log(static_cast<double>(config.schoolSize));
+    std::size_t base = 0;
+    while (base < students.size()) {
+      const auto sampledSize = static_cast<std::size_t>(
+          std::exp(rng.uniformReal(logMin, logMax)) + 0.5);
+      const std::size_t schoolEnd =
+          std::min(students.size(), base + std::max<std::size_t>(sampledSize,
+                                                                 2));
+      const PlaceId common = newPlace(
+          PlaceType::kSchoolCommon, hood,
+          static_cast<std::uint32_t>(schoolEnd - base));
+      std::size_t roomBase = base;
+      while (roomBase < schoolEnd) {
+        const auto roomSize = static_cast<std::size_t>(rng.uniformInt(
+            config.classroomSizeMin, config.classroomSize));
+        const std::size_t roomEnd = std::min(schoolEnd, roomBase + roomSize);
+        const PlaceId classroom = newPlace(
+            PlaceType::kClassroom, hood,
+            static_cast<std::uint32_t>(roomEnd - roomBase));
+        for (std::size_t s = roomBase; s < roomEnd; ++s) {
+          Person& person = population.persons_[students[s]];
+          person.classroom = classroom;
+          person.schoolCommon = common;
+        }
+        roomBase = roomEnd;
+      }
+      base = schoolEnd;
+    }
+  }
+
+  // ---- universities ------------------------------------------------------
+  std::vector<PlaceId> universities;
+  const std::uint32_t universityCount = std::max<std::uint32_t>(
+      1, config.personCount / config.personsPerUniversity);
+  for (std::uint32_t i = 0; i < universityCount; ++i) {
+    universities.push_back(
+        newPlace(PlaceType::kUniversity,
+                 static_cast<std::uint32_t>(rng.uniformBelow(hoods)), 0));
+  }
+  for (Person& person : population.persons_) {
+    if (person.age >= 19 && person.age <= 22 && !person.isInstitutionalized() &&
+        rng.bernoulli(config.universityRate)) {
+      const PlaceId university = universities[rng.uniformBelow(universities.size())];
+      person.university = university;
+      ++population.places_[university].capacity;
+    }
+  }
+
+  // ---- workplaces --------------------------------------------------------
+  // Collect the employed, then carve them into workplaces with lognormal
+  // sizes (citywide: commuting crosses neighborhoods).
+  std::vector<PersonId> workers;
+  for (Person& person : population.persons_) {
+    const bool workingAge = person.age >= 19 && person.age <= 64;
+    if (workingAge && !person.isInstitutionalized() &&
+        person.university == kNoPlace &&
+        rng.bernoulli(config.employmentRate)) {
+      workers.push_back(person.id);
+    }
+  }
+  rng.shuffle(workers);
+  cursor = 0;
+  while (cursor < workers.size()) {
+    const double raw =
+        rng.lognormal(config.workplaceLogMean, config.workplaceLogSigma);
+    const std::size_t size = std::min<std::size_t>(
+        std::max<std::size_t>(1, static_cast<std::size_t>(raw)),
+        std::min<std::size_t>(config.workplaceMaxSize,
+                              workers.size() - cursor));
+    const PlaceId workplace = newPlace(
+        PlaceType::kWorkplace, static_cast<std::uint32_t>(rng.uniformBelow(hoods)),
+        static_cast<std::uint32_t>(size));
+    for (std::size_t w = 0; w < size; ++w) {
+      population.persons_[workers[cursor + w]].workplace = workplace;
+    }
+    cursor += size;
+  }
+
+  // ---- shops & leisure venues ---------------------------------------------
+  std::vector<std::uint32_t> hoodPopulation(hoods, 0);
+  for (const Person& person : population.persons_) {
+    ++hoodPopulation[person.neighborhood];
+  }
+  for (std::uint32_t hood = 0; hood < hoods; ++hood) {
+    const std::uint32_t shopCount = std::max<std::uint32_t>(
+        3, hoodPopulation[hood] * config.shopsPer1000 / 1000);
+    const std::uint32_t leisureCount = std::max<std::uint32_t>(
+        2, hoodPopulation[hood] * config.leisurePer1000 / 1000);
+    for (std::uint32_t i = 0; i < shopCount; ++i) {
+      newPlace(PlaceType::kShop, hood, 0);
+    }
+    for (std::uint32_t i = 0; i < leisureCount; ++i) {
+      newPlace(PlaceType::kLeisure, hood, 0);
+    }
+  }
+
+  // ---- hospitals -----------------------------------------------------------
+  const std::uint32_t hospitalCount = std::max<std::uint32_t>(
+      1, config.personCount / config.personsPerHospital);
+  for (std::uint32_t i = 0; i < hospitalCount; ++i) {
+    newPlace(PlaceType::kHospital,
+             static_cast<std::uint32_t>(rng.uniformBelow(hoods)), 0);
+  }
+
+  population.rebuildDerivedIndexes();
+  return population;
+}
+
+void SyntheticPopulation::rebuildDerivedIndexes() {
+  venues_.assign(neighborhoodCount_, NeighborhoodVenues{});
+  householdsByHood_.assign(neighborhoodCount_, {});
+  hospitals_.clear();
+  for (const Place& place : places_) {
+    switch (place.type) {
+      case PlaceType::kShop: {
+        NeighborhoodVenues& venues = venues_[place.neighborhood];
+        venues.shops.push_back(place.id);
+        venues.shopWeights.push_back(
+            std::pow(static_cast<double>(venues.shops.size()),
+                     -config_.venueZipfExponent));
+        break;
+      }
+      case PlaceType::kLeisure: {
+        NeighborhoodVenues& venues = venues_[place.neighborhood];
+        venues.leisure.push_back(place.id);
+        venues.leisureWeights.push_back(
+            std::pow(static_cast<double>(venues.leisure.size()),
+                     -config_.venueZipfExponent));
+        break;
+      }
+      case PlaceType::kHousehold:
+        householdsByHood_[place.neighborhood].push_back(place.id);
+        break;
+      case PlaceType::kHospital:
+        hospitals_.push_back(place.id);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+SyntheticPopulation SyntheticPopulation::fromParts(
+    const PopulationConfig& config, std::vector<Person> persons,
+    std::vector<Place> places) {
+  CHISIM_REQUIRE(!persons.empty(), "population needs persons");
+  CHISIM_REQUIRE(!places.empty(), "population needs places");
+
+  SyntheticPopulation population;
+  population.config_ = config;
+  population.persons_ = std::move(persons);
+  population.places_ = std::move(places);
+
+  std::uint32_t hoods = 1;
+  for (std::size_t i = 0; i < population.places_.size(); ++i) {
+    CHISIM_REQUIRE(population.places_[i].id == i, "place ids must be dense");
+    hoods = std::max(hoods, population.places_[i].neighborhood + 1);
+  }
+  const auto checkRef = [&population](PlaceId place, PlaceType expected) {
+    if (place == kNoPlace) {
+      return;
+    }
+    CHISIM_REQUIRE(place < population.places_.size(),
+                   "person references an unknown place");
+    CHISIM_REQUIRE(population.places_[place].type == expected,
+                   "person place reference has the wrong type");
+  };
+  for (std::size_t i = 0; i < population.persons_.size(); ++i) {
+    const Person& person = population.persons_[i];
+    CHISIM_REQUIRE(person.id == i, "person ids must be dense");
+    CHISIM_REQUIRE(person.group == ageGroupForAge(person.age),
+                   "person age group inconsistent with age");
+    CHISIM_REQUIRE(person.neighborhood < hoods, "person neighborhood invalid");
+    CHISIM_REQUIRE(person.home != kNoPlace, "every person needs a household");
+    checkRef(person.home, PlaceType::kHousehold);
+    checkRef(person.classroom, PlaceType::kClassroom);
+    checkRef(person.schoolCommon, PlaceType::kSchoolCommon);
+    checkRef(person.workplace, PlaceType::kWorkplace);
+    checkRef(person.university, PlaceType::kUniversity);
+    if (person.institution != kNoPlace) {
+      CHISIM_REQUIRE(person.institution < population.places_.size(),
+                     "institution reference invalid");
+      const PlaceType type = population.places_[person.institution].type;
+      CHISIM_REQUIRE(type == PlaceType::kPrison ||
+                         type == PlaceType::kRetirementHome,
+                     "institution must be a prison or retirement home");
+    }
+  }
+
+  population.neighborhoodCount_ = hoods;
+  population.rebuildDerivedIndexes();
+  for (std::uint32_t hood = 0; hood < hoods; ++hood) {
+    CHISIM_REQUIRE(!population.venues_[hood].shops.empty() &&
+                       !population.venues_[hood].leisure.empty(),
+                   "every neighborhood needs shop and leisure venues");
+  }
+  return population;
+}
+
+std::array<std::uint64_t, kAgeGroupCount> SyntheticPopulation::ageGroupCounts()
+    const {
+  std::array<std::uint64_t, kAgeGroupCount> counts{};
+  for (const Person& person : persons_) {
+    ++counts[static_cast<std::size_t>(person.group)];
+  }
+  return counts;
+}
+
+std::array<std::uint64_t, kPlaceTypeCount> SyntheticPopulation::placeTypeCounts()
+    const {
+  std::array<std::uint64_t, kPlaceTypeCount> counts{};
+  for (const Place& place : places_) {
+    ++counts[static_cast<std::size_t>(place.type)];
+  }
+  return counts;
+}
+
+}  // namespace chisimnet::pop

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chisimnet/pop/types.hpp"
+#include "chisimnet/util/rng.hpp"
+
+/// Synthetic population generation (the census-data substitute, see
+/// DESIGN.md §2). The generator produces a person table and a place table
+/// with the same structural features chiSIM derives from Chicago census
+/// data: a realistic age pyramid, households, neighborhood-local schools
+/// split into classroom sub-compartments, size-skewed workplaces, Zipf-
+/// popular shops/leisure venues and congregate institutions.
+
+namespace chisimnet::pop {
+
+struct PopulationConfig {
+  std::uint32_t personCount = 50'000;
+  std::uint64_t seed = 20170517;  // deterministic default
+
+  /// Fractions per age band (child, teen, 19-44, 45-64, 65+); roughly the
+  /// Chicago pyramid.
+  std::array<double, kAgeGroupCount> ageFractions{0.19, 0.05, 0.42, 0.22, 0.12};
+
+  /// Household size distribution for sizes 1..6 (census-like).
+  std::array<double, 6> householdSizeWeights{0.30, 0.29, 0.16, 0.14, 0.07, 0.04};
+
+  std::uint32_t personsPerNeighborhood = 2'000;
+
+  /// School sizes are sampled log-uniformly in [schoolSizeMin, schoolSize]
+  /// — the wide spread is what produces the children's "flat over two
+  /// decades" within-group degree distribution (paper Fig 5): a student's
+  /// contact set is bounded by their school's size.
+  std::uint32_t schoolSize = 1000;     ///< largest school (max students)
+  std::uint32_t schoolSizeMin = 80;    ///< smallest school
+  /// Classroom sizes are sampled uniformly in
+  /// [classroomSizeMin, classroomSize].
+  std::uint32_t classroomSize = 30;    ///< largest classroom
+  std::uint32_t classroomSizeMin = 15; ///< smallest classroom
+
+  double employmentRate = 0.72;      ///< of 19-64 non-institutionalized adults
+  double universityRate = 0.35;      ///< of 19-22 year olds
+  double workplaceLogMean = 2.3;     ///< lognormal size of workplaces
+  double workplaceLogSigma = 1.1;
+  std::uint32_t workplaceMaxSize = 2'000;
+
+  std::uint32_t shopsPer1000 = 6;    ///< errand venues per 1000 hood residents
+  std::uint32_t leisurePer1000 = 4;
+  double venueZipfExponent = 0.8;    ///< popularity skew of shops/leisure
+
+  double retirementHomeRate = 0.06;  ///< of seniors
+  std::uint32_t retirementHomeSize = 150;
+  double prisonRate = 0.004;         ///< of 19-64 adults
+  std::uint32_t personsPerPrison = 100'000;
+  std::uint32_t personsPerUniversity = 100'000;
+  std::uint32_t personsPerHospital = 50'000;
+};
+
+/// Per-neighborhood venue lists with Zipf popularity weights, used by the
+/// schedule generator to pick errand/leisure destinations.
+struct NeighborhoodVenues {
+  std::vector<PlaceId> shops;
+  std::vector<double> shopWeights;
+  std::vector<PlaceId> leisure;
+  std::vector<double> leisureWeights;
+};
+
+class SyntheticPopulation {
+ public:
+  /// Generates a full population from the config; deterministic in
+  /// config.seed.
+  static SyntheticPopulation generate(const PopulationConfig& config);
+
+  /// Assembles a population from explicit person and place tables (e.g.
+  /// loaded from input-data files). Venue lists, hospital lists and
+  /// household indexes are derived from the place table; referential
+  /// integrity of all place references is validated.
+  static SyntheticPopulation fromParts(const PopulationConfig& config,
+                                       std::vector<Person> persons,
+                                       std::vector<Place> places);
+
+  const PopulationConfig& config() const noexcept { return config_; }
+  std::span<const Person> persons() const noexcept { return persons_; }
+  std::span<const Place> places() const noexcept { return places_; }
+  const Person& person(PersonId id) const { return persons_.at(id); }
+  const Place& place(PlaceId id) const { return places_.at(id); }
+
+  std::uint32_t neighborhoodCount() const noexcept { return neighborhoodCount_; }
+  const NeighborhoodVenues& venues(std::uint32_t neighborhood) const {
+    return venues_.at(neighborhood);
+  }
+
+  /// Citywide congregate places.
+  std::span<const PlaceId> hospitals() const noexcept { return hospitals_; }
+
+  /// Households located in a neighborhood (social-visit destinations).
+  std::span<const PlaceId> households(std::uint32_t neighborhood) const {
+    return householdsByHood_.at(neighborhood);
+  }
+
+  /// Number of persons in each age band.
+  std::array<std::uint64_t, kAgeGroupCount> ageGroupCounts() const;
+
+  /// Number of places of each type.
+  std::array<std::uint64_t, kPlaceTypeCount> placeTypeCounts() const;
+
+ private:
+  /// Rebuilds venues_, hospitals_ and householdsByHood_ from places_ and
+  /// config_ (venue popularity weights are positional Zipf weights, so the
+  /// derived state is a pure function of the place table).
+  void rebuildDerivedIndexes();
+
+  PopulationConfig config_;
+  std::vector<Person> persons_;
+  std::vector<Place> places_;
+  std::vector<NeighborhoodVenues> venues_;
+  std::vector<PlaceId> hospitals_;
+  std::vector<std::vector<PlaceId>> householdsByHood_;
+  std::uint32_t neighborhoodCount_ = 0;
+};
+
+}  // namespace chisimnet::pop

@@ -1,0 +1,202 @@
+#include "chisimnet/pop/schedule.hpp"
+
+#include <algorithm>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::pop {
+
+namespace {
+
+/// Deterministic stream id for (person, week) sampling.
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                        (b * 0xbf58476d1ce4e5b9ULL);
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+ScheduleGenerator::ScheduleGenerator(const SyntheticPopulation& population,
+                                     std::uint64_t seed)
+    : population_(&population), seed_(seed) {}
+
+ScheduleGenerator::WeekSlots ScheduleGenerator::weeklySlots(
+    PersonId personId, std::uint32_t weekIndex) const {
+  const Person& person = population_->person(personId);
+  util::Rng week(mixSeed(seed_, personId, weekIndex));
+  util::Rng stable(mixSeed(seed_, personId, 0xA11CE));  // person-stable traits
+
+  WeekSlots slots;
+  slots.fill(HourSlot{activity::kHome, person.home});
+
+  const auto fill = [&slots](unsigned day, unsigned fromHour, unsigned toHour,
+                             ActivityId activity, PlaceId place) {
+    for (unsigned h = fromHour; h < toHour; ++h) {
+      slots[day * kHoursPerDay + h] = HourSlot{activity, place};
+    }
+  };
+
+  const NeighborhoodVenues& venues = population_->venues(person.neighborhood);
+  const auto pickShop = [&venues](util::Rng& rng) {
+    return venues.shops[rng.discrete(venues.shopWeights)];
+  };
+  const auto pickLeisure = [&venues](util::Rng& rng) {
+    return venues.leisure[rng.discrete(venues.leisureWeights)];
+  };
+
+  // ---- institutionalized persons ------------------------------------------
+  if (person.isInstitutionalized()) {
+    const Place& institution = population_->place(person.institution);
+    for (HourSlot& slot : slots) {
+      slot = HourSlot{activity::kInstitution, person.institution};
+    }
+    if (institution.type == PlaceType::kRetirementHome) {
+      // Occasional short errand outings.
+      for (unsigned day = 0; day < 7; ++day) {
+        if (week.bernoulli(0.2)) {
+          fill(day, 10, 12, activity::kErrand, pickShop(week));
+        }
+      }
+    }
+    return slots;
+  }
+
+  const bool weekdaySchool = person.isStudent();
+  const bool universityStudent = person.university != kNoPlace;
+  const bool employed = person.isEmployed();
+  const bool nightShift = employed && stable.bernoulli(0.10);
+  const unsigned workStart =
+      static_cast<unsigned>(8 + stable.uniformInt(0, 2));  // 8..10
+  // Persons with no daily obligations include a homebody fraction who
+  // rarely leave the house: they produce the low-degree head of the degree
+  // distribution (Fig 3) and the clustering-coefficient-1 spike (Fig 4) —
+  // their only contacts are their fully connected household.
+  const bool noObligations = !weekdaySchool && !universityStudent && !employed;
+  const bool homebody =
+      noObligations && stable.bernoulli(person.age < 5 ? 0.75 : 0.35);
+  const double errandScale = homebody ? 0.08 : 1.0;
+
+  for (unsigned day = 0; day < 7; ++day) {
+    const bool weekday = day < 5;
+
+    if (weekday && weekdaySchool) {
+      if (week.bernoulli(0.04)) {
+        continue;  // sick/absent day spent at home
+      }
+      fill(day, 8, 12, activity::kSchool, person.classroom);
+      fill(day, 12, 13, activity::kSchoolLunch, person.schoolCommon);
+      fill(day, 13, 15, activity::kSchool, person.classroom);
+      const double afterSchool = week.uniform01();
+      if (afterSchool < 0.30) {
+        fill(day, 15, 17, activity::kLeisure, pickLeisure(week));
+      } else if (afterSchool < 0.50) {
+        fill(day, 15, 16, activity::kErrand, pickShop(week));
+      }
+      continue;
+    }
+
+    if (weekday && universityStudent) {
+      const unsigned start = static_cast<unsigned>(8 + week.uniformInt(0, 2));
+      const unsigned length = static_cast<unsigned>(4 + week.uniformInt(0, 3));
+      fill(day, start, std::min(23u, start + length), activity::kUniversity,
+           person.university);
+      if (week.bernoulli(0.3)) {
+        fill(day, 20, 22, activity::kLeisure, pickLeisure(week));
+      }
+      continue;
+    }
+
+    if (weekday && employed) {
+      if (nightShift) {
+        fill(day, 0, 6, activity::kWork, person.workplace);
+        fill(day, 22, 24, activity::kWork, person.workplace);
+      } else {
+        fill(day, workStart, workStart + 8, activity::kWork, person.workplace);
+        if (week.bernoulli(0.30)) {
+          fill(day, workStart + 8, workStart + 9, activity::kErrand,
+               pickShop(week));
+        }
+        if (week.bernoulli(0.20)) {
+          fill(day, 19, 21, activity::kLeisure, pickLeisure(week));
+        }
+      }
+      continue;
+    }
+
+    // Weekend (everyone) or weekday for the non-employed/very young.
+    if (week.bernoulli((weekday ? 0.5 : 0.6) * errandScale)) {
+      const unsigned start = static_cast<unsigned>(9 + week.uniformInt(0, 3));
+      fill(day, start, start + 1, activity::kErrand, pickShop(week));
+    }
+    if (week.bernoulli((weekday ? 0.3 : 0.5) * errandScale)) {
+      const unsigned start = static_cast<unsigned>(13 + week.uniformInt(0, 5));
+      fill(day, start, start + 2, activity::kLeisure, pickLeisure(week));
+    }
+  }
+
+  // ---- social visits ---------------------------------------------------
+  // Evening visits to another household in the neighborhood. These create
+  // the small household-sized contact increments that populate the low-
+  // degree head of the degree distribution (Fig 3) — a visited homebody
+  // gains a couple of contacts without leaving home.
+  {
+    const auto households = population_->households(person.neighborhood);
+    const double visitProbability = homebody ? 0.03 : 0.07;
+    for (unsigned day = 0; day < 7; ++day) {
+      const double probability = day < 5 ? visitProbability
+                                         : 1.5 * visitProbability;
+      if (!households.empty() && week.bernoulli(probability)) {
+        PlaceId destination = households[week.uniformBelow(households.size())];
+        if (destination != person.home) {
+          fill(day, 18, 20, activity::kVisit, destination);
+        }
+      }
+    }
+  }
+
+  // ---- hospital stays (override everything else) ---------------------------
+  const auto hospitals = population_->hospitals();
+  if (!hospitals.empty() && week.bernoulli(0.003)) {
+    const PlaceId hospital = hospitals[week.uniformBelow(hospitals.size())];
+    const unsigned startHour =
+        static_cast<unsigned>(week.uniformBelow(kHoursPerWeek - 24));
+    const unsigned stay = static_cast<unsigned>(24 + week.uniformInt(0, 48));
+    for (unsigned h = startHour;
+         h < std::min<unsigned>(kHoursPerWeek, startHour + stay); ++h) {
+      slots[h] = HourSlot{activity::kHospital, hospital};
+    }
+  }
+
+  return slots;
+}
+
+std::vector<ScheduleEntry> ScheduleGenerator::weeklySchedule(
+    PersonId person, std::uint32_t weekIndex) const {
+  CHISIM_REQUIRE(person < population_->persons().size(), "person out of range");
+  const WeekSlots slots = weeklySlots(person, weekIndex);
+  const Hour weekBase = weekIndex * kHoursPerWeek;
+
+  std::vector<ScheduleEntry> schedule;
+  ScheduleEntry current{weekBase, weekBase, slots[0].activity, slots[0].place};
+  for (Hour h = 0; h < kHoursPerWeek; ++h) {
+    const HourSlot& slot = slots[h];
+    if (slot.activity == current.activity && slot.place == current.place) {
+      current.end = weekBase + h + 1;
+    } else {
+      schedule.push_back(current);
+      current = ScheduleEntry{weekBase + h, weekBase + h + 1, slot.activity,
+                              slot.place};
+    }
+  }
+  schedule.push_back(current);
+  return schedule;
+}
+
+double ScheduleGenerator::activityChangesPerDay(PersonId person,
+                                                std::uint32_t weekIndex) const {
+  const auto schedule = weeklySchedule(person, weekIndex);
+  return static_cast<double>(schedule.size() - 1) / 7.0;
+}
+
+}  // namespace chisimnet::pop

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "chisimnet/pop/population.hpp"
+#include "chisimnet/pop/types.hpp"
+
+/// Hourly activity schedules (paper §II: "A daily schedule for each person
+/// specifies the activity and associated location with one-hour time
+/// resolution").
+///
+/// Schedules are generated lazily per (person, week) and are deterministic
+/// in (generator seed, person id, week index): the ABM can be distributed
+/// over any number of ranks, or re-run, and every person follows the same
+/// schedule. Weekly variation (which evenings have errands, hospital stays)
+/// is sampled inside that determinism; person-stable traits (night-shift
+/// worker, usual work start) are derived from the person id alone.
+
+namespace chisimnet::pop {
+
+inline constexpr Hour kHoursPerDay = 24;
+inline constexpr Hour kHoursPerWeek = 168;
+
+/// One contiguous stint: person does `activity` at `place` during
+/// [start, end) in absolute simulation hours.
+struct ScheduleEntry {
+  Hour start = 0;
+  Hour end = 0;
+  ActivityId activity = activity::kHome;
+  PlaceId place = kNoPlace;
+
+  friend bool operator==(const ScheduleEntry&, const ScheduleEntry&) = default;
+};
+
+class ScheduleGenerator {
+ public:
+  ScheduleGenerator(const SyntheticPopulation& population, std::uint64_t seed);
+
+  /// The person's schedule for week `weekIndex`, covering absolute hours
+  /// [weekIndex*168, (weekIndex+1)*168) contiguously with no gaps; adjacent
+  /// stints always differ in activity or place.
+  std::vector<ScheduleEntry> weeklySchedule(PersonId person,
+                                            std::uint32_t weekIndex) const;
+
+  /// Expected number of activity *changes* per simulated day for a person,
+  /// i.e. (stints - 1) / 7 for one week (diagnostic for the paper's
+  /// "~5 activity changes per day" sizing claim).
+  double activityChangesPerDay(PersonId person, std::uint32_t weekIndex) const;
+
+ private:
+  struct HourSlot {
+    ActivityId activity = activity::kHome;
+    PlaceId place = kNoPlace;
+    friend bool operator==(const HourSlot&, const HourSlot&) = default;
+  };
+  using WeekSlots = std::array<HourSlot, kHoursPerWeek>;
+
+  WeekSlots weeklySlots(PersonId person, std::uint32_t weekIndex) const;
+
+  const SyntheticPopulation* population_;
+  std::uint64_t seed_;
+};
+
+}  // namespace chisimnet::pop

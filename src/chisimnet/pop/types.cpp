@@ -1,0 +1,88 @@
+#include "chisimnet/pop/types.hpp"
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::pop {
+
+std::string ageGroupName(AgeGroup group) {
+  switch (group) {
+    case AgeGroup::kChild0to14:
+      return "0-14";
+    case AgeGroup::kTeen15to18:
+      return "15-18";
+    case AgeGroup::kAdult19to44:
+      return "19-44";
+    case AgeGroup::kAdult45to64:
+      return "45-64";
+    case AgeGroup::kSenior65plus:
+      return "65+";
+  }
+  return "unknown";
+}
+
+AgeGroup ageGroupForAge(unsigned age) {
+  if (age <= 14) return AgeGroup::kChild0to14;
+  if (age <= 18) return AgeGroup::kTeen15to18;
+  if (age <= 44) return AgeGroup::kAdult19to44;
+  if (age <= 64) return AgeGroup::kAdult45to64;
+  return AgeGroup::kSenior65plus;
+}
+
+std::string placeTypeName(PlaceType type) {
+  switch (type) {
+    case PlaceType::kHousehold:
+      return "household";
+    case PlaceType::kClassroom:
+      return "classroom";
+    case PlaceType::kSchoolCommon:
+      return "school-common";
+    case PlaceType::kWorkplace:
+      return "workplace";
+    case PlaceType::kUniversity:
+      return "university";
+    case PlaceType::kShop:
+      return "shop";
+    case PlaceType::kLeisure:
+      return "leisure";
+    case PlaceType::kRetirementHome:
+      return "retirement-home";
+    case PlaceType::kPrison:
+      return "prison";
+    case PlaceType::kHospital:
+      return "hospital";
+  }
+  return "unknown";
+}
+
+namespace activity {
+
+std::string name(ActivityId id) {
+  switch (id) {
+    case kHome:
+      return "home";
+    case kSchool:
+      return "school";
+    case kSchoolLunch:
+      return "school-lunch";
+    case kWork:
+      return "work";
+    case kErrand:
+      return "errand";
+    case kLeisure:
+      return "leisure";
+    case kUniversity:
+      return "university";
+    case kInstitution:
+      return "institution";
+    case kHospital:
+      return "hospital";
+    case kVisit:
+      return "visit";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace activity
+
+}  // namespace chisimnet::pop

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chisimnet/table/event.hpp"
+
+/// Core types of the synthetic population (the census-data substitute).
+///
+/// chiSIM's inputs are census-derived persons, places and daily activity
+/// schedules for Chicago (~2.9 M persons, ~1.2 M places). This module
+/// generates a parametric population with the same structural ingredients:
+/// age demographics, households, schools with classroom sub-compartments,
+/// workplaces, errand/leisure places and congregate institutions
+/// (universities, prisons, retirement homes, hospitals) — the place types
+/// the paper names when explaining the Fig 5 degree-distribution outliers.
+
+namespace chisimnet::pop {
+
+using table::ActivityId;
+using table::Hour;
+using table::PersonId;
+using table::PlaceId;
+
+inline constexpr PlaceId kNoPlace = static_cast<PlaceId>(-1);
+
+/// Age bands used in the paper's Fig 5 demographic disaggregation.
+enum class AgeGroup : std::uint8_t {
+  kChild0to14 = 0,
+  kTeen15to18 = 1,
+  kAdult19to44 = 2,
+  kAdult45to64 = 3,
+  kSenior65plus = 4,
+};
+inline constexpr std::size_t kAgeGroupCount = 5;
+
+std::string ageGroupName(AgeGroup group);
+AgeGroup ageGroupForAge(unsigned age);
+
+enum class PlaceType : std::uint8_t {
+  kHousehold = 0,
+  kClassroom = 1,       ///< school sub-compartment
+  kSchoolCommon = 2,    ///< shared school space (lunch hour)
+  kWorkplace = 3,
+  kUniversity = 4,
+  kShop = 5,            ///< errand destination
+  kLeisure = 6,
+  kRetirementHome = 7,
+  kPrison = 8,
+  kHospital = 9,
+};
+inline constexpr std::size_t kPlaceTypeCount = 10;
+
+std::string placeTypeName(PlaceType type);
+
+/// Activity ids recorded in the event log.
+namespace activity {
+inline constexpr ActivityId kHome = 0;
+inline constexpr ActivityId kSchool = 1;
+inline constexpr ActivityId kSchoolLunch = 2;
+inline constexpr ActivityId kWork = 3;
+inline constexpr ActivityId kErrand = 4;
+inline constexpr ActivityId kLeisure = 5;
+inline constexpr ActivityId kUniversity = 6;
+inline constexpr ActivityId kInstitution = 7;
+inline constexpr ActivityId kHospital = 8;
+inline constexpr ActivityId kVisit = 9;  ///< social visit to another household
+inline constexpr std::size_t kCount = 10;
+
+std::string name(ActivityId id);
+}  // namespace activity
+
+struct Place {
+  PlaceId id = 0;
+  PlaceType type = PlaceType::kHousehold;
+  std::uint32_t neighborhood = 0;  ///< spatial cluster index
+  std::uint32_t capacity = 0;      ///< nominal size (0 = unbounded)
+};
+
+struct Person {
+  PersonId id = 0;
+  std::uint8_t age = 0;
+  AgeGroup group = AgeGroup::kChild0to14;
+  std::uint32_t neighborhood = 0;
+  PlaceId home = kNoPlace;
+  PlaceId classroom = kNoPlace;     ///< school sub-compartment, if a student
+  PlaceId schoolCommon = kNoPlace;  ///< shared school space, if a student
+  PlaceId workplace = kNoPlace;
+  PlaceId university = kNoPlace;
+  PlaceId institution = kNoPlace;   ///< prison or retirement home residence
+
+  bool isStudent() const noexcept { return classroom != kNoPlace; }
+  bool isEmployed() const noexcept { return workplace != kNoPlace; }
+  bool isInstitutionalized() const noexcept { return institution != kNoPlace; }
+};
+
+}  // namespace chisimnet::pop

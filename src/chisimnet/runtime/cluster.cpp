@@ -1,0 +1,94 @@
+#include "chisimnet/runtime/cluster.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "chisimnet/util/error.hpp"
+#include "chisimnet/util/timer.hpp"
+
+namespace chisimnet::runtime {
+
+Cluster::Cluster(unsigned workerCount) : workerCount_(workerCount) {
+  CHISIM_REQUIRE(workerCount >= 1, "cluster needs at least one worker");
+}
+
+double Cluster::busyImbalance() const noexcept {
+  if (busySeconds_.empty()) {
+    return 1.0;
+  }
+  double total = 0.0;
+  double peak = 0.0;
+  for (double busy : busySeconds_) {
+    total += busy;
+    peak = std::max(peak, busy);
+  }
+  if (total <= 0.0) {
+    return 1.0;
+  }
+  return peak / (total / static_cast<double>(busySeconds_.size()));
+}
+
+void Cluster::runWorkers(const std::function<void(unsigned)>& workerBody) {
+  busySeconds_.assign(workerCount_, 0.0);
+  util::WallTimer wall;
+
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+  const auto guarded = [&](unsigned worker) {
+    util::WallTimer busy;
+    try {
+      workerBody(worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(errorMutex);
+      if (!firstError) {
+        firstError = std::current_exception();
+      }
+    }
+    busySeconds_[worker] = busy.seconds();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workerCount_ - 1);
+  for (unsigned worker = 1; worker < workerCount_; ++worker) {
+    threads.emplace_back(guarded, worker);
+  }
+  guarded(0);
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  wallSeconds_ = wall.seconds();
+  if (firstError) {
+    std::rethrow_exception(firstError);
+  }
+}
+
+void Cluster::applyDynamic(
+    std::size_t itemCount,
+    const std::function<void(std::size_t, unsigned)>& body) {
+  std::atomic<std::size_t> next{0};
+  runWorkers([&](unsigned worker) {
+    while (true) {
+      const std::size_t item = next.fetch_add(1);
+      if (item >= itemCount) {
+        return;
+      }
+      body(item, worker);
+    }
+  });
+}
+
+void Cluster::applyPartitioned(
+    const Partition& partition,
+    const std::function<void(std::size_t, unsigned)>& body) {
+  CHISIM_REQUIRE(partition.assignment.size() == workerCount_,
+                 "partition bin count must equal worker count");
+  runWorkers([&](unsigned worker) {
+    for (std::size_t item : partition.assignment[worker]) {
+      body(item, worker);
+    }
+  });
+}
+
+}  // namespace chisimnet::runtime

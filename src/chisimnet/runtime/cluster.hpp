@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "chisimnet/runtime/partition.hpp"
+
+/// SNOW-style master/worker task farm (paper §IV.A).
+///
+/// The paper's R implementation dispatches collocation- and adjacency-matrix
+/// jobs from a root process to SNOW/Rmpi workers. Cluster reproduces the
+/// pattern: a master thread scatters item indices to worker threads, either
+/// dynamically (workers pull the next item — how SNOW's load balancing
+/// behaves) or statically from an explicit Partition (how the paper's
+/// nnz-based list partitioning behaves). Per-worker busy time is recorded so
+/// benches can report the idle-worker effect the paper warns about.
+
+namespace chisimnet::runtime {
+
+class Cluster {
+ public:
+  explicit Cluster(unsigned workerCount);
+
+  unsigned workerCount() const noexcept { return workerCount_; }
+
+  /// Runs body(item, worker) for every item in [0, itemCount), workers
+  /// pulling items dynamically. Exceptions propagate (first one wins).
+  void applyDynamic(std::size_t itemCount,
+                    const std::function<void(std::size_t, unsigned)>& body);
+
+  /// Runs body(item, worker) with worker w processing exactly
+  /// partition.assignment[w], in order. Requires the partition to have
+  /// exactly workerCount() bins.
+  void applyPartitioned(const Partition& partition,
+                        const std::function<void(std::size_t, unsigned)>& body);
+
+  /// Per-worker busy seconds of the most recent apply call.
+  std::span<const double> workerBusySeconds() const noexcept {
+    return busySeconds_;
+  }
+
+  /// Wall seconds of the most recent apply call.
+  double lastWallSeconds() const noexcept { return wallSeconds_; }
+
+  /// max(busy) / mean(busy) for the most recent apply; 1.0 is balanced.
+  double busyImbalance() const noexcept;
+
+ private:
+  void runWorkers(const std::function<void(unsigned)>& workerBody);
+
+  unsigned workerCount_;
+  std::vector<double> busySeconds_;
+  double wallSeconds_ = 0.0;
+};
+
+}  // namespace chisimnet::runtime

@@ -1,0 +1,203 @@
+#include "chisimnet/runtime/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace chisimnet::runtime {
+
+namespace {
+
+constexpr int kBarrierTag = kReservedTagBase + 0;  // reserved (doc only)
+constexpr int kGatherTag = kReservedTagBase + 1;
+constexpr int kBroadcastTag = kReservedTagBase + 2;
+
+[[maybe_unused]] constexpr int kReservedTagsEnd = kReservedTagBase + 3;
+
+}  // namespace
+
+int RankHandle::size() const noexcept { return comm_->size(); }
+
+void RankHandle::send(int dest, int tag, std::span<const std::byte> payload) {
+  CHISIM_REQUIRE(dest >= 0 && dest < comm_->size(), "invalid destination rank");
+  Message message;
+  message.source = rank_;
+  message.tag = tag;
+  message.payload.assign(payload.begin(), payload.end());
+  comm_->post(dest, std::move(message));
+}
+
+Message RankHandle::recv(int source, int tag) {
+  auto& box = *comm_->mailboxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  Message out;
+  while (true) {
+    if (comm_->matchAndPop(box, source, tag, out)) {
+      return out;
+    }
+    CHISIM_CHECK(!comm_->aborted(), "communicator aborted while receiving");
+    box.ready.wait(lock);
+  }
+}
+
+bool RankHandle::tryRecv(Message& out, int source, int tag) {
+  auto& box = *comm_->mailboxes_[rank_];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return comm_->matchAndPop(box, source, tag, out);
+}
+
+std::size_t RankHandle::pendingMessages() const {
+  const auto& box = *comm_->mailboxes_[rank_];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return box.messages.size();
+}
+
+void RankHandle::barrier() {
+  (void)kBarrierTag;
+  std::unique_lock<std::mutex> lock(comm_->barrierMutex_);
+  const std::uint64_t generation = comm_->barrierGeneration_;
+  if (++comm_->barrierWaiting_ == comm_->size()) {
+    comm_->barrierWaiting_ = 0;
+    ++comm_->barrierGeneration_;
+    comm_->barrierReady_.notify_all();
+    return;
+  }
+  comm_->barrierReady_.wait(lock, [this, generation] {
+    return comm_->barrierGeneration_ != generation || comm_->aborted();
+  });
+  CHISIM_CHECK(!comm_->aborted(), "communicator aborted in barrier");
+}
+
+std::vector<std::vector<std::byte>> RankHandle::gather(
+    int root, std::span<const std::byte> bytes) {
+  CHISIM_REQUIRE(root >= 0 && root < size(), "invalid root rank");
+  if (rank_ != root) {
+    send(root, kGatherTag, bytes);
+    return {};
+  }
+  std::vector<std::vector<std::byte>> buffers(size());
+  buffers[root].assign(bytes.begin(), bytes.end());
+  for (int source = 0; source < size(); ++source) {
+    if (source == root) {
+      continue;
+    }
+    buffers[source] = recv(source, kGatherTag).payload;
+  }
+  return buffers;
+}
+
+std::vector<std::byte> RankHandle::broadcast(int root,
+                                             std::span<const std::byte> bytes) {
+  CHISIM_REQUIRE(root >= 0 && root < size(), "invalid root rank");
+  if (rank_ == root) {
+    for (int dest = 0; dest < size(); ++dest) {
+      if (dest != root) {
+        send(dest, kBroadcastTag, bytes);
+      }
+    }
+    return std::vector<std::byte>(bytes.begin(), bytes.end());
+  }
+  return recv(root, kBroadcastTag).payload;
+}
+
+std::uint64_t RankHandle::allReduceU64(
+    std::uint64_t value,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& op) {
+  constexpr int root = 0;
+  const auto bytes = std::as_bytes(std::span<const std::uint64_t>(&value, 1));
+  const auto buffers = gather(root, bytes);
+  std::uint64_t reduced = value;
+  if (rank_ == root) {
+    bool first = true;
+    for (const auto& buffer : buffers) {
+      std::uint64_t contribution = 0;
+      CHISIM_CHECK(buffer.size() == sizeof(std::uint64_t),
+                   "allReduceU64 payload size mismatch");
+      std::memcpy(&contribution, buffer.data(), sizeof(contribution));
+      reduced = first ? contribution : op(reduced, contribution);
+      first = false;
+    }
+  }
+  const auto out = broadcast(
+      root, std::as_bytes(std::span<const std::uint64_t>(&reduced, 1)));
+  std::uint64_t result = 0;
+  std::memcpy(&result, out.data(), sizeof(result));
+  return result;
+}
+
+Communicator::Communicator(int rankCount) {
+  CHISIM_REQUIRE(rankCount > 0, "communicator needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(rankCount));
+  for (int i = 0; i < rankCount; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+RankHandle Communicator::handle(int rank) {
+  CHISIM_REQUIRE(rank >= 0 && rank < size(), "invalid rank");
+  return RankHandle(this, rank);
+}
+
+void Communicator::post(int dest, Message message) {
+  auto& box = *mailboxes_[dest];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.ready.notify_all();
+}
+
+bool Communicator::matchAndPop(Mailbox& box, int source, int tag,
+                               Message& out) {
+  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+    const bool sourceMatch = source == kAnySource || it->source == source;
+    const bool tagMatch = tag == kAnyTag || it->tag == tag;
+    if (sourceMatch && tagMatch) {
+      out = std::move(*it);
+      box.messages.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Communicator::abort() noexcept {
+  aborted_ = true;
+  for (auto& box : mailboxes_) {
+    box->ready.notify_all();
+  }
+  barrierReady_.notify_all();
+}
+
+void Communicator::run(int rankCount,
+                       const std::function<void(RankHandle&)>& body) {
+  Communicator comm(rankCount);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(rankCount));
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+
+  for (int rank = 0; rank < rankCount; ++rank) {
+    threads.emplace_back([&comm, &body, &errorMutex, &firstError, rank] {
+      RankHandle handle = comm.handle(rank);
+      try {
+        body(handle);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(errorMutex);
+          if (!firstError) {
+            firstError = std::current_exception();
+          }
+        }
+        comm.abort();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  if (firstError) {
+    std::rethrow_exception(firstError);
+  }
+}
+
+}  // namespace chisimnet::runtime

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "chisimnet/util/error.hpp"
+
+/// In-process message-passing substrate (the MPI substitute).
+///
+/// The paper runs chiSIM on Repast HPC over MPI: places live on ranks,
+/// agents migrate between ranks by message, and each rank logs its own
+/// events. This module reproduces that structure with ranks as threads and
+/// mailboxes as the transport, so every rank-level algorithm (migration,
+/// scatter/reduce synthesis) runs unchanged in one process. Semantics follow
+/// MPI where it matters: point-to-point messages between a (source, dest,
+/// tag) triple are non-overtaking, recv blocks, collectives are executed by
+/// all ranks in the same order (SPMD).
+
+namespace chisimnet::runtime {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Tags at or above this value are reserved for collectives.
+inline constexpr int kReservedTagBase = 1 << 24;
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  /// Reinterprets the payload as a vector of trivially copyable T.
+  template <typename T>
+  std::vector<T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CHISIM_CHECK(payload.size() % sizeof(T) == 0,
+                 "payload size not a multiple of element size");
+    std::vector<T> values(payload.size() / sizeof(T));
+    std::memcpy(values.data(), payload.data(), payload.size());
+    return values;
+  }
+
+  template <typename T>
+  T value() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CHISIM_CHECK(payload.size() == sizeof(T), "payload is not a single T");
+    T out;
+    std::memcpy(&out, payload.data(), sizeof(T));
+    return out;
+  }
+};
+
+class Communicator;
+
+/// A single rank's endpoint. All methods are called from that rank's thread.
+class RankHandle {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Sends bytes to `dest` (non-blocking, buffered).
+  void send(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Sends a trivially copyable value.
+  template <typename T>
+  void sendValue(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, std::as_bytes(std::span<const T>(&value, 1)));
+  }
+
+  /// Sends a contiguous vector of trivially copyable elements.
+  template <typename T>
+  void sendVector(int dest, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, std::as_bytes(values));
+  }
+
+  /// Blocks until a message matching (source, tag) arrives; kAnySource /
+  /// kAnyTag act as wildcards. Matching is FIFO per (source, tag) pair.
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking receive.
+  bool tryRecv(Message& out, int source = kAnySource, int tag = kAnyTag);
+
+  /// Number of queued messages (diagnostic).
+  std::size_t pendingMessages() const;
+
+  // ---- collectives (all ranks must call in the same order) ----
+
+  void barrier();
+
+  /// Gathers each rank's bytes at root; returns size() buffers at root
+  /// (indexed by rank), empty elsewhere.
+  std::vector<std::vector<std::byte>> gather(int root,
+                                             std::span<const std::byte> bytes);
+
+  /// Broadcasts root's bytes to every rank; returns the bytes everywhere.
+  std::vector<std::byte> broadcast(int root, std::span<const std::byte> bytes);
+
+  /// Reduces a u64 with a binary op at root (returned at every rank via a
+  /// follow-up broadcast, i.e. allreduce semantics).
+  std::uint64_t allReduceU64(std::uint64_t value,
+                             const std::function<std::uint64_t(
+                                 std::uint64_t, std::uint64_t)>& op);
+
+ private:
+  friend class Communicator;
+  RankHandle(Communicator* comm, int rank) : comm_(comm), rank_(rank) {}
+
+  Communicator* comm_;
+  int rank_;
+};
+
+/// Shared state for a fixed-size group of ranks.
+class Communicator {
+ public:
+  explicit Communicator(int rankCount);
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+  RankHandle handle(int rank);
+
+  /// Runs `body(rankHandle)` on `rankCount` threads, one per rank, and
+  /// joins. The first exception thrown by any rank is rethrown after all
+  /// threads finish (remaining ranks may deadlock-free drain because all
+  /// blocking recvs are woken by the abort flag).
+  static void run(int rankCount,
+                  const std::function<void(RankHandle&)>& body);
+
+ private:
+  friend class RankHandle;
+
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<Message> messages;
+  };
+
+  void post(int dest, Message message);
+  bool matchAndPop(Mailbox& box, int source, int tag, Message& out);
+
+  void abort() noexcept;
+  bool aborted() const noexcept { return aborted_; }
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Generation-counting barrier.
+  std::mutex barrierMutex_;
+  std::condition_variable barrierReady_;
+  int barrierWaiting_ = 0;
+  std::uint64_t barrierGeneration_ = 0;
+
+  std::atomic<bool> aborted_ = false;
+};
+
+}  // namespace chisimnet::runtime

@@ -1,0 +1,54 @@
+#include "chisimnet/runtime/scheduler.hpp"
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::runtime {
+
+void Scheduler::scheduleAt(Tick tick, Action action, int priority) {
+  CHISIM_REQUIRE(action != nullptr, "action must be callable");
+  CHISIM_REQUIRE(tick >= currentTick_, "cannot schedule in the past");
+  Entry entry;
+  entry.tick = tick;
+  entry.priority = priority;
+  entry.sequence = nextSequence_++;
+  entry.action = std::move(action);
+  queue_.push(std::move(entry));
+}
+
+void Scheduler::scheduleRepeating(Tick start, Tick interval, Action action,
+                                  int priority) {
+  CHISIM_REQUIRE(action != nullptr, "action must be callable");
+  CHISIM_REQUIRE(interval >= 1, "repeat interval must be >= 1");
+  CHISIM_REQUIRE(start >= currentTick_, "cannot schedule in the past");
+  Entry entry;
+  entry.tick = start;
+  entry.priority = priority;
+  entry.sequence = nextSequence_++;
+  entry.action = std::move(action);
+  entry.interval = interval;
+  queue_.push(std::move(entry));
+}
+
+void Scheduler::run(Tick endTick) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().tick > endTick) {
+      break;
+    }
+    Entry entry = queue_.top();
+    queue_.pop();
+    currentTick_ = entry.tick;
+    entry.action(entry.tick);
+    ++executedActions_;
+    if (entry.interval > 0 && !stopped_) {
+      Entry repeat = std::move(entry);
+      repeat.tick += repeat.interval;
+      repeat.sequence = nextSequence_++;
+      if (repeat.tick <= endTick) {
+        queue_.push(std::move(repeat));
+      }
+    }
+  }
+}
+
+}  // namespace chisimnet::runtime

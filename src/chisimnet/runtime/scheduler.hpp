@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+/// Discrete-event schedule (the Repast HPC ScheduleRunner substitute).
+///
+/// chiSIM is built on Repast HPC, whose models register actions on a shared
+/// tick schedule ("at each simulation time step (1 hour) each agent decides
+/// their next activity", paper §II). Scheduler reproduces that abstraction:
+/// actions are enqueued at a tick with a priority, repeating actions
+/// re-enqueue themselves with a fixed interval, and execution proceeds in
+/// strict (tick, priority, insertion order) order. Each rank of the
+/// distributed model runs its own scheduler; lockstep across ranks comes
+/// from the communication pattern of the scheduled actions, exactly as in
+/// Repast HPC.
+
+namespace chisimnet::runtime {
+
+using Tick = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Action = std::function<void(Tick)>;
+
+  /// Lower values run earlier within a tick.
+  enum Priority : int {
+    kEarly = 0,
+    kNormal = 100,
+    kLate = 200,
+  };
+
+  /// Schedules a one-shot action at `tick`. Requires tick >= currentTick().
+  void scheduleAt(Tick tick, Action action, int priority = kNormal);
+
+  /// Schedules an action at `start` and then every `interval` ticks.
+  /// Requires interval >= 1.
+  void scheduleRepeating(Tick start, Tick interval, Action action,
+                         int priority = kNormal);
+
+  /// Requests that the run stop after the current tick completes; pending
+  /// actions at later ticks are discarded by run().
+  void stop() noexcept { stopped_ = true; }
+
+  /// Executes actions in order until the queue is empty, an action calls
+  /// stop(), or the next action's tick exceeds `endTick`.
+  void run(Tick endTick);
+
+  Tick currentTick() const noexcept { return currentTick_; }
+  std::uint64_t executedActions() const noexcept { return executedActions_; }
+  std::size_t pendingActions() const noexcept { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Tick tick = 0;
+    int priority = kNormal;
+    std::uint64_t sequence = 0;  ///< insertion order tiebreaker
+    Action action;
+    Tick interval = 0;  ///< 0 = one-shot
+
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.tick != b.tick) return a.tick > b.tick;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  Tick currentTick_ = 0;
+  std::uint64_t nextSequence_ = 0;
+  std::uint64_t executedActions_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace chisimnet::runtime

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// Fixed-size worker pool plus a chunked parallel-for. Used by the Cluster
+/// task farm and by callers that want shared-memory parallelism inside a
+/// rank (the OpenMP-style layer of the paper's hybrid setup).
+
+namespace chisimnet::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threadCount` workers (>= 1).
+  explicit ThreadPool(unsigned threadCount);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueues a task; tasks may run on any worker in any order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void waitIdle();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable idle_;
+  std::uint64_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across up to `workers` threads with
+/// dynamic chunking. Exceptions from body propagate (first one wins).
+void parallelFor(std::uint64_t count, unsigned workers,
+                 const std::function<void(std::uint64_t)>& body);
+
+}  // namespace chisimnet::runtime

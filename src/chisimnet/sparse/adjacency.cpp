@@ -1,0 +1,139 @@
+#include "chisimnet/sparse/adjacency.hpp"
+
+#include <algorithm>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::sparse {
+
+void SymmetricAdjacency::add(std::uint32_t i, std::uint32_t j,
+                             std::uint64_t weight) {
+  CHISIM_REQUIRE(i != j, "self-collocation is not an edge");
+  if (weight == 0) {
+    return;
+  }
+  pairs_.add(packPair(i, j), weight);
+}
+
+std::uint64_t SymmetricAdjacency::weight(std::uint32_t i,
+                                         std::uint32_t j) const noexcept {
+  if (i == j) {
+    return 0;
+  }
+  return pairs_.get(packPair(i, j));
+}
+
+namespace {
+
+/// SpGEMM path: transpose the per-person CSR into per-hour person lists,
+/// then accumulate one outer product per time column.
+void addViaSpGemm(const CollocationMatrix& matrix, PairCountMap& pairs) {
+  const std::size_t personCount = matrix.personCount();
+  if (personCount < 2) {
+    return;
+  }
+  // Column (hour) -> local rows present. Counting sort keeps this linear in
+  // nnz.
+  std::vector<std::uint64_t> columnSizes(matrix.sliceHours() + 1, 0);
+  for (std::size_t row = 0; row < personCount; ++row) {
+    for (std::uint32_t hour : matrix.hoursAt(row)) {
+      ++columnSizes[hour + 1];
+    }
+  }
+  for (std::size_t h = 1; h < columnSizes.size(); ++h) {
+    columnSizes[h] += columnSizes[h - 1];
+  }
+  std::vector<std::uint32_t> columnRows(matrix.nnz());
+  std::vector<std::uint64_t> cursor(columnSizes.begin(), columnSizes.end() - 1);
+  for (std::size_t row = 0; row < personCount; ++row) {
+    for (std::uint32_t hour : matrix.hoursAt(row)) {
+      columnRows[cursor[hour]++] = static_cast<std::uint32_t>(row);
+    }
+  }
+
+  for (std::uint32_t hour = 0; hour < matrix.sliceHours(); ++hour) {
+    const std::uint64_t begin = columnSizes[hour];
+    const std::uint64_t end = columnSizes[hour + 1];
+    for (std::uint64_t a = begin; a < end; ++a) {
+      const table::PersonId personA = matrix.personAt(columnRows[a]);
+      for (std::uint64_t b = a + 1; b < end; ++b) {
+        const table::PersonId personB = matrix.personAt(columnRows[b]);
+        pairs.add(packPair(personA, personB), 1);
+      }
+    }
+  }
+}
+
+std::uint64_t sortedIntersectionSize(std::span<const std::uint32_t> a,
+                                     std::span<const std::uint32_t> b) noexcept {
+  std::uint64_t count = 0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] < b[ib]) {
+      ++ia;
+    } else if (b[ib] < a[ia]) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+/// Pairwise path: weight(i,j) = |hours_i ∩ hours_j| for each visitor pair.
+void addViaIntersection(const CollocationMatrix& matrix, PairCountMap& pairs) {
+  const std::size_t personCount = matrix.personCount();
+  for (std::size_t a = 0; a < personCount; ++a) {
+    const auto hoursA = matrix.hoursAt(a);
+    for (std::size_t b = a + 1; b < personCount; ++b) {
+      const std::uint64_t shared =
+          sortedIntersectionSize(hoursA, matrix.hoursAt(b));
+      if (shared > 0) {
+        pairs.add(packPair(matrix.personAt(a), matrix.personAt(b)), shared);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void SymmetricAdjacency::addCollocation(const CollocationMatrix& matrix,
+                                        AdjacencyMethod method) {
+  switch (method) {
+    case AdjacencyMethod::kSpGemm:
+      addViaSpGemm(matrix, pairs_);
+      return;
+    case AdjacencyMethod::kIntervalIntersection:
+      addViaIntersection(matrix, pairs_);
+      return;
+  }
+  CHISIM_CHECK(false, "unknown adjacency method");
+}
+
+std::vector<AdjacencyTriplet> SymmetricAdjacency::toTriplets() const {
+  std::vector<AdjacencyTriplet> triplets;
+  triplets.reserve(pairs_.size());
+  for (const auto& [key, count] : pairs_.entries()) {
+    triplets.push_back(AdjacencyTriplet{pairLow(key), pairHigh(key), count});
+  }
+  std::sort(triplets.begin(), triplets.end());
+  return triplets;
+}
+
+SymmetricAdjacency adjacencyFromCollocations(
+    std::span<const CollocationMatrix> matrices, AdjacencyMethod method) {
+  std::uint64_t expected = 0;
+  for (const CollocationMatrix& matrix : matrices) {
+    expected += matrix.nnz();
+  }
+  SymmetricAdjacency adjacency(static_cast<std::size_t>(expected));
+  for (const CollocationMatrix& matrix : matrices) {
+    adjacency.addCollocation(matrix, method);
+  }
+  return adjacency;
+}
+
+}  // namespace chisimnet::sparse

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chisimnet/sparse/collocation.hpp"
+#include "chisimnet/sparse/pair_count_map.hpp"
+#include "chisimnet/table/event.hpp"
+
+/// The sparse symmetric collocation adjacency matrix A = Σ_l x_l·x_lᵀ
+/// (paper §IV). Off-diagonal entries only: A(i,j) is the number of
+/// person-hours i and j spent collocated. The matrix is stored as its upper
+/// triangle (i < j), exactly as the paper stores the triangular sparse
+/// matrix in R, via a pair-count hash map while accumulating and as sorted
+/// triplets once finalized.
+
+namespace chisimnet::sparse {
+
+/// How a per-place adjacency contribution x·xᵀ is computed.
+enum class AdjacencyMethod {
+  /// Faithful to the paper's math: for every time column, add 1 to every
+  /// pair of persons present in that column (sparse column outer products).
+  kSpGemm,
+  /// Optimized equivalent: for every pair of persons at the place, the
+  /// weight is the size of the sorted intersection of their hour lists.
+  kIntervalIntersection,
+};
+
+struct AdjacencyTriplet {
+  std::uint32_t i = 0;  ///< lower person id
+  std::uint32_t j = 0;  ///< higher person id
+  std::uint64_t weight = 0;
+
+  friend auto operator<=>(const AdjacencyTriplet&, const AdjacencyTriplet&) =
+      default;
+};
+
+class SymmetricAdjacency {
+ public:
+  explicit SymmetricAdjacency(std::size_t expectedEdges = 64)
+      : pairs_(expectedEdges) {}
+
+  /// Adds `weight` collocation hours between distinct persons i and j.
+  void add(std::uint32_t i, std::uint32_t j, std::uint64_t weight);
+
+  /// Accumulates one place's x·xᵀ contribution.
+  void addCollocation(const CollocationMatrix& matrix,
+                      AdjacencyMethod method = AdjacencyMethod::kSpGemm);
+
+  /// Sums another adjacency into this one (matrix addition).
+  void merge(const SymmetricAdjacency& other) { pairs_.merge(other.pairs_); }
+
+  /// Collocation hours between i and j (0 when never collocated).
+  std::uint64_t weight(std::uint32_t i, std::uint32_t j) const noexcept;
+
+  /// Number of stored (i<j) edges.
+  std::uint64_t edgeCount() const noexcept { return pairs_.size(); }
+
+  std::size_t memoryBytes() const noexcept { return pairs_.memoryBytes(); }
+
+  /// Upper-triangular triplets sorted by (i, j); deterministic output.
+  std::vector<AdjacencyTriplet> toTriplets() const;
+
+ private:
+  PairCountMap pairs_;
+};
+
+/// Accumulates every matrix in `matrices` into a fresh adjacency.
+SymmetricAdjacency adjacencyFromCollocations(
+    std::span<const CollocationMatrix> matrices,
+    AdjacencyMethod method = AdjacencyMethod::kSpGemm);
+
+}  // namespace chisimnet::sparse

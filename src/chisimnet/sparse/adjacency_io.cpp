@@ -1,0 +1,101 @@
+#include "chisimnet/sparse/adjacency_io.hpp"
+
+#include <fstream>
+
+#include "chisimnet/util/binary_io.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::sparse {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'A', 'D', 'J'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRowBytes = 4 + 4 + 8;
+
+}  // namespace
+
+void saveTriplets(std::span<const AdjacencyTriplet> triplets,
+                  const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CHISIM_CHECK(out.good(), "cannot open adjacency file for writing: " +
+                               path.string());
+  out.write(kMagic, 4);
+  util::writeU32(out, kVersion);
+  util::writeU64(out, triplets.size());
+
+  std::vector<std::byte> payload;
+  payload.reserve(triplets.size() * kRowBytes);
+  const auto put32 = [&payload](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      payload.push_back(static_cast<std::byte>(value >> shift));
+    }
+  };
+  for (const AdjacencyTriplet& triplet : triplets) {
+    CHISIM_REQUIRE(triplet.i < triplet.j,
+                   "triplets must be upper-triangular (i < j)");
+    put32(triplet.i);
+    put32(triplet.j);
+    put32(static_cast<std::uint32_t>(triplet.weight));
+    put32(static_cast<std::uint32_t>(triplet.weight >> 32));
+  }
+  util::writeBytes(out, payload);
+  util::writeU32(out, util::crc32(payload));
+  out.flush();
+  CHISIM_CHECK(out.good(), "adjacency write failed: " + path.string());
+}
+
+void saveAdjacency(const SymmetricAdjacency& adjacency,
+                   const std::filesystem::path& path) {
+  const std::vector<AdjacencyTriplet> triplets = adjacency.toTriplets();
+  saveTriplets(triplets, path);
+}
+
+std::vector<AdjacencyTriplet> loadTriplets(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  CHISIM_CHECK(in.good(), "cannot open adjacency file: " + path.string());
+  char magic[4];
+  in.read(magic, 4);
+  CHISIM_CHECK(in.gcount() == 4 && std::equal(magic, magic + 4, kMagic),
+               "not a CADJ file: " + path.string());
+  CHISIM_CHECK(util::readU32(in) == kVersion, "unsupported CADJ version");
+  const std::uint64_t count = util::readU64(in);
+
+  std::vector<std::byte> payload(count * kRowBytes);
+  util::readBytes(in, payload);
+  const std::uint32_t storedCrc = util::readU32(in);
+  CHISIM_CHECK(storedCrc == util::crc32(payload),
+               "adjacency CRC mismatch (corrupt or truncated): " +
+                   path.string());
+
+  std::vector<AdjacencyTriplet> triplets(count);
+  std::size_t cursor = 0;
+  const auto take32 = [&payload, &cursor]() {
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(payload[cursor]) |
+        (static_cast<std::uint32_t>(payload[cursor + 1]) << 8) |
+        (static_cast<std::uint32_t>(payload[cursor + 2]) << 16) |
+        (static_cast<std::uint32_t>(payload[cursor + 3]) << 24);
+    cursor += 4;
+    return value;
+  };
+  for (AdjacencyTriplet& triplet : triplets) {
+    triplet.i = take32();
+    triplet.j = take32();
+    const std::uint64_t low = take32();
+    const std::uint64_t high = take32();
+    triplet.weight = low | (high << 32);
+  }
+  return triplets;
+}
+
+SymmetricAdjacency loadAdjacency(const std::filesystem::path& path) {
+  const std::vector<AdjacencyTriplet> triplets = loadTriplets(path);
+  SymmetricAdjacency adjacency(triplets.size());
+  for (const AdjacencyTriplet& triplet : triplets) {
+    adjacency.add(triplet.i, triplet.j, triplet.weight);
+  }
+  return adjacency;
+}
+
+}  // namespace chisimnet::sparse

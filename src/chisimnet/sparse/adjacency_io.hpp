@@ -1,0 +1,33 @@
+#pragma once
+
+#include <filesystem>
+
+#include "chisimnet/sparse/adjacency.hpp"
+
+/// Persistence for the synthesized sparse triangular adjacency matrix.
+///
+/// The paper synthesizes the network once on the cluster, then loads the
+/// resulting ~10 GB sparse matrix on a workstation for analysis and
+/// visualization (§V.A). CADJ1 is a compact binary container for the sorted
+/// upper-triangular triplets: header (magic, version, edge count), payload
+/// of (i, j, weight) rows with u32 ids and u64 weights, and a CRC32 footer
+/// over the payload so a truncated transfer is detected at load.
+
+namespace chisimnet::sparse {
+
+/// Writes the adjacency as sorted triplets. Overwrites `path`.
+void saveAdjacency(const SymmetricAdjacency& adjacency,
+                   const std::filesystem::path& path);
+
+/// Writes pre-sorted triplets directly (avoids re-extracting them when the
+/// caller already has the sorted form).
+void saveTriplets(std::span<const AdjacencyTriplet> triplets,
+                  const std::filesystem::path& path);
+
+/// Loads triplets; validates magic, version and CRC.
+std::vector<AdjacencyTriplet> loadTriplets(const std::filesystem::path& path);
+
+/// Loads into an accumulator (e.g. to sum stored partial matrices).
+SymmetricAdjacency loadAdjacency(const std::filesystem::path& path);
+
+}  // namespace chisimnet::sparse

@@ -1,0 +1,263 @@
+#include "chisimnet/stats/fit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::stats {
+
+namespace {
+
+/// Solves the n x n linear system M·x = b (Gaussian elimination with partial
+/// pivoting). Small systems only (n <= 3 here).
+template <std::size_t N>
+std::array<double, N> solveLinear(std::array<std::array<double, N>, N> m,
+                                  std::array<double, N> b) {
+  for (std::size_t col = 0; col < N; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < N; ++row) {
+      if (std::fabs(m[row][col]) > std::fabs(m[pivot][col])) {
+        pivot = row;
+      }
+    }
+    std::swap(m[col], m[pivot]);
+    std::swap(b[col], b[pivot]);
+    CHISIM_CHECK(std::fabs(m[col][col]) > 1e-12,
+                 "singular normal equations in distribution fit");
+    for (std::size_t row = col + 1; row < N; ++row) {
+      const double factor = m[row][col] / m[col][col];
+      for (std::size_t k = col; k < N; ++k) {
+        m[row][k] -= factor * m[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::array<double, N> x{};
+  for (std::size_t row = N; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t k = row + 1; k < N; ++k) {
+      sum -= m[row][k] * x[k];
+    }
+    x[row] = sum / m[row][row];
+  }
+  return x;
+}
+
+struct LogPoint {
+  double k = 0.0;
+  double lnK = 0.0;
+  double lnP = 0.0;
+};
+
+std::vector<LogPoint> logPoints(std::span<const FrequencyPoint> distribution,
+                                std::uint64_t kMin) {
+  std::vector<LogPoint> points;
+  for (const FrequencyPoint& point : distribution) {
+    if (point.value >= kMin && point.value > 0 && point.fraction > 0.0) {
+      const double k = static_cast<double>(point.value);
+      points.push_back(LogPoint{k, std::log(k), std::log(point.fraction)});
+    }
+  }
+  return points;
+}
+
+/// Least squares of lnP against the selected basis columns of
+/// (1, -lnK, -k): a generic driver for all three models.
+template <std::size_t N>
+std::array<double, N> leastSquares(const std::vector<LogPoint>& points,
+                                   bool useLnK, bool useK) {
+  std::array<std::array<double, N>, N> normal{};
+  std::array<double, N> rhs{};
+  for (const LogPoint& point : points) {
+    std::array<double, N> row{};
+    std::size_t column = 0;
+    row[column++] = 1.0;
+    if (useLnK) {
+      row[column++] = -point.lnK;
+    }
+    if (useK) {
+      row[column++] = -point.k;
+    }
+    for (std::size_t a = 0; a < N; ++a) {
+      rhs[a] += row[a] * point.lnP;
+      for (std::size_t b = 0; b < N; ++b) {
+        normal[a][b] += row[a] * row[b];
+      }
+    }
+  }
+  return solveLinear<N>(normal, rhs);
+}
+
+}  // namespace
+
+std::string fitModelName(FitModel model) {
+  switch (model) {
+    case FitModel::kPowerLaw:
+      return "power-law";
+    case FitModel::kTruncatedPowerLaw:
+      return "truncated-power-law";
+    case FitModel::kExponential:
+      return "exponential";
+  }
+  return "unknown";
+}
+
+double FitResult::evaluate(double k) const {
+  CHISIM_REQUIRE(k > 0.0, "model density defined for k > 0");
+  double lnP = logPrefactor - alpha * std::log(k);
+  if (cutoff > 0.0) {
+    lnP -= k / cutoff;
+  }
+  return std::exp(lnP);
+}
+
+FitResult fitPowerLaw(std::span<const FrequencyPoint> distribution,
+                      std::uint64_t kMin) {
+  const auto points = logPoints(distribution, kMin);
+  CHISIM_REQUIRE(points.size() >= 2, "power-law fit needs >= 2 points");
+  const auto solution = leastSquares<2>(points, /*useLnK=*/true, /*useK=*/false);
+  FitResult fit;
+  fit.model = FitModel::kPowerLaw;
+  fit.logPrefactor = solution[0];
+  fit.alpha = solution[1];
+  fit.points = points.size();
+  fit.sseLog = logSse(fit, distribution, kMin);
+  return fit;
+}
+
+FitResult fitTruncatedPowerLaw(std::span<const FrequencyPoint> distribution,
+                               std::uint64_t kMin) {
+  const auto points = logPoints(distribution, kMin);
+  CHISIM_REQUIRE(points.size() >= 3, "truncated power-law fit needs >= 3 points");
+  const auto solution = leastSquares<3>(points, /*useLnK=*/true, /*useK=*/true);
+  FitResult fit;
+  fit.model = FitModel::kTruncatedPowerLaw;
+  fit.logPrefactor = solution[0];
+  fit.alpha = solution[1];
+  // solution[2] is 1/k_c; guard against a fit that bends the wrong way.
+  fit.cutoff = solution[2] > 1e-12 ? 1.0 / solution[2] : 0.0;
+  fit.points = points.size();
+  fit.sseLog = logSse(fit, distribution, kMin);
+  return fit;
+}
+
+FitResult fitExponential(std::span<const FrequencyPoint> distribution,
+                         std::uint64_t kMin) {
+  const auto points = logPoints(distribution, kMin);
+  CHISIM_REQUIRE(points.size() >= 2, "exponential fit needs >= 2 points");
+  const auto solution = leastSquares<2>(points, /*useLnK=*/false, /*useK=*/true);
+  FitResult fit;
+  fit.model = FitModel::kExponential;
+  fit.logPrefactor = solution[0];
+  fit.alpha = 0.0;
+  fit.cutoff = solution[1] > 1e-12 ? 1.0 / solution[1] : 0.0;
+  fit.points = points.size();
+  fit.sseLog = logSse(fit, distribution, kMin);
+  return fit;
+}
+
+double logSse(const FitResult& fit, std::span<const FrequencyPoint> distribution,
+              std::uint64_t kMin) {
+  double sse = 0.0;
+  for (const LogPoint& point : logPoints(distribution, kMin)) {
+    double lnModel = fit.logPrefactor - fit.alpha * point.lnK;
+    if (fit.cutoff > 0.0) {
+      lnModel -= point.k / fit.cutoff;
+    }
+    const double residual = point.lnP - lnModel;
+    sse += residual * residual;
+  }
+  return sse;
+}
+
+double powerLawAlphaMle(std::span<const std::uint64_t> values,
+                        std::uint64_t kMin) {
+  CHISIM_REQUIRE(kMin >= 1, "kMin must be >= 1");
+  double logSum = 0.0;
+  std::uint64_t n = 0;
+  const double shifted = static_cast<double>(kMin) - 0.5;
+  for (std::uint64_t value : values) {
+    if (value >= kMin) {
+      logSum += std::log(static_cast<double>(value) / shifted);
+      ++n;
+    }
+  }
+  CHISIM_REQUIRE(n > 0 && logSum > 0.0, "MLE needs observations >= kMin");
+  return 1.0 + static_cast<double>(n) / logSum;
+}
+
+double ksStatistic(const FitResult& fit,
+                   std::span<const FrequencyPoint> distribution,
+                   std::uint64_t kMin) {
+  // Restrict both distributions to k >= kMin and renormalize.
+  std::vector<FrequencyPoint> support;
+  double empiricalTotal = 0.0;
+  for (const FrequencyPoint& point : distribution) {
+    if (point.value >= kMin && point.value > 0) {
+      support.push_back(point);
+      empiricalTotal += point.fraction;
+    }
+  }
+  CHISIM_REQUIRE(!support.empty() && empiricalTotal > 0.0,
+                 "KS needs support at k >= kMin");
+  double modelTotal = 0.0;
+  for (const FrequencyPoint& point : support) {
+    modelTotal += fit.evaluate(static_cast<double>(point.value));
+  }
+  CHISIM_CHECK(modelTotal > 0.0, "model mass vanished on the support");
+
+  double empiricalCdf = 0.0;
+  double modelCdf = 0.0;
+  double ks = 0.0;
+  for (const FrequencyPoint& point : support) {
+    empiricalCdf += point.fraction / empiricalTotal;
+    modelCdf += fit.evaluate(static_cast<double>(point.value)) / modelTotal;
+    ks = std::max(ks, std::fabs(empiricalCdf - modelCdf));
+  }
+  return ks;
+}
+
+double ksTwoSample(std::span<const FrequencyPoint> a,
+                   std::span<const FrequencyPoint> b) {
+  CHISIM_REQUIRE(!a.empty() && !b.empty(),
+                 "two-sample KS needs non-empty distributions");
+  double totalA = 0.0;
+  double totalB = 0.0;
+  for (const FrequencyPoint& point : a) {
+    totalA += point.fraction;
+  }
+  for (const FrequencyPoint& point : b) {
+    totalB += point.fraction;
+  }
+  CHISIM_REQUIRE(totalA > 0.0 && totalB > 0.0,
+                 "two-sample KS needs positive mass");
+
+  // Merge-walk the two value-sorted supports, tracking both CDFs.
+  double cdfA = 0.0;
+  double cdfB = 0.0;
+  double ks = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    std::uint64_t value;
+    if (ib >= b.size() || (ia < a.size() && a[ia].value <= b[ib].value)) {
+      value = a[ia].value;
+    } else {
+      value = b[ib].value;
+    }
+    while (ia < a.size() && a[ia].value == value) {
+      cdfA += a[ia].fraction / totalA;
+      ++ia;
+    }
+    while (ib < b.size() && b[ib].value == value) {
+      cdfB += b[ib].fraction / totalB;
+      ++ib;
+    }
+    ks = std::max(ks, std::fabs(cdfA - cdfB));
+  }
+  return ks;
+}
+
+}  // namespace chisimnet::stats

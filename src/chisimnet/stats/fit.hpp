@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chisimnet/stats/histogram.hpp"
+
+/// Degree-distribution model fits used in the paper's Fig 3: power law
+/// p(k) ~ k^-a, truncated power law p(k) ~ k^-a * exp(-k/kc), and
+/// exponential p(k) ~ exp(-k/kc). Fits are least squares in log space over
+/// the empirical frequency points, matching how the paper overlays the
+/// model lines on the log-log plot; a discrete MLE estimator for the
+/// power-law exponent is also provided (Clauset-style).
+
+namespace chisimnet::stats {
+
+enum class FitModel { kPowerLaw, kTruncatedPowerLaw, kExponential };
+
+std::string fitModelName(FitModel model);
+
+struct FitResult {
+  FitModel model = FitModel::kPowerLaw;
+  double alpha = 0.0;        ///< power-law exponent (0 for exponential)
+  double cutoff = 0.0;       ///< k_c (0 for pure power law)
+  double logPrefactor = 0.0; ///< c in ln p = c - a ln k - k/k_c
+  double sseLog = 0.0;       ///< sum of squared residuals in log space
+  std::size_t points = 0;    ///< fitted point count
+
+  /// Model density at degree k (k >= 1).
+  double evaluate(double k) const;
+};
+
+/// Fits ln p = c - a ln k over points with value >= kMin and fraction > 0.
+FitResult fitPowerLaw(std::span<const FrequencyPoint> distribution,
+                      std::uint64_t kMin = 1);
+
+/// Fits ln p = c - a ln k - k/k_c (3-parameter linear least squares).
+FitResult fitTruncatedPowerLaw(std::span<const FrequencyPoint> distribution,
+                               std::uint64_t kMin = 1);
+
+/// Fits ln p = c - k/k_c.
+FitResult fitExponential(std::span<const FrequencyPoint> distribution,
+                         std::uint64_t kMin = 1);
+
+/// Log-space sum of squared residuals of `fit` against the distribution
+/// (over points with value >= kMin and positive fraction).
+double logSse(const FitResult& fit, std::span<const FrequencyPoint> distribution,
+              std::uint64_t kMin = 1);
+
+/// Discrete maximum-likelihood power-law exponent estimate
+/// alpha = 1 + n / sum(ln(k_i / (kMin - 0.5))) over observations >= kMin
+/// (Clauset et al.'s continuous approximation of the discrete MLE; accurate
+/// to ~1% for kMin >= 6, increasingly biased toward small alpha as kMin
+/// approaches 1 — pick the fit region accordingly).
+double powerLawAlphaMle(std::span<const std::uint64_t> values,
+                        std::uint64_t kMin = 1);
+
+/// Kolmogorov-Smirnov distance between the empirical distribution (over
+/// k >= kMin) and the fitted model normalized over the same support.
+double ksStatistic(const FitResult& fit,
+                   std::span<const FrequencyPoint> distribution,
+                   std::uint64_t kMin = 1);
+
+/// Two-sample Kolmogorov-Smirnov distance between empirical integer
+/// distributions (max CDF gap over the union of supports). 0 = identical
+/// distributions, 1 = disjoint supports. The quantitative form of the
+/// paper's "superficially similar" comparison between emergent and
+/// generated degree distributions.
+double ksTwoSample(std::span<const FrequencyPoint> a,
+                   std::span<const FrequencyPoint> b);
+
+}  // namespace chisimnet::stats

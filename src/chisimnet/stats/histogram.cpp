@@ -1,0 +1,133 @@
+#include "chisimnet/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  CHISIM_REQUIRE(hi > lo, "histogram range must be non-empty");
+  CHISIM_REQUIRE(bins > 0, "histogram needs at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) noexcept {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value > hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // value == hi_ joins last bin
+  ++counts_[bin];
+}
+
+void Histogram::addAll(std::span<const double> values) noexcept {
+  for (double value : values) {
+    add(value);
+  }
+}
+
+double Histogram::binCenter(std::size_t bin) const {
+  CHISIM_REQUIRE(bin < counts_.size(), "bin out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::pair<double, double> Histogram::binEdges(std::size_t bin) const {
+  CHISIM_REQUIRE(bin < counts_.size(), "bin out of range");
+  return {lo_ + static_cast<double>(bin) * width_,
+          lo_ + static_cast<double>(bin + 1) * width_};
+}
+
+std::vector<FrequencyPoint> frequencyDistribution(
+    std::span<const std::uint64_t> values) {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (std::uint64_t value : values) {
+    ++counts[value];
+  }
+  std::vector<FrequencyPoint> points;
+  points.reserve(counts.size());
+  const double total = static_cast<double>(values.size());
+  for (const auto& [value, count] : counts) {
+    points.push_back(FrequencyPoint{
+        value, count, total > 0 ? static_cast<double>(count) / total : 0.0});
+  }
+  return points;
+}
+
+std::vector<FrequencyPoint> logBinnedDistribution(
+    std::span<const std::uint64_t> values, double binRatio) {
+  CHISIM_REQUIRE(binRatio > 1.0, "log bin ratio must exceed 1");
+  std::uint64_t maxValue = 0;
+  for (std::uint64_t value : values) {
+    maxValue = std::max(maxValue, value);
+  }
+  if (maxValue == 0) {
+    return {};
+  }
+
+  // Geometric edges 1, r, r^2, ... covering [1, maxValue].
+  std::vector<double> edges{1.0};
+  while (edges.back() <= static_cast<double>(maxValue)) {
+    edges.push_back(edges.back() * binRatio);
+  }
+
+  std::vector<std::uint64_t> counts(edges.size() - 1, 0);
+  std::uint64_t total = 0;
+  for (std::uint64_t value : values) {
+    if (value == 0) {
+      continue;  // log bins cover k >= 1
+    }
+    const auto it = std::upper_bound(edges.begin(), edges.end(),
+                                     static_cast<double>(value));
+    const auto bin = static_cast<std::size_t>(it - edges.begin()) - 1;
+    ++counts[std::min(bin, counts.size() - 1)];
+    ++total;
+  }
+
+  std::vector<FrequencyPoint> points;
+  for (std::size_t bin = 0; bin < counts.size(); ++bin) {
+    if (counts[bin] == 0) {
+      continue;
+    }
+    const double width = edges[bin + 1] - edges[bin];
+    const double center = std::sqrt(edges[bin] * edges[bin + 1]);
+    points.push_back(FrequencyPoint{
+        static_cast<std::uint64_t>(center + 0.5), counts[bin],
+        static_cast<double>(counts[bin]) / (static_cast<double>(total) * width)});
+  }
+  return points;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double value : values) {
+    sum += value;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mu = mean(values);
+  double sum = 0.0;
+  for (double value : values) {
+    sum += (value - mu) * (value - mu);
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace chisimnet::stats

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+/// Histograms and empirical distributions used by the network analyses
+/// (paper §V.B): the clustering-coefficient histogram (Fig 4) and the vertex
+/// degree frequency distributions (Figs 3 and 5).
+
+namespace chisimnet::stats {
+
+/// Fixed-range linear-bin histogram over doubles.
+class Histogram {
+ public:
+  /// Bins the half-open range [lo, hi) into `bins` equal cells; values at
+  /// exactly `hi` land in the last cell, values outside are counted in
+  /// underflow/overflow. Requires hi > lo and bins > 0.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void addAll(std::span<const double> values) noexcept;
+
+  std::size_t binCount() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Center of bin `bin`.
+  double binCenter(std::size_t bin) const;
+  /// [low, high) edges of bin `bin`.
+  std::pair<double, double> binEdges(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// One point of an integer-valued empirical frequency distribution.
+struct FrequencyPoint {
+  std::uint64_t value = 0;  ///< e.g. vertex degree k
+  std::uint64_t count = 0;  ///< number of observations with that value
+  double fraction = 0.0;    ///< count / total observations
+};
+
+/// Exact frequency distribution of non-negative integer observations,
+/// sorted by value ascending. Zero observations are included as a point
+/// only if present in the input.
+std::vector<FrequencyPoint> frequencyDistribution(
+    std::span<const std::uint64_t> values);
+
+/// Logarithmically binned distribution (geometric bin edges with the given
+/// ratio > 1), useful for reading heavy tails; each returned point carries
+/// the geometric bin center as `value` and the per-unit-width normalized
+/// fraction as `fraction`.
+std::vector<FrequencyPoint> logBinnedDistribution(
+    std::span<const std::uint64_t> values, double binRatio = 1.5);
+
+/// Mean of a span (0 for empty input).
+double mean(std::span<const double> values) noexcept;
+
+/// Population variance of a span (0 for fewer than two values).
+double variance(std::span<const double> values) noexcept;
+
+}  // namespace chisimnet::stats

@@ -1,0 +1,296 @@
+#include "chisimnet/stats/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::stats {
+
+namespace {
+
+constexpr double kMarginLeft = 70.0;
+constexpr double kMarginRight = 20.0;
+constexpr double kMarginTop = 40.0;
+constexpr double kMarginBottom = 55.0;
+
+struct AxisRange {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  void expand(double value) {
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+  }
+};
+
+/// Maps a data value to plot coordinates, in (possibly log10) axis space.
+double axisValue(double value, bool log) {
+  return log ? std::log10(value) : value;
+}
+
+std::string escapeXml(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Tick positions: decades for log axes, ~6 round steps for linear axes.
+std::vector<double> ticks(double lo, double hi, bool log) {
+  std::vector<double> result;
+  if (log) {
+    for (int exponent = static_cast<int>(std::floor(lo));
+         exponent <= static_cast<int>(std::ceil(hi)); ++exponent) {
+      result.push_back(static_cast<double>(exponent));
+    }
+    return result;
+  }
+  const double span = hi - lo;
+  const double rawStep = span / 6.0;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(
+                                              std::max(rawStep, 1e-12))));
+  double step = magnitude;
+  for (double candidate : {1.0, 2.0, 5.0, 10.0}) {
+    if (magnitude * candidate >= rawStep) {
+      step = magnitude * candidate;
+      break;
+    }
+  }
+  for (double tick = std::ceil(lo / step) * step; tick <= hi + 1e-9;
+       tick += step) {
+    result.push_back(tick);
+  }
+  return result;
+}
+
+std::string tickLabel(double axisPos, bool log) {
+  char buffer[48];
+  if (log) {
+    std::snprintf(buffer, sizeof(buffer), "1e%d", static_cast<int>(axisPos));
+  } else if (std::fabs(axisPos) >= 1000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", axisPos);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%g", axisPos);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+ScatterPlot::ScatterPlot(std::string title, std::string xLabel,
+                         std::string yLabel)
+    : title_(std::move(title)),
+      xLabel_(std::move(xLabel)),
+      yLabel_(std::move(yLabel)) {}
+
+void ScatterPlot::addSeries(PlotSeries series) {
+  series_.push_back(std::move(series));
+}
+
+void ScatterPlot::writeSvg(const std::filesystem::path& path) const {
+  // Collect the plottable range in axis space.
+  bool any = false;
+  AxisRange xRange{1e300, -1e300};
+  AxisRange yRange{1e300, -1e300};
+  for (const PlotSeries& series : series_) {
+    for (const PlotPoint& point : series.points) {
+      if ((logX_ && point.x <= 0.0) || (logY_ && point.y <= 0.0)) {
+        continue;
+      }
+      xRange.expand(axisValue(point.x, logX_));
+      yRange.expand(axisValue(point.y, logY_));
+      any = true;
+    }
+  }
+  CHISIM_REQUIRE(any, "plot has no plottable points");
+  if (xRange.hi - xRange.lo < 1e-9) {
+    xRange.hi = xRange.lo + 1.0;
+  }
+  if (yRange.hi - yRange.lo < 1e-9) {
+    yRange.hi = yRange.lo + 1.0;
+  }
+
+  const double plotWidth = width_ - kMarginLeft - kMarginRight;
+  const double plotHeight = height_ - kMarginTop - kMarginBottom;
+  const auto mapX = [&](double value) {
+    return kMarginLeft + (axisValue(value, logX_) - xRange.lo) /
+                             (xRange.hi - xRange.lo) * plotWidth;
+  };
+  const auto mapY = [&](double value) {
+    return kMarginTop + plotHeight - (axisValue(value, logY_) - yRange.lo) /
+                                         (yRange.hi - yRange.lo) * plotHeight;
+  };
+
+  std::ofstream out(path);
+  CHISIM_CHECK(out.good(), "cannot open plot for writing: " + path.string());
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+      << "\" height=\"" << height_ << "\" font-family=\"sans-serif\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << "<text x=\"" << width_ / 2 << "\" y=\"24\" text-anchor=\"middle\" "
+         "font-size=\"16\">"
+      << escapeXml(title_) << "</text>\n";
+
+  // Axes frame.
+  out << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop << "\" width=\""
+      << plotWidth << "\" height=\"" << plotHeight
+      << "\" fill=\"none\" stroke=\"#444\"/>\n";
+
+  // Ticks and grid.
+  for (double tick : ticks(xRange.lo, xRange.hi, logX_)) {
+    const double x = kMarginLeft +
+                     (tick - xRange.lo) / (xRange.hi - xRange.lo) * plotWidth;
+    if (x < kMarginLeft - 1 || x > kMarginLeft + plotWidth + 1) {
+      continue;
+    }
+    out << "<line x1=\"" << x << "\" y1=\"" << kMarginTop << "\" x2=\"" << x
+        << "\" y2=\"" << kMarginTop + plotHeight
+        << "\" stroke=\"#ddd\"/>\n"
+        << "<text x=\"" << x << "\" y=\"" << kMarginTop + plotHeight + 18
+        << "\" text-anchor=\"middle\" font-size=\"11\">"
+        << tickLabel(tick, logX_) << "</text>\n";
+  }
+  for (double tick : ticks(yRange.lo, yRange.hi, logY_)) {
+    const double y = kMarginTop + plotHeight -
+                     (tick - yRange.lo) / (yRange.hi - yRange.lo) * plotHeight;
+    if (y < kMarginTop - 1 || y > kMarginTop + plotHeight + 1) {
+      continue;
+    }
+    out << "<line x1=\"" << kMarginLeft << "\" y1=\"" << y << "\" x2=\""
+        << kMarginLeft + plotWidth << "\" y2=\"" << y
+        << "\" stroke=\"#ddd\"/>\n"
+        << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << y + 4
+        << "\" text-anchor=\"end\" font-size=\"11\">" << tickLabel(tick, logY_)
+        << "</text>\n";
+  }
+
+  // Axis labels.
+  out << "<text x=\"" << kMarginLeft + plotWidth / 2 << "\" y=\""
+      << height_ - 12 << "\" text-anchor=\"middle\" font-size=\"13\">"
+      << escapeXml(xLabel_) << "</text>\n"
+      << "<text x=\"18\" y=\"" << kMarginTop + plotHeight / 2
+      << "\" text-anchor=\"middle\" font-size=\"13\" transform=\"rotate(-90 18 "
+      << kMarginTop + plotHeight / 2 << ")\">" << escapeXml(yLabel_)
+      << "</text>\n";
+
+  // Series.
+  for (const PlotSeries& series : series_) {
+    std::vector<PlotPoint> usable;
+    for (const PlotPoint& point : series.points) {
+      if ((logX_ && point.x <= 0.0) || (logY_ && point.y <= 0.0)) {
+        continue;
+      }
+      usable.push_back(point);
+    }
+    if (usable.empty()) {
+      continue;
+    }
+    if (series.drawLine) {
+      out << "<polyline fill=\"none\" stroke=\"" << series.color
+          << "\" stroke-width=\"1.5\"";
+      if (!series.dash.empty()) {
+        out << " stroke-dasharray=\"" << series.dash << "\"";
+      }
+      out << " points=\"";
+      for (const PlotPoint& point : usable) {
+        out << mapX(point.x) << ',' << mapY(point.y) << ' ';
+      }
+      out << "\"/>\n";
+    }
+    if (series.drawMarkers) {
+      for (const PlotPoint& point : usable) {
+        out << "<circle cx=\"" << mapX(point.x) << "\" cy=\"" << mapY(point.y)
+            << "\" r=\"2.2\" fill=\"" << series.color << "\"/>\n";
+      }
+    }
+  }
+
+  // Legend.
+  double legendY = kMarginTop + 14;
+  for (const PlotSeries& series : series_) {
+    if (series.label.empty()) {
+      continue;
+    }
+    const double x = kMarginLeft + plotWidth - 180;
+    out << "<line x1=\"" << x << "\" y1=\"" << legendY - 4 << "\" x2=\""
+        << x + 24 << "\" y2=\"" << legendY - 4 << "\" stroke=\"" << series.color
+        << "\" stroke-width=\"2\"";
+    if (!series.dash.empty()) {
+      out << " stroke-dasharray=\"" << series.dash << "\"";
+    }
+    out << "/>\n<text x=\"" << x + 30 << "\" y=\"" << legendY
+        << "\" font-size=\"12\">" << escapeXml(series.label) << "</text>\n";
+    legendY += 18;
+  }
+
+  out << "</svg>\n";
+  CHISIM_CHECK(out.good(), "plot write failed: " + path.string());
+}
+
+void writeHistogramSvg(const Histogram& histogram, const std::string& title,
+                       const std::string& xLabel,
+                       const std::filesystem::path& path, double width,
+                       double height) {
+  std::uint64_t maxCount = 1;
+  for (std::size_t bin = 0; bin < histogram.binCount(); ++bin) {
+    maxCount = std::max(maxCount, histogram.count(bin));
+  }
+  const double plotWidth = width - kMarginLeft - kMarginRight;
+  const double plotHeight = height - kMarginTop - kMarginBottom;
+  const double barWidth = plotWidth / static_cast<double>(histogram.binCount());
+
+  std::ofstream out(path);
+  CHISIM_CHECK(out.good(), "cannot open plot for writing: " + path.string());
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << "<text x=\"" << width / 2 << "\" y=\"24\" text-anchor=\"middle\" "
+         "font-size=\"16\">"
+      << escapeXml(title) << "</text>\n"
+      << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop << "\" width=\""
+      << plotWidth << "\" height=\"" << plotHeight
+      << "\" fill=\"none\" stroke=\"#444\"/>\n";
+
+  for (std::size_t bin = 0; bin < histogram.binCount(); ++bin) {
+    const double fraction = static_cast<double>(histogram.count(bin)) /
+                            static_cast<double>(maxCount);
+    const double barHeight = fraction * plotHeight;
+    out << "<rect x=\"" << kMarginLeft + static_cast<double>(bin) * barWidth + 1
+        << "\" y=\"" << kMarginTop + plotHeight - barHeight << "\" width=\""
+        << barWidth - 2 << "\" height=\"" << barHeight
+        << "\" fill=\"#1f6fb4\"/>\n";
+    if (bin % std::max<std::size_t>(1, histogram.binCount() / 10) == 0) {
+      out << "<text x=\""
+          << kMarginLeft + (static_cast<double>(bin) + 0.5) * barWidth
+          << "\" y=\"" << kMarginTop + plotHeight + 18
+          << "\" text-anchor=\"middle\" font-size=\"11\">"
+          << tickLabel(histogram.binCenter(bin), false) << "</text>\n";
+    }
+  }
+  // Y-axis max label and x-axis title.
+  out << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << kMarginTop + 4
+      << "\" text-anchor=\"end\" font-size=\"11\">" << maxCount << "</text>\n"
+      << "<text x=\"" << kMarginLeft - 6 << "\" y=\""
+      << kMarginTop + plotHeight + 4 << "\" text-anchor=\"end\" "
+         "font-size=\"11\">0</text>\n"
+      << "<text x=\"" << kMarginLeft + plotWidth / 2 << "\" y=\""
+      << height - 12 << "\" text-anchor=\"middle\" font-size=\"13\">"
+      << escapeXml(xLabel) << "</text>\n</svg>\n";
+  CHISIM_CHECK(out.good(), "plot write failed: " + path.string());
+}
+
+}  // namespace chisimnet::stats

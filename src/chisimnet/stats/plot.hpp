@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chisimnet/stats/histogram.hpp"
+
+/// Minimal SVG chart renderer used to regenerate the paper's figures.
+///
+/// Fig 3 and Fig 5 are log-log scatter plots of degree frequency
+/// distributions with fitted model curves overlaid; Fig 4 is a linear
+/// histogram. ScatterPlot supports linear or log10 axes with decade ticks,
+/// point series, line series and a legend — enough to reproduce those
+/// figures from the measured data, no plotting dependency required.
+
+namespace chisimnet::stats {
+
+struct PlotPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct PlotSeries {
+  std::string label;
+  std::string color = "#1f6fb4";
+  std::vector<PlotPoint> points;
+  bool drawLine = false;    ///< connect points (for model curves)
+  bool drawMarkers = true;  ///< draw circles at points
+  std::string dash;         ///< SVG stroke-dasharray, e.g. "6,3"
+};
+
+class ScatterPlot {
+ public:
+  ScatterPlot(std::string title, std::string xLabel, std::string yLabel);
+
+  void setLogX(bool logX) noexcept { logX_ = logX; }
+  void setLogY(bool logY) noexcept { logY_ = logY; }
+  void setSize(double width, double height) noexcept {
+    width_ = width;
+    height_ = height;
+  }
+
+  /// Adds a series; non-positive coordinates are dropped on log axes.
+  void addSeries(PlotSeries series);
+
+  /// Renders to an SVG file. Requires at least one plottable point.
+  void writeSvg(const std::filesystem::path& path) const;
+
+ private:
+  std::string title_;
+  std::string xLabel_;
+  std::string yLabel_;
+  std::vector<PlotSeries> series_;
+  bool logX_ = false;
+  bool logY_ = false;
+  double width_ = 760.0;
+  double height_ = 560.0;
+};
+
+/// Renders a Histogram as an SVG bar chart (the paper's Fig 4 form).
+void writeHistogramSvg(const Histogram& histogram, const std::string& title,
+                       const std::string& xLabel,
+                       const std::filesystem::path& path,
+                       double width = 760.0, double height = 560.0);
+
+}  // namespace chisimnet::stats

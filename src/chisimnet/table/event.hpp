@@ -1,0 +1,40 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+/// The simulation log record schema (paper §III).
+///
+/// A log entry is written every time a person agent changes activities and
+/// holds the activity interval plus the unique IDs of the person, activity
+/// and place — five 4-byte unsigned integers, 20 bytes total. Times are in
+/// simulation hours since the start of the run; the interval is half-open,
+/// [start, end).
+
+namespace chisimnet::table {
+
+using Hour = std::uint32_t;
+using PersonId = std::uint32_t;
+using ActivityId = std::uint32_t;
+using PlaceId = std::uint32_t;
+
+struct Event {
+  Hour start = 0;
+  Hour end = 0;
+  PersonId person = 0;
+  ActivityId activity = 0;
+  PlaceId place = 0;
+
+  friend auto operator<=>(const Event&, const Event&) = default;
+};
+
+static_assert(sizeof(Event) == 20, "log schema is five packed u32 fields");
+
+/// True when the event's interval [start, end) overlaps [windowStart,
+/// windowEnd).
+constexpr bool overlapsWindow(const Event& event, Hour windowStart,
+                              Hour windowEnd) noexcept {
+  return event.start < windowEnd && event.end > windowStart;
+}
+
+}  // namespace chisimnet::table

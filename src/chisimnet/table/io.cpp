@@ -1,0 +1,64 @@
+#include "chisimnet/table/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <string>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::table {
+
+void writeEventsTsv(const EventTable& events,
+                    const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  CHISIM_CHECK(out.good(), "cannot open for writing: " + path.string());
+  out << "start\tend\tperson\tactivity\tplace\n";
+  for (std::uint64_t row = 0; row < events.size(); ++row) {
+    const Event event = events.row(row);
+    out << event.start << '\t' << event.end << '\t' << event.person << '\t'
+        << event.activity << '\t' << event.place << '\n';
+  }
+  CHISIM_CHECK(out.good(), "event TSV write failed: " + path.string());
+}
+
+EventTable readEventsTsv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  CHISIM_CHECK(in.good(), "cannot open for reading: " + path.string());
+
+  EventTable events;
+  std::string line;
+  std::getline(in, line);  // header
+  std::uint64_t lineNumber = 1;
+  while (std::getline(in, line)) {
+    ++lineNumber;
+    if (line.empty()) {
+      continue;
+    }
+    std::uint32_t fields[5];
+    const char* cursor = line.data();
+    const char* end = line.data() + line.size();
+    for (int f = 0; f < 5; ++f) {
+      const auto [ptr, ec] = std::from_chars(cursor, end, fields[f]);
+      CHISIM_CHECK(ec == std::errc{},
+                   "bad integer at line " + std::to_string(lineNumber) +
+                       " of " + path.string());
+      cursor = ptr;
+      if (f < 4) {
+        CHISIM_CHECK(cursor != end && *cursor == '\t',
+                     "expected 5 tab-separated fields at line " +
+                         std::to_string(lineNumber) + " of " + path.string());
+        ++cursor;
+      }
+    }
+    CHISIM_CHECK(cursor == end,
+                 "trailing characters at line " + std::to_string(lineNumber) +
+                     " of " + path.string());
+    CHISIM_CHECK(fields[0] < fields[1],
+                 "event with start >= end at line " +
+                     std::to_string(lineNumber) + " of " + path.string());
+    events.append(Event{fields[0], fields[1], fields[2], fields[3], fields[4]});
+  }
+  return events;
+}
+
+}  // namespace chisimnet::table

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <filesystem>
+
+#include "chisimnet/table/event_table.hpp"
+
+/// Event-table interchange (the R-analyst hand-off, paper §IV-V: the
+/// authors' analyses run in R, and §VI stresses the workflow's
+/// accessibility "to data analysts who may be familiar with R"). TSV events
+/// load directly into data.table/data.frame; the loader accepts the same
+/// files back, so external tools can also produce event streams for the
+/// synthesis pipeline.
+
+namespace chisimnet::table {
+
+/// Writes "start\tend\tperson\tactivity\tplace" with a header line.
+void writeEventsTsv(const EventTable& events, const std::filesystem::path& path);
+
+/// Reads a TSV written by writeEventsTsv (or any file with the same
+/// five-column integer schema and a header line). Validates field counts
+/// and start < end on every row.
+EventTable readEventsTsv(const std::filesystem::path& path);
+
+}  // namespace chisimnet::table

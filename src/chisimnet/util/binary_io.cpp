@@ -1,0 +1,32 @@
+#include "chisimnet/util/binary_io.hpp"
+
+#include <array>
+
+namespace chisimnet::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value & 1u) ? (0xEDB88320u ^ (value >> 1)) : (value >> 1);
+    }
+    table[i] = value;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes, std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::byte b : bytes) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace chisimnet::util

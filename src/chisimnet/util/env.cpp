@@ -1,0 +1,39 @@
+#include "chisimnet/util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace chisimnet::util {
+
+double envDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) {
+    return fallback;
+  }
+  return value;
+}
+
+std::uint64_t envU64(const std::string& name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw) {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+double benchScale() {
+  const double scale = envDouble("CHISIMNET_SCALE", 1.0);
+  return std::clamp(scale, 1e-6, 100.0);
+}
+
+}  // namespace chisimnet::util

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// Helpers for reading bench/example configuration from the environment.
+/// Benches honor CHISIMNET_SCALE (a multiplier on the default population
+/// size) so a quick smoke run and a full reproduction share one binary.
+
+namespace chisimnet::util {
+
+/// Returns the value of the environment variable parsed as double, or
+/// fallback when unset/unparseable.
+double envDouble(const std::string& name, double fallback);
+
+/// Returns the value of the environment variable parsed as a non-negative
+/// integer, or fallback when unset/unparseable.
+std::uint64_t envU64(const std::string& name, std::uint64_t fallback);
+
+/// The global scale multiplier for bench workloads: CHISIMNET_SCALE,
+/// default 1.0, clamped to (0, 100].
+double benchScale();
+
+}  // namespace chisimnet::util

@@ -1,0 +1,34 @@
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::util {
+
+namespace {
+
+std::string format(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& message) {
+  std::string out;
+  out += kind;
+  out += " failed: ";
+  out += expr;
+  out += " (";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  out += "): ";
+  out += message;
+  return out;
+}
+
+}  // namespace
+
+void throwRequireFailure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  throw std::invalid_argument(format("CHISIM_REQUIRE", expr, file, line, message));
+}
+
+void throwCheckFailure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  throw std::runtime_error(format("CHISIM_CHECK", expr, file, line, message));
+}
+
+}  // namespace chisimnet::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// Error-handling macros used across chisimnet.
+///
+/// CHISIM_REQUIRE validates preconditions on public API boundaries and
+/// throws std::invalid_argument; CHISIM_CHECK validates internal invariants
+/// and runtime conditions (I/O, format integrity) and throws
+/// std::runtime_error. Both are always on: this library favors loud failure
+/// over silent corruption, and none of these checks sit on hot inner loops.
+
+namespace chisimnet::util {
+
+[[noreturn]] void throwRequireFailure(const char* expr, const char* file, int line,
+                                      const std::string& message);
+[[noreturn]] void throwCheckFailure(const char* expr, const char* file, int line,
+                                    const std::string& message);
+
+}  // namespace chisimnet::util
+
+#define CHISIM_REQUIRE(expr, message)                                              \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::chisimnet::util::throwRequireFailure(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                              \
+  } while (false)
+
+#define CHISIM_CHECK(expr, message)                                              \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::chisimnet::util::throwCheckFailure(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                             \
+  } while (false)

@@ -1,0 +1,219 @@
+#include "chisimnet/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace chisimnet::util {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniformBelow(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method.
+  if (bound == 0) {
+    return 0;
+  }
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) {
+    return lo;
+  }
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniformBelow(range));
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; u1 shifted away from 0 to keep log() finite.
+  const double u1 = (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) noexcept {
+  const double u = (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // coarse workloads that need large means.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = uniform01();
+  std::uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= uniform01();
+  }
+  return count;
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  CHISIM_REQUIRE(!weights.empty(), "discrete() requires at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    CHISIM_REQUIRE(w >= 0.0, "discrete() weights must be non-negative");
+    total += w;
+  }
+  CHISIM_REQUIRE(total > 0.0, "discrete() requires positive total weight");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t streamIndex) noexcept {
+  // Mix the parent's next output with the stream index through splitmix64 so
+  // that distinct children (and the parent) are decorrelated.
+  std::uint64_t mix = next() ^ (streamIndex * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+  return Rng(splitmix64(mix));
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  CHISIM_REQUIRE(!weights.empty(), "AliasTable requires at least one weight");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    CHISIM_REQUIRE(w >= 0.0, "AliasTable weights must be non-negative");
+    total += w;
+  }
+  CHISIM_REQUIRE(total > 0.0, "AliasTable requires positive total weight");
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) {
+    probability_[i] = 1.0;
+  }
+  for (std::uint32_t i : small) {
+    probability_[i] = 1.0;  // numerical remainder
+  }
+}
+
+std::size_t AliasTable::sample(Rng& rng) const noexcept {
+  const std::size_t column = rng.uniformBelow(probability_.size());
+  return rng.uniform01() < probability_[column] ? column : alias_[column];
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  CHISIM_REQUIRE(n > 0, "ZipfSampler requires n > 0");
+  cdf_.resize(n);
+  double cumulative = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    cumulative += std::pow(static_cast<double>(rank), -exponent);
+    cdf_[rank - 1] = cumulative;
+  }
+  for (double& value : cdf_) {
+    value /= cumulative;
+  }
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+}  // namespace chisimnet::util

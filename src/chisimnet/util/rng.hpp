@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "chisimnet/util/error.hpp"
+
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of chisimnet (population synthesis, schedules,
+/// the ABM, graph generators) draw from Rng so that a run is reproducible
+/// from a single seed. The generator is xoshiro256**, seeded via splitmix64,
+/// which is fast, has a 2^256-1 period, and passes BigCrush. Rng satisfies
+/// the UniformRandomBitGenerator concept so it can also drive <random>
+/// distributions where convenient.
+
+namespace chisimnet::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with convenience sampling methods.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t uniformBelow(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniformReal(double lo, double hi) noexcept;
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Poisson draw (Knuth for small mean, normal approximation above 64).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Index draw from unnormalized non-negative weights. Requires a
+  /// non-empty span with positive total weight.
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = uniformBelow(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Fork a statistically independent child generator; the stream index
+  /// decorrelates children forked from the same parent state.
+  Rng fork(std::uint64_t streamIndex) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Precomputed alias table for O(1) repeated sampling from a fixed discrete
+/// distribution (Walker's alias method). Used on hot paths such as schedule
+/// generation where the same weight vector is sampled millions of times.
+class AliasTable {
+ public:
+  /// Builds the table from unnormalized non-negative weights.
+  /// Requires non-empty weights with positive total.
+  explicit AliasTable(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return probability_.size(); }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Bounded Zipf(s) sampler over ranks {1..n} via precomputed CDF and binary
+/// search. Heavy-tailed place sizes in the synthetic population use this.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Returns a rank in [1, n].
+  std::size_t sample(Rng& rng) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace chisimnet::util

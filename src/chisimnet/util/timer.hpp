@@ -1,0 +1,31 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// Wall-clock timing used by the benchmark harnesses and the runtime's
+/// load-balance reporting.
+
+namespace chisimnet::util {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t milliseconds() const noexcept {
+    return static_cast<std::uint64_t>(seconds() * 1e3);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace chisimnet::util

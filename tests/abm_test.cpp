@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "chisimnet/abm/model.hpp"
+#include "chisimnet/abm/place_partition.hpp"
+#include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/pop/schedule.hpp"
+
+namespace chisimnet::abm {
+namespace {
+
+class AbmTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pop::PopulationConfig config;
+    config.personCount = 3000;
+    config.seed = 2017;
+    population_ =
+        new pop::SyntheticPopulation(pop::SyntheticPopulation::generate(config));
+  }
+  static void TearDownTestSuite() {
+    delete population_;
+    population_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("chisimnet_abm_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  ModelConfig modelConfig(int ranks, std::uint32_t weeks = 1) const {
+    ModelConfig config;
+    config.logDirectory = dir_;
+    config.rankCount = ranks;
+    config.weeks = weeks;
+    config.scheduleSeed = 777;
+    return config;
+  }
+
+  /// All logged events across rank files, canonically sorted.
+  std::vector<table::Event> loadSorted() const {
+    const auto files = elog::listLogFiles(dir_);
+    std::vector<table::Event> events;
+    for (const auto& file : files) {
+      elog::ChunkedLogReader reader(file);
+      const auto chunk = reader.readAll();
+      events.insert(events.end(), chunk.begin(), chunk.end());
+    }
+    std::sort(events.begin(), events.end());
+    return events;
+  }
+
+  static pop::SyntheticPopulation* population_;
+  std::filesystem::path dir_;
+};
+
+pop::SyntheticPopulation* AbmTest::population_ = nullptr;
+
+TEST_F(AbmTest, PlacePartitionCoversAllPlaces) {
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kNeighborhood, PartitionStrategy::kRoundRobin}) {
+    const auto placeRank = assignPlacesToRanks(*population_, 4, strategy);
+    ASSERT_EQ(placeRank.size(), population_->places().size());
+    for (int rank : placeRank) {
+      EXPECT_GE(rank, 0);
+      EXPECT_LT(rank, 4);
+    }
+  }
+}
+
+TEST_F(AbmTest, NeighborhoodPartitionKeepsHoodsTogether) {
+  const auto placeRank =
+      assignPlacesToRanks(*population_, 3, PartitionStrategy::kNeighborhood);
+  std::vector<int> hoodRank(population_->neighborhoodCount(), -1);
+  for (const pop::Place& place : population_->places()) {
+    int& expected = hoodRank[place.neighborhood];
+    if (expected == -1) {
+      expected = placeRank[place.id];
+    }
+    EXPECT_EQ(placeRank[place.id], expected)
+        << "place " << place.id << " split from its neighborhood";
+  }
+}
+
+TEST_F(AbmTest, SingleRankPutsEverythingOnRankZero) {
+  const auto placeRank =
+      assignPlacesToRanks(*population_, 1, PartitionStrategy::kNeighborhood);
+  for (int rank : placeRank) {
+    EXPECT_EQ(rank, 0);
+  }
+}
+
+TEST_F(AbmTest, RunProducesOneLogFilePerRank) {
+  const ModelStats stats = runModel(*population_, modelConfig(4));
+  const auto files = elog::listLogFiles(dir_);
+  EXPECT_EQ(files.size(), 4u);
+  EXPECT_GT(stats.eventsLogged, 0u);
+  EXPECT_EQ(stats.simulatedHours, pop::kHoursPerWeek);
+  EXPECT_EQ(stats.perRankEvents.size(), 4u);
+  EXPECT_GT(stats.logBytes, stats.eventsLogged * 20);  // 20B payload + framing
+}
+
+TEST_F(AbmTest, EventsMatchSchedulesExactly) {
+  // The union of logged events must equal every person's schedule stints.
+  runModel(*population_, modelConfig(2));
+  const auto logged = loadSorted();
+
+  const pop::ScheduleGenerator generator(*population_, 777);
+  std::vector<table::Event> expected;
+  for (const pop::Person& person : population_->persons()) {
+    for (const pop::ScheduleEntry& stint :
+         generator.weeklySchedule(person.id, 0)) {
+      expected.push_back(table::Event{stint.start, stint.end, person.id,
+                                      stint.activity, stint.place});
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(logged, expected);
+}
+
+TEST_F(AbmTest, LoggedEventsIndependentOfRankCount) {
+  std::vector<std::vector<table::Event>> runs;
+  for (int ranks : {1, 2, 5}) {
+    std::filesystem::remove_all(dir_);
+    runModel(*population_, modelConfig(ranks));
+    runs.push_back(loadSorted());
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST_F(AbmTest, LoggedEventsIndependentOfPartitionStrategy) {
+  ModelConfig config = modelConfig(3);
+  runModel(*population_, config);
+  const auto neighborhood = loadSorted();
+
+  std::filesystem::remove_all(dir_);
+  config.strategy = PartitionStrategy::kRoundRobin;
+  runModel(*population_, config);
+  EXPECT_EQ(loadSorted(), neighborhood);
+}
+
+TEST_F(AbmTest, NeighborhoodPartitionMigratesLessThanRoundRobin) {
+  ModelConfig config = modelConfig(4);
+  const ModelStats spatial = runModel(*population_, config);
+
+  std::filesystem::remove_all(dir_);
+  config.strategy = PartitionStrategy::kRoundRobin;
+  const ModelStats naive = runModel(*population_, config);
+
+  EXPECT_LT(spatial.migrations, naive.migrations);
+  EXPECT_LT(spatial.migrationFraction(), naive.migrationFraction());
+  // Total movement (local + migrating) is identical either way.
+  EXPECT_EQ(spatial.migrations + spatial.localMoves,
+            naive.migrations + naive.localMoves);
+}
+
+TEST_F(AbmTest, MultiWeekRunCoversAllWeeks) {
+  const ModelStats stats = runModel(*population_, modelConfig(2, 2));
+  EXPECT_EQ(stats.simulatedHours, 2 * pop::kHoursPerWeek);
+  const auto events = loadSorted();
+  // There are events in both weeks.
+  EXPECT_TRUE(std::any_of(events.begin(), events.end(), [](const auto& e) {
+    return e.start < pop::kHoursPerWeek;
+  }));
+  EXPECT_TRUE(std::any_of(events.begin(), events.end(), [](const auto& e) {
+    return e.start >= pop::kHoursPerWeek;
+  }));
+  // No event crosses the simulation horizon.
+  for (const table::Event& event : events) {
+    EXPECT_LE(event.end, 2 * pop::kHoursPerWeek);
+    EXPECT_LT(event.start, event.end);
+  }
+}
+
+TEST_F(AbmTest, EventCountsScaleWithPaperRate) {
+  // Paper §III: ~5 activity changes per person per day => entries/person/day
+  // in the low single digits.
+  const ModelStats stats = runModel(*population_, modelConfig(2));
+  const double entriesPerPersonDay =
+      static_cast<double>(stats.eventsLogged) /
+      (static_cast<double>(population_->persons().size()) * 7.0);
+  EXPECT_GT(entriesPerPersonDay, 2.0);
+  EXPECT_LT(entriesPerPersonDay, 9.0);
+}
+
+TEST_F(AbmTest, InitialAgentsSumToPopulation) {
+  const ModelStats stats = runModel(*population_, modelConfig(4));
+  std::uint64_t total = 0;
+  for (std::uint64_t count : stats.perRankInitialAgents) {
+    total += count;
+  }
+  EXPECT_EQ(total, population_->persons().size());
+}
+
+TEST_F(AbmTest, RejectsBadConfig) {
+  ModelConfig config = modelConfig(0);
+  EXPECT_THROW(runModel(*population_, config), std::invalid_argument);
+  config = modelConfig(1);
+  config.weeks = 0;
+  EXPECT_THROW(runModel(*population_, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chisimnet::abm

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "chisimnet/graph/community.hpp"
+#include "chisimnet/graph/generators.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace chisimnet::graph {
+namespace {
+
+/// Planted-partition graph: `blocks` cliques of `blockSize` vertices with
+/// heavy internal weights, chained by single light bridge edges.
+Graph plantedBlocks(unsigned blocks, unsigned blockSize, Weight internal = 10,
+                    Weight bridge = 1) {
+  std::vector<Edge> edges;
+  const Vertex n = blocks * blockSize;
+  for (unsigned b = 0; b < blocks; ++b) {
+    const Vertex base = b * blockSize;
+    for (Vertex u = 0; u < blockSize; ++u) {
+      for (Vertex v = u + 1; v < blockSize; ++v) {
+        edges.push_back(Edge{base + u, base + v, internal});
+      }
+    }
+    if (b + 1 < blocks) {
+      edges.push_back(Edge{base, base + blockSize, bridge});
+    }
+  }
+  return Graph::fromEdges(edges, n);
+}
+
+std::uint32_t blockOf(Vertex v, unsigned blockSize) { return v / blockSize; }
+
+TEST(Modularity, PerfectPartitionScoresHigh) {
+  const Graph graph = plantedBlocks(4, 8);
+  std::vector<std::uint32_t> truth(graph.vertexCount());
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    truth[v] = blockOf(v, 8);
+  }
+  const double q = modularity(graph, truth);
+  EXPECT_GT(q, 0.6);
+  // All-in-one partition scores 0 by definition.
+  const std::vector<std::uint32_t> single(graph.vertexCount(), 0);
+  EXPECT_NEAR(modularity(graph, single), 0.0, 1e-12);
+  // The true partition beats a degenerate singleton partition.
+  std::vector<std::uint32_t> singletons(graph.vertexCount());
+  std::iota(singletons.begin(), singletons.end(), 0u);
+  EXPECT_GT(q, modularity(graph, singletons));
+}
+
+TEST(Modularity, SizeMismatchRejected) {
+  const Graph graph = plantedBlocks(2, 4);
+  const std::vector<std::uint32_t> wrong(3, 0);
+  EXPECT_THROW(modularity(graph, wrong), std::invalid_argument);
+}
+
+TEST(CompactLabels, DensifiesArbitraryLabels) {
+  std::vector<std::uint32_t> labels{9, 4, 9, 100, 4};
+  const std::uint32_t count = compactLabels(labels);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[1], labels[4]);
+  for (std::uint32_t label : labels) {
+    EXPECT_LT(label, 3u);
+  }
+}
+
+/// Fraction of vertex pairs whose "same community" relation matches the
+/// planted truth (Rand index, sampled exactly for these small graphs).
+double randIndex(std::span<const std::uint32_t> found, unsigned blockSize) {
+  std::uint64_t agree = 0;
+  std::uint64_t total = 0;
+  for (Vertex u = 0; u < found.size(); ++u) {
+    for (Vertex v = u + 1; v < found.size(); ++v) {
+      const bool sameTruth = blockOf(u, blockSize) == blockOf(v, blockSize);
+      const bool sameFound = found[u] == found[v];
+      agree += sameTruth == sameFound ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+class CommunitySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommunitySeeds, LabelPropagationRecoversPlantedBlocks) {
+  const Graph graph = plantedBlocks(6, 10);
+  util::Rng rng(GetParam());
+  const CommunityAssignment result = labelPropagation(graph, rng);
+  EXPECT_GE(result.communityCount, 6u);  // bridges may split, never merge fully
+  EXPECT_GT(randIndex(result.communityOf, 10), 0.95);
+  EXPECT_GT(result.modularity, 0.5);
+}
+
+TEST_P(CommunitySeeds, LouvainRecoversPlantedBlocks) {
+  const Graph graph = plantedBlocks(6, 10);
+  util::Rng rng(GetParam());
+  const CommunityAssignment result = louvain(graph, rng);
+  EXPECT_EQ(result.communityCount, 6u);
+  EXPECT_GT(randIndex(result.communityOf, 10), 0.99);
+  EXPECT_GT(result.modularity, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommunitySeeds,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(Louvain, ModularityAtLeastLabelPropagation) {
+  // Louvain optimizes modularity directly; on a noisy graph it should not
+  // do worse than label propagation.
+  util::Rng genRng(5);
+  const Graph graph = wattsStrogatz(300, 5, 0.2, genRng);
+  util::Rng lpRng(7);
+  util::Rng louvainRng(7);
+  const CommunityAssignment lp = labelPropagation(graph, lpRng);
+  const CommunityAssignment lv = louvain(graph, louvainRng);
+  EXPECT_GE(lv.modularity + 1e-9, lp.modularity);
+  EXPECT_GT(lv.modularity, 0.0);
+}
+
+TEST(Louvain, EmptyAndEdgelessGraphs) {
+  const Graph empty;
+  util::Rng rng(1);
+  const CommunityAssignment none = louvain(empty, rng);
+  EXPECT_EQ(none.communityCount, 0u);
+
+  const Graph isolated = Graph::fromEdges({}, 5);
+  const CommunityAssignment singles = louvain(isolated, rng);
+  EXPECT_EQ(singles.communityCount, 5u);
+}
+
+TEST(LabelPropagation, SizesSumToVertexCount) {
+  const Graph graph = plantedBlocks(3, 7);
+  util::Rng rng(11);
+  const CommunityAssignment result = labelPropagation(graph, rng);
+  const auto sizes = result.sizes();
+  std::uint64_t total = 0;
+  for (std::uint64_t size : sizes) {
+    total += size;
+  }
+  EXPECT_EQ(total, graph.vertexCount());
+}
+
+TEST(Louvain, WeightsMatter) {
+  // Two triangles bridged by a HEAVY edge: with the bridge dominating,
+  // Louvain should merge everything; with a light bridge it should split.
+  const auto build = [](Weight bridgeWeight) {
+    std::vector<Edge> edges{{0, 1, 2}, {1, 2, 2}, {0, 2, 2},
+                            {3, 4, 2}, {4, 5, 2}, {3, 5, 2},
+                            {2, 3, bridgeWeight}};
+    return Graph::fromEdges(edges, 6);
+  };
+  util::Rng rng(3);
+  const CommunityAssignment split = louvain(build(1), rng);
+  EXPECT_EQ(split.communityCount, 2u);
+  EXPECT_NE(split.communityOf[0], split.communityOf[5]);
+}
+
+}  // namespace
+}  // namespace chisimnet::graph

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "chisimnet/graph/algorithms.hpp"
+#include "chisimnet/graph/generators.hpp"
+#include "chisimnet/graph/mixing.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace chisimnet::graph {
+namespace {
+
+/// Two groups of 6; dense within groups, two cross edges.
+Graph twoBlockGraph() {
+  std::vector<Edge> edges;
+  for (Vertex base : {Vertex{0}, Vertex{6}}) {
+    for (Vertex u = 0; u < 6; ++u) {
+      for (Vertex v = u + 1; v < 6; ++v) {
+        edges.push_back(Edge{base + u, base + v, 2});
+      }
+    }
+  }
+  edges.push_back(Edge{0, 6, 1});
+  edges.push_back(Edge{1, 7, 1});
+  return Graph::fromEdges(edges, 12);
+}
+
+std::vector<std::uint32_t> twoBlockGroups() {
+  std::vector<std::uint32_t> groups(12, 0);
+  for (Vertex v = 6; v < 12; ++v) {
+    groups[v] = 1;
+  }
+  return groups;
+}
+
+TEST(MixingMatrix, CountsEdgesAndWeightsPerGroupPair) {
+  const Graph graph = twoBlockGraph();
+  const auto groups = twoBlockGroups();
+  const MixingMatrix mixing(graph, groups, 2);
+  EXPECT_EQ(mixing.edgeCount(0, 0), 15u);  // C(6,2)
+  EXPECT_EQ(mixing.edgeCount(1, 1), 15u);
+  EXPECT_EQ(mixing.edgeCount(0, 1), 2u);
+  EXPECT_EQ(mixing.edgeCount(1, 0), 2u);
+  EXPECT_EQ(mixing.weight(0, 0), 30u);  // 15 edges x weight 2
+  EXPECT_EQ(mixing.weight(0, 1), 2u);
+  EXPECT_NEAR(mixing.edgeFraction(0, 0), 15.0 / 32.0, 1e-12);
+}
+
+TEST(MixingMatrix, AssortativityHighForBlockStructure) {
+  const Graph graph = twoBlockGraph();
+  const MixingMatrix mixing(graph, twoBlockGroups(), 2);
+  EXPECT_GT(mixing.assortativity(), 0.8);
+}
+
+TEST(MixingMatrix, AssortativityNearZeroForRandomGrouping) {
+  util::Rng rng(3);
+  const Graph graph = erdosRenyi(400, 2000, rng);
+  std::vector<std::uint32_t> groups(400);
+  for (auto& group : groups) {
+    group = static_cast<std::uint32_t>(rng.uniformBelow(4));
+  }
+  const MixingMatrix mixing(graph, groups, 4);
+  EXPECT_NEAR(mixing.assortativity(), 0.0, 0.05);
+}
+
+TEST(MixingMatrix, PerfectAssortativityWhenNoCrossEdges) {
+  std::vector<Edge> edges{{0, 1, 1}, {2, 3, 1}};
+  const Graph graph = Graph::fromEdges(edges, 4);
+  const std::vector<std::uint32_t> groups{0, 0, 1, 1};
+  const MixingMatrix mixing(graph, groups, 2);
+  EXPECT_DOUBLE_EQ(mixing.assortativity(), 1.0);
+}
+
+TEST(MixingMatrix, RejectsBadInputs) {
+  const Graph graph = twoBlockGraph();
+  const std::vector<std::uint32_t> wrongSize(3, 0);
+  EXPECT_THROW(MixingMatrix(graph, wrongSize, 2), std::invalid_argument);
+  std::vector<std::uint32_t> outOfRange(12, 5);
+  EXPECT_THROW(MixingMatrix(graph, outOfRange, 2), std::invalid_argument);
+}
+
+class GroupedConfigSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupedConfigSeeds, MatchesDegreesAndMixing) {
+  // Source: strong two-block structure.
+  util::Rng sourceRng(GetParam());
+  std::vector<Edge> edges;
+  const Vertex n = 200;
+  std::vector<std::uint32_t> groups(n);
+  for (Vertex v = 0; v < n; ++v) {
+    groups[v] = v < n / 2 ? 0 : 1;
+  }
+  // Random intra-group edges plus a few cross edges.
+  std::set<std::pair<Vertex, Vertex>> used;
+  const auto addRandomEdge = [&](Vertex lo, Vertex hi, Vertex lo2, Vertex hi2) {
+    for (int tries = 0; tries < 50; ++tries) {
+      auto u = static_cast<Vertex>(lo + sourceRng.uniformBelow(hi - lo));
+      auto v = static_cast<Vertex>(lo2 + sourceRng.uniformBelow(hi2 - lo2));
+      if (u == v) {
+        continue;
+      }
+      if (u > v) {
+        std::swap(u, v);
+      }
+      if (used.insert({u, v}).second) {
+        edges.push_back(Edge{u, v, 1});
+        return;
+      }
+    }
+  };
+  for (int i = 0; i < 600; ++i) {
+    addRandomEdge(0, n / 2, 0, n / 2);
+    addRandomEdge(n / 2, n, n / 2, n);
+  }
+  for (int i = 0; i < 60; ++i) {
+    addRandomEdge(0, n / 2, n / 2, n);
+  }
+  const Graph source = Graph::fromEdges(edges, n);
+  const MixingMatrix sourceMixing(source, groups, 2);
+
+  util::Rng rng(GetParam() + 77);
+  const Graph generated = groupedConfigurationModel(
+      degreeSequence(source), groups, sourceMixing.edgeCountTable(), 2, rng);
+  const MixingMatrix generatedMixing(generated, groups, 2);
+
+  // Pair edge counts within a few percent (rejection may drop a few).
+  for (std::uint32_t a = 0; a < 2; ++a) {
+    for (std::uint32_t b = a; b < 2; ++b) {
+      const double target = static_cast<double>(sourceMixing.edgeCount(a, b));
+      const double got = static_cast<double>(generatedMixing.edgeCount(a, b));
+      EXPECT_NEAR(got, target, std::max(4.0, 0.05 * target))
+          << "pair (" << a << "," << b << ")";
+    }
+  }
+  // Realized degrees never exceed targets.
+  const auto targetDegrees = degreeSequence(source);
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_LE(generated.degree(v), targetDegrees[v]);
+  }
+  // Group assortativity carried over.
+  EXPECT_NEAR(generatedMixing.assortativity(), sourceMixing.assortativity(),
+              0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupedConfigSeeds,
+                         ::testing::Values(1, 2, 3));
+
+TEST(GroupedConfig, RejectsBadTableSize) {
+  const std::vector<std::uint64_t> degrees{2, 2};
+  const std::vector<std::uint32_t> groups{0, 1};
+  const std::vector<std::uint64_t> wrongTable{1, 2, 3};
+  util::Rng rng(1);
+  EXPECT_THROW(
+      groupedConfigurationModel(degrees, groups, wrongTable, 2, rng),
+      std::invalid_argument);
+}
+
+// ---- k-core -----------------------------------------------------------------
+
+TEST(KCore, KnownStructure) {
+  // Triangle {0,1,2} (core 2) with pendant 3 on vertex 2 (core 1) and an
+  // isolated vertex 4 (core 0).
+  const std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}, {2, 3, 1}};
+  const Graph graph = Graph::fromEdges(edges, 5);
+  const auto core = kCoreDecomposition(graph);
+  EXPECT_EQ(core, (std::vector<std::uint32_t>{2, 2, 2, 1, 0}));
+}
+
+TEST(KCore, CompleteGraph) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < 7; ++u) {
+    for (Vertex v = u + 1; v < 7; ++v) {
+      edges.push_back(Edge{u, v, 1});
+    }
+  }
+  const Graph complete = Graph::fromEdges(edges, 7);
+  for (std::uint32_t core : kCoreDecomposition(complete)) {
+    EXPECT_EQ(core, 6u);
+  }
+}
+
+TEST(KCore, CoreOfCliqueSurvivesPendants) {
+  // A 5-clique with a long pendant path must keep core number 4 inside the
+  // clique and core 1 on the path.
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < 5; ++u) {
+    for (Vertex v = u + 1; v < 5; ++v) {
+      edges.push_back(Edge{u, v, 1});
+    }
+  }
+  for (Vertex v = 5; v < 10; ++v) {
+    edges.push_back(Edge{static_cast<Vertex>(v - 1), v, 1});
+  }
+  const Graph graph = Graph::fromEdges(edges, 10);
+  const auto core = kCoreDecomposition(graph);
+  for (Vertex v = 0; v < 5; ++v) {
+    EXPECT_EQ(core[v], 4u);
+  }
+  for (Vertex v = 5; v < 10; ++v) {
+    EXPECT_EQ(core[v], 1u);
+  }
+}
+
+class KCoreProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KCoreProperty, CoreInvariants) {
+  util::Rng rng(GetParam());
+  const Graph graph = erdosRenyi(150, 600, rng);
+  const auto core = kCoreDecomposition(graph);
+  // core(v) <= degree(v), and each vertex has >= core(v) neighbors with
+  // core >= core(v) (defining property of the decomposition).
+  for (Vertex v = 0; v < graph.vertexCount(); ++v) {
+    EXPECT_LE(core[v], graph.degree(v));
+    std::uint32_t strongNeighbors = 0;
+    for (Vertex neighbor : graph.neighbors(v)) {
+      strongNeighbors += core[neighbor] >= core[v] ? 1 : 0;
+    }
+    EXPECT_GE(strongNeighbors, core[v]) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCoreProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace chisimnet::graph

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "chisimnet/elog/clg5.hpp"
+#include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/net/distributed.hpp"
+#include "chisimnet/net/synthesis.hpp"
+#include "chisimnet/sparse/collocation.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace chisimnet::net {
+namespace {
+
+using table::Event;
+
+class DistributedSynthesisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("chisimnet_dist_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::vector<std::filesystem::path> writeRandomLogs(std::uint64_t seed,
+                                                     std::size_t events,
+                                                     int files) {
+    util::Rng rng(seed);
+    std::vector<std::vector<Event>> buffers(files);
+    for (std::size_t i = 0; i < events; ++i) {
+      const auto start = static_cast<table::Hour>(rng.uniformBelow(96));
+      buffers[i % files].push_back(Event{
+          start, start + 1 + static_cast<table::Hour>(rng.uniformBelow(8)),
+          static_cast<table::PersonId>(rng.uniformBelow(80)),
+          static_cast<table::ActivityId>(rng.uniformBelow(5)),
+          static_cast<table::PlaceId>(rng.uniformBelow(20))});
+    }
+    std::vector<std::filesystem::path> paths;
+    for (int f = 0; f < files; ++f) {
+      const auto path = elog::logFilePath(dir_, f);
+      elog::ChunkedLogWriter writer(path);
+      writer.writeChunk(buffers[f]);
+      writer.close();
+      paths.push_back(path);
+    }
+    return paths;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(CollocationSerialization, RoundTrip) {
+  util::Rng rng(5);
+  std::vector<Event> events;
+  for (int i = 0; i < 60; ++i) {
+    const auto start = static_cast<table::Hour>(rng.uniformBelow(48));
+    events.push_back(Event{start,
+                           start + 1 + static_cast<table::Hour>(rng.uniformBelow(5)),
+                           static_cast<table::PersonId>(rng.uniformBelow(15)),
+                           0, 7});
+  }
+  const sparse::CollocationMatrix original(7, events, 0, 48);
+  const auto bytes = original.toBytes();
+  const sparse::CollocationMatrix copy =
+      sparse::CollocationMatrix::fromBytes(bytes);
+  ASSERT_EQ(copy.place(), original.place());
+  ASSERT_EQ(copy.personCount(), original.personCount());
+  ASSERT_EQ(copy.nnz(), original.nnz());
+  ASSERT_EQ(copy.sliceHours(), original.sliceHours());
+  for (std::size_t row = 0; row < original.personCount(); ++row) {
+    EXPECT_EQ(copy.personAt(row), original.personAt(row));
+    const auto a = original.hoursAt(row);
+    const auto b = copy.hoursAt(row);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(CollocationSerialization, TruncationDetected) {
+  const std::vector<Event> events{{0, 3, 1, 0, 7}, {1, 4, 2, 0, 7}};
+  const sparse::CollocationMatrix matrix(7, events, 0, 8);
+  auto bytes = matrix.toBytes();
+  bytes.pop_back();
+  EXPECT_THROW(sparse::CollocationMatrix::fromBytes(bytes), std::runtime_error);
+}
+
+class DistributedRankSweep
+    : public DistributedSynthesisTest,
+      public ::testing::WithParamInterface<unsigned> {};
+
+TEST_P(DistributedRankSweep, MatchesSharedMemoryBackend) {
+  const auto files = writeRandomLogs(GetParam(), 800, 3);
+
+  SynthesisConfig config;
+  config.windowStart = 0;
+  config.windowEnd = 96;
+  config.workers = GetParam();
+  DistributedReport report;
+  const auto distributed = synthesizeDistributed(files, config, &report);
+
+  NetworkSynthesizer shared(config);
+  const auto reference = shared.synthesizeAdjacency(files);
+  EXPECT_EQ(distributed.toTriplets(), reference.toTriplets());
+  EXPECT_EQ(report.edges, reference.edgeCount());
+  EXPECT_EQ(report.logEntriesLoaded, shared.report().logEntriesLoaded);
+  EXPECT_EQ(report.placesProcessed, shared.report().placesProcessed);
+  EXPECT_EQ(report.collocationNnz, shared.report().collocationNnz);
+  EXPECT_GT(report.bytesScattered, 0u);
+  EXPECT_GT(report.bytesReturned, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedRankSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST_F(DistributedSynthesisTest, WindowRestrictsResult) {
+  const auto files = writeRandomLogs(42, 500, 2);
+  SynthesisConfig narrow;
+  narrow.windowStart = 10;
+  narrow.windowEnd = 20;
+  narrow.workers = 3;
+  const auto narrowResult = synthesizeDistributed(files, narrow);
+
+  NetworkSynthesizer shared(narrow);
+  EXPECT_EQ(narrowResult.toTriplets(),
+            shared.synthesizeAdjacency(files).toTriplets());
+}
+
+TEST_F(DistributedSynthesisTest, NaivePartitionSameResultWorseBalance) {
+  const auto files = writeRandomLogs(7, 1500, 2);
+  SynthesisConfig balanced;
+  balanced.windowEnd = 96;
+  balanced.workers = 4;
+  DistributedReport balancedReport;
+  const auto a = synthesizeDistributed(files, balanced, &balancedReport);
+
+  SynthesisConfig naive = balanced;
+  naive.balancedPartition = false;
+  DistributedReport naiveReport;
+  const auto b = synthesizeDistributed(files, naive, &naiveReport);
+
+  EXPECT_EQ(a.toTriplets(), b.toTriplets());
+  EXPECT_LE(balancedReport.partitionImbalance,
+            naiveReport.partitionImbalance + 1e-9);
+}
+
+TEST_F(DistributedSynthesisTest, BothAdjacencyMethodsAgree) {
+  const auto files = writeRandomLogs(9, 600, 2);
+  SynthesisConfig config;
+  config.windowEnd = 96;
+  config.workers = 3;
+  config.method = sparse::AdjacencyMethod::kSpGemm;
+  const auto spgemm = synthesizeDistributed(files, config);
+  config.method = sparse::AdjacencyMethod::kIntervalIntersection;
+  const auto sweep = synthesizeDistributed(files, config);
+  EXPECT_EQ(spgemm.toTriplets(), sweep.toTriplets());
+}
+
+TEST_F(DistributedSynthesisTest, RejectsBadInputs) {
+  SynthesisConfig config;
+  EXPECT_THROW(synthesizeDistributed({}, config), std::invalid_argument);
+  const auto files = writeRandomLogs(1, 10, 1);
+  config.windowStart = config.windowEnd = 5;
+  EXPECT_THROW(synthesizeDistributed(files, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chisimnet::net

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "chisimnet/pop/population.hpp"
+#include "chisimnet/pop/types.hpp"
+
+namespace chisimnet::pop {
+namespace {
+
+PopulationConfig smallConfig(std::uint32_t persons = 5000,
+                             std::uint64_t seed = 42) {
+  PopulationConfig config;
+  config.personCount = persons;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Types, AgeGroupBoundaries) {
+  EXPECT_EQ(ageGroupForAge(0), AgeGroup::kChild0to14);
+  EXPECT_EQ(ageGroupForAge(14), AgeGroup::kChild0to14);
+  EXPECT_EQ(ageGroupForAge(15), AgeGroup::kTeen15to18);
+  EXPECT_EQ(ageGroupForAge(18), AgeGroup::kTeen15to18);
+  EXPECT_EQ(ageGroupForAge(19), AgeGroup::kAdult19to44);
+  EXPECT_EQ(ageGroupForAge(44), AgeGroup::kAdult19to44);
+  EXPECT_EQ(ageGroupForAge(45), AgeGroup::kAdult45to64);
+  EXPECT_EQ(ageGroupForAge(64), AgeGroup::kAdult45to64);
+  EXPECT_EQ(ageGroupForAge(65), AgeGroup::kSenior65plus);
+  EXPECT_EQ(ageGroupForAge(99), AgeGroup::kSenior65plus);
+}
+
+TEST(Types, Names) {
+  EXPECT_EQ(ageGroupName(AgeGroup::kChild0to14), "0-14");
+  EXPECT_EQ(ageGroupName(AgeGroup::kSenior65plus), "65+");
+  EXPECT_EQ(placeTypeName(PlaceType::kClassroom), "classroom");
+  EXPECT_EQ(activity::name(activity::kSchoolLunch), "school-lunch");
+}
+
+TEST(Population, DeterministicForSameSeed) {
+  const auto a = SyntheticPopulation::generate(smallConfig(2000, 7));
+  const auto b = SyntheticPopulation::generate(smallConfig(2000, 7));
+  ASSERT_EQ(a.persons().size(), b.persons().size());
+  ASSERT_EQ(a.places().size(), b.places().size());
+  for (std::size_t i = 0; i < a.persons().size(); ++i) {
+    EXPECT_EQ(a.persons()[i].home, b.persons()[i].home);
+    EXPECT_EQ(a.persons()[i].age, b.persons()[i].age);
+    EXPECT_EQ(a.persons()[i].workplace, b.persons()[i].workplace);
+  }
+}
+
+TEST(Population, DifferentSeedsDiffer) {
+  const auto a = SyntheticPopulation::generate(smallConfig(2000, 1));
+  const auto b = SyntheticPopulation::generate(smallConfig(2000, 2));
+  int differences = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    differences += a.persons()[i].age != b.persons()[i].age ? 1 : 0;
+  }
+  EXPECT_GT(differences, 10);
+}
+
+TEST(Population, AgeGroupFractionsMatchConfig) {
+  const auto population = SyntheticPopulation::generate(smallConfig(50000));
+  const auto counts = population.ageGroupCounts();
+  const auto& fractions = population.config().ageFractions;
+  for (std::size_t g = 0; g < kAgeGroupCount; ++g) {
+    const double observed =
+        static_cast<double>(counts[g]) / population.persons().size();
+    EXPECT_NEAR(observed, fractions[g], 0.02)
+        << ageGroupName(static_cast<AgeGroup>(g));
+  }
+}
+
+TEST(Population, AgesConsistentWithGroups) {
+  const auto population = SyntheticPopulation::generate(smallConfig());
+  for (const Person& person : population.persons()) {
+    EXPECT_EQ(ageGroupForAge(person.age), person.group);
+  }
+}
+
+TEST(Population, EveryPersonHasAHousehold) {
+  const auto population = SyntheticPopulation::generate(smallConfig());
+  for (const Person& person : population.persons()) {
+    ASSERT_NE(person.home, kNoPlace);
+    const Place& home = population.place(person.home);
+    EXPECT_EQ(home.type, PlaceType::kHousehold);
+    EXPECT_EQ(home.neighborhood, person.neighborhood);
+  }
+}
+
+TEST(Population, HouseholdSizesWithinConfiguredRange) {
+  const auto population = SyntheticPopulation::generate(smallConfig());
+  std::map<PlaceId, int> members;
+  for (const Person& person : population.persons()) {
+    ++members[person.home];
+  }
+  for (const auto& [home, count] : members) {
+    EXPECT_GE(count, 1);
+    EXPECT_LE(count, 6);
+    EXPECT_EQ(population.place(home).capacity, static_cast<unsigned>(count));
+  }
+}
+
+TEST(Population, SchoolAssignmentsRespectConstraints) {
+  const auto population = SyntheticPopulation::generate(smallConfig(20000));
+  std::map<PlaceId, int> classroomSize;
+  std::map<PlaceId, std::set<PlaceId>> schoolClassrooms;
+  for (const Person& person : population.persons()) {
+    if (!person.isStudent()) {
+      continue;
+    }
+    EXPECT_GE(person.age, 5);
+    EXPECT_LE(person.age, 18);
+    EXPECT_NE(person.schoolCommon, kNoPlace);
+    const Place& classroom = population.place(person.classroom);
+    EXPECT_EQ(classroom.type, PlaceType::kClassroom);
+    EXPECT_EQ(classroom.neighborhood, person.neighborhood);
+    ++classroomSize[person.classroom];
+    schoolClassrooms[person.schoolCommon].insert(person.classroom);
+  }
+  ASSERT_FALSE(classroomSize.empty());
+  for (const auto& [classroom, size] : classroomSize) {
+    EXPECT_LE(size,
+              static_cast<int>(population.config().classroomSize));
+    EXPECT_EQ(population.place(classroom).capacity,
+              static_cast<unsigned>(size));
+  }
+  // Schools hold at most schoolSize students.
+  for (const auto& [common, rooms] : schoolClassrooms) {
+    int total = 0;
+    for (PlaceId room : rooms) {
+      total += classroomSize[room];
+    }
+    EXPECT_LE(total, static_cast<int>(population.config().schoolSize));
+  }
+}
+
+TEST(Population, SchoolAgeChildrenAreStudentsUnlessInstitutionalized) {
+  const auto population = SyntheticPopulation::generate(smallConfig(20000));
+  for (const Person& person : population.persons()) {
+    if (person.age >= 5 && person.age <= 18 && !person.isInstitutionalized()) {
+      EXPECT_TRUE(person.isStudent()) << "person " << person.id;
+    }
+    if (person.age < 5) {
+      EXPECT_FALSE(person.isStudent());
+    }
+  }
+}
+
+TEST(Population, WorkersAreWorkingAgeAndPlacesTyped) {
+  const auto population = SyntheticPopulation::generate(smallConfig(20000));
+  std::map<PlaceId, unsigned> workplaceSize;
+  for (const Person& person : population.persons()) {
+    if (!person.isEmployed()) {
+      continue;
+    }
+    EXPECT_GE(person.age, 19);
+    EXPECT_LE(person.age, 64);
+    EXPECT_EQ(population.place(person.workplace).type, PlaceType::kWorkplace);
+    ++workplaceSize[person.workplace];
+  }
+  ASSERT_FALSE(workplaceSize.empty());
+  for (const auto& [workplace, size] : workplaceSize) {
+    EXPECT_LE(size, population.config().workplaceMaxSize);
+    EXPECT_EQ(population.place(workplace).capacity, size);
+  }
+}
+
+TEST(Population, EmploymentRateApproximatelyHonored) {
+  const auto population = SyntheticPopulation::generate(smallConfig(50000));
+  std::uint64_t eligible = 0;
+  std::uint64_t employed = 0;
+  for (const Person& person : population.persons()) {
+    if (person.age >= 19 && person.age <= 64 &&
+        !person.isInstitutionalized() && person.university == kNoPlace) {
+      ++eligible;
+      employed += person.isEmployed() ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(employed) / eligible,
+              population.config().employmentRate, 0.02);
+}
+
+TEST(Population, InstitutionsHoldExpectedDemographics) {
+  const auto population = SyntheticPopulation::generate(smallConfig(50000));
+  std::uint64_t retirementResidents = 0;
+  for (const Person& person : population.persons()) {
+    if (!person.isInstitutionalized()) {
+      continue;
+    }
+    const Place& institution = population.place(person.institution);
+    if (institution.type == PlaceType::kRetirementHome) {
+      EXPECT_EQ(person.group, AgeGroup::kSenior65plus);
+      ++retirementResidents;
+      EXPECT_LE(institution.capacity,
+                population.config().retirementHomeSize + 1);
+    } else {
+      EXPECT_EQ(institution.type, PlaceType::kPrison);
+      EXPECT_GE(person.age, 19);
+      EXPECT_LE(person.age, 64);
+    }
+    // Institutionalized persons have no school/work commitments.
+    EXPECT_FALSE(person.isStudent());
+    EXPECT_FALSE(person.isEmployed());
+    EXPECT_EQ(person.university, kNoPlace);
+  }
+  EXPECT_GT(retirementResidents, 0u);
+}
+
+TEST(Population, UniversityStudentsAreYoungAdults) {
+  const auto population = SyntheticPopulation::generate(smallConfig(50000));
+  std::uint64_t students = 0;
+  for (const Person& person : population.persons()) {
+    if (person.university != kNoPlace) {
+      EXPECT_GE(person.age, 19);
+      EXPECT_LE(person.age, 22);
+      EXPECT_FALSE(person.isEmployed());
+      ++students;
+    }
+  }
+  EXPECT_GT(students, 0u);
+}
+
+TEST(Population, EveryNeighborhoodHasVenues) {
+  const auto population = SyntheticPopulation::generate(smallConfig(20000));
+  EXPECT_GE(population.neighborhoodCount(), 1u);
+  for (std::uint32_t hood = 0; hood < population.neighborhoodCount(); ++hood) {
+    const NeighborhoodVenues& venues = population.venues(hood);
+    EXPECT_GE(venues.shops.size(), 3u);
+    EXPECT_GE(venues.leisure.size(), 2u);
+    EXPECT_EQ(venues.shops.size(), venues.shopWeights.size());
+    for (PlaceId shop : venues.shops) {
+      EXPECT_EQ(population.place(shop).type, PlaceType::kShop);
+      EXPECT_EQ(population.place(shop).neighborhood, hood);
+    }
+  }
+}
+
+TEST(Population, PlaceIdsAreDense) {
+  const auto population = SyntheticPopulation::generate(smallConfig());
+  for (std::size_t i = 0; i < population.places().size(); ++i) {
+    EXPECT_EQ(population.places()[i].id, i);
+  }
+}
+
+TEST(Population, PlaceTypeCountsConsistent) {
+  const auto population = SyntheticPopulation::generate(smallConfig(20000));
+  const auto counts = population.placeTypeCounts();
+  std::uint64_t total = 0;
+  for (std::uint64_t count : counts) {
+    total += count;
+  }
+  EXPECT_EQ(total, population.places().size());
+  EXPECT_GT(counts[static_cast<std::size_t>(PlaceType::kHousehold)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(PlaceType::kClassroom)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(PlaceType::kWorkplace)], 0u);
+  EXPECT_GE(counts[static_cast<std::size_t>(PlaceType::kHospital)], 1u);
+}
+
+TEST(Population, RejectsDegenerateConfig) {
+  PopulationConfig config = smallConfig();
+  config.personCount = 5;
+  EXPECT_THROW(SyntheticPopulation::generate(config), std::invalid_argument);
+}
+
+TEST(Population, ScalesToLargerSizes) {
+  const auto population = SyntheticPopulation::generate(smallConfig(100000));
+  EXPECT_EQ(population.persons().size(), 100000u);
+  // Place-to-person ratio should be census-like (paper: 1.2M places for
+  // 2.9M persons, ~0.41); households dominate so anywhere in [0.3, 0.7].
+  const double ratio = static_cast<double>(population.places().size()) /
+                       static_cast<double>(population.persons().size());
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 0.7);
+}
+
+}  // namespace
+}  // namespace chisimnet::pop

@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "chisimnet/runtime/cluster.hpp"
+#include "chisimnet/runtime/comm.hpp"
+#include "chisimnet/runtime/partition.hpp"
+#include "chisimnet/runtime/thread_pool.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace chisimnet::runtime {
+namespace {
+
+TEST(Comm, PointToPointValue) {
+  Communicator::run(2, [](RankHandle& rank) {
+    if (rank.rank() == 0) {
+      rank.sendValue<std::uint64_t>(1, 5, 0xABCDu);
+    } else {
+      const Message message = rank.recv(0, 5);
+      EXPECT_EQ(message.source, 0);
+      EXPECT_EQ(message.tag, 5);
+      EXPECT_EQ(message.value<std::uint64_t>(), 0xABCDu);
+    }
+  });
+}
+
+TEST(Comm, VectorPayloadRoundTrip) {
+  Communicator::run(2, [](RankHandle& rank) {
+    const std::vector<std::uint32_t> data{1, 2, 3, 4, 5};
+    if (rank.rank() == 0) {
+      rank.sendVector<std::uint32_t>(1, 0, data);
+    } else {
+      EXPECT_EQ(rank.recv().as<std::uint32_t>(), data);
+    }
+  });
+}
+
+TEST(Comm, EmptyPayloadDelivered) {
+  Communicator::run(2, [](RankHandle& rank) {
+    if (rank.rank() == 0) {
+      rank.sendVector<std::uint32_t>(1, 9, {});
+    } else {
+      const Message message = rank.recv(0, 9);
+      EXPECT_TRUE(message.payload.empty());
+      EXPECT_TRUE(message.as<std::uint32_t>().empty());
+    }
+  });
+}
+
+TEST(Comm, FifoPerSourceAndTag) {
+  Communicator::run(2, [](RankHandle& rank) {
+    if (rank.rank() == 0) {
+      for (std::uint64_t i = 0; i < 50; ++i) {
+        rank.sendValue<std::uint64_t>(1, 3, i);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(rank.recv(0, 3).value<std::uint64_t>(), i);
+      }
+    }
+  });
+}
+
+TEST(Comm, TagFilteringSkipsNonMatching) {
+  Communicator::run(2, [](RankHandle& rank) {
+    if (rank.rank() == 0) {
+      rank.sendValue<int>(1, 1, 100);
+      rank.sendValue<int>(1, 2, 200);
+    } else {
+      // Receive tag 2 first even though tag 1 arrived earlier.
+      EXPECT_EQ(rank.recv(0, 2).value<int>(), 200);
+      EXPECT_EQ(rank.recv(0, 1).value<int>(), 100);
+    }
+  });
+}
+
+TEST(Comm, WildcardSourceReceivesFromAnyone) {
+  Communicator::run(3, [](RankHandle& rank) {
+    if (rank.rank() != 0) {
+      rank.sendValue<int>(0, 7, rank.rank());
+    } else {
+      std::set<int> sources;
+      for (int i = 0; i < 2; ++i) {
+        sources.insert(rank.recv(kAnySource, 7).value<int>());
+      }
+      EXPECT_EQ(sources, (std::set<int>{1, 2}));
+    }
+  });
+}
+
+TEST(Comm, TryRecvNonBlocking) {
+  Communicator::run(2, [](RankHandle& rank) {
+    if (rank.rank() == 1) {
+      Message message;
+      // Tag 43 is never sent: tryRecv must return false without blocking,
+      // even while a tag-42 message may already be queued.
+      EXPECT_FALSE(rank.tryRecv(message, 0, 43));
+      EXPECT_EQ(rank.recv(0, 42).value<int>(), 1);
+      rank.barrier();
+      // After the barrier the tag-99 message is guaranteed queued.
+      EXPECT_TRUE(rank.tryRecv(message, 0, 99));
+      EXPECT_EQ(message.value<int>(), 2);
+    } else {
+      rank.sendValue<int>(1, 42, 1);
+      rank.sendValue<int>(1, 99, 2);
+      rank.barrier();
+    }
+  });
+}
+
+TEST(Comm, BarrierSynchronizesPhases) {
+  std::atomic<int> phase{0};
+  Communicator::run(4, [&phase](RankHandle& rank) {
+    phase.fetch_add(1);
+    rank.barrier();
+    EXPECT_EQ(phase.load(), 4);
+    rank.barrier();
+    phase.fetch_sub(1);
+    rank.barrier();
+    EXPECT_EQ(phase.load(), 0);
+  });
+}
+
+TEST(Comm, GatherCollectsAtRoot) {
+  Communicator::run(3, [](RankHandle& rank) {
+    const auto value = static_cast<std::uint32_t>(rank.rank() * 10);
+    const auto bytes = std::as_bytes(std::span<const std::uint32_t>(&value, 1));
+    const auto buffers = rank.gather(0, bytes);
+    if (rank.rank() == 0) {
+      ASSERT_EQ(buffers.size(), 3u);
+      for (int source = 0; source < 3; ++source) {
+        std::uint32_t got = 0;
+        std::memcpy(&got, buffers[source].data(), sizeof(got));
+        EXPECT_EQ(got, static_cast<std::uint32_t>(source * 10));
+      }
+    } else {
+      EXPECT_TRUE(buffers.empty());
+    }
+  });
+}
+
+TEST(Comm, BroadcastDeliversRootBytes) {
+  Communicator::run(4, [](RankHandle& rank) {
+    std::uint64_t value = rank.rank() == 2 ? 777u : 0u;
+    const auto out = rank.broadcast(
+        2, std::as_bytes(std::span<const std::uint64_t>(&value, 1)));
+    std::uint64_t got = 0;
+    std::memcpy(&got, out.data(), sizeof(got));
+    EXPECT_EQ(got, 777u);
+  });
+}
+
+TEST(Comm, AllReduceSum) {
+  Communicator::run(5, [](RankHandle& rank) {
+    const auto result = rank.allReduceU64(
+        static_cast<std::uint64_t>(rank.rank() + 1),
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    EXPECT_EQ(result, 15u);  // 1+2+3+4+5
+  });
+}
+
+TEST(Comm, AllReduceMax) {
+  Communicator::run(4, [](RankHandle& rank) {
+    const auto result = rank.allReduceU64(
+        static_cast<std::uint64_t>(rank.rank() * 7),
+        [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); });
+    EXPECT_EQ(result, 21u);
+  });
+}
+
+TEST(Comm, RingPassAccumulates) {
+  // Token circles the ring twice, each rank adding its id.
+  constexpr int kRanks = 6;
+  Communicator::run(kRanks, [](RankHandle& rank) {
+    const int next = (rank.rank() + 1) % kRanks;
+    if (rank.rank() == 0) {
+      rank.sendValue<std::uint64_t>(next, 0, 0);
+      std::uint64_t token = 0;
+      for (int lap = 0; lap < 2; ++lap) {
+        token = rank.recv(kRanks - 1, 0).value<std::uint64_t>();
+        if (lap == 0) {
+          rank.sendValue<std::uint64_t>(next, 0, token);
+        }
+      }
+      // Each lap adds 1+2+...+(kRanks-1) = 15.
+      EXPECT_EQ(token, 30u);
+    } else {
+      for (int lap = 0; lap < 2; ++lap) {
+        const auto token = rank.recv(rank.rank() - 1, 0).value<std::uint64_t>();
+        rank.sendValue<std::uint64_t>(
+            next, 0, token + static_cast<std::uint64_t>(rank.rank()));
+      }
+    }
+  });
+}
+
+TEST(Comm, MessageStormAllDelivered) {
+  // Every rank sends 200 messages to every other rank with mixed tags;
+  // totals and per-(source, tag) FIFO order must survive.
+  constexpr int kRanks = 4;
+  constexpr int kPerPair = 200;
+  Communicator::run(kRanks, [](RankHandle& rank) {
+    util::Rng rng(static_cast<std::uint64_t>(rank.rank()) + 1);
+    for (int dest = 0; dest < kRanks; ++dest) {
+      if (dest == rank.rank()) {
+        continue;
+      }
+      for (std::uint32_t i = 0; i < kPerPair; ++i) {
+        const int tag = static_cast<int>(rng.uniformBelow(3));
+        rank.sendValue<std::uint32_t>(dest, tag, (tag << 16) | i);
+      }
+    }
+    // Receive everything addressed to us; per (source, tag) payload
+    // sequence indices must arrive increasing.
+    std::map<std::pair<int, int>, std::uint32_t> lastIndex;
+    for (int i = 0; i < (kRanks - 1) * kPerPair; ++i) {
+      const Message message = rank.recv();
+      const auto value = message.value<std::uint32_t>();
+      EXPECT_EQ(static_cast<int>(value >> 16), message.tag);
+      const auto key = std::make_pair(message.source, message.tag);
+      const std::uint32_t index = value & 0xFFFF;
+      const auto it = lastIndex.find(key);
+      if (it != lastIndex.end()) {
+        EXPECT_GT(index, it->second) << "FIFO violated for source "
+                                     << message.source << " tag "
+                                     << message.tag;
+      }
+      lastIndex[key] = index;
+    }
+    Message leftover;
+    rank.barrier();
+    EXPECT_FALSE(rank.tryRecv(leftover));
+  });
+}
+
+TEST(Comm, ExceptionPropagatesFromAnyRank) {
+  EXPECT_THROW(Communicator::run(3,
+                                 [](RankHandle& rank) {
+                                   if (rank.rank() == 1) {
+                                     throw std::runtime_error("rank failure");
+                                   }
+                                   // Other ranks block; abort must wake them.
+                                   rank.recv(1, 99);
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Comm, InvalidDestinationRejected) {
+  Communicator::run(2, [](RankHandle& rank) {
+    if (rank.rank() == 0) {
+      EXPECT_THROW(rank.sendValue<int>(5, 0, 1), std::invalid_argument);
+    }
+  });
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.waitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelFor, ComputesEveryIndexOnce) {
+  std::vector<std::atomic<int>> touched(1000);
+  parallelFor(1000, 4, [&touched](std::uint64_t i) {
+    touched[i].fetch_add(1);
+  });
+  for (const auto& count : touched) {
+    EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroCountNoop) {
+  parallelFor(0, 4, [](std::uint64_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(parallelFor(100, 4,
+                           [](std::uint64_t i) {
+                             if (i == 50) {
+                               throw std::logic_error("boom");
+                             }
+                           }),
+               std::logic_error);
+}
+
+// ---- partitioner ----------------------------------------------------------
+
+std::vector<std::uint64_t> randomWeights(std::uint64_t seed, std::size_t count,
+                                         std::uint64_t maxWeight) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> weights(count);
+  for (auto& weight : weights) {
+    weight = 1 + rng.uniformBelow(maxWeight);
+  }
+  return weights;
+}
+
+void expectValidPartition(const Partition& partition, std::size_t items,
+                          std::span<const std::uint64_t> weights) {
+  std::vector<int> seen(items, 0);
+  for (std::size_t bin = 0; bin < partition.assignment.size(); ++bin) {
+    std::uint64_t load = 0;
+    for (std::size_t item : partition.assignment[bin]) {
+      ASSERT_LT(item, items);
+      ++seen[item];
+      load += weights[item];
+    }
+    EXPECT_EQ(load, partition.loads[bin]);
+  }
+  for (std::size_t item = 0; item < items; ++item) {
+    EXPECT_EQ(seen[item], 1) << "item " << item << " assigned wrong number";
+  }
+}
+
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(PartitionProperty, AllStrategiesAssignEachItemOnce) {
+  const auto [seed, bins] = GetParam();
+  const auto weights = randomWeights(seed, 200, 1000);
+  for (const Partition& partition :
+       {partitionGreedyLpt(weights, bins), partitionRoundRobin(weights, bins),
+        partitionContiguous(weights, bins)}) {
+    expectValidPartition(partition, weights.size(), weights);
+    EXPECT_EQ(partition.totalLoad(),
+              std::accumulate(weights.begin(), weights.end(), 0ull));
+  }
+}
+
+TEST_P(PartitionProperty, LptNeverWorseThanNaive) {
+  const auto [seed, bins] = GetParam();
+  const auto weights = randomWeights(seed, 200, 1000);
+  const auto lpt = partitionGreedyLpt(weights, bins).makespan();
+  EXPECT_LE(lpt, partitionRoundRobin(weights, bins).makespan());
+  EXPECT_LE(lpt, partitionContiguous(weights, bins).makespan());
+}
+
+TEST_P(PartitionProperty, LptWithinApproximationBound) {
+  const auto [seed, bins] = GetParam();
+  const auto weights = randomWeights(seed, 200, 1000);
+  const Partition lpt = partitionGreedyLpt(weights, bins);
+  // Lower bounds on OPT: mean load and max single item.
+  const double meanLoad = static_cast<double>(lpt.totalLoad()) /
+                          static_cast<double>(bins);
+  const double maxItem = static_cast<double>(
+      *std::max_element(weights.begin(), weights.end()));
+  const double optLowerBound = std::max(meanLoad, maxItem);
+  EXPECT_LE(static_cast<double>(lpt.makespan()),
+            (4.0 / 3.0) * optLowerBound + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBins, PartitionProperty,
+    ::testing::Combine(::testing::Values(1, 7, 42, 1234),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{7}, std::size_t{16})));
+
+TEST(Partition, SkewedWeightsShowImbalanceContrast) {
+  // One huge item plus many small ones: the paper's pathological case of a
+  // single place with tens of thousands of collocated persons.
+  std::vector<std::uint64_t> weights(64, 10);
+  weights.push_back(10000);
+  const Partition contiguous = partitionContiguous(weights, 8);
+  const Partition lpt = partitionGreedyLpt(weights, 8);
+  EXPECT_LT(lpt.imbalance(), contiguous.imbalance());
+}
+
+TEST(Partition, EmptyItemsYieldEmptyBins) {
+  const Partition partition = partitionGreedyLpt({}, 4);
+  EXPECT_EQ(partition.makespan(), 0u);
+  EXPECT_DOUBLE_EQ(partition.imbalance(), 1.0);
+}
+
+TEST(Partition, RejectsZeroBins) {
+  EXPECT_THROW(partitionGreedyLpt({}, 0), std::invalid_argument);
+}
+
+// ---- cluster ---------------------------------------------------------------
+
+TEST(Cluster, ApplyDynamicCoversAllItems) {
+  Cluster cluster(4);
+  std::vector<std::atomic<int>> touched(500);
+  cluster.applyDynamic(500, [&touched](std::size_t item, unsigned) {
+    touched[item].fetch_add(1);
+  });
+  for (const auto& count : touched) {
+    EXPECT_EQ(count.load(), 1);
+  }
+  EXPECT_EQ(cluster.workerBusySeconds().size(), 4u);
+}
+
+TEST(Cluster, ApplyPartitionedHonorsAssignment) {
+  Cluster cluster(3);
+  const std::vector<std::uint64_t> weights(30, 1);
+  const Partition partition = partitionRoundRobin(weights, 3);
+  std::vector<std::atomic<unsigned>> workerOf(30);
+  cluster.applyPartitioned(partition, [&](std::size_t item, unsigned worker) {
+    workerOf[item].store(worker + 1);
+  });
+  for (std::size_t item = 0; item < 30; ++item) {
+    EXPECT_EQ(workerOf[item].load() - 1, item % 3);
+  }
+}
+
+TEST(Cluster, PartitionBinCountMustMatchWorkers) {
+  Cluster cluster(2);
+  const std::vector<std::uint64_t> weights{1, 2, 3};
+  const Partition partition = partitionRoundRobin(weights, 3);
+  EXPECT_THROW(cluster.applyPartitioned(partition, [](std::size_t, unsigned) {}),
+               std::invalid_argument);
+}
+
+TEST(Cluster, ExceptionPropagates) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.applyDynamic(10,
+                                    [](std::size_t item, unsigned) {
+                                      if (item == 3) {
+                                        throw std::runtime_error("task failed");
+                                      }
+                                    }),
+               std::runtime_error);
+}
+
+TEST(Cluster, BusyImbalanceIsAtLeastOne) {
+  Cluster cluster(2);
+  cluster.applyDynamic(100, [](std::size_t, unsigned) {
+    double sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sink += i;
+    }
+    volatile double keep = sink;
+    (void)keep;
+  });
+  EXPECT_GE(cluster.busyImbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace chisimnet::runtime

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "chisimnet/pop/population.hpp"
+#include "chisimnet/pop/schedule.hpp"
+
+namespace chisimnet::pop {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PopulationConfig config;
+    config.personCount = 10000;
+    config.seed = 99;
+    population_ = new SyntheticPopulation(SyntheticPopulation::generate(config));
+    generator_ = new ScheduleGenerator(*population_, 555);
+  }
+  static void TearDownTestSuite() {
+    delete generator_;
+    delete population_;
+    generator_ = nullptr;
+    population_ = nullptr;
+  }
+
+  static SyntheticPopulation* population_;
+  static ScheduleGenerator* generator_;
+};
+
+SyntheticPopulation* ScheduleTest::population_ = nullptr;
+ScheduleGenerator* ScheduleTest::generator_ = nullptr;
+
+TEST_F(ScheduleTest, CoversWeekContiguously) {
+  for (PersonId person : {PersonId{0}, PersonId{123}, PersonId{9999}}) {
+    for (std::uint32_t week : {0u, 1u, 5u}) {
+      const auto schedule = generator_->weeklySchedule(person, week);
+      ASSERT_FALSE(schedule.empty());
+      EXPECT_EQ(schedule.front().start, week * kHoursPerWeek);
+      EXPECT_EQ(schedule.back().end, (week + 1) * kHoursPerWeek);
+      for (std::size_t i = 1; i < schedule.size(); ++i) {
+        EXPECT_EQ(schedule[i].start, schedule[i - 1].end) << "gap at stint " << i;
+      }
+    }
+  }
+}
+
+TEST_F(ScheduleTest, AdjacentStintsDiffer) {
+  for (PersonId person = 0; person < 200; ++person) {
+    const auto schedule = generator_->weeklySchedule(person, 0);
+    for (std::size_t i = 1; i < schedule.size(); ++i) {
+      const bool same = schedule[i].activity == schedule[i - 1].activity &&
+                        schedule[i].place == schedule[i - 1].place;
+      EXPECT_FALSE(same) << "person " << person << " stint " << i;
+    }
+  }
+}
+
+TEST_F(ScheduleTest, DeterministicPerPersonWeek) {
+  const auto a = generator_->weeklySchedule(42, 3);
+  const auto b = generator_->weeklySchedule(42, 3);
+  EXPECT_EQ(a, b);
+  // A second generator with the same seed agrees too.
+  const ScheduleGenerator other(*population_, 555);
+  EXPECT_EQ(other.weeklySchedule(42, 3), a);
+}
+
+TEST_F(ScheduleTest, WeeksVaryForSamePerson) {
+  int differing = 0;
+  for (PersonId person = 0; person < 50; ++person) {
+    const auto w0 = generator_->weeklySchedule(person, 0);
+    const auto w1 = generator_->weeklySchedule(person, 1);
+    // Compare relative schedules (shift w1 back by a week).
+    bool same = w0.size() == w1.size();
+    if (same) {
+      for (std::size_t i = 0; i < w0.size(); ++i) {
+        if (w0[i].place != w1[i].place ||
+            w0[i].start + kHoursPerWeek != w1[i].start) {
+          same = false;
+          break;
+        }
+      }
+    }
+    differing += same ? 0 : 1;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST_F(ScheduleTest, EveryoneHomeAt4am) {
+  // 4am on Tuesday (hour 28): only night-shift workers, hospital patients
+  // and the institutionalized are away from home.
+  int away = 0;
+  int checked = 0;
+  for (PersonId person = 0; person < 2000; ++person) {
+    const auto schedule = generator_->weeklySchedule(person, 0);
+    for (const ScheduleEntry& stint : schedule) {
+      if (stint.start <= 28 && 28 < stint.end) {
+        ++checked;
+        if (stint.activity != activity::kHome &&
+            stint.activity != activity::kInstitution) {
+          ++away;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(checked, 2000);
+  EXPECT_LT(away, 200);  // ~10% night shift of the employed, plus patients
+}
+
+TEST_F(ScheduleTest, StudentsInClassroomWeekdayMorning) {
+  int checked = 0;
+  for (const Person& person : population_->persons()) {
+    if (!person.isStudent()) {
+      continue;
+    }
+    const auto schedule = generator_->weeklySchedule(person.id, 0);
+    // Hospital stays legitimately override school hours; skip those weeks.
+    const bool hospitalized =
+        std::any_of(schedule.begin(), schedule.end(), [](const auto& stint) {
+          return stint.activity == activity::kHospital;
+        });
+    if (hospitalized) {
+      continue;
+    }
+    // Hour 9 on Monday must be the classroom (unless it is a sick day
+    // spent at home); hour 12 the school common.
+    bool sickMonday = false;
+    for (const ScheduleEntry& stint : schedule) {
+      if (stint.start <= 9 && 9 < stint.end &&
+          stint.activity == activity::kHome) {
+        sickMonday = true;
+      }
+    }
+    if (sickMonday) {
+      continue;
+    }
+    for (const ScheduleEntry& stint : schedule) {
+      if (stint.start <= 9 && 9 < stint.end) {
+        EXPECT_EQ(stint.activity, activity::kSchool);
+        EXPECT_EQ(stint.place, person.classroom);
+      }
+      if (stint.start <= 12 && 12 < stint.end) {
+        EXPECT_EQ(stint.activity, activity::kSchoolLunch);
+        EXPECT_EQ(stint.place, person.schoolCommon);
+      }
+    }
+    if (++checked > 500) {
+      break;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST_F(ScheduleTest, InstitutionalizedStayAtInstitution) {
+  int checked = 0;
+  for (const Person& person : population_->persons()) {
+    if (!person.isInstitutionalized()) {
+      continue;
+    }
+    const bool prison =
+        population_->place(person.institution).type == PlaceType::kPrison;
+    const auto schedule = generator_->weeklySchedule(person.id, 0);
+    for (const ScheduleEntry& stint : schedule) {
+      if (prison) {
+        EXPECT_EQ(stint.place, person.institution);
+        EXPECT_EQ(stint.activity, activity::kInstitution);
+      } else if (stint.activity != activity::kErrand) {
+        EXPECT_EQ(stint.place, person.institution);
+      }
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(ScheduleTest, EmployedWorkOnWeekdays) {
+  int checked = 0;
+  int workStints = 0;
+  for (const Person& person : population_->persons()) {
+    if (!person.isEmployed()) {
+      continue;
+    }
+    const auto schedule = generator_->weeklySchedule(person.id, 0);
+    for (const ScheduleEntry& stint : schedule) {
+      if (stint.activity == activity::kWork) {
+        EXPECT_EQ(stint.place, person.workplace);
+        ++workStints;
+      }
+    }
+    if (++checked > 300) {
+      break;
+    }
+  }
+  // Nearly every employed person has 5 weekday work stints (hospital stays
+  // can preempt a few).
+  EXPECT_GT(workStints, checked * 4);
+}
+
+TEST_F(ScheduleTest, ActivityChangesPerDayNearPaperRate) {
+  // Paper §III sizes the log assuming ~5 activity changes/person/day.
+  double total = 0.0;
+  const int sample = 2000;
+  for (PersonId person = 0; person < sample; ++person) {
+    total += generator_->activityChangesPerDay(person, 0);
+  }
+  const double average = total / sample;
+  EXPECT_GT(average, 2.0);
+  EXPECT_LT(average, 8.0);
+}
+
+TEST_F(ScheduleTest, ErrandsUseHoodShops) {
+  int errands = 0;
+  for (PersonId person = 0; person < 2000 && errands < 50; ++person) {
+    const Person& info = population_->person(person);
+    const auto schedule = generator_->weeklySchedule(person, 0);
+    for (const ScheduleEntry& stint : schedule) {
+      if (stint.activity == activity::kErrand) {
+        const Place& place = population_->place(stint.place);
+        EXPECT_EQ(place.type, PlaceType::kShop);
+        EXPECT_EQ(place.neighborhood, info.neighborhood);
+        ++errands;
+      }
+    }
+  }
+  EXPECT_GE(errands, 50);
+}
+
+TEST_F(ScheduleTest, OutOfRangePersonRejected) {
+  EXPECT_THROW(generator_->weeklySchedule(10000000, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chisimnet::pop

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chisimnet/runtime/scheduler.hpp"
+
+namespace chisimnet::runtime {
+namespace {
+
+TEST(Scheduler, ExecutesInTickOrder) {
+  Scheduler scheduler;
+  std::vector<Tick> order;
+  scheduler.scheduleAt(5, [&order](Tick tick) { order.push_back(tick); });
+  scheduler.scheduleAt(1, [&order](Tick tick) { order.push_back(tick); });
+  scheduler.scheduleAt(3, [&order](Tick tick) { order.push_back(tick); });
+  scheduler.run(10);
+  EXPECT_EQ(order, (std::vector<Tick>{1, 3, 5}));
+  EXPECT_EQ(scheduler.executedActions(), 3u);
+}
+
+TEST(Scheduler, PriorityOrdersWithinTick) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.scheduleAt(2, [&order](Tick) { order.push_back(2); },
+                       Scheduler::kLate);
+  scheduler.scheduleAt(2, [&order](Tick) { order.push_back(0); },
+                       Scheduler::kEarly);
+  scheduler.scheduleAt(2, [&order](Tick) { order.push_back(1); },
+                       Scheduler::kNormal);
+  scheduler.run(5);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Scheduler, InsertionOrderBreaksTies) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    scheduler.scheduleAt(1, [&order, i](Tick) { order.push_back(i); });
+  }
+  scheduler.run(1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RepeatingActionFiresEveryInterval) {
+  Scheduler scheduler;
+  std::vector<Tick> fired;
+  scheduler.scheduleRepeating(2, 3, [&fired](Tick tick) {
+    fired.push_back(tick);
+  });
+  scheduler.run(12);
+  EXPECT_EQ(fired, (std::vector<Tick>{2, 5, 8, 11}));
+}
+
+TEST(Scheduler, RunStopsAtEndTick) {
+  Scheduler scheduler;
+  int count = 0;
+  scheduler.scheduleRepeating(1, 1, [&count](Tick) { ++count; });
+  scheduler.run(7);
+  EXPECT_EQ(count, 7);
+  EXPECT_EQ(scheduler.currentTick(), 7u);
+  // Actions beyond the horizon were discarded, so re-running is a no-op.
+  scheduler.run(10);
+  EXPECT_EQ(count, 7);
+}
+
+TEST(Scheduler, StopSkipsRemainingActions) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.scheduleAt(1, [&order, &scheduler](Tick) {
+    order.push_back(0);
+    scheduler.stop();
+  }, Scheduler::kEarly);
+  scheduler.scheduleAt(1, [&order](Tick) { order.push_back(1); },
+                       Scheduler::kLate);
+  scheduler.scheduleAt(2, [&order](Tick) { order.push_back(2); });
+  scheduler.run(10);
+  EXPECT_EQ(order, (std::vector<int>{0}));
+}
+
+TEST(Scheduler, StopEndsRepetition) {
+  Scheduler scheduler;
+  int count = 0;
+  scheduler.scheduleRepeating(1, 1, [&count, &scheduler](Tick tick) {
+    ++count;
+    if (tick == 3) {
+      scheduler.stop();
+    }
+  });
+  scheduler.run(100);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, ActionsCanScheduleMoreActions) {
+  Scheduler scheduler;
+  std::vector<Tick> fired;
+  scheduler.scheduleAt(1, [&](Tick tick) {
+    fired.push_back(tick);
+    scheduler.scheduleAt(tick + 4, [&fired](Tick inner) {
+      fired.push_back(inner);
+    });
+  });
+  scheduler.run(10);
+  EXPECT_EQ(fired, (std::vector<Tick>{1, 5}));
+}
+
+TEST(Scheduler, RejectsPastAndInvalid) {
+  Scheduler scheduler;
+  scheduler.scheduleAt(5, [](Tick) {});
+  scheduler.run(5);
+  EXPECT_THROW(scheduler.scheduleAt(3, [](Tick) {}), std::invalid_argument);
+  EXPECT_THROW(scheduler.scheduleRepeating(6, 0, [](Tick) {}),
+               std::invalid_argument);
+  EXPECT_THROW(scheduler.scheduleAt(6, nullptr), std::invalid_argument);
+}
+
+TEST(Scheduler, PendingCount) {
+  Scheduler scheduler;
+  scheduler.scheduleAt(1, [](Tick) {});
+  scheduler.scheduleAt(2, [](Tick) {});
+  EXPECT_EQ(scheduler.pendingActions(), 2u);
+  scheduler.run(1);
+  EXPECT_EQ(scheduler.pendingActions(), 1u);
+}
+
+}  // namespace
+}  // namespace chisimnet::runtime

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "chisimnet/sparse/adjacency.hpp"
+#include "chisimnet/sparse/collocation.hpp"
+#include "chisimnet/sparse/pair_count_map.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace chisimnet::sparse {
+namespace {
+
+using table::Event;
+
+TEST(PackPair, CanonicalOrdering) {
+  EXPECT_EQ(packPair(3, 7), packPair(7, 3));
+  EXPECT_EQ(pairLow(packPair(3, 7)), 3u);
+  EXPECT_EQ(pairHigh(packPair(3, 7)), 7u);
+}
+
+TEST(PairCountMap, AddAndGet) {
+  PairCountMap map;
+  EXPECT_EQ(map.get(42), 0u);
+  map.add(42, 3);
+  map.add(42, 2);
+  EXPECT_EQ(map.get(42), 5u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(PairCountMap, GrowsPastInitialCapacity) {
+  PairCountMap map(4);
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    map.add(key, key + 1);
+  }
+  EXPECT_EQ(map.size(), 10000u);
+  for (std::uint64_t key = 0; key < 10000; key += 997) {
+    EXPECT_EQ(map.get(key), key + 1);
+  }
+}
+
+TEST(PairCountMap, MergeSumsCounts) {
+  PairCountMap a;
+  PairCountMap b;
+  a.add(1, 10);
+  a.add(2, 20);
+  b.add(2, 5);
+  b.add(3, 7);
+  a.merge(b);
+  EXPECT_EQ(a.get(1), 10u);
+  EXPECT_EQ(a.get(2), 25u);
+  EXPECT_EQ(a.get(3), 7u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(PairCountMap, EntriesReturnsEverything) {
+  PairCountMap map;
+  map.add(5, 1);
+  map.add(9, 2);
+  auto entries = map.entries();
+  std::sort(entries.begin(), entries.end());
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], (std::pair<std::uint64_t, std::uint64_t>{5, 1}));
+  EXPECT_EQ(entries[1], (std::pair<std::uint64_t, std::uint64_t>{9, 2}));
+}
+
+TEST(PairCountMap, ReservedKeyRejected) {
+  PairCountMap map;
+  EXPECT_THROW(map.add(~std::uint64_t{0}, 1), std::invalid_argument);
+}
+
+TEST(CollocationMatrix, BuildsFromEventsWithClipping) {
+  // Person 1 at place during [0, 5); window is [2, 4) -> hours {0,1} rel.
+  const std::vector<Event> events{{0, 5, 1, 0, 9}};
+  const CollocationMatrix matrix(9, events, 2, 4);
+  EXPECT_EQ(matrix.place(), 9u);
+  EXPECT_EQ(matrix.personCount(), 1u);
+  EXPECT_EQ(matrix.nnz(), 2u);
+  EXPECT_EQ(matrix.sliceHours(), 2u);
+  EXPECT_TRUE(matrix.present(0, 0));
+  EXPECT_TRUE(matrix.present(0, 1));
+  EXPECT_FALSE(matrix.present(0, 2));
+}
+
+TEST(CollocationMatrix, DeduplicatesPresence) {
+  // Two overlapping events for the same person collapse per hour.
+  const std::vector<Event> events{{0, 3, 1, 0, 9}, {2, 5, 1, 1, 9}};
+  const CollocationMatrix matrix(9, events, 0, 5);
+  EXPECT_EQ(matrix.personCount(), 1u);
+  EXPECT_EQ(matrix.nnz(), 5u);
+}
+
+TEST(CollocationMatrix, MultiplePersonsSortedRows) {
+  const std::vector<Event> events{{0, 2, 7, 0, 1}, {1, 3, 3, 0, 1}};
+  const CollocationMatrix matrix(1, events, 0, 4);
+  ASSERT_EQ(matrix.personCount(), 2u);
+  EXPECT_EQ(matrix.personAt(0), 3u);
+  EXPECT_EQ(matrix.personAt(1), 7u);
+  EXPECT_EQ(matrix.hoursAt(0).size(), 2u);
+  EXPECT_EQ(matrix.hoursAt(1).size(), 2u);
+}
+
+TEST(CollocationMatrix, EmptyWindowYieldsEmptyMatrix) {
+  const std::vector<Event> events{{0, 2, 1, 0, 1}};
+  const CollocationMatrix matrix(1, events, 5, 5);
+  EXPECT_EQ(matrix.nnz(), 0u);
+  EXPECT_EQ(matrix.personCount(), 0u);
+}
+
+TEST(SymmetricAdjacency, AddAndWeightSymmetric) {
+  SymmetricAdjacency adjacency;
+  adjacency.add(3, 8, 4);
+  adjacency.add(8, 3, 1);
+  EXPECT_EQ(adjacency.weight(3, 8), 5u);
+  EXPECT_EQ(adjacency.weight(8, 3), 5u);
+  EXPECT_EQ(adjacency.edgeCount(), 1u);
+}
+
+TEST(SymmetricAdjacency, SelfEdgeRejected) {
+  SymmetricAdjacency adjacency;
+  EXPECT_THROW(adjacency.add(2, 2, 1), std::invalid_argument);
+  EXPECT_EQ(adjacency.weight(2, 2), 0u);
+}
+
+TEST(SymmetricAdjacency, ZeroWeightIgnored) {
+  SymmetricAdjacency adjacency;
+  adjacency.add(1, 2, 0);
+  EXPECT_EQ(adjacency.edgeCount(), 0u);
+}
+
+TEST(SymmetricAdjacency, TripletsSortedUpperTriangular) {
+  SymmetricAdjacency adjacency;
+  adjacency.add(9, 2, 1);
+  adjacency.add(1, 5, 2);
+  adjacency.add(1, 3, 3);
+  const auto triplets = adjacency.toTriplets();
+  ASSERT_EQ(triplets.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(triplets.begin(), triplets.end()));
+  for (const AdjacencyTriplet& triplet : triplets) {
+    EXPECT_LT(triplet.i, triplet.j);
+  }
+}
+
+TEST(SymmetricAdjacency, MergeIsMatrixSum) {
+  SymmetricAdjacency a;
+  SymmetricAdjacency b;
+  a.add(1, 2, 3);
+  b.add(1, 2, 4);
+  b.add(2, 5, 1);
+  a.merge(b);
+  EXPECT_EQ(a.weight(1, 2), 7u);
+  EXPECT_EQ(a.weight(2, 5), 1u);
+}
+
+/// Brute-force x·xᵀ over the dense per-hour presence of one place.
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+bruteForcePairs(const CollocationMatrix& matrix) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> pairs;
+  for (std::uint32_t hour = 0; hour < matrix.sliceHours(); ++hour) {
+    std::vector<std::uint32_t> present;
+    for (std::size_t row = 0; row < matrix.personCount(); ++row) {
+      if (matrix.present(row, hour)) {
+        present.push_back(matrix.personAt(row));
+      }
+    }
+    for (std::size_t a = 0; a < present.size(); ++a) {
+      for (std::size_t b = a + 1; b < present.size(); ++b) {
+        const auto lo = std::min(present[a], present[b]);
+        const auto hi = std::max(present[a], present[b]);
+        ++pairs[{lo, hi}];
+      }
+    }
+  }
+  return pairs;
+}
+
+CollocationMatrix randomMatrix(std::uint64_t seed, std::size_t persons,
+                               table::Hour hours, std::size_t eventCount) {
+  util::Rng rng(seed);
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < eventCount; ++i) {
+    const auto start = static_cast<table::Hour>(rng.uniformBelow(hours));
+    const auto end = start + 1 + static_cast<table::Hour>(rng.uniformBelow(6));
+    events.push_back(Event{start, end,
+                           static_cast<table::PersonId>(rng.uniformBelow(persons)),
+                           0, 77});
+  }
+  return CollocationMatrix(77, events, 0, hours);
+}
+
+class AdjacencyMethodProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AdjacencyMethodProperty, BothMethodsMatchBruteForce) {
+  const CollocationMatrix matrix = randomMatrix(GetParam(), 12, 24, 40);
+  const auto expected = bruteForcePairs(matrix);
+
+  for (const AdjacencyMethod method :
+       {AdjacencyMethod::kSpGemm, AdjacencyMethod::kIntervalIntersection}) {
+    SymmetricAdjacency adjacency;
+    adjacency.addCollocation(matrix, method);
+    EXPECT_EQ(adjacency.edgeCount(), expected.size());
+    for (const auto& [pair, weight] : expected) {
+      EXPECT_EQ(adjacency.weight(pair.first, pair.second), weight)
+          << "pair (" << pair.first << "," << pair.second << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjacencyMethodProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(AdjacencyFromCollocations, SumsAcrossPlaces) {
+  // Two places where persons 1 and 2 are collocated for 2 and 3 hours.
+  const std::vector<Event> placeA{{0, 2, 1, 0, 10}, {0, 2, 2, 0, 10}};
+  const std::vector<Event> placeB{{5, 8, 1, 0, 11}, {5, 8, 2, 0, 11}};
+  std::vector<CollocationMatrix> matrices;
+  matrices.emplace_back(10, placeA, 0, 10);
+  matrices.emplace_back(11, placeB, 0, 10);
+  const SymmetricAdjacency adjacency = adjacencyFromCollocations(matrices);
+  EXPECT_EQ(adjacency.weight(1, 2), 5u);
+}
+
+TEST(BuildCollocationMatrices, OnePerNonEmptyPlace) {
+  table::EventTable events;
+  events.append(Event{0, 2, 1, 0, 5});
+  events.append(Event{0, 2, 2, 0, 5});
+  events.append(Event{3, 4, 3, 0, 8});
+  events.append(Event{50, 60, 4, 0, 9});  // outside window
+  const auto matrices = buildCollocationMatrices(events, 0, 10);
+  ASSERT_EQ(matrices.size(), 2u);
+  EXPECT_EQ(matrices[0].place(), 5u);
+  EXPECT_EQ(matrices[0].personCount(), 2u);
+  EXPECT_EQ(matrices[1].place(), 8u);
+}
+
+TEST(CollocationMatrix, MemoryBytesPositive) {
+  const CollocationMatrix matrix = randomMatrix(3, 5, 10, 10);
+  EXPECT_GT(matrix.memoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace chisimnet::sparse

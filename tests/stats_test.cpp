@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chisimnet/stats/fit.hpp"
+#include "chisimnet/stats/histogram.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace chisimnet::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram histogram(0.0, 1.0, 10);
+  histogram.add(0.05);   // bin 0
+  histogram.add(0.15);   // bin 1
+  histogram.add(0.999);  // bin 9
+  histogram.add(1.0);    // exactly hi -> last bin
+  EXPECT_EQ(histogram.count(0), 1u);
+  EXPECT_EQ(histogram.count(1), 1u);
+  EXPECT_EQ(histogram.count(9), 2u);
+  EXPECT_EQ(histogram.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram histogram(0.0, 1.0, 4);
+  histogram.add(-0.1);
+  histogram.add(1.5);
+  EXPECT_EQ(histogram.underflow(), 1u);
+  EXPECT_EQ(histogram.overflow(), 1u);
+  EXPECT_EQ(histogram.total(), 2u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram histogram(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(histogram.binCenter(0), 1.0);
+  const auto [lo, hi] = histogram.binEdges(2);
+  EXPECT_DOUBLE_EQ(lo, 4.0);
+  EXPECT_DOUBLE_EQ(hi, 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(FrequencyDistribution, CountsAndFractions) {
+  const std::vector<std::uint64_t> values{1, 1, 2, 5, 5, 5};
+  const auto points = frequencyDistribution(values);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].value, 1u);
+  EXPECT_EQ(points[0].count, 2u);
+  EXPECT_NEAR(points[0].fraction, 2.0 / 6.0, 1e-12);
+  EXPECT_EQ(points[2].value, 5u);
+  EXPECT_EQ(points[2].count, 3u);
+}
+
+TEST(FrequencyDistribution, EmptyInput) {
+  EXPECT_TRUE(frequencyDistribution({}).empty());
+}
+
+TEST(LogBinned, CoversAllPositiveValues) {
+  const std::vector<std::uint64_t> values{1, 2, 3, 10, 100, 1000};
+  const auto points = logBinnedDistribution(values, 2.0);
+  std::uint64_t total = 0;
+  for (const FrequencyPoint& point : points) {
+    total += point.count;
+  }
+  EXPECT_EQ(total, values.size());
+}
+
+TEST(LogBinned, ZerosExcluded) {
+  const std::vector<std::uint64_t> values{0, 0, 1};
+  const auto points = logBinnedDistribution(values, 2.0);
+  std::uint64_t total = 0;
+  for (const FrequencyPoint& point : points) {
+    total += point.count;
+  }
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(MeanVariance, Basics) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(variance(values), 1.25);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+/// Builds an exact distribution from a model density over k in [1, kMax].
+std::vector<FrequencyPoint> syntheticDistribution(
+    const std::function<double(double)>& density, std::uint64_t kMax) {
+  std::vector<FrequencyPoint> points;
+  double total = 0.0;
+  for (std::uint64_t k = 1; k <= kMax; ++k) {
+    total += density(static_cast<double>(k));
+  }
+  for (std::uint64_t k = 1; k <= kMax; ++k) {
+    const double p = density(static_cast<double>(k)) / total;
+    points.push_back(FrequencyPoint{k, 0, p});
+  }
+  return points;
+}
+
+TEST(Fit, PowerLawRecoversExponent) {
+  // p(k) ~ k^-1.5, the paper's Fig 3 overlay exponent.
+  const auto distribution = syntheticDistribution(
+      [](double k) { return std::pow(k, -1.5); }, 500);
+  const FitResult fit = fitPowerLaw(distribution);
+  EXPECT_NEAR(fit.alpha, 1.5, 1e-6);
+  EXPECT_NEAR(fit.sseLog, 0.0, 1e-9);
+  EXPECT_EQ(fit.model, FitModel::kPowerLaw);
+}
+
+TEST(Fit, TruncatedPowerLawRecoversBothParameters) {
+  // p(k) ~ k^-1.25 e^(-k/1000), the paper's Fig 3 truncated fit.
+  const auto distribution = syntheticDistribution(
+      [](double k) { return std::pow(k, -1.25) * std::exp(-k / 1000.0); },
+      3000);
+  const FitResult fit = fitTruncatedPowerLaw(distribution);
+  EXPECT_NEAR(fit.alpha, 1.25, 1e-6);
+  EXPECT_NEAR(fit.cutoff, 1000.0, 1.0);
+  EXPECT_NEAR(fit.sseLog, 0.0, 1e-9);
+}
+
+TEST(Fit, ExponentialRecoversCutoff) {
+  const auto distribution = syntheticDistribution(
+      [](double k) { return std::exp(-k / 40.0); }, 400);
+  const FitResult fit = fitExponential(distribution);
+  EXPECT_NEAR(fit.cutoff, 40.0, 1e-6);
+  EXPECT_DOUBLE_EQ(fit.alpha, 0.0);
+}
+
+TEST(Fit, EvaluateMatchesDensityShape) {
+  const auto distribution = syntheticDistribution(
+      [](double k) { return std::pow(k, -2.0); }, 100);
+  const FitResult fit = fitPowerLaw(distribution);
+  // Ratio test: p(2)/p(4) should be 2^alpha = 4.
+  EXPECT_NEAR(fit.evaluate(2.0) / fit.evaluate(4.0), 4.0, 1e-6);
+}
+
+TEST(Fit, KMinRestrictsFitRange) {
+  // Distribution that is power law only for k >= 10.
+  auto distribution = syntheticDistribution(
+      [](double k) { return k < 10 ? 0.01 : std::pow(k, -2.0); }, 300);
+  const FitResult fullFit = fitPowerLaw(distribution, 1);
+  const FitResult tailFit = fitPowerLaw(distribution, 10);
+  EXPECT_NEAR(tailFit.alpha, 2.0, 1e-6);
+  EXPECT_GT(std::fabs(fullFit.alpha - 2.0), 0.05);
+}
+
+TEST(Fit, TruncatedBeatsPowerLawOnRolledOffTail) {
+  // The paper's observation: a rolled-off tail fits the truncated form
+  // better (lower log-space SSE) than the pure power law.
+  const auto distribution = syntheticDistribution(
+      [](double k) { return std::pow(k, -1.3) * std::exp(-k / 200.0); }, 2000);
+  const FitResult pure = fitPowerLaw(distribution);
+  const FitResult truncated = fitTruncatedPowerLaw(distribution);
+  EXPECT_LT(truncated.sseLog, pure.sseLog);
+}
+
+TEST(Fit, RejectsTooFewPoints) {
+  const std::vector<FrequencyPoint> one{{1, 1, 1.0}};
+  EXPECT_THROW(fitPowerLaw(one), std::invalid_argument);
+  EXPECT_THROW(fitTruncatedPowerLaw(one), std::invalid_argument);
+  EXPECT_THROW(fitExponential(one), std::invalid_argument);
+}
+
+TEST(Fit, MleRecoversAlphaFromSamples) {
+  // Sample from a discrete power law p(k) ~ k^-2.5 via inverse CDF.
+  util::Rng rng(77);
+  const double alpha = 2.5;
+  std::vector<double> weights;
+  for (int k = 1; k <= 10000; ++k) {
+    weights.push_back(std::pow(static_cast<double>(k), -alpha));
+  }
+  util::AliasTable sampler{std::span<const double>(weights)};
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 50000; ++i) {
+    samples.push_back(sampler.sample(rng) + 1);
+  }
+  // The x_min - 1/2 approximation is accurate for kMin >= ~6 (documented on
+  // the API); at kMin = 1 it is biased low by design.
+  EXPECT_NEAR(powerLawAlphaMle(samples, 10), alpha, 0.1);
+  EXPECT_LT(powerLawAlphaMle(samples, 1), alpha);
+}
+
+TEST(Fit, KsNearZeroForPerfectFit) {
+  const auto distribution = syntheticDistribution(
+      [](double k) { return std::pow(k, -1.8); }, 200);
+  const FitResult fit = fitPowerLaw(distribution);
+  EXPECT_LT(ksStatistic(fit, distribution), 1e-9);
+}
+
+TEST(Fit, KsLargeForWrongModel) {
+  const auto distribution = syntheticDistribution(
+      [](double k) { return std::exp(-k / 5.0); }, 100);
+  const FitResult wrong = fitPowerLaw(distribution);
+  EXPECT_GT(ksStatistic(wrong, distribution), 0.05);
+}
+
+TEST(Fit, KsTwoSampleIdenticalIsZero) {
+  const std::vector<FrequencyPoint> dist{{1, 3, 0.3}, {5, 7, 0.7}};
+  EXPECT_DOUBLE_EQ(ksTwoSample(dist, dist), 0.0);
+}
+
+TEST(Fit, KsTwoSampleDisjointIsOne) {
+  const std::vector<FrequencyPoint> a{{1, 1, 0.5}, {2, 1, 0.5}};
+  const std::vector<FrequencyPoint> b{{10, 1, 1.0}};
+  EXPECT_DOUBLE_EQ(ksTwoSample(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(ksTwoSample(b, a), 1.0);
+}
+
+TEST(Fit, KsTwoSampleKnownGap) {
+  // a puts 0.8 at value 1 and 0.2 at value 3; b puts 0.2 / 0.8.
+  // Max CDF gap is |0.8 - 0.2| = 0.6 after value 1.
+  const std::vector<FrequencyPoint> a{{1, 0, 0.8}, {3, 0, 0.2}};
+  const std::vector<FrequencyPoint> b{{1, 0, 0.2}, {3, 0, 0.8}};
+  EXPECT_NEAR(ksTwoSample(a, b), 0.6, 1e-12);
+}
+
+TEST(Fit, KsTwoSampleNormalizesFractions) {
+  // Unnormalized fractions (e.g. raw counts) give the same answer.
+  const std::vector<FrequencyPoint> a{{1, 0, 8.0}, {3, 0, 2.0}};
+  const std::vector<FrequencyPoint> b{{1, 0, 1.0}, {3, 0, 4.0}};
+  EXPECT_NEAR(ksTwoSample(a, b), 0.6, 1e-12);
+}
+
+TEST(Fit, KsTwoSampleSampleNoiseIsSmall) {
+  // Two samples from the same distribution should have a small distance.
+  util::Rng rng(123);
+  const std::vector<double> weights{5, 4, 3, 2, 1};
+  const util::AliasTable sampler{std::span<const double>(weights)};
+  std::vector<std::uint64_t> sampleA;
+  std::vector<std::uint64_t> sampleB;
+  for (int i = 0; i < 20000; ++i) {
+    sampleA.push_back(sampler.sample(rng) + 1);
+    sampleB.push_back(sampler.sample(rng) + 1);
+  }
+  EXPECT_LT(ksTwoSample(frequencyDistribution(sampleA),
+                        frequencyDistribution(sampleB)),
+            0.02);
+}
+
+TEST(Fit, KsTwoSampleRejectsEmpty) {
+  const std::vector<FrequencyPoint> some{{1, 1, 1.0}};
+  EXPECT_THROW(ksTwoSample({}, some), std::invalid_argument);
+  EXPECT_THROW(ksTwoSample(some, {}), std::invalid_argument);
+}
+
+TEST(Fit, ModelNames) {
+  EXPECT_EQ(fitModelName(FitModel::kPowerLaw), "power-law");
+  EXPECT_EQ(fitModelName(FitModel::kTruncatedPowerLaw), "truncated-power-law");
+  EXPECT_EQ(fitModelName(FitModel::kExponential), "exponential");
+}
+
+}  // namespace
+}  // namespace chisimnet::stats

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "chisimnet/net/temporal.hpp"
+#include "chisimnet/util/rng.hpp"
+
+namespace chisimnet::net {
+namespace {
+
+using table::Event;
+
+table::EventTable randomEvents(std::uint64_t seed, std::size_t count,
+                               table::Hour horizon) {
+  util::Rng rng(seed);
+  table::EventTable events;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto start = static_cast<table::Hour>(rng.uniformBelow(horizon));
+    events.append(Event{
+        start, start + 1 + static_cast<table::Hour>(rng.uniformBelow(6)),
+        static_cast<table::PersonId>(rng.uniformBelow(40)), 0,
+        static_cast<table::PlaceId>(rng.uniformBelow(10))});
+  }
+  return events;
+}
+
+SynthesisConfig config96() {
+  SynthesisConfig config;
+  config.windowStart = 0;
+  config.windowEnd = 96;
+  config.workers = 2;
+  return config;
+}
+
+TEST(Temporal, SliceBoundariesCoverWindow) {
+  const auto events = randomEvents(1, 300, 96);
+  const auto slices = synthesizeSlices(events, config96(), 24);
+  ASSERT_EQ(slices.size(), 4u);
+  EXPECT_EQ(slices.front().start, 0u);
+  EXPECT_EQ(slices.back().end, 96u);
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].start, slices[i - 1].end);
+  }
+}
+
+TEST(Temporal, UnevenFinalSlice) {
+  const auto events = randomEvents(2, 100, 96);
+  SynthesisConfig config = config96();
+  config.windowEnd = 50;
+  const auto slices = synthesizeSlices(events, config, 24);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices.back().start, 48u);
+  EXPECT_EQ(slices.back().end, 50u);
+}
+
+TEST(Temporal, SlicesSumToWholeWindowNetwork) {
+  // The paper's "arbitrary time granularity" claim: daily adjacencies must
+  // sum exactly to the whole-window adjacency.
+  const auto events = randomEvents(3, 500, 96);
+  const auto slices = synthesizeSlices(events, config96(), 24);
+  sparse::SymmetricAdjacency sum;
+  for (const TemporalSlice& slice : slices) {
+    sum.merge(slice.adjacency);
+  }
+  NetworkSynthesizer whole(config96());
+  EXPECT_EQ(sum.toTriplets(), whole.synthesizeAdjacency(events).toTriplets());
+}
+
+TEST(Temporal, HourlySlicesAlsoSum) {
+  const auto events = randomEvents(4, 200, 24);
+  SynthesisConfig config = config96();
+  config.windowEnd = 24;
+  const auto slices = synthesizeSlices(events, config, 1);
+  EXPECT_EQ(slices.size(), 24u);
+  sparse::SymmetricAdjacency sum;
+  for (const TemporalSlice& slice : slices) {
+    sum.merge(slice.adjacency);
+  }
+  NetworkSynthesizer whole(config);
+  EXPECT_EQ(sum.toTriplets(), whole.synthesizeAdjacency(events).toTriplets());
+}
+
+TEST(Temporal, RejectsZeroSliceWidth) {
+  const auto events = randomEvents(5, 10, 24);
+  EXPECT_THROW(synthesizeSlices(events, config96(), 0), std::invalid_argument);
+}
+
+TEST(Temporal, JaccardIdentityAndDisjoint) {
+  sparse::SymmetricAdjacency a;
+  a.add(1, 2, 1);
+  a.add(3, 4, 1);
+  EXPECT_DOUBLE_EQ(edgeJaccard(a, a), 1.0);
+
+  sparse::SymmetricAdjacency b;
+  b.add(5, 6, 1);
+  EXPECT_DOUBLE_EQ(edgeJaccard(a, b), 0.0);
+
+  sparse::SymmetricAdjacency empty;
+  EXPECT_DOUBLE_EQ(edgeJaccard(empty, empty), 1.0);
+}
+
+TEST(Temporal, JaccardPartialOverlap) {
+  sparse::SymmetricAdjacency a;
+  a.add(1, 2, 5);
+  a.add(3, 4, 5);
+  sparse::SymmetricAdjacency b;
+  b.add(1, 2, 99);  // weights differ, only edge presence matters
+  b.add(7, 8, 1);
+  EXPECT_DOUBLE_EQ(edgeJaccard(a, b), 1.0 / 3.0);
+}
+
+TEST(Temporal, PersistenceAsymmetric) {
+  sparse::SymmetricAdjacency a;
+  a.add(1, 2, 1);
+  a.add(3, 4, 1);
+  sparse::SymmetricAdjacency b;
+  b.add(1, 2, 1);
+  EXPECT_DOUBLE_EQ(edgePersistence(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(edgePersistence(b, a), 1.0);
+  sparse::SymmetricAdjacency empty;
+  EXPECT_DOUBLE_EQ(edgePersistence(empty, a), 1.0);
+}
+
+TEST(Temporal, RepeatedDailyRoutineHasHighPersistence) {
+  // Same routine every day: person 1 and 2 share place 5 at hours 2-4 of
+  // each day; persistence between consecutive daily slices is 1.
+  table::EventTable events;
+  for (table::Hour day = 0; day < 4; ++day) {
+    events.append(Event{static_cast<table::Hour>(day * 24 + 2),
+                        static_cast<table::Hour>(day * 24 + 4), 1, 0, 5});
+    events.append(Event{static_cast<table::Hour>(day * 24 + 2),
+                        static_cast<table::Hour>(day * 24 + 4), 2, 0, 5});
+  }
+  const auto slices = synthesizeSlices(events, config96(), 24);
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        edgeJaccard(slices[i - 1].adjacency, slices[i].adjacency), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace chisimnet::net

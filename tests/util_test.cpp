@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "chisimnet/util/binary_io.hpp"
+#include "chisimnet/util/env.hpp"
+#include "chisimnet/util/error.hpp"
+#include "chisimnet/util/rng.hpp"
+#include "chisimnet/util/timer.hpp"
+
+namespace chisimnet::util {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(CHISIM_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(CHISIM_REQUIRE(true, "fine"));
+}
+
+TEST(Error, CheckThrowsRuntimeError) {
+  EXPECT_THROW(CHISIM_CHECK(false, "boom"), std::runtime_error);
+  EXPECT_NO_THROW(CHISIM_CHECK(true, "fine"));
+}
+
+TEST(Error, MessageContainsContext) {
+  try {
+    CHISIM_REQUIRE(1 == 2, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("custom detail"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniformBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.uniformBelow(1), 0u);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniformBelow(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t value = rng.uniformInt(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    sawLo |= value == -2;
+    sawHi |= value == 2;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, Uniform01InRangeAndMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(0.5);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng(17);
+  for (double mean : {0.5, 4.0, 100.0}) {
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(21);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.discrete(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, DiscreteRejectsBadInput) {
+  Rng rng(1);
+  const std::vector<double> empty;
+  EXPECT_THROW(rng.discrete(empty), std::invalid_argument);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.discrete(zero), std::invalid_argument);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(rng.discrete(negative), std::invalid_argument);
+}
+
+TEST(Rng, ForkDecorrelatesStreams) {
+  Rng parent(99);
+  Rng childA = parent.fork(0);
+  Rng childB = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += childA.next() == childB.next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(4);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(AliasTable, MatchesWeights) {
+  Rng rng(31);
+  const std::vector<double> weights{5.0, 1.0, 0.0, 4.0};
+  const AliasTable table{std::span<const double>(weights)};
+  std::array<int, 4> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[table.sample(rng)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.4, 0.01);
+}
+
+TEST(AliasTable, SingleWeight) {
+  Rng rng(1);
+  const std::vector<double> weights{2.5};
+  const AliasTable table{std::span<const double>(weights)};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(table.sample(rng), 0u);
+  }
+}
+
+TEST(ZipfSampler, RankOneMostFrequent) {
+  Rng rng(8);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::size_t rank = zipf.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 100u);
+    ++counts[rank];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  // Ratio count(1)/count(2) should approximate 2^1.2.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], std::pow(2.0, 1.2),
+              0.5);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE check value).
+  const char* data = "123456789";
+  const auto bytes = std::as_bytes(std::span<const char>(data, 9));
+  EXPECT_EQ(crc32(bytes), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32(std::span<const std::byte>{}), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(64, std::byte{0x5A});
+  const std::uint32_t original = crc32(data);
+  data[17] ^= std::byte{0x01};
+  EXPECT_NE(crc32(data), original);
+}
+
+TEST(BinaryIo, U32RoundTrip) {
+  std::stringstream stream;
+  writeU32(stream, 0xDEADBEEFu);
+  writeU32(stream, 0);
+  writeU32(stream, 0xFFFFFFFFu);
+  EXPECT_EQ(readU32(stream), 0xDEADBEEFu);
+  EXPECT_EQ(readU32(stream), 0u);
+  EXPECT_EQ(readU32(stream), 0xFFFFFFFFu);
+}
+
+TEST(BinaryIo, U64RoundTrip) {
+  std::stringstream stream;
+  writeU64(stream, 0x0123456789ABCDEFull);
+  EXPECT_EQ(readU64(stream), 0x0123456789ABCDEFull);
+}
+
+TEST(BinaryIo, LittleEndianLayout) {
+  std::stringstream stream;
+  writeU32(stream, 0x01020304u);
+  const std::string bytes = stream.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(BinaryIo, VarintRoundTrip) {
+  std::vector<std::byte> buffer;
+  const std::vector<std::uint32_t> values{0, 1, 127, 128, 300, 16383, 16384,
+                                          0xFFFFFFFFu};
+  for (std::uint32_t value : values) {
+    putVarint(buffer, value);
+  }
+  std::size_t cursor = 0;
+  for (std::uint32_t value : values) {
+    EXPECT_EQ(getVarint(buffer, cursor), value);
+  }
+  EXPECT_EQ(cursor, buffer.size());
+}
+
+TEST(BinaryIo, VarintSizes) {
+  std::vector<std::byte> buffer;
+  putVarint(buffer, 127);
+  EXPECT_EQ(buffer.size(), 1u);
+  buffer.clear();
+  putVarint(buffer, 128);
+  EXPECT_EQ(buffer.size(), 2u);
+  buffer.clear();
+  putVarint(buffer, 0xFFFFFFFFu);
+  EXPECT_EQ(buffer.size(), 5u);
+}
+
+TEST(BinaryIo, VarintTruncationThrows) {
+  std::vector<std::byte> buffer;
+  putVarint(buffer, 300);
+  buffer.pop_back();
+  std::size_t cursor = 0;
+  EXPECT_THROW(getVarint(buffer, cursor), std::runtime_error);
+}
+
+TEST(BinaryIo, ZigzagRoundTrip) {
+  for (std::int32_t value : {0, 1, -1, 2, -2, 1000000, -1000000,
+                             std::numeric_limits<std::int32_t>::max(),
+                             std::numeric_limits<std::int32_t>::min()}) {
+    EXPECT_EQ(zigzagDecode(zigzagEncode(value)), value) << value;
+  }
+  // Small magnitudes map to small codes (the property packing relies on).
+  EXPECT_EQ(zigzagEncode(0), 0u);
+  EXPECT_EQ(zigzagEncode(-1), 1u);
+  EXPECT_EQ(zigzagEncode(1), 2u);
+}
+
+TEST(BinaryIo, ShortReadThrows) {
+  std::stringstream stream;
+  stream << "ab";
+  EXPECT_THROW(readU32(stream), std::runtime_error);
+}
+
+TEST(Env, ParsesAndFallsBack) {
+  ::setenv("CHISIMNET_TEST_VALUE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(envDouble("CHISIMNET_TEST_VALUE", 1.0), 2.5);
+  ::setenv("CHISIMNET_TEST_VALUE", "junk", 1);
+  EXPECT_DOUBLE_EQ(envDouble("CHISIMNET_TEST_VALUE", 1.0), 1.0);
+  ::unsetenv("CHISIMNET_TEST_VALUE");
+  EXPECT_DOUBLE_EQ(envDouble("CHISIMNET_TEST_VALUE", 3.0), 3.0);
+
+  ::setenv("CHISIMNET_TEST_U64", "123", 1);
+  EXPECT_EQ(envU64("CHISIMNET_TEST_U64", 9), 123u);
+  ::unsetenv("CHISIMNET_TEST_U64");
+  EXPECT_EQ(envU64("CHISIMNET_TEST_U64", 9), 9u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  // Burn a bit of CPU.
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += std::sqrt(static_cast<double>(i));
+  }
+  volatile double keep = sink;
+  (void)keep;
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace chisimnet::util

@@ -1,0 +1,353 @@
+/// chisim — command-line driver for the chisimnet pipeline.
+///
+/// Subcommands mirror the paper's workflow:
+///   simulate    generate a synthetic population and run the distributed
+///               ABM, writing per-rank CLG5 logs (optionally with the SEIR
+///               disease layer and its CLX5 logs)
+///   info        inventory of a log directory (files, entries, time range)
+///   synthesize  logs -> sparse collocation adjacency (CADJ file)
+///   analyze     CADJ -> degree distribution, fits, clustering, components,
+///               communities
+///   ego         CADJ -> radius-k ego network around a person, exported as
+///               SVG + GraphML
+///
+/// Example session:
+///   chisim simulate   --persons 20000 --weeks 1 --ranks 4 --logs /tmp/run
+///   chisim info       --logs /tmp/run
+///   chisim synthesize --logs /tmp/run --window-end 168 --out /tmp/net.cadj
+///   chisim analyze    --net /tmp/net.cadj --communities
+///   chisim ego        --net /tmp/net.cadj --person 42 --radius 2
+///                     --out /tmp/ego
+
+#include <charconv>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chisimnet/chisimnet.hpp"
+
+namespace {
+
+using namespace chisimnet;
+
+/// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int firstArg) {
+    for (int i = firstArg; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --option, got: " + key);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string requireStr(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      throw std::invalid_argument("missing required option --" + key);
+    }
+    return it->second;
+  }
+
+  std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    std::uint64_t value = 0;
+    const auto& text = it->second;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw std::invalid_argument("--" + key + " expects an integer, got: " +
+                                  text);
+    }
+    return value;
+  }
+
+  double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmdSimulate(const Args& args) {
+  pop::PopulationConfig popConfig;
+  popConfig.personCount = static_cast<std::uint32_t>(args.u64("persons", 20000));
+  popConfig.seed = args.u64("seed", 20170517);
+  const auto population = pop::SyntheticPopulation::generate(popConfig);
+  std::cout << "population: " << population.persons().size() << " persons, "
+            << population.places().size() << " places\n";
+
+  abm::ModelConfig config;
+  config.logDirectory = args.requireStr("logs");
+  config.rankCount = static_cast<int>(args.u64("ranks", 4));
+  config.weeks = static_cast<std::uint32_t>(args.u64("weeks", 1));
+  config.scheduleSeed = args.u64("schedule-seed", 7);
+  config.logCacheEntries = args.u64("cache", elog::kDefaultCacheEntries);
+  if (args.str("partition", "neighborhood") == "round-robin") {
+    config.strategy = abm::PartitionStrategy::kRoundRobin;
+  }
+  if (args.has("compress")) {
+    config.logCompression = elog::LogCompression::kPacked;
+  }
+
+  abm::ModelStats stats;
+  if (args.has("disease")) {
+    abm::DiseaseConfig disease;
+    disease.beta = args.real("beta", 0.002);
+    disease.seedCount = static_cast<std::uint32_t>(args.u64("seeds", 5));
+    disease.seed = args.u64("disease-seed", 99);
+    abm::DiseaseStats epidemic;
+    stats = abm::runModel(population, config, disease, epidemic);
+    std::cout << "epidemic: " << epidemic.seeded << " seeds, "
+              << epidemic.infections << " transmissions, attack rate "
+              << 100.0 * epidemic.attackRate() << "%, peak "
+              << epidemic.peakInfectious << " @h" << epidemic.peakHour << "\n";
+  } else {
+    stats = abm::runModel(population, config);
+  }
+  std::cout << "simulated " << stats.simulatedHours << " h on "
+            << config.rankCount << " ranks in " << stats.wallSeconds << " s; "
+            << stats.eventsLogged << " events ("
+            << stats.logBytes / 1024 / 1024 << " MiB), migration "
+            << 100.0 * stats.migrationFraction() << "%\n";
+  return 0;
+}
+
+int cmdInfo(const Args& args) {
+  const auto files = elog::listLogFiles(args.requireStr("logs"));
+  if (files.empty()) {
+    std::cout << "no CLG5 files found\n";
+    return 1;
+  }
+  std::uint64_t totalEntries = 0;
+  for (const auto& file : files) {
+    elog::ChunkedLogReader reader(file);
+    table::Hour minStart = ~0u;
+    table::Hour maxEnd = 0;
+    for (const elog::ChunkInfo& chunk : reader.chunks()) {
+      minStart = std::min(minStart, chunk.minStart);
+      maxEnd = std::max(maxEnd, chunk.maxEnd);
+    }
+    std::cout << file.filename().string() << ": " << reader.totalEntries()
+              << " entries in " << reader.chunks().size() << " chunks, ";
+    if (reader.chunks().empty()) {
+      std::cout << "empty, ";
+    } else {
+      std::cout << "hours [" << minStart << ", " << maxEnd << "), ";
+    }
+    std::cout << std::filesystem::file_size(file) / 1024 << " KiB\n";
+    totalEntries += reader.totalEntries();
+  }
+  std::cout << "total: " << files.size() << " files, " << totalEntries
+            << " entries, " << elog::totalFileBytes(files) / 1024 / 1024
+            << " MiB\n";
+  return 0;
+}
+
+int cmdSynthesize(const Args& args) {
+  const auto files = elog::listLogFiles(args.requireStr("logs"));
+  if (files.empty()) {
+    std::cerr << "no CLG5 files found\n";
+    return 1;
+  }
+  net::SynthesisConfig config;
+  config.windowStart = static_cast<table::Hour>(args.u64("window-start", 0));
+  config.windowEnd = static_cast<table::Hour>(args.u64("window-end", 168));
+  config.workers = static_cast<unsigned>(args.u64("workers", 4));
+  config.filesPerBatch = args.u64("batch", 0);
+  config.balancedPartition = !args.has("no-balance");
+  net::NetworkSynthesizer synthesizer(config);
+  const auto adjacency = synthesizer.synthesizeAdjacency(files);
+  const auto& report = synthesizer.report();
+  std::cout << "synthesized " << adjacency.edgeCount() << " edges from "
+            << report.logEntriesLoaded << " entries / "
+            << report.placesProcessed << " places in "
+            << report.totalSeconds << " s (partition imbalance "
+            << report.partitionImbalance << ")\n";
+  const std::string out = args.requireStr("out");
+  sparse::saveAdjacency(adjacency, out);
+  std::cout << "wrote " << out << " ("
+            << std::filesystem::file_size(out) / 1024 / 1024 << " MiB)\n";
+  return 0;
+}
+
+int cmdAnalyze(const Args& args) {
+  const auto triplets = sparse::loadTriplets(args.requireStr("net"));
+  const graph::Graph network = graph::Graph::fromTriplets(triplets);
+  std::cout << "network: " << network.vertexCount() << " vertices, "
+            << network.edgeCount() << " edges, mean degree "
+            << graph::meanDegree(network) << ", total weight "
+            << network.totalWeight() << " person-hours\n";
+
+  const auto degrees = graph::degreeSequence(network);
+  const auto distribution = stats::frequencyDistribution(degrees);
+  const auto powerLaw = stats::fitPowerLaw(distribution);
+  const auto truncated = stats::fitTruncatedPowerLaw(distribution);
+  const auto exponential = stats::fitExponential(distribution);
+  std::cout << "degree fits (log-SSE): power-law alpha=" << powerLaw.alpha
+            << " (" << powerLaw.sseLog << "), truncated alpha="
+            << truncated.alpha << " kc=" << truncated.cutoff << " ("
+            << truncated.sseLog << "), exponential kc=" << exponential.cutoff
+            << " (" << exponential.sseLog << ")\n";
+
+  const auto components = graph::connectedComponents(network);
+  std::cout << "components: " << components.count() << ", giant "
+            << components.giantSize() << " vertices\n";
+
+  if (args.has("clustering")) {
+    const auto coefficients = graph::localClusteringCoefficients(network);
+    std::uint64_t atOne = 0;
+    for (double c : coefficients) {
+      atOne += c >= 0.999 ? 1 : 0;
+    }
+    std::cout << "clustering: mean " << stats::mean(coefficients) << ", "
+              << atOne << " vertices at 1.0\n";
+  }
+  if (args.has("communities")) {
+    util::Rng rng(args.u64("seed", 1));
+    const auto assignment = graph::louvain(network, rng);
+    std::cout << "louvain: " << assignment.communityCount
+              << " communities, modularity " << assignment.modularity << "\n";
+  }
+  if (args.has("degrees-out")) {
+    std::ofstream out(args.requireStr("degrees-out"));
+    out << "degree\tcount\tfraction\n";
+    for (const auto& point : distribution) {
+      out << point.value << '\t' << point.count << '\t' << point.fraction
+          << '\n';
+    }
+    std::cout << "wrote degree distribution to "
+              << args.requireStr("degrees-out") << "\n";
+  }
+  return 0;
+}
+
+int cmdExport(const Args& args) {
+  const auto files = elog::listLogFiles(args.requireStr("logs"));
+  if (files.empty()) {
+    std::cerr << "no CLG5 files found\n";
+    return 1;
+  }
+  const auto windowStart =
+      static_cast<table::Hour>(args.u64("window-start", 0));
+  const auto windowEnd =
+      static_cast<table::Hour>(args.u64("window-end", 0xFFFFFFFFull));
+  table::EventTable events = elog::loadEvents(files, windowStart, windowEnd);
+  events.sortByStart();
+  const std::string out = args.requireStr("out");
+  table::writeEventsTsv(events, out);
+  std::cout << "wrote " << events.size() << " events to " << out
+            << " (load into R with data.table::fread)\n";
+  return 0;
+}
+
+int cmdEgo(const Args& args) {
+  const auto triplets = sparse::loadTriplets(args.requireStr("net"));
+  const graph::Graph network = graph::Graph::fromTriplets(triplets);
+  const auto person = static_cast<std::uint32_t>(args.u64("person", 0));
+  const auto radius = static_cast<unsigned>(args.u64("radius", 2));
+  const auto vertex = network.vertexForLabel(person);
+  if (!vertex.has_value()) {
+    std::cerr << "person " << person << " is not in the network\n";
+    return 1;
+  }
+  const graph::Graph ego = graph::egoNetwork(network, *vertex, radius);
+  std::cout << "ego(" << person << ", r=" << radius << "): "
+            << ego.vertexCount() << " nodes, " << ego.edgeCount()
+            << " edges\n";
+  const std::string prefix = args.requireStr("out");
+  graph::writeGraphMl(ego, prefix + ".graphml");
+  if (ego.vertexCount() <= args.u64("layout-limit", 4000)) {
+    util::Rng rng(5);
+    graph::LayoutOptions layout;
+    layout.iterations =
+        static_cast<unsigned>(args.u64("iterations",
+                                       ego.vertexCount() > 1500 ? 80 : 200));
+    const auto positions = graph::forceAtlas2Layout(ego, layout, rng);
+    graph::writeSvg(ego, positions, prefix + ".svg");
+    std::cout << "wrote " << prefix << ".svg and " << prefix << ".graphml\n";
+  } else {
+    std::cout << "wrote " << prefix
+              << ".graphml (ego too large for the O(n^2) layout; raise "
+                 "--layout-limit to force)\n";
+  }
+  return 0;
+}
+
+void printUsage() {
+  std::cout <<
+      "usage: chisim <command> [--options]\n"
+      "\n"
+      "commands:\n"
+      "  simulate    --logs DIR [--persons N] [--seed S] [--weeks W]\n"
+      "              [--ranks R] [--cache N] [--partition neighborhood|round-robin]\n"
+      "              [--compress] [--disease [--beta B] [--seeds K] [--disease-seed S]]\n"
+      "  info        --logs DIR\n"
+      "  synthesize  --logs DIR --out FILE.cadj [--window-start H] [--window-end H]\n"
+      "              [--workers W] [--batch N] [--no-balance]\n"
+      "  analyze     --net FILE.cadj [--clustering] [--communities]\n"
+      "              [--degrees-out FILE.tsv]\n"
+      "  ego         --net FILE.cadj --out PREFIX [--person P] [--radius R]\n"
+      "  export      --logs DIR --out FILE.tsv [--window-start H]\n"
+      "              [--window-end H]   (events as TSV for R/data.table)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    printUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "simulate") {
+      return cmdSimulate(args);
+    }
+    if (command == "info") {
+      return cmdInfo(args);
+    }
+    if (command == "synthesize") {
+      return cmdSynthesize(args);
+    }
+    if (command == "analyze") {
+      return cmdAnalyze(args);
+    }
+    if (command == "ego") {
+      return cmdEgo(args);
+    }
+    if (command == "export") {
+      return cmdExport(args);
+    }
+    printUsage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
