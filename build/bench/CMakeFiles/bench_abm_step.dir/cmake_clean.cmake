@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abm_step.dir/bench_abm_step.cpp.o"
+  "CMakeFiles/bench_abm_step.dir/bench_abm_step.cpp.o.d"
+  "bench_abm_step"
+  "bench_abm_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abm_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abm_step.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_communities.dir/bench_communities.cpp.o"
+  "CMakeFiles/bench_communities.dir/bench_communities.cpp.o.d"
+  "bench_communities"
+  "bench_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

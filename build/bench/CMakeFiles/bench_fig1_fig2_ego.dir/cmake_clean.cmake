@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_fig2_ego.dir/bench_fig1_fig2_ego.cpp.o"
+  "CMakeFiles/bench_fig1_fig2_ego.dir/bench_fig1_fig2_ego.cpp.o.d"
+  "bench_fig1_fig2_ego"
+  "bench_fig1_fig2_ego.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fig2_ego.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

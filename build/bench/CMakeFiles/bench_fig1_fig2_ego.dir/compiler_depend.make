@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1_fig2_ego.
+# This may be replaced when dependencies are built.

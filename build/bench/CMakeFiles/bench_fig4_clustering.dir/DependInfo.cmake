@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_clustering.cpp" "bench/CMakeFiles/bench_fig4_clustering.dir/bench_fig4_clustering.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_clustering.dir/bench_fig4_clustering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chisimnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_abm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_elog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_pop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_clustering.dir/bench_fig4_clustering.cpp.o"
+  "CMakeFiles/bench_fig4_clustering.dir/bench_fig4_clustering.cpp.o.d"
+  "bench_fig4_clustering"
+  "bench_fig4_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log_size.dir/bench_log_size.cpp.o"
+  "CMakeFiles/bench_log_size.dir/bench_log_size.cpp.o.d"
+  "bench_log_size"
+  "bench_log_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixing.dir/bench_mixing.cpp.o"
+  "CMakeFiles/bench_mixing.dir/bench_mixing.cpp.o.d"
+  "bench_mixing"
+  "bench_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_size.dir/bench_network_size.cpp.o"
+  "CMakeFiles/bench_network_size.dir/bench_network_size.cpp.o.d"
+  "bench_network_size"
+  "bench_network_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

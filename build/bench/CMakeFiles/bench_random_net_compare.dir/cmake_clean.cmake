@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random_net_compare.dir/bench_random_net_compare.cpp.o"
+  "CMakeFiles/bench_random_net_compare.dir/bench_random_net_compare.cpp.o.d"
+  "bench_random_net_compare"
+  "bench_random_net_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_net_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spgemm.dir/bench_spgemm.cpp.o"
+  "CMakeFiles/bench_spgemm.dir/bench_spgemm.cpp.o.d"
+  "bench_spgemm"
+  "bench_spgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

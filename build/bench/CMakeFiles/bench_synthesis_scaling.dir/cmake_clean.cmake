@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synthesis_scaling.dir/bench_synthesis_scaling.cpp.o"
+  "CMakeFiles/bench_synthesis_scaling.dir/bench_synthesis_scaling.cpp.o.d"
+  "bench_synthesis_scaling"
+  "bench_synthesis_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synthesis_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

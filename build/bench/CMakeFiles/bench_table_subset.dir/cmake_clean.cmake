@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_subset.dir/bench_table_subset.cpp.o"
+  "CMakeFiles/bench_table_subset.dir/bench_table_subset.cpp.o.d"
+  "bench_table_subset"
+  "bench_table_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

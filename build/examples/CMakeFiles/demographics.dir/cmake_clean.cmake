@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demographics.dir/demographics.cpp.o"
+  "CMakeFiles/demographics.dir/demographics.cpp.o.d"
+  "demographics"
+  "demographics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demographics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ego_viz.dir/ego_viz.cpp.o"
+  "CMakeFiles/ego_viz.dir/ego_viz.cpp.o.d"
+  "ego_viz"
+  "ego_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ego_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

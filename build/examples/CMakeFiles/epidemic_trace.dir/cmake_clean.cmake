@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic_trace.dir/epidemic_trace.cpp.o"
+  "CMakeFiles/epidemic_trace.dir/epidemic_trace.cpp.o.d"
+  "epidemic_trace"
+  "epidemic_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

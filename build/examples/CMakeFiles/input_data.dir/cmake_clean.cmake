@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_data.dir/input_data.cpp.o"
+  "CMakeFiles/input_data.dir/input_data.cpp.o.d"
+  "input_data"
+  "input_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chisimnet/abm/disease.cpp" "src/CMakeFiles/chisimnet_abm.dir/chisimnet/abm/disease.cpp.o" "gcc" "src/CMakeFiles/chisimnet_abm.dir/chisimnet/abm/disease.cpp.o.d"
+  "/root/repo/src/chisimnet/abm/model.cpp" "src/CMakeFiles/chisimnet_abm.dir/chisimnet/abm/model.cpp.o" "gcc" "src/CMakeFiles/chisimnet_abm.dir/chisimnet/abm/model.cpp.o.d"
+  "/root/repo/src/chisimnet/abm/place_partition.cpp" "src/CMakeFiles/chisimnet_abm.dir/chisimnet/abm/place_partition.cpp.o" "gcc" "src/CMakeFiles/chisimnet_abm.dir/chisimnet/abm/place_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chisimnet_pop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_elog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_abm.dir/chisimnet/abm/disease.cpp.o"
+  "CMakeFiles/chisimnet_abm.dir/chisimnet/abm/disease.cpp.o.d"
+  "CMakeFiles/chisimnet_abm.dir/chisimnet/abm/model.cpp.o"
+  "CMakeFiles/chisimnet_abm.dir/chisimnet/abm/model.cpp.o.d"
+  "CMakeFiles/chisimnet_abm.dir/chisimnet/abm/place_partition.cpp.o"
+  "CMakeFiles/chisimnet_abm.dir/chisimnet/abm/place_partition.cpp.o.d"
+  "libchisimnet_abm.a"
+  "libchisimnet_abm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_abm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chisimnet/elog/clg5.cpp" "src/CMakeFiles/chisimnet_elog.dir/chisimnet/elog/clg5.cpp.o" "gcc" "src/CMakeFiles/chisimnet_elog.dir/chisimnet/elog/clg5.cpp.o.d"
+  "/root/repo/src/chisimnet/elog/event_logger.cpp" "src/CMakeFiles/chisimnet_elog.dir/chisimnet/elog/event_logger.cpp.o" "gcc" "src/CMakeFiles/chisimnet_elog.dir/chisimnet/elog/event_logger.cpp.o.d"
+  "/root/repo/src/chisimnet/elog/extended.cpp" "src/CMakeFiles/chisimnet_elog.dir/chisimnet/elog/extended.cpp.o" "gcc" "src/CMakeFiles/chisimnet_elog.dir/chisimnet/elog/extended.cpp.o.d"
+  "/root/repo/src/chisimnet/elog/log_directory.cpp" "src/CMakeFiles/chisimnet_elog.dir/chisimnet/elog/log_directory.cpp.o" "gcc" "src/CMakeFiles/chisimnet_elog.dir/chisimnet/elog/log_directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chisimnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

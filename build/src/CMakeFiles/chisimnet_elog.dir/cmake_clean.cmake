@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_elog.dir/chisimnet/elog/clg5.cpp.o"
+  "CMakeFiles/chisimnet_elog.dir/chisimnet/elog/clg5.cpp.o.d"
+  "CMakeFiles/chisimnet_elog.dir/chisimnet/elog/event_logger.cpp.o"
+  "CMakeFiles/chisimnet_elog.dir/chisimnet/elog/event_logger.cpp.o.d"
+  "CMakeFiles/chisimnet_elog.dir/chisimnet/elog/extended.cpp.o"
+  "CMakeFiles/chisimnet_elog.dir/chisimnet/elog/extended.cpp.o.d"
+  "CMakeFiles/chisimnet_elog.dir/chisimnet/elog/log_directory.cpp.o"
+  "CMakeFiles/chisimnet_elog.dir/chisimnet/elog/log_directory.cpp.o.d"
+  "libchisimnet_elog.a"
+  "libchisimnet_elog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_elog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chisimnet/graph/algorithms.cpp" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/algorithms.cpp.o.d"
+  "/root/repo/src/chisimnet/graph/community.cpp" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/community.cpp.o" "gcc" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/community.cpp.o.d"
+  "/root/repo/src/chisimnet/graph/generators.cpp" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/generators.cpp.o" "gcc" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/generators.cpp.o.d"
+  "/root/repo/src/chisimnet/graph/graph.cpp" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/graph.cpp.o" "gcc" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/graph.cpp.o.d"
+  "/root/repo/src/chisimnet/graph/io.cpp" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/io.cpp.o" "gcc" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/io.cpp.o.d"
+  "/root/repo/src/chisimnet/graph/layout.cpp" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/layout.cpp.o" "gcc" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/layout.cpp.o.d"
+  "/root/repo/src/chisimnet/graph/mixing.cpp" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/mixing.cpp.o" "gcc" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/mixing.cpp.o.d"
+  "/root/repo/src/chisimnet/graph/weighted_stats.cpp" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/weighted_stats.cpp.o" "gcc" "src/CMakeFiles/chisimnet_graph.dir/chisimnet/graph/weighted_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chisimnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chisimnet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/algorithms.cpp.o"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/algorithms.cpp.o.d"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/community.cpp.o"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/community.cpp.o.d"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/generators.cpp.o"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/generators.cpp.o.d"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/graph.cpp.o"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/graph.cpp.o.d"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/io.cpp.o"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/io.cpp.o.d"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/layout.cpp.o"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/layout.cpp.o.d"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/mixing.cpp.o"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/mixing.cpp.o.d"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/weighted_stats.cpp.o"
+  "CMakeFiles/chisimnet_graph.dir/chisimnet/graph/weighted_stats.cpp.o.d"
+  "libchisimnet_graph.a"
+  "libchisimnet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_net.dir/chisimnet/net/demography.cpp.o"
+  "CMakeFiles/chisimnet_net.dir/chisimnet/net/demography.cpp.o.d"
+  "CMakeFiles/chisimnet_net.dir/chisimnet/net/distributed.cpp.o"
+  "CMakeFiles/chisimnet_net.dir/chisimnet/net/distributed.cpp.o.d"
+  "CMakeFiles/chisimnet_net.dir/chisimnet/net/synthesis.cpp.o"
+  "CMakeFiles/chisimnet_net.dir/chisimnet/net/synthesis.cpp.o.d"
+  "CMakeFiles/chisimnet_net.dir/chisimnet/net/temporal.cpp.o"
+  "CMakeFiles/chisimnet_net.dir/chisimnet/net/temporal.cpp.o.d"
+  "libchisimnet_net.a"
+  "libchisimnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chisimnet/pop/io.cpp" "src/CMakeFiles/chisimnet_pop.dir/chisimnet/pop/io.cpp.o" "gcc" "src/CMakeFiles/chisimnet_pop.dir/chisimnet/pop/io.cpp.o.d"
+  "/root/repo/src/chisimnet/pop/population.cpp" "src/CMakeFiles/chisimnet_pop.dir/chisimnet/pop/population.cpp.o" "gcc" "src/CMakeFiles/chisimnet_pop.dir/chisimnet/pop/population.cpp.o.d"
+  "/root/repo/src/chisimnet/pop/schedule.cpp" "src/CMakeFiles/chisimnet_pop.dir/chisimnet/pop/schedule.cpp.o" "gcc" "src/CMakeFiles/chisimnet_pop.dir/chisimnet/pop/schedule.cpp.o.d"
+  "/root/repo/src/chisimnet/pop/types.cpp" "src/CMakeFiles/chisimnet_pop.dir/chisimnet/pop/types.cpp.o" "gcc" "src/CMakeFiles/chisimnet_pop.dir/chisimnet/pop/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chisimnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

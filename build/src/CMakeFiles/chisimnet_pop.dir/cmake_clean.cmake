@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_pop.dir/chisimnet/pop/io.cpp.o"
+  "CMakeFiles/chisimnet_pop.dir/chisimnet/pop/io.cpp.o.d"
+  "CMakeFiles/chisimnet_pop.dir/chisimnet/pop/population.cpp.o"
+  "CMakeFiles/chisimnet_pop.dir/chisimnet/pop/population.cpp.o.d"
+  "CMakeFiles/chisimnet_pop.dir/chisimnet/pop/schedule.cpp.o"
+  "CMakeFiles/chisimnet_pop.dir/chisimnet/pop/schedule.cpp.o.d"
+  "CMakeFiles/chisimnet_pop.dir/chisimnet/pop/types.cpp.o"
+  "CMakeFiles/chisimnet_pop.dir/chisimnet/pop/types.cpp.o.d"
+  "libchisimnet_pop.a"
+  "libchisimnet_pop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_pop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

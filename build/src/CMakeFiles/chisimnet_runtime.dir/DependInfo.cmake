@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chisimnet/runtime/cluster.cpp" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/cluster.cpp.o" "gcc" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/cluster.cpp.o.d"
+  "/root/repo/src/chisimnet/runtime/comm.cpp" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/comm.cpp.o" "gcc" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/comm.cpp.o.d"
+  "/root/repo/src/chisimnet/runtime/partition.cpp" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/partition.cpp.o" "gcc" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/partition.cpp.o.d"
+  "/root/repo/src/chisimnet/runtime/scheduler.cpp" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/chisimnet/runtime/thread_pool.cpp" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chisimnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/cluster.cpp.o"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/cluster.cpp.o.d"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/comm.cpp.o"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/comm.cpp.o.d"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/partition.cpp.o"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/partition.cpp.o.d"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/scheduler.cpp.o"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/scheduler.cpp.o.d"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/thread_pool.cpp.o"
+  "CMakeFiles/chisimnet_runtime.dir/chisimnet/runtime/thread_pool.cpp.o.d"
+  "libchisimnet_runtime.a"
+  "libchisimnet_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

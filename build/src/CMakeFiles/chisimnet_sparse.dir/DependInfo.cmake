@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chisimnet/sparse/adjacency.cpp" "src/CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/adjacency.cpp.o" "gcc" "src/CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/adjacency.cpp.o.d"
+  "/root/repo/src/chisimnet/sparse/adjacency_io.cpp" "src/CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/adjacency_io.cpp.o" "gcc" "src/CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/adjacency_io.cpp.o.d"
+  "/root/repo/src/chisimnet/sparse/collocation.cpp" "src/CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/collocation.cpp.o" "gcc" "src/CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/collocation.cpp.o.d"
+  "/root/repo/src/chisimnet/sparse/pair_count_map.cpp" "src/CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/pair_count_map.cpp.o" "gcc" "src/CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/pair_count_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chisimnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/adjacency.cpp.o"
+  "CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/adjacency.cpp.o.d"
+  "CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/adjacency_io.cpp.o"
+  "CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/adjacency_io.cpp.o.d"
+  "CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/collocation.cpp.o"
+  "CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/collocation.cpp.o.d"
+  "CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/pair_count_map.cpp.o"
+  "CMakeFiles/chisimnet_sparse.dir/chisimnet/sparse/pair_count_map.cpp.o.d"
+  "libchisimnet_sparse.a"
+  "libchisimnet_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchisimnet_sparse.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_stats.dir/chisimnet/stats/fit.cpp.o"
+  "CMakeFiles/chisimnet_stats.dir/chisimnet/stats/fit.cpp.o.d"
+  "CMakeFiles/chisimnet_stats.dir/chisimnet/stats/histogram.cpp.o"
+  "CMakeFiles/chisimnet_stats.dir/chisimnet/stats/histogram.cpp.o.d"
+  "CMakeFiles/chisimnet_stats.dir/chisimnet/stats/plot.cpp.o"
+  "CMakeFiles/chisimnet_stats.dir/chisimnet/stats/plot.cpp.o.d"
+  "libchisimnet_stats.a"
+  "libchisimnet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_table.dir/chisimnet/table/event_table.cpp.o"
+  "CMakeFiles/chisimnet_table.dir/chisimnet/table/event_table.cpp.o.d"
+  "CMakeFiles/chisimnet_table.dir/chisimnet/table/io.cpp.o"
+  "CMakeFiles/chisimnet_table.dir/chisimnet/table/io.cpp.o.d"
+  "libchisimnet_table.a"
+  "libchisimnet_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chisimnet/util/binary_io.cpp" "src/CMakeFiles/chisimnet_util.dir/chisimnet/util/binary_io.cpp.o" "gcc" "src/CMakeFiles/chisimnet_util.dir/chisimnet/util/binary_io.cpp.o.d"
+  "/root/repo/src/chisimnet/util/env.cpp" "src/CMakeFiles/chisimnet_util.dir/chisimnet/util/env.cpp.o" "gcc" "src/CMakeFiles/chisimnet_util.dir/chisimnet/util/env.cpp.o.d"
+  "/root/repo/src/chisimnet/util/error.cpp" "src/CMakeFiles/chisimnet_util.dir/chisimnet/util/error.cpp.o" "gcc" "src/CMakeFiles/chisimnet_util.dir/chisimnet/util/error.cpp.o.d"
+  "/root/repo/src/chisimnet/util/rng.cpp" "src/CMakeFiles/chisimnet_util.dir/chisimnet/util/rng.cpp.o" "gcc" "src/CMakeFiles/chisimnet_util.dir/chisimnet/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisimnet_util.dir/chisimnet/util/binary_io.cpp.o"
+  "CMakeFiles/chisimnet_util.dir/chisimnet/util/binary_io.cpp.o.d"
+  "CMakeFiles/chisimnet_util.dir/chisimnet/util/env.cpp.o"
+  "CMakeFiles/chisimnet_util.dir/chisimnet/util/env.cpp.o.d"
+  "CMakeFiles/chisimnet_util.dir/chisimnet/util/error.cpp.o"
+  "CMakeFiles/chisimnet_util.dir/chisimnet/util/error.cpp.o.d"
+  "CMakeFiles/chisimnet_util.dir/chisimnet/util/rng.cpp.o"
+  "CMakeFiles/chisimnet_util.dir/chisimnet/util/rng.cpp.o.d"
+  "libchisimnet_util.a"
+  "libchisimnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisimnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chisimnet_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abm_test.dir/abm_test.cpp.o"
+  "CMakeFiles/abm_test.dir/abm_test.cpp.o.d"
+  "abm_test"
+  "abm_test.pdb"
+  "abm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_test.dir/community_test.cpp.o"
+  "CMakeFiles/community_test.dir/community_test.cpp.o.d"
+  "community_test"
+  "community_test.pdb"
+  "community_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

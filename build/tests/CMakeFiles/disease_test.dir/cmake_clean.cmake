@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disease_test.dir/disease_test.cpp.o"
+  "CMakeFiles/disease_test.dir/disease_test.cpp.o.d"
+  "disease_test"
+  "disease_test.pdb"
+  "disease_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elog_test.dir/elog_test.cpp.o"
+  "CMakeFiles/elog_test.dir/elog_test.cpp.o.d"
+  "elog_test"
+  "elog_test.pdb"
+  "elog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

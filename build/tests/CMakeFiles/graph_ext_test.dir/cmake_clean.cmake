@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_ext_test.dir/graph_ext_test.cpp.o"
+  "CMakeFiles/graph_ext_test.dir/graph_ext_test.cpp.o.d"
+  "graph_ext_test"
+  "graph_ext_test.pdb"
+  "graph_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

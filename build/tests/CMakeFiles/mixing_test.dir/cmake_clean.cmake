@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixing_test.dir/mixing_test.cpp.o"
+  "CMakeFiles/mixing_test.dir/mixing_test.cpp.o.d"
+  "mixing_test"
+  "mixing_test.pdb"
+  "mixing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_test.dir/plot_test.cpp.o"
+  "CMakeFiles/plot_test.dir/plot_test.cpp.o.d"
+  "plot_test"
+  "plot_test.pdb"
+  "plot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

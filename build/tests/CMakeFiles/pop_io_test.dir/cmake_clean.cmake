@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_io_test.dir/pop_io_test.cpp.o"
+  "CMakeFiles/pop_io_test.dir/pop_io_test.cpp.o.d"
+  "pop_io_test"
+  "pop_io_test.pdb"
+  "pop_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

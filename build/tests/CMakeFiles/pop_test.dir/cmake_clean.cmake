@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_test.dir/pop_test.cpp.o"
+  "CMakeFiles/pop_test.dir/pop_test.cpp.o.d"
+  "pop_test"
+  "pop_test.pdb"
+  "pop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

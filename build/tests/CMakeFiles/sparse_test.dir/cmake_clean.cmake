@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_test.dir/sparse_test.cpp.o"
+  "CMakeFiles/sparse_test.dir/sparse_test.cpp.o.d"
+  "sparse_test"
+  "sparse_test.pdb"
+  "sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_io_test.dir/table_io_test.cpp.o"
+  "CMakeFiles/table_io_test.dir/table_io_test.cpp.o.d"
+  "table_io_test"
+  "table_io_test.pdb"
+  "table_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/table_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/elog_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/pop_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/abm_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/disease_test[1]_include.cmake")
+include("/root/repo/build/tests/community_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/pop_io_test[1]_include.cmake")
+include("/root/repo/build/tests/net_distributed_test[1]_include.cmake")
+include("/root/repo/build/tests/mixing_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/table_io_test[1]_include.cmake")
+include("/root/repo/build/tests/plot_test[1]_include.cmake")

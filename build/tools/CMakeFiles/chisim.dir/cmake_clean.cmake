@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chisim.dir/chisim_cli.cpp.o"
+  "CMakeFiles/chisim.dir/chisim_cli.cpp.o.d"
+  "chisim"
+  "chisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
