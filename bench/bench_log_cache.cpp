@@ -11,17 +11,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "chisimnet/elog/event_logger.hpp"
+#include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/elog/prefetch.hpp"
 #include "chisimnet/util/rng.hpp"
 
 namespace {
 
 using namespace chisimnet;
 
-std::vector<table::Event> makeEvents(std::size_t count) {
-  util::Rng rng(99);
+std::vector<table::Event> makeEvents(std::size_t count, std::uint64_t seed = 99) {
+  util::Rng rng(seed);
   std::vector<table::Event> events;
   events.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -114,6 +117,80 @@ void BM_LogReadWindowPushdown(benchmark::State& state) {
   std::filesystem::remove(path);
 }
 BENCHMARK(BM_LogReadWindowPushdown)->Unit(benchmark::kMillisecond);
+
+/// Batched read pipeline: serial load-then-consume vs the background
+/// prefetcher. The consume step (sort + place index) stands in for synthesis
+/// stages 2-6; the prefetch counters show how much decode time leaves the
+/// consumer's critical path even when wall time is core-bound.
+const std::vector<std::filesystem::path>& prefetchBenchFiles() {
+  static const std::vector<std::filesystem::path> files = [] {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "chisimnet_bench_prefetch";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::vector<std::filesystem::path> out;
+    for (int rank = 0; rank < 8; ++rank) {
+      const auto path = elog::logFilePath(dir, rank);
+      auto events = makeEvents(60'000, 100 + static_cast<std::uint64_t>(rank));
+      std::sort(events.begin(), events.end());
+      elog::EventLogger logger(std::make_unique<elog::ChunkedLogWriter>(path),
+                               10'000);
+      for (const table::Event& event : events) {
+        logger.log(event);
+      }
+      logger.close();
+      out.push_back(path);
+    }
+    return out;
+  }();
+  return files;
+}
+
+std::uint64_t consumeBatch(table::EventTable& events) {
+  events.sortByStart();
+  return events.buildPlaceIndex().placeIds.size();
+}
+
+void BM_BatchReadSerial(benchmark::State& state) {
+  const auto& files = prefetchBenchFiles();
+  std::uint64_t places = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < files.size(); i += 2) {
+      table::EventTable events = elog::loadEvents(
+          {files.begin() + static_cast<std::ptrdiff_t>(i),
+           files.begin() + static_cast<std::ptrdiff_t>(i + 2)},
+          0, 168);
+      places += consumeBatch(events);
+    }
+  }
+  benchmark::DoNotOptimize(places);
+}
+BENCHMARK(BM_BatchReadSerial)->Unit(benchmark::kMillisecond);
+
+void BM_BatchReadPrefetch(benchmark::State& state) {
+  const auto& files = prefetchBenchFiles();
+  std::uint64_t places = 0;
+  double exposedSeconds = 0.0;
+  double decodeSeconds = 0.0;
+  for (auto _ : state) {
+    elog::PrefetchingLoader::Options options;
+    options.windowStart = 0;
+    options.windowEnd = 168;
+    options.filesPerBatch = 2;
+    options.depth = 2;
+    options.decodeWorkers = 2;
+    elog::PrefetchingLoader loader(files, options);
+    while (auto events = loader.next()) {
+      places += consumeBatch(*events);
+    }
+    exposedSeconds = loader.stats().exposedSeconds;
+    decodeSeconds = loader.stats().decodeSeconds;
+  }
+  benchmark::DoNotOptimize(places);
+  state.counters["exposed_s"] = exposedSeconds;
+  state.counters["decode_s"] = decodeSeconds;
+}
+BENCHMARK(BM_BatchReadPrefetch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

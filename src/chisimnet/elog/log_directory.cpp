@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <future>
 
 #include "chisimnet/elog/clg5.hpp"
 #include "chisimnet/util/error.hpp"
@@ -39,6 +40,24 @@ table::EventTable loadEvents(const std::vector<std::filesystem::path>& files,
     const std::vector<table::Event> events =
         reader.readOverlapping(windowStart, windowEnd);
     table.appendAll(events);
+  }
+  return table;
+}
+
+table::EventTable loadEventsParallel(
+    const std::vector<std::filesystem::path>& files, table::Hour windowStart,
+    table::Hour windowEnd, runtime::ThreadPool& pool) {
+  std::vector<std::future<std::vector<table::Event>>> futures;
+  futures.reserve(files.size());
+  for (const std::filesystem::path& file : files) {
+    futures.push_back(pool.submitTask([file, windowStart, windowEnd] {
+      ChunkedLogReader reader(file);
+      return reader.readOverlapping(windowStart, windowEnd);
+    }));
+  }
+  table::EventTable table;
+  for (std::future<std::vector<table::Event>>& future : futures) {
+    table.appendAll(future.get());
   }
   return table;
 }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/elog/prefetch.hpp"
 #include "chisimnet/runtime/cluster.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
@@ -16,6 +18,8 @@ NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
   CHISIM_REQUIRE(config.windowStart < config.windowEnd,
                  "time window must be non-empty");
   CHISIM_REQUIRE(config.workers >= 1, "need at least one worker");
+  CHISIM_REQUIRE(!config.prefetch || config.prefetchDepth >= 1,
+                 "prefetch depth must be >= 1");
 }
 
 void NetworkSynthesizer::processBatch(const table::EventTable& events,
@@ -96,22 +100,48 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
   report_ = SynthesisReport{};
   util::WallTimer total;
 
-  const std::size_t batchSize =
-      config_.filesPerBatch == 0 ? logFiles.size() : config_.filesPerBatch;
-
   sparse::SymmetricAdjacency result(1024);
-  for (std::size_t begin = 0; begin < logFiles.size(); begin += batchSize) {
-    const std::size_t end = std::min(logFiles.size(), begin + batchSize);
-    const std::vector<std::filesystem::path> batch(logFiles.begin() + begin,
-                                                   logFiles.begin() + end);
-    util::WallTimer loadTimer;
-    table::EventTable events =
-        elog::loadEvents(batch, config_.windowStart, config_.windowEnd);
-    report_.loadSeconds += loadTimer.seconds();
-    report_.logEntriesLoaded += events.size();
+  if (config_.prefetch) {
+    // Two-stage pipeline: a background loader decodes batch k+1 while this
+    // thread runs stages 2-6 on batch k.
+    elog::PrefetchingLoader::Options options;
+    options.windowStart = config_.windowStart;
+    options.windowEnd = config_.windowEnd;
+    options.filesPerBatch = config_.filesPerBatch;
+    options.depth = config_.prefetchDepth;
+    options.decodeWorkers =
+        config_.decodeWorkers == 0 ? config_.workers : config_.decodeWorkers;
+    elog::PrefetchingLoader loader(logFiles, options);
+    while (std::optional<table::EventTable> events = loader.next()) {
+      report_.logEntriesLoaded += events->size();
+      processBatch(*events, result);
+      ++report_.batches;
+    }
+    const elog::PrefetchStats stats = loader.stats();
+    report_.prefetchEnabled = true;
+    report_.loadSeconds = stats.decodeSeconds;
+    report_.loadExposedSeconds = stats.exposedSeconds;
+    report_.loadOverlappedSeconds =
+        std::max(0.0, stats.decodeSeconds - stats.exposedSeconds);
+    report_.prefetchMeanOccupancy = stats.meanOccupancy;
+    report_.prefetchPeakOccupancy = stats.peakOccupancy;
+  } else {
+    const std::size_t batchSize =
+        config_.filesPerBatch == 0 ? logFiles.size() : config_.filesPerBatch;
+    for (std::size_t begin = 0; begin < logFiles.size(); begin += batchSize) {
+      const std::size_t end = std::min(logFiles.size(), begin + batchSize);
+      const std::vector<std::filesystem::path> batch(logFiles.begin() + begin,
+                                                     logFiles.begin() + end);
+      util::WallTimer loadTimer;
+      table::EventTable events =
+          elog::loadEvents(batch, config_.windowStart, config_.windowEnd);
+      report_.loadSeconds += loadTimer.seconds();
+      report_.logEntriesLoaded += events.size();
 
-    processBatch(events, result);
-    ++report_.batches;
+      processBatch(events, result);
+      ++report_.batches;
+    }
+    report_.loadExposedSeconds = report_.loadSeconds;
   }
   report_.edges = result.edgeCount();
   report_.totalSeconds = total.seconds();

@@ -14,7 +14,9 @@
 /// collocation network from simulation log data.
 ///
 /// Pipeline per batch of log files:
-///   1. the root loads and minimally processes the log files (serial),
+///   1. the log files are decoded into an event table — by default on a
+///      background prefetcher that loads batch k+1 while batch k is in
+///      stages 2-6, taking file I/O off the compute critical path,
 ///   2. the time slice is subset and unique place ids extracted,
 ///   3. workers build one sparse p×t collocation matrix per place,
 ///   4. the matrix list is re-partitioned by nonzero count (LPT) for even
@@ -37,6 +39,14 @@ struct SynthesisConfig {
   /// one batch. Batches are independent and their adjacencies are summed,
   /// mirroring the paper's batched cluster jobs (§V).
   std::size_t filesPerBatch = 0;
+  /// true: decode batch k+1 on a background loader while batch k is being
+  /// processed (two-stage pipeline); false: serial load-then-process.
+  bool prefetch = true;
+  /// Max decoded batches the prefetcher buffers ahead of the compute thread.
+  std::size_t prefetchDepth = 2;
+  /// Threads the prefetcher uses to decode the files of one batch in
+  /// parallel; 0 uses `workers`.
+  unsigned decodeWorkers = 0;
 };
 
 /// Timing and size metrics of the last synthesis run.
@@ -48,6 +58,16 @@ struct SynthesisReport {
   std::uint64_t batches = 0;
 
   double loadSeconds = 0.0;       ///< stage 1: file load + table build
+  /// Load seconds that actually blocked the compute thread. Without
+  /// prefetching this equals loadSeconds; with prefetching it is only the
+  /// time spent waiting on the background loader.
+  double loadExposedSeconds = 0.0;
+  /// Load seconds hidden behind stage 2-6 compute (loadSeconds minus the
+  /// exposed part, clamped at 0).
+  double loadOverlappedSeconds = 0.0;
+  bool prefetchEnabled = false;
+  double prefetchMeanOccupancy = 0.0;   ///< ready-buffer fill at each take
+  std::uint64_t prefetchPeakOccupancy = 0;
   double subsetSeconds = 0.0;     ///< stage 2: slice + place index
   double collocationSeconds = 0.0;///< stage 3: collocation matrices
   double partitionSeconds = 0.0;  ///< stage 4: nnz partitioning

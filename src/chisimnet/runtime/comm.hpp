@@ -45,7 +45,9 @@ struct Message {
     CHISIM_CHECK(payload.size() % sizeof(T) == 0,
                  "payload size not a multiple of element size");
     std::vector<T> values(payload.size() / sizeof(T));
-    std::memcpy(values.data(), payload.data(), payload.size());
+    if (!payload.empty()) {
+      std::memcpy(values.data(), payload.data(), payload.size());
+    }
     return values;
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
 
 #include "chisimnet/util/error.hpp"
 
@@ -39,6 +40,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::waitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return inFlight_ == 0; });
+  if (pendingError_) {
+    std::exception_ptr error = std::exchange(pendingError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -53,9 +59,17 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !pendingError_) {
+        pendingError_ = error;
+      }
       --inFlight_;
       if (inFlight_ == 0) {
         idle_.notify_all();

@@ -4,14 +4,19 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 /// Fixed-size worker pool plus a chunked parallel-for. Used by the Cluster
-/// task farm and by callers that want shared-memory parallelism inside a
-/// rank (the OpenMP-style layer of the paper's hybrid setup).
+/// task farm, the prefetching log loader, and by callers that want
+/// shared-memory parallelism inside a rank (the OpenMP-style layer of the
+/// paper's hybrid setup).
 
 namespace chisimnet::runtime {
 
@@ -28,10 +33,29 @@ class ThreadPool {
     return static_cast<unsigned>(threads_.size());
   }
 
-  /// Enqueues a task; tasks may run on any worker in any order.
+  /// Enqueues a fire-and-forget task; tasks may run on any worker in any
+  /// order. An exception escaping the task is captured and rethrown from the
+  /// next waitIdle() call (first one wins) instead of terminating the worker.
   void submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Enqueues a callable and returns a future for its result. An exception
+  /// thrown by the callable surfaces from future.get(), not from waitIdle().
+  template <class F>
+  auto submitTask(F&& callable)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(callable));
+    std::future<Result> future = task->get_future();
+    // packaged_task captures its own exception, so this never trips the
+    // fire-and-forget error path.
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until all submitted tasks have finished, then rethrows the first
+  /// exception a fire-and-forget task raised since the last waitIdle(). The
+  /// pool stays usable after a throw.
   void waitIdle();
 
  private:
@@ -43,6 +67,7 @@ class ThreadPool {
   std::condition_variable taskReady_;
   std::condition_variable idle_;
   std::uint64_t inFlight_ = 0;
+  std::exception_ptr pendingError_;
   bool stopping_ = false;
 };
 

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <future>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "chisimnet/runtime/cluster.hpp"
 #include "chisimnet/runtime/comm.hpp"
@@ -271,6 +275,114 @@ TEST(ThreadPool, WaitIdleOnEmptyPool) {
   ThreadPool pool(2);
   pool.waitIdle();  // must not hang
   SUCCEED();
+}
+
+TEST(ThreadPool, SubmitTaskReturnsResults) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submitTask([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SubmitTaskMoveOnlyResult) {
+  ThreadPool pool(2);
+  auto future = pool.submitTask(
+      [] { return std::make_unique<int>(42); });
+  EXPECT_EQ(*future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitTaskExceptionSurfacesInFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submitTask(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The future captured the exception; waitIdle must stay clean and the
+  // pool usable.
+  pool.waitIdle();
+  EXPECT_EQ(pool.submitTask([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, FireAndForgetExceptionSurfacesAtWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.waitIdle(), std::logic_error);
+  // First exception wins and is consumed; the pool keeps working.
+  pool.waitIdle();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, WorkerSurvivesThrowingTasksAmongGoodOnes) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    if (i % 10 == 3) {
+      pool.submit([] { throw std::runtime_error("sporadic"); });
+    } else {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 180);  // every non-throwing task still ran
+}
+
+TEST(ThreadPool, ConcurrentProducersHammer) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  for (int producer = 0; producer < 6; ++producer) {
+    producers.emplace_back([&pool, &counter] {
+      for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 25; ++i) {
+          pool.submit([&counter] { counter.fetch_add(1); });
+        }
+        pool.waitIdle();  // waiting while others submit must be safe
+      }
+    });
+  }
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 6 * 20 * 25);
+}
+
+TEST(ThreadPool, ConcurrentProducersMixedFutures) {
+  ThreadPool pool(3);
+  std::vector<std::thread> producers;
+  std::atomic<std::uint64_t> total{0};
+  for (int producer = 0; producer < 4; ++producer) {
+    producers.emplace_back([&pool, &total, producer] {
+      std::uint64_t sum = 0;
+      std::vector<std::future<int>> futures;
+      for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submitTask([producer, i] {
+          return producer * 1000 + i;
+        }));
+      }
+      for (auto& future : futures) {
+        sum += static_cast<std::uint64_t>(future.get());
+      }
+      total.fetch_add(sum);
+    });
+  }
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  // sum over producers p of (100*1000p + 0+1+...+99)
+  std::uint64_t expected = 0;
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    expected += 100 * 1000 * p + 99 * 100 / 2;
+  }
+  EXPECT_EQ(total.load(), expected);
 }
 
 TEST(ParallelFor, ComputesEveryIndexOnce) {

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chisimnet/elog/clg5.hpp"
+#include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/net/synthesis.hpp"
+#include "chisimnet/util/rng.hpp"
+
+/// Randomized differential harness for the synthesis pipeline: seeded random
+/// event tables — varying person/place counts, window edges, and adversarial
+/// intervals (zero-length, out-of-window, window-edge-crossing) — written to
+/// place-partitioned CLG5 files like real per-rank logs, then synthesized
+/// with prefetch on and off across worker counts and file batchings, and
+/// compared edge-for-edge against bruteForceAdjacency.
+
+namespace chisimnet::net {
+namespace {
+
+using table::Event;
+using table::Hour;
+
+struct FuzzCase {
+  table::EventTable events;
+  Hour windowStart = 0;
+  Hour windowEnd = 0;
+};
+
+FuzzCase makeCase(std::uint64_t seed) {
+  util::Rng rng(seed * 2654435761u + 17);
+  FuzzCase out;
+  const auto persons =
+      static_cast<std::uint32_t>(8 + rng.uniformBelow(48));
+  const auto places = static_cast<std::uint32_t>(2 + rng.uniformBelow(11));
+  const Hour horizon = static_cast<Hour>(24 + rng.uniformBelow(48));
+  out.windowStart = static_cast<Hour>(rng.uniformBelow(horizon / 3 + 1));
+  out.windowEnd =
+      out.windowStart + 4 + static_cast<Hour>(rng.uniformBelow(horizon));
+  const std::size_t count = 60 + rng.uniformBelow(140);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Hour start = static_cast<Hour>(rng.uniformBelow(horizon));
+    Hour end = start + 1 + static_cast<Hour>(rng.uniformBelow(9));
+    switch (rng.uniformBelow(10)) {
+      case 0:  // zero-length interval: contributes no presence hours
+        end = start;
+        break;
+      case 1:  // fully after the window
+        start = out.windowEnd + static_cast<Hour>(rng.uniformBelow(8));
+        end = start + 1 + static_cast<Hour>(rng.uniformBelow(5));
+        break;
+      case 2:  // fully before the window (when there is room)
+        if (out.windowStart > 1) {
+          end = static_cast<Hour>(1 + rng.uniformBelow(out.windowStart - 1));
+          start = static_cast<Hour>(rng.uniformBelow(end));
+        }
+        break;
+      case 3:  // straddles the left window edge
+        start = static_cast<Hour>(
+            out.windowStart - std::min<Hour>(out.windowStart,
+                                             1 + static_cast<Hour>(
+                                                     rng.uniformBelow(4))));
+        end = out.windowStart + 1 + static_cast<Hour>(rng.uniformBelow(6));
+        break;
+      case 4:  // straddles the right window edge
+        start = out.windowEnd - std::min<Hour>(out.windowEnd,
+                                               1 + static_cast<Hour>(
+                                                       rng.uniformBelow(4)));
+        end = out.windowEnd + 1 + static_cast<Hour>(rng.uniformBelow(6));
+        break;
+      case 5:  // spans the whole window
+        start = static_cast<Hour>(
+            rng.uniformBelow(out.windowStart + 1));
+        end = out.windowEnd + static_cast<Hour>(rng.uniformBelow(4));
+        break;
+      default:
+        break;  // generic in-horizon interval
+    }
+    out.events.append(Event{
+        start, end, static_cast<table::PersonId>(rng.uniformBelow(persons)),
+        static_cast<table::ActivityId>(rng.uniformBelow(5)),
+        static_cast<table::PlaceId>(rng.uniformBelow(places))});
+  }
+  return out;
+}
+
+/// Writes `events` into `fileCount` CLG5 files partitioned by place id, the
+/// way real per-rank logs partition events by the rank owning the place.
+/// Place-disjoint files make any whole-file batching exactly additive.
+std::vector<std::filesystem::path> writePlacePartitionedFiles(
+    const table::EventTable& events, const std::filesystem::path& dir,
+    int fileCount) {
+  std::vector<std::vector<Event>> buffers(
+      static_cast<std::size_t>(fileCount));
+  for (std::uint64_t row = 0; row < events.size(); ++row) {
+    const Event event = events.row(row);
+    buffers[event.place % static_cast<std::uint32_t>(fileCount)].push_back(
+        event);
+  }
+  std::vector<std::filesystem::path> files;
+  for (int i = 0; i < fileCount; ++i) {
+    const auto path = elog::logFilePath(dir, i);
+    elog::ChunkedLogWriter writer(path);
+    // Multiple sorted chunks per file so the reader's per-chunk time-range
+    // pushdown participates in the test.
+    auto& buffer = buffers[static_cast<std::size_t>(i)];
+    std::sort(buffer.begin(), buffer.end());
+    for (std::size_t begin = 0; begin < buffer.size(); begin += 32) {
+      const std::size_t end = std::min(buffer.size(), begin + 32);
+      writer.writeChunk(
+          std::span<const Event>(buffer.data() + begin, end - begin));
+    }
+    writer.close();
+    files.push_back(path);
+  }
+  return files;
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : dir_(std::filesystem::temp_directory_path() / name) {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ignored;
+    std::filesystem::remove_all(dir_, ignored);
+  }
+  const std::filesystem::path& path() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+void expectEqualAdjacency(const sparse::SymmetricAdjacency& got,
+                          const sparse::SymmetricAdjacency& want,
+                          const std::string& label) {
+  EXPECT_EQ(got.edgeCount(), want.edgeCount()) << label;
+  EXPECT_EQ(got.toTriplets(), want.toTriplets()) << label;
+}
+
+class SynthesisFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SynthesisFuzz, PipelineEqualsBruteForceAcrossConfigs) {
+  const std::uint64_t seed = GetParam();
+  const FuzzCase fuzz = makeCase(seed);
+  const auto reference =
+      bruteForceAdjacency(fuzz.events, fuzz.windowStart, fuzz.windowEnd);
+
+  SynthesisConfig config;
+  config.windowStart = fuzz.windowStart;
+  config.windowEnd = fuzz.windowEnd;
+
+  // In-memory path first (no file machinery involved).
+  config.workers = 3;
+  {
+    NetworkSynthesizer synthesizer(config);
+    expectEqualAdjacency(synthesizer.synthesizeAdjacency(fuzz.events),
+                         reference, "in-memory seed " + std::to_string(seed));
+  }
+
+  // File path: place-partitioned per-rank logs, batching varied by seed.
+  ScratchDir scratch("chisimnet_fuzz_" + std::to_string(seed));
+  const int fileCount = 3 + static_cast<int>(seed % 3);
+  const auto files =
+      writePlacePartitionedFiles(fuzz.events, scratch.path(), fileCount);
+  const std::size_t batchChoices[] = {0, 1, 2};
+  config.filesPerBatch = batchChoices[seed % 3];
+  config.prefetchDepth = 1 + seed % 3;
+
+  for (const unsigned workers : {1u, 2u, 7u}) {
+    for (const bool prefetch : {false, true}) {
+      config.workers = workers;
+      config.prefetch = prefetch;
+      NetworkSynthesizer synthesizer(config);
+      const auto adjacency = synthesizer.synthesizeAdjacency(files);
+      expectEqualAdjacency(
+          adjacency, reference,
+          "seed " + std::to_string(seed) + " workers " +
+              std::to_string(workers) + (prefetch ? " prefetch" : " serial"));
+      // The report must agree with the reference result regardless of how
+      // the load was pipelined.
+      const SynthesisReport& report = synthesizer.report();
+      EXPECT_EQ(report.edges, reference.edgeCount());
+      EXPECT_EQ(report.prefetchEnabled, prefetch);
+      EXPECT_GE(report.loadOverlappedSeconds, 0.0);
+      if (!prefetch) {
+        EXPECT_DOUBLE_EQ(report.loadExposedSeconds, report.loadSeconds);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisFuzz,
+                         ::testing::Range<std::uint64_t>(0, 100));
+
+/// Satellite: filesPerBatch in {1, 3, all} over the same on-disk log set
+/// must produce identical adjacencies and consistent report counters.
+TEST(SynthesisBatching, BatchSizeInvariantOverSameLogSet) {
+  for (const std::uint64_t seed : {3u, 11u, 27u}) {
+    const FuzzCase fuzz = makeCase(seed + 1000);
+    ScratchDir scratch("chisimnet_batch_eq_" + std::to_string(seed));
+    const auto files =
+        writePlacePartitionedFiles(fuzz.events, scratch.path(), 6);
+
+    SynthesisConfig config;
+    config.windowStart = fuzz.windowStart;
+    config.windowEnd = fuzz.windowEnd;
+    config.workers = 3;
+
+    config.filesPerBatch = 0;  // all files, one batch
+    NetworkSynthesizer whole(config);
+    const auto wholeAdjacency = whole.synthesizeAdjacency(files);
+    const SynthesisReport wholeReport = whole.report();
+    EXPECT_EQ(wholeReport.batches, 1u);
+
+    for (const std::size_t filesPerBatch : {std::size_t{1}, std::size_t{3}}) {
+      for (const bool prefetch : {false, true}) {
+        config.filesPerBatch = filesPerBatch;
+        config.prefetch = prefetch;
+        NetworkSynthesizer batched(config);
+        const auto adjacency = batched.synthesizeAdjacency(files);
+        const SynthesisReport& report = batched.report();
+        const std::string label =
+            "seed " + std::to_string(seed) + " filesPerBatch " +
+            std::to_string(filesPerBatch) + (prefetch ? " prefetch" : "");
+        expectEqualAdjacency(adjacency, wholeAdjacency, label);
+        EXPECT_EQ(report.logEntriesLoaded, wholeReport.logEntriesLoaded)
+            << label;
+        EXPECT_EQ(report.placesProcessed, wholeReport.placesProcessed)
+            << label;
+        EXPECT_EQ(report.collocationNnz, wholeReport.collocationNnz) << label;
+        EXPECT_EQ(report.edges, wholeReport.edges) << label;
+        EXPECT_EQ(report.batches, (files.size() + filesPerBatch - 1) /
+                                      filesPerBatch)
+            << label;
+      }
+    }
+  }
+}
+
+/// A decode failure inside the background loader must surface on the
+/// consumer thread as a normal exception, not crash the process.
+TEST(SynthesisBatching, CorruptFileSurfacesAsException) {
+  const FuzzCase fuzz = makeCase(77);
+  ScratchDir scratch("chisimnet_fuzz_corrupt");
+  auto files = writePlacePartitionedFiles(fuzz.events, scratch.path(), 3);
+  {
+    std::ofstream corrupt(files[1], std::ios::binary | std::ios::trunc);
+    corrupt << "not a clg5 file";
+  }
+  SynthesisConfig config;
+  config.windowStart = fuzz.windowStart;
+  config.windowEnd = fuzz.windowEnd;
+  config.workers = 2;
+  config.filesPerBatch = 1;
+  for (const bool prefetch : {false, true}) {
+    config.prefetch = prefetch;
+    NetworkSynthesizer synthesizer(config);
+    EXPECT_THROW(synthesizer.synthesizeAdjacency(files), std::exception)
+        << (prefetch ? "prefetch" : "serial");
+  }
+}
+
+}  // namespace
+}  // namespace chisimnet::net

@@ -180,6 +180,9 @@ int cmdSynthesize(const Args& args) {
   config.workers = static_cast<unsigned>(args.u64("workers", 4));
   config.filesPerBatch = args.u64("batch", 0);
   config.balancedPartition = !args.has("no-balance");
+  config.prefetch = !args.has("no-prefetch");
+  config.prefetchDepth = args.u64("prefetch-depth", 2);
+  config.decodeWorkers = static_cast<unsigned>(args.u64("decode-workers", 0));
   net::NetworkSynthesizer synthesizer(config);
   const auto adjacency = synthesizer.synthesizeAdjacency(files);
   const auto& report = synthesizer.report();
@@ -188,6 +191,14 @@ int cmdSynthesize(const Args& args) {
             << report.placesProcessed << " places in "
             << report.totalSeconds << " s (partition imbalance "
             << report.partitionImbalance << ")\n";
+  std::cout << "load: " << report.loadSeconds << " s total, "
+            << report.loadExposedSeconds << " s exposed on the compute path";
+  if (report.prefetchEnabled) {
+    std::cout << " (prefetch hid " << report.loadOverlappedSeconds
+              << " s; buffer mean/peak " << report.prefetchMeanOccupancy << "/"
+              << report.prefetchPeakOccupancy << ")";
+  }
+  std::cout << "\n";
   const std::string out = args.requireStr("out");
   sparse::saveAdjacency(adjacency, out);
   std::cout << "wrote " << out << " ("
@@ -309,6 +320,7 @@ void printUsage() {
       "  info        --logs DIR\n"
       "  synthesize  --logs DIR --out FILE.cadj [--window-start H] [--window-end H]\n"
       "              [--workers W] [--batch N] [--no-balance]\n"
+      "              [--no-prefetch] [--prefetch-depth N] [--decode-workers W]\n"
       "  analyze     --net FILE.cadj [--clustering] [--communities]\n"
       "              [--degrees-out FILE.tsv]\n"
       "  ego         --net FILE.cadj --out PREFIX [--person P] [--radius R]\n"
