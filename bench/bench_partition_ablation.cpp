@@ -30,11 +30,19 @@ int main() {
   const auto matrices =
       sparse::buildCollocationMatrices(events, 0, pop::kHoursPerWeek);
   std::vector<std::uint64_t> weights;
+  std::vector<std::uint64_t> occupancyWeights;
   weights.reserve(matrices.size());
+  occupancyWeights.reserve(matrices.size());
   std::uint64_t maxNnz = 0;
   std::uint64_t minNnz = ~0ull;
   for (const auto& matrix : matrices) {
     weights.push_back(matrix.nnz());
+    // SynthesisConfig::occupancyWeight's cost model: nnz scaled by mean
+    // simultaneous occupancy (nnz / occupied hours), tracking the pairwise
+    // x-xT work of hub places better than raw person-hours.
+    occupancyWeights.push_back(std::max<std::uint64_t>(
+        1, matrix.nnz() * matrix.nnz() /
+               std::max<std::uint64_t>(1, matrix.occupiedHours())));
     maxNnz = std::max(maxNnz, matrix.nnz());
     minNnz = std::min(minNnz, matrix.nnz());
   }
@@ -57,6 +65,7 @@ int main() {
            {"lpt-by-nnz (paper)", runtime::partitionGreedyLpt(weights, workers)},
            {"contiguous (naive)", runtime::partitionContiguous(weights, workers)},
            {"round-robin (naive)", runtime::partitionRoundRobin(weights, workers)},
+           {"lpt-by-occupancy", runtime::partitionGreedyLpt(occupancyWeights, workers)},
        }) {
     runtime::Cluster cluster(workers);
     std::vector<sparse::SymmetricAdjacency> sums;
@@ -88,9 +97,14 @@ int main() {
 
   const Result& lpt = results[0];
   const Result& contiguous = results[1];
+  const Result& occupancy = results[3];
   printRow("LPT weight imbalance", "~1.0 (even)", fmt(lpt.weightImbalance, 2));
   printRow("naive weight imbalance", ">> 1 (idle workers)",
            fmt(contiguous.weightImbalance, 2));
+  printRow("occupancy-LPT busy imbalance",
+           "vs nnz-LPT " + fmt(lpt.busyImbalance, 2),
+           fmt(occupancy.busyImbalance, 2),
+           "decides whether --occupancy-weight should become the default");
   const bool crucial =
       contiguous.weightImbalance > 1.5 * lpt.weightImbalance;
   std::cout << "\nshape check: balancing step materially evens the load: "

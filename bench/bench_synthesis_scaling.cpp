@@ -49,6 +49,48 @@ int main() {
               << fmt(report.adjacencyBusyImbalance, 2) << "\n";
   }
 
+  // Backend axis: the same stage driver through both dispatch substrates —
+  // SNOW-style shared-memory workers vs Rmpi-style message-passing ranks
+  // (paper §IV.A ran both; message passing pays serialization for the
+  // ability to leave one address space).
+  std::cout << "\nbackend comparison (4 workers, same logs):\n"
+            << "  backend  total(s)  colloc(s)  adjacency(s)  "
+               "scattered(MiB)  returned(MiB)  busy-imbalance\n";
+  bool backendsAgree = true;
+  {
+    config.workers = 4;
+    std::vector<sparse::AdjacencyTriplet> sharedTriplets;
+    for (const net::SynthesisBackend backend :
+         {net::SynthesisBackend::kSharedMemory,
+          net::SynthesisBackend::kMessagePassing}) {
+      config.backend = backend;
+      net::NetworkSynthesizer synthesizer(config);
+      const auto adjacency = synthesizer.synthesizeAdjacency(logs.files);
+      const auto& report = synthesizer.report();
+      std::string name = net::backendName(backend);
+      name.resize(6, ' ');
+      std::cout << "  " << name << "  " << fmt(report.totalSeconds, 2)
+                << "      "
+                << fmt(report.collocationSeconds, 2) << "       "
+                << fmt(report.adjacencySeconds, 2) << "          "
+                << fmt(static_cast<double>(report.bytesScattered) /
+                           (1024.0 * 1024.0), 1)
+                << "             "
+                << fmt(static_cast<double>(report.bytesReturned) /
+                           (1024.0 * 1024.0), 1)
+                << "            " << fmt(report.adjacencyBusyImbalance, 2)
+                << "\n";
+      if (backend == net::SynthesisBackend::kSharedMemory) {
+        sharedTriplets = adjacency.toTriplets();
+      } else {
+        backendsAgree = adjacency.toTriplets() == sharedTriplets;
+      }
+    }
+    config.backend = net::SynthesisBackend::kSharedMemory;
+  }
+  printRow("shared vs message-passing edges", "bit-identical adjacency",
+           backendsAgree ? "EXACT" : "MISMATCH");
+
   // Batch additivity over files (the paper's independent batch jobs).
   config.workers = 4;
   config.filesPerBatch = 0;
@@ -116,5 +158,7 @@ int main() {
            fmt(paperEntriesWeek / entriesPerSecond / 3600.0, 1) + " h",
            "extrapolated at measured entries/s; a cluster divides this");
 
-  return additive && sameEdges && exposedFraction < 0.25 ? 0 : 1;
+  return additive && sameEdges && backendsAgree && exposedFraction < 0.25
+             ? 0
+             : 1;
 }

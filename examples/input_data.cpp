@@ -63,13 +63,15 @@ int main(int argc, char** argv) {
   net::SynthesisConfig synthConfig;
   synthConfig.windowEnd = pop::kHoursPerWeek;
   synthConfig.workers = 4;
-  net::DistributedReport report;
-  const auto adjacency = net::synthesizeDistributed(
-      elog::listLogFiles(modelConfig.logDirectory), synthConfig, &report);
-  std::cout << "distributed synthesis: " << adjacency.edgeCount()
+  synthConfig.backend = net::SynthesisBackend::kMessagePassing;
+  net::NetworkSynthesizer synthesizer(synthConfig);
+  const auto adjacency = synthesizer.synthesizeAdjacency(
+      elog::listLogFiles(modelConfig.logDirectory));
+  const net::SynthesisReport& report = synthesizer.report();
+  std::cout << "message-passing synthesis: " << adjacency.edgeCount()
             << " edges; scattered " << report.bytesScattered / 1024
-            << " KiB of events, returned " << report.bytesReturned / 1024
-            << " KiB of matrices; partition imbalance "
+            << " KiB to ranks, returned " << report.bytesReturned / 1024
+            << " KiB of matrices/sums; partition imbalance "
             << report.partitionImbalance << "\n";
 
   // 5. Persist the network for later analysis sessions.

@@ -27,7 +27,7 @@
 #include "chisimnet/graph/mixing.hpp"
 #include "chisimnet/graph/weighted_stats.hpp"
 #include "chisimnet/net/demography.hpp"
-#include "chisimnet/net/distributed.hpp"
+#include "chisimnet/net/executor.hpp"
 #include "chisimnet/net/synthesis.hpp"
 #include "chisimnet/net/temporal.hpp"
 #include "chisimnet/pop/io.hpp"

@@ -1,0 +1,78 @@
+#include "chisimnet/net/executor.hpp"
+
+#include <algorithm>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::net {
+
+runtime::Partition SynthesisExecutor::repartition(
+    std::span<const std::uint64_t> weights) const {
+  return config_.balancedPartition
+             ? runtime::partitionGreedyLpt(weights, config_.workers)
+             : runtime::partitionContiguous(weights, config_.workers);
+}
+
+void SynthesisExecutor::reduce(
+    std::vector<sparse::SymmetricAdjacency> workerSums,
+    sparse::SymmetricAdjacency& result) {
+  for (const sparse::SymmetricAdjacency& workerSum : workerSums) {
+    result.merge(workerSum);
+  }
+}
+
+SharedMemoryExecutor::SharedMemoryExecutor(const SynthesisConfig& config)
+    : SynthesisExecutor(config), cluster_(config.workers) {}
+
+void SharedMemoryExecutor::scatterPlaces(const table::EventTable& events,
+                                         const table::PlaceIndex& index) {
+  // Workers share the address space; "scattering" is pinning the slice.
+  events_ = &events;
+  index_ = &index;
+}
+
+std::vector<sparse::CollocationMatrix> SharedMemoryExecutor::mapCollocation() {
+  CHISIM_REQUIRE(events_ != nullptr && index_ != nullptr,
+                 "mapCollocation before scatterPlaces");
+  // Workers pull places dynamically (matches SNOW's dispatch of place-id
+  // subsets).
+  std::vector<sparse::CollocationMatrix> matrices(index_->placeIds.size());
+  cluster_.applyDynamic(
+      index_->placeIds.size(), [&](std::size_t group, unsigned) {
+        matrices[group] = sparse::buildCollocationMatrix(
+            *events_, *index_, group, config_.windowStart, config_.windowEnd);
+      });
+  events_ = nullptr;
+  index_ = nullptr;
+  // Drop empty matrices (places with no presence inside the window).
+  std::erase_if(matrices,
+                [](const sparse::CollocationMatrix& m) { return m.nnz() == 0; });
+  return matrices;
+}
+
+std::vector<sparse::SymmetricAdjacency> SharedMemoryExecutor::mapAdjacency(
+    const std::vector<sparse::CollocationMatrix>& matrices,
+    const runtime::Partition& partition) {
+  std::vector<sparse::SymmetricAdjacency> workerSums;
+  workerSums.reserve(config_.workers);
+  for (unsigned w = 0; w < config_.workers; ++w) {
+    workerSums.emplace_back(1024);
+  }
+  cluster_.applyPartitioned(partition, [&](std::size_t item, unsigned worker) {
+    workerSums[worker].addCollocation(matrices[item], config_.method);
+  });
+  return workerSums;
+}
+
+double SharedMemoryExecutor::adjacencyBusyImbalance() const noexcept {
+  return cluster_.busyImbalance();
+}
+
+std::unique_ptr<SynthesisExecutor> makeExecutor(const SynthesisConfig& config) {
+  if (config.backend == SynthesisBackend::kMessagePassing) {
+    return std::make_unique<MessagePassingExecutor>(config);
+  }
+  return std::make_unique<SharedMemoryExecutor>(config);
+}
+
+}  // namespace chisimnet::net

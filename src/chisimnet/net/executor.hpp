@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "chisimnet/net/synthesis.hpp"
+#include "chisimnet/runtime/cluster.hpp"
+#include "chisimnet/runtime/comm.hpp"
+#include "chisimnet/runtime/partition.hpp"
+#include "chisimnet/sparse/adjacency.hpp"
+#include "chisimnet/sparse/collocation.hpp"
+#include "chisimnet/table/event_table.hpp"
+
+/// Pluggable dispatch substrate for synthesis stages 2-6 (paper §IV.A).
+///
+/// The paper presents one synthesis algorithm with two dispatch substrates:
+/// a SNOW fork cluster (shared memory) for a single node and Rmpi ranks
+/// (message passing) for larger clusters. NetworkSynthesizer owns the
+/// stage sequencing, batching, prefetch, and timing; a SynthesisExecutor
+/// owns only how each stage's work reaches the workers and how results
+/// come back. One driver, two backends — the message-passing path inherits
+/// batching, prefetch, and per-stage timing from the driver instead of
+/// reimplementing the pipeline.
+///
+/// Stage protocol, called by the driver once per batch, in order:
+///   scatterPlaces   stage 2 tail: hand the place-grouped slice to workers
+///   mapCollocation  stage 3: per-place collocation matrices, returned to
+///                   the driver (the paper's "returned to the root")
+///   repartition     stage 4: weight-based partition of the matrix list
+///   mapAdjacency    stage 5: per-worker adjacency sums A_l = x·xᵀ
+///   reduce          stage 6: fold the worker sums into the running result
+///
+/// Lifetimes: the events/index passed to scatterPlaces must stay alive
+/// through the following mapCollocation call; matrices passed to
+/// mapAdjacency must stay alive for its duration.
+
+namespace chisimnet::net {
+
+class SynthesisExecutor {
+ public:
+  explicit SynthesisExecutor(const SynthesisConfig& config)
+      : config_(config) {}
+  virtual ~SynthesisExecutor() = default;
+
+  SynthesisExecutor(const SynthesisExecutor&) = delete;
+  SynthesisExecutor& operator=(const SynthesisExecutor&) = delete;
+
+  virtual SynthesisBackend backend() const noexcept = 0;
+
+  /// Stage 2 (dispatch tail): make the window-filtered events of each place
+  /// group available to the workers that will build its matrix. Message
+  /// passing ships the groups; shared memory only pins references.
+  virtual void scatterPlaces(const table::EventTable& events,
+                             const table::PlaceIndex& index) = 0;
+
+  /// Stage 3: build one collocation matrix per scattered place group and
+  /// return the non-empty ones to the driver.
+  virtual std::vector<sparse::CollocationMatrix> mapCollocation() = 0;
+
+  /// Stage 4: partition matrices (by the driver-computed weights) across
+  /// workers. Identical for both substrates — the partition is computed
+  /// where the matrix list lives (the root).
+  virtual runtime::Partition repartition(
+      std::span<const std::uint64_t> weights) const;
+
+  /// Stage 5: compute per-worker adjacency sums for the partition and
+  /// return them to the driver.
+  virtual std::vector<sparse::SymmetricAdjacency> mapAdjacency(
+      const std::vector<sparse::CollocationMatrix>& matrices,
+      const runtime::Partition& partition) = 0;
+
+  /// Stage 6: fold worker sums into `result`. Default: sequential merge at
+  /// the driver (both substrates hold the sums at the root by now; a
+  /// distributed reduce tree is a ROADMAP follow-on).
+  virtual void reduce(std::vector<sparse::SymmetricAdjacency> workerSums,
+                      sparse::SymmetricAdjacency& result);
+
+  /// Observed busy-time imbalance of the last mapAdjacency; 1.0 if the
+  /// substrate cannot observe it.
+  virtual double adjacencyBusyImbalance() const noexcept { return 1.0; }
+
+  /// Cumulative payload bytes moved root->workers / workers->root since
+  /// the last resetTransferCounters(); zero on no-wire substrates.
+  virtual std::uint64_t bytesScattered() const noexcept { return 0; }
+  virtual std::uint64_t bytesReturned() const noexcept { return 0; }
+  virtual void resetTransferCounters() noexcept {}
+
+ protected:
+  const SynthesisConfig config_;
+};
+
+/// Worker threads over shared memory — the paper's SNOW fork cluster.
+/// Collocation work is pulled dynamically (SNOW's own load balancing);
+/// the adjacency stage follows the explicit nnz partition. No bytes move.
+class SharedMemoryExecutor final : public SynthesisExecutor {
+ public:
+  explicit SharedMemoryExecutor(const SynthesisConfig& config);
+
+  SynthesisBackend backend() const noexcept override {
+    return SynthesisBackend::kSharedMemory;
+  }
+  void scatterPlaces(const table::EventTable& events,
+                     const table::PlaceIndex& index) override;
+  std::vector<sparse::CollocationMatrix> mapCollocation() override;
+  std::vector<sparse::SymmetricAdjacency> mapAdjacency(
+      const std::vector<sparse::CollocationMatrix>& matrices,
+      const runtime::Partition& partition) override;
+  double adjacencyBusyImbalance() const noexcept override;
+
+ private:
+  runtime::Cluster cluster_;
+  const table::EventTable* events_ = nullptr;
+  const table::PlaceIndex* index_ = nullptr;
+};
+
+/// Message-passing ranks — the paper's Rmpi path, with its exact data
+/// flow: the root scatters place event groups, workers build collocation
+/// matrices and return them serialized, the root re-partitions and
+/// re-scatters the matrix list, workers sum adjacencies and return them.
+/// Rank 0 is the driver thread; ranks 1..workers-1 are a persistent
+/// runtime::RankTeam command loop, so the same ranks serve every batch.
+/// All payloads (including rank 0's self-delivery) go through the sparse
+/// wire format and are counted in bytesScattered/bytesReturned.
+class MessagePassingExecutor final : public SynthesisExecutor {
+ public:
+  explicit MessagePassingExecutor(const SynthesisConfig& config);
+  ~MessagePassingExecutor() override;
+
+  SynthesisBackend backend() const noexcept override {
+    return SynthesisBackend::kMessagePassing;
+  }
+  void scatterPlaces(const table::EventTable& events,
+                     const table::PlaceIndex& index) override;
+  std::vector<sparse::CollocationMatrix> mapCollocation() override;
+  std::vector<sparse::SymmetricAdjacency> mapAdjacency(
+      const std::vector<sparse::CollocationMatrix>& matrices,
+      const runtime::Partition& partition) override;
+  double adjacencyBusyImbalance() const noexcept override {
+    return busyImbalance_;
+  }
+  std::uint64_t bytesScattered() const noexcept override {
+    return bytesScattered_;
+  }
+  std::uint64_t bytesReturned() const noexcept override {
+    return bytesReturned_;
+  }
+  void resetTransferCounters() noexcept override {
+    bytesScattered_ = 0;
+    bytesReturned_ = 0;
+  }
+
+ private:
+  /// Worker-side command loop run by every service rank.
+  void serviceLoop(runtime::RankHandle& handle) const;
+  /// SPMD stage bodies, run by service ranks on command and by rank 0
+  /// inline (the root is also a worker, as in the paper's fork cluster).
+  void stageCollocation(runtime::RankHandle& handle) const;
+  void stageAdjacency(runtime::RankHandle& handle) const;
+
+  int ranks_;
+  std::uint64_t bytesScattered_ = 0;
+  std::uint64_t bytesReturned_ = 0;
+  double busyImbalance_ = 1.0;
+  runtime::RankTeam team_;  ///< must be last: threads read config_/ranks_
+};
+
+/// Builds the executor for config.backend.
+std::unique_ptr<SynthesisExecutor> makeExecutor(const SynthesisConfig& config);
+
+}  // namespace chisimnet::net

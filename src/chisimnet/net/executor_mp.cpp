@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "chisimnet/net/executor.hpp"
+#include "chisimnet/util/error.hpp"
+#include "chisimnet/util/timer.hpp"
+
+namespace chisimnet::net {
+
+namespace {
+
+constexpr int kRoot = 0;
+constexpr int kCommandTag = 99;    ///< root -> worker stage commands
+constexpr int kEventsTag = 100;    ///< stage 2: root -> worker event groups
+constexpr int kMatrixTag = 101;    ///< stage 3: worker -> root matrices
+constexpr int kBatchTag = 102;     ///< stage 4: root -> worker matrix batches
+constexpr int kSumTag = 103;       ///< stage 5: worker -> root adjacency sums
+constexpr int kBusyTag = 104;      ///< stage 5: worker -> root busy seconds
+
+enum Command : int {
+  kCmdCollocation = 1,
+  kCmdAdjacency = 2,
+  kCmdStop = 3,
+};
+
+/// Stage-2 payload: [per place: eventCount u32] in one message followed by
+/// a second message with the concatenated events.
+struct EventScatter {
+  std::vector<std::uint32_t> header;
+  std::vector<table::Event> events;
+};
+
+std::vector<std::byte> packMatrices(
+    const std::vector<sparse::CollocationMatrix>& matrices) {
+  // [count u32][per matrix: byteLength u32 + payload]
+  std::vector<std::byte> packed;
+  const auto put32 = [&packed](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      packed.push_back(static_cast<std::byte>(value >> shift));
+    }
+  };
+  put32(static_cast<std::uint32_t>(matrices.size()));
+  for (const sparse::CollocationMatrix& matrix : matrices) {
+    const std::vector<std::byte> bytes = matrix.toBytes();
+    put32(static_cast<std::uint32_t>(bytes.size()));
+    packed.insert(packed.end(), bytes.begin(), bytes.end());
+  }
+  return packed;
+}
+
+std::vector<sparse::CollocationMatrix> unpackMatrices(
+    std::span<const std::byte> packed) {
+  std::size_t cursor = 0;
+  const auto take32 = [&packed, &cursor]() {
+    CHISIM_CHECK(cursor + 4 <= packed.size(), "truncated matrix pack");
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(packed[cursor]) |
+        (static_cast<std::uint32_t>(packed[cursor + 1]) << 8) |
+        (static_cast<std::uint32_t>(packed[cursor + 2]) << 16) |
+        (static_cast<std::uint32_t>(packed[cursor + 3]) << 24);
+    cursor += 4;
+    return value;
+  };
+  const std::uint32_t count = take32();
+  std::vector<sparse::CollocationMatrix> matrices;
+  matrices.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t length = take32();
+    CHISIM_CHECK(cursor + length <= packed.size(), "truncated matrix pack");
+    matrices.push_back(
+        sparse::CollocationMatrix::fromBytes(packed.subspan(cursor, length)));
+    cursor += length;
+  }
+  return matrices;
+}
+
+}  // namespace
+
+MessagePassingExecutor::MessagePassingExecutor(const SynthesisConfig& config)
+    : SynthesisExecutor(config),
+      ranks_(static_cast<int>(config.workers)),
+      team_(ranks_, [this](runtime::RankHandle& handle) { serviceLoop(handle); }) {}
+
+MessagePassingExecutor::~MessagePassingExecutor() {
+  // Idle services are parked at the command recv; a stop command lets them
+  // return so the team joins without relying on the destructor's abort.
+  // (Services wedged mid-stage after a root-side failure are woken by the
+  // RankTeam destructor's abort instead.)
+  for (int dest = 1; dest < ranks_; ++dest) {
+    team_.root().sendValue<int>(dest, kCommandTag, kCmdStop);
+  }
+}
+
+void MessagePassingExecutor::serviceLoop(runtime::RankHandle& handle) const {
+  while (true) {
+    const int command = handle.recv(kRoot, kCommandTag).value<int>();
+    switch (command) {
+      case kCmdCollocation:
+        stageCollocation(handle);
+        break;
+      case kCmdAdjacency:
+        stageAdjacency(handle);
+        break;
+      case kCmdStop:
+        return;
+      default:
+        CHISIM_CHECK(false, "unknown synthesis executor command");
+    }
+  }
+}
+
+void MessagePassingExecutor::stageCollocation(
+    runtime::RankHandle& handle) const {
+  const auto header = handle.recv(kRoot, kEventsTag).as<std::uint32_t>();
+  const auto myEvents = handle.recv(kRoot, kEventsTag).as<table::Event>();
+  std::vector<sparse::CollocationMatrix> built;
+  std::size_t eventCursor = 0;
+  for (std::uint32_t groupSize : header) {
+    const std::span<const table::Event> groupEvents(
+        myEvents.data() + eventCursor, groupSize);
+    eventCursor += groupSize;
+    CHISIM_CHECK(!groupEvents.empty(), "empty place group scattered");
+    sparse::CollocationMatrix matrix(groupEvents.front().place, groupEvents,
+                                     config_.windowStart, config_.windowEnd);
+    if (matrix.nnz() > 0) {
+      built.push_back(std::move(matrix));
+    }
+  }
+  // Return the matrix list to the root (paper: "saved in a list and
+  // returned to the root process").
+  handle.send(kRoot, kMatrixTag, packMatrices(built));
+}
+
+void MessagePassingExecutor::stageAdjacency(runtime::RankHandle& handle) const {
+  const runtime::Message batchMessage = handle.recv(kRoot, kBatchTag);
+  const auto batch = unpackMatrices(batchMessage.payload);
+  util::WallTimer busy;
+  sparse::SymmetricAdjacency sum(1024);
+  for (const sparse::CollocationMatrix& matrix : batch) {
+    sum.addCollocation(matrix, config_.method);
+  }
+  const std::vector<sparse::AdjacencyTriplet> triplets = sum.toTriplets();
+  const double busySeconds = busy.seconds();
+  handle.sendVector<sparse::AdjacencyTriplet>(kRoot, kSumTag, triplets);
+  handle.sendValue<double>(kRoot, kBusyTag, busySeconds);
+}
+
+void MessagePassingExecutor::scatterPlaces(const table::EventTable& events,
+                                           const table::PlaceIndex& index) {
+  // Round-robin place groups across ranks: the collocation stage is roughly
+  // uniform per event row, and the nnz balancing happens at repartition.
+  std::vector<EventScatter> scatters(static_cast<std::size_t>(ranks_));
+  for (std::size_t group = 0; group < index.placeIds.size(); ++group) {
+    EventScatter& scatter = scatters[group % static_cast<std::size_t>(ranks_)];
+    const auto rows = index.groupRows(group);
+    scatter.header.push_back(static_cast<std::uint32_t>(rows.size()));
+    for (table::RowIndex row : rows) {
+      scatter.events.push_back(events.row(row));
+    }
+  }
+  runtime::RankHandle& root = team_.root();
+  for (int dest = 0; dest < ranks_; ++dest) {
+    const EventScatter& scatter = scatters[static_cast<std::size_t>(dest)];
+    root.sendVector<std::uint32_t>(dest, kEventsTag, scatter.header);
+    root.sendVector<table::Event>(dest, kEventsTag, scatter.events);
+    bytesScattered_ += scatter.header.size() * sizeof(std::uint32_t) +
+                       scatter.events.size() * sizeof(table::Event);
+    if (dest != kRoot) {
+      // Data first, then the command: services start building while the
+      // driver is still between stage calls.
+      root.sendValue<int>(dest, kCommandTag, kCmdCollocation);
+    }
+  }
+}
+
+std::vector<sparse::CollocationMatrix>
+MessagePassingExecutor::mapCollocation() {
+  runtime::RankHandle& root = team_.root();
+  try {
+    // The root is a worker too: build its own share before collecting.
+    stageCollocation(root);
+    std::vector<sparse::CollocationMatrix> all;
+    for (int source = 0; source < ranks_; ++source) {
+      const runtime::Message message = root.recv(source, kMatrixTag);
+      bytesReturned_ += message.payload.size();
+      for (sparse::CollocationMatrix& matrix :
+           unpackMatrices(message.payload)) {
+        all.push_back(std::move(matrix));
+      }
+    }
+    return all;
+  } catch (...) {
+    // A service failure aborts the communicator and surfaces here as a
+    // generic "aborted" error; prefer the originating exception.
+    team_.rethrowServiceError();
+    throw;
+  }
+}
+
+std::vector<sparse::SymmetricAdjacency> MessagePassingExecutor::mapAdjacency(
+    const std::vector<sparse::CollocationMatrix>& matrices,
+    const runtime::Partition& partition) {
+  CHISIM_REQUIRE(partition.assignment.size() ==
+                     static_cast<std::size_t>(ranks_),
+                 "partition bin count must equal rank count");
+  runtime::RankHandle& root = team_.root();
+  try {
+    for (int dest = 0; dest < ranks_; ++dest) {
+      std::vector<sparse::CollocationMatrix> batch;
+      for (std::size_t item :
+           partition.assignment[static_cast<std::size_t>(dest)]) {
+        batch.push_back(matrices[item]);
+      }
+      const std::vector<std::byte> packed = packMatrices(batch);
+      bytesScattered_ += packed.size();
+      root.send(dest, kBatchTag, packed);
+      if (dest != kRoot) {
+        root.sendValue<int>(dest, kCommandTag, kCmdAdjacency);
+      }
+    }
+    stageAdjacency(root);
+
+    std::vector<sparse::SymmetricAdjacency> workerSums;
+    workerSums.reserve(static_cast<std::size_t>(ranks_));
+    std::vector<double> busySeconds(static_cast<std::size_t>(ranks_), 0.0);
+    for (int source = 0; source < ranks_; ++source) {
+      const runtime::Message message = root.recv(source, kSumTag);
+      bytesReturned_ += message.payload.size();
+      sparse::SymmetricAdjacency sum(1024);
+      for (const sparse::AdjacencyTriplet& triplet :
+           message.as<sparse::AdjacencyTriplet>()) {
+        sum.add(triplet.i, triplet.j, triplet.weight);
+      }
+      workerSums.push_back(std::move(sum));
+      busySeconds[static_cast<std::size_t>(source)] =
+          root.recv(source, kBusyTag).value<double>();
+    }
+
+    double total = 0.0;
+    double peak = 0.0;
+    for (double seconds : busySeconds) {
+      total += seconds;
+      peak = std::max(peak, seconds);
+    }
+    busyImbalance_ =
+        total > 0.0 ? peak / (total / static_cast<double>(ranks_)) : 1.0;
+    return workerSums;
+  } catch (...) {
+    team_.rethrowServiceError();
+    throw;
+  }
+}
+
+}  // namespace chisimnet::net

@@ -7,7 +7,7 @@
 
 #include "chisimnet/elog/log_directory.hpp"
 #include "chisimnet/elog/prefetch.hpp"
-#include "chisimnet/runtime/cluster.hpp"
+#include "chisimnet/net/executor.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
 
@@ -20,77 +20,79 @@ NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
   CHISIM_REQUIRE(config.workers >= 1, "need at least one worker");
   CHISIM_REQUIRE(!config.prefetch || config.prefetchDepth >= 1,
                  "prefetch depth must be >= 1");
+  // No silent ignores: a config that asks for behavior the pipeline will
+  // not deliver is an error, not a no-op.
+  CHISIM_REQUIRE(config.prefetch || config.decodeWorkers == 0,
+                 "decodeWorkers requires prefetch; drop --decode-workers or "
+                 "enable prefetching");
+  executor_ = makeExecutor(config_);
+}
+
+NetworkSynthesizer::~NetworkSynthesizer() = default;
+
+std::uint64_t NetworkSynthesizer::partitionWeight(
+    const sparse::CollocationMatrix& matrix) const {
+  if (!config_.occupancyWeight) {
+    // The paper's §IV.A.3 scheme: plain nonzero (person-hour) count.
+    return matrix.nnz();
+  }
+  // Occupancy-scaled: nnz times mean simultaneous occupancy
+  // (nnz / occupied hours). The x·xᵀ cost of a hub place grows with how
+  // many people overlap per hour, which nnz alone underestimates; dividing
+  // by occupied hours rather than sliceHours keeps sparse-attendance
+  // places from being undercounted into the bargain.
+  const std::uint64_t occupied = std::max<std::uint64_t>(
+      1, matrix.occupiedHours());
+  return std::max<std::uint64_t>(1, matrix.nnz() * matrix.nnz() / occupied);
 }
 
 void NetworkSynthesizer::processBatch(const table::EventTable& events,
                                       sparse::SymmetricAdjacency& result) {
   util::WallTimer timer;
 
-  // Stage 2: subset the slice and index places. The input table has already
-  // been window-filtered on load; the place index is the per-place grouping
-  // workers consume.
+  // Stage 2: subset the slice, index places, and hand the groups to the
+  // executor's workers. The input table has already been window-filtered on
+  // load; the place index is the per-place grouping workers consume.
   const table::PlaceIndex placeIndex = events.buildPlaceIndex();
+  executor_->scatterPlaces(events, placeIndex);
   report_.subsetSeconds += timer.seconds();
   timer.reset();
 
-  runtime::Cluster cluster(config_.workers);
-
-  // Stage 3: per-place collocation matrices, workers pulling places
-  // dynamically (matches SNOW's dispatch of place-id subsets).
-  std::vector<sparse::CollocationMatrix> matrices(placeIndex.placeIds.size());
-  cluster.applyDynamic(
-      placeIndex.placeIds.size(), [&](std::size_t group, unsigned) {
-        matrices[group] = sparse::buildCollocationMatrix(
-            events, placeIndex, group, config_.windowStart, config_.windowEnd);
-      });
-  // Drop empty matrices (places with no presence inside the window).
-  std::erase_if(matrices,
-                [](const sparse::CollocationMatrix& m) { return m.nnz() == 0; });
+  // Stage 3: per-place collocation matrices, returned to the driver (the
+  // paper's "returned to the root process").
+  const std::vector<sparse::CollocationMatrix> matrices =
+      executor_->mapCollocation();
   report_.collocationSeconds += timer.seconds();
   timer.reset();
 
   report_.placesProcessed += matrices.size();
-  std::uint64_t batchNnz = 0;
   for (const sparse::CollocationMatrix& matrix : matrices) {
-    batchNnz += matrix.nnz();
+    report_.collocationNnz += matrix.nnz();
   }
-  report_.collocationNnz += batchNnz;
 
-  // Stage 4: partition the matrix list across workers. The balanced scheme
-  // weighs each matrix by its adjacency cost; nnz alone underestimates hub
-  // places, so the weight is nnz times mean simultaneous occupancy
-  // (nnz² / sliceHours would overshoot sparse-attendance places).
+  // Stage 4: re-partition the matrix list across workers by adjacency-cost
+  // weight (nnz, or occupancy-scaled behind config.occupancyWeight) — the
+  // step §IV.A.3 calls crucial for even load balance.
   std::vector<std::uint64_t> weights;
   weights.reserve(matrices.size());
   for (const sparse::CollocationMatrix& matrix : matrices) {
-    weights.push_back(matrix.nnz());
+    weights.push_back(partitionWeight(matrix));
   }
-  const runtime::Partition partition =
-      config_.balancedPartition
-          ? runtime::partitionGreedyLpt(weights, config_.workers)
-          : runtime::partitionContiguous(weights, config_.workers);
+  const runtime::Partition partition = executor_->repartition(weights);
   report_.partitionSeconds += timer.seconds();
   report_.partitionImbalance = partition.imbalance();
   report_.partitionLoads = partition.loads;
   timer.reset();
 
   // Stage 5: per-worker adjacency accumulation (no shared state).
-  std::vector<sparse::SymmetricAdjacency> workerSums;
-  workerSums.reserve(config_.workers);
-  for (unsigned w = 0; w < config_.workers; ++w) {
-    workerSums.emplace_back(1024);
-  }
-  cluster.applyPartitioned(partition, [&](std::size_t item, unsigned worker) {
-    workerSums[worker].addCollocation(matrices[item], config_.method);
-  });
+  std::vector<sparse::SymmetricAdjacency> workerSums =
+      executor_->mapAdjacency(matrices, partition);
   report_.adjacencySeconds += timer.seconds();
-  report_.adjacencyBusyImbalance = cluster.busyImbalance();
+  report_.adjacencyBusyImbalance = executor_->adjacencyBusyImbalance();
   timer.reset();
 
   // Stage 6: reduce worker sums into the running result.
-  for (const sparse::SymmetricAdjacency& workerSum : workerSums) {
-    result.merge(workerSum);
-  }
+  executor_->reduce(std::move(workerSums), result);
   report_.reduceSeconds += timer.seconds();
 }
 
@@ -98,6 +100,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     const std::vector<std::filesystem::path>& logFiles) {
   CHISIM_REQUIRE(!logFiles.empty(), "no log files given");
   report_ = SynthesisReport{};
+  report_.backend = config_.backend;
+  executor_->resetTransferCounters();
   util::WallTimer total;
 
   sparse::SymmetricAdjacency result(1024);
@@ -144,6 +148,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     report_.loadExposedSeconds = report_.loadSeconds;
   }
   report_.edges = result.edgeCount();
+  report_.bytesScattered = executor_->bytesScattered();
+  report_.bytesReturned = executor_->bytesReturned();
   report_.totalSeconds = total.seconds();
   return result;
 }
@@ -151,6 +157,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
 sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     const table::EventTable& events) {
   report_ = SynthesisReport{};
+  report_.backend = config_.backend;
+  executor_->resetTransferCounters();
   util::WallTimer total;
   report_.logEntriesLoaded = events.size();
 
@@ -158,6 +166,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
   processBatch(events, result);
   report_.batches = 1;
   report_.edges = result.edgeCount();
+  report_.bytesScattered = executor_->bytesScattered();
+  report_.bytesReturned = executor_->bytesReturned();
   report_.totalSeconds = total.seconds();
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <vector>
 
 #include "chisimnet/graph/graph.hpp"
@@ -17,24 +18,55 @@
 ///   1. the log files are decoded into an event table — by default on a
 ///      background prefetcher that loads batch k+1 while batch k is in
 ///      stages 2-6, taking file I/O off the compute critical path,
-///   2. the time slice is subset and unique place ids extracted,
+///   2. the time slice is subset, unique place ids extracted, and place
+///      groups handed to the executor's workers,
 ///   3. workers build one sparse p×t collocation matrix per place,
 ///   4. the matrix list is re-partitioned by nonzero count (LPT) for even
 ///      load balance — the step §IV.A.3 calls crucial,
 ///   5. workers compute per-place adjacencies A_l = x·xᵀ and sum their set,
 ///   6. worker sums are reduced into a single sparse upper-triangular
 ///      adjacency, and batches are summed into the final network.
+///
+/// Stages 2-6 are dispatched through a pluggable SynthesisExecutor
+/// (executor.hpp), with one implementation per dispatch substrate of the
+/// paper: shared-memory workers (SNOW fork cluster) and message-passing
+/// ranks (Rmpi). Both run the exact same driver, so batching, prefetch,
+/// per-stage timing, and the report shape are backend-independent.
 
 namespace chisimnet::net {
+
+class SynthesisExecutor;
+
+/// Dispatch substrate for stages 2-6 (paper §IV.A: SNOW vs Rmpi).
+enum class SynthesisBackend {
+  /// Worker threads over shared memory (runtime::Cluster) — the SNOW fork
+  /// cluster of the paper, no serialization between stages.
+  kSharedMemory,
+  /// Message-passing ranks (runtime::comm) with the paper's root-scatter /
+  /// return / re-scatter / reduce data flow; collocation matrices travel as
+  /// serialized bytes and the report carries the byte accounting.
+  kMessagePassing,
+};
+
+inline const char* backendName(SynthesisBackend backend) noexcept {
+  return backend == SynthesisBackend::kSharedMemory ? "shared" : "mp";
+}
 
 struct SynthesisConfig {
   table::Hour windowStart = 0;
   table::Hour windowEnd = 168;
   unsigned workers = 4;
+  SynthesisBackend backend = SynthesisBackend::kSharedMemory;
   sparse::AdjacencyMethod method = sparse::AdjacencyMethod::kSpGemm;
   /// true: nnz-based LPT re-partitioning (the paper's scheme);
   /// false: contiguous equal-count lists (the naive ablation baseline).
   bool balancedPartition = true;
+  /// true: weigh each matrix by nnz times its mean simultaneous occupancy
+  /// (nnz² / occupied hours) instead of plain nnz, so hub places — whose
+  /// x·xᵀ cost grows faster than their person-hours — are partitioned by a
+  /// closer proxy of adjacency cost. bench_partition_ablation measures the
+  /// difference; plain nnz remains the paper's §IV.A.3 scheme.
+  bool occupancyWeight = false;
   /// Files per batch when synthesizing from disk; 0 processes all files in
   /// one batch. Batches are independent and their adjacencies are summed,
   /// mirroring the paper's batched cluster jobs (§V).
@@ -45,12 +77,17 @@ struct SynthesisConfig {
   /// Max decoded batches the prefetcher buffers ahead of the compute thread.
   std::size_t prefetchDepth = 2;
   /// Threads the prefetcher uses to decode the files of one batch in
-  /// parallel; 0 uses `workers`.
+  /// parallel; 0 uses `workers`. Requires prefetch — configuring decode
+  /// workers with prefetch disabled is a hard error, not a silent ignore.
   unsigned decodeWorkers = 0;
 };
 
-/// Timing and size metrics of the last synthesis run.
+/// Timing and size metrics of the last synthesis run. One report type
+/// serves both backends; fields a backend has no source for (e.g. comm
+/// bytes on shared memory) stay zero.
 struct SynthesisReport {
+  SynthesisBackend backend = SynthesisBackend::kSharedMemory;
+
   std::uint64_t logEntriesLoaded = 0;
   std::uint64_t placesProcessed = 0;
   std::uint64_t collocationNnz = 0;   ///< total person-hours across places
@@ -68,9 +105,9 @@ struct SynthesisReport {
   bool prefetchEnabled = false;
   double prefetchMeanOccupancy = 0.0;   ///< ready-buffer fill at each take
   std::uint64_t prefetchPeakOccupancy = 0;
-  double subsetSeconds = 0.0;     ///< stage 2: slice + place index
+  double subsetSeconds = 0.0;     ///< stage 2: slice + place index + scatter
   double collocationSeconds = 0.0;///< stage 3: collocation matrices
-  double partitionSeconds = 0.0;  ///< stage 4: nnz partitioning
+  double partitionSeconds = 0.0;  ///< stage 4: weight partitioning
   double adjacencySeconds = 0.0;  ///< stage 5: x·xᵀ products
   double reduceSeconds = 0.0;     ///< stage 6: worker-sum reduction
   double totalSeconds = 0.0;
@@ -80,11 +117,23 @@ struct SynthesisReport {
   /// Observed busy-time imbalance of the adjacency stage workers.
   double adjacencyBusyImbalance = 1.0;
   std::vector<std::uint64_t> partitionLoads;
+
+  /// Payload bytes the root shipped to workers (event groups + matrix
+  /// batches) and workers shipped back (matrix lists + adjacency sums).
+  /// Counts every scatter/return payload including rank 0's self-delivery,
+  /// so the figure tracks serialization volume, not NIC traffic. Zero on
+  /// backends with no wire (shared memory).
+  std::uint64_t bytesScattered = 0;
+  std::uint64_t bytesReturned = 0;
 };
 
 class NetworkSynthesizer {
  public:
   explicit NetworkSynthesizer(SynthesisConfig config);
+  ~NetworkSynthesizer();
+
+  NetworkSynthesizer(const NetworkSynthesizer&) = delete;
+  NetworkSynthesizer& operator=(const NetworkSynthesizer&) = delete;
 
   /// Synthesizes the collocation adjacency from per-rank log files,
   /// batch by batch.
@@ -107,8 +156,12 @@ class NetworkSynthesizer {
   void processBatch(const table::EventTable& events,
                     sparse::SymmetricAdjacency& result);
 
+  /// Stage-4 weight of one matrix (nnz, or occupancy-scaled per config).
+  std::uint64_t partitionWeight(const sparse::CollocationMatrix& matrix) const;
+
   SynthesisConfig config_;
   SynthesisReport report_;
+  std::unique_ptr<SynthesisExecutor> executor_;
 };
 
 /// Reference implementation for correctness tests: computes pairwise

@@ -168,6 +168,47 @@ void Communicator::abort() noexcept {
   barrierReady_.notify_all();
 }
 
+RankTeam::RankTeam(int rankCount, std::function<void(RankHandle&)> service)
+    : comm_(rankCount), root_(comm_.handle(0)) {
+  threads_.reserve(static_cast<std::size_t>(rankCount - 1));
+  for (int rank = 1; rank < rankCount; ++rank) {
+    threads_.emplace_back([this, rank, service] {
+      RankHandle handle = comm_.handle(rank);
+      try {
+        service(handle);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(errorMutex_);
+          if (!firstError_) {
+            firstError_ = std::current_exception();
+          }
+        }
+        comm_.abort();
+      }
+    });
+  }
+}
+
+RankTeam::~RankTeam() {
+  // Wake services blocked in recv/barrier; a service that already consumed
+  // its stop command has returned and is unaffected.
+  comm_.abort();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+std::exception_ptr RankTeam::serviceError() const {
+  std::lock_guard<std::mutex> lock(errorMutex_);
+  return firstError_;
+}
+
+void RankTeam::rethrowServiceError() {
+  if (const std::exception_ptr error = serviceError()) {
+    std::rethrow_exception(error);
+  }
+}
+
 void Communicator::run(int rankCount,
                        const std::function<void(RankHandle&)>& body) {
   Communicator comm(rankCount);

@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "chisimnet/util/error.hpp"
@@ -152,6 +153,8 @@ class Communicator {
   void abort() noexcept;
   bool aborted() const noexcept { return aborted_; }
 
+  friend class RankTeam;
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Generation-counting barrier.
@@ -161,6 +164,55 @@ class Communicator {
   std::uint64_t barrierGeneration_ = 0;
 
   std::atomic<bool> aborted_ = false;
+};
+
+/// Persistent rank group for iterative root-driven algorithms.
+///
+/// Communicator::run spawns and joins one thread per rank for a single SPMD
+/// body — fine for one-shot jobs, wasteful for pipelines that issue many
+/// rounds of scatter/compute/reduce (one batch per round). RankTeam keeps
+/// the ranks alive instead: the constructing thread acts as rank 0 and
+/// drives the group through `root()`, while ranks 1..rankCount-1 each run
+/// `service(handle)` on a background thread. A service is typically a
+/// command loop — recv a command from rank 0, perform a stage, repeat until
+/// a stop command — so the same threads serve every round.
+///
+/// Shutdown: the service must return for the team to join cleanly (send it
+/// a stop command before destruction). The destructor additionally aborts
+/// the communicator, so services blocked mid-recv (e.g. after a root-side
+/// failure) wake, throw, and exit rather than deadlock the join. Messages
+/// already delivered are matched before the abort flag is checked, so a
+/// stop command sent just before destruction is always honored.
+///
+/// A service body that throws records the first error (retrievable via
+/// serviceError()/rethrowServiceError()) and aborts the communicator, which
+/// makes the root's next blocking call throw "communicator aborted".
+class RankTeam {
+ public:
+  RankTeam(int rankCount, std::function<void(RankHandle&)> service);
+  ~RankTeam();
+
+  RankTeam(const RankTeam&) = delete;
+  RankTeam& operator=(const RankTeam&) = delete;
+
+  int size() const noexcept { return comm_.size(); }
+
+  /// The calling thread's endpoint (rank 0). Only the constructing thread
+  /// may use it.
+  RankHandle& root() noexcept { return root_; }
+
+  /// First exception thrown by a service thread, if any.
+  std::exception_ptr serviceError() const;
+
+  /// Rethrows the first service error; no-op when none occurred.
+  void rethrowServiceError();
+
+ private:
+  Communicator comm_;
+  RankHandle root_;
+  mutable std::mutex errorMutex_;
+  std::exception_ptr firstError_;
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace chisimnet::runtime

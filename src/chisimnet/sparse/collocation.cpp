@@ -62,6 +62,18 @@ CollocationMatrix::CollocationMatrix(table::PlaceId place,
   }
 }
 
+std::uint32_t CollocationMatrix::occupiedHours() const noexcept {
+  std::vector<bool> seen(sliceHours_, false);
+  std::uint32_t count = 0;
+  for (std::uint32_t hour : hours_) {
+    if (!seen[hour]) {
+      seen[hour] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
 bool CollocationMatrix::present(std::size_t row, std::uint32_t hour) const noexcept {
   const auto span = hoursAt(row);
   return std::binary_search(span.begin(), span.end(), hour);

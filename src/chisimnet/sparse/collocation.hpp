@@ -47,6 +47,12 @@ class CollocationMatrix {
   /// Width of the time slice in hours.
   std::uint32_t sliceHours() const noexcept { return sliceHours_; }
 
+  /// Number of distinct slice hours with at least one person present.
+  /// nnz() / occupiedHours() is the mean simultaneous occupancy, the basis
+  /// of the occupancy-scaled partition weight
+  /// (SynthesisConfig::occupancyWeight).
+  std::uint32_t occupiedHours() const noexcept;
+
   /// True when person `row` was present during relative hour `hour`.
   bool present(std::size_t row, std::uint32_t hour) const noexcept;
 

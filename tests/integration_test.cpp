@@ -232,7 +232,7 @@ TEST_F(IntegrationTest, PackedLogsProduceIdenticalNetwork) {
   EXPECT_LT(packedBytes * 2, rawBytes);
 }
 
-TEST_F(IntegrationTest, DistributedBackendMatchesOnRealLogs) {
+TEST_F(IntegrationTest, MessagePassingBackendMatchesOnRealLogs) {
   simulate(3);
   const auto files = elog::listLogFiles(dir_);
   net::SynthesisConfig config;
@@ -240,8 +240,13 @@ TEST_F(IntegrationTest, DistributedBackendMatchesOnRealLogs) {
   config.workers = 3;
   net::NetworkSynthesizer shared(config);
   const auto reference = shared.synthesizeAdjacency(files);
-  const auto distributed = net::synthesizeDistributed(files, config);
+
+  config.backend = net::SynthesisBackend::kMessagePassing;
+  net::NetworkSynthesizer mp(config);
+  const auto distributed = mp.synthesizeAdjacency(files);
   EXPECT_EQ(distributed.toTriplets(), reference.toTriplets());
+  EXPECT_EQ(mp.report().edges, reference.edgeCount());
+  EXPECT_GT(mp.report().bytesScattered, 0u);
 }
 
 TEST_F(IntegrationTest, EveryDiseaseTransmissionIsANetworkEdge) {

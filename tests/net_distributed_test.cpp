@@ -1,13 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 
 #include "chisimnet/elog/clg5.hpp"
 #include "chisimnet/elog/log_directory.hpp"
-#include "chisimnet/net/distributed.hpp"
+#include "chisimnet/net/executor.hpp"
 #include "chisimnet/net/synthesis.hpp"
 #include "chisimnet/sparse/collocation.hpp"
 #include "chisimnet/util/rng.hpp"
+
+/// Executor-abstraction tests: the message-passing backend must run the
+/// exact same stage driver as the shared-memory backend — same adjacency
+/// bit-for-bit, same unified SynthesisReport counters, with the comm byte
+/// accounting and per-stage timings populated (previously all-zero on the
+/// standalone distributed path).
 
 namespace chisimnet::net {
 namespace {
@@ -27,18 +35,24 @@ class DistributedSynthesisTest : public ::testing::Test {
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
+  /// When byPlace is set, events land in the file owning their place (as
+  /// real per-rank logs do) so whole-file batching is exactly additive.
   std::vector<std::filesystem::path> writeRandomLogs(std::uint64_t seed,
                                                      std::size_t events,
-                                                     int files) {
+                                                     int files,
+                                                     bool byPlace = false) {
     util::Rng rng(seed);
     std::vector<std::vector<Event>> buffers(files);
     for (std::size_t i = 0; i < events; ++i) {
       const auto start = static_cast<table::Hour>(rng.uniformBelow(96));
-      buffers[i % files].push_back(Event{
+      const Event event{
           start, start + 1 + static_cast<table::Hour>(rng.uniformBelow(8)),
           static_cast<table::PersonId>(rng.uniformBelow(80)),
           static_cast<table::ActivityId>(rng.uniformBelow(5)),
-          static_cast<table::PlaceId>(rng.uniformBelow(20))});
+          static_cast<table::PlaceId>(rng.uniformBelow(20))};
+      buffers[byPlace ? event.place % static_cast<std::uint32_t>(files)
+                      : i % files]
+          .push_back(event);
     }
     std::vector<std::filesystem::path> paths;
     for (int f = 0; f < files; ++f) {
@@ -72,6 +86,7 @@ TEST(CollocationSerialization, RoundTrip) {
   ASSERT_EQ(copy.personCount(), original.personCount());
   ASSERT_EQ(copy.nnz(), original.nnz());
   ASSERT_EQ(copy.sliceHours(), original.sliceHours());
+  ASSERT_EQ(copy.occupiedHours(), original.occupiedHours());
   for (std::size_t row = 0; row < original.personCount(); ++row) {
     EXPECT_EQ(copy.personAt(row), original.personAt(row));
     const auto a = original.hoursAt(row);
@@ -88,33 +103,100 @@ TEST(CollocationSerialization, TruncationDetected) {
   EXPECT_THROW(sparse::CollocationMatrix::fromBytes(bytes), std::runtime_error);
 }
 
-class DistributedRankSweep
+TEST(CollocationOccupancy, OccupiedHoursCountsDistinctHours) {
+  // Persons 1 and 2 overlap hours [0,3); person 3 alone at hour 5.
+  const std::vector<Event> events{{0, 3, 1, 0, 7}, {0, 3, 2, 0, 7},
+                                  {5, 6, 3, 0, 7}};
+  const sparse::CollocationMatrix matrix(7, events, 0, 8);
+  EXPECT_EQ(matrix.nnz(), 7u);
+  EXPECT_EQ(matrix.occupiedHours(), 4u);  // hours 0,1,2,5
+}
+
+class ExecutorRankSweep
     : public DistributedSynthesisTest,
       public ::testing::WithParamInterface<unsigned> {};
 
-TEST_P(DistributedRankSweep, MatchesSharedMemoryBackend) {
+TEST_P(ExecutorRankSweep, MatchesSharedMemoryBackend) {
   const auto files = writeRandomLogs(GetParam(), 800, 3);
 
   SynthesisConfig config;
   config.windowStart = 0;
   config.windowEnd = 96;
   config.workers = GetParam();
-  DistributedReport report;
-  const auto distributed = synthesizeDistributed(files, config, &report);
 
   NetworkSynthesizer shared(config);
   const auto reference = shared.synthesizeAdjacency(files);
+
+  config.backend = SynthesisBackend::kMessagePassing;
+  NetworkSynthesizer mp(config);
+  const auto distributed = mp.synthesizeAdjacency(files);
+
   EXPECT_EQ(distributed.toTriplets(), reference.toTriplets());
+
+  // One report type serves both backends, counter for counter.
+  const SynthesisReport& report = mp.report();
+  EXPECT_EQ(report.backend, SynthesisBackend::kMessagePassing);
   EXPECT_EQ(report.edges, reference.edgeCount());
   EXPECT_EQ(report.logEntriesLoaded, shared.report().logEntriesLoaded);
   EXPECT_EQ(report.placesProcessed, shared.report().placesProcessed);
   EXPECT_EQ(report.collocationNnz, shared.report().collocationNnz);
+  EXPECT_EQ(report.batches, shared.report().batches);
+  EXPECT_EQ(report.partitionLoads.size(), config.workers);
+
+  // Comm accounting: the MP path moves bytes, the shared path moves none.
   EXPECT_GT(report.bytesScattered, 0u);
   EXPECT_GT(report.bytesReturned, 0u);
+  EXPECT_EQ(shared.report().bytesScattered, 0u);
+  EXPECT_EQ(shared.report().bytesReturned, 0u);
+
+  // Per-stage seconds are measured for the MP path (previously all-zero).
+  EXPECT_GT(report.collocationSeconds + report.adjacencySeconds, 0.0);
+  EXPECT_GT(report.totalSeconds, 0.0);
 }
 
-INSTANTIATE_TEST_SUITE_P(Ranks, DistributedRankSweep,
+INSTANTIATE_TEST_SUITE_P(Ranks, ExecutorRankSweep,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST_F(DistributedSynthesisTest, BatchingAndPrefetchWorkOnMessagePassing) {
+  // filesPerBatch and prefetch were silently ignored by the old standalone
+  // distributed path; through the unified driver they must work and report.
+  const auto files = writeRandomLogs(13, 900, 6, /*byPlace=*/true);
+  SynthesisConfig config;
+  config.windowEnd = 96;
+  config.workers = 3;
+  NetworkSynthesizer shared(config);
+  const auto reference = shared.synthesizeAdjacency(files);
+
+  config.backend = SynthesisBackend::kMessagePassing;
+  for (const std::size_t filesPerBatch : {std::size_t{1}, std::size_t{3}}) {
+    for (const bool prefetch : {false, true}) {
+      config.filesPerBatch = filesPerBatch;
+      config.prefetch = prefetch;
+      NetworkSynthesizer mp(config);
+      const auto adjacency = mp.synthesizeAdjacency(files);
+      const std::string label = "filesPerBatch " +
+                                std::to_string(filesPerBatch) +
+                                (prefetch ? " prefetch" : " serial");
+      EXPECT_EQ(adjacency.toTriplets(), reference.toTriplets()) << label;
+      EXPECT_EQ(mp.report().batches,
+                (files.size() + filesPerBatch - 1) / filesPerBatch)
+          << label;
+      EXPECT_EQ(mp.report().prefetchEnabled, prefetch) << label;
+    }
+  }
+}
+
+TEST_F(DistributedSynthesisTest, InMemoryTableWorksOnMessagePassing) {
+  const auto files = writeRandomLogs(21, 400, 2);
+  const table::EventTable events = elog::loadEvents(files, 0, 96);
+  SynthesisConfig config;
+  config.windowEnd = 96;
+  config.workers = 3;
+  config.backend = SynthesisBackend::kMessagePassing;
+  NetworkSynthesizer mp(config);
+  EXPECT_EQ(mp.synthesizeAdjacency(events).toTriplets(),
+            bruteForceAdjacency(events, 0, 96).toTriplets());
+}
 
 TEST_F(DistributedSynthesisTest, WindowRestrictsResult) {
   const auto files = writeRandomLogs(42, 500, 2);
@@ -122,8 +204,11 @@ TEST_F(DistributedSynthesisTest, WindowRestrictsResult) {
   narrow.windowStart = 10;
   narrow.windowEnd = 20;
   narrow.workers = 3;
-  const auto narrowResult = synthesizeDistributed(files, narrow);
+  narrow.backend = SynthesisBackend::kMessagePassing;
+  NetworkSynthesizer mp(narrow);
+  const auto narrowResult = mp.synthesizeAdjacency(files);
 
+  narrow.backend = SynthesisBackend::kSharedMemory;
   NetworkSynthesizer shared(narrow);
   EXPECT_EQ(narrowResult.toTriplets(),
             shared.synthesizeAdjacency(files).toTriplets());
@@ -134,17 +219,38 @@ TEST_F(DistributedSynthesisTest, NaivePartitionSameResultWorseBalance) {
   SynthesisConfig balanced;
   balanced.windowEnd = 96;
   balanced.workers = 4;
-  DistributedReport balancedReport;
-  const auto a = synthesizeDistributed(files, balanced, &balancedReport);
+  balanced.backend = SynthesisBackend::kMessagePassing;
+  NetworkSynthesizer balancedRun(balanced);
+  const auto a = balancedRun.synthesizeAdjacency(files);
 
   SynthesisConfig naive = balanced;
   naive.balancedPartition = false;
-  DistributedReport naiveReport;
-  const auto b = synthesizeDistributed(files, naive, &naiveReport);
+  NetworkSynthesizer naiveRun(naive);
+  const auto b = naiveRun.synthesizeAdjacency(files);
 
   EXPECT_EQ(a.toTriplets(), b.toTriplets());
-  EXPECT_LE(balancedReport.partitionImbalance,
-            naiveReport.partitionImbalance + 1e-9);
+  EXPECT_LE(balancedRun.report().partitionImbalance,
+            naiveRun.report().partitionImbalance + 1e-9);
+}
+
+TEST_F(DistributedSynthesisTest, OccupancyWeightSameResultDifferentLoads) {
+  const auto files = writeRandomLogs(31, 1200, 2);
+  SynthesisConfig config;
+  config.windowEnd = 96;
+  config.workers = 4;
+  NetworkSynthesizer nnzRun(config);
+  const auto a = nnzRun.synthesizeAdjacency(files);
+
+  config.occupancyWeight = true;
+  for (const SynthesisBackend backend :
+       {SynthesisBackend::kSharedMemory, SynthesisBackend::kMessagePassing}) {
+    config.backend = backend;
+    NetworkSynthesizer occRun(config);
+    // The weight only steers the partition; the summed adjacency is
+    // invariant.
+    EXPECT_EQ(occRun.synthesizeAdjacency(files).toTriplets(), a.toTriplets())
+        << backendName(backend);
+  }
 }
 
 TEST_F(DistributedSynthesisTest, BothAdjacencyMethodsAgree) {
@@ -152,19 +258,58 @@ TEST_F(DistributedSynthesisTest, BothAdjacencyMethodsAgree) {
   SynthesisConfig config;
   config.windowEnd = 96;
   config.workers = 3;
+  config.backend = SynthesisBackend::kMessagePassing;
   config.method = sparse::AdjacencyMethod::kSpGemm;
-  const auto spgemm = synthesizeDistributed(files, config);
+  NetworkSynthesizer spgemmRun(config);
+  const auto spgemm = spgemmRun.synthesizeAdjacency(files);
   config.method = sparse::AdjacencyMethod::kIntervalIntersection;
-  const auto sweep = synthesizeDistributed(files, config);
+  NetworkSynthesizer sweepRun(config);
+  const auto sweep = sweepRun.synthesizeAdjacency(files);
   EXPECT_EQ(spgemm.toTriplets(), sweep.toTriplets());
 }
 
 TEST_F(DistributedSynthesisTest, RejectsBadInputs) {
   SynthesisConfig config;
-  EXPECT_THROW(synthesizeDistributed({}, config), std::invalid_argument);
-  const auto files = writeRandomLogs(1, 10, 1);
+  config.backend = SynthesisBackend::kMessagePassing;
+  {
+    NetworkSynthesizer mp(config);
+    EXPECT_THROW(mp.synthesizeAdjacency(std::vector<std::filesystem::path>{}),
+                 std::invalid_argument);
+  }
   config.windowStart = config.windowEnd = 5;
-  EXPECT_THROW(synthesizeDistributed(files, config), std::invalid_argument);
+  EXPECT_THROW(NetworkSynthesizer{config}, std::invalid_argument);
+}
+
+TEST_F(DistributedSynthesisTest, UnsupportedConfigIsHardError) {
+  // decodeWorkers promises parallel decode, which only the prefetcher
+  // delivers — configuring it with prefetch off must fail loudly.
+  SynthesisConfig config;
+  config.prefetch = false;
+  config.decodeWorkers = 2;
+  for (const SynthesisBackend backend :
+       {SynthesisBackend::kSharedMemory, SynthesisBackend::kMessagePassing}) {
+    config.backend = backend;
+    EXPECT_THROW(NetworkSynthesizer{config}, std::invalid_argument)
+        << backendName(backend);
+  }
+}
+
+TEST_F(DistributedSynthesisTest, CorruptFileSurfacesOnMessagePassing) {
+  auto files = writeRandomLogs(55, 300, 3);
+  {
+    std::ofstream corrupt(files[1], std::ios::binary | std::ios::trunc);
+    corrupt << "not a clg5 file";
+  }
+  SynthesisConfig config;
+  config.windowEnd = 96;
+  config.workers = 3;
+  config.backend = SynthesisBackend::kMessagePassing;
+  for (const bool prefetch : {false, true}) {
+    config.prefetch = prefetch;
+    NetworkSynthesizer mp(config);
+    EXPECT_THROW(mp.synthesizeAdjacency(files), std::exception)
+        << (prefetch ? "prefetch" : "serial");
+  }
 }
 
 }  // namespace

@@ -261,6 +261,62 @@ TEST(Comm, InvalidDestinationRejected) {
   });
 }
 
+TEST(RankTeam, ServicesPersistAcrossRounds) {
+  constexpr int kStopTag = 1;
+  constexpr int kWorkTag = 2;
+  // Echo service: doubles each value until told to stop. Unlike
+  // Communicator::run, the same service threads serve every round.
+  RankTeam team(4, [](RankHandle& rank) {
+    Message message;
+    while (true) {
+      if (rank.tryRecv(message, 0, kStopTag)) {
+        return;
+      }
+      if (rank.tryRecv(message, 0, kWorkTag)) {
+        rank.sendValue<std::uint64_t>(0, kWorkTag,
+                                      message.value<std::uint64_t>() * 2);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  RankHandle& root = team.root();
+  for (std::uint64_t round = 0; round < 5; ++round) {
+    for (int dest = 1; dest < team.size(); ++dest) {
+      root.sendValue<std::uint64_t>(dest, kWorkTag, round * 10 + dest);
+    }
+    std::uint64_t sum = 0;
+    for (int source = 1; source < team.size(); ++source) {
+      sum += root.recv(kAnySource, kWorkTag).value<std::uint64_t>();
+    }
+    EXPECT_EQ(sum, (round * 10 + 1 + round * 10 + 2 + round * 10 + 3) * 2);
+  }
+  for (int dest = 1; dest < team.size(); ++dest) {
+    root.sendValue<int>(dest, kStopTag, 0);
+  }
+  // Destructor joins the (now returning) services.
+}
+
+TEST(RankTeam, ServiceExceptionSurfacesAtRoot) {
+  RankTeam team(3, [](RankHandle& rank) {
+    if (rank.rank() == 1) {
+      throw std::runtime_error("service failure");
+    }
+    rank.recv(0, 7);  // blocks until the failure aborts the communicator
+  });
+  // The abort wakes the root's recv; the recorded service error explains it.
+  EXPECT_THROW(team.root().recv(1, 7), std::runtime_error);
+  EXPECT_THROW(team.rethrowServiceError(), std::runtime_error);
+  EXPECT_NE(team.serviceError(), nullptr);
+}
+
+TEST(RankTeam, DestructorAbortsBlockedServices) {
+  // Services parked in recv with no stop protocol: the destructor's abort
+  // must wake and join them without hanging.
+  RankTeam team(3, [](RankHandle& rank) { rank.recv(0, 9); });
+  EXPECT_EQ(team.size(), 3);
+}
+
 TEST(ThreadPool, ExecutesAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};

@@ -195,6 +195,22 @@ TEST_P(SynthesisFuzz, PipelineEqualsBruteForceAcrossConfigs) {
       }
     }
   }
+
+  // Same seeds through the message-passing executor: both backends and the
+  // brute force must agree edge-for-edge, batched and prefetched alike.
+  config.backend = SynthesisBackend::kMessagePassing;
+  for (const unsigned workers : {1u, 3u}) {
+    for (const bool prefetch : {false, true}) {
+      config.workers = workers;
+      config.prefetch = prefetch;
+      NetworkSynthesizer synthesizer(config);
+      expectEqualAdjacency(
+          synthesizer.synthesizeAdjacency(files), reference,
+          "mp seed " + std::to_string(seed) + " workers " +
+              std::to_string(workers) + (prefetch ? " prefetch" : " serial"));
+      EXPECT_GT(synthesizer.report().bytesScattered, 0u);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisFuzz,
@@ -220,26 +236,34 @@ TEST(SynthesisBatching, BatchSizeInvariantOverSameLogSet) {
     const SynthesisReport wholeReport = whole.report();
     EXPECT_EQ(wholeReport.batches, 1u);
 
-    for (const std::size_t filesPerBatch : {std::size_t{1}, std::size_t{3}}) {
-      for (const bool prefetch : {false, true}) {
-        config.filesPerBatch = filesPerBatch;
-        config.prefetch = prefetch;
-        NetworkSynthesizer batched(config);
-        const auto adjacency = batched.synthesizeAdjacency(files);
-        const SynthesisReport& report = batched.report();
-        const std::string label =
-            "seed " + std::to_string(seed) + " filesPerBatch " +
-            std::to_string(filesPerBatch) + (prefetch ? " prefetch" : "");
-        expectEqualAdjacency(adjacency, wholeAdjacency, label);
-        EXPECT_EQ(report.logEntriesLoaded, wholeReport.logEntriesLoaded)
-            << label;
-        EXPECT_EQ(report.placesProcessed, wholeReport.placesProcessed)
-            << label;
-        EXPECT_EQ(report.collocationNnz, wholeReport.collocationNnz) << label;
-        EXPECT_EQ(report.edges, wholeReport.edges) << label;
-        EXPECT_EQ(report.batches, (files.size() + filesPerBatch - 1) /
-                                      filesPerBatch)
-            << label;
+    for (const SynthesisBackend backend :
+         {SynthesisBackend::kSharedMemory,
+          SynthesisBackend::kMessagePassing}) {
+      for (const std::size_t filesPerBatch :
+           {std::size_t{1}, std::size_t{3}}) {
+        for (const bool prefetch : {false, true}) {
+          config.backend = backend;
+          config.filesPerBatch = filesPerBatch;
+          config.prefetch = prefetch;
+          NetworkSynthesizer batched(config);
+          const auto adjacency = batched.synthesizeAdjacency(files);
+          const SynthesisReport& report = batched.report();
+          const std::string label =
+              "seed " + std::to_string(seed) + " " + backendName(backend) +
+              " filesPerBatch " + std::to_string(filesPerBatch) +
+              (prefetch ? " prefetch" : "");
+          expectEqualAdjacency(adjacency, wholeAdjacency, label);
+          EXPECT_EQ(report.logEntriesLoaded, wholeReport.logEntriesLoaded)
+              << label;
+          EXPECT_EQ(report.placesProcessed, wholeReport.placesProcessed)
+              << label;
+          EXPECT_EQ(report.collocationNnz, wholeReport.collocationNnz)
+              << label;
+          EXPECT_EQ(report.edges, wholeReport.edges) << label;
+          EXPECT_EQ(report.batches, (files.size() + filesPerBatch - 1) /
+                                        filesPerBatch)
+              << label;
+        }
       }
     }
   }

@@ -183,14 +183,28 @@ int cmdSynthesize(const Args& args) {
   config.prefetch = !args.has("no-prefetch");
   config.prefetchDepth = args.u64("prefetch-depth", 2);
   config.decodeWorkers = static_cast<unsigned>(args.u64("decode-workers", 0));
+  config.occupancyWeight = args.has("occupancy-weight");
+  const std::string backend = args.str("backend", "shared");
+  if (backend == "mp") {
+    config.backend = net::SynthesisBackend::kMessagePassing;
+  } else if (backend != "shared") {
+    throw std::invalid_argument("--backend expects shared or mp, got: " +
+                                backend);
+  }
   net::NetworkSynthesizer synthesizer(config);
   const auto adjacency = synthesizer.synthesizeAdjacency(files);
   const auto& report = synthesizer.report();
   std::cout << "synthesized " << adjacency.edgeCount() << " edges from "
             << report.logEntriesLoaded << " entries / "
             << report.placesProcessed << " places in "
-            << report.totalSeconds << " s (partition imbalance "
-            << report.partitionImbalance << ")\n";
+            << report.totalSeconds << " s (" << net::backendName(report.backend)
+            << " backend, partition imbalance " << report.partitionImbalance
+            << ")\n";
+  if (report.backend == net::SynthesisBackend::kMessagePassing) {
+    std::cout << "comm: scattered " << report.bytesScattered / 1024
+              << " KiB to ranks, returned " << report.bytesReturned / 1024
+              << " KiB\n";
+  }
   std::cout << "load: " << report.loadSeconds << " s total, "
             << report.loadExposedSeconds << " s exposed on the compute path";
   if (report.prefetchEnabled) {
@@ -319,7 +333,8 @@ void printUsage() {
       "              [--compress] [--disease [--beta B] [--seeds K] [--disease-seed S]]\n"
       "  info        --logs DIR\n"
       "  synthesize  --logs DIR --out FILE.cadj [--window-start H] [--window-end H]\n"
-      "              [--workers W] [--batch N] [--no-balance]\n"
+      "              [--backend shared|mp] [--workers W] [--batch N]\n"
+      "              [--no-balance] [--occupancy-weight]\n"
       "              [--no-prefetch] [--prefetch-depth N] [--decode-workers W]\n"
       "  analyze     --net FILE.cadj [--clustering] [--communities]\n"
       "              [--degrees-out FILE.tsv]\n"
