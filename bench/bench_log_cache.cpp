@@ -180,8 +180,8 @@ void BM_BatchReadPrefetch(benchmark::State& state) {
     options.depth = 2;
     options.decodeWorkers = 2;
     elog::PrefetchingLoader loader(files, options);
-    while (auto events = loader.next()) {
-      places += consumeBatch(*events);
+    while (auto batch = loader.next()) {
+      places += consumeBatch(batch->table);
     }
     exposedSeconds = loader.stats().exposedSeconds;
     decodeSeconds = loader.stats().decodeSeconds;

@@ -7,8 +7,10 @@
 /// verifies batch additivity.
 
 #include <algorithm>
+#include <optional>
 
 #include "bench_common.hpp"
+#include "chisimnet/runtime/fault.hpp"
 
 int main() {
   using namespace chisimnet;
@@ -148,6 +150,35 @@ int main() {
            fmt(100.0 * exposedFraction, 1) + "%",
            exposedFraction < 0.25 ? "PASS" : "FAIL");
 
+  // Idle fault-hook cost: the injection sites are compiled in permanently
+  // (never a build flavor), so when no fault plan is active a whole run
+  // must cost the same to within noise. Compare min-of-3 wall time with no
+  // plan installed against an installed-but-empty plan (the strictly more
+  // expensive state: every site takes the plan's lock and map lookup).
+  net::SynthesisConfig hookConfig = config;
+  hookConfig.filesPerBatch = 2;  // 8 batches -> plenty of site hits
+  const auto minOf3Seconds = [&](bool armed) {
+    chisimnet::runtime::FaultPlan empty;
+    std::optional<chisimnet::runtime::fault::ScopedFaultPlan> scoped;
+    if (armed) {
+      scoped.emplace(empty);
+    }
+    double best = 1e300;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      net::NetworkSynthesizer synthesizer(hookConfig);
+      synthesizer.synthesizeAdjacency(logs.files);
+      best = std::min(best, synthesizer.report().totalSeconds);
+    }
+    return best;
+  };
+  const double idleSeconds = minOf3Seconds(false);
+  const double armedSeconds = minOf3Seconds(true);
+  const double hookOverhead = armedSeconds / std::max(idleSeconds, 1e-12) - 1.0;
+  printRow("idle fault-hook overhead",
+           "< 2% wall time (sites always compiled in)",
+           fmt(100.0 * hookOverhead, 2) + "%",
+           hookOverhead < 0.02 ? "PASS" : "FAIL");
+
   // Throughput extrapolation row.
   const double entriesPerSecond =
       static_cast<double>(whole.report().logEntriesLoaded) /
@@ -158,7 +189,8 @@ int main() {
            fmt(paperEntriesWeek / entriesPerSecond / 3600.0, 1) + " h",
            "extrapolated at measured entries/s; a cluster divides this");
 
-  return additive && sameEdges && backendsAgree && exposedFraction < 0.25
+  return additive && sameEdges && backendsAgree && exposedFraction < 0.25 &&
+                 hookOverhead < 0.02
              ? 0
              : 1;
 }

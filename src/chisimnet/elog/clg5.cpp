@@ -119,6 +119,35 @@ std::vector<table::Event> deserializePacked(std::span<const std::byte> payload,
 
 }  // namespace
 
+namespace {
+
+std::string clg5ErrorMessage(const std::filesystem::path& file,
+                             std::int64_t chunkIndex,
+                             std::uint64_t firstRecord,
+                             std::uint64_t byteOffset,
+                             const std::string& reason) {
+  std::string message = file.string();
+  if (chunkIndex >= 0) {
+    message += ": chunk " + std::to_string(chunkIndex) + " (first record " +
+               std::to_string(firstRecord) + ")";
+  }
+  message += " at byte " + std::to_string(byteOffset) + ": " + reason;
+  return message;
+}
+
+}  // namespace
+
+Clg5Error::Clg5Error(std::filesystem::path file, std::int64_t chunkIndex,
+                     std::uint64_t firstRecord, std::uint64_t byteOffset,
+                     const std::string& reason)
+    : std::runtime_error(
+          clg5ErrorMessage(file, chunkIndex, firstRecord, byteOffset, reason)),
+      file_(std::move(file)),
+      chunkIndex_(chunkIndex),
+      firstRecord_(firstRecord),
+      byteOffset_(byteOffset),
+      reason_(reason) {}
+
 ChunkedLogWriter::ChunkedLogWriter(const std::filesystem::path& path,
                                    LogCompression compression)
     : path_(path),
@@ -213,29 +242,66 @@ void ChunkedLogWriter::close() {
 
 ChunkedLogReader::ChunkedLogReader(const std::filesystem::path& path)
     : path_(path), in_(path, std::ios::binary) {
-  CHISIM_CHECK(in_.good(), "cannot open log file for reading: " + path.string());
+  // Header/footer failures carry chunkIndex -1 plus the byte offset the
+  // failure was detected at, so one bad file out of hundreds is nameable.
+  const auto fail = [&path](std::uint64_t offset,
+                            const std::string& reason) -> void {
+    throw Clg5Error(path, -1, 0, offset, reason);
+  };
+  if (!in_.good()) {
+    fail(0, "cannot open log file for reading");
+  }
 
   char magic[4];
   in_.read(magic, 4);
-  CHISIM_CHECK(in_.gcount() == 4 && std::equal(magic, magic + 4, kMagic),
-               "not a CLG5 file: " + path.string());
-  const std::uint32_t version = util::readU32(in_);
-  CHISIM_CHECK(version == kClg5Version, "unsupported CLG5 version");
-  const std::uint32_t fields = util::readU32(in_);
-  CHISIM_CHECK(fields == 5, "unsupported CLG5 schema");
-  const std::uint64_t footerOffset = util::readU64(in_);
-  CHISIM_CHECK(footerOffset >= kHeaderBytes,
-               "CLG5 file was not closed (missing footer): " + path.string());
+  if (in_.gcount() != 4 || !std::equal(magic, magic + 4, kMagic)) {
+    fail(0, "not a CLG5 file (bad magic)");
+  }
+  std::uint64_t chunkCount = 0;
+  std::uint64_t footerOffset = 0;
+  std::vector<std::byte> body;
+  try {
+    const std::uint32_t version = util::readU32(in_);
+    if (version != kClg5Version) {
+      fail(4, "unsupported CLG5 version " + std::to_string(version));
+    }
+    const std::uint32_t fields = util::readU32(in_);
+    if (fields != 5) {
+      fail(8, "unsupported CLG5 schema (" + std::to_string(fields) +
+                  " fields per entry)");
+    }
+    footerOffset = util::readU64(in_);
+    if (footerOffset < kHeaderBytes) {
+      fail(12, "CLG5 file was not closed (missing footer)");
+    }
 
-  in_.seekg(static_cast<std::streamoff>(footerOffset));
-  const std::uint64_t chunkCount = util::readU64(in_);
-  std::vector<std::byte> body(8 + chunkCount * 20);
-  // Re-read the footer body for CRC validation.
-  in_.seekg(static_cast<std::streamoff>(footerOffset));
-  util::readBytes(in_, body);
-  const std::uint32_t storedCrc = util::readU32(in_);
-  CHISIM_CHECK(storedCrc == util::crc32(body),
-               "CLG5 footer CRC mismatch: " + path.string());
+    in_.seekg(static_cast<std::streamoff>(footerOffset));
+    chunkCount = util::readU64(in_);
+    // Validate the declared footer size against the file before sizing the
+    // buffer off it: a corrupt count must not drive a blind allocation.
+    std::error_code sizeError;
+    const std::uintmax_t fileBytes =
+        std::filesystem::file_size(path, sizeError);
+    if (!sizeError &&
+        (chunkCount > fileBytes || 8 + chunkCount * 20 > fileBytes)) {
+      fail(footerOffset, "footer declares " + std::to_string(chunkCount) +
+                             " chunks, more than the file can hold");
+    }
+    body.resize(8 + chunkCount * 20);
+    // Re-read the footer body for CRC validation.
+    in_.seekg(static_cast<std::streamoff>(footerOffset));
+    util::readBytes(in_, body);
+    const std::uint32_t storedCrc = util::readU32(in_);
+    if (storedCrc != util::crc32(body)) {
+      fail(footerOffset, "footer CRC mismatch");
+    }
+  } catch (const Clg5Error&) {
+    throw;
+  } catch (const std::exception& error) {
+    // Truncation inside the reads above (readU32/readBytes) surfaces as a
+    // generic stream error; re-badge it with the file location.
+    fail(footerOffset, error.what());
+  }
 
   std::size_t cursor = 8;
   const auto takeU32 = [&body, &cursor]() {
@@ -269,26 +335,58 @@ std::uint64_t ChunkedLogReader::totalEntries() const noexcept {
 std::vector<table::Event> ChunkedLogReader::readChunk(std::size_t index) {
   CHISIM_REQUIRE(index < chunks_.size(), "chunk index out of range");
   const ChunkInfo& info = chunks_[index];
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(info.offset));
-  const std::uint32_t entryCount = util::readU32(in_);
-  CHISIM_CHECK(entryCount == info.entryCount, "chunk header/index mismatch");
-  util::readU32(in_);  // minStart (already in the index)
-  util::readU32(in_);  // maxEnd
-  const std::uint32_t storedCrc = util::readU32(in_);
-  const std::uint32_t encoding = util::readU32(in_);
-  const std::uint32_t payloadBytes = util::readU32(in_);
-  std::vector<std::byte> payload(payloadBytes);
-  util::readBytes(in_, payload);
-  CHISIM_CHECK(storedCrc == util::crc32(payload),
-               "chunk CRC mismatch (corrupt log): " + path_.string());
-  switch (static_cast<LogCompression>(encoding)) {
-    case LogCompression::kRaw:
-      return deserializeRaw(payload);
-    case LogCompression::kPacked:
-      return deserializePacked(payload, entryCount);
+  // First record index of this chunk, so the error names the exact records
+  // a quarantined chunk would have contributed.
+  std::uint64_t firstRecord = 0;
+  for (std::size_t i = 0; i < index; ++i) {
+    firstRecord += chunks_[i].entryCount;
   }
-  CHISIM_CHECK(false, "unknown chunk encoding in " + path_.string());
+  const auto fail = [this, index, firstRecord,
+                     &info](const std::string& reason) -> void {
+    throw Clg5Error(path_, static_cast<std::int64_t>(index), firstRecord,
+                    info.offset, reason);
+  };
+  try {
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(info.offset));
+    const std::uint32_t entryCount = util::readU32(in_);
+    if (entryCount != info.entryCount) {
+      fail("chunk header/index mismatch");
+    }
+    util::readU32(in_);  // minStart (already in the index)
+    util::readU32(in_);  // maxEnd
+    const std::uint32_t storedCrc = util::readU32(in_);
+    const std::uint32_t encoding = util::readU32(in_);
+    const std::uint32_t payloadBytes = util::readU32(in_);
+    // Sanity-bound the declared payload before allocating: a raw chunk is
+    // exactly entryCount * 20 bytes and packed is never larger than raw
+    // plus the worst-case varint expansion (5/4 per u32 column).
+    const std::uint64_t maxPlausible =
+        static_cast<std::uint64_t>(info.entryCount) * kEntryBytes * 2 + 16;
+    if (payloadBytes > maxPlausible) {
+      fail("declared payload of " + std::to_string(payloadBytes) +
+           " bytes is implausibly large for " +
+           std::to_string(info.entryCount) + " entries");
+    }
+    std::vector<std::byte> payload(payloadBytes);
+    util::readBytes(in_, payload);
+    if (storedCrc != util::crc32(payload)) {
+      fail("chunk CRC mismatch (corrupt log)");
+    }
+    switch (static_cast<LogCompression>(encoding)) {
+      case LogCompression::kRaw:
+        return deserializeRaw(payload);
+      case LogCompression::kPacked:
+        return deserializePacked(payload, entryCount);
+    }
+    fail("unknown chunk encoding " + std::to_string(encoding));
+  } catch (const Clg5Error&) {
+    throw;
+  } catch (const std::exception& error) {
+    // Stream truncation or a decode CHISIM_CHECK from the deserializers;
+    // re-badge with file/chunk/record/offset context.
+    fail(error.what());
+  }
   return {};
 }
 

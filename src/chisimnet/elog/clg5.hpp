@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "chisimnet/table/event.hpp"
@@ -34,6 +36,34 @@ namespace chisimnet::elog {
 
 inline constexpr std::uint32_t kClg5Version = 2;
 inline constexpr std::size_t kEntryBytes = sizeof(table::Event);
+
+/// Decode failure with enough context to act on one bad file out of N:
+/// which file, which chunk, the first record index of that chunk, and the
+/// byte offset the failure was detected at — all of it in what() so even a
+/// caller that only logs the message can identify the input. chunkIndex -1
+/// means the header or footer failed before any chunk was read.
+class Clg5Error : public std::runtime_error {
+ public:
+  Clg5Error(std::filesystem::path file, std::int64_t chunkIndex,
+            std::uint64_t firstRecord, std::uint64_t byteOffset,
+            const std::string& reason);
+
+  const std::filesystem::path& file() const noexcept { return file_; }
+  std::int64_t chunkIndex() const noexcept { return chunkIndex_; }
+  /// Index of the chunk's first record within the file (0 for
+  /// header/footer failures).
+  std::uint64_t firstRecord() const noexcept { return firstRecord_; }
+  std::uint64_t byteOffset() const noexcept { return byteOffset_; }
+  /// The underlying failure, without the location prefix.
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::filesystem::path file_;
+  std::int64_t chunkIndex_;
+  std::uint64_t firstRecord_;
+  std::uint64_t byteOffset_;
+  std::string reason_;
+};
 
 enum class LogCompression : std::uint32_t {
   kRaw = 0,

@@ -62,6 +62,62 @@ table::EventTable loadEventsParallel(
   return table;
 }
 
+namespace {
+
+QuarantinedFile describeFailure(const std::filesystem::path& file,
+                                const std::exception& error) {
+  QuarantinedFile entry;
+  entry.file = file;
+  if (const auto* decode = dynamic_cast<const Clg5Error*>(&error)) {
+    entry.chunkIndex = decode->chunkIndex();
+    entry.byteOffset = decode->byteOffset();
+    entry.reason = decode->reason();
+  } else {
+    entry.reason = error.what();
+  }
+  return entry;
+}
+
+}  // namespace
+
+table::EventTable loadEventsQuarantining(
+    const std::vector<std::filesystem::path>& files, table::Hour windowStart,
+    table::Hour windowEnd, std::vector<QuarantinedFile>& quarantined) {
+  table::EventTable table;
+  for (const std::filesystem::path& file : files) {
+    try {
+      ChunkedLogReader reader(file);
+      table.appendAll(reader.readOverlapping(windowStart, windowEnd));
+    } catch (const std::exception& error) {
+      quarantined.push_back(describeFailure(file, error));
+    }
+  }
+  return table;
+}
+
+table::EventTable loadEventsQuarantiningParallel(
+    const std::vector<std::filesystem::path>& files, table::Hour windowStart,
+    table::Hour windowEnd, runtime::ThreadPool& pool,
+    std::vector<QuarantinedFile>& quarantined) {
+  std::vector<std::future<std::vector<table::Event>>> futures;
+  futures.reserve(files.size());
+  for (const std::filesystem::path& file : files) {
+    futures.push_back(pool.submitTask([file, windowStart, windowEnd] {
+      ChunkedLogReader reader(file);
+      return reader.readOverlapping(windowStart, windowEnd);
+    }));
+  }
+  table::EventTable table;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      table.appendAll(futures[i].get());
+    } catch (const std::exception& error) {
+      quarantined.push_back(describeFailure(files[i], error));
+    }
+  }
+  return table;
+}
+
 std::uintmax_t totalFileBytes(const std::vector<std::filesystem::path>& files) {
   std::uintmax_t total = 0;
   for (const std::filesystem::path& file : files) {

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <string>
 #include <vector>
 
 #include "chisimnet/runtime/thread_pool.hpp"
@@ -33,6 +35,31 @@ table::EventTable loadEvents(const std::vector<std::filesystem::path>& files,
 table::EventTable loadEventsParallel(
     const std::vector<std::filesystem::path>& files, table::Hour windowStart,
     table::Hour windowEnd, runtime::ThreadPool& pool);
+
+/// One input file excluded from a degraded run: which file, where decoding
+/// failed (byte offset, -1 chunk index = header/footer), and why.
+struct QuarantinedFile {
+  std::filesystem::path file;
+  std::int64_t chunkIndex = -1;
+  std::uint64_t byteOffset = 0;
+  std::string reason;
+};
+
+/// loadEvents that quarantines undecodable files instead of throwing: each
+/// failing file contributes nothing to the table and one QuarantinedFile
+/// entry to `quarantined`. A file is all-or-nothing — a corrupt chunk
+/// quarantines the whole file, never a partial decode, so the surviving
+/// table equals loadEvents() over exactly the non-quarantined files.
+table::EventTable loadEventsQuarantining(
+    const std::vector<std::filesystem::path>& files, table::Hour windowStart,
+    table::Hour windowEnd, std::vector<QuarantinedFile>& quarantined);
+
+/// Parallel variant of loadEventsQuarantining; quarantine entries are
+/// appended in file order, matching the serial variant exactly.
+table::EventTable loadEventsQuarantiningParallel(
+    const std::vector<std::filesystem::path>& files, table::Hour windowStart,
+    table::Hour windowEnd, runtime::ThreadPool& pool,
+    std::vector<QuarantinedFile>& quarantined);
 
 /// Total on-disk size of the given files in bytes.
 std::uintmax_t totalFileBytes(const std::vector<std::filesystem::path>& files);

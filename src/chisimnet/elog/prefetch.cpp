@@ -6,6 +6,7 @@
 
 #include "chisimnet/elog/clg5.hpp"
 #include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
 
@@ -41,13 +42,21 @@ void PrefetchingLoader::producerLoop() {
         std::min(files_.size(), begin + options_.filesPerBatch);
 
     Slot slot;
+    slot.batch.filesInBatch = end - begin;
     util::WallTimer decodeTimer;
     try {
+      runtime::fault::hit("prefetch.decode");
       const std::vector<std::filesystem::path> batchFiles(
           files_.begin() + static_cast<std::ptrdiff_t>(begin),
           files_.begin() + static_cast<std::ptrdiff_t>(end));
-      slot.table = loadEventsParallel(batchFiles, options_.windowStart,
-                                      options_.windowEnd, pool_);
+      if (options_.quarantineCorrupt) {
+        slot.batch.table = loadEventsQuarantiningParallel(
+            batchFiles, options_.windowStart, options_.windowEnd, pool_,
+            slot.batch.quarantined);
+      } else {
+        slot.batch.table = loadEventsParallel(batchFiles, options_.windowStart,
+                                              options_.windowEnd, pool_);
+      }
     } catch (...) {
       slot.error = std::current_exception();
     }
@@ -86,7 +95,7 @@ void PrefetchingLoader::producerLoop() {
   slotReady_.notify_all();
 }
 
-std::optional<table::EventTable> PrefetchingLoader::next() {
+std::optional<LoadedBatch> PrefetchingLoader::next() {
   std::unique_lock<std::mutex> lock(mutex_);
   occupancySum_ += static_cast<double>(ready_.size());
   ++occupancySamples_;
@@ -109,7 +118,7 @@ std::optional<table::EventTable> PrefetchingLoader::next() {
     std::lock_guard<std::mutex> statsLock(mutex_);
     ++stats_.batchesLoaded;
   }
-  return std::move(slot.table);
+  return std::move(slot.batch);
 }
 
 PrefetchStats PrefetchingLoader::stats() const {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "chisimnet/elog/log_directory.hpp"
 #include "chisimnet/runtime/thread_pool.hpp"
 #include "chisimnet/table/event_table.hpp"
 
@@ -39,6 +40,15 @@ struct PrefetchStats {
   std::uint64_t peakOccupancy = 0;
 };
 
+/// One decoded batch as handed to the consumer: the merged table, the
+/// files of this batch that failed to decode (empty unless
+/// Options::quarantineCorrupt), and how many files the batch spanned.
+struct LoadedBatch {
+  table::EventTable table;
+  std::vector<QuarantinedFile> quarantined;
+  std::size_t filesInBatch = 0;
+};
+
 class PrefetchingLoader {
  public:
   struct Options {
@@ -50,6 +60,10 @@ class PrefetchingLoader {
     std::size_t depth = 2;
     /// Threads decoding files of one batch in parallel (>= 1).
     unsigned decodeWorkers = 1;
+    /// When true, an undecodable file is reported in
+    /// LoadedBatch::quarantined instead of ending the stream with an
+    /// exception (graceful-degradation mode).
+    bool quarantineCorrupt = false;
   };
 
   PrefetchingLoader(std::vector<std::filesystem::path> files, Options options);
@@ -60,17 +74,17 @@ class PrefetchingLoader {
 
   std::size_t batchCount() const noexcept { return batchCount_; }
 
-  /// Blocks until the next batch (in file order) is decoded and returns its
-  /// table; std::nullopt once all batches have been handed out. Rethrows a
-  /// decode error on the consumer thread.
-  std::optional<table::EventTable> next();
+  /// Blocks until the next batch (in file order) is decoded and returns it;
+  /// std::nullopt once all batches have been handed out. Rethrows a decode
+  /// error on the consumer thread (unless quarantineCorrupt).
+  std::optional<LoadedBatch> next();
 
   /// Stats so far; stable once next() has returned nullopt.
   PrefetchStats stats() const;
 
  private:
   struct Slot {
-    table::EventTable table;
+    LoadedBatch batch;
     std::exception_ptr error;
   };
 

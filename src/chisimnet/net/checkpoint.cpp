@@ -1,0 +1,150 @@
+#include "chisimnet/net/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chisimnet/sparse/adjacency_io.hpp"
+#include "chisimnet/util/binary_io.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::net {
+
+namespace {
+
+constexpr const char* kManifestMagic = "CHKP1";
+
+std::filesystem::path manifestPath(const std::filesystem::path& dir) {
+  return dir / kCheckpointManifestName;
+}
+
+}  // namespace
+
+std::uint32_t checkpointConfigHash(
+    const SynthesisConfig& config,
+    const std::vector<std::filesystem::path>& files) {
+  // Only fields that determine the output for a given file list; perf
+  // knobs (workers, prefetch, partitioning) are free to change across a
+  // resume — the summed adjacency does not depend on them.
+  std::string text;
+  text += std::to_string(config.windowStart) + "|";
+  text += std::to_string(config.windowEnd) + "|";
+  text += std::to_string(static_cast<int>(config.method)) + "|";
+  text += std::to_string(config.filesPerBatch) + "|";
+  for (const std::filesystem::path& file : files) {
+    text += file.filename().string() + "|";
+  }
+  return util::crc32(
+      std::as_bytes(std::span<const char>(text.data(), text.size())));
+}
+
+void saveCheckpoint(const std::filesystem::path& dir,
+                    const CheckpointManifest& manifest,
+                    const sparse::SymmetricAdjacency& adjacency) {
+  std::filesystem::create_directories(dir);
+
+  // 1. The adjacency, under a cursor-stamped name the manifest will point
+  //    at. A crash mid-write leaves the old manifest pointing at the old
+  //    (complete) file.
+  const std::string adjacencyName =
+      "adjacency." + std::to_string(manifest.filesConsumed) + ".cadj";
+  sparse::saveAdjacency(adjacency, dir / adjacencyName);
+
+  // 2. The manifest, via temp file + rename (atomic on POSIX).
+  const std::filesystem::path tmp = dir / "manifest.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    CHISIM_CHECK(out.good(),
+                 "cannot write checkpoint manifest: " + tmp.string());
+    out << kManifestMagic << "\n";
+    out << "files_consumed " << manifest.filesConsumed << "\n";
+    out << "batches_done " << manifest.batchesDone << "\n";
+    out << "config_hash " << manifest.configHash << "\n";
+    out << "adjacency " << adjacencyName << "\n";
+    for (const elog::QuarantinedFile& entry : manifest.quarantined) {
+      // Tab-separated; the free-text reason goes last.
+      out << "quarantine\t" << entry.chunkIndex << "\t" << entry.byteOffset
+          << "\t" << entry.file.string() << "\t" << entry.reason << "\n";
+    }
+    out.flush();
+    CHISIM_CHECK(out.good(),
+                 "checkpoint manifest write failed: " + tmp.string());
+  }
+  std::filesystem::rename(tmp, manifestPath(dir));
+
+  // 3. Garbage-collect superseded adjacency files.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("adjacency.") && name.ends_with(".cadj") &&
+        name != adjacencyName) {
+      std::error_code ignored;
+      std::filesystem::remove(entry.path(), ignored);
+    }
+  }
+}
+
+std::optional<CheckpointManifest> loadCheckpointManifest(
+    const std::filesystem::path& dir) {
+  const std::filesystem::path path = manifestPath(dir);
+  std::ifstream in(path);
+  if (!in.good()) {
+    return std::nullopt;
+  }
+  std::string magic;
+  std::getline(in, magic);
+  CHISIM_CHECK(magic == kManifestMagic,
+               "not a checkpoint manifest: " + path.string());
+  CheckpointManifest manifest;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line.starts_with("quarantine\t")) {
+      // quarantine\t<chunkIndex>\t<byteOffset>\t<path>\t<reason>
+      std::vector<std::string> fields;
+      std::size_t begin = 0;
+      while (fields.size() < 4) {
+        const std::size_t tab = line.find('\t', begin);
+        CHISIM_CHECK(tab != std::string::npos,
+                     "malformed quarantine line in " + path.string());
+        fields.push_back(line.substr(begin, tab - begin));
+        begin = tab + 1;
+      }
+      elog::QuarantinedFile entry;
+      entry.chunkIndex = std::stoll(fields[1]);
+      entry.byteOffset = std::stoull(fields[2]);
+      entry.file = fields[3];
+      entry.reason = line.substr(begin);
+      manifest.quarantined.push_back(std::move(entry));
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "files_consumed") {
+      fields >> manifest.filesConsumed;
+    } else if (key == "batches_done") {
+      fields >> manifest.batchesDone;
+    } else if (key == "config_hash") {
+      fields >> manifest.configHash;
+    } else if (key == "adjacency") {
+      fields >> manifest.adjacencyFile;
+    } else {
+      CHISIM_CHECK(false, "unknown manifest key '" + key +
+                              "' in " + path.string());
+    }
+    CHISIM_CHECK(!fields.fail(),
+                 "malformed manifest line in " + path.string());
+  }
+  CHISIM_CHECK(!manifest.adjacencyFile.empty(),
+               "manifest names no adjacency file: " + path.string());
+  return manifest;
+}
+
+sparse::SymmetricAdjacency loadCheckpointAdjacency(
+    const std::filesystem::path& dir, const CheckpointManifest& manifest) {
+  return sparse::loadAdjacency(dir / manifest.adjacencyFile);
+}
+
+}  // namespace chisimnet::net

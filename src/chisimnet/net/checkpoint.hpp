@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "chisimnet/net/synthesis.hpp"
+#include "chisimnet/sparse/adjacency.hpp"
+
+/// Batch checkpoint/resume for synthesis runs (the long-haul counterpart
+/// of the paper's batched cluster jobs, §V): after each file batch the
+/// driver can persist the accumulated adjacency plus a cursor manifest, so
+/// a killed run restarts from the last completed batch instead of from
+/// scratch. Adjacency accumulation is order-independent u64 addition and
+/// the CADJ container round-trips triplets exactly, so a resumed run is
+/// bit-identical to an uninterrupted one.
+///
+/// Crash safety: the adjacency is written first under a batch-stamped name
+/// (adjacency.<filesConsumed>.cadj), then the manifest referencing it is
+/// written to a temp file and atomically renamed over manifest.chkp, then
+/// stale adjacency files are deleted. A crash at any point leaves either
+/// the previous consistent checkpoint or the new one — never a manifest
+/// pointing at a half-written matrix.
+
+namespace chisimnet::net {
+
+inline constexpr const char* kCheckpointManifestName = "manifest.chkp";
+
+struct CheckpointManifest {
+  /// Input files fully consumed (attempted, including quarantined ones).
+  std::uint64_t filesConsumed = 0;
+  std::uint64_t batchesDone = 0;
+  /// Hash over the output-relevant config fields and the full input file
+  /// list; a resume against a different run is rejected.
+  std::uint32_t configHash = 0;
+  /// Adjacency file name within the checkpoint directory.
+  std::string adjacencyFile;
+  /// Quarantine list accumulated so far (degrade mode), carried across the
+  /// resume so the final report still names every excluded input.
+  std::vector<elog::QuarantinedFile> quarantined;
+};
+
+/// Hash of the fields that determine the output for a given file list.
+std::uint32_t checkpointConfigHash(
+    const SynthesisConfig& config,
+    const std::vector<std::filesystem::path>& files);
+
+/// Persists `adjacency` + `manifest` into `dir` (created if missing) with
+/// the crash-safe ordering described above.
+void saveCheckpoint(const std::filesystem::path& dir,
+                    const CheckpointManifest& manifest,
+                    const sparse::SymmetricAdjacency& adjacency);
+
+/// Reads the manifest in `dir`; nullopt when none exists.
+std::optional<CheckpointManifest> loadCheckpointManifest(
+    const std::filesystem::path& dir);
+
+/// Loads the adjacency a manifest points at.
+sparse::SymmetricAdjacency loadCheckpointAdjacency(
+    const std::filesystem::path& dir, const CheckpointManifest& manifest);
+
+}  // namespace chisimnet::net

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -87,6 +89,16 @@ class SynthesisExecutor {
   virtual std::uint64_t bytesReturned() const noexcept { return 0; }
   virtual void resetTransferCounters() noexcept {}
 
+  /// Recovery actions (retries, rank losses) taken since the last drain,
+  /// for the driver to fold into SynthesisReport::faults. Empty on
+  /// substrates with nothing to recover from.
+  virtual std::vector<FaultEvent> drainFaultEvents() { return {}; }
+
+  /// Workers still able to take stage work (ranks not declared lost).
+  virtual int liveWorkers() const noexcept {
+    return static_cast<int>(config_.workers);
+  }
+
  protected:
   const SynthesisConfig config_;
 };
@@ -123,6 +135,18 @@ class SharedMemoryExecutor final : public SynthesisExecutor {
 /// runtime::RankTeam command loop, so the same ranks serve every batch.
 /// All payloads (including rank 0's self-delivery) go through the sparse
 /// wire format and are counted in bytesScattered/bytesReturned.
+///
+/// Fault tolerance: every stage round trip is one framed command message
+/// and one framed reply, stamped with an epoch. A worker that hits a
+/// recoverable error replies status=failed instead of dying; a worker that
+/// dies silently is detected by the per-command deadline
+/// (config.commandTimeoutMs). Under FaultPolicy::kDegrade the root retries
+/// a failed command with exponential backoff up to commandMaxAttempts,
+/// then marks the rank lost and re-partitions its work items across the
+/// surviving ranks (the root included), so the batch completes with the
+/// exact same result. Epochs let the root discard stale replies from
+/// retried commands; stage bodies are pure, so duplicate execution after a
+/// timeout race is harmless.
 class MessagePassingExecutor final : public SynthesisExecutor {
  public:
   explicit MessagePassingExecutor(const SynthesisConfig& config);
@@ -134,6 +158,10 @@ class MessagePassingExecutor final : public SynthesisExecutor {
   void scatterPlaces(const table::EventTable& events,
                      const table::PlaceIndex& index) override;
   std::vector<sparse::CollocationMatrix> mapCollocation() override;
+  /// Partitions across the live ranks only, so a batch after a rank loss
+  /// spreads stage-5 work over exactly the ranks that can still take it.
+  runtime::Partition repartition(
+      std::span<const std::uint64_t> weights) const override;
   std::vector<sparse::SymmetricAdjacency> mapAdjacency(
       const std::vector<sparse::CollocationMatrix>& matrices,
       const runtime::Partition& partition) override;
@@ -150,19 +178,59 @@ class MessagePassingExecutor final : public SynthesisExecutor {
     bytesScattered_ = 0;
     bytesReturned_ = 0;
   }
+  std::vector<FaultEvent> drainFaultEvents() override;
+  int liveWorkers() const noexcept override { return team_.liveCount(); }
 
  private:
+  /// One in-flight command on a rank, kept so the root can resend it and,
+  /// on permanent loss, rebuild the work items for reassignment.
+  struct Pending {
+    bool active = false;
+    std::uint32_t command = 0;
+    std::uint64_t epoch = 0;
+    int attempts = 0;
+    std::vector<std::byte> body;       ///< serialized stage input (resend)
+    std::vector<std::size_t> items;    ///< work item indices (reassignment)
+  };
+
   /// Worker-side command loop run by every service rank.
   void serviceLoop(runtime::RankHandle& handle) const;
-  /// SPMD stage bodies, run by service ranks on command and by rank 0
-  /// inline (the root is also a worker, as in the paper's fork cluster).
-  void stageCollocation(runtime::RankHandle& handle) const;
-  void stageAdjacency(runtime::RankHandle& handle) const;
+  /// Executes one command body and returns the reply body. Run by service
+  /// ranks on command and by rank 0 inline (the root is also a worker, as
+  /// in the paper's fork cluster).
+  std::vector<std::byte> executeCommand(std::uint32_t command,
+                                        std::span<const std::byte> body) const;
+
+  /// Ranks currently able to take work, rank 0 first.
+  std::vector<int> liveRanks() const;
+  /// Frames and sends `body` as `command` to `rank`, recording it in
+  /// pending_ for retry/reassignment.
+  void sendCommand(int rank, std::uint32_t command,
+                   std::vector<std::size_t> items, std::vector<std::byte> body);
+  /// Waits for rank's reply to its pending command, retrying failed or
+  /// timed-out attempts per config. Returns the reply body, or nullopt once
+  /// the rank has been declared lost (its items stay in pending_ for the
+  /// caller to reassign).
+  std::optional<std::vector<std::byte>> awaitReply(int rank);
+  /// Collects every active pending command of `command`, reassigning the
+  /// items of lost ranks across survivors until all items are accounted
+  /// for. buildBody serializes a fresh body for reassigned items; onReply
+  /// consumes each successful reply body.
+  void collectStage(
+      std::uint32_t command,
+      const std::function<std::vector<std::byte>(
+          std::span<const std::size_t>)>& buildBody,
+      const std::function<void(std::span<const std::byte>)>& onReply);
 
   int ranks_;
   std::uint64_t bytesScattered_ = 0;
   std::uint64_t bytesReturned_ = 0;
   double busyImbalance_ = 1.0;
+  std::uint64_t nextEpoch_ = 1;
+  std::vector<Pending> pending_;
+  std::vector<FaultEvent> faultEvents_;
+  const table::EventTable* events_ = nullptr;
+  const table::PlaceIndex* index_ = nullptr;
   runtime::RankTeam team_;  ///< must be last: threads read config_/ranks_
 };
 

@@ -1,9 +1,14 @@
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstring>
 #include <span>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "chisimnet/net/executor.hpp"
+#include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
 
@@ -12,39 +17,59 @@ namespace chisimnet::net {
 namespace {
 
 constexpr int kRoot = 0;
-constexpr int kCommandTag = 99;    ///< root -> worker stage commands
-constexpr int kEventsTag = 100;    ///< stage 2: root -> worker event groups
-constexpr int kMatrixTag = 101;    ///< stage 3: worker -> root matrices
-constexpr int kBatchTag = 102;     ///< stage 4: root -> worker matrix batches
-constexpr int kSumTag = 103;       ///< stage 5: worker -> root adjacency sums
-constexpr int kBusyTag = 104;      ///< stage 5: worker -> root busy seconds
+constexpr int kCommandTag = 99;  ///< root -> worker framed commands
+constexpr int kReplyTag = 100;   ///< worker -> root framed replies
 
-enum Command : int {
+enum Command : std::uint32_t {
   kCmdCollocation = 1,
   kCmdAdjacency = 2,
   kCmdStop = 3,
 };
 
-/// Stage-2 payload: [per place: eventCount u32] in one message followed by
-/// a second message with the concatenated events.
-struct EventScatter {
-  std::vector<std::uint32_t> header;
-  std::vector<table::Event> events;
-};
+constexpr std::uint32_t kStatusOk = 0;
+constexpr std::uint32_t kStatusFailed = 1;
+
+/// Command frame: [command u32][epoch u64][stage body].
+constexpr std::size_t kCommandHeaderBytes = 4 + 8;
+/// Reply frame: [command u32][status u32][epoch u64][body or error text].
+constexpr std::size_t kReplyHeaderBytes = 4 + 4 + 8;
+
+void put32(std::vector<std::byte>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::byte>(value >> shift));
+  }
+}
+
+void put64(std::vector<std::byte>& out, std::uint64_t value) {
+  put32(out, static_cast<std::uint32_t>(value));
+  put32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint32_t take32(std::span<const std::byte> bytes, std::size_t& cursor) {
+  CHISIM_CHECK(cursor + 4 <= bytes.size(), "truncated frame");
+  const std::uint32_t value =
+      static_cast<std::uint32_t>(bytes[cursor]) |
+      (static_cast<std::uint32_t>(bytes[cursor + 1]) << 8) |
+      (static_cast<std::uint32_t>(bytes[cursor + 2]) << 16) |
+      (static_cast<std::uint32_t>(bytes[cursor + 3]) << 24);
+  cursor += 4;
+  return value;
+}
+
+std::uint64_t take64(std::span<const std::byte> bytes, std::size_t& cursor) {
+  const std::uint64_t low = take32(bytes, cursor);
+  const std::uint64_t high = take32(bytes, cursor);
+  return low | (high << 32);
+}
 
 std::vector<std::byte> packMatrices(
     const std::vector<sparse::CollocationMatrix>& matrices) {
   // [count u32][per matrix: byteLength u32 + payload]
   std::vector<std::byte> packed;
-  const auto put32 = [&packed](std::uint32_t value) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      packed.push_back(static_cast<std::byte>(value >> shift));
-    }
-  };
-  put32(static_cast<std::uint32_t>(matrices.size()));
+  put32(packed, static_cast<std::uint32_t>(matrices.size()));
   for (const sparse::CollocationMatrix& matrix : matrices) {
     const std::vector<std::byte> bytes = matrix.toBytes();
-    put32(static_cast<std::uint32_t>(bytes.size()));
+    put32(packed, static_cast<std::uint32_t>(bytes.size()));
     packed.insert(packed.end(), bytes.begin(), bytes.end());
   }
   return packed;
@@ -53,21 +78,16 @@ std::vector<std::byte> packMatrices(
 std::vector<sparse::CollocationMatrix> unpackMatrices(
     std::span<const std::byte> packed) {
   std::size_t cursor = 0;
-  const auto take32 = [&packed, &cursor]() {
-    CHISIM_CHECK(cursor + 4 <= packed.size(), "truncated matrix pack");
-    const std::uint32_t value =
-        static_cast<std::uint32_t>(packed[cursor]) |
-        (static_cast<std::uint32_t>(packed[cursor + 1]) << 8) |
-        (static_cast<std::uint32_t>(packed[cursor + 2]) << 16) |
-        (static_cast<std::uint32_t>(packed[cursor + 3]) << 24);
-    cursor += 4;
-    return value;
-  };
-  const std::uint32_t count = take32();
+  const std::uint32_t count = take32(packed, cursor);
+  // Bound the declared count by what the remaining bytes could possibly
+  // hold (each matrix costs at least its 4-byte length prefix) before it
+  // drives any allocation or loop.
+  CHISIM_CHECK(count <= (packed.size() - cursor) / 4,
+               "matrix pack declares more matrices than its bytes can hold");
   std::vector<sparse::CollocationMatrix> matrices;
   matrices.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t length = take32();
+    const std::uint32_t length = take32(packed, cursor);
     CHISIM_CHECK(cursor + length <= packed.size(), "truncated matrix pack");
     matrices.push_back(
         sparse::CollocationMatrix::fromBytes(packed.subspan(cursor, length)));
@@ -76,181 +96,509 @@ std::vector<sparse::CollocationMatrix> unpackMatrices(
   return matrices;
 }
 
+std::vector<std::byte> frameCommand(std::uint32_t command, std::uint64_t epoch,
+                                    std::span<const std::byte> body) {
+  std::vector<std::byte> frame;
+  frame.reserve(kCommandHeaderBytes + body.size());
+  put32(frame, command);
+  put64(frame, epoch);
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+std::vector<std::byte> frameReply(std::uint32_t command, std::uint32_t status,
+                                  std::uint64_t epoch,
+                                  std::span<const std::byte> body) {
+  std::vector<std::byte> frame;
+  frame.reserve(kReplyHeaderBytes + body.size());
+  put32(frame, command);
+  put32(frame, status);
+  put64(frame, epoch);
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+std::span<const std::byte> stringBytes(const std::string& text) {
+  return std::as_bytes(std::span<const char>(text.data(), text.size()));
+}
+
 }  // namespace
 
 MessagePassingExecutor::MessagePassingExecutor(const SynthesisConfig& config)
     : SynthesisExecutor(config),
       ranks_(static_cast<int>(config.workers)),
+      pending_(static_cast<std::size_t>(config.workers)),
       team_(ranks_, [this](runtime::RankHandle& handle) { serviceLoop(handle); }) {}
 
 MessagePassingExecutor::~MessagePassingExecutor() {
   // Idle services are parked at the command recv; a stop command lets them
   // return so the team joins without relying on the destructor's abort.
   // (Services wedged mid-stage after a root-side failure are woken by the
-  // RankTeam destructor's abort instead.)
+  // RankTeam destructor's abort instead. Lost ranks already exited; their
+  // stop frame just sits in the mailbox.)
   for (int dest = 1; dest < ranks_; ++dest) {
-    team_.root().sendValue<int>(dest, kCommandTag, kCmdStop);
+    team_.root().send(dest, kCommandTag, frameCommand(kCmdStop, 0, {}));
   }
 }
 
 void MessagePassingExecutor::serviceLoop(runtime::RankHandle& handle) const {
   while (true) {
-    const int command = handle.recv(kRoot, kCommandTag).value<int>();
-    switch (command) {
-      case kCmdCollocation:
-        stageCollocation(handle);
-        break;
-      case kCmdAdjacency:
-        stageAdjacency(handle);
-        break;
-      case kCmdStop:
-        return;
-      default:
-        CHISIM_CHECK(false, "unknown synthesis executor command");
+    runtime::Message message = handle.recv(kRoot, kCommandTag);
+    std::uint32_t command = 0;
+    std::uint64_t epoch = 0;
+    bool headerOk = false;
+    try {
+      std::size_t cursor = 0;
+      command = take32(message.payload, cursor);
+      epoch = take64(message.payload, cursor);
+      headerOk = true;
+    } catch (const std::exception&) {
+      // Truncated below even the header: reply failed with epoch 0, which
+      // the root treats as matching whatever command is outstanding.
+    }
+    if (headerOk && command == kCmdStop) {
+      return;
+    }
+    try {
+      CHISIM_CHECK(headerOk, "truncated command frame");
+      runtime::FaultSite site{handle.rank(), nullptr};
+      if (runtime::fault::hit("mp.service.command", site) ==
+          runtime::FaultAction::kKillRank) {
+        return;  // simulate a rank dying silently mid-run
+      }
+      const std::vector<std::byte> reply = executeCommand(
+          command,
+          std::span<const std::byte>(message.payload).subspan(
+              kCommandHeaderBytes));
+      handle.send(kRoot, kReplyTag,
+                  frameReply(command, kStatusOk, epoch, reply));
+    } catch (const std::exception& error) {
+      // Recoverable worker failure: report it and stay in the loop so the
+      // root can retry; only an unknown-to-C++ error escapes to the
+      // RankTeam abort path.
+      const std::string what = error.what();
+      handle.send(kRoot, kReplyTag,
+                  frameReply(command, kStatusFailed, epoch, stringBytes(what)));
     }
   }
 }
 
-void MessagePassingExecutor::stageCollocation(
-    runtime::RankHandle& handle) const {
-  const auto header = handle.recv(kRoot, kEventsTag).as<std::uint32_t>();
-  const auto myEvents = handle.recv(kRoot, kEventsTag).as<table::Event>();
-  std::vector<sparse::CollocationMatrix> built;
-  std::size_t eventCursor = 0;
-  for (std::uint32_t groupSize : header) {
-    const std::span<const table::Event> groupEvents(
-        myEvents.data() + eventCursor, groupSize);
-    eventCursor += groupSize;
-    CHISIM_CHECK(!groupEvents.empty(), "empty place group scattered");
-    sparse::CollocationMatrix matrix(groupEvents.front().place, groupEvents,
-                                     config_.windowStart, config_.windowEnd);
-    if (matrix.nnz() > 0) {
-      built.push_back(std::move(matrix));
+std::vector<std::byte> MessagePassingExecutor::executeCommand(
+    std::uint32_t command, std::span<const std::byte> body) const {
+  switch (command) {
+    case kCmdCollocation: {
+      // Body: [groupCount u32][per group: eventCount u32][events].
+      std::size_t cursor = 0;
+      const std::uint32_t groupCount = take32(body, cursor);
+      CHISIM_CHECK(groupCount <= (body.size() - cursor) / 4,
+                   "event scatter declares more groups than its bytes hold");
+      std::vector<std::uint32_t> groupSizes(groupCount);
+      std::uint64_t totalEvents = 0;
+      for (std::uint32_t& size : groupSizes) {
+        size = take32(body, cursor);
+        totalEvents += size;
+      }
+      CHISIM_CHECK(cursor + totalEvents * sizeof(table::Event) == body.size(),
+                   "event scatter size mismatch");
+      std::vector<table::Event> events(totalEvents);
+      if (totalEvents > 0) {
+        std::memcpy(events.data(), body.data() + cursor,
+                    totalEvents * sizeof(table::Event));
+      }
+      std::vector<sparse::CollocationMatrix> built;
+      std::size_t eventCursor = 0;
+      for (std::uint32_t groupSize : groupSizes) {
+        const std::span<const table::Event> groupEvents(
+            events.data() + eventCursor, groupSize);
+        eventCursor += groupSize;
+        CHISIM_CHECK(!groupEvents.empty(), "empty place group scattered");
+        sparse::CollocationMatrix matrix(groupEvents.front().place,
+                                         groupEvents, config_.windowStart,
+                                         config_.windowEnd);
+        if (matrix.nnz() > 0) {
+          built.push_back(std::move(matrix));
+        }
+      }
+      // Return the matrix list to the root (paper: "saved in a list and
+      // returned to the root process").
+      return packMatrices(built);
     }
+    case kCmdAdjacency: {
+      // Body: packed matrix batch. Reply: [busySeconds f64][triplets].
+      const auto batch = unpackMatrices(body);
+      util::WallTimer busy;
+      sparse::SymmetricAdjacency sum(1024);
+      for (const sparse::CollocationMatrix& matrix : batch) {
+        sum.addCollocation(matrix, config_.method);
+      }
+      const std::vector<sparse::AdjacencyTriplet> triplets = sum.toTriplets();
+      const double busySeconds = busy.seconds();
+      std::vector<std::byte> reply(sizeof(double) +
+                                   triplets.size() *
+                                       sizeof(sparse::AdjacencyTriplet));
+      std::memcpy(reply.data(), &busySeconds, sizeof(double));
+      if (!triplets.empty()) {
+        std::memcpy(reply.data() + sizeof(double), triplets.data(),
+                    triplets.size() * sizeof(sparse::AdjacencyTriplet));
+      }
+      return reply;
+    }
+    default:
+      CHISIM_CHECK(false, "unknown synthesis executor command " +
+                              std::to_string(command));
   }
-  // Return the matrix list to the root (paper: "saved in a list and
-  // returned to the root process").
-  handle.send(kRoot, kMatrixTag, packMatrices(built));
+  return {};
 }
 
-void MessagePassingExecutor::stageAdjacency(runtime::RankHandle& handle) const {
-  const runtime::Message batchMessage = handle.recv(kRoot, kBatchTag);
-  const auto batch = unpackMatrices(batchMessage.payload);
-  util::WallTimer busy;
-  sparse::SymmetricAdjacency sum(1024);
-  for (const sparse::CollocationMatrix& matrix : batch) {
-    sum.addCollocation(matrix, config_.method);
+std::vector<int> MessagePassingExecutor::liveRanks() const {
+  std::vector<int> live;
+  live.reserve(static_cast<std::size_t>(ranks_));
+  for (int rank = 0; rank < ranks_; ++rank) {
+    if (team_.isLive(rank)) {
+      live.push_back(rank);
+    }
   }
-  const std::vector<sparse::AdjacencyTriplet> triplets = sum.toTriplets();
-  const double busySeconds = busy.seconds();
-  handle.sendVector<sparse::AdjacencyTriplet>(kRoot, kSumTag, triplets);
-  handle.sendValue<double>(kRoot, kBusyTag, busySeconds);
+  return live;
+}
+
+void MessagePassingExecutor::sendCommand(int rank, std::uint32_t command,
+                                         std::vector<std::size_t> items,
+                                         std::vector<std::byte> body) {
+  Pending& pending = pending_[static_cast<std::size_t>(rank)];
+  pending.active = true;
+  pending.command = command;
+  pending.epoch = nextEpoch_++;
+  pending.attempts = 0;
+  pending.items = std::move(items);
+  pending.body = std::move(body);
+  std::vector<std::byte> frame =
+      frameCommand(command, pending.epoch, pending.body);
+  bytesScattered_ += frame.size();
+  if (rank != kRoot) {
+    // Injection point for a corrupted/short write on the (future) wire;
+    // truncation here makes the worker see a malformed frame and answer
+    // status=failed, exercising the retry path end to end.
+    runtime::FaultSite site{rank, &frame};
+    runtime::fault::hit("mp.send", site);
+    team_.root().send(rank, kCommandTag, frame);
+  }
+}
+
+std::optional<std::vector<std::byte>> MessagePassingExecutor::awaitReply(
+    int rank) {
+  Pending& pending = pending_[static_cast<std::size_t>(rank)];
+  CHISIM_REQUIRE(pending.active, "awaitReply without a pending command");
+  if (rank == kRoot) {
+    // The root is a worker too: execute its own share inline through the
+    // same serialized body, so byte accounting and decode paths match.
+    const std::vector<std::byte> reply =
+        executeCommand(pending.command, pending.body);
+    bytesReturned_ += kReplyHeaderBytes + reply.size();
+    pending.active = false;
+    return reply;
+  }
+  runtime::RankHandle& root = team_.root();
+  while (true) {
+    std::optional<runtime::Message> message;
+    if (config_.commandTimeoutMs == 0) {
+      message = root.recv(rank, kReplyTag);
+    } else {
+      message = root.recvFor(
+          std::chrono::milliseconds(config_.commandTimeoutMs), rank,
+          kReplyTag);
+    }
+    std::string failure;
+    if (message) {
+      runtime::FaultSite site{rank, &message->payload};
+      runtime::fault::hit("mp.collect", site);
+      std::uint32_t status = kStatusFailed;
+      std::uint64_t epoch = 0;
+      std::span<const std::byte> body;
+      bool parsed = false;
+      try {
+        std::size_t cursor = 0;
+        take32(message->payload, cursor);  // command (diagnostic only)
+        status = take32(message->payload, cursor);
+        epoch = take64(message->payload, cursor);
+        body = std::span<const std::byte>(message->payload)
+                   .subspan(kReplyHeaderBytes);
+        parsed = true;
+      } catch (const std::exception&) {
+        failure = "malformed reply frame from rank " + std::to_string(rank);
+      }
+      if (parsed) {
+        // Epoch 0 marks a reply to a command too corrupt for the worker to
+        // read the epoch back; match it against whatever is outstanding.
+        if (epoch != pending.epoch && epoch != 0) {
+          continue;  // stale reply from a superseded attempt
+        }
+        if (status == kStatusOk) {
+          bytesReturned_ += message->payload.size();
+          pending.active = false;
+          return std::vector<std::byte>(body.begin(), body.end());
+        }
+        failure = std::string(reinterpret_cast<const char*>(body.data()),
+                              body.size());
+      }
+    } else {
+      failure = "rank " + std::to_string(rank) + " sent no reply within " +
+                std::to_string(config_.commandTimeoutMs) + " ms";
+    }
+
+    if (config_.faultPolicy != FaultPolicy::kDegrade) {
+      // Fail fast: surface the worker's error as the run's error.
+      CHISIM_CHECK(false, "synthesis command failed on rank " +
+                              std::to_string(rank) + ": " + failure);
+    }
+    ++pending.attempts;
+    if (pending.attempts >= config_.commandMaxAttempts) {
+      team_.markLost(rank);
+      FaultEvent event;
+      event.kind = FaultEvent::Kind::kRankLost;
+      event.rank = rank;
+      event.detail = "declared lost after " +
+                     std::to_string(pending.attempts) +
+                     " attempts; last error: " + failure;
+      faultEvents_.push_back(std::move(event));
+      return std::nullopt;  // pending.items stays for reassignment
+    }
+    FaultEvent event;
+    event.kind = FaultEvent::Kind::kCommandRetry;
+    event.rank = rank;
+    event.detail = "attempt " + std::to_string(pending.attempts) +
+                   " failed: " + failure;
+    faultEvents_.push_back(std::move(event));
+    const std::uint64_t backoff = config_.commandBackoffMs
+                                  << std::min(pending.attempts - 1, 16);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    pending.epoch = nextEpoch_++;
+    std::vector<std::byte> frame =
+        frameCommand(pending.command, pending.epoch, pending.body);
+    bytesScattered_ += frame.size();
+    root.send(rank, kCommandTag, frame);
+  }
+}
+
+void MessagePassingExecutor::collectStage(
+    std::uint32_t command,
+    const std::function<std::vector<std::byte>(std::span<const std::size_t>)>&
+        buildBody,
+    const std::function<void(std::span<const std::byte>)>& onReply) {
+  std::vector<std::size_t> orphaned;  // items of ranks declared lost
+  for (int rank = 0; rank < ranks_; ++rank) {
+    Pending& pending = pending_[static_cast<std::size_t>(rank)];
+    if (!pending.active || pending.command != command) {
+      continue;
+    }
+    if (const auto reply = awaitReply(rank)) {
+      onReply(*reply);
+    } else {
+      orphaned.insert(orphaned.end(), pending.items.begin(),
+                      pending.items.end());
+      pending.active = false;
+    }
+  }
+  // Reassignment rounds: spread orphaned items across the survivors and
+  // collect again; a further loss feeds the next round. The root always
+  // survives and executes its share inline, so this terminates.
+  while (!orphaned.empty()) {
+    const std::vector<int> live = liveRanks();
+    std::vector<std::vector<std::size_t>> shares(live.size());
+    for (std::size_t i = 0; i < orphaned.size(); ++i) {
+      shares[i % shares.size()].push_back(orphaned[i]);
+    }
+    orphaned.clear();
+    for (std::size_t slot = 0; slot < live.size(); ++slot) {
+      if (shares[slot].empty()) {
+        continue;
+      }
+      std::vector<std::byte> body = buildBody(shares[slot]);
+      sendCommand(live[slot], command, std::move(shares[slot]),
+                  std::move(body));
+    }
+    for (const int rank : live) {
+      Pending& pending = pending_[static_cast<std::size_t>(rank)];
+      if (!pending.active || pending.command != command) {
+        continue;
+      }
+      if (const auto reply = awaitReply(rank)) {
+        onReply(*reply);
+      } else {
+        orphaned.insert(orphaned.end(), pending.items.begin(),
+                        pending.items.end());
+        pending.active = false;
+      }
+    }
+  }
 }
 
 void MessagePassingExecutor::scatterPlaces(const table::EventTable& events,
                                            const table::PlaceIndex& index) {
-  // Round-robin place groups across ranks: the collocation stage is roughly
-  // uniform per event row, and the nnz balancing happens at repartition.
-  std::vector<EventScatter> scatters(static_cast<std::size_t>(ranks_));
+  events_ = &events;
+  index_ = &index;
+  // Round-robin place groups across the live ranks: the collocation stage
+  // is roughly uniform per event row, and the nnz balancing happens at
+  // repartition.
+  const std::vector<int> live = liveRanks();
+  std::vector<std::vector<std::size_t>> groups(live.size());
   for (std::size_t group = 0; group < index.placeIds.size(); ++group) {
-    EventScatter& scatter = scatters[group % static_cast<std::size_t>(ranks_)];
-    const auto rows = index.groupRows(group);
-    scatter.header.push_back(static_cast<std::uint32_t>(rows.size()));
-    for (table::RowIndex row : rows) {
-      scatter.events.push_back(events.row(row));
-    }
+    groups[group % live.size()].push_back(group);
   }
-  runtime::RankHandle& root = team_.root();
-  for (int dest = 0; dest < ranks_; ++dest) {
-    const EventScatter& scatter = scatters[static_cast<std::size_t>(dest)];
-    root.sendVector<std::uint32_t>(dest, kEventsTag, scatter.header);
-    root.sendVector<table::Event>(dest, kEventsTag, scatter.events);
-    bytesScattered_ += scatter.header.size() * sizeof(std::uint32_t) +
-                       scatter.events.size() * sizeof(table::Event);
-    if (dest != kRoot) {
-      // Data first, then the command: services start building while the
-      // driver is still between stage calls.
-      root.sendValue<int>(dest, kCommandTag, kCmdCollocation);
+  const auto buildBody = [&events,
+                          &index](std::span<const std::size_t> items) {
+    std::vector<std::byte> body;
+    put32(body, static_cast<std::uint32_t>(items.size()));
+    std::uint64_t totalEvents = 0;
+    for (const std::size_t group : items) {
+      const auto rows = index.groupRows(group);
+      put32(body, static_cast<std::uint32_t>(rows.size()));
+      totalEvents += rows.size();
     }
+    body.reserve(body.size() + totalEvents * sizeof(table::Event));
+    for (const std::size_t group : items) {
+      for (const table::RowIndex row : index.groupRows(group)) {
+        const table::Event event = events.row(row);
+        const auto bytes =
+            std::as_bytes(std::span<const table::Event>(&event, 1));
+        body.insert(body.end(), bytes.begin(), bytes.end());
+      }
+    }
+    return body;
+  };
+  for (std::size_t slot = 0; slot < live.size(); ++slot) {
+    // Every live rank gets a command (even an empty one): the reply flow
+    // and busy accounting stay uniform, and services start building while
+    // the driver is still between stage calls.
+    sendCommand(live[slot], kCmdCollocation,
+                std::vector<std::size_t>(groups[slot]),
+                buildBody(groups[slot]));
   }
 }
 
 std::vector<sparse::CollocationMatrix>
 MessagePassingExecutor::mapCollocation() {
-  runtime::RankHandle& root = team_.root();
+  CHISIM_REQUIRE(events_ != nullptr && index_ != nullptr,
+                 "mapCollocation before scatterPlaces");
+  const table::EventTable& events = *events_;
+  const table::PlaceIndex& index = *index_;
   try {
-    // The root is a worker too: build its own share before collecting.
-    stageCollocation(root);
     std::vector<sparse::CollocationMatrix> all;
-    for (int source = 0; source < ranks_; ++source) {
-      const runtime::Message message = root.recv(source, kMatrixTag);
-      bytesReturned_ += message.payload.size();
-      for (sparse::CollocationMatrix& matrix :
-           unpackMatrices(message.payload)) {
-        all.push_back(std::move(matrix));
-      }
-    }
+    collectStage(
+        kCmdCollocation,
+        [&events, &index](std::span<const std::size_t> items) {
+          std::vector<std::byte> body;
+          put32(body, static_cast<std::uint32_t>(items.size()));
+          for (const std::size_t group : items) {
+            put32(body, static_cast<std::uint32_t>(
+                            index.groupRows(group).size()));
+          }
+          for (const std::size_t group : items) {
+            for (const table::RowIndex row : index.groupRows(group)) {
+              const table::Event event = events.row(row);
+              const auto bytes =
+                  std::as_bytes(std::span<const table::Event>(&event, 1));
+              body.insert(body.end(), bytes.begin(), bytes.end());
+            }
+          }
+          return body;
+        },
+        [&all](std::span<const std::byte> reply) {
+          for (sparse::CollocationMatrix& matrix : unpackMatrices(reply)) {
+            all.push_back(std::move(matrix));
+          }
+        });
+    events_ = nullptr;
+    index_ = nullptr;
     return all;
   } catch (...) {
     // A service failure aborts the communicator and surfaces here as a
     // generic "aborted" error; prefer the originating exception.
+    events_ = nullptr;
+    index_ = nullptr;
     team_.rethrowServiceError();
     throw;
   }
 }
 
+runtime::Partition MessagePassingExecutor::repartition(
+    std::span<const std::uint64_t> weights) const {
+  const std::size_t bins = static_cast<std::size_t>(team_.liveCount());
+  return config_.balancedPartition
+             ? runtime::partitionGreedyLpt(weights, bins)
+             : runtime::partitionContiguous(weights, bins);
+}
+
 std::vector<sparse::SymmetricAdjacency> MessagePassingExecutor::mapAdjacency(
     const std::vector<sparse::CollocationMatrix>& matrices,
     const runtime::Partition& partition) {
-  CHISIM_REQUIRE(partition.assignment.size() ==
-                     static_cast<std::size_t>(ranks_),
-                 "partition bin count must equal rank count");
-  runtime::RankHandle& root = team_.root();
-  try {
-    for (int dest = 0; dest < ranks_; ++dest) {
-      std::vector<sparse::CollocationMatrix> batch;
-      for (std::size_t item :
-           partition.assignment[static_cast<std::size_t>(dest)]) {
-        batch.push_back(matrices[item]);
-      }
-      const std::vector<std::byte> packed = packMatrices(batch);
-      bytesScattered_ += packed.size();
-      root.send(dest, kBatchTag, packed);
-      if (dest != kRoot) {
-        root.sendValue<int>(dest, kCommandTag, kCmdAdjacency);
-      }
+  const std::vector<int> live = liveRanks();
+  CHISIM_REQUIRE(partition.assignment.size() == live.size(),
+                 "partition bin count must equal live rank count");
+  const auto buildBody = [&matrices](std::span<const std::size_t> items) {
+    std::vector<sparse::CollocationMatrix> batch;
+    batch.reserve(items.size());
+    for (const std::size_t item : items) {
+      batch.push_back(matrices[item]);
     }
-    stageAdjacency(root);
+    return packMatrices(batch);
+  };
+  try {
+    for (std::size_t bin = 0; bin < live.size(); ++bin) {
+      sendCommand(live[bin], kCmdAdjacency,
+                  std::vector<std::size_t>(partition.assignment[bin]),
+                  buildBody(partition.assignment[bin]));
+    }
 
     std::vector<sparse::SymmetricAdjacency> workerSums;
-    workerSums.reserve(static_cast<std::size_t>(ranks_));
-    std::vector<double> busySeconds(static_cast<std::size_t>(ranks_), 0.0);
-    for (int source = 0; source < ranks_; ++source) {
-      const runtime::Message message = root.recv(source, kSumTag);
-      bytesReturned_ += message.payload.size();
-      sparse::SymmetricAdjacency sum(1024);
-      for (const sparse::AdjacencyTriplet& triplet :
-           message.as<sparse::AdjacencyTriplet>()) {
-        sum.add(triplet.i, triplet.j, triplet.weight);
-      }
-      workerSums.push_back(std::move(sum));
-      busySeconds[static_cast<std::size_t>(source)] =
-          root.recv(source, kBusyTag).value<double>();
-    }
+    std::vector<double> busySeconds;
+    collectStage(kCmdAdjacency, buildBody,
+                 [&workerSums, &busySeconds](std::span<const std::byte> reply) {
+                   CHISIM_CHECK(
+                       reply.size() >= sizeof(double) &&
+                           (reply.size() - sizeof(double)) %
+                                   sizeof(sparse::AdjacencyTriplet) ==
+                               0,
+                       "malformed adjacency reply");
+                   double busy = 0.0;
+                   std::memcpy(&busy, reply.data(), sizeof(double));
+                   busySeconds.push_back(busy);
+                   sparse::SymmetricAdjacency sum(1024);
+                   const std::size_t count =
+                       (reply.size() - sizeof(double)) /
+                       sizeof(sparse::AdjacencyTriplet);
+                   std::vector<sparse::AdjacencyTriplet> triplets(count);
+                   if (count > 0) {
+                     std::memcpy(triplets.data(),
+                                 reply.data() + sizeof(double),
+                                 count * sizeof(sparse::AdjacencyTriplet));
+                   }
+                   for (const sparse::AdjacencyTriplet& triplet : triplets) {
+                     sum.add(triplet.i, triplet.j, triplet.weight);
+                   }
+                   workerSums.push_back(std::move(sum));
+                 });
 
     double total = 0.0;
     double peak = 0.0;
-    for (double seconds : busySeconds) {
+    for (const double seconds : busySeconds) {
       total += seconds;
       peak = std::max(peak, seconds);
     }
     busyImbalance_ =
-        total > 0.0 ? peak / (total / static_cast<double>(ranks_)) : 1.0;
+        total > 0.0 && !busySeconds.empty()
+            ? peak / (total / static_cast<double>(busySeconds.size()))
+            : 1.0;
     return workerSums;
   } catch (...) {
     team_.rethrowServiceError();
     throw;
   }
+}
+
+std::vector<FaultEvent> MessagePassingExecutor::drainFaultEvents() {
+  return std::exchange(faultEvents_, {});
 }
 
 }  // namespace chisimnet::net

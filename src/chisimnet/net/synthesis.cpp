@@ -7,7 +7,9 @@
 
 #include "chisimnet/elog/log_directory.hpp"
 #include "chisimnet/elog/prefetch.hpp"
+#include "chisimnet/net/checkpoint.hpp"
 #include "chisimnet/net/executor.hpp"
+#include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
 
@@ -25,6 +27,15 @@ NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
   CHISIM_REQUIRE(config.prefetch || config.decodeWorkers == 0,
                  "decodeWorkers requires prefetch; drop --decode-workers or "
                  "enable prefetching");
+  CHISIM_REQUIRE(config.commandMaxAttempts >= 1,
+                 "commandMaxAttempts must be >= 1");
+  CHISIM_REQUIRE(
+      config.faultPolicy == FaultPolicy::kDegrade ||
+          config.maxQuarantinedFiles == 0,
+      "a quarantine limit requires --fault-policy degrade; under failfast "
+      "the first corrupt file aborts the run anyway");
+  CHISIM_REQUIRE(!config.resume || !config.checkpointDir.empty(),
+                 "resume requires a checkpoint directory");
   executor_ = makeExecutor(config_);
 }
 
@@ -53,6 +64,7 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
   // Stage 2: subset the slice, index places, and hand the groups to the
   // executor's workers. The input table has already been window-filtered on
   // load; the place index is the per-place grouping workers consume.
+  runtime::fault::hit("driver.subset");
   const table::PlaceIndex placeIndex = events.buildPlaceIndex();
   executor_->scatterPlaces(events, placeIndex);
   report_.subsetSeconds += timer.seconds();
@@ -60,6 +72,7 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
 
   // Stage 3: per-place collocation matrices, returned to the driver (the
   // paper's "returned to the root process").
+  runtime::fault::hit("driver.collocation");
   const std::vector<sparse::CollocationMatrix> matrices =
       executor_->mapCollocation();
   report_.collocationSeconds += timer.seconds();
@@ -73,6 +86,7 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
   // Stage 4: re-partition the matrix list across workers by adjacency-cost
   // weight (nnz, or occupancy-scaled behind config.occupancyWeight) — the
   // step §IV.A.3 calls crucial for even load balance.
+  runtime::fault::hit("driver.partition");
   std::vector<std::uint64_t> weights;
   weights.reserve(matrices.size());
   for (const sparse::CollocationMatrix& matrix : matrices) {
@@ -85,6 +99,7 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
   timer.reset();
 
   // Stage 5: per-worker adjacency accumulation (no shared state).
+  runtime::fault::hit("driver.adjacency");
   std::vector<sparse::SymmetricAdjacency> workerSums =
       executor_->mapAdjacency(matrices, partition);
   report_.adjacencySeconds += timer.seconds();
@@ -92,6 +107,7 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
   timer.reset();
 
   // Stage 6: reduce worker sums into the running result.
+  runtime::fault::hit("driver.reduce");
   executor_->reduce(std::move(workerSums), result);
   report_.reduceSeconds += timer.seconds();
 }
@@ -104,7 +120,95 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
   executor_->resetTransferCounters();
   util::WallTimer total;
 
+  const bool degrade = config_.faultPolicy == FaultPolicy::kDegrade;
+  const bool checkpointing = !config_.checkpointDir.empty();
+
   sparse::SymmetricAdjacency result(1024);
+  std::uint64_t filesConsumed = 0;
+  if (config_.resume) {
+    // Adjacency summation is order-independent u64 addition and the CADJ
+    // round trip is exact, so restoring the checkpointed sum and replaying
+    // only the remaining batches reproduces the uninterrupted run bit for
+    // bit.
+    const auto manifest = loadCheckpointManifest(config_.checkpointDir);
+    CHISIM_CHECK(manifest.has_value(), "no checkpoint to resume from in " +
+                                           config_.checkpointDir.string());
+    CHISIM_CHECK(
+        manifest->configHash == checkpointConfigHash(config_, logFiles),
+        "checkpoint in " + config_.checkpointDir.string() +
+            " was written by a different config or file list; refusing to "
+            "resume into a corrupted result");
+    CHISIM_CHECK(manifest->filesConsumed <= logFiles.size(),
+                 "checkpoint cursor is beyond the given file list");
+    result = loadCheckpointAdjacency(config_.checkpointDir, *manifest);
+    filesConsumed = manifest->filesConsumed;
+    report_.batches = manifest->batchesDone;
+    report_.quarantined = manifest->quarantined;
+    report_.resumed = true;
+    report_.filesSkippedByResume = filesConsumed;
+    FaultEvent event;
+    event.kind = FaultEvent::Kind::kResume;
+    event.batch = manifest->batchesDone;
+    event.detail = "resumed after file " + std::to_string(filesConsumed) +
+                   " of " + std::to_string(logFiles.size());
+    report_.faults.push_back(std::move(event));
+  }
+  const std::vector<std::filesystem::path> remaining(
+      logFiles.begin() + static_cast<std::ptrdiff_t>(filesConsumed),
+      logFiles.end());
+
+  // Bookkeeping shared by both load paths, run after each batch: fold in
+  // quarantine entries and executor recovery events, enforce the
+  // quarantine limit, and persist the checkpoint. The driver.batch fault
+  // site fires last, i.e. after the checkpoint — a kThrow there models a
+  // crash between batches, which the kill-and-resume test exploits.
+  const auto finishBatch = [this, &logFiles, &filesConsumed, &result,
+                            checkpointing](
+                               std::vector<elog::QuarantinedFile> quarantined,
+                               std::size_t filesInBatch) {
+    filesConsumed += filesInBatch;
+    ++report_.batches;
+    for (elog::QuarantinedFile& entry : quarantined) {
+      FaultEvent event;
+      event.kind = FaultEvent::Kind::kFileQuarantined;
+      event.batch = report_.batches;
+      event.detail = entry.file.string() + ": " + entry.reason;
+      report_.faults.push_back(std::move(event));
+      report_.quarantined.push_back(std::move(entry));
+    }
+    CHISIM_CHECK(
+        config_.maxQuarantinedFiles == 0 ||
+            report_.quarantined.size() <= config_.maxQuarantinedFiles,
+        std::to_string(report_.quarantined.size()) +
+            " input files quarantined, more than the configured limit of " +
+            std::to_string(config_.maxQuarantinedFiles));
+    for (FaultEvent& event : executor_->drainFaultEvents()) {
+      event.batch = report_.batches;
+      if (event.kind == FaultEvent::Kind::kCommandRetry) {
+        ++report_.commandRetries;
+      } else if (event.kind == FaultEvent::Kind::kRankLost) {
+        ++report_.ranksLost;
+      }
+      report_.faults.push_back(std::move(event));
+    }
+    if (checkpointing) {
+      CheckpointManifest manifest;
+      manifest.filesConsumed = filesConsumed;
+      manifest.batchesDone = report_.batches;
+      manifest.configHash = checkpointConfigHash(config_, logFiles);
+      manifest.quarantined = report_.quarantined;
+      saveCheckpoint(config_.checkpointDir, manifest, result);
+      ++report_.checkpointsWritten;
+      FaultEvent event;
+      event.kind = FaultEvent::Kind::kCheckpoint;
+      event.batch = report_.batches;
+      event.detail =
+          "checkpoint after file " + std::to_string(filesConsumed);
+      report_.faults.push_back(std::move(event));
+    }
+    runtime::fault::hit("driver.batch");
+  };
+
   if (config_.prefetch) {
     // Two-stage pipeline: a background loader decodes batch k+1 while this
     // thread runs stages 2-6 on batch k.
@@ -115,11 +219,12 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     options.depth = config_.prefetchDepth;
     options.decodeWorkers =
         config_.decodeWorkers == 0 ? config_.workers : config_.decodeWorkers;
-    elog::PrefetchingLoader loader(logFiles, options);
-    while (std::optional<table::EventTable> events = loader.next()) {
-      report_.logEntriesLoaded += events->size();
-      processBatch(*events, result);
-      ++report_.batches;
+    options.quarantineCorrupt = degrade;
+    elog::PrefetchingLoader loader(remaining, options);
+    while (std::optional<elog::LoadedBatch> batch = loader.next()) {
+      report_.logEntriesLoaded += batch->table.size();
+      processBatch(batch->table, result);
+      finishBatch(std::move(batch->quarantined), batch->filesInBatch);
     }
     const elog::PrefetchStats stats = loader.stats();
     report_.prefetchEnabled = true;
@@ -132,18 +237,24 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
   } else {
     const std::size_t batchSize =
         config_.filesPerBatch == 0 ? logFiles.size() : config_.filesPerBatch;
-    for (std::size_t begin = 0; begin < logFiles.size(); begin += batchSize) {
-      const std::size_t end = std::min(logFiles.size(), begin + batchSize);
-      const std::vector<std::filesystem::path> batch(logFiles.begin() + begin,
-                                                     logFiles.begin() + end);
+    for (std::size_t begin = 0; begin < remaining.size(); begin += batchSize) {
+      const std::size_t end = std::min(remaining.size(), begin + batchSize);
+      const std::vector<std::filesystem::path> batch(remaining.begin() + begin,
+                                                     remaining.begin() + end);
       util::WallTimer loadTimer;
+      runtime::fault::hit("driver.load");
+      std::vector<elog::QuarantinedFile> batchQuarantine;
       table::EventTable events =
-          elog::loadEvents(batch, config_.windowStart, config_.windowEnd);
+          degrade ? elog::loadEventsQuarantining(batch, config_.windowStart,
+                                                 config_.windowEnd,
+                                                 batchQuarantine)
+                  : elog::loadEvents(batch, config_.windowStart,
+                                     config_.windowEnd);
       report_.loadSeconds += loadTimer.seconds();
       report_.logEntriesLoaded += events.size();
 
       processBatch(events, result);
-      ++report_.batches;
+      finishBatch(std::move(batchQuarantine), batch.size());
     }
     report_.loadExposedSeconds = report_.loadSeconds;
   }
@@ -165,6 +276,15 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
   sparse::SymmetricAdjacency result(1024);
   processBatch(events, result);
   report_.batches = 1;
+  for (FaultEvent& event : executor_->drainFaultEvents()) {
+    event.batch = 1;
+    if (event.kind == FaultEvent::Kind::kCommandRetry) {
+      ++report_.commandRetries;
+    } else if (event.kind == FaultEvent::Kind::kRankLost) {
+      ++report_.ranksLost;
+    }
+    report_.faults.push_back(std::move(event));
+  }
   report_.edges = result.edgeCount();
   report_.bytesScattered = executor_->bytesScattered();
   report_.bytesReturned = executor_->bytesReturned();

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "chisimnet/elog/log_directory.hpp"
 #include "chisimnet/graph/graph.hpp"
 #include "chisimnet/runtime/partition.hpp"
 #include "chisimnet/sparse/adjacency.hpp"
@@ -52,6 +54,53 @@ inline const char* backendName(SynthesisBackend backend) noexcept {
   return backend == SynthesisBackend::kSharedMemory ? "shared" : "mp";
 }
 
+/// How the pipeline responds to recoverable failures (corrupt input files,
+/// failed worker commands).
+enum class FaultPolicy {
+  /// First failure aborts the whole run with the original error (default —
+  /// matches the paper's batch jobs, where a failed job is simply re-run).
+  kFailFast,
+  /// Degrade gracefully: quarantine undecodable input files and retry /
+  /// route around failing ranks, reporting exactly what was excluded so
+  /// the caller can judge whether the degraded network is usable.
+  kDegrade,
+};
+
+inline const char* faultPolicyName(FaultPolicy policy) noexcept {
+  return policy == FaultPolicy::kFailFast ? "failfast" : "degrade";
+}
+
+/// One recovery action the pipeline took, in the order it happened.
+struct FaultEvent {
+  enum class Kind {
+    kCommandRetry,     ///< a worker command failed/timed out and was retried
+    kRankLost,         ///< a rank was declared dead; its work reassigned
+    kFileQuarantined,  ///< an input file was excluded as undecodable
+    kResume,           ///< the run restarted from a checkpoint
+    kCheckpoint,       ///< a batch checkpoint was persisted
+  };
+  Kind kind = Kind::kCommandRetry;
+  int rank = -1;            ///< affected rank, -1 when not rank-scoped
+  std::uint64_t batch = 0;  ///< batch counter at the time of the event
+  std::string detail;       ///< human-readable specifics
+};
+
+inline const char* faultEventKindName(FaultEvent::Kind kind) noexcept {
+  switch (kind) {
+    case FaultEvent::Kind::kCommandRetry:
+      return "command-retry";
+    case FaultEvent::Kind::kRankLost:
+      return "rank-lost";
+    case FaultEvent::Kind::kFileQuarantined:
+      return "file-quarantined";
+    case FaultEvent::Kind::kResume:
+      return "resume";
+    case FaultEvent::Kind::kCheckpoint:
+      return "checkpoint";
+  }
+  return "unknown";
+}
+
 struct SynthesisConfig {
   table::Hour windowStart = 0;
   table::Hour windowEnd = 168;
@@ -80,6 +129,31 @@ struct SynthesisConfig {
   /// parallel; 0 uses `workers`. Requires prefetch — configuring decode
   /// workers with prefetch disabled is a hard error, not a silent ignore.
   unsigned decodeWorkers = 0;
+
+  // ---- fault tolerance ----
+
+  FaultPolicy faultPolicy = FaultPolicy::kFailFast;
+  /// Degrade mode: abort anyway once more than this many input files have
+  /// been quarantined (a blast-radius bound). 0 = no limit. Requires
+  /// kDegrade — a limit under failfast is a hard config error.
+  std::size_t maxQuarantinedFiles = 0;
+  /// Message-passing backend: deadline for one worker command round trip.
+  /// 0 disables the deadline — a silently dead rank then hangs the root
+  /// (the pre-fault-tolerance behavior); recoverable worker errors are
+  /// still retried under kDegrade since those need no timer.
+  std::uint64_t commandTimeoutMs = 0;
+  /// Degrade mode: attempts per worker command (first try included) before
+  /// the rank is declared lost and its work reassigned to survivors.
+  int commandMaxAttempts = 3;
+  /// Base of the exponential backoff between command retries.
+  std::uint64_t commandBackoffMs = 10;
+  /// When non-empty, persist a checkpoint (accumulated adjacency + cursor
+  /// manifest) into this directory after every file batch.
+  std::filesystem::path checkpointDir;
+  /// Resume from the checkpoint in checkpointDir instead of starting from
+  /// scratch. Requires checkpointDir; a missing/mismatched checkpoint is a
+  /// hard error (resuming the wrong run must not silently corrupt output).
+  bool resume = false;
 };
 
 /// Timing and size metrics of the last synthesis run. One report type
@@ -125,6 +199,18 @@ struct SynthesisReport {
   /// backends with no wire (shared memory).
   std::uint64_t bytesScattered = 0;
   std::uint64_t bytesReturned = 0;
+
+  // ---- fault section: every recovery action of the run ----
+
+  std::vector<FaultEvent> faults;
+  /// Input files excluded by quarantine (degrade mode); the surviving
+  /// output equals a clean run over exactly the other files.
+  std::vector<elog::QuarantinedFile> quarantined;
+  std::uint64_t commandRetries = 0;  ///< worker commands retried
+  int ranksLost = 0;                 ///< ranks declared dead this run
+  bool resumed = false;              ///< run started from a checkpoint
+  std::uint64_t checkpointsWritten = 0;
+  std::uint64_t filesSkippedByResume = 0;
 };
 
 class NetworkSynthesizer {

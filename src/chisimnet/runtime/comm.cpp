@@ -17,8 +17,19 @@ constexpr int kBroadcastTag = kReservedTagBase + 2;
 
 int RankHandle::size() const noexcept { return comm_->size(); }
 
+void validatePayloadLength(std::int64_t declaredBytes) {
+  CHISIM_CHECK(declaredBytes >= 0,
+               "negative payload length in message header: " +
+                   std::to_string(declaredBytes));
+  CHISIM_CHECK(static_cast<std::uint64_t>(declaredBytes) <= kMaxPayloadBytes,
+               "payload length " + std::to_string(declaredBytes) +
+                   " exceeds the " + std::to_string(kMaxPayloadBytes) +
+                   "-byte message limit (corrupt or hostile header)");
+}
+
 void RankHandle::send(int dest, int tag, std::span<const std::byte> payload) {
   CHISIM_REQUIRE(dest >= 0 && dest < comm_->size(), "invalid destination rank");
+  validatePayloadLength(static_cast<std::int64_t>(payload.size()));
   Message message;
   message.source = rank_;
   message.tag = tag;
@@ -36,6 +47,27 @@ Message RankHandle::recv(int source, int tag) {
     }
     CHISIM_CHECK(!comm_->aborted(), "communicator aborted while receiving");
     box.ready.wait(lock);
+  }
+}
+
+std::optional<Message> RankHandle::recvFor(std::chrono::milliseconds timeout,
+                                           int source, int tag) {
+  auto& box = *comm_->mailboxes_[rank_];
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(box.mutex);
+  Message out;
+  while (true) {
+    if (comm_->matchAndPop(box, source, tag, out)) {
+      return out;
+    }
+    CHISIM_CHECK(!comm_->aborted(), "communicator aborted while receiving");
+    if (box.ready.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last look: the message may have raced in with the timeout.
+      if (comm_->matchAndPop(box, source, tag, out)) {
+        return out;
+      }
+      return std::nullopt;
+    }
   }
 }
 
@@ -169,7 +201,9 @@ void Communicator::abort() noexcept {
 }
 
 RankTeam::RankTeam(int rankCount, std::function<void(RankHandle&)> service)
-    : comm_(rankCount), root_(comm_.handle(0)) {
+    : comm_(rankCount),
+      root_(comm_.handle(0)),
+      health_(static_cast<std::size_t>(rankCount), RankHealth::kHealthy) {
   threads_.reserve(static_cast<std::size_t>(rankCount - 1));
   for (int rank = 1; rank < rankCount; ++rank) {
     threads_.emplace_back([this, rank, service] {
@@ -196,6 +230,32 @@ RankTeam::~RankTeam() {
   for (std::thread& thread : threads_) {
     thread.join();
   }
+}
+
+void RankTeam::markLost(int rank) {
+  CHISIM_REQUIRE(rank >= 0 && rank < size(), "invalid rank");
+  CHISIM_REQUIRE(rank != 0, "rank 0 is the caller and cannot be lost");
+  std::lock_guard<std::mutex> lock(healthMutex_);
+  health_[static_cast<std::size_t>(rank)] = RankHealth::kLost;
+}
+
+bool RankTeam::isLive(int rank) const {
+  return health(rank) == RankHealth::kHealthy;
+}
+
+RankTeam::RankHealth RankTeam::health(int rank) const {
+  CHISIM_REQUIRE(rank >= 0 && rank < size(), "invalid rank");
+  std::lock_guard<std::mutex> lock(healthMutex_);
+  return health_[static_cast<std::size_t>(rank)];
+}
+
+int RankTeam::liveCount() const {
+  std::lock_guard<std::mutex> lock(healthMutex_);
+  int live = 0;
+  for (const RankHealth state : health_) {
+    live += state == RankHealth::kHealthy ? 1 : 0;
+  }
+  return live;
 }
 
 std::exception_ptr RankTeam::serviceError() const {

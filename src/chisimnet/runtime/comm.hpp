@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -9,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -33,6 +35,19 @@ inline constexpr int kAnyTag = -1;
 
 /// Tags at or above this value are reserved for collectives.
 inline constexpr int kReservedTagBase = 1 << 24;
+
+/// Hard ceiling on a single message payload. In-process this bounds a
+/// runaway serialization bug; on the future socket transport it is the
+/// value a received length header is validated against before any
+/// allocation happens. 1 GiB is far above the largest legitimate frame
+/// (a full per-rank matrix batch at Chicago scale is tens of MiB).
+inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+
+/// Validates a payload length as read off a wire header (or any untrusted
+/// framing) BEFORE it is used to size an allocation. Rejects negative
+/// lengths and lengths above kMaxPayloadBytes with a clear error naming
+/// both, instead of letting vector::resize() abort the process or OOM.
+void validatePayloadLength(std::int64_t declaredBytes);
 
 struct Message {
   int source = -1;
@@ -90,6 +105,12 @@ class RankHandle {
   /// Blocks until a message matching (source, tag) arrives; kAnySource /
   /// kAnyTag act as wildcards. Matching is FIFO per (source, tag) pair.
   Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// recv with a deadline: blocks at most `timeout` and returns nullopt if
+  /// no matching message arrived by then. The per-command deadline the
+  /// fault-tolerant executor uses to detect lost ranks.
+  std::optional<Message> recvFor(std::chrono::milliseconds timeout,
+                                 int source = kAnySource, int tag = kAnyTag);
 
   /// Non-blocking receive.
   bool tryRecv(Message& out, int source = kAnySource, int tag = kAnyTag);
@@ -187,8 +208,16 @@ class Communicator {
 /// A service body that throws records the first error (retrievable via
 /// serviceError()/rethrowServiceError()) and aborts the communicator, which
 /// makes the root's next blocking call throw "communicator aborted".
+///
+/// Health: each rank carries a health state so a fault-tolerant driver can
+/// route around a worker that died or stopped answering. The team itself
+/// never marks a rank — detection (reply deadline, failed reply, silent
+/// exit) lives in the executor, which calls markLost(); the team just keeps
+/// the book so every stage sees one consistent live set.
 class RankTeam {
  public:
+  enum class RankHealth { kHealthy, kLost };
+
   RankTeam(int rankCount, std::function<void(RankHandle&)> service);
   ~RankTeam();
 
@@ -207,11 +236,23 @@ class RankTeam {
   /// Rethrows the first service error; no-op when none occurred.
   void rethrowServiceError();
 
+  /// Marks `rank` permanently lost; idempotent. Rank 0 (the caller) cannot
+  /// be marked lost.
+  void markLost(int rank);
+  bool isLive(int rank) const;
+  RankHealth health(int rank) const;
+  /// Ranks still healthy (always >= 1: rank 0).
+  int liveCount() const;
+  /// Ranks marked lost so far.
+  int lostCount() const { return size() - liveCount(); }
+
  private:
   Communicator comm_;
   RankHandle root_;
   mutable std::mutex errorMutex_;
   std::exception_ptr firstError_;
+  mutable std::mutex healthMutex_;
+  std::vector<RankHealth> health_;
   std::vector<std::thread> threads_;
 };
 

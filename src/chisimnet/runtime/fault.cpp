@@ -1,0 +1,159 @@
+#include "chisimnet/runtime/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace chisimnet::runtime {
+
+namespace {
+
+std::atomic<FaultPlan*> g_plan{nullptr};
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* faultActionName(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kThrow:
+      return "throw";
+    case FaultAction::kDelay:
+      return "delay";
+    case FaultAction::kTruncate:
+      return "truncate";
+    case FaultAction::kKillRank:
+      return "kill-rank";
+  }
+  return "unknown";
+}
+
+FaultInjected::FaultInjected(std::string_view site, std::uint64_t hit)
+    : std::runtime_error("injected fault at site '" + std::string(site) +
+                         "' (hit " + std::to_string(hit) + ")"),
+      site_(site),
+      hit_(hit) {}
+
+FaultPlan::FaultPlan(std::uint64_t seed) : rngState_(seed * 0x2545F4914F6CDD1Dull + 1) {}
+
+FaultPlan& FaultPlan::at(std::string site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  specs_[std::move(site)].push_back(spec);
+  return *this;
+}
+
+FaultAction FaultPlan::fire(std::string_view site, FaultSite& ctx) {
+  FaultSpec chosen;
+  std::uint64_t hitNumber = 0;
+  bool act = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto hitIt = hits_.find(site);
+    if (hitIt != hits_.end()) {
+      hitNumber = ++hitIt->second;
+    } else {
+      hitNumber = ++hits_[std::string(site)];
+    }
+    const auto it = specs_.find(site);
+    if (it != specs_.end()) {
+      for (const FaultSpec& spec : it->second) {
+        if (spec.rank != -1 && spec.rank != ctx.rank) {
+          continue;
+        }
+        if (spec.hit != 0) {
+          if (spec.hit != hitNumber) {
+            continue;
+          }
+        } else if (spec.probability < 1.0) {
+          const double draw = static_cast<double>(splitmix64(rngState_) >> 11) *
+                              0x1.0p-53;
+          if (draw >= spec.probability) {
+            continue;
+          }
+        }
+        chosen = spec;
+        act = true;
+        break;
+      }
+    }
+    if (act) {
+      const auto actedIt = acted_.find(site);
+      if (actedIt != acted_.end()) {
+        ++actedIt->second;
+      } else {
+        ++acted_[std::string(site)];
+      }
+    }
+  }
+  if (!act) {
+    return FaultAction::kNone;
+  }
+  switch (chosen.action) {
+    case FaultAction::kNone:
+      return FaultAction::kNone;
+    case FaultAction::kThrow:
+      throw FaultInjected(site, hitNumber);
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(chosen.delayMs));
+      return FaultAction::kDelay;
+    case FaultAction::kTruncate:
+      if (ctx.payload == nullptr) {
+        return FaultAction::kNone;  // site has nothing to truncate
+      }
+      ctx.payload->resize(std::min(ctx.payload->size(), chosen.truncateTo));
+      return FaultAction::kTruncate;
+    case FaultAction::kKillRank:
+      return FaultAction::kKillRank;
+  }
+  return FaultAction::kNone;
+}
+
+std::uint64_t FaultPlan::hitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultPlan::actedCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = acted_.find(site);
+  return it == acted_.end() ? 0 : it->second;
+}
+
+namespace fault {
+
+FaultPlan* install(FaultPlan* plan) noexcept {
+  return g_plan.exchange(plan, std::memory_order_acq_rel);
+}
+
+bool armed() noexcept {
+  return g_plan.load(std::memory_order_relaxed) != nullptr;
+}
+
+FaultAction hit(std::string_view site, FaultSite& ctx) {
+  // Acquire pairs with install()'s release so the plan's contents are
+  // visible to whichever thread fires the site; still one uncontended
+  // atomic load (free on x86, a fence-less ldar on arm) when idle.
+  FaultPlan* plan = g_plan.load(std::memory_order_acquire);
+  if (plan == nullptr) {
+    return FaultAction::kNone;
+  }
+  return plan->fire(site, ctx);
+}
+
+FaultAction hit(std::string_view site) {
+  FaultSite ctx;
+  return hit(site, ctx);
+}
+
+}  // namespace fault
+
+}  // namespace chisimnet::runtime

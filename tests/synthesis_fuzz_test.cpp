@@ -269,6 +269,56 @@ TEST(SynthesisBatching, BatchSizeInvariantOverSameLogSet) {
   }
 }
 
+/// Degrade-mode differential check: corrupt one input file per seed and
+/// require the degraded run to equal the brute force over exactly the
+/// surviving files — on both backends, serial and prefetched — with the
+/// quarantine report naming the corrupted file.
+TEST(SynthesisBatching, DegradedRunEqualsBruteForceOverSurvivors) {
+  for (const std::uint64_t seed : {2u, 19u, 38u}) {
+    const FuzzCase fuzz = makeCase(seed + 5000);
+    ScratchDir scratch("chisimnet_fuzz_degrade_" + std::to_string(seed));
+    const int fileCount = 4 + static_cast<int>(seed % 3);
+    auto files =
+        writePlacePartitionedFiles(fuzz.events, scratch.path(), fileCount);
+    const std::size_t victim = seed % files.size();
+    // Halving the file destroys the footer, so the whole file quarantines.
+    std::filesystem::resize_file(files[victim],
+                                 std::filesystem::file_size(files[victim]) /
+                                     2);
+    std::vector<std::filesystem::path> survivors = files;
+    survivors.erase(survivors.begin() +
+                    static_cast<std::ptrdiff_t>(victim));
+    const auto reference = bruteForceAdjacency(
+        elog::loadEvents(survivors, fuzz.windowStart, fuzz.windowEnd),
+        fuzz.windowStart, fuzz.windowEnd);
+
+    SynthesisConfig config;
+    config.windowStart = fuzz.windowStart;
+    config.windowEnd = fuzz.windowEnd;
+    config.workers = 3;
+    config.filesPerBatch = 1 + seed % 2;
+    config.faultPolicy = FaultPolicy::kDegrade;
+    for (const SynthesisBackend backend :
+         {SynthesisBackend::kSharedMemory,
+          SynthesisBackend::kMessagePassing}) {
+      for (const bool prefetch : {false, true}) {
+        config.backend = backend;
+        config.prefetch = prefetch;
+        NetworkSynthesizer synthesizer(config);
+        const auto adjacency = synthesizer.synthesizeAdjacency(files);
+        const std::string label =
+            "degrade seed " + std::to_string(seed) + " " +
+            backendName(backend) + (prefetch ? " prefetch" : " serial");
+        expectEqualAdjacency(adjacency, reference, label);
+        const SynthesisReport& report = synthesizer.report();
+        ASSERT_EQ(report.quarantined.size(), 1u) << label;
+        EXPECT_EQ(report.quarantined[0].file, files[victim]) << label;
+        EXPECT_FALSE(report.quarantined[0].reason.empty()) << label;
+      }
+    }
+  }
+}
+
 /// A decode failure inside the background loader must surface on the
 /// consumer thread as a normal exception, not crash the process.
 TEST(SynthesisBatching, CorruptFileSurfacesAsException) {

@@ -191,6 +191,17 @@ int cmdSynthesize(const Args& args) {
     throw std::invalid_argument("--backend expects shared or mp, got: " +
                                 backend);
   }
+  const std::string policy = args.str("fault-policy", "failfast");
+  if (policy == "degrade") {
+    config.faultPolicy = net::FaultPolicy::kDegrade;
+  } else if (policy != "failfast") {
+    throw std::invalid_argument(
+        "--fault-policy expects failfast or degrade, got: " + policy);
+  }
+  config.maxQuarantinedFiles = args.u64("max-quarantined-files", 0);
+  config.commandTimeoutMs = args.u64("command-timeout-ms", 0);
+  config.checkpointDir = args.str("checkpoint-dir", "");
+  config.resume = args.has("resume");
   net::NetworkSynthesizer synthesizer(config);
   const auto adjacency = synthesizer.synthesizeAdjacency(files);
   const auto& report = synthesizer.report();
@@ -213,6 +224,27 @@ int cmdSynthesize(const Args& args) {
               << report.prefetchPeakOccupancy << ")";
   }
   std::cout << "\n";
+  if (report.resumed) {
+    std::cout << "resumed from checkpoint: skipped "
+              << report.filesSkippedByResume << " already-consumed files\n";
+  }
+  if (report.checkpointsWritten > 0) {
+    std::cout << "checkpoints: " << report.checkpointsWritten << " written to "
+              << config.checkpointDir.string() << "\n";
+  }
+  if (!report.quarantined.empty()) {
+    std::cout << "quarantined " << report.quarantined.size()
+              << " input files (output excludes them):\n";
+    for (const elog::QuarantinedFile& entry : report.quarantined) {
+      std::cout << "  " << entry.file.string() << " @" << entry.byteOffset
+                << ": " << entry.reason << "\n";
+    }
+  }
+  if (report.commandRetries > 0 || report.ranksLost > 0) {
+    std::cout << "recovery: " << report.commandRetries
+              << " command retries, " << report.ranksLost
+              << " ranks lost (work reassigned to survivors)\n";
+  }
   const std::string out = args.requireStr("out");
   sparse::saveAdjacency(adjacency, out);
   std::cout << "wrote " << out << " ("
@@ -336,6 +368,8 @@ void printUsage() {
       "              [--backend shared|mp] [--workers W] [--batch N]\n"
       "              [--no-balance] [--occupancy-weight]\n"
       "              [--no-prefetch] [--prefetch-depth N] [--decode-workers W]\n"
+      "              [--fault-policy failfast|degrade] [--max-quarantined-files N]\n"
+      "              [--command-timeout-ms MS] [--checkpoint-dir DIR] [--resume]\n"
       "  analyze     --net FILE.cadj [--clustering] [--communities]\n"
       "              [--degrees-out FILE.tsv]\n"
       "  ego         --net FILE.cadj --out PREFIX [--person P] [--radius R]\n"
