@@ -8,10 +8,13 @@
 /// (CHISIMNET_SCALE=0.1) and long reproductions (CHISIMNET_SCALE=4).
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chisimnet/chisimnet.hpp"
@@ -112,6 +115,74 @@ inline std::string fmt(double value, int precision = 3) {
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   return buffer;
 }
+
+/// Flat machine-readable metrics dump. Benches collect (key, value) pairs
+/// and write `resultsDir()/BENCH_<name>.json` so CI can archive per-run
+/// numbers (per-stage seconds, kernel variant, edges/sec) without scraping
+/// stdout. Keys are emitted in insertion order; duplicate keys overwrite.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void put(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    putRaw(key, buffer);
+  }
+  void put(const std::string& key, std::uint64_t value) {
+    putRaw(key, std::to_string(value));
+  }
+  void put(const std::string& key, int value) {
+    putRaw(key, std::to_string(value));
+  }
+  void put(const std::string& key, bool value) {
+    putRaw(key, value ? "true" : "false");
+  }
+  void put(const std::string& key, const std::string& value) {
+    putRaw(key, "\"" + escape(value) + "\"");
+  }
+  void put(const std::string& key, const char* value) {
+    put(key, std::string(value));
+  }
+
+  /// Writes BENCH_<name>.json into resultsDir() and returns its path.
+  std::filesystem::path write() const {
+    const std::filesystem::path path = resultsDir() / ("BENCH_" + name_ + ".json");
+    std::ofstream out(path);
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << escape(fields_[i].first) << "\": " << fields_[i].second
+          << (i + 1 < fields_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    return path;
+  }
+
+ private:
+  static std::string escape(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void putRaw(const std::string& key, std::string value) {
+    for (auto& field : fields_) {
+      if (field.first == key) {
+        field.second = std::move(value);
+        return;
+      }
+    }
+    fields_.emplace_back(key, std::move(value));
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 inline std::string fmtCount(std::uint64_t value) {
   std::string digits = std::to_string(value);

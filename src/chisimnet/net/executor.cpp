@@ -1,8 +1,11 @@
 #include "chisimnet/net/executor.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "chisimnet/runtime/thread_pool.hpp"
 #include "chisimnet/util/error.hpp"
+#include "chisimnet/util/timer.hpp"
 
 namespace chisimnet::net {
 
@@ -13,12 +16,35 @@ runtime::Partition SynthesisExecutor::repartition(
              : runtime::partitionContiguous(weights, config_.workers);
 }
 
-void SynthesisExecutor::reduce(
-    std::vector<sparse::SymmetricAdjacency> workerSums,
+void SynthesisExecutor::reduceSums(
+    std::vector<sparse::SymmetricAdjacency>& workerSums,
     sparse::SymmetricAdjacency& result) {
-  for (const sparse::SymmetricAdjacency& workerSum : workerSums) {
-    result.merge(workerSum);
+  lastReduce_ = ReduceStats{};
+  lastReduce_.tree = config_.treeReduce;
+  lastReduce_.mergedSums = workerSums.size();
+  if (config_.treeReduce && workerSums.size() > 1) {
+    const runtime::TreeReduceStats stats = runtime::treeReduce(
+        workerSums, config_.workers,
+        [](sparse::SymmetricAdjacency& into, sparse::SymmetricAdjacency& from) {
+          into.merge(from);
+          from = sparse::SymmetricAdjacency(0);  // release the merged table
+        });
+    lastReduce_.depth = stats.depth;
+    lastReduce_.criticalSeconds = stats.criticalSeconds;
+    // The fold into the cross-batch accumulator stays on the critical path
+    // whichever shape ran, so it counts toward the modeled time too. Both
+    // shapes use the thread-CPU clock, matching treeReduce's merge timing.
+    util::ThreadCpuTimer timer;
+    result.merge(workerSums.front());
+    lastReduce_.criticalSeconds += timer.seconds();
+  } else {
+    util::ThreadCpuTimer timer;
+    for (const sparse::SymmetricAdjacency& workerSum : workerSums) {
+      result.merge(workerSum);
+    }
+    lastReduce_.criticalSeconds = timer.seconds();
   }
+  workerSums.clear();
 }
 
 SharedMemoryExecutor::SharedMemoryExecutor(const SynthesisConfig& config)
@@ -50,18 +76,21 @@ std::vector<sparse::CollocationMatrix> SharedMemoryExecutor::mapCollocation() {
   return matrices;
 }
 
-std::vector<sparse::SymmetricAdjacency> SharedMemoryExecutor::mapAdjacency(
+void SharedMemoryExecutor::mapAdjacency(
     const std::vector<sparse::CollocationMatrix>& matrices,
     const runtime::Partition& partition) {
-  std::vector<sparse::SymmetricAdjacency> workerSums;
-  workerSums.reserve(config_.workers);
+  workerSums_.clear();
+  workerSums_.reserve(config_.workers);
   for (unsigned w = 0; w < config_.workers; ++w) {
-    workerSums.emplace_back(1024);
+    workerSums_.emplace_back(1024);
   }
   cluster_.applyPartitioned(partition, [&](std::size_t item, unsigned worker) {
-    workerSums[worker].addCollocation(matrices[item], config_.method);
+    workerSums_[worker].addCollocation(matrices[item], config_.method);
   });
-  return workerSums;
+}
+
+void SharedMemoryExecutor::reduce(sparse::SymmetricAdjacency& result) {
+  reduceSums(workerSums_, result);
 }
 
 double SharedMemoryExecutor::adjacencyBusyImbalance() const noexcept {

@@ -40,6 +40,16 @@
 
 namespace chisimnet::net {
 
+/// Shape and modeled timing of one stage-6 reduce.
+struct ReduceStats {
+  bool tree = false;             ///< folded via the log-depth merge tree
+  unsigned depth = 0;            ///< merge-tree levels (0 = serial)
+  std::uint64_t mergedSums = 0;  ///< worker sums folded into the result
+  /// Modeled parallel time: Σ over levels of that level's slowest merge
+  /// (equals total merge time when serial).
+  double criticalSeconds = 0.0;
+};
+
 class SynthesisExecutor {
  public:
   explicit SynthesisExecutor(const SynthesisConfig& config)
@@ -67,17 +77,21 @@ class SynthesisExecutor {
   virtual runtime::Partition repartition(
       std::span<const std::uint64_t> weights) const;
 
-  /// Stage 5: compute per-worker adjacency sums for the partition and
-  /// return them to the driver.
-  virtual std::vector<sparse::SymmetricAdjacency> mapAdjacency(
+  /// Stage 5: compute per-worker adjacency sums for the partition. The
+  /// sums stay inside the executor — in-memory at the root (shared) or as
+  /// sorted triplet runs returned by the ranks (message passing) — until
+  /// the following reduce() folds them.
+  virtual void mapAdjacency(
       const std::vector<sparse::CollocationMatrix>& matrices,
       const runtime::Partition& partition) = 0;
 
-  /// Stage 6: fold worker sums into `result`. Default: sequential merge at
-  /// the driver (both substrates hold the sums at the root by now; a
-  /// distributed reduce tree is a ROADMAP follow-on).
-  virtual void reduce(std::vector<sparse::SymmetricAdjacency> workerSums,
-                      sparse::SymmetricAdjacency& result);
+  /// Stage 6: fold the worker sums held since mapAdjacency into `result`,
+  /// via a log-depth pairwise merge tree (config.treeReduce, the default)
+  /// or the serial one-at-a-time root merge (the ablation baseline).
+  virtual void reduce(sparse::SymmetricAdjacency& result) = 0;
+
+  /// Shape and modeled timing of the last reduce().
+  const ReduceStats& lastReduceStats() const noexcept { return lastReduce_; }
 
   /// Observed busy-time imbalance of the last mapAdjacency; 1.0 if the
   /// substrate cannot observe it.
@@ -100,7 +114,14 @@ class SynthesisExecutor {
   }
 
  protected:
+  /// Serial/tree fold over root-held worker sums — the shared path for
+  /// backends whose sums are already in memory at the root. Consumes the
+  /// sums and records lastReduce_.
+  void reduceSums(std::vector<sparse::SymmetricAdjacency>& workerSums,
+                  sparse::SymmetricAdjacency& result);
+
   const SynthesisConfig config_;
+  ReduceStats lastReduce_;
 };
 
 /// Worker threads over shared memory — the paper's SNOW fork cluster.
@@ -116,15 +137,16 @@ class SharedMemoryExecutor final : public SynthesisExecutor {
   void scatterPlaces(const table::EventTable& events,
                      const table::PlaceIndex& index) override;
   std::vector<sparse::CollocationMatrix> mapCollocation() override;
-  std::vector<sparse::SymmetricAdjacency> mapAdjacency(
-      const std::vector<sparse::CollocationMatrix>& matrices,
-      const runtime::Partition& partition) override;
+  void mapAdjacency(const std::vector<sparse::CollocationMatrix>& matrices,
+                    const runtime::Partition& partition) override;
+  void reduce(sparse::SymmetricAdjacency& result) override;
   double adjacencyBusyImbalance() const noexcept override;
 
  private:
   runtime::Cluster cluster_;
   const table::EventTable* events_ = nullptr;
   const table::PlaceIndex* index_ = nullptr;
+  std::vector<sparse::SymmetricAdjacency> workerSums_;  ///< stage 5 → 6
 };
 
 /// Message-passing ranks — the paper's Rmpi path, with its exact data
@@ -162,9 +184,14 @@ class MessagePassingExecutor final : public SynthesisExecutor {
   /// spreads stage-5 work over exactly the ranks that can still take it.
   runtime::Partition repartition(
       std::span<const std::uint64_t> weights) const override;
-  std::vector<sparse::SymmetricAdjacency> mapAdjacency(
-      const std::vector<sparse::CollocationMatrix>& matrices,
-      const runtime::Partition& partition) override;
+  void mapAdjacency(const std::vector<sparse::CollocationMatrix>& matrices,
+                    const runtime::Partition& partition) override;
+  /// Rank-pair merge tree over the sorted triplet runs the adjacency stage
+  /// returned: each level pairs up runs, ships the pairs to the live ranks
+  /// (rank 0 inline), and two-pointer-merges them — no hash rebuild.
+  /// config.treeReduce=false instead inserts the runs one rank at a time
+  /// (the pre-tree baseline). Lost-rank reassignment applies per level.
+  void reduce(sparse::SymmetricAdjacency& result) override;
   double adjacencyBusyImbalance() const noexcept override {
     return busyImbalance_;
   }
@@ -203,6 +230,8 @@ class MessagePassingExecutor final : public SynthesisExecutor {
 
   /// Ranks currently able to take work, rank 0 first.
   std::vector<int> liveRanks() const;
+  /// Executes one level of the reduce merge tree over reduceRuns_.
+  void mergeRunsLevel();
   /// Frames and sends `body` as `command` to `rank`, recording it in
   /// pending_ for retry/reassignment.
   void sendCommand(int rank, std::uint32_t command,
@@ -231,6 +260,10 @@ class MessagePassingExecutor final : public SynthesisExecutor {
   std::vector<FaultEvent> faultEvents_;
   const table::EventTable* events_ = nullptr;
   const table::PlaceIndex* index_ = nullptr;
+  /// Sorted triplet runs returned by the adjacency stage, consumed by
+  /// reduce(); plus the kernel counters that traveled beside them.
+  std::vector<std::vector<sparse::AdjacencyTriplet>> reduceRuns_;
+  sparse::AdjacencyKernelStats runKernelStats_;
   runtime::RankTeam team_;  ///< must be last: threads read config_/ranks_
 };
 

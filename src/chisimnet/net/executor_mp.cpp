@@ -24,6 +24,7 @@ enum Command : std::uint32_t {
   kCmdCollocation = 1,
   kCmdAdjacency = 2,
   kCmdStop = 3,
+  kCmdMergeRuns = 4,  ///< one reduce-tree level: merge sorted triplet runs
 };
 
 constexpr std::uint32_t kStatusOk = 0;
@@ -60,6 +61,43 @@ std::uint64_t take64(std::span<const std::byte> bytes, std::size_t& cursor) {
   const std::uint64_t low = take32(bytes, cursor);
   const std::uint64_t high = take32(bytes, cursor);
   return low | (high << 32);
+}
+
+void putDouble(std::vector<std::byte>& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put64(out, bits);
+}
+
+double takeDouble(std::span<const std::byte> bytes, std::size_t& cursor) {
+  const std::uint64_t bits = take64(bytes, cursor);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// Length-prefixed triplet run: [count u64][count × AdjacencyTriplet].
+void putTriplets(std::vector<std::byte>& out,
+                 std::span<const sparse::AdjacencyTriplet> triplets) {
+  put64(out, triplets.size());
+  const auto bytes = std::as_bytes(triplets);
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<sparse::AdjacencyTriplet> takeTriplets(
+    std::span<const std::byte> bytes, std::size_t& cursor) {
+  const std::uint64_t count = take64(bytes, cursor);
+  CHISIM_CHECK(
+      count <= (bytes.size() - cursor) / sizeof(sparse::AdjacencyTriplet),
+      "triplet run declares more entries than its bytes can hold");
+  std::vector<sparse::AdjacencyTriplet> triplets(
+      static_cast<std::size_t>(count));
+  if (count > 0) {
+    std::memcpy(triplets.data(), bytes.data() + cursor,
+                count * sizeof(sparse::AdjacencyTriplet));
+    cursor += count * sizeof(sparse::AdjacencyTriplet);
+  }
+  return triplets;
 }
 
 std::vector<std::byte> packMatrices(
@@ -224,7 +262,8 @@ std::vector<std::byte> MessagePassingExecutor::executeCommand(
       return packMatrices(built);
     }
     case kCmdAdjacency: {
-      // Body: packed matrix batch. Reply: [busySeconds f64][triplets].
+      // Body: packed matrix batch.
+      // Reply: [busySeconds f64][kernel stats 4×u64][sorted triplet run].
       const auto batch = unpackMatrices(body);
       util::WallTimer busy;
       sparse::SymmetricAdjacency sum(1024);
@@ -233,14 +272,42 @@ std::vector<std::byte> MessagePassingExecutor::executeCommand(
       }
       const std::vector<sparse::AdjacencyTriplet> triplets = sum.toTriplets();
       const double busySeconds = busy.seconds();
-      std::vector<std::byte> reply(sizeof(double) +
-                                   triplets.size() *
-                                       sizeof(sparse::AdjacencyTriplet));
-      std::memcpy(reply.data(), &busySeconds, sizeof(double));
-      if (!triplets.empty()) {
-        std::memcpy(reply.data() + sizeof(double), triplets.data(),
+      const sparse::AdjacencyKernelStats& stats = sum.kernelStats();
+      std::vector<std::byte> reply;
+      reply.reserve(5 * 8 + 8 +
                     triplets.size() * sizeof(sparse::AdjacencyTriplet));
+      putDouble(reply, busySeconds);
+      put64(reply, stats.densePlaces);
+      put64(reply, stats.hashPlaces);
+      put64(reply, stats.pairHourUpdates);
+      put64(reply, stats.globalEmits);
+      putTriplets(reply, triplets);
+      return reply;
+    }
+    case kCmdMergeRuns: {
+      // Body: [pairCount u32][per pair: run A, run B (length-prefixed,
+      // (i,j)-sorted)]. Reply: [busySeconds f64][pairCount u32][per pair:
+      // merged run]. Pure function of its body, so a retried or duplicated
+      // command is harmless — exactly like the other stage commands.
+      std::size_t cursor = 0;
+      const std::uint32_t pairCount = take32(body, cursor);
+      // Thread-CPU clock: the reduce critical-path model must not count
+      // time-slicing against co-scheduled rank threads as merge work.
+      util::ThreadCpuTimer busy;
+      std::vector<std::byte> merged;
+      for (std::uint32_t pair = 0; pair < pairCount; ++pair) {
+        const std::vector<sparse::AdjacencyTriplet> runA =
+            takeTriplets(body, cursor);
+        const std::vector<sparse::AdjacencyTriplet> runB =
+            takeTriplets(body, cursor);
+        putTriplets(merged, sparse::mergeSortedTriplets(runA, runB));
       }
+      CHISIM_CHECK(cursor == body.size(), "merge-runs body size mismatch");
+      std::vector<std::byte> reply;
+      reply.reserve(8 + 4 + merged.size());
+      putDouble(reply, busy.seconds());
+      put32(reply, pairCount);
+      reply.insert(reply.end(), merged.begin(), merged.end());
       return reply;
     }
     default:
@@ -530,7 +597,7 @@ runtime::Partition MessagePassingExecutor::repartition(
              : runtime::partitionContiguous(weights, bins);
 }
 
-std::vector<sparse::SymmetricAdjacency> MessagePassingExecutor::mapAdjacency(
+void MessagePassingExecutor::mapAdjacency(
     const std::vector<sparse::CollocationMatrix>& matrices,
     const runtime::Partition& partition) {
   const std::vector<int> live = liveRanks();
@@ -544,6 +611,8 @@ std::vector<sparse::SymmetricAdjacency> MessagePassingExecutor::mapAdjacency(
     }
     return packMatrices(batch);
   };
+  reduceRuns_.clear();
+  runKernelStats_ = sparse::AdjacencyKernelStats{};
   try {
     for (std::size_t bin = 0; bin < live.size(); ++bin) {
       sendCommand(live[bin], kCmdAdjacency,
@@ -551,33 +620,23 @@ std::vector<sparse::SymmetricAdjacency> MessagePassingExecutor::mapAdjacency(
                   buildBody(partition.assignment[bin]));
     }
 
-    std::vector<sparse::SymmetricAdjacency> workerSums;
+    // Each rank returns its partial sum as a sorted triplet run; the runs
+    // are kept as-is for reduce() to merge pairwise — no per-rank hash
+    // rebuild at the root.
     std::vector<double> busySeconds;
     collectStage(kCmdAdjacency, buildBody,
-                 [&workerSums, &busySeconds](std::span<const std::byte> reply) {
-                   CHISIM_CHECK(
-                       reply.size() >= sizeof(double) &&
-                           (reply.size() - sizeof(double)) %
-                                   sizeof(sparse::AdjacencyTriplet) ==
-                               0,
-                       "malformed adjacency reply");
-                   double busy = 0.0;
-                   std::memcpy(&busy, reply.data(), sizeof(double));
-                   busySeconds.push_back(busy);
-                   sparse::SymmetricAdjacency sum(1024);
-                   const std::size_t count =
-                       (reply.size() - sizeof(double)) /
-                       sizeof(sparse::AdjacencyTriplet);
-                   std::vector<sparse::AdjacencyTriplet> triplets(count);
-                   if (count > 0) {
-                     std::memcpy(triplets.data(),
-                                 reply.data() + sizeof(double),
-                                 count * sizeof(sparse::AdjacencyTriplet));
-                   }
-                   for (const sparse::AdjacencyTriplet& triplet : triplets) {
-                     sum.add(triplet.i, triplet.j, triplet.weight);
-                   }
-                   workerSums.push_back(std::move(sum));
+                 [this, &busySeconds](std::span<const std::byte> reply) {
+                   std::size_t cursor = 0;
+                   busySeconds.push_back(takeDouble(reply, cursor));
+                   sparse::AdjacencyKernelStats stats;
+                   stats.densePlaces = take64(reply, cursor);
+                   stats.hashPlaces = take64(reply, cursor);
+                   stats.pairHourUpdates = take64(reply, cursor);
+                   stats.globalEmits = take64(reply, cursor);
+                   runKernelStats_.merge(stats);
+                   reduceRuns_.push_back(takeTriplets(reply, cursor));
+                   CHISIM_CHECK(cursor == reply.size(),
+                                "malformed adjacency reply");
                  });
 
     double total = 0.0;
@@ -590,11 +649,103 @@ std::vector<sparse::SymmetricAdjacency> MessagePassingExecutor::mapAdjacency(
         total > 0.0 && !busySeconds.empty()
             ? peak / (total / static_cast<double>(busySeconds.size()))
             : 1.0;
-    return workerSums;
   } catch (...) {
     team_.rethrowServiceError();
     throw;
   }
+}
+
+void MessagePassingExecutor::mergeRunsLevel() {
+  // One level of the rank-pair merge tree: adjacent runs (2k, 2k+1) pair
+  // up, the pair-merges spread round-robin over the live ranks (rank 0
+  // executes its share inline), and an odd leftover run carries to the
+  // next level. Work items are pair indices, so sendCommand/collectStage
+  // give this level the same retry and lost-rank reassignment semantics as
+  // the other stages; the merged sum is identical whichever rank performs
+  // it. Runs are only consumed after the level completes, so a reassigned
+  // pair can always be rebuilt from reduceRuns_.
+  const std::size_t pairCount = reduceRuns_.size() / 2;
+  const auto buildBody = [this](std::span<const std::size_t> items) {
+    std::vector<std::byte> body;
+    put32(body, static_cast<std::uint32_t>(items.size()));
+    for (const std::size_t pair : items) {
+      putTriplets(body, reduceRuns_[2 * pair]);
+      putTriplets(body, reduceRuns_[2 * pair + 1]);
+    }
+    return body;
+  };
+  std::vector<std::vector<sparse::AdjacencyTriplet>> next;
+  next.reserve(pairCount + (reduceRuns_.size() & 1));
+  if (reduceRuns_.size() & 1) {
+    next.push_back(std::move(reduceRuns_.back()));
+  }
+  const std::vector<int> live = liveRanks();
+  std::vector<std::vector<std::size_t>> shares(live.size());
+  for (std::size_t pair = 0; pair < pairCount; ++pair) {
+    shares[pair % shares.size()].push_back(pair);
+  }
+  for (std::size_t slot = 0; slot < live.size(); ++slot) {
+    if (shares[slot].empty()) {
+      continue;
+    }
+    std::vector<std::byte> body = buildBody(shares[slot]);
+    sendCommand(live[slot], kCmdMergeRuns, std::move(shares[slot]),
+                std::move(body));
+  }
+  double levelPeak = 0.0;
+  collectStage(kCmdMergeRuns, buildBody,
+               [&next, &levelPeak](std::span<const std::byte> reply) {
+                 std::size_t cursor = 0;
+                 levelPeak = std::max(levelPeak, takeDouble(reply, cursor));
+                 const std::uint32_t count = take32(reply, cursor);
+                 for (std::uint32_t pair = 0; pair < count; ++pair) {
+                   next.push_back(takeTriplets(reply, cursor));
+                 }
+                 CHISIM_CHECK(cursor == reply.size(),
+                              "malformed merge-runs reply");
+               });
+  reduceRuns_ = std::move(next);
+  ++lastReduce_.depth;
+  lastReduce_.criticalSeconds += levelPeak;
+}
+
+void MessagePassingExecutor::reduce(sparse::SymmetricAdjacency& result) {
+  lastReduce_ = ReduceStats{};
+  lastReduce_.tree = config_.treeReduce;
+  lastReduce_.mergedSums = reduceRuns_.size();
+  try {
+    if (config_.treeReduce) {
+      while (reduceRuns_.size() > 1) {
+        mergeRunsLevel();
+      }
+      // Only the single surviving run crosses into the running result. The
+      // root-side insert is on the critical path either way, so it counts.
+      util::WallTimer timer;
+      for (const auto& run : reduceRuns_) {
+        result.reserve(result.edgeCount() + run.size());
+        for (const sparse::AdjacencyTriplet& triplet : run) {
+          result.add(triplet.i, triplet.j, triplet.weight);
+        }
+      }
+      lastReduce_.criticalSeconds += timer.seconds();
+    } else {
+      // Serial baseline: insert each rank's run into the root map one at a
+      // time (the pre-tree behavior, kept for the ablation bench).
+      util::WallTimer timer;
+      for (const auto& run : reduceRuns_) {
+        for (const sparse::AdjacencyTriplet& triplet : run) {
+          result.add(triplet.i, triplet.j, triplet.weight);
+        }
+      }
+      lastReduce_.criticalSeconds = timer.seconds();
+    }
+  } catch (...) {
+    team_.rethrowServiceError();
+    throw;
+  }
+  reduceRuns_.clear();
+  result.addKernelStats(runKernelStats_);
+  runKernelStats_ = sparse::AdjacencyKernelStats{};
 }
 
 std::vector<FaultEvent> MessagePassingExecutor::drainFaultEvents() {

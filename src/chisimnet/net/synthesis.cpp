@@ -98,18 +98,33 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
   report_.partitionLoads = partition.loads;
   timer.reset();
 
-  // Stage 5: per-worker adjacency accumulation (no shared state).
+  // Stage 5: per-worker adjacency accumulation (no shared state); the
+  // sums stay inside the executor until the reduce.
   runtime::fault::hit("driver.adjacency");
-  std::vector<sparse::SymmetricAdjacency> workerSums =
-      executor_->mapAdjacency(matrices, partition);
+  executor_->mapAdjacency(matrices, partition);
   report_.adjacencySeconds += timer.seconds();
   report_.adjacencyBusyImbalance = executor_->adjacencyBusyImbalance();
   timer.reset();
 
-  // Stage 6: reduce worker sums into the running result.
+  // Stage 6: fold the worker sums into the running result (log-depth
+  // merge tree by default, serial root merge behind config.treeReduce).
   runtime::fault::hit("driver.reduce");
-  executor_->reduce(std::move(workerSums), result);
+  executor_->reduce(result);
   report_.reduceSeconds += timer.seconds();
+  const ReduceStats& reduceStats = executor_->lastReduceStats();
+  report_.treeReduceEnabled = reduceStats.tree;
+  report_.reduceTreeDepth =
+      std::max(report_.reduceTreeDepth, reduceStats.depth);
+  report_.reduceMergedSums += reduceStats.mergedSums;
+  report_.reduceCriticalSeconds += reduceStats.criticalSeconds;
+
+  // Kernel counters ride on the result (merged up the reduce alongside the
+  // weights), so they are cumulative across batches: copy, don't add.
+  const sparse::AdjacencyKernelStats& kernel = result.kernelStats();
+  report_.kernelDensePlaces = kernel.densePlaces;
+  report_.kernelHashPlaces = kernel.hashPlaces;
+  report_.kernelPairHourUpdates = kernel.pairHourUpdates;
+  report_.kernelGlobalEmits = kernel.globalEmits;
 }
 
 sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(

@@ -106,16 +106,28 @@ struct SynthesisConfig {
   table::Hour windowEnd = 168;
   unsigned workers = 4;
   SynthesisBackend backend = SynthesisBackend::kSharedMemory;
-  sparse::AdjacencyMethod method = sparse::AdjacencyMethod::kSpGemm;
+  /// Per-place x·xᵀ kernel. kLocalAccumulate (default) gathers each
+  /// place's pairs in local row coordinates and emits once per distinct
+  /// pair; kSpGemm is the paper-faithful per-pair-hour global insert. All
+  /// methods produce bit-identical adjacencies.
+  sparse::AdjacencyMethod method = sparse::AdjacencyMethod::kLocalAccumulate;
+  /// true: stage 6 folds worker sums through a log-depth pairwise merge
+  /// tree (thread-pool merges on shared memory, rank-pair sorted-run
+  /// merges on message passing); false: the serial one-at-a-time root
+  /// merge (the ablation baseline). Output is identical either way, so
+  /// this is a perf knob and not part of the checkpoint config hash.
+  bool treeReduce = true;
   /// true: nnz-based LPT re-partitioning (the paper's scheme);
   /// false: contiguous equal-count lists (the naive ablation baseline).
   bool balancedPartition = true;
-  /// true: weigh each matrix by nnz times its mean simultaneous occupancy
-  /// (nnz² / occupied hours) instead of plain nnz, so hub places — whose
-  /// x·xᵀ cost grows faster than their person-hours — are partitioned by a
-  /// closer proxy of adjacency cost. bench_partition_ablation measures the
-  /// difference; plain nnz remains the paper's §IV.A.3 scheme.
-  bool occupancyWeight = false;
+  /// true (default): weigh each matrix by nnz times its mean simultaneous
+  /// occupancy (nnz² / occupied hours) instead of plain nnz, so hub places
+  /// — whose x·xᵀ cost grows faster than their person-hours — are
+  /// partitioned by a closer proxy of adjacency cost. Defaulted on after
+  /// bench_partition_ablation showed consistently lower busy imbalance and
+  /// makespan on skewed populations (EXPERIMENTS.md); false restores the
+  /// paper's plain-nnz §IV.A.3 scheme.
+  bool occupancyWeight = true;
   /// Files per batch when synthesizing from disk; 0 processes all files in
   /// one batch. Batches are independent and their adjacencies are summed,
   /// mirroring the paper's batched cluster jobs (§V).
@@ -199,6 +211,24 @@ struct SynthesisReport {
   /// backends with no wire (shared memory).
   std::uint64_t bytesScattered = 0;
   std::uint64_t bytesReturned = 0;
+
+  // ---- adjacency kernel (kLocalAccumulate only; zero otherwise) ----
+
+  std::uint64_t kernelDensePlaces = 0;  ///< places on the triangular array
+  std::uint64_t kernelHashPlaces = 0;   ///< places on the local hash
+  std::uint64_t kernelPairHourUpdates = 0;  ///< local increments
+  std::uint64_t kernelGlobalEmits = 0;  ///< distinct-pair global inserts
+
+  // ---- stage-6 reduce shape ----
+
+  bool treeReduceEnabled = false;
+  unsigned reduceTreeDepth = 0;  ///< deepest merge tree of any batch
+  std::uint64_t reduceMergedSums = 0;   ///< worker sums folded, all batches
+  /// Modeled parallel reduce time: per tree level, only the slowest merge
+  /// is on the critical path; this sums those maxima (equals the serial
+  /// merge time when treeReduce is off). On a multi-core host this is what
+  /// stage 6 would cost; single-core wall time cannot show the win.
+  double reduceCriticalSeconds = 0.0;
 
   // ---- fault section: every recovery action of the run ----
 

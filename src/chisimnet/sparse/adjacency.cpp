@@ -25,42 +25,155 @@ std::uint64_t SymmetricAdjacency::weight(std::uint32_t i,
 
 namespace {
 
-/// SpGEMM path: transpose the per-person CSR into per-hour person lists,
-/// then accumulate one outer product per time column.
+/// Counting-sort transpose of the per-person CSR into per-hour row lists.
+/// Rows within a column come out ascending (rows are visited in order),
+/// which the local-coordinate kernel relies on to keep pairs (a,b) with
+/// a < b without re-sorting.
+struct ColumnIndex {
+  std::vector<std::uint64_t> offsets;  ///< sliceHours+1 prefix sums
+  std::vector<std::uint32_t> rows;     ///< local rows, ascending per column
+  std::uint64_t pairHours = 0;         ///< Σ_h c_h(c_h-1)/2, exact
+};
+
+ColumnIndex buildColumnIndex(const CollocationMatrix& matrix) {
+  ColumnIndex index;
+  const std::size_t personCount = matrix.personCount();
+  index.offsets.assign(matrix.sliceHours() + 1, 0);
+  for (std::size_t row = 0; row < personCount; ++row) {
+    for (std::uint32_t hour : matrix.hoursAt(row)) {
+      ++index.offsets[hour + 1];
+    }
+  }
+  for (std::size_t h = 1; h < index.offsets.size(); ++h) {
+    const std::uint64_t columnSize = index.offsets[h];
+    index.pairHours += columnSize * (columnSize - 1) / 2;
+    index.offsets[h] += index.offsets[h - 1];
+  }
+  index.rows.resize(matrix.nnz());
+  std::vector<std::uint64_t> cursor(index.offsets.begin(),
+                                    index.offsets.end() - 1);
+  for (std::size_t row = 0; row < personCount; ++row) {
+    for (std::uint32_t hour : matrix.hoursAt(row)) {
+      index.rows[cursor[hour]++] = static_cast<std::uint32_t>(row);
+    }
+  }
+  return index;
+}
+
+/// SpGEMM path: one global hash insert per pair-hour.
 void addViaSpGemm(const CollocationMatrix& matrix, PairCountMap& pairs) {
   const std::size_t personCount = matrix.personCount();
   if (personCount < 2) {
     return;
   }
-  // Column (hour) -> local rows present. Counting sort keeps this linear in
-  // nnz.
-  std::vector<std::uint64_t> columnSizes(matrix.sliceHours() + 1, 0);
-  for (std::size_t row = 0; row < personCount; ++row) {
-    for (std::uint32_t hour : matrix.hoursAt(row)) {
-      ++columnSizes[hour + 1];
-    }
-  }
-  for (std::size_t h = 1; h < columnSizes.size(); ++h) {
-    columnSizes[h] += columnSizes[h - 1];
-  }
-  std::vector<std::uint32_t> columnRows(matrix.nnz());
-  std::vector<std::uint64_t> cursor(columnSizes.begin(), columnSizes.end() - 1);
-  for (std::size_t row = 0; row < personCount; ++row) {
-    for (std::uint32_t hour : matrix.hoursAt(row)) {
-      columnRows[cursor[hour]++] = static_cast<std::uint32_t>(row);
-    }
-  }
-
+  const ColumnIndex index = buildColumnIndex(matrix);
   for (std::uint32_t hour = 0; hour < matrix.sliceHours(); ++hour) {
-    const std::uint64_t begin = columnSizes[hour];
-    const std::uint64_t end = columnSizes[hour + 1];
+    const std::uint64_t begin = index.offsets[hour];
+    const std::uint64_t end = index.offsets[hour + 1];
     for (std::uint64_t a = begin; a < end; ++a) {
-      const table::PersonId personA = matrix.personAt(columnRows[a]);
+      const table::PersonId personA = matrix.personAt(index.rows[a]);
       for (std::uint64_t b = a + 1; b < end; ++b) {
-        const table::PersonId personB = matrix.personAt(columnRows[b]);
+        const table::PersonId personB = matrix.personAt(index.rows[b]);
         pairs.add(packPair(personA, personB), 1);
       }
     }
+  }
+}
+
+// Dense/hash crossover for the local-coordinate kernel. The flat triangular
+// array is used only when it fits the thread-local scratch buffer AND the
+// emit scan over every slot is bounded by a small multiple of the update
+// work actually done (pairSlots can dwarf pairHours at short slices).
+// The choice is a pure function of the matrix, so results stay
+// deterministic across partitions, workers and backends.
+constexpr std::uint64_t kDenseMaxPairs = std::uint64_t{1} << 22;
+constexpr std::uint64_t kDenseScanFactor = 8;
+constexpr std::size_t kLocalHashMaxReserve = std::size_t{1} << 20;
+
+bool useDenseLocalPath(std::uint64_t pairSlots,
+                       std::uint64_t pairHours) noexcept {
+  return pairSlots <= kDenseMaxPairs &&
+         pairSlots <= kDenseScanFactor * pairHours;
+}
+
+/// Local-coordinate path: accumulate this place's pairs keyed by local row
+/// indices, then emit each distinct pair into the global map exactly once.
+/// The inner loop becomes an array increment (dense) or a probe of a
+/// cache-resident local table (hash) instead of a global hash insert per
+/// pair-hour.
+void addViaLocalAccumulate(const CollocationMatrix& matrix,
+                           PairCountMap& pairs, AdjacencyKernelStats& stats) {
+  const std::uint64_t p = matrix.personCount();
+  if (p < 2) {
+    return;
+  }
+  const ColumnIndex index = buildColumnIndex(matrix);
+  if (index.pairHours == 0) {
+    return;
+  }
+  stats.pairHourUpdates += index.pairHours;
+  const std::uint64_t pairSlots = p * (p - 1) / 2;
+  if (useDenseLocalPath(pairSlots, index.pairHours)) {
+    ++stats.densePlaces;
+    // Scratch persists across places; invariant: all-zero outside this
+    // scope (the emit loop clears every slot it touched, and assign()
+    // zero-fills on growth).
+    thread_local std::vector<std::uint32_t> scratch;
+    if (scratch.size() < pairSlots) {
+      scratch.assign(static_cast<std::size_t>(pairSlots), 0);
+    }
+    for (std::uint32_t hour = 0; hour < matrix.sliceHours(); ++hour) {
+      const std::uint64_t begin = index.offsets[hour];
+      const std::uint64_t end = index.offsets[hour + 1];
+      for (std::uint64_t a = begin; a < end; ++a) {
+        const std::uint64_t ra = index.rows[a];
+        // Upper-triangular flattening: slot(ra,rb) = rowBase + rb for
+        // ra < rb, with rows ascending within the column. Counts cannot
+        // overflow uint32: each hour contributes at most 1 and the slice
+        // hour count is itself a uint32.
+        const std::uint64_t rowBase = ra * (2 * p - ra - 1) / 2 - ra - 1;
+        for (std::uint64_t b = a + 1; b < end; ++b) {
+          ++scratch[static_cast<std::size_t>(rowBase + index.rows[b])];
+        }
+      }
+    }
+    for (std::uint64_t ra = 0; ra + 1 < p; ++ra) {
+      const std::uint64_t rowBase = ra * (2 * p - ra - 1) / 2 - ra - 1;
+      const table::PersonId personA =
+          matrix.personAt(static_cast<std::size_t>(ra));
+      for (std::uint64_t rb = ra + 1; rb < p; ++rb) {
+        std::uint32_t& slot = scratch[static_cast<std::size_t>(rowBase + rb)];
+        if (slot != 0) {
+          pairs.add(packPair(personA,
+                             matrix.personAt(static_cast<std::size_t>(rb))),
+                    slot);
+          slot = 0;
+          ++stats.globalEmits;
+        }
+      }
+    }
+  } else {
+    ++stats.hashPlaces;
+    PairCountMap local(static_cast<std::size_t>(
+        std::min({index.pairHours, pairSlots,
+                  static_cast<std::uint64_t>(kLocalHashMaxReserve)})));
+    for (std::uint32_t hour = 0; hour < matrix.sliceHours(); ++hour) {
+      const std::uint64_t begin = index.offsets[hour];
+      const std::uint64_t end = index.offsets[hour + 1];
+      for (std::uint64_t a = begin; a < end; ++a) {
+        const std::uint64_t ra = index.rows[a];
+        for (std::uint64_t b = a + 1; b < end; ++b) {
+          // ra < rows[b] within a column, so the key is already canonical.
+          local.add((ra << 32) | index.rows[b], 1);
+        }
+      }
+    }
+    for (const auto& [key, count] : local.entries()) {
+      pairs.add(packPair(matrix.personAt(pairLow(key)),
+                         matrix.personAt(pairHigh(key))),
+                count);
+    }
+    stats.globalEmits += local.size();
   }
 }
 
@@ -109,6 +222,9 @@ void SymmetricAdjacency::addCollocation(const CollocationMatrix& matrix,
     case AdjacencyMethod::kIntervalIntersection:
       addViaIntersection(matrix, pairs_);
       return;
+    case AdjacencyMethod::kLocalAccumulate:
+      addViaLocalAccumulate(matrix, pairs_, kernelStats_);
+      return;
   }
   CHISIM_CHECK(false, "unknown adjacency method");
 }
@@ -121,6 +237,31 @@ std::vector<AdjacencyTriplet> SymmetricAdjacency::toTriplets() const {
   }
   std::sort(triplets.begin(), triplets.end());
   return triplets;
+}
+
+std::vector<AdjacencyTriplet> mergeSortedTriplets(
+    std::span<const AdjacencyTriplet> a, std::span<const AdjacencyTriplet> b) {
+  std::vector<AdjacencyTriplet> merged;
+  merged.reserve(a.size() + b.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const std::uint64_t keyA = packPair(a[ia].i, a[ia].j);
+    const std::uint64_t keyB = packPair(b[ib].i, b[ib].j);
+    if (keyA < keyB) {
+      merged.push_back(a[ia++]);
+    } else if (keyB < keyA) {
+      merged.push_back(b[ib++]);
+    } else {
+      merged.push_back(
+          AdjacencyTriplet{a[ia].i, a[ia].j, a[ia].weight + b[ib].weight});
+      ++ia;
+      ++ib;
+    }
+  }
+  merged.insert(merged.end(), a.begin() + ia, a.end());
+  merged.insert(merged.end(), b.begin() + ib, b.end());
+  return merged;
 }
 
 SymmetricAdjacency adjacencyFromCollocations(

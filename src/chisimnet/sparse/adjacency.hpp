@@ -25,6 +25,27 @@ enum class AdjacencyMethod {
   /// Optimized equivalent: for every pair of persons at the place, the
   /// weight is the size of the sorted intersection of their hour lists.
   kIntervalIntersection,
+  /// Local-coordinate accumulator: pair counts are gathered per place in
+  /// local row coordinates (a flat upper-triangular uint32 array for
+  /// small/medium places, a compact local hash for hubs) and emitted into
+  /// the global map once per distinct pair instead of once per pair-hour.
+  kLocalAccumulate,
+};
+
+/// Diagnostic counters from the local-coordinate kernel, merged up the
+/// reduce tree alongside the weights (not part of the matrix value).
+struct AdjacencyKernelStats {
+  std::uint64_t densePlaces = 0;     ///< places on the triangular-array path
+  std::uint64_t hashPlaces = 0;      ///< places on the local-hash path
+  std::uint64_t pairHourUpdates = 0; ///< local increments performed
+  std::uint64_t globalEmits = 0;     ///< distinct pairs pushed to the map
+
+  void merge(const AdjacencyKernelStats& other) noexcept {
+    densePlaces += other.densePlaces;
+    hashPlaces += other.hashPlaces;
+    pairHourUpdates += other.pairHourUpdates;
+    globalEmits += other.globalEmits;
+  }
 };
 
 struct AdjacencyTriplet {
@@ -45,11 +66,15 @@ class SymmetricAdjacency {
   void add(std::uint32_t i, std::uint32_t j, std::uint64_t weight);
 
   /// Accumulates one place's x·xᵀ contribution.
-  void addCollocation(const CollocationMatrix& matrix,
-                      AdjacencyMethod method = AdjacencyMethod::kSpGemm);
+  void addCollocation(
+      const CollocationMatrix& matrix,
+      AdjacencyMethod method = AdjacencyMethod::kLocalAccumulate);
 
   /// Sums another adjacency into this one (matrix addition).
-  void merge(const SymmetricAdjacency& other) { pairs_.merge(other.pairs_); }
+  void merge(const SymmetricAdjacency& other) {
+    pairs_.merge(other.pairs_);
+    kernelStats_.merge(other.kernelStats_);
+  }
 
   /// Collocation hours between i and j (0 when never collocated).
   std::uint64_t weight(std::uint32_t i, std::uint32_t j) const noexcept;
@@ -59,16 +84,36 @@ class SymmetricAdjacency {
 
   std::size_t memoryBytes() const noexcept { return pairs_.memoryBytes(); }
 
+  /// Pre-sizes the underlying map for `expectedEdges` entries.
+  void reserve(std::size_t expectedEdges) { pairs_.reserve(expectedEdges); }
+
+  const AdjacencyKernelStats& kernelStats() const noexcept {
+    return kernelStats_;
+  }
+
+  /// Folds externally gathered kernel counters in (used when triplets and
+  /// stats travel separately, e.g. over the message-passing wire).
+  void addKernelStats(const AdjacencyKernelStats& stats) noexcept {
+    kernelStats_.merge(stats);
+  }
+
   /// Upper-triangular triplets sorted by (i, j); deterministic output.
   std::vector<AdjacencyTriplet> toTriplets() const;
 
  private:
   PairCountMap pairs_;
+  AdjacencyKernelStats kernelStats_;
 };
+
+/// Merges two (i,j)-sorted triplet runs into one sorted run, summing the
+/// weights of equal pairs. The reduce tree's building block: no hash table
+/// is rebuilt, just a two-pointer walk.
+std::vector<AdjacencyTriplet> mergeSortedTriplets(
+    std::span<const AdjacencyTriplet> a, std::span<const AdjacencyTriplet> b);
 
 /// Accumulates every matrix in `matrices` into a fresh adjacency.
 SymmetricAdjacency adjacencyFromCollocations(
     std::span<const CollocationMatrix> matrices,
-    AdjacencyMethod method = AdjacencyMethod::kSpGemm);
+    AdjacencyMethod method = AdjacencyMethod::kLocalAccumulate);
 
 }  // namespace chisimnet::sparse

@@ -64,7 +64,17 @@ std::uint64_t PairCountMap::get(std::uint64_t key) const noexcept {
   }
 }
 
+void PairCountMap::reserve(std::size_t expectedEntries) {
+  // Invert the load-factor-0.7 growth trigger used by add().
+  const std::size_t needed =
+      nextPowerOfTwo((expectedEntries * 10 + 6) / 7);
+  if (needed > slots_.size()) {
+    rehash(needed);
+  }
+}
+
 void PairCountMap::merge(const PairCountMap& other) {
+  reserve(size_ + other.size_);
   for (const Slot& slot : other.slots_) {
     if (slot.key != kEmpty) {
       add(slot.key, slot.count);

@@ -26,10 +26,15 @@ class PairCountMap {
   /// The accumulated count for `key`, or 0 when absent.
   std::uint64_t get(std::uint64_t key) const noexcept;
 
+  /// Grows the table so `expectedEntries` total entries fit without a
+  /// rehash. No-op if the table is already big enough; never shrinks.
+  void reserve(std::size_t expectedEntries);
+
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 
-  /// Merges all entries of `other` into this map.
+  /// Merges all entries of `other` into this map. Reserves room for the
+  /// worst-case union up front so the insert loop never rehashes mid-merge.
   void merge(const PairCountMap& other);
 
   /// All (key, count) entries in unspecified order.

@@ -3,6 +3,11 @@
 #include <chrono>
 #include <cstdint>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#define CHISIMNET_HAS_THREAD_CPU_CLOCK 1
+#endif
+
 /// Wall-clock timing used by the benchmark harnesses and the runtime's
 /// load-balance reporting.
 
@@ -26,6 +31,37 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// CPU time consumed by the calling thread. Unlike wall time this is not
+/// inflated by preemption, so per-task timings taken inside a thread pool
+/// stay meaningful even when tasks outnumber cores (on an idle multi-core
+/// host the two clocks agree). Falls back to wall time on platforms
+/// without a per-thread CPU clock.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() noexcept : start_(now()) {}
+
+  void reset() noexcept { start_ = now(); }
+
+  /// Elapsed thread-CPU seconds since construction or the last reset().
+  double seconds() const noexcept { return now() - start_; }
+
+ private:
+  static double now() noexcept {
+#ifdef CHISIMNET_HAS_THREAD_CPU_CLOCK
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace chisimnet::util

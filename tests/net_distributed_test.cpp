@@ -238,6 +238,7 @@ TEST_F(DistributedSynthesisTest, OccupancyWeightSameResultDifferentLoads) {
   SynthesisConfig config;
   config.windowEnd = 96;
   config.workers = 4;
+  config.occupancyWeight = false;  // baseline: the paper's plain-nnz weight
   NetworkSynthesizer nnzRun(config);
   const auto a = nnzRun.synthesizeAdjacency(files);
 
@@ -253,7 +254,7 @@ TEST_F(DistributedSynthesisTest, OccupancyWeightSameResultDifferentLoads) {
   }
 }
 
-TEST_F(DistributedSynthesisTest, BothAdjacencyMethodsAgree) {
+TEST_F(DistributedSynthesisTest, AllAdjacencyMethodsAgree) {
   const auto files = writeRandomLogs(9, 600, 2);
   SynthesisConfig config;
   config.windowEnd = 96;
@@ -266,6 +267,30 @@ TEST_F(DistributedSynthesisTest, BothAdjacencyMethodsAgree) {
   NetworkSynthesizer sweepRun(config);
   const auto sweep = sweepRun.synthesizeAdjacency(files);
   EXPECT_EQ(spgemm.toTriplets(), sweep.toTriplets());
+  config.method = sparse::AdjacencyMethod::kLocalAccumulate;
+  NetworkSynthesizer localRun(config);
+  EXPECT_EQ(spgemm.toTriplets(), localRun.synthesizeAdjacency(files).toTriplets());
+  const auto& report = localRun.report();
+  // Kernel stats travel over the wire beside the triplet runs.
+  EXPECT_GT(report.kernelDensePlaces + report.kernelHashPlaces, 0u);
+  EXPECT_GE(report.kernelPairHourUpdates, report.kernelGlobalEmits);
+}
+
+TEST_F(DistributedSynthesisTest, TreeAndSerialReduceAgree) {
+  const auto files = writeRandomLogs(10, 600, 2);
+  SynthesisConfig config;
+  config.windowEnd = 96;
+  config.workers = 5;  // odd rank count: the run tree carries a leftover
+  config.backend = SynthesisBackend::kMessagePassing;
+  config.treeReduce = true;
+  NetworkSynthesizer treeRun(config);
+  const auto tree = treeRun.synthesizeAdjacency(files);
+  EXPECT_TRUE(treeRun.report().treeReduceEnabled);
+  EXPECT_GE(treeRun.report().reduceTreeDepth, 1u);
+  config.treeReduce = false;
+  NetworkSynthesizer serialRun(config);
+  EXPECT_EQ(tree.toTriplets(), serialRun.synthesizeAdjacency(files).toTriplets());
+  EXPECT_FALSE(serialRun.report().treeReduceEnabled);
 }
 
 TEST_F(DistributedSynthesisTest, RejectsBadInputs) {

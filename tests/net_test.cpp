@@ -71,15 +71,34 @@ TEST_P(SynthesisProperty, PipelineEqualsBruteForce) {
   expectEqualAdjacency(pipeline, reference);
 }
 
-TEST_P(SynthesisProperty, BothAdjacencyMethodsAgree) {
+TEST_P(SynthesisProperty, AllAdjacencyMethodsAgree) {
   const table::EventTable events = randomEvents(GetParam() + 100, 300);
   SynthesisConfig config = baseConfig();
   config.method = sparse::AdjacencyMethod::kSpGemm;
   NetworkSynthesizer spgemm(config);
+  const auto reference = spgemm.synthesizeAdjacency(events);
   config.method = sparse::AdjacencyMethod::kIntervalIntersection;
   NetworkSynthesizer sweep(config);
-  expectEqualAdjacency(spgemm.synthesizeAdjacency(events),
-                       sweep.synthesizeAdjacency(events));
+  expectEqualAdjacency(reference, sweep.synthesizeAdjacency(events));
+  config.method = sparse::AdjacencyMethod::kLocalAccumulate;
+  NetworkSynthesizer local(config);
+  expectEqualAdjacency(reference, local.synthesizeAdjacency(events));
+}
+
+TEST_P(SynthesisProperty, TreeAndSerialReduceAgree) {
+  const table::EventTable events = randomEvents(GetParam() + 400, 300);
+  SynthesisConfig config = baseConfig();
+  config.workers = 5;  // odd count: the merge tree carries a leftover
+  config.treeReduce = true;
+  NetworkSynthesizer tree(config);
+  const auto treeResult = tree.synthesizeAdjacency(events);
+  EXPECT_TRUE(tree.report().treeReduceEnabled);
+  EXPECT_GE(tree.report().reduceTreeDepth, 1u);
+  config.treeReduce = false;
+  NetworkSynthesizer serial(config);
+  const auto serialResult = serial.synthesizeAdjacency(events);
+  EXPECT_FALSE(serial.report().treeReduceEnabled);
+  expectEqualAdjacency(treeResult, serialResult);
 }
 
 TEST_P(SynthesisProperty, BalancedAndNaivePartitionsAgree) {

@@ -69,6 +69,40 @@ TEST(PairCountMap, ReservedKeyRejected) {
   EXPECT_THROW(map.add(~std::uint64_t{0}, 1), std::invalid_argument);
 }
 
+TEST(PairCountMap, ReservePreventsRehash) {
+  PairCountMap map;
+  map.reserve(5000);
+  const std::size_t bytesAfterReserve = map.memoryBytes();
+  for (std::uint64_t key = 0; key < 5000; ++key) {
+    map.add(key, key + 1);
+  }
+  // Reserve sized the table for 5000 entries under the load-factor-0.7
+  // trigger, so none of the adds grew it.
+  EXPECT_EQ(map.memoryBytes(), bytesAfterReserve);
+  EXPECT_EQ(map.size(), 5000u);
+  EXPECT_EQ(map.get(4999), 5000u);
+}
+
+TEST(PairCountMap, MergePreReservesForTheUnion) {
+  PairCountMap a;
+  PairCountMap b;
+  for (std::uint64_t key = 0; key < 3000; ++key) {
+    a.add(key, 1);
+    b.add(key + 1500, 2);  // half overlapping
+  }
+  a.merge(b);
+  EXPECT_EQ(a.size(), 4500u);
+  EXPECT_EQ(a.get(0), 1u);
+  EXPECT_EQ(a.get(2000), 3u);
+  EXPECT_EQ(a.get(4000), 2u);
+  // The merge reserved for the worst-case union (6000 entries) up front,
+  // which needs a bigger table than the actual 4500-entry union would —
+  // evidence the pre-reserve ran instead of incremental growth.
+  PairCountMap sizedForUnion;
+  sizedForUnion.reserve(6000);
+  EXPECT_GE(a.memoryBytes(), sizedForUnion.memoryBytes());
+}
+
 TEST(CollocationMatrix, BuildsFromEventsWithClipping) {
   // Person 1 at place during [0, 5); window is [2, 4) -> hours {0,1} rel.
   const std::vector<Event> events{{0, 5, 1, 0, 9}};
@@ -191,12 +225,13 @@ CollocationMatrix randomMatrix(std::uint64_t seed, std::size_t persons,
 class AdjacencyMethodProperty : public ::testing::TestWithParam<std::uint64_t> {
 };
 
-TEST_P(AdjacencyMethodProperty, BothMethodsMatchBruteForce) {
+TEST_P(AdjacencyMethodProperty, AllMethodsMatchBruteForce) {
   const CollocationMatrix matrix = randomMatrix(GetParam(), 12, 24, 40);
   const auto expected = bruteForcePairs(matrix);
 
   for (const AdjacencyMethod method :
-       {AdjacencyMethod::kSpGemm, AdjacencyMethod::kIntervalIntersection}) {
+       {AdjacencyMethod::kSpGemm, AdjacencyMethod::kIntervalIntersection,
+        AdjacencyMethod::kLocalAccumulate}) {
     SymmetricAdjacency adjacency;
     adjacency.addCollocation(matrix, method);
     EXPECT_EQ(adjacency.edgeCount(), expected.size());
@@ -209,6 +244,82 @@ TEST_P(AdjacencyMethodProperty, BothMethodsMatchBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AdjacencyMethodProperty,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+void expectMatchesBruteForce(const SymmetricAdjacency& adjacency,
+                             const CollocationMatrix& matrix) {
+  const auto expected = bruteForcePairs(matrix);
+  ASSERT_EQ(adjacency.edgeCount(), expected.size());
+  for (const auto& [pair, weight] : expected) {
+    EXPECT_EQ(adjacency.weight(pair.first, pair.second), weight)
+        << "pair (" << pair.first << "," << pair.second << ")";
+  }
+}
+
+TEST(LocalAccumulateCrossover, SmallPlaceTakesDensePath) {
+  // 12 persons over 24 hours: 66 pair slots, plenty of pair-hours — well
+  // inside the dense triangular-array regime.
+  const CollocationMatrix matrix = randomMatrix(3, 12, 24, 40);
+  SymmetricAdjacency adjacency;
+  adjacency.addCollocation(matrix, AdjacencyMethod::kLocalAccumulate);
+  EXPECT_EQ(adjacency.kernelStats().densePlaces, 1u);
+  EXPECT_EQ(adjacency.kernelStats().hashPlaces, 0u);
+  EXPECT_GT(adjacency.kernelStats().globalEmits, 0u);
+  expectMatchesBruteForce(adjacency, matrix);
+}
+
+TEST(LocalAccumulateCrossover, SparseOverlapTakesHashPath) {
+  // 100 persons, each present exactly one hour, two per hour: 4950 pair
+  // slots but only 50 pair-hours, so the emit scan over the dense array
+  // would dominate — the kernel must pick the local hash.
+  std::vector<Event> events;
+  for (std::uint32_t person = 0; person < 100; ++person) {
+    const table::Hour hour = person % 50;
+    events.push_back(
+        Event{hour, static_cast<table::Hour>(hour + 1), person, 0, 77});
+  }
+  const CollocationMatrix matrix(77, events, 0, 50);
+  SymmetricAdjacency adjacency;
+  adjacency.addCollocation(matrix, AdjacencyMethod::kLocalAccumulate);
+  EXPECT_EQ(adjacency.kernelStats().densePlaces, 0u);
+  EXPECT_EQ(adjacency.kernelStats().hashPlaces, 1u);
+  EXPECT_EQ(adjacency.kernelStats().pairHourUpdates, 50u);
+  EXPECT_EQ(adjacency.kernelStats().globalEmits, 50u);
+  expectMatchesBruteForce(adjacency, matrix);
+}
+
+TEST(LocalAccumulateCrossover, StatsSurviveMerge) {
+  SymmetricAdjacency a;
+  SymmetricAdjacency b;
+  a.addCollocation(randomMatrix(4, 12, 24, 40),
+                   AdjacencyMethod::kLocalAccumulate);
+  b.addCollocation(randomMatrix(5, 12, 24, 40),
+                   AdjacencyMethod::kLocalAccumulate);
+  const std::uint64_t updates =
+      a.kernelStats().pairHourUpdates + b.kernelStats().pairHourUpdates;
+  a.merge(b);
+  EXPECT_EQ(a.kernelStats().densePlaces, 2u);
+  EXPECT_EQ(a.kernelStats().pairHourUpdates, updates);
+}
+
+TEST(MergeSortedTriplets, SumsOverlappingPairs) {
+  const std::vector<AdjacencyTriplet> a{{1, 2, 10}, {1, 5, 1}, {3, 4, 2}};
+  const std::vector<AdjacencyTriplet> b{{1, 5, 4}, {2, 3, 7}, {3, 4, 1}};
+  const auto merged = mergeSortedTriplets(a, b);
+  const std::vector<AdjacencyTriplet> expected{
+      {1, 2, 10}, {1, 5, 5}, {2, 3, 7}, {3, 4, 3}};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(MergeSortedTriplets, DisjointAndEmptyRuns) {
+  const std::vector<AdjacencyTriplet> a{{1, 2, 1}, {9, 10, 2}};
+  const std::vector<AdjacencyTriplet> b{{4, 6, 3}};
+  const auto merged = mergeSortedTriplets(a, b);
+  const std::vector<AdjacencyTriplet> expected{{1, 2, 1}, {4, 6, 3}, {9, 10, 2}};
+  EXPECT_EQ(merged, expected);
+  EXPECT_EQ(mergeSortedTriplets(a, {}), a);
+  EXPECT_EQ(mergeSortedTriplets({}, b), b);
+  EXPECT_TRUE(mergeSortedTriplets({}, {}).empty());
+}
 
 TEST(AdjacencyFromCollocations, SumsAcrossPlaces) {
   // Two places where persons 1 and 2 are collocated for 2 and 3 hours.

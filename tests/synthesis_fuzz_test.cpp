@@ -193,6 +193,16 @@ TEST_P(SynthesisFuzz, PipelineEqualsBruteForceAcrossConfigs) {
       if (!prefetch) {
         EXPECT_DOUBLE_EQ(report.loadExposedSeconds, report.loadSeconds);
       }
+      // Default config runs the local-coordinate kernel and the tree
+      // reduce; the counters must be self-consistent.
+      EXPECT_TRUE(report.treeReduceEnabled);
+      EXPECT_GT(report.reduceMergedSums, 0u);
+      if (workers > 1) {
+        EXPECT_GE(report.reduceTreeDepth, 1u);
+      }
+      EXPECT_LE(report.kernelDensePlaces + report.kernelHashPlaces,
+                report.placesProcessed);
+      EXPECT_LE(report.kernelGlobalEmits, report.kernelPairHourUpdates);
     }
   }
 
@@ -209,6 +219,42 @@ TEST_P(SynthesisFuzz, PipelineEqualsBruteForceAcrossConfigs) {
           "mp seed " + std::to_string(seed) + " workers " +
               std::to_string(workers) + (prefetch ? " prefetch" : " serial"));
       EXPECT_GT(synthesizer.report().bytesScattered, 0u);
+    }
+  }
+
+  // Kernel (old per-pair-hour SpGEMM vs new local-coordinate) and reduce
+  // shape (serial root merge vs log-depth tree) are perf knobs only: every
+  // combination, on both backends, must be bit-identical to the brute
+  // force for every seed.
+  config.prefetch = true;
+  for (const sparse::AdjacencyMethod method :
+       {sparse::AdjacencyMethod::kSpGemm,
+        sparse::AdjacencyMethod::kLocalAccumulate}) {
+    for (const bool tree : {false, true}) {
+      for (const SynthesisBackend backend :
+           {SynthesisBackend::kSharedMemory,
+            SynthesisBackend::kMessagePassing}) {
+        config.method = method;
+        config.treeReduce = tree;
+        config.backend = backend;
+        config.workers =
+            backend == SynthesisBackend::kSharedMemory ? 7u : 3u;
+        NetworkSynthesizer synthesizer(config);
+        expectEqualAdjacency(
+            synthesizer.synthesizeAdjacency(files), reference,
+            "seed " + std::to_string(seed) + " " + backendName(backend) +
+                (method == sparse::AdjacencyMethod::kSpGemm ? " spgemm"
+                                                            : " local") +
+                (tree ? " tree" : " serial-reduce"));
+        const SynthesisReport& report = synthesizer.report();
+        EXPECT_EQ(report.treeReduceEnabled, tree);
+        if (!tree) {
+          EXPECT_EQ(report.reduceTreeDepth, 0u);
+        }
+        if (method == sparse::AdjacencyMethod::kSpGemm) {
+          EXPECT_EQ(report.kernelDensePlaces + report.kernelHashPlaces, 0u);
+        }
+      }
     }
   }
 }

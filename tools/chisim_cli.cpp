@@ -183,7 +183,21 @@ int cmdSynthesize(const Args& args) {
   config.prefetch = !args.has("no-prefetch");
   config.prefetchDepth = args.u64("prefetch-depth", 2);
   config.decodeWorkers = static_cast<unsigned>(args.u64("decode-workers", 0));
-  config.occupancyWeight = args.has("occupancy-weight");
+  // On by default (see EXPERIMENTS.md); --occupancy-weight is still
+  // accepted so existing invocations keep working.
+  config.occupancyWeight = !args.has("nnz-weight");
+  config.treeReduce = !args.has("serial-reduce");
+  const std::string method = args.str("method", "local");
+  if (method == "spgemm") {
+    config.method = sparse::AdjacencyMethod::kSpGemm;
+  } else if (method == "intersect") {
+    config.method = sparse::AdjacencyMethod::kIntervalIntersection;
+  } else if (method == "local") {
+    config.method = sparse::AdjacencyMethod::kLocalAccumulate;
+  } else {
+    throw std::invalid_argument(
+        "--method expects local, spgemm or intersect, got: " + method);
+  }
   const std::string backend = args.str("backend", "shared");
   if (backend == "mp") {
     config.backend = net::SynthesisBackend::kMessagePassing;
@@ -216,6 +230,16 @@ int cmdSynthesize(const Args& args) {
               << " KiB to ranks, returned " << report.bytesReturned / 1024
               << " KiB\n";
   }
+  if (config.method == sparse::AdjacencyMethod::kLocalAccumulate) {
+    std::cout << "kernel: " << report.kernelDensePlaces << " dense / "
+              << report.kernelHashPlaces << " hash places, "
+              << report.kernelPairHourUpdates << " local updates -> "
+              << report.kernelGlobalEmits << " global emits\n";
+  }
+  std::cout << "reduce: " << (report.treeReduceEnabled ? "tree" : "serial")
+            << ", " << report.reduceMergedSums << " worker sums, depth "
+            << report.reduceTreeDepth << ", critical path "
+            << report.reduceCriticalSeconds << " s\n";
   std::cout << "load: " << report.loadSeconds << " s total, "
             << report.loadExposedSeconds << " s exposed on the compute path";
   if (report.prefetchEnabled) {
@@ -366,7 +390,8 @@ void printUsage() {
       "  info        --logs DIR\n"
       "  synthesize  --logs DIR --out FILE.cadj [--window-start H] [--window-end H]\n"
       "              [--backend shared|mp] [--workers W] [--batch N]\n"
-      "              [--no-balance] [--occupancy-weight]\n"
+      "              [--no-balance] [--nnz-weight]\n"
+      "              [--method local|spgemm|intersect] [--serial-reduce]\n"
       "              [--no-prefetch] [--prefetch-depth N] [--decode-workers W]\n"
       "              [--fault-policy failfast|degrade] [--max-quarantined-files N]\n"
       "              [--command-timeout-ms MS] [--checkpoint-dir DIR] [--resume]\n"
