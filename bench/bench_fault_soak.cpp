@@ -1,0 +1,239 @@
+/// FAULT-SOAK — randomized fault-injection soak across backends and
+/// transports.
+///
+/// The paper's synthesis runs are long batch jobs on shared clusters where
+/// stragglers, torn messages, and killed processes are routine; the repo's
+/// recovery machinery (retry, quarantine, respawn, reassignment,
+/// checkpointing) exists to make those runs finish with the *same* network.
+/// This soak generates a seeded probabilistic fault plan per iteration,
+/// cycles through the shared-memory backend, the in-process message-passing
+/// transport, and the process-isolated transport, and requires every
+/// faulted run to produce adjacency triplets bit-identical to a clean run.
+///
+/// Per-column recoverability rules (a plan must only inject faults the
+/// column can survive):
+///   shared      delays only — the shared-memory pool has no retry layer
+///   mp-inproc   delays + command throws + torn frames + scripted rank
+///               kills, under degrade policy with a command timeout
+///   mp-process  the above plus real SIGKILLs (root-scripted and
+///               worker-side kill-process), absorbed by respawn or
+///               loss reassignment
+///
+/// Runs nightly in CI (not tier-1): ~24 seeds by default, --seeds N to
+/// change, --smoke for a 6-seed PR-sized pass. Honors CHISIMNET_SCALE for
+/// the input size only; the seed count is explicit so the nightly plan
+/// stays >= 20 seeds regardless of scale.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chisimnet/net/executor.hpp"
+#include "chisimnet/runtime/fault.hpp"
+
+namespace {
+
+using namespace chisimnet;
+using runtime::FaultAction;
+using runtime::FaultPlan;
+using runtime::FaultSpec;
+
+enum class Column { kShared, kMpInproc, kMpProcess };
+
+const char* columnName(Column column) {
+  switch (column) {
+    case Column::kShared:
+      return "shared";
+    case Column::kMpInproc:
+      return "mp-inproc";
+    case Column::kMpProcess:
+      return "mp-process";
+  }
+  return "?";
+}
+
+/// Fills a seeded probabilistic plan obeying the column's recoverability
+/// rules. (FaultPlan owns a mutex, so it is filled in place, not returned.)
+void makePlan(FaultPlan& plan, Column column, util::Rng& rng) {
+  // Stragglers are survivable everywhere: short probabilistic delays on
+  // the driver stages and the prefetch producer.
+  for (const char* site : {"driver.load", "driver.collocation",
+                           "driver.adjacency", "prefetch.decode"}) {
+    if (rng.bernoulli(0.5)) {
+      plan.at(site,
+              FaultSpec{.action = FaultAction::kDelay,
+                        .probability = rng.uniformReal(0.05, 0.3),
+                        .delayMs = static_cast<std::uint32_t>(
+                            1 + rng.uniformBelow(15))});
+    }
+  }
+  if (column == Column::kShared) {
+    return;  // delays only
+  }
+  // Message-passing columns: command failures and torn frames feed the
+  // retry loop; scripted rank kills feed loss reassignment.
+  if (rng.bernoulli(0.6)) {
+    plan.at("mp.service.command",
+            FaultSpec{.action = FaultAction::kThrow,
+                      .probability = rng.uniformReal(0.02, 0.15)});
+  }
+  if (rng.bernoulli(0.5)) {
+    plan.at("mp.send",
+            FaultSpec{.action = FaultAction::kTruncate,
+                      .probability = rng.uniformReal(0.02, 0.1),
+                      .truncateTo = rng.uniformBelow(12)});
+  }
+  if (column == Column::kMpInproc) {
+    if (rng.bernoulli(0.4)) {
+      // Silent death of one scripted service rank (simulated in-process).
+      plan.at("mp.service.command",
+              FaultSpec{.action = FaultAction::kKillRank,
+                        .hit = 1 + rng.uniformBelow(6),
+                        .rank = static_cast<int>(1 + rng.uniformBelow(3))});
+    }
+    return;
+  }
+  // Process column: real process deaths. The root-side variant SIGKILLs
+  // the destination of one scripted frame; the worker-side variant makes
+  // one rank SIGKILL itself with low probability (the plan is replayed
+  // into respawns, so a hot streak can exhaust the budget — that is the
+  // reassignment path, still recoverable).
+  if (rng.bernoulli(0.5)) {
+    plan.at("proc.send",
+            FaultSpec{.action = FaultAction::kKillRank,
+                      .hit = 1 + rng.uniformBelow(8)});
+  }
+  if (rng.bernoulli(0.4)) {
+    plan.at("mp.service.command",
+            FaultSpec{.action = FaultAction::kKillProcess,
+                      .probability = rng.uniformReal(0.05, 0.25),
+                      .rank = static_cast<int>(1 + rng.uniformBelow(3))});
+  }
+}
+
+net::SynthesisConfig makeConfig(Column column, util::Rng& rng) {
+  net::SynthesisConfig config;
+  config.windowEnd = pop::kHoursPerWeek;
+  config.workers = 4;
+  config.filesPerBatch = rng.bernoulli(0.5) ? 0 : 2 + rng.uniformBelow(3);
+  config.prefetch = rng.bernoulli(0.7);
+  if (column == Column::kShared) {
+    return config;
+  }
+  config.backend = net::SynthesisBackend::kMessagePassing;
+  config.faultPolicy = net::FaultPolicy::kDegrade;
+  config.commandTimeoutMs = 600;
+  config.commandMaxAttempts = 8;
+  config.commandBackoffMs = 1;
+  if (column == Column::kMpProcess) {
+    config.transport = net::MpTransport::kProcess;
+    config.heartbeatMs = 100;
+    config.maxRespawns = 1 + static_cast<int>(rng.uniformBelow(2));
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The process column re-enters this binary for its workers.
+  if (const auto workerExit = chisimnet::net::maybeRunSynthesisWorker()) {
+    return *workerExit;
+  }
+  using namespace chisimnet;
+  using namespace chisimnet::bench;
+
+  std::uint64_t seedCount = 24;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      seedCount = 6;
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seedCount = std::stoull(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_fault_soak [--seeds N] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  printHeader("FAULT-SOAK randomized fault injection",
+              "§V: batch jobs on shared clusters must yield one network");
+
+  const auto population = makePopulation(scaledPersons(4000));
+  const SimulatedLogs logs = simulate(population, 6);
+  std::cout << "log files: " << logs.files.size() << ", "
+            << fmtCount(logs.stats.eventsLogged) << " entries, "
+            << seedCount << " soak seeds\n\n";
+
+  // Clean reference — every backend/transport/batching must match it
+  // exactly (differential-tested in tier-1), so one run suffices.
+  net::SynthesisConfig cleanConfig;
+  cleanConfig.windowEnd = pop::kHoursPerWeek;
+  cleanConfig.workers = 4;
+  net::NetworkSynthesizer clean(cleanConfig);
+  const auto reference = clean.synthesizeAdjacency(logs.files);
+  const auto referenceTriplets = reference.toTriplets();
+  std::cout << "clean reference: " << reference.edgeCount() << " edges\n\n";
+
+  JsonReport json("fault_soak");
+  json.put("bench", "fault_soak");
+  json.put("seeds", seedCount);
+  json.put("reference_edges", reference.edgeCount());
+
+  std::uint64_t failures = 0;
+  std::uint64_t totalRetries = 0;
+  std::uint64_t totalRespawns = 0;
+  std::uint64_t totalRanksLost = 0;
+  std::cout << "  seed  column      result     retries  respawns  lost\n";
+  for (std::uint64_t seed = 0; seed < seedCount; ++seed) {
+    const Column column = static_cast<Column>(seed % 3);
+    util::Rng rng(seed * 0x9E3779B97F4A7C15ull + 3);
+    FaultPlan plan(seed);
+    makePlan(plan, column, rng);
+    net::SynthesisConfig config = makeConfig(column, rng);
+
+    std::string result = "identical";
+    std::uint64_t retries = 0;
+    std::uint64_t respawns = 0;
+    int ranksLost = 0;
+    try {
+      runtime::fault::ScopedFaultPlan scoped(plan);
+      net::NetworkSynthesizer synthesizer(config);
+      const auto adjacency = synthesizer.synthesizeAdjacency(logs.files);
+      const auto& report = synthesizer.report();
+      retries = report.commandRetries;
+      respawns = report.workersRespawned;
+      ranksLost = report.ranksLost;
+      if (adjacency.toTriplets() != referenceTriplets) {
+        result = "MISMATCH";
+        ++failures;
+      }
+    } catch (const std::exception& error) {
+      result = std::string("THROW: ") + error.what();
+      ++failures;
+    }
+    totalRetries += retries;
+    totalRespawns += respawns;
+    totalRanksLost += static_cast<std::uint64_t>(ranksLost);
+    std::cout << "  " << seed << "     " << columnName(column) << "  "
+              << result << "  " << retries << "  " << respawns << "  "
+              << ranksLost << "\n";
+  }
+
+  json.put("failures", failures);
+  json.put("total_command_retries", totalRetries);
+  json.put("total_workers_respawned", totalRespawns);
+  json.put("total_ranks_lost", totalRanksLost);
+  const auto jsonPath = json.write();
+  std::cout << "\nsoak: " << seedCount << " seeds, " << failures
+            << " failures, " << totalRetries << " retries, " << totalRespawns
+            << " respawns, " << totalRanksLost << " ranks lost\n"
+            << "json: " << jsonPath.string() << "\n";
+  if (failures > 0) {
+    std::cout << "FAULT-SOAK FAILED\n";
+    return 1;
+  }
+  std::cout << "all faulted runs bit-identical to the clean reference\n";
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <future>
+#include <optional>
 
 #include "chisimnet/elog/clg5.hpp"
 #include "chisimnet/util/error.hpp"
@@ -99,20 +100,34 @@ table::EventTable loadEventsQuarantiningParallel(
     const std::vector<std::filesystem::path>& files, table::Hour windowStart,
     table::Hour windowEnd, runtime::ThreadPool& pool,
     std::vector<QuarantinedFile>& quarantined) {
-  std::vector<std::future<std::vector<table::Event>>> futures;
+  // A decode failure is described on the worker that hit it, not rethrown
+  // through the future: the exception object must not be shared with the
+  // worker's packaged_task state, whose teardown races the read.
+  struct FileResult {
+    std::vector<table::Event> events;
+    std::optional<QuarantinedFile> quarantined;
+  };
+  std::vector<std::future<FileResult>> futures;
   futures.reserve(files.size());
   for (const std::filesystem::path& file : files) {
     futures.push_back(pool.submitTask([file, windowStart, windowEnd] {
-      ChunkedLogReader reader(file);
-      return reader.readOverlapping(windowStart, windowEnd);
+      FileResult result;
+      try {
+        ChunkedLogReader reader(file);
+        result.events = reader.readOverlapping(windowStart, windowEnd);
+      } catch (const std::exception& error) {
+        result.quarantined = describeFailure(file, error);
+      }
+      return result;
     }));
   }
   table::EventTable table;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    try {
-      table.appendAll(futures[i].get());
-    } catch (const std::exception& error) {
-      quarantined.push_back(describeFailure(files[i], error));
+  for (std::future<FileResult>& future : futures) {
+    FileResult result = future.get();
+    if (result.quarantined) {
+      quarantined.push_back(std::move(*result.quarantined));
+    } else {
+      table.appendAll(std::move(result.events));
     }
   }
   return table;

@@ -1,6 +1,8 @@
 #include "chisimnet/net/checkpoint.hpp"
 
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -13,9 +15,119 @@ namespace chisimnet::net {
 namespace {
 
 constexpr const char* kManifestMagic = "CHKP1";
+/// In-flight snapshot header: magic u32 "CINF" | version u32 | crc32 u32
+/// over the body | body.
+constexpr std::uint32_t kInflightMagic = 0x464E4943u;  // "CINF"
+constexpr std::uint32_t kInflightVersion = 1;
 
 std::filesystem::path manifestPath(const std::filesystem::path& dir) {
   return dir / kCheckpointManifestName;
+}
+
+void put32(std::vector<std::byte>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::byte>(value >> shift));
+  }
+}
+
+void put64(std::vector<std::byte>& out, std::uint64_t value) {
+  put32(out, static_cast<std::uint32_t>(value));
+  put32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint32_t take32(std::span<const std::byte> bytes, std::size_t& cursor) {
+  CHISIM_CHECK(cursor + 4 <= bytes.size(),
+               "truncated in-flight batch snapshot");
+  const std::uint32_t value =
+      static_cast<std::uint32_t>(bytes[cursor]) |
+      (static_cast<std::uint32_t>(bytes[cursor + 1]) << 8) |
+      (static_cast<std::uint32_t>(bytes[cursor + 2]) << 16) |
+      (static_cast<std::uint32_t>(bytes[cursor + 3]) << 24);
+  cursor += 4;
+  return value;
+}
+
+std::uint64_t take64(std::span<const std::byte> bytes, std::size_t& cursor) {
+  const std::uint64_t low = take32(bytes, cursor);
+  const std::uint64_t high = take32(bytes, cursor);
+  return low | (high << 32);
+}
+
+void putString(std::vector<std::byte>& out, const std::string& text) {
+  put32(out, static_cast<std::uint32_t>(text.size()));
+  const auto bytes =
+      std::as_bytes(std::span<const char>(text.data(), text.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::string takeString(std::span<const std::byte> bytes, std::size_t& cursor) {
+  const std::uint32_t length = take32(bytes, cursor);
+  CHISIM_CHECK(cursor + length <= bytes.size(),
+               "truncated in-flight batch snapshot");
+  std::string text(reinterpret_cast<const char*>(bytes.data() + cursor),
+                   length);
+  cursor += length;
+  return text;
+}
+
+/// Body: [filesInBatch u64][sorted u32][eventCount u64][events raw]
+///       [quarantineCount u32][per entry: chunkIndex u64 (two's
+///       complement), byteOffset u64, path string, reason string].
+std::vector<std::byte> encodeInflight(const InflightBatch& inflight) {
+  std::vector<std::byte> body;
+  const std::uint64_t rows = inflight.events.size();
+  body.reserve(32 + rows * sizeof(table::Event));
+  put64(body, inflight.filesInBatch);
+  put32(body, inflight.events.isSortedByStart() ? 1 : 0);
+  put64(body, rows);
+  for (table::RowIndex row = 0; row < rows; ++row) {
+    const table::Event event = inflight.events.row(row);
+    const auto bytes = std::as_bytes(std::span<const table::Event>(&event, 1));
+    body.insert(body.end(), bytes.begin(), bytes.end());
+  }
+  put32(body, static_cast<std::uint32_t>(inflight.quarantined.size()));
+  for (const elog::QuarantinedFile& entry : inflight.quarantined) {
+    put64(body, static_cast<std::uint64_t>(entry.chunkIndex));
+    put64(body, entry.byteOffset);
+    putString(body, entry.file.string());
+    putString(body, entry.reason);
+  }
+  return body;
+}
+
+InflightBatch decodeInflight(std::span<const std::byte> body) {
+  std::size_t cursor = 0;
+  InflightBatch inflight;
+  inflight.filesInBatch = take64(body, cursor);
+  const bool sorted = take32(body, cursor) != 0;
+  const std::uint64_t rows = take64(body, cursor);
+  CHISIM_CHECK(rows <= (body.size() - cursor) / sizeof(table::Event),
+               "in-flight batch snapshot declares more events than its "
+               "bytes can hold");
+  std::vector<table::Event> events(static_cast<std::size_t>(rows));
+  if (rows > 0) {
+    std::memcpy(events.data(), body.data() + cursor,
+                rows * sizeof(table::Event));
+    cursor += rows * sizeof(table::Event);
+  }
+  inflight.events = table::EventTable(events);
+  if (sorted) {
+    // The snapshot preserved row order, so the stable re-sort reproduces
+    // the exact pre-crash table.
+    inflight.events.sortByStart();
+  }
+  const std::uint32_t quarantineCount = take32(body, cursor);
+  for (std::uint32_t i = 0; i < quarantineCount; ++i) {
+    elog::QuarantinedFile entry;
+    entry.chunkIndex = static_cast<std::int64_t>(take64(body, cursor));
+    entry.byteOffset = take64(body, cursor);
+    entry.file = takeString(body, cursor);
+    entry.reason = takeString(body, cursor);
+    inflight.quarantined.push_back(std::move(entry));
+  }
+  CHISIM_CHECK(cursor == body.size(),
+               "in-flight batch snapshot has trailing bytes");
+  return inflight;
 }
 
 }  // namespace
@@ -40,15 +152,34 @@ std::uint32_t checkpointConfigHash(
 
 void saveCheckpoint(const std::filesystem::path& dir,
                     const CheckpointManifest& manifest,
-                    const sparse::SymmetricAdjacency& adjacency) {
+                    const sparse::SymmetricAdjacency& adjacency,
+                    const InflightBatch* inflight) {
   std::filesystem::create_directories(dir);
 
-  // 1. The adjacency, under a cursor-stamped name the manifest will point
-  //    at. A crash mid-write leaves the old manifest pointing at the old
-  //    (complete) file.
+  // 1. The adjacency (and in-flight snapshot), under cursor-stamped names
+  //    the manifest will point at. A crash mid-write leaves the old
+  //    manifest pointing at the old (complete) files.
   const std::string adjacencyName =
       "adjacency." + std::to_string(manifest.filesConsumed) + ".cadj";
   sparse::saveAdjacency(adjacency, dir / adjacencyName);
+
+  std::string inflightName;
+  if (inflight != nullptr) {
+    inflightName =
+        "inflight." + std::to_string(manifest.filesConsumed) + ".evt";
+    const std::vector<std::byte> body = encodeInflight(*inflight);
+    const std::filesystem::path path = dir / inflightName;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    CHISIM_CHECK(out.good(),
+                 "cannot write in-flight batch snapshot: " + path.string());
+    util::writeU32(out, kInflightMagic);
+    util::writeU32(out, kInflightVersion);
+    util::writeU32(out, util::crc32(body));
+    util::writeBytes(out, body);
+    out.flush();
+    CHISIM_CHECK(out.good(),
+                 "in-flight batch snapshot write failed: " + path.string());
+  }
 
   // 2. The manifest, via temp file + rename (atomic on POSIX).
   const std::filesystem::path tmp = dir / "manifest.tmp";
@@ -61,6 +192,9 @@ void saveCheckpoint(const std::filesystem::path& dir,
     out << "batches_done " << manifest.batchesDone << "\n";
     out << "config_hash " << manifest.configHash << "\n";
     out << "adjacency " << adjacencyName << "\n";
+    if (!inflightName.empty()) {
+      out << "inflight " << inflightName << "\n";
+    }
     for (const elog::QuarantinedFile& entry : manifest.quarantined) {
       // Tab-separated; the free-text reason goes last.
       out << "quarantine\t" << entry.chunkIndex << "\t" << entry.byteOffset
@@ -72,11 +206,15 @@ void saveCheckpoint(const std::filesystem::path& dir,
   }
   std::filesystem::rename(tmp, manifestPath(dir));
 
-  // 3. Garbage-collect superseded adjacency files.
+  // 3. Garbage-collect superseded adjacency and in-flight files.
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
-    if (name.starts_with("adjacency.") && name.ends_with(".cadj") &&
-        name != adjacencyName) {
+    const bool staleAdjacency = name.starts_with("adjacency.") &&
+                                name.ends_with(".cadj") &&
+                                name != adjacencyName;
+    const bool staleInflight = name.starts_with("inflight.") &&
+                               name.ends_with(".evt") && name != inflightName;
+    if (staleAdjacency || staleInflight) {
       std::error_code ignored;
       std::filesystem::remove(entry.path(), ignored);
     }
@@ -130,6 +268,8 @@ std::optional<CheckpointManifest> loadCheckpointManifest(
       fields >> manifest.configHash;
     } else if (key == "adjacency") {
       fields >> manifest.adjacencyFile;
+    } else if (key == "inflight") {
+      fields >> manifest.inflightFile;
     } else {
       CHISIM_CHECK(false, "unknown manifest key '" + key +
                               "' in " + path.string());
@@ -145,6 +285,33 @@ std::optional<CheckpointManifest> loadCheckpointManifest(
 sparse::SymmetricAdjacency loadCheckpointAdjacency(
     const std::filesystem::path& dir, const CheckpointManifest& manifest) {
   return sparse::loadAdjacency(dir / manifest.adjacencyFile);
+}
+
+std::optional<InflightBatch> loadCheckpointInflight(
+    const std::filesystem::path& dir, const CheckpointManifest& manifest) {
+  if (manifest.inflightFile.empty()) {
+    return std::nullopt;
+  }
+  const std::filesystem::path path = dir / manifest.inflightFile;
+  std::ifstream in(path, std::ios::binary);
+  CHISIM_CHECK(in.good(), "manifest names a missing in-flight batch "
+                          "snapshot: " + path.string());
+  CHISIM_CHECK(util::readU32(in) == kInflightMagic,
+               "not an in-flight batch snapshot: " + path.string());
+  CHISIM_CHECK(util::readU32(in) == kInflightVersion,
+               "unsupported in-flight batch snapshot version: " +
+                   path.string());
+  const std::uint32_t crc = util::readU32(in);
+  const std::string raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> body(raw.size());
+  if (!raw.empty()) {
+    std::memcpy(body.data(), raw.data(), raw.size());
+  }
+  CHISIM_CHECK(util::crc32(body) == crc,
+               "in-flight batch snapshot is corrupt (CRC mismatch): " +
+                   path.string());
+  return decodeInflight(body);
 }
 
 }  // namespace chisimnet::net

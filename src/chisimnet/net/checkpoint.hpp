@@ -16,12 +16,21 @@
 /// the CADJ container round-trips triplets exactly, so a resumed run is
 /// bit-identical to an uninterrupted one.
 ///
-/// Crash safety: the adjacency is written first under a batch-stamped name
-/// (adjacency.<filesConsumed>.cadj), then the manifest referencing it is
-/// written to a temp file and atomically renamed over manifest.chkp, then
-/// stale adjacency files are deleted. A crash at any point leaves either
-/// the previous consistent checkpoint or the new one — never a manifest
-/// pointing at a half-written matrix.
+/// Crash safety: the adjacency (and, when present, the in-flight batch
+/// snapshot) is written first under a batch-stamped name
+/// (adjacency.<filesConsumed>.cadj / inflight.<filesConsumed>.evt), then
+/// the manifest referencing them is written to a temp file and atomically
+/// renamed over manifest.chkp, then stale batch-stamped files are deleted.
+/// A crash at any point leaves either the previous consistent checkpoint
+/// or the new one — never a manifest pointing at a half-written file.
+///
+/// In-flight batch: with prefetching, the background loader typically has
+/// batch k+1 fully decoded while the checkpoint after batch k is written.
+/// That decoded-but-unprocessed table is persisted beside the adjacency,
+/// so a resume hands it straight to the compute stages and skips one batch
+/// of file re-decode. The snapshot is integrity-checked (CRC32) and purely
+/// an accelerator: its contents equal what re-decoding those files would
+/// produce, so the resumed output is bit-identical either way.
 
 namespace chisimnet::net {
 
@@ -36,9 +45,22 @@ struct CheckpointManifest {
   std::uint32_t configHash = 0;
   /// Adjacency file name within the checkpoint directory.
   std::string adjacencyFile;
+  /// In-flight batch snapshot file name; empty when the checkpoint carries
+  /// none (no prefetch, or the loader had nothing decoded yet).
+  std::string inflightFile;
   /// Quarantine list accumulated so far (degrade mode), carried across the
   /// resume so the final report still names every excluded input.
   std::vector<elog::QuarantinedFile> quarantined;
+};
+
+/// A decoded-but-unprocessed batch: the next batch the run would have
+/// computed on when it died. Restoring it on resume skips its re-decode.
+struct InflightBatch {
+  table::EventTable events;
+  /// Files of this batch that failed to decode (degrade mode).
+  std::vector<elog::QuarantinedFile> quarantined;
+  /// Input files this batch spans (cursor advance when it completes).
+  std::uint64_t filesInBatch = 0;
 };
 
 /// Hash of the fields that determine the output for a given file list.
@@ -47,10 +69,14 @@ std::uint32_t checkpointConfigHash(
     const std::vector<std::filesystem::path>& files);
 
 /// Persists `adjacency` + `manifest` into `dir` (created if missing) with
-/// the crash-safe ordering described above.
+/// the crash-safe ordering described above. When `inflight` is non-null,
+/// its snapshot is persisted and referenced by the manifest; the
+/// manifest's own inflightFile field is ignored (the name is derived from
+/// the cursor).
 void saveCheckpoint(const std::filesystem::path& dir,
                     const CheckpointManifest& manifest,
-                    const sparse::SymmetricAdjacency& adjacency);
+                    const sparse::SymmetricAdjacency& adjacency,
+                    const InflightBatch* inflight = nullptr);
 
 /// Reads the manifest in `dir`; nullopt when none exists.
 std::optional<CheckpointManifest> loadCheckpointManifest(
@@ -58,6 +84,12 @@ std::optional<CheckpointManifest> loadCheckpointManifest(
 
 /// Loads the adjacency a manifest points at.
 sparse::SymmetricAdjacency loadCheckpointAdjacency(
+    const std::filesystem::path& dir, const CheckpointManifest& manifest);
+
+/// Loads the in-flight batch snapshot a manifest points at; nullopt when
+/// the checkpoint carries none. Throws on a corrupt snapshot (CRC or
+/// structure mismatch) — a resume must not silently compute on torn data.
+std::optional<InflightBatch> loadCheckpointInflight(
     const std::filesystem::path& dir, const CheckpointManifest& manifest);
 
 }  // namespace chisimnet::net

@@ -38,6 +38,10 @@
 /// through the following mapCollocation call; matrices passed to
 /// mapAdjacency must stay alive for its duration.
 
+namespace chisimnet::runtime {
+class ProcessTransport;
+}  // namespace chisimnet::runtime
+
 namespace chisimnet::net {
 
 /// Shape and modeled timing of one stage-6 reduce.
@@ -169,6 +173,15 @@ class SharedMemoryExecutor final : public SynthesisExecutor {
 /// exact same result. Epochs let the root discard stale replies from
 /// retried commands; stage bodies are pure, so duplicate execution after a
 /// timeout race is harmless.
+///
+/// Transports: with MpTransport::kInProcess (default) the ranks are
+/// RankTeam service threads in this process; with kProcess they are
+/// fork/exec'd OS processes behind runtime::ProcessTransport, speaking the
+/// identical command protocol over Unix-domain sockets. A worker process
+/// that crashes is respawned by the transport (config.maxRespawns) while
+/// the in-flight command rides the existing timeout/retry path; once the
+/// respawn budget is exhausted, the death feeds the same markLost +
+/// reassignment flow as an in-process loss.
 class MessagePassingExecutor final : public SynthesisExecutor {
  public:
   explicit MessagePassingExecutor(const SynthesisConfig& config);
@@ -206,7 +219,7 @@ class MessagePassingExecutor final : public SynthesisExecutor {
     bytesReturned_ = 0;
   }
   std::vector<FaultEvent> drainFaultEvents() override;
-  int liveWorkers() const noexcept override { return team_.liveCount(); }
+  int liveWorkers() const noexcept override { return team_->liveCount(); }
 
  private:
   /// One in-flight command on a rank, kept so the root can resend it and,
@@ -220,13 +233,9 @@ class MessagePassingExecutor final : public SynthesisExecutor {
     std::vector<std::size_t> items;    ///< work item indices (reassignment)
   };
 
-  /// Worker-side command loop run by every service rank.
+  /// Worker-side command loop run by every in-process service rank.
+  /// (Worker processes run the same protocol via maybeRunSynthesisWorker.)
   void serviceLoop(runtime::RankHandle& handle) const;
-  /// Executes one command body and returns the reply body. Run by service
-  /// ranks on command and by rank 0 inline (the root is also a worker, as
-  /// in the paper's fork cluster).
-  std::vector<std::byte> executeCommand(std::uint32_t command,
-                                        std::span<const std::byte> body) const;
 
   /// Ranks currently able to take work, rank 0 first.
   std::vector<int> liveRanks() const;
@@ -264,10 +273,23 @@ class MessagePassingExecutor final : public SynthesisExecutor {
   /// reduce(); plus the kernel counters that traveled beside them.
   std::vector<std::vector<sparse::AdjacencyTriplet>> reduceRuns_;
   sparse::AdjacencyKernelStats runKernelStats_;
-  runtime::RankTeam team_;  ///< must be last: threads read config_/ranks_
+  /// The socket transport behind team_ when config.transport is kProcess
+  /// (non-owning; the team owns it); nullptr for the in-process transport.
+  runtime::ProcessTransport* processTransport_ = nullptr;
+  /// Must be constructed last: service threads read config_/ranks_.
+  std::unique_ptr<runtime::RankTeam> team_;
 };
 
 /// Builds the executor for config.backend.
 std::unique_ptr<SynthesisExecutor> makeExecutor(const SynthesisConfig& config);
+
+/// Worker-process entry for the socket transport. When this process was
+/// exec'd as a transport worker (runtime::ProcessWorkerLink bootstrap env
+/// present), runs the synthesis command service against the root and
+/// returns its exit code; returns nullopt for a normal invocation. Every
+/// binary that can act as a worker (the CLI, the distributed tests, the
+/// fault soak) calls this first thing in main() and exits with the
+/// returned code when engaged.
+std::optional<int> maybeRunSynthesisWorker();
 
 }  // namespace chisimnet::net

@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <span>
 #include <string>
@@ -8,7 +10,9 @@
 #include <utility>
 
 #include "chisimnet/net/executor.hpp"
+#include "chisimnet/net/mp_protocol.hpp"
 #include "chisimnet/runtime/fault.hpp"
+#include "chisimnet/runtime/process_transport.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
 
@@ -16,148 +20,12 @@ namespace chisimnet::net {
 
 namespace {
 
-constexpr int kRoot = 0;
-constexpr int kCommandTag = 99;  ///< root -> worker framed commands
-constexpr int kReplyTag = 100;   ///< worker -> root framed replies
-
-enum Command : std::uint32_t {
-  kCmdCollocation = 1,
-  kCmdAdjacency = 2,
-  kCmdStop = 3,
-  kCmdMergeRuns = 4,  ///< one reduce-tree level: merge sorted triplet runs
-};
-
-constexpr std::uint32_t kStatusOk = 0;
-constexpr std::uint32_t kStatusFailed = 1;
-
-/// Command frame: [command u32][epoch u64][stage body].
-constexpr std::size_t kCommandHeaderBytes = 4 + 8;
-/// Reply frame: [command u32][status u32][epoch u64][body or error text].
-constexpr std::size_t kReplyHeaderBytes = 4 + 4 + 8;
-
-void put32(std::vector<std::byte>& out, std::uint32_t value) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out.push_back(static_cast<std::byte>(value >> shift));
-  }
-}
-
-void put64(std::vector<std::byte>& out, std::uint64_t value) {
-  put32(out, static_cast<std::uint32_t>(value));
-  put32(out, static_cast<std::uint32_t>(value >> 32));
-}
-
-std::uint32_t take32(std::span<const std::byte> bytes, std::size_t& cursor) {
-  CHISIM_CHECK(cursor + 4 <= bytes.size(), "truncated frame");
-  const std::uint32_t value =
-      static_cast<std::uint32_t>(bytes[cursor]) |
-      (static_cast<std::uint32_t>(bytes[cursor + 1]) << 8) |
-      (static_cast<std::uint32_t>(bytes[cursor + 2]) << 16) |
-      (static_cast<std::uint32_t>(bytes[cursor + 3]) << 24);
-  cursor += 4;
-  return value;
-}
-
-std::uint64_t take64(std::span<const std::byte> bytes, std::size_t& cursor) {
-  const std::uint64_t low = take32(bytes, cursor);
-  const std::uint64_t high = take32(bytes, cursor);
-  return low | (high << 32);
-}
-
-void putDouble(std::vector<std::byte>& out, double value) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &value, sizeof(bits));
-  put64(out, bits);
-}
-
-double takeDouble(std::span<const std::byte> bytes, std::size_t& cursor) {
-  const std::uint64_t bits = take64(bytes, cursor);
-  double value = 0.0;
-  std::memcpy(&value, &bits, sizeof(value));
-  return value;
-}
-
-/// Length-prefixed triplet run: [count u64][count × AdjacencyTriplet].
-void putTriplets(std::vector<std::byte>& out,
-                 std::span<const sparse::AdjacencyTriplet> triplets) {
-  put64(out, triplets.size());
-  const auto bytes = std::as_bytes(triplets);
-  out.insert(out.end(), bytes.begin(), bytes.end());
-}
-
-std::vector<sparse::AdjacencyTriplet> takeTriplets(
-    std::span<const std::byte> bytes, std::size_t& cursor) {
-  const std::uint64_t count = take64(bytes, cursor);
-  CHISIM_CHECK(
-      count <= (bytes.size() - cursor) / sizeof(sparse::AdjacencyTriplet),
-      "triplet run declares more entries than its bytes can hold");
-  std::vector<sparse::AdjacencyTriplet> triplets(
-      static_cast<std::size_t>(count));
-  if (count > 0) {
-    std::memcpy(triplets.data(), bytes.data() + cursor,
-                count * sizeof(sparse::AdjacencyTriplet));
-    cursor += count * sizeof(sparse::AdjacencyTriplet);
-  }
-  return triplets;
-}
-
-std::vector<std::byte> packMatrices(
-    const std::vector<sparse::CollocationMatrix>& matrices) {
-  // [count u32][per matrix: byteLength u32 + payload]
-  std::vector<std::byte> packed;
-  put32(packed, static_cast<std::uint32_t>(matrices.size()));
-  for (const sparse::CollocationMatrix& matrix : matrices) {
-    const std::vector<std::byte> bytes = matrix.toBytes();
-    put32(packed, static_cast<std::uint32_t>(bytes.size()));
-    packed.insert(packed.end(), bytes.begin(), bytes.end());
-  }
-  return packed;
-}
-
-std::vector<sparse::CollocationMatrix> unpackMatrices(
-    std::span<const std::byte> packed) {
-  std::size_t cursor = 0;
-  const std::uint32_t count = take32(packed, cursor);
-  // Bound the declared count by what the remaining bytes could possibly
-  // hold (each matrix costs at least its 4-byte length prefix) before it
-  // drives any allocation or loop.
-  CHISIM_CHECK(count <= (packed.size() - cursor) / 4,
-               "matrix pack declares more matrices than its bytes can hold");
-  std::vector<sparse::CollocationMatrix> matrices;
-  matrices.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t length = take32(packed, cursor);
-    CHISIM_CHECK(cursor + length <= packed.size(), "truncated matrix pack");
-    matrices.push_back(
-        sparse::CollocationMatrix::fromBytes(packed.subspan(cursor, length)));
-    cursor += length;
-  }
-  return matrices;
-}
-
-std::vector<std::byte> frameCommand(std::uint32_t command, std::uint64_t epoch,
-                                    std::span<const std::byte> body) {
-  std::vector<std::byte> frame;
-  frame.reserve(kCommandHeaderBytes + body.size());
-  put32(frame, command);
-  put64(frame, epoch);
-  frame.insert(frame.end(), body.begin(), body.end());
-  return frame;
-}
-
-std::vector<std::byte> frameReply(std::uint32_t command, std::uint32_t status,
-                                  std::uint64_t epoch,
-                                  std::span<const std::byte> body) {
-  std::vector<std::byte> frame;
-  frame.reserve(kReplyHeaderBytes + body.size());
-  put32(frame, command);
-  put32(frame, status);
-  put64(frame, epoch);
-  frame.insert(frame.end(), body.begin(), body.end());
-  return frame;
-}
-
-std::span<const std::byte> stringBytes(const std::string& text) {
-  return std::as_bytes(std::span<const char>(text.data(), text.size()));
+mp::StageParams stageParamsOf(const SynthesisConfig& config) {
+  mp::StageParams params;
+  params.windowStart = config.windowStart;
+  params.windowEnd = config.windowEnd;
+  params.method = config.method;
+  return params;
 }
 
 }  // namespace
@@ -165,163 +33,63 @@ std::span<const std::byte> stringBytes(const std::string& text) {
 MessagePassingExecutor::MessagePassingExecutor(const SynthesisConfig& config)
     : SynthesisExecutor(config),
       ranks_(static_cast<int>(config.workers)),
-      pending_(static_cast<std::size_t>(config.workers)),
-      team_(ranks_, [this](runtime::RankHandle& handle) { serviceLoop(handle); }) {}
+      pending_(static_cast<std::size_t>(config.workers)) {
+  if (config.transport == MpTransport::kProcess) {
+    // Worker ranks are separate OS processes behind Unix-domain sockets.
+    // The hello payload carries the stage parameters, so a worker (or a
+    // respawned replacement) computes with exactly the root's config.
+    runtime::ProcessTransportOptions options;
+    options.rankCount = ranks_;
+    options.heartbeatMs = config.heartbeatMs;
+    options.maxRespawns = config.maxRespawns;
+    options.executable = config.workerExecutable;
+    options.helloPayload = mp::encodeStageParams(stageParamsOf(config));
+    auto transport = std::make_unique<runtime::ProcessTransport>(options);
+    processTransport_ = transport.get();
+    team_ = std::make_unique<runtime::RankTeam>(std::move(transport));
+  } else {
+    team_ = std::make_unique<runtime::RankTeam>(
+        ranks_, [this](runtime::RankHandle& handle) { serviceLoop(handle); });
+  }
+}
 
 MessagePassingExecutor::~MessagePassingExecutor() {
-  // Idle services are parked at the command recv; a stop command lets them
-  // return so the team joins without relying on the destructor's abort.
-  // (Services wedged mid-stage after a root-side failure are woken by the
-  // RankTeam destructor's abort instead. Lost ranks already exited; their
-  // stop frame just sits in the mailbox.)
+  // Quiesce first: from here on, worker processes exiting is orderly
+  // shutdown, not a crash to respawn. Then a stop command lets idle
+  // services return so the team joins without relying on the destructor's
+  // abort. (Services wedged mid-stage after a root-side failure are woken
+  // by the RankTeam destructor's abort instead. Lost ranks already exited;
+  // their stop frame just sits in the mailbox or is dropped by the wire.)
+  team_->transport().quiesce();
   for (int dest = 1; dest < ranks_; ++dest) {
-    team_.root().send(dest, kCommandTag, frameCommand(kCmdStop, 0, {}));
+    team_->root().send(dest, mp::kCommandTag,
+                       mp::frameCommand(mp::kCmdStop, 0, {}));
   }
 }
 
 void MessagePassingExecutor::serviceLoop(runtime::RankHandle& handle) const {
+  const mp::StageParams params = stageParamsOf(config_);
   while (true) {
-    runtime::Message message = handle.recv(kRoot, kCommandTag);
-    std::uint32_t command = 0;
-    std::uint64_t epoch = 0;
-    bool headerOk = false;
-    try {
-      std::size_t cursor = 0;
-      command = take32(message.payload, cursor);
-      epoch = take64(message.payload, cursor);
-      headerOk = true;
-    } catch (const std::exception&) {
-      // Truncated below even the header: reply failed with epoch 0, which
-      // the root treats as matching whatever command is outstanding.
-    }
-    if (headerOk && command == kCmdStop) {
-      return;
-    }
-    try {
-      CHISIM_CHECK(headerOk, "truncated command frame");
-      runtime::FaultSite site{handle.rank(), nullptr};
-      if (runtime::fault::hit("mp.service.command", site) ==
-          runtime::FaultAction::kKillRank) {
+    runtime::Message message = handle.recv(mp::kRoot, mp::kCommandTag);
+    std::vector<std::byte> reply;
+    switch (mp::serviceSynthesisCommand(params, handle.rank(), message.payload,
+                                        reply)) {
+      case mp::ServiceOutcome::kReply:
+        handle.send(mp::kRoot, mp::kReplyTag, reply);
+        break;
+      case mp::ServiceOutcome::kStop:
+        return;
+      case mp::ServiceOutcome::kDie:
         return;  // simulate a rank dying silently mid-run
-      }
-      const std::vector<std::byte> reply = executeCommand(
-          command,
-          std::span<const std::byte>(message.payload).subspan(
-              kCommandHeaderBytes));
-      handle.send(kRoot, kReplyTag,
-                  frameReply(command, kStatusOk, epoch, reply));
-    } catch (const std::exception& error) {
-      // Recoverable worker failure: report it and stay in the loop so the
-      // root can retry; only an unknown-to-C++ error escapes to the
-      // RankTeam abort path.
-      const std::string what = error.what();
-      handle.send(kRoot, kReplyTag,
-                  frameReply(command, kStatusFailed, epoch, stringBytes(what)));
     }
   }
-}
-
-std::vector<std::byte> MessagePassingExecutor::executeCommand(
-    std::uint32_t command, std::span<const std::byte> body) const {
-  switch (command) {
-    case kCmdCollocation: {
-      // Body: [groupCount u32][per group: eventCount u32][events].
-      std::size_t cursor = 0;
-      const std::uint32_t groupCount = take32(body, cursor);
-      CHISIM_CHECK(groupCount <= (body.size() - cursor) / 4,
-                   "event scatter declares more groups than its bytes hold");
-      std::vector<std::uint32_t> groupSizes(groupCount);
-      std::uint64_t totalEvents = 0;
-      for (std::uint32_t& size : groupSizes) {
-        size = take32(body, cursor);
-        totalEvents += size;
-      }
-      CHISIM_CHECK(cursor + totalEvents * sizeof(table::Event) == body.size(),
-                   "event scatter size mismatch");
-      std::vector<table::Event> events(totalEvents);
-      if (totalEvents > 0) {
-        std::memcpy(events.data(), body.data() + cursor,
-                    totalEvents * sizeof(table::Event));
-      }
-      std::vector<sparse::CollocationMatrix> built;
-      std::size_t eventCursor = 0;
-      for (std::uint32_t groupSize : groupSizes) {
-        const std::span<const table::Event> groupEvents(
-            events.data() + eventCursor, groupSize);
-        eventCursor += groupSize;
-        CHISIM_CHECK(!groupEvents.empty(), "empty place group scattered");
-        sparse::CollocationMatrix matrix(groupEvents.front().place,
-                                         groupEvents, config_.windowStart,
-                                         config_.windowEnd);
-        if (matrix.nnz() > 0) {
-          built.push_back(std::move(matrix));
-        }
-      }
-      // Return the matrix list to the root (paper: "saved in a list and
-      // returned to the root process").
-      return packMatrices(built);
-    }
-    case kCmdAdjacency: {
-      // Body: packed matrix batch.
-      // Reply: [busySeconds f64][kernel stats 4×u64][sorted triplet run].
-      const auto batch = unpackMatrices(body);
-      util::WallTimer busy;
-      sparse::SymmetricAdjacency sum(1024);
-      for (const sparse::CollocationMatrix& matrix : batch) {
-        sum.addCollocation(matrix, config_.method);
-      }
-      const std::vector<sparse::AdjacencyTriplet> triplets = sum.toTriplets();
-      const double busySeconds = busy.seconds();
-      const sparse::AdjacencyKernelStats& stats = sum.kernelStats();
-      std::vector<std::byte> reply;
-      reply.reserve(5 * 8 + 8 +
-                    triplets.size() * sizeof(sparse::AdjacencyTriplet));
-      putDouble(reply, busySeconds);
-      put64(reply, stats.densePlaces);
-      put64(reply, stats.hashPlaces);
-      put64(reply, stats.pairHourUpdates);
-      put64(reply, stats.globalEmits);
-      putTriplets(reply, triplets);
-      return reply;
-    }
-    case kCmdMergeRuns: {
-      // Body: [pairCount u32][per pair: run A, run B (length-prefixed,
-      // (i,j)-sorted)]. Reply: [busySeconds f64][pairCount u32][per pair:
-      // merged run]. Pure function of its body, so a retried or duplicated
-      // command is harmless — exactly like the other stage commands.
-      std::size_t cursor = 0;
-      const std::uint32_t pairCount = take32(body, cursor);
-      // Thread-CPU clock: the reduce critical-path model must not count
-      // time-slicing against co-scheduled rank threads as merge work.
-      util::ThreadCpuTimer busy;
-      std::vector<std::byte> merged;
-      for (std::uint32_t pair = 0; pair < pairCount; ++pair) {
-        const std::vector<sparse::AdjacencyTriplet> runA =
-            takeTriplets(body, cursor);
-        const std::vector<sparse::AdjacencyTriplet> runB =
-            takeTriplets(body, cursor);
-        putTriplets(merged, sparse::mergeSortedTriplets(runA, runB));
-      }
-      CHISIM_CHECK(cursor == body.size(), "merge-runs body size mismatch");
-      std::vector<std::byte> reply;
-      reply.reserve(8 + 4 + merged.size());
-      putDouble(reply, busy.seconds());
-      put32(reply, pairCount);
-      reply.insert(reply.end(), merged.begin(), merged.end());
-      return reply;
-    }
-    default:
-      CHISIM_CHECK(false, "unknown synthesis executor command " +
-                              std::to_string(command));
-  }
-  return {};
 }
 
 std::vector<int> MessagePassingExecutor::liveRanks() const {
   std::vector<int> live;
   live.reserve(static_cast<std::size_t>(ranks_));
   for (int rank = 0; rank < ranks_; ++rank) {
-    if (team_.isLive(rank)) {
+    if (team_->isLive(rank)) {
       live.push_back(rank);
     }
   }
@@ -339,15 +107,15 @@ void MessagePassingExecutor::sendCommand(int rank, std::uint32_t command,
   pending.items = std::move(items);
   pending.body = std::move(body);
   std::vector<std::byte> frame =
-      frameCommand(command, pending.epoch, pending.body);
+      mp::frameCommand(command, pending.epoch, pending.body);
   bytesScattered_ += frame.size();
-  if (rank != kRoot) {
-    // Injection point for a corrupted/short write on the (future) wire;
-    // truncation here makes the worker see a malformed frame and answer
+  if (rank != mp::kRoot) {
+    // Injection point for a corrupted/short write on the wire; truncation
+    // here makes the worker see a malformed frame and answer
     // status=failed, exercising the retry path end to end.
     runtime::FaultSite site{rank, &frame};
     runtime::fault::hit("mp.send", site);
-    team_.root().send(rank, kCommandTag, frame);
+    team_->root().send(rank, mp::kCommandTag, frame);
   }
 }
 
@@ -355,40 +123,40 @@ std::optional<std::vector<std::byte>> MessagePassingExecutor::awaitReply(
     int rank) {
   Pending& pending = pending_[static_cast<std::size_t>(rank)];
   CHISIM_REQUIRE(pending.active, "awaitReply without a pending command");
-  if (rank == kRoot) {
+  if (rank == mp::kRoot) {
     // The root is a worker too: execute its own share inline through the
     // same serialized body, so byte accounting and decode paths match.
-    const std::vector<std::byte> reply =
-        executeCommand(pending.command, pending.body);
-    bytesReturned_ += kReplyHeaderBytes + reply.size();
+    const std::vector<std::byte> reply = mp::executeSynthesisCommand(
+        stageParamsOf(config_), pending.command, pending.body);
+    bytesReturned_ += mp::kReplyHeaderBytes + reply.size();
     pending.active = false;
     return reply;
   }
-  runtime::RankHandle& root = team_.root();
+  runtime::RankHandle& root = team_->root();
   while (true) {
     std::optional<runtime::Message> message;
     if (config_.commandTimeoutMs == 0) {
-      message = root.recv(rank, kReplyTag);
+      message = root.recv(rank, mp::kReplyTag);
     } else {
       message = root.recvFor(
           std::chrono::milliseconds(config_.commandTimeoutMs), rank,
-          kReplyTag);
+          mp::kReplyTag);
     }
     std::string failure;
     if (message) {
       runtime::FaultSite site{rank, &message->payload};
       runtime::fault::hit("mp.collect", site);
-      std::uint32_t status = kStatusFailed;
+      std::uint32_t status = mp::kStatusFailed;
       std::uint64_t epoch = 0;
       std::span<const std::byte> body;
       bool parsed = false;
       try {
         std::size_t cursor = 0;
-        take32(message->payload, cursor);  // command (diagnostic only)
-        status = take32(message->payload, cursor);
-        epoch = take64(message->payload, cursor);
+        mp::take32(message->payload, cursor);  // command (diagnostic only)
+        status = mp::take32(message->payload, cursor);
+        epoch = mp::take64(message->payload, cursor);
         body = std::span<const std::byte>(message->payload)
-                   .subspan(kReplyHeaderBytes);
+                   .subspan(mp::kReplyHeaderBytes);
         parsed = true;
       } catch (const std::exception&) {
         failure = "malformed reply frame from rank " + std::to_string(rank);
@@ -399,7 +167,7 @@ std::optional<std::vector<std::byte>> MessagePassingExecutor::awaitReply(
         if (epoch != pending.epoch && epoch != 0) {
           continue;  // stale reply from a superseded attempt
         }
-        if (status == kStatusOk) {
+        if (status == mp::kStatusOk) {
           bytesReturned_ += message->payload.size();
           pending.active = false;
           return std::vector<std::byte>(body.begin(), body.end());
@@ -419,7 +187,7 @@ std::optional<std::vector<std::byte>> MessagePassingExecutor::awaitReply(
     }
     ++pending.attempts;
     if (pending.attempts >= config_.commandMaxAttempts) {
-      team_.markLost(rank);
+      team_->markLost(rank);
       FaultEvent event;
       event.kind = FaultEvent::Kind::kRankLost;
       event.rank = rank;
@@ -442,9 +210,9 @@ std::optional<std::vector<std::byte>> MessagePassingExecutor::awaitReply(
     }
     pending.epoch = nextEpoch_++;
     std::vector<std::byte> frame =
-        frameCommand(pending.command, pending.epoch, pending.body);
+        mp::frameCommand(pending.command, pending.epoch, pending.body);
     bytesScattered_ += frame.size();
-    root.send(rank, kCommandTag, frame);
+    root.send(rank, mp::kCommandTag, frame);
   }
 }
 
@@ -516,11 +284,11 @@ void MessagePassingExecutor::scatterPlaces(const table::EventTable& events,
   const auto buildBody = [&events,
                           &index](std::span<const std::size_t> items) {
     std::vector<std::byte> body;
-    put32(body, static_cast<std::uint32_t>(items.size()));
+    mp::put32(body, static_cast<std::uint32_t>(items.size()));
     std::uint64_t totalEvents = 0;
     for (const std::size_t group : items) {
       const auto rows = index.groupRows(group);
-      put32(body, static_cast<std::uint32_t>(rows.size()));
+      mp::put32(body, static_cast<std::uint32_t>(rows.size()));
       totalEvents += rows.size();
     }
     body.reserve(body.size() + totalEvents * sizeof(table::Event));
@@ -538,7 +306,7 @@ void MessagePassingExecutor::scatterPlaces(const table::EventTable& events,
     // Every live rank gets a command (even an empty one): the reply flow
     // and busy accounting stay uniform, and services start building while
     // the driver is still between stage calls.
-    sendCommand(live[slot], kCmdCollocation,
+    sendCommand(live[slot], mp::kCmdCollocation,
                 std::vector<std::size_t>(groups[slot]),
                 buildBody(groups[slot]));
   }
@@ -553,13 +321,13 @@ MessagePassingExecutor::mapCollocation() {
   try {
     std::vector<sparse::CollocationMatrix> all;
     collectStage(
-        kCmdCollocation,
+        mp::kCmdCollocation,
         [&events, &index](std::span<const std::size_t> items) {
           std::vector<std::byte> body;
-          put32(body, static_cast<std::uint32_t>(items.size()));
+          mp::put32(body, static_cast<std::uint32_t>(items.size()));
           for (const std::size_t group : items) {
-            put32(body, static_cast<std::uint32_t>(
-                            index.groupRows(group).size()));
+            mp::put32(body, static_cast<std::uint32_t>(
+                                index.groupRows(group).size()));
           }
           for (const std::size_t group : items) {
             for (const table::RowIndex row : index.groupRows(group)) {
@@ -572,7 +340,7 @@ MessagePassingExecutor::mapCollocation() {
           return body;
         },
         [&all](std::span<const std::byte> reply) {
-          for (sparse::CollocationMatrix& matrix : unpackMatrices(reply)) {
+          for (sparse::CollocationMatrix& matrix : mp::unpackMatrices(reply)) {
             all.push_back(std::move(matrix));
           }
         });
@@ -584,14 +352,14 @@ MessagePassingExecutor::mapCollocation() {
     // generic "aborted" error; prefer the originating exception.
     events_ = nullptr;
     index_ = nullptr;
-    team_.rethrowServiceError();
+    team_->rethrowServiceError();
     throw;
   }
 }
 
 runtime::Partition MessagePassingExecutor::repartition(
     std::span<const std::uint64_t> weights) const {
-  const std::size_t bins = static_cast<std::size_t>(team_.liveCount());
+  const std::size_t bins = static_cast<std::size_t>(team_->liveCount());
   return config_.balancedPartition
              ? runtime::partitionGreedyLpt(weights, bins)
              : runtime::partitionContiguous(weights, bins);
@@ -609,13 +377,13 @@ void MessagePassingExecutor::mapAdjacency(
     for (const std::size_t item : items) {
       batch.push_back(matrices[item]);
     }
-    return packMatrices(batch);
+    return mp::packMatrices(batch);
   };
   reduceRuns_.clear();
   runKernelStats_ = sparse::AdjacencyKernelStats{};
   try {
     for (std::size_t bin = 0; bin < live.size(); ++bin) {
-      sendCommand(live[bin], kCmdAdjacency,
+      sendCommand(live[bin], mp::kCmdAdjacency,
                   std::vector<std::size_t>(partition.assignment[bin]),
                   buildBody(partition.assignment[bin]));
     }
@@ -624,17 +392,17 @@ void MessagePassingExecutor::mapAdjacency(
     // are kept as-is for reduce() to merge pairwise — no per-rank hash
     // rebuild at the root.
     std::vector<double> busySeconds;
-    collectStage(kCmdAdjacency, buildBody,
+    collectStage(mp::kCmdAdjacency, buildBody,
                  [this, &busySeconds](std::span<const std::byte> reply) {
                    std::size_t cursor = 0;
-                   busySeconds.push_back(takeDouble(reply, cursor));
+                   busySeconds.push_back(mp::takeDouble(reply, cursor));
                    sparse::AdjacencyKernelStats stats;
-                   stats.densePlaces = take64(reply, cursor);
-                   stats.hashPlaces = take64(reply, cursor);
-                   stats.pairHourUpdates = take64(reply, cursor);
-                   stats.globalEmits = take64(reply, cursor);
+                   stats.densePlaces = mp::take64(reply, cursor);
+                   stats.hashPlaces = mp::take64(reply, cursor);
+                   stats.pairHourUpdates = mp::take64(reply, cursor);
+                   stats.globalEmits = mp::take64(reply, cursor);
                    runKernelStats_.merge(stats);
-                   reduceRuns_.push_back(takeTriplets(reply, cursor));
+                   reduceRuns_.push_back(mp::takeTriplets(reply, cursor));
                    CHISIM_CHECK(cursor == reply.size(),
                                 "malformed adjacency reply");
                  });
@@ -650,7 +418,7 @@ void MessagePassingExecutor::mapAdjacency(
             ? peak / (total / static_cast<double>(busySeconds.size()))
             : 1.0;
   } catch (...) {
-    team_.rethrowServiceError();
+    team_->rethrowServiceError();
     throw;
   }
 }
@@ -667,10 +435,10 @@ void MessagePassingExecutor::mergeRunsLevel() {
   const std::size_t pairCount = reduceRuns_.size() / 2;
   const auto buildBody = [this](std::span<const std::size_t> items) {
     std::vector<std::byte> body;
-    put32(body, static_cast<std::uint32_t>(items.size()));
+    mp::put32(body, static_cast<std::uint32_t>(items.size()));
     for (const std::size_t pair : items) {
-      putTriplets(body, reduceRuns_[2 * pair]);
-      putTriplets(body, reduceRuns_[2 * pair + 1]);
+      mp::putTriplets(body, reduceRuns_[2 * pair]);
+      mp::putTriplets(body, reduceRuns_[2 * pair + 1]);
     }
     return body;
   };
@@ -689,17 +457,18 @@ void MessagePassingExecutor::mergeRunsLevel() {
       continue;
     }
     std::vector<std::byte> body = buildBody(shares[slot]);
-    sendCommand(live[slot], kCmdMergeRuns, std::move(shares[slot]),
+    sendCommand(live[slot], mp::kCmdMergeRuns, std::move(shares[slot]),
                 std::move(body));
   }
   double levelPeak = 0.0;
-  collectStage(kCmdMergeRuns, buildBody,
+  collectStage(mp::kCmdMergeRuns, buildBody,
                [&next, &levelPeak](std::span<const std::byte> reply) {
                  std::size_t cursor = 0;
-                 levelPeak = std::max(levelPeak, takeDouble(reply, cursor));
-                 const std::uint32_t count = take32(reply, cursor);
+                 levelPeak =
+                     std::max(levelPeak, mp::takeDouble(reply, cursor));
+                 const std::uint32_t count = mp::take32(reply, cursor);
                  for (std::uint32_t pair = 0; pair < count; ++pair) {
-                   next.push_back(takeTriplets(reply, cursor));
+                   next.push_back(mp::takeTriplets(reply, cursor));
                  }
                  CHISIM_CHECK(cursor == reply.size(),
                               "malformed merge-runs reply");
@@ -740,7 +509,7 @@ void MessagePassingExecutor::reduce(sparse::SymmetricAdjacency& result) {
       lastReduce_.criticalSeconds = timer.seconds();
     }
   } catch (...) {
-    team_.rethrowServiceError();
+    team_->rethrowServiceError();
     throw;
   }
   reduceRuns_.clear();
@@ -749,7 +518,71 @@ void MessagePassingExecutor::reduce(sparse::SymmetricAdjacency& result) {
 }
 
 std::vector<FaultEvent> MessagePassingExecutor::drainFaultEvents() {
+  if (processTransport_ != nullptr) {
+    for (runtime::ProcessTransport::WorkerEvent& event :
+         processTransport_->drainEvents()) {
+      if (event.kind !=
+          runtime::ProcessTransport::WorkerEvent::Kind::kRespawn) {
+        // Permanent deaths are accounted as kRankLost by the command retry
+        // loop (markLost), which owns the live set; double-reporting them
+        // here would double-count ranksLost.
+        continue;
+      }
+      FaultEvent mapped;
+      mapped.kind = FaultEvent::Kind::kWorkerRespawn;
+      mapped.rank = event.rank;
+      mapped.detail = std::move(event.detail);
+      faultEvents_.push_back(std::move(mapped));
+    }
+  }
   return std::exchange(faultEvents_, {});
+}
+
+std::optional<int> maybeRunSynthesisWorker() {
+  if (!runtime::ProcessWorkerLink::isWorkerProcess()) {
+    return std::nullopt;
+  }
+  try {
+    // A fault plan shipped by the root arms this process too, so scripted
+    // worker-side faults (kThrow in a stage, kKillProcess mid-command)
+    // fire with the same seed and specs as in-process runs. Counters start
+    // from zero in each exec'd process.
+    if (const char* planText = std::getenv(runtime::kWorkerFaultPlanEnv)) {
+      static std::unique_ptr<runtime::FaultPlan> plan =
+          runtime::FaultPlan::decode(planText);
+      runtime::fault::install(plan.get());
+    }
+    runtime::ProcessWorkerLink link;
+    const runtime::ProcessWorkerLink::Hello hello = link.handshake();
+    const mp::StageParams params = mp::decodeStageParams(hello.payload);
+    while (true) {
+      const runtime::Message message = link.recv();
+      if (message.tag != mp::kCommandTag) {
+        continue;  // not a command frame; nothing to service
+      }
+      std::vector<std::byte> reply;
+      switch (mp::serviceSynthesisCommand(params, link.rank(),
+                                          message.payload, reply)) {
+        case mp::ServiceOutcome::kReply:
+          link.send(mp::kReplyTag, reply);
+          break;
+        case mp::ServiceOutcome::kStop:
+          return 0;
+        case mp::ServiceOutcome::kDie:
+          // Injected silent death: exit without replying. The root sees
+          // the socket close and drives the respawn/loss state machine —
+          // the process-transport analogue of the in-process service
+          // thread returning mid-run.
+          return 0;
+      }
+    }
+  } catch (const std::exception& error) {
+    // Includes the orderly "root connection closed" on root teardown
+    // without a stop command; either way the worker has nothing left to
+    // do. Real errors are logged for the parent's stderr.
+    std::fprintf(stderr, "chisim worker: %s\n", error.what());
+    return 1;
+  }
 }
 
 }  // namespace chisimnet::net

@@ -1,0 +1,291 @@
+#include "chisimnet/net/mp_protocol.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "chisimnet/runtime/fault.hpp"
+#include "chisimnet/util/error.hpp"
+#include "chisimnet/util/timer.hpp"
+
+namespace chisimnet::net::mp {
+
+void put32(std::vector<std::byte>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::byte>(value >> shift));
+  }
+}
+
+void put64(std::vector<std::byte>& out, std::uint64_t value) {
+  put32(out, static_cast<std::uint32_t>(value));
+  put32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint32_t take32(std::span<const std::byte> bytes, std::size_t& cursor) {
+  CHISIM_CHECK(cursor + 4 <= bytes.size(), "truncated frame");
+  const std::uint32_t value =
+      static_cast<std::uint32_t>(bytes[cursor]) |
+      (static_cast<std::uint32_t>(bytes[cursor + 1]) << 8) |
+      (static_cast<std::uint32_t>(bytes[cursor + 2]) << 16) |
+      (static_cast<std::uint32_t>(bytes[cursor + 3]) << 24);
+  cursor += 4;
+  return value;
+}
+
+std::uint64_t take64(std::span<const std::byte> bytes, std::size_t& cursor) {
+  const std::uint64_t low = take32(bytes, cursor);
+  const std::uint64_t high = take32(bytes, cursor);
+  return low | (high << 32);
+}
+
+void putDouble(std::vector<std::byte>& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put64(out, bits);
+}
+
+double takeDouble(std::span<const std::byte> bytes, std::size_t& cursor) {
+  const std::uint64_t bits = take64(bytes, cursor);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void putTriplets(std::vector<std::byte>& out,
+                 std::span<const sparse::AdjacencyTriplet> triplets) {
+  put64(out, triplets.size());
+  const auto bytes = std::as_bytes(triplets);
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<sparse::AdjacencyTriplet> takeTriplets(
+    std::span<const std::byte> bytes, std::size_t& cursor) {
+  const std::uint64_t count = take64(bytes, cursor);
+  CHISIM_CHECK(
+      count <= (bytes.size() - cursor) / sizeof(sparse::AdjacencyTriplet),
+      "triplet run declares more entries than its bytes can hold");
+  std::vector<sparse::AdjacencyTriplet> triplets(
+      static_cast<std::size_t>(count));
+  if (count > 0) {
+    std::memcpy(triplets.data(), bytes.data() + cursor,
+                count * sizeof(sparse::AdjacencyTriplet));
+    cursor += count * sizeof(sparse::AdjacencyTriplet);
+  }
+  return triplets;
+}
+
+std::vector<std::byte> packMatrices(
+    const std::vector<sparse::CollocationMatrix>& matrices) {
+  // [count u32][per matrix: byteLength u32 + payload]
+  std::vector<std::byte> packed;
+  put32(packed, static_cast<std::uint32_t>(matrices.size()));
+  for (const sparse::CollocationMatrix& matrix : matrices) {
+    const std::vector<std::byte> bytes = matrix.toBytes();
+    put32(packed, static_cast<std::uint32_t>(bytes.size()));
+    packed.insert(packed.end(), bytes.begin(), bytes.end());
+  }
+  return packed;
+}
+
+std::vector<sparse::CollocationMatrix> unpackMatrices(
+    std::span<const std::byte> packed) {
+  std::size_t cursor = 0;
+  const std::uint32_t count = take32(packed, cursor);
+  // Bound the declared count by what the remaining bytes could possibly
+  // hold (each matrix costs at least its 4-byte length prefix) before it
+  // drives any allocation or loop.
+  CHISIM_CHECK(count <= (packed.size() - cursor) / 4,
+               "matrix pack declares more matrices than its bytes can hold");
+  std::vector<sparse::CollocationMatrix> matrices;
+  matrices.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t length = take32(packed, cursor);
+    CHISIM_CHECK(cursor + length <= packed.size(), "truncated matrix pack");
+    matrices.push_back(
+        sparse::CollocationMatrix::fromBytes(packed.subspan(cursor, length)));
+    cursor += length;
+  }
+  return matrices;
+}
+
+std::vector<std::byte> frameCommand(std::uint32_t command, std::uint64_t epoch,
+                                    std::span<const std::byte> body) {
+  std::vector<std::byte> frame;
+  frame.reserve(kCommandHeaderBytes + body.size());
+  put32(frame, command);
+  put64(frame, epoch);
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+std::vector<std::byte> frameReply(std::uint32_t command, std::uint32_t status,
+                                  std::uint64_t epoch,
+                                  std::span<const std::byte> body) {
+  std::vector<std::byte> frame;
+  frame.reserve(kReplyHeaderBytes + body.size());
+  put32(frame, command);
+  put32(frame, status);
+  put64(frame, epoch);
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+std::span<const std::byte> stringBytes(const std::string& text) {
+  return std::as_bytes(std::span<const char>(text.data(), text.size()));
+}
+
+std::vector<std::byte> encodeStageParams(const StageParams& params) {
+  std::vector<std::byte> bytes;
+  bytes.reserve(12);
+  put32(bytes, params.windowStart);
+  put32(bytes, params.windowEnd);
+  put32(bytes, static_cast<std::uint32_t>(params.method));
+  return bytes;
+}
+
+StageParams decodeStageParams(std::span<const std::byte> bytes) {
+  std::size_t cursor = 0;
+  StageParams params;
+  params.windowStart = take32(bytes, cursor);
+  params.windowEnd = take32(bytes, cursor);
+  params.method = static_cast<sparse::AdjacencyMethod>(take32(bytes, cursor));
+  CHISIM_CHECK(cursor == bytes.size(), "malformed stage parameter payload");
+  return params;
+}
+
+std::vector<std::byte> executeSynthesisCommand(
+    const StageParams& params, std::uint32_t command,
+    std::span<const std::byte> body) {
+  switch (command) {
+    case kCmdCollocation: {
+      // Body: [groupCount u32][per group: eventCount u32][events].
+      std::size_t cursor = 0;
+      const std::uint32_t groupCount = take32(body, cursor);
+      CHISIM_CHECK(groupCount <= (body.size() - cursor) / 4,
+                   "event scatter declares more groups than its bytes hold");
+      std::vector<std::uint32_t> groupSizes(groupCount);
+      std::uint64_t totalEvents = 0;
+      for (std::uint32_t& size : groupSizes) {
+        size = take32(body, cursor);
+        totalEvents += size;
+      }
+      CHISIM_CHECK(cursor + totalEvents * sizeof(table::Event) == body.size(),
+                   "event scatter size mismatch");
+      std::vector<table::Event> events(totalEvents);
+      if (totalEvents > 0) {
+        std::memcpy(events.data(), body.data() + cursor,
+                    totalEvents * sizeof(table::Event));
+      }
+      std::vector<sparse::CollocationMatrix> built;
+      std::size_t eventCursor = 0;
+      for (std::uint32_t groupSize : groupSizes) {
+        const std::span<const table::Event> groupEvents(
+            events.data() + eventCursor, groupSize);
+        eventCursor += groupSize;
+        CHISIM_CHECK(!groupEvents.empty(), "empty place group scattered");
+        sparse::CollocationMatrix matrix(groupEvents.front().place,
+                                         groupEvents, params.windowStart,
+                                         params.windowEnd);
+        if (matrix.nnz() > 0) {
+          built.push_back(std::move(matrix));
+        }
+      }
+      // Return the matrix list to the root (paper: "saved in a list and
+      // returned to the root process").
+      return packMatrices(built);
+    }
+    case kCmdAdjacency: {
+      // Body: packed matrix batch.
+      // Reply: [busySeconds f64][kernel stats 4×u64][sorted triplet run].
+      const auto batch = unpackMatrices(body);
+      util::WallTimer busy;
+      sparse::SymmetricAdjacency sum(1024);
+      for (const sparse::CollocationMatrix& matrix : batch) {
+        sum.addCollocation(matrix, params.method);
+      }
+      const std::vector<sparse::AdjacencyTriplet> triplets = sum.toTriplets();
+      const double busySeconds = busy.seconds();
+      const sparse::AdjacencyKernelStats& stats = sum.kernelStats();
+      std::vector<std::byte> reply;
+      reply.reserve(5 * 8 + 8 +
+                    triplets.size() * sizeof(sparse::AdjacencyTriplet));
+      putDouble(reply, busySeconds);
+      put64(reply, stats.densePlaces);
+      put64(reply, stats.hashPlaces);
+      put64(reply, stats.pairHourUpdates);
+      put64(reply, stats.globalEmits);
+      putTriplets(reply, triplets);
+      return reply;
+    }
+    case kCmdMergeRuns: {
+      // Body: [pairCount u32][per pair: run A, run B (length-prefixed,
+      // (i,j)-sorted)]. Reply: [busySeconds f64][pairCount u32][per pair:
+      // merged run]. Pure function of its body, so a retried or duplicated
+      // command is harmless — exactly like the other stage commands.
+      std::size_t cursor = 0;
+      const std::uint32_t pairCount = take32(body, cursor);
+      // Thread-CPU clock: the reduce critical-path model must not count
+      // time-slicing against co-scheduled rank threads as merge work.
+      util::ThreadCpuTimer busy;
+      std::vector<std::byte> merged;
+      for (std::uint32_t pair = 0; pair < pairCount; ++pair) {
+        const std::vector<sparse::AdjacencyTriplet> runA =
+            takeTriplets(body, cursor);
+        const std::vector<sparse::AdjacencyTriplet> runB =
+            takeTriplets(body, cursor);
+        putTriplets(merged, sparse::mergeSortedTriplets(runA, runB));
+      }
+      CHISIM_CHECK(cursor == body.size(), "merge-runs body size mismatch");
+      std::vector<std::byte> reply;
+      reply.reserve(8 + 4 + merged.size());
+      putDouble(reply, busy.seconds());
+      put32(reply, pairCount);
+      reply.insert(reply.end(), merged.begin(), merged.end());
+      return reply;
+    }
+    default:
+      CHISIM_CHECK(false, "unknown synthesis executor command " +
+                              std::to_string(command));
+  }
+  return {};
+}
+
+ServiceOutcome serviceSynthesisCommand(const StageParams& params, int rank,
+                                       std::span<const std::byte> frame,
+                                       std::vector<std::byte>& reply) {
+  std::uint32_t command = 0;
+  std::uint64_t epoch = 0;
+  bool headerOk = false;
+  try {
+    std::size_t cursor = 0;
+    command = take32(frame, cursor);
+    epoch = take64(frame, cursor);
+    headerOk = true;
+  } catch (const std::exception&) {
+    // Truncated below even the header: reply failed with epoch 0, which
+    // the root treats as matching whatever command is outstanding.
+  }
+  if (headerOk && command == kCmdStop) {
+    return ServiceOutcome::kStop;
+  }
+  try {
+    CHISIM_CHECK(headerOk, "truncated command frame");
+    runtime::FaultSite site{rank, nullptr};
+    if (runtime::fault::hit("mp.service.command", site) ==
+        runtime::FaultAction::kKillRank) {
+      return ServiceOutcome::kDie;  // simulate a rank dying silently mid-run
+    }
+    const std::vector<std::byte> body = executeSynthesisCommand(
+        params, command, frame.subspan(kCommandHeaderBytes));
+    reply = frameReply(command, kStatusOk, epoch, body);
+  } catch (const std::exception& error) {
+    // Recoverable worker failure: report it and stay in the loop so the
+    // root can retry.
+    const std::string what = error.what();
+    reply = frameReply(command, kStatusFailed, epoch, stringBytes(what));
+  }
+  return ServiceOutcome::kReply;
+}
+
+}  // namespace chisimnet::net::mp

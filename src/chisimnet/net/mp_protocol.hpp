@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chisimnet/sparse/adjacency.hpp"
+#include "chisimnet/sparse/collocation.hpp"
+#include "chisimnet/table/event.hpp"
+
+/// Wire protocol of the message-passing synthesis backend.
+///
+/// One framed command per stage round trip, one framed reply back. The
+/// protocol used to live in executor_mp.cpp's anonymous namespace; it is a
+/// module of its own so the exact same command service runs in two places:
+/// the in-process RankTeam service threads and the exec'd worker processes
+/// of the socket transport (runtime::ProcessTransport). Both decode the
+/// same frames, execute the same stage kernels, and produce byte-identical
+/// replies — which is what makes `--transport process` transparent to the
+/// driver.
+///
+/// Frames (all integers little-endian):
+///   command  [command u32][epoch u64][stage body]
+///   reply    [command u32][status u32][epoch u64][body or error text]
+///
+/// Epochs let the root match replies to the newest attempt of a retried
+/// command and discard stale ones. Stage bodies are pure functions of
+/// their bytes, so duplicate execution after a timeout race is harmless.
+
+namespace chisimnet::net::mp {
+
+inline constexpr int kRoot = 0;
+inline constexpr int kCommandTag = 99;  ///< root -> worker framed commands
+inline constexpr int kReplyTag = 100;   ///< worker -> root framed replies
+
+enum Command : std::uint32_t {
+  kCmdCollocation = 1,
+  kCmdAdjacency = 2,
+  kCmdStop = 3,
+  kCmdMergeRuns = 4,  ///< one reduce-tree level: merge sorted triplet runs
+};
+
+inline constexpr std::uint32_t kStatusOk = 0;
+inline constexpr std::uint32_t kStatusFailed = 1;
+
+/// Command frame: [command u32][epoch u64][stage body].
+inline constexpr std::size_t kCommandHeaderBytes = 4 + 8;
+/// Reply frame: [command u32][status u32][epoch u64][body or error text].
+inline constexpr std::size_t kReplyHeaderBytes = 4 + 4 + 8;
+
+// ---- byte codec ----
+
+void put32(std::vector<std::byte>& out, std::uint32_t value);
+void put64(std::vector<std::byte>& out, std::uint64_t value);
+std::uint32_t take32(std::span<const std::byte> bytes, std::size_t& cursor);
+std::uint64_t take64(std::span<const std::byte> bytes, std::size_t& cursor);
+void putDouble(std::vector<std::byte>& out, double value);
+double takeDouble(std::span<const std::byte> bytes, std::size_t& cursor);
+
+/// Length-prefixed triplet run: [count u64][count × AdjacencyTriplet].
+void putTriplets(std::vector<std::byte>& out,
+                 std::span<const sparse::AdjacencyTriplet> triplets);
+std::vector<sparse::AdjacencyTriplet> takeTriplets(
+    std::span<const std::byte> bytes, std::size_t& cursor);
+
+/// [count u32][per matrix: byteLength u32 + payload]
+std::vector<std::byte> packMatrices(
+    const std::vector<sparse::CollocationMatrix>& matrices);
+std::vector<sparse::CollocationMatrix> unpackMatrices(
+    std::span<const std::byte> packed);
+
+std::vector<std::byte> frameCommand(std::uint32_t command, std::uint64_t epoch,
+                                    std::span<const std::byte> body);
+std::vector<std::byte> frameReply(std::uint32_t command, std::uint32_t status,
+                                  std::uint64_t epoch,
+                                  std::span<const std::byte> body);
+std::span<const std::byte> stringBytes(const std::string& text);
+
+// ---- stage parameters ----
+
+/// The slice of SynthesisConfig a worker needs to execute stage commands.
+/// Travels as the transport's hello payload, so an exec'd (or respawned)
+/// worker process computes with exactly the root's parameters.
+struct StageParams {
+  table::Hour windowStart = 0;
+  table::Hour windowEnd = 0;
+  sparse::AdjacencyMethod method = sparse::AdjacencyMethod::kLocalAccumulate;
+};
+
+std::vector<std::byte> encodeStageParams(const StageParams& params);
+StageParams decodeStageParams(std::span<const std::byte> bytes);
+
+// ---- command service ----
+
+/// Executes one stage command body and returns the reply body. Pure with
+/// respect to (params, command, body) — run by service ranks on command,
+/// by worker processes, and by rank 0 inline (the root is also a worker).
+/// Throws on malformed bodies or unknown commands.
+std::vector<std::byte> executeSynthesisCommand(const StageParams& params,
+                                               std::uint32_t command,
+                                               std::span<const std::byte> body);
+
+enum class ServiceOutcome {
+  kReply,  ///< `reply` holds a framed reply to send to the root
+  kStop,   ///< orderly stop command: exit the service loop
+  kDie,    ///< injected kKillRank: go silent (no reply, exit the loop)
+};
+
+/// One turn of the worker command loop, shared by the in-process service
+/// threads and the socket-transport worker processes: parses the command
+/// frame (tolerating frames truncated below the header — those get a
+/// status=failed reply with epoch 0, which the root matches against
+/// whatever is outstanding), fires the "mp.service.command" fault site,
+/// executes the command, and frames the reply. Never throws: any execution
+/// error becomes a status=failed reply so the root can retry.
+ServiceOutcome serviceSynthesisCommand(const StageParams& params, int rank,
+                                       std::span<const std::byte> frame,
+                                       std::vector<std::byte>& reply);
+
+}  // namespace chisimnet::net::mp

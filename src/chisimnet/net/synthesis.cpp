@@ -36,6 +36,20 @@ NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
       "the first corrupt file aborts the run anyway");
   CHISIM_REQUIRE(!config.resume || !config.checkpointDir.empty(),
                  "resume requires a checkpoint directory");
+  CHISIM_REQUIRE(config.transport == MpTransport::kInProcess ||
+                     config.backend == SynthesisBackend::kMessagePassing,
+                 "--transport process requires --backend mp");
+  CHISIM_REQUIRE(config.maxRespawns >= 0, "maxRespawns must be >= 0");
+  CHISIM_REQUIRE(config.transport == MpTransport::kInProcess ||
+                     config.heartbeatMs >= 1,
+                 "heartbeatMs must be >= 1");
+  CHISIM_REQUIRE(config.transport == MpTransport::kInProcess ||
+                     config.faultPolicy != FaultPolicy::kDegrade ||
+                     config.commandTimeoutMs > 0,
+                 "the process transport under --fault-policy degrade "
+                 "requires --command-timeout-ms > 0: a crashed worker never "
+                 "replies, so without a deadline the root hangs instead of "
+                 "recovering");
   executor_ = makeExecutor(config_);
 }
 
@@ -140,6 +154,7 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
 
   sparse::SymmetricAdjacency result(1024);
   std::uint64_t filesConsumed = 0;
+  std::optional<InflightBatch> inflight;
   if (config_.resume) {
     // Adjacency summation is order-independent u64 addition and the CADJ
     // round trip is exact, so restoring the checkpointed sum and replaying
@@ -167,9 +182,32 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     event.detail = "resumed after file " + std::to_string(filesConsumed) +
                    " of " + std::to_string(logFiles.size());
     report_.faults.push_back(std::move(event));
+    // The checkpoint may carry the batch that was decoded but unprocessed
+    // when the run died; restoring it skips one batch of re-decode. Its
+    // contents equal what re-decoding those files would produce, so the
+    // output is bit-identical either way.
+    inflight = loadCheckpointInflight(config_.checkpointDir, *manifest);
+    if (inflight) {
+      CHISIM_CHECK(
+          filesConsumed + inflight->filesInBatch <= logFiles.size(),
+          "checkpoint in-flight batch is beyond the given file list");
+      report_.inflightRestored = true;
+      FaultEvent restored;
+      restored.kind = FaultEvent::Kind::kResume;
+      restored.batch = manifest->batchesDone;
+      restored.detail = "restored in-flight batch of " +
+                        std::to_string(inflight->filesInBatch) +
+                        " files (decode skipped)";
+      report_.faults.push_back(std::move(restored));
+    }
   }
+  // The restored in-flight batch covers the first files after the cursor;
+  // the disk loaders take over from just past it.
+  const std::size_t skipFiles =
+      static_cast<std::size_t>(filesConsumed) +
+      static_cast<std::size_t>(inflight ? inflight->filesInBatch : 0);
   const std::vector<std::filesystem::path> remaining(
-      logFiles.begin() + static_cast<std::ptrdiff_t>(filesConsumed),
+      logFiles.begin() + static_cast<std::ptrdiff_t>(skipFiles),
       logFiles.end());
 
   // Bookkeeping shared by both load paths, run after each batch: fold in
@@ -180,7 +218,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
   const auto finishBatch = [this, &logFiles, &filesConsumed, &result,
                             checkpointing](
                                std::vector<elog::QuarantinedFile> quarantined,
-                               std::size_t filesInBatch) {
+                               std::size_t filesInBatch,
+                               const InflightBatch* nextInflight) {
     filesConsumed += filesInBatch;
     ++report_.batches;
     for (elog::QuarantinedFile& entry : quarantined) {
@@ -203,6 +242,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
         ++report_.commandRetries;
       } else if (event.kind == FaultEvent::Kind::kRankLost) {
         ++report_.ranksLost;
+      } else if (event.kind == FaultEvent::Kind::kWorkerRespawn) {
+        ++report_.workersRespawned;
       }
       report_.faults.push_back(std::move(event));
     }
@@ -212,13 +253,17 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
       manifest.batchesDone = report_.batches;
       manifest.configHash = checkpointConfigHash(config_, logFiles);
       manifest.quarantined = report_.quarantined;
-      saveCheckpoint(config_.checkpointDir, manifest, result);
+      saveCheckpoint(config_.checkpointDir, manifest, result, nextInflight);
       ++report_.checkpointsWritten;
       FaultEvent event;
       event.kind = FaultEvent::Kind::kCheckpoint;
       event.batch = report_.batches;
       event.detail =
           "checkpoint after file " + std::to_string(filesConsumed);
+      if (nextInflight != nullptr) {
+        event.detail += " with in-flight batch of " +
+                        std::to_string(nextInflight->filesInBatch) + " files";
+      }
       report_.faults.push_back(std::move(event));
     }
     runtime::fault::hit("driver.batch");
@@ -236,10 +281,40 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
         config_.decodeWorkers == 0 ? config_.workers : config_.decodeWorkers;
     options.quarantineCorrupt = degrade;
     elog::PrefetchingLoader loader(remaining, options);
+    // Checkpointing captures the loader's head batch (decoded, not yet
+    // processed) so a killed run resumes without re-decoding it.
+    const auto peekInflight = [&loader,
+                               checkpointing]() -> std::optional<InflightBatch> {
+      if (!checkpointing) {
+        return std::nullopt;
+      }
+      std::optional<elog::LoadedBatch> peeked = loader.peekReady();
+      if (!peeked) {
+        return std::nullopt;
+      }
+      InflightBatch next;
+      next.events = std::move(peeked->table);
+      next.quarantined = std::move(peeked->quarantined);
+      next.filesInBatch = peeked->filesInBatch;
+      return next;
+    };
+    if (inflight) {
+      // The batch restored from the checkpoint runs first, before any
+      // disk load: its decode already happened in the previous life.
+      report_.logEntriesLoaded += inflight->events.size();
+      processBatch(inflight->events, result);
+      const std::optional<InflightBatch> next = peekInflight();
+      finishBatch(std::move(inflight->quarantined),
+                  static_cast<std::size_t>(inflight->filesInBatch),
+                  next ? &*next : nullptr);
+      inflight.reset();
+    }
     while (std::optional<elog::LoadedBatch> batch = loader.next()) {
       report_.logEntriesLoaded += batch->table.size();
       processBatch(batch->table, result);
-      finishBatch(std::move(batch->quarantined), batch->filesInBatch);
+      const std::optional<InflightBatch> next = peekInflight();
+      finishBatch(std::move(batch->quarantined), batch->filesInBatch,
+                  next ? &*next : nullptr);
     }
     const elog::PrefetchStats stats = loader.stats();
     report_.prefetchEnabled = true;
@@ -250,6 +325,15 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     report_.prefetchMeanOccupancy = stats.meanOccupancy;
     report_.prefetchPeakOccupancy = stats.peakOccupancy;
   } else {
+    if (inflight) {
+      // A checkpoint written by a prefetching run can still be resumed
+      // with prefetch off: the snapshot is just a decoded batch.
+      report_.logEntriesLoaded += inflight->events.size();
+      processBatch(inflight->events, result);
+      finishBatch(std::move(inflight->quarantined),
+                  static_cast<std::size_t>(inflight->filesInBatch), nullptr);
+      inflight.reset();
+    }
     const std::size_t batchSize =
         config_.filesPerBatch == 0 ? logFiles.size() : config_.filesPerBatch;
     for (std::size_t begin = 0; begin < remaining.size(); begin += batchSize) {
@@ -269,7 +353,7 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
       report_.logEntriesLoaded += events.size();
 
       processBatch(events, result);
-      finishBatch(std::move(batchQuarantine), batch.size());
+      finishBatch(std::move(batchQuarantine), batch.size(), nullptr);
     }
     report_.loadExposedSeconds = report_.loadSeconds;
   }
@@ -297,6 +381,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
       ++report_.commandRetries;
     } else if (event.kind == FaultEvent::Kind::kRankLost) {
       ++report_.ranksLost;
+    } else if (event.kind == FaultEvent::Kind::kWorkerRespawn) {
+      ++report_.workersRespawned;
     }
     report_.faults.push_back(std::move(event));
   }

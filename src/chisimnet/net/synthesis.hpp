@@ -54,6 +54,23 @@ inline const char* backendName(SynthesisBackend backend) noexcept {
   return backend == SynthesisBackend::kSharedMemory ? "shared" : "mp";
 }
 
+/// Where the message-passing ranks live (kMessagePassing backend only).
+enum class MpTransport {
+  /// Ranks are RankTeam service threads in this process, mailboxes are the
+  /// wire (the default; no crash isolation, no serialization of the wire
+  /// frames beyond the command payloads).
+  kInProcess,
+  /// Ranks are fork/exec'd OS processes speaking length-framed Unix-domain
+  /// socket streams (runtime::ProcessTransport). A worker crash — real
+  /// SIGKILL included — is survived by respawn and/or the rank-loss
+  /// reassignment path, with bit-identical output.
+  kProcess,
+};
+
+inline const char* mpTransportName(MpTransport transport) noexcept {
+  return transport == MpTransport::kInProcess ? "inproc" : "process";
+}
+
 /// How the pipeline responds to recoverable failures (corrupt input files,
 /// failed worker commands).
 enum class FaultPolicy {
@@ -75,6 +92,7 @@ struct FaultEvent {
   enum class Kind {
     kCommandRetry,     ///< a worker command failed/timed out and was retried
     kRankLost,         ///< a rank was declared dead; its work reassigned
+    kWorkerRespawn,    ///< a dead worker process was re-execed for its rank
     kFileQuarantined,  ///< an input file was excluded as undecodable
     kResume,           ///< the run restarted from a checkpoint
     kCheckpoint,       ///< a batch checkpoint was persisted
@@ -91,6 +109,8 @@ inline const char* faultEventKindName(FaultEvent::Kind kind) noexcept {
       return "command-retry";
     case FaultEvent::Kind::kRankLost:
       return "rank-lost";
+    case FaultEvent::Kind::kWorkerRespawn:
+      return "worker-respawn";
     case FaultEvent::Kind::kFileQuarantined:
       return "file-quarantined";
     case FaultEvent::Kind::kResume:
@@ -159,6 +179,27 @@ struct SynthesisConfig {
   int commandMaxAttempts = 3;
   /// Base of the exponential backoff between command retries.
   std::uint64_t commandBackoffMs = 10;
+
+  // ---- process transport (kMessagePassing backend only) ----
+
+  /// Where the ranks live: service threads in this process (default) or
+  /// fork/exec'd worker processes over Unix-domain sockets. The process
+  /// transport under kDegrade requires commandTimeoutMs > 0 — a crashed
+  /// worker never replies, so without a deadline the root would hang on it
+  /// instead of retrying into the respawn/reassignment path.
+  MpTransport transport = MpTransport::kInProcess;
+  /// Process transport: times a rank's worker process is re-execed after
+  /// it dies before the rank is abandoned to the loss/reassignment path.
+  /// 0 disables respawn (first death is permanent loss).
+  int maxRespawns = 1;
+  /// Process transport: heartbeat ping period (also the liveness monitor
+  /// cadence, so ~the respawn latency). A worker silent for 8 periods is
+  /// presumed hung and killed.
+  std::uint64_t heartbeatMs = 250;
+  /// Process transport: worker binary to exec; empty re-enters the current
+  /// binary (/proc/self/exe), whose main() must call
+  /// maybeRunSynthesisWorker() first.
+  std::string workerExecutable;
   /// When non-empty, persist a checkpoint (accumulated adjacency + cursor
   /// manifest) into this directory after every file batch.
   std::filesystem::path checkpointDir;
@@ -238,9 +279,14 @@ struct SynthesisReport {
   std::vector<elog::QuarantinedFile> quarantined;
   std::uint64_t commandRetries = 0;  ///< worker commands retried
   int ranksLost = 0;                 ///< ranks declared dead this run
+  /// Process transport: dead worker processes re-execed for their rank.
+  std::uint64_t workersRespawned = 0;
   bool resumed = false;              ///< run started from a checkpoint
   std::uint64_t checkpointsWritten = 0;
   std::uint64_t filesSkippedByResume = 0;
+  /// Resume restored a checkpointed in-flight batch (decoded events that
+  /// had not been processed when the run died), skipping its re-decode.
+  bool inflightRestored = false;
 };
 
 class NetworkSynthesizer {

@@ -15,8 +15,6 @@ constexpr int kBroadcastTag = kReservedTagBase + 2;
 
 }  // namespace
 
-int RankHandle::size() const noexcept { return comm_->size(); }
-
 void validatePayloadLength(std::int64_t declaredBytes) {
   CHISIM_CHECK(declaredBytes >= 0,
                "negative payload length in message header: " +
@@ -27,77 +25,96 @@ void validatePayloadLength(std::int64_t declaredBytes) {
                    "-byte message limit (corrupt or hostile header)");
 }
 
+// ---------------------------------------------------------------- queue
+
+void MessageQueue::post(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    messages_.push_back(std::move(message));
+  }
+  ready_.notify_all();
+}
+
+void MessageQueue::notifyAll() noexcept {
+  // Taking the lock (even empty-handed) prevents a lost wakeup against a
+  // waiter that just evaluated its predicate and is about to block.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  ready_.notify_all();
+}
+
+std::size_t MessageQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_.size();
+}
+
+bool MessageQueue::matchAndPop(int source, int tag, Message& out) {
+  for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+    const bool sourceMatch = source == kAnySource || it->source == source;
+    const bool tagMatch = tag == kAnyTag || it->tag == tag;
+    if (sourceMatch && tagMatch) {
+      out = std::move(*it);
+      messages_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MessageQueue::tryRecv(Message& out, int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return matchAndPop(source, tag, out);
+}
+
+MessageQueue::WaitResult MessageQueue::wait(
+    Message& out, int source, int tag,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const std::function<bool()>& interrupted) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (matchAndPop(source, tag, out)) {
+      return WaitResult::kMessage;
+    }
+    if (interrupted && interrupted()) {
+      return WaitResult::kInterrupted;
+    }
+    if (deadline.has_value()) {
+      if (ready_.wait_until(lock, *deadline) == std::cv_status::timeout) {
+        // One last look: the message may have raced in with the timeout.
+        if (matchAndPop(source, tag, out)) {
+          return WaitResult::kMessage;
+        }
+        return WaitResult::kTimeout;
+      }
+    } else {
+      ready_.wait(lock);
+    }
+  }
+}
+
+// --------------------------------------------------------------- handle
+
 void RankHandle::send(int dest, int tag, std::span<const std::byte> payload) {
-  CHISIM_REQUIRE(dest >= 0 && dest < comm_->size(), "invalid destination rank");
-  validatePayloadLength(static_cast<std::int64_t>(payload.size()));
-  Message message;
-  message.source = rank_;
-  message.tag = tag;
-  message.payload.assign(payload.begin(), payload.end());
-  comm_->post(dest, std::move(message));
+  transport_->send(rank_, dest, tag, payload);
 }
 
 Message RankHandle::recv(int source, int tag) {
-  auto& box = *comm_->mailboxes_[rank_];
-  std::unique_lock<std::mutex> lock(box.mutex);
-  Message out;
-  while (true) {
-    if (comm_->matchAndPop(box, source, tag, out)) {
-      return out;
-    }
-    CHISIM_CHECK(!comm_->aborted(), "communicator aborted while receiving");
-    box.ready.wait(lock);
-  }
+  return transport_->recv(rank_, source, tag);
 }
 
 std::optional<Message> RankHandle::recvFor(std::chrono::milliseconds timeout,
                                            int source, int tag) {
-  auto& box = *comm_->mailboxes_[rank_];
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock<std::mutex> lock(box.mutex);
-  Message out;
-  while (true) {
-    if (comm_->matchAndPop(box, source, tag, out)) {
-      return out;
-    }
-    CHISIM_CHECK(!comm_->aborted(), "communicator aborted while receiving");
-    if (box.ready.wait_until(lock, deadline) == std::cv_status::timeout) {
-      // One last look: the message may have raced in with the timeout.
-      if (comm_->matchAndPop(box, source, tag, out)) {
-        return out;
-      }
-      return std::nullopt;
-    }
-  }
+  return transport_->recvFor(rank_, timeout, source, tag);
 }
 
 bool RankHandle::tryRecv(Message& out, int source, int tag) {
-  auto& box = *comm_->mailboxes_[rank_];
-  std::lock_guard<std::mutex> lock(box.mutex);
-  return comm_->matchAndPop(box, source, tag, out);
+  return transport_->tryRecv(rank_, out, source, tag);
 }
 
 std::size_t RankHandle::pendingMessages() const {
-  const auto& box = *comm_->mailboxes_[rank_];
-  std::lock_guard<std::mutex> lock(box.mutex);
-  return box.messages.size();
+  return transport_->pendingMessages(rank_);
 }
 
-void RankHandle::barrier() {
-  (void)kBarrierTag;
-  std::unique_lock<std::mutex> lock(comm_->barrierMutex_);
-  const std::uint64_t generation = comm_->barrierGeneration_;
-  if (++comm_->barrierWaiting_ == comm_->size()) {
-    comm_->barrierWaiting_ = 0;
-    ++comm_->barrierGeneration_;
-    comm_->barrierReady_.notify_all();
-    return;
-  }
-  comm_->barrierReady_.wait(lock, [this, generation] {
-    return comm_->barrierGeneration_ != generation || comm_->aborted();
-  });
-  CHISIM_CHECK(!comm_->aborted(), "communicator aborted in barrier");
-}
+void RankHandle::barrier() { transport_->barrier(rank_); }
 
 std::vector<std::vector<std::byte>> RankHandle::gather(
     int root, std::span<const std::byte> bytes) {
@@ -156,11 +173,13 @@ std::uint64_t RankHandle::allReduceU64(
   return result;
 }
 
+// --------------------------------------------------------- communicator
+
 Communicator::Communicator(int rankCount) {
   CHISIM_REQUIRE(rankCount > 0, "communicator needs at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(rankCount));
   for (int i = 0; i < rankCount; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.push_back(std::make_unique<MessageQueue>());
   }
 }
 
@@ -169,45 +188,86 @@ RankHandle Communicator::handle(int rank) {
   return RankHandle(this, rank);
 }
 
-void Communicator::post(int dest, Message message) {
-  auto& box = *mailboxes_[dest];
-  {
-    std::lock_guard<std::mutex> lock(box.mutex);
-    box.messages.push_back(std::move(message));
-  }
-  box.ready.notify_all();
+void Communicator::send(int self, int dest, int tag,
+                        std::span<const std::byte> payload) {
+  CHISIM_REQUIRE(dest >= 0 && dest < size(), "invalid destination rank");
+  validatePayloadLength(static_cast<std::int64_t>(payload.size()));
+  Message message;
+  message.source = self;
+  message.tag = tag;
+  message.payload.assign(payload.begin(), payload.end());
+  mailboxes_[static_cast<std::size_t>(dest)]->post(std::move(message));
 }
 
-bool Communicator::matchAndPop(Mailbox& box, int source, int tag,
-                               Message& out) {
-  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-    const bool sourceMatch = source == kAnySource || it->source == source;
-    const bool tagMatch = tag == kAnyTag || it->tag == tag;
-    if (sourceMatch && tagMatch) {
-      out = std::move(*it);
-      box.messages.erase(it);
-      return true;
-    }
+Message Communicator::recv(int self, int source, int tag) {
+  Message out;
+  const auto result =
+      mailboxes_[static_cast<std::size_t>(self)]->wait(
+          out, source, tag, std::nullopt, [this] { return aborted(); });
+  CHISIM_CHECK(result == MessageQueue::WaitResult::kMessage,
+               "communicator aborted while receiving");
+  return out;
+}
+
+std::optional<Message> Communicator::recvFor(int self,
+                                             std::chrono::milliseconds timeout,
+                                             int source, int tag) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Message out;
+  const auto result =
+      mailboxes_[static_cast<std::size_t>(self)]->wait(
+          out, source, tag, deadline, [this] { return aborted(); });
+  CHISIM_CHECK(result != MessageQueue::WaitResult::kInterrupted,
+               "communicator aborted while receiving");
+  if (result == MessageQueue::WaitResult::kTimeout) {
+    return std::nullopt;
   }
-  return false;
+  return out;
+}
+
+bool Communicator::tryRecv(int self, Message& out, int source, int tag) {
+  return mailboxes_[static_cast<std::size_t>(self)]->tryRecv(out, source, tag);
+}
+
+std::size_t Communicator::pendingMessages(int self) const {
+  return mailboxes_[static_cast<std::size_t>(self)]->pending();
+}
+
+void Communicator::barrier(int /*self*/) {
+  (void)kBarrierTag;
+  std::unique_lock<std::mutex> lock(barrierMutex_);
+  const std::uint64_t generation = barrierGeneration_;
+  if (++barrierWaiting_ == size()) {
+    barrierWaiting_ = 0;
+    ++barrierGeneration_;
+    barrierReady_.notify_all();
+    return;
+  }
+  barrierReady_.wait(lock, [this, generation] {
+    return barrierGeneration_ != generation || aborted();
+  });
+  CHISIM_CHECK(!aborted(), "communicator aborted in barrier");
 }
 
 void Communicator::abort() noexcept {
   aborted_ = true;
   for (auto& box : mailboxes_) {
-    box->ready.notify_all();
+    box->notifyAll();
   }
   barrierReady_.notify_all();
 }
 
+// ----------------------------------------------------------------- team
+
 RankTeam::RankTeam(int rankCount, std::function<void(RankHandle&)> service)
-    : comm_(rankCount),
-      root_(comm_.handle(0)),
+    : transport_(std::make_unique<Communicator>(rankCount)),
+      root_(transport_.get(), 0),
       health_(static_cast<std::size_t>(rankCount), RankHealth::kHealthy) {
+  Transport* transport = transport_.get();
   threads_.reserve(static_cast<std::size_t>(rankCount - 1));
   for (int rank = 1; rank < rankCount; ++rank) {
-    threads_.emplace_back([this, rank, service] {
-      RankHandle handle = comm_.handle(rank);
+    threads_.emplace_back([this, transport, rank, service] {
+      RankHandle handle(transport, rank);
       try {
         service(handle);
       } catch (...) {
@@ -217,16 +277,25 @@ RankTeam::RankTeam(int rankCount, std::function<void(RankHandle&)> service)
             firstError_ = std::current_exception();
           }
         }
-        comm_.abort();
+        transport->abort();
       }
     });
   }
 }
 
+RankTeam::RankTeam(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)),
+      root_(transport_.get(), 0),
+      health_(static_cast<std::size_t>(transport_->size()),
+              RankHealth::kHealthy) {
+  CHISIM_REQUIRE(transport_ != nullptr, "rank team needs a transport");
+}
+
 RankTeam::~RankTeam() {
   // Wake services blocked in recv/barrier; a service that already consumed
-  // its stop command has returned and is unaffected.
-  comm_.abort();
+  // its stop command has returned and is unaffected. On an external
+  // transport this tears down the wire (worker processes see EOF).
+  transport_->abort();
   for (std::thread& thread : threads_) {
     thread.join();
   }
@@ -235,8 +304,11 @@ RankTeam::~RankTeam() {
 void RankTeam::markLost(int rank) {
   CHISIM_REQUIRE(rank >= 0 && rank < size(), "invalid rank");
   CHISIM_REQUIRE(rank != 0, "rank 0 is the caller and cannot be lost");
-  std::lock_guard<std::mutex> lock(healthMutex_);
-  health_[static_cast<std::size_t>(rank)] = RankHealth::kLost;
+  {
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    health_[static_cast<std::size_t>(rank)] = RankHealth::kLost;
+  }
+  transport_->forsakeRank(rank);
 }
 
 bool RankTeam::isLive(int rank) const {

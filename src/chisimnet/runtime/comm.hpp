@@ -17,16 +17,19 @@
 
 #include "chisimnet/util/error.hpp"
 
-/// In-process message-passing substrate (the MPI substitute).
+/// Message-passing substrate (the MPI substitute).
 ///
 /// The paper runs chiSIM on Repast HPC over MPI: places live on ranks,
 /// agents migrate between ranks by message, and each rank logs its own
-/// events. This module reproduces that structure with ranks as threads and
-/// mailboxes as the transport, so every rank-level algorithm (migration,
-/// scatter/reduce synthesis) runs unchanged in one process. Semantics follow
+/// events. This module reproduces that structure behind a pluggable
+/// `Transport`: the default `Communicator` keeps ranks as threads and
+/// mailboxes as the wire, while `ProcessTransport`
+/// (process_transport.hpp) moves ranks into separate OS processes over
+/// Unix-domain sockets. Every rank-level algorithm (migration,
+/// scatter/reduce synthesis) runs unchanged on either. Semantics follow
 /// MPI where it matters: point-to-point messages between a (source, dest,
-/// tag) triple are non-overtaking, recv blocks, collectives are executed by
-/// all ranks in the same order (SPMD).
+/// tag) triple are non-overtaking, recv blocks, collectives are executed
+/// by all ranks in the same order (SPMD).
 
 namespace chisimnet::runtime {
 
@@ -37,10 +40,10 @@ inline constexpr int kAnyTag = -1;
 inline constexpr int kReservedTagBase = 1 << 24;
 
 /// Hard ceiling on a single message payload. In-process this bounds a
-/// runaway serialization bug; on the future socket transport it is the
-/// value a received length header is validated against before any
-/// allocation happens. 1 GiB is far above the largest legitimate frame
-/// (a full per-rank matrix batch at Chicago scale is tens of MiB).
+/// runaway serialization bug; on the socket transport it is the value a
+/// received length header is validated against before any allocation
+/// happens. 1 GiB is far above the largest legitimate frame (a full
+/// per-rank matrix batch at Chicago scale is tens of MiB).
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 
 /// Validates a payload length as read off a wire header (or any untrusted
@@ -77,13 +80,85 @@ struct Message {
   }
 };
 
-class Communicator;
+/// Thread-safe mailbox of messages matched by (source, tag), FIFO per
+/// pair. Shared by the in-process Communicator (one per rank) and the
+/// socket transport (one for the root endpoint, fed by reader threads).
+class MessageQueue {
+ public:
+  void post(Message message);
 
-/// A single rank's endpoint. All methods are called from that rank's thread.
+  /// Wakes every waiter so it re-evaluates its `interrupted` predicate.
+  /// Call after changing any external state a waiter might be gated on
+  /// (abort flags, rank death).
+  void notifyAll() noexcept;
+
+  std::size_t pending() const;
+
+  bool tryRecv(Message& out, int source, int tag);
+
+  enum class WaitResult { kMessage, kTimeout, kInterrupted };
+
+  /// Waits until a message matching (source, tag) arrives (-> kMessage,
+  /// `out` filled), `deadline` passes (-> kTimeout), or `interrupted()`
+  /// returns true (-> kInterrupted). Pass nullopt as the deadline for an
+  /// unbounded wait. A queued match always wins over both timeout and
+  /// interruption: messages delivered before an abort are still received.
+  WaitResult wait(
+      Message& out, int source, int tag,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      const std::function<bool()>& interrupted);
+
+ private:
+  bool matchAndPop(int source, int tag, Message& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Message> messages_;
+};
+
+/// The wire under a rank group. `self` is the calling rank; in-process
+/// every rank calls in, on the socket transport only the root endpoint
+/// (rank 0) lives in this process and workers speak the frame protocol
+/// directly (see ProcessWorkerLink).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int size() const noexcept = 0;
+  virtual void send(int self, int dest, int tag,
+                    std::span<const std::byte> payload) = 0;
+  virtual Message recv(int self, int source, int tag) = 0;
+  virtual std::optional<Message> recvFor(int self,
+                                         std::chrono::milliseconds timeout,
+                                         int source, int tag) = 0;
+  virtual bool tryRecv(int self, Message& out, int source, int tag) = 0;
+  virtual std::size_t pendingMessages(int self) const = 0;
+  virtual void barrier(int self) = 0;
+
+  /// Wakes every blocked receive with an error; used on teardown after a
+  /// failure so no thread deadlocks in recv.
+  virtual void abort() noexcept = 0;
+
+  /// Announces orderly shutdown: from here on, peers disappearing is
+  /// expected and must not be treated as failure (no respawn, no error).
+  /// Called by drivers before they send stop commands. No-op in-process.
+  virtual void quiesce() noexcept {}
+
+  /// Permanently gives up on `rank`: stop monitoring it, stop respawning
+  /// it, reap whatever backs it. Called when a driver marks the rank
+  /// lost. No-op in-process (the service thread exits via abort/stop).
+  virtual void forsakeRank(int /*rank*/) {}
+};
+
+/// A single rank's endpoint. All methods are called from that rank's
+/// thread. A thin, copyable view over a Transport.
 class RankHandle {
  public:
+  RankHandle(Transport* transport, int rank)
+      : transport_(transport), rank_(rank) {}
+
   int rank() const noexcept { return rank_; }
-  int size() const noexcept;
+  int size() const noexcept { return transport_->size(); }
 
   /// Sends bytes to `dest` (non-blocking, buffered).
   void send(int dest, int tag, std::span<const std::byte> payload);
@@ -108,7 +183,9 @@ class RankHandle {
 
   /// recv with a deadline: blocks at most `timeout` and returns nullopt if
   /// no matching message arrived by then. The per-command deadline the
-  /// fault-tolerant executor uses to detect lost ranks.
+  /// fault-tolerant executor uses to detect lost ranks. On the socket
+  /// transport this also returns nullopt early once `source` is known to
+  /// be permanently dead.
   std::optional<Message> recvFor(std::chrono::milliseconds timeout,
                                  int source = kAnySource, int tag = kAnyTag);
 
@@ -137,20 +214,29 @@ class RankHandle {
                                  std::uint64_t, std::uint64_t)>& op);
 
  private:
-  friend class Communicator;
-  RankHandle(Communicator* comm, int rank) : comm_(comm), rank_(rank) {}
-
-  Communicator* comm_;
+  Transport* transport_;
   int rank_;
 };
 
-/// Shared state for a fixed-size group of ranks.
-class Communicator {
+/// Shared state for a fixed-size group of in-process ranks (threads).
+class Communicator : public Transport {
  public:
   explicit Communicator(int rankCount);
 
-  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+  int size() const noexcept override {
+    return static_cast<int>(mailboxes_.size());
+  }
   RankHandle handle(int rank);
+
+  void send(int self, int dest, int tag,
+            std::span<const std::byte> payload) override;
+  Message recv(int self, int source, int tag) override;
+  std::optional<Message> recvFor(int self, std::chrono::milliseconds timeout,
+                                 int source, int tag) override;
+  bool tryRecv(int self, Message& out, int source, int tag) override;
+  std::size_t pendingMessages(int self) const override;
+  void barrier(int self) override;
+  void abort() noexcept override;
 
   /// Runs `body(rankHandle)` on `rankCount` threads, one per rank, and
   /// joins. The first exception thrown by any rank is rethrown after all
@@ -160,23 +246,9 @@ class Communicator {
                   const std::function<void(RankHandle&)>& body);
 
  private:
-  friend class RankHandle;
-
-  struct Mailbox {
-    mutable std::mutex mutex;
-    std::condition_variable ready;
-    std::deque<Message> messages;
-  };
-
-  void post(int dest, Message message);
-  bool matchAndPop(Mailbox& box, int source, int tag, Message& out);
-
-  void abort() noexcept;
   bool aborted() const noexcept { return aborted_; }
 
-  friend class RankTeam;
-
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<MessageQueue>> mailboxes_;
 
   // Generation-counting barrier.
   std::mutex barrierMutex_;
@@ -198,9 +270,13 @@ class Communicator {
 /// command loop — recv a command from rank 0, perform a stage, repeat until
 /// a stop command — so the same threads serve every round.
 ///
+/// Alternatively a team can be built over an external Transport (the
+/// socket transport) whose workers live in other OS processes; the team
+/// then owns no service threads and the transport owns worker lifetime.
+///
 /// Shutdown: the service must return for the team to join cleanly (send it
 /// a stop command before destruction). The destructor additionally aborts
-/// the communicator, so services blocked mid-recv (e.g. after a root-side
+/// the transport, so services blocked mid-recv (e.g. after a root-side
 /// failure) wake, throw, and exit rather than deadlock the join. Messages
 /// already delivered are matched before the abort flag is checked, so a
 /// stop command sent just before destruction is always honored.
@@ -213,22 +289,33 @@ class Communicator {
 /// route around a worker that died or stopped answering. The team itself
 /// never marks a rank — detection (reply deadline, failed reply, silent
 /// exit) lives in the executor, which calls markLost(); the team just keeps
-/// the book so every stage sees one consistent live set.
+/// the book so every stage sees one consistent live set. markLost also
+/// forsakes the rank at the transport (kills and stops respawning a worker
+/// process; no-op in-process).
 class RankTeam {
  public:
   enum class RankHealth { kHealthy, kLost };
 
+  /// In-process team: ranks 1..rankCount-1 run `service` on threads.
   RankTeam(int rankCount, std::function<void(RankHandle&)> service);
+
+  /// Team over an external transport (worker ranks live elsewhere, e.g.
+  /// in other processes). The team owns the transport and no threads.
+  explicit RankTeam(std::unique_ptr<Transport> transport);
+
   ~RankTeam();
 
   RankTeam(const RankTeam&) = delete;
   RankTeam& operator=(const RankTeam&) = delete;
 
-  int size() const noexcept { return comm_.size(); }
+  int size() const noexcept { return transport_->size(); }
 
   /// The calling thread's endpoint (rank 0). Only the constructing thread
   /// may use it.
   RankHandle& root() noexcept { return root_; }
+
+  /// The wire under the team (for quiesce() before orderly shutdown).
+  Transport& transport() noexcept { return *transport_; }
 
   /// First exception thrown by a service thread, if any.
   std::exception_ptr serviceError() const;
@@ -247,7 +334,7 @@ class RankTeam {
   int lostCount() const { return size() - liveCount(); }
 
  private:
-  Communicator comm_;
+  std::unique_ptr<Transport> transport_;
   RankHandle root_;
   mutable std::mutex errorMutex_;
   std::exception_ptr firstError_;

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
+
+#include <unistd.h>
+
+#include "chisimnet/util/error.hpp"
 
 namespace chisimnet::runtime {
 
@@ -32,6 +40,8 @@ const char* faultActionName(FaultAction action) noexcept {
       return "truncate";
     case FaultAction::kKillRank:
       return "kill-rank";
+    case FaultAction::kKillProcess:
+      return "kill-process";
   }
   return "unknown";
 }
@@ -42,7 +52,8 @@ FaultInjected::FaultInjected(std::string_view site, std::uint64_t hit)
       site_(site),
       hit_(hit) {}
 
-FaultPlan::FaultPlan(std::uint64_t seed) : rngState_(seed * 0x2545F4914F6CDD1Dull + 1) {}
+FaultPlan::FaultPlan(std::uint64_t seed)
+    : seed_(seed), rngState_(seed * 0x2545F4914F6CDD1Dull + 1) {}
 
 FaultPlan& FaultPlan::at(std::string site, FaultSpec spec) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -112,8 +123,75 @@ FaultAction FaultPlan::fire(std::string_view site, FaultSite& ctx) {
       return FaultAction::kTruncate;
     case FaultAction::kKillRank:
       return FaultAction::kKillRank;
+    case FaultAction::kKillProcess:
+      // A real, unhandleable crash of this process — the whole point of
+      // shipping the plan into a transport worker.
+      ::kill(::getpid(), SIGKILL);
+      return FaultAction::kKillProcess;  // unreachable
   }
   return FaultAction::kNone;
+}
+
+std::string FaultPlan::encode() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "v1;" + std::to_string(seed_);
+  char buffer[64];
+  for (const auto& [site, specs] : specs_) {
+    for (const FaultSpec& spec : specs) {
+      std::snprintf(buffer, sizeof(buffer), "%.17g", spec.probability);
+      out += ";" + site + "," +
+             std::to_string(static_cast<std::uint32_t>(spec.action)) + "," +
+             std::to_string(spec.hit) + "," + buffer + "," +
+             std::to_string(spec.rank) + "," + std::to_string(spec.delayMs) +
+             "," + std::to_string(spec.truncateTo);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<FaultPlan> FaultPlan::decode(std::string_view text) {
+  std::vector<std::string> fields;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(';', begin);
+    fields.emplace_back(text.substr(
+        begin, end == std::string_view::npos ? std::string_view::npos
+                                             : end - begin));
+    if (end == std::string_view::npos) {
+      break;
+    }
+    begin = end + 1;
+  }
+  CHISIM_CHECK(fields.size() >= 2 && fields[0] == "v1",
+               "malformed fault plan encoding");
+  auto plan = std::make_unique<FaultPlan>(
+      std::strtoull(fields[1].c_str(), nullptr, 10));
+  for (std::size_t i = 2; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    const std::size_t comma = field.find(',');
+    CHISIM_CHECK(comma != std::string::npos,
+                 "malformed fault plan spec: " + field);
+    FaultSpec spec;
+    std::uint32_t action = 0;
+    std::uint64_t hit = 0;
+    double probability = 1.0;
+    int rank = -1;
+    std::uint32_t delayMs = 0;
+    std::uint64_t truncateTo = 0;
+    const int parsed = std::sscanf(
+        field.c_str() + comma + 1, "%" SCNu32 ",%" SCNu64 ",%lg,%d,%" SCNu32
+        ",%" SCNu64,
+        &action, &hit, &probability, &rank, &delayMs, &truncateTo);
+    CHISIM_CHECK(parsed == 6, "malformed fault plan spec: " + field);
+    spec.action = static_cast<FaultAction>(action);
+    spec.hit = hit;
+    spec.probability = probability;
+    spec.rank = rank;
+    spec.delayMs = delayMs;
+    spec.truncateTo = static_cast<std::size_t>(truncateTo);
+    plan->at(field.substr(0, comma), spec);
+  }
+  return plan;
 }
 
 std::uint64_t FaultPlan::hitCount(std::string_view site) const {
@@ -136,6 +214,10 @@ FaultPlan* install(FaultPlan* plan) noexcept {
 
 bool armed() noexcept {
   return g_plan.load(std::memory_order_relaxed) != nullptr;
+}
+
+FaultPlan* current() noexcept {
+  return g_plan.load(std::memory_order_acquire);
 }
 
 FaultAction hit(std::string_view site, FaultSite& ctx) {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -28,6 +29,11 @@
 ///   mp.service.command  RankTeam service loop, on each received command
 ///   mp.send             MessagePassingExecutor root, before each command send
 ///   mp.collect          MessagePassingExecutor root, before each reply wait
+///   proc.send           ProcessTransport root, per outgoing wire frame
+///                       (kTruncate = torn write; kKillRank = SIGKILL the
+///                       destination worker process)
+///   proc.worker.send    ProcessWorkerLink, per outgoing wire frame in the
+///                       worker process (kTruncate = torn write)
 ///
 /// A site costs one relaxed atomic load when no plan is installed — the
 /// hooks are always present, never a build flavor — and sites fire at
@@ -50,8 +56,14 @@ enum class FaultAction : std::uint32_t {
   /// frame); sites without a payload treat it as kNone.
   kTruncate,
   /// Returned to the caller, which must simulate a dead rank (a service
-  /// loop returns without replying and stays silent forever).
+  /// loop returns without replying and stays silent forever). At
+  /// proc.send it is real: the destination worker process is SIGKILLed.
   kKillRank,
+  /// Raises SIGKILL against the *current* process — a real, unhandleable
+  /// crash. Only meaningful inside a transport worker process (shipped
+  /// there via the CHISIM_FAULT_PLAN environment plan); installing it in
+  /// the root process kills the whole run.
+  kKillProcess,
 };
 
 const char* faultActionName(FaultAction action) noexcept;
@@ -105,6 +117,15 @@ class FaultPlan {
   /// Adds a fault at `site`; chainable. Thread-safe against firing sites.
   FaultPlan& at(std::string site, FaultSpec spec);
 
+  /// Serializes seed + specs to a single line safe to ship through an
+  /// environment variable across exec (CHISIM_FAULT_PLAN), so worker
+  /// processes fault under the same plan as the root. Hit/acted counters
+  /// are not carried: each process counts its own hits from zero.
+  std::string encode() const;
+
+  /// Inverse of encode(). Throws on malformed input.
+  static std::unique_ptr<FaultPlan> decode(std::string_view text);
+
   /// Called by injection points. Applies kThrow (throws FaultInjected),
   /// kDelay (sleeps) and kTruncate (shrinks ctx.payload) internally;
   /// returns the action so callers can implement kKillRank.
@@ -123,6 +144,7 @@ class FaultPlan {
   std::map<std::string, std::vector<FaultSpec>, std::less<>> specs_;
   std::map<std::string, std::uint64_t, std::less<>> hits_;
   std::map<std::string, std::uint64_t, std::less<>> acted_;
+  std::uint64_t seed_;
   std::uint64_t rngState_;
 };
 
@@ -136,6 +158,10 @@ FaultPlan* install(FaultPlan* plan) noexcept;
 /// True when a plan is installed. One relaxed atomic load — the entire
 /// per-site cost when fault injection is idle.
 bool armed() noexcept;
+
+/// The currently installed plan (nullptr when disarmed). Used by the
+/// process transport to forward the plan to spawned workers.
+FaultPlan* current() noexcept;
 
 /// Fires the installed plan at `site`; returns kNone when no plan is
 /// installed. This is the function injection points call.

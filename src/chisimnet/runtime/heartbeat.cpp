@@ -1,0 +1,57 @@
+#include "chisimnet/runtime/heartbeat.hpp"
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::runtime {
+
+HeartbeatBook::HeartbeatBook(int peerCount)
+    : last_(static_cast<std::size_t>(peerCount),
+            std::chrono::steady_clock::now()) {
+  CHISIM_REQUIRE(peerCount >= 0, "negative peer count");
+}
+
+void HeartbeatBook::beat(int peer) {
+  CHISIM_REQUIRE(peer >= 0 && peer < peerCount(), "invalid peer");
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_[static_cast<std::size_t>(peer)] = std::chrono::steady_clock::now();
+}
+
+std::chrono::steady_clock::duration HeartbeatBook::age(int peer) const {
+  CHISIM_REQUIRE(peer >= 0 && peer < peerCount(), "invalid peer");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::chrono::steady_clock::now() -
+         last_[static_cast<std::size_t>(peer)];
+}
+
+bool HeartbeatBook::overdue(int peer, std::chrono::milliseconds limit) const {
+  return age(peer) > limit;
+}
+
+PeriodicTask::PeriodicTask(std::chrono::milliseconds period,
+                           std::function<void()> tick)
+    : thread_([this, period, tick = std::move(tick)] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (true) {
+          if (wake_.wait_for(lock, period, [this] { return stop_; })) {
+            return;
+          }
+          lock.unlock();
+          tick();
+          lock.lock();
+        }
+      }) {}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() noexcept {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+}  // namespace chisimnet::runtime

@@ -1,0 +1,843 @@
+#include "chisimnet/runtime/process_transport.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "chisimnet/runtime/fault.hpp"
+
+extern char** environ;
+
+namespace chisimnet::runtime {
+
+namespace wire {
+
+namespace {
+
+template <typename T>
+void putScalar(std::vector<std::byte>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T takeAt(std::span<const std::byte> bytes, std::size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::byte> encodeFrame(const Frame& frame) {
+  std::vector<std::byte> out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  putScalar<std::uint32_t>(out, kFrameMagic);
+  putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(frame.kind));
+  putScalar<std::int32_t>(out, frame.tag);
+  putScalar<std::uint64_t>(out, static_cast<std::uint64_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+FrameReader::FrameReader(ReadFn read) : read_(std::move(read)) {}
+
+bool FrameReader::readFully(std::span<std::byte> out, bool eofAllowedAtStart) {
+  std::size_t have = 0;
+  while (have < out.size()) {
+    const std::size_t got = read_(out.data() + have, out.size() - have);
+    if (got == 0) {
+      if (have == 0 && eofAllowedAtStart) {
+        return false;
+      }
+      throw std::runtime_error("torn wire frame: EOF after " + std::to_string(have) +
+                        " of " + std::to_string(out.size()) + " bytes");
+    }
+    have += got;
+  }
+  return true;
+}
+
+std::optional<Frame> FrameReader::next() {
+  std::byte header[kFrameHeaderBytes];
+  if (!readFully(std::span<std::byte>(header, kFrameHeaderBytes),
+                 /*eofAllowedAtStart=*/true)) {
+    return std::nullopt;  // clean EOF at a frame boundary
+  }
+  const std::span<const std::byte> view(header, kFrameHeaderBytes);
+  const std::uint32_t magic = takeAt<std::uint32_t>(view, 0);
+  CHISIM_CHECK(magic == kFrameMagic,
+               "bad wire frame magic 0x" + std::to_string(magic) +
+                   " (corrupt or desynchronized stream)");
+  const std::uint32_t kind = takeAt<std::uint32_t>(view, 4);
+  CHISIM_CHECK(kind >= static_cast<std::uint32_t>(FrameKind::kData) &&
+                   kind <= static_cast<std::uint32_t>(FrameKind::kHelloAck),
+               "unknown wire frame kind " + std::to_string(kind));
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(kind);
+  frame.tag = takeAt<std::int32_t>(view, 8);
+  const std::uint64_t length = takeAt<std::uint64_t>(view, 12);
+  // Validate the declared length BEFORE sizing the allocation: a corrupt
+  // header must not be able to OOM the receiver.
+  validatePayloadLength(static_cast<std::int64_t>(length));
+  frame.payload.resize(static_cast<std::size_t>(length));
+  if (length > 0) {
+    readFully(frame.payload, /*eofAllowedAtStart=*/false);
+  }
+  return frame;
+}
+
+ReadFn fdReadFn(int fd) {
+  return [fd](std::byte* out, std::size_t capacity) -> std::size_t {
+    while (true) {
+      const ssize_t got = ::read(fd, out, capacity);
+      if (got >= 0) {
+        return static_cast<std::size_t>(got);
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("socket read failed: ") +
+                        std::strerror(errno));
+    }
+  };
+}
+
+bool writeAllFd(int fd, std::span<const std::byte> bytes) noexcept {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-wide SIGPIPE.
+    const ssize_t wrote = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                                 MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace wire
+
+namespace {
+
+/// ReadFn over `fd` that gives up at `deadline` (handshake reads only; the
+/// steady-state pump blocks indefinitely and is woken by shutdown()).
+wire::ReadFn deadlineReadFn(int fd, std::chrono::steady_clock::time_point deadline) {
+  return [fd, deadline](std::byte* out, std::size_t capacity) -> std::size_t {
+    while (true) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      CHISIM_CHECK(remaining.count() > 0, "worker handshake timed out");
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        throw std::runtime_error(std::string("poll failed: ") + std::strerror(errno));
+      }
+      if (ready == 0) {
+        continue;  // loop re-checks the deadline
+      }
+      const ssize_t got = ::read(fd, out, capacity);
+      if (got >= 0) {
+        return static_cast<std::size_t>(got);
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      throw std::runtime_error(std::string("socket read failed: ") +
+                        std::strerror(errno));
+    }
+  };
+}
+
+int envInt(const char* name) {
+  const char* value = std::getenv(name);
+  CHISIM_CHECK(value != nullptr,
+               std::string("missing worker bootstrap variable ") + name);
+  return std::atoi(value);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ worker end
+
+bool ProcessWorkerLink::isWorkerProcess() {
+  return std::getenv(kWorkerFdEnv) != nullptr;
+}
+
+ProcessWorkerLink::ProcessWorkerLink()
+    : fd_(envInt(kWorkerFdEnv)),
+      rank_(envInt(kWorkerRankEnv)),
+      rankCount_(envInt(kWorkerRankCountEnv)) {
+  CHISIM_CHECK(fd_ >= 0, "invalid worker socket descriptor");
+  CHISIM_CHECK(rank_ >= 1 && rank_ < rankCount_, "invalid worker rank");
+}
+
+ProcessWorkerLink::~ProcessWorkerLink() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (pump_.joinable()) {
+    pump_.join();
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+ProcessWorkerLink::Hello ProcessWorkerLink::handshake() {
+  CHISIM_REQUIRE(!pump_.joinable(), "handshake already performed");
+  wire::FrameReader reader(wire::fdReadFn(fd_));
+  auto frame = reader.next();
+  CHISIM_CHECK(frame.has_value() && frame->kind == wire::FrameKind::kHello,
+               "worker expected a hello frame from the root");
+  Hello hello;
+  hello.epoch = static_cast<std::uint64_t>(frame->tag);
+  hello.payload = std::move(frame->payload);
+  wire::Frame ack;
+  ack.kind = wire::FrameKind::kHelloAck;
+  ack.tag = frame->tag;
+  {
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    CHISIM_CHECK(wire::writeAllFd(fd_, wire::encodeFrame(ack)),
+                 "worker failed to ack the hello frame");
+  }
+  pump_ = std::thread([this, reader = std::move(reader)]() mutable {
+    pumpLoop(std::move(reader));
+  });
+  return hello;
+}
+
+void ProcessWorkerLink::pumpLoop(wire::FrameReader reader) {
+  try {
+    while (true) {
+      auto frame = reader.next();
+      if (!frame.has_value()) {
+        break;  // root closed the connection
+      }
+      switch (frame->kind) {
+        case wire::FrameKind::kData: {
+          Message message;
+          message.source = 0;
+          message.tag = frame->tag;
+          message.payload = std::move(frame->payload);
+          queue_.post(std::move(message));
+          break;
+        }
+        case wire::FrameKind::kPing: {
+          wire::Frame pong;
+          pong.kind = wire::FrameKind::kPong;
+          pong.tag = frame->tag;
+          std::lock_guard<std::mutex> lock(writeMutex_);
+          if (!wire::writeAllFd(fd_, wire::encodeFrame(pong))) {
+            closed_ = true;
+            queue_.notifyAll();
+            return;
+          }
+          break;
+        }
+        default:
+          break;  // stray hello/ack/pong: ignore
+      }
+    }
+  } catch (...) {
+    // Torn or corrupt frame: the stream can no longer be trusted.
+  }
+  closed_ = true;
+  queue_.notifyAll();
+}
+
+Message ProcessWorkerLink::recv() {
+  Message out;
+  const auto result = queue_.wait(out, 0, kAnyTag, std::nullopt,
+                                  [this] { return closed_.load(); });
+  CHISIM_CHECK(result == MessageQueue::WaitResult::kMessage,
+               "root connection closed");
+  return out;
+}
+
+void ProcessWorkerLink::send(int tag, std::span<const std::byte> payload) {
+  validatePayloadLength(static_cast<std::int64_t>(payload.size()));
+  wire::Frame frame;
+  frame.kind = wire::FrameKind::kData;
+  frame.tag = tag;
+  frame.payload.assign(payload.begin(), payload.end());
+  std::vector<std::byte> encoded = wire::encodeFrame(frame);
+  if (fault::armed()) {
+    FaultSite ctx;
+    ctx.rank = rank_;
+    ctx.payload = &encoded;
+    fault::hit("proc.worker.send", ctx);
+  }
+  std::lock_guard<std::mutex> lock(writeMutex_);
+  // A failed or torn write means the root will poison this connection; the
+  // worker keeps running and exits when its read side reaches EOF.
+  (void)wire::writeAllFd(fd_, encoded);
+}
+
+// -------------------------------------------------------------- root end
+
+ProcessTransport::ProcessTransport(ProcessTransportOptions options)
+    : options_(std::move(options)), beats_(options_.rankCount) {
+  CHISIM_REQUIRE(options_.rankCount >= 1, "transport needs at least one rank");
+  CHISIM_REQUIRE(options_.heartbeatMs >= 1, "heartbeat period must be >= 1ms");
+  CHISIM_REQUIRE(options_.heartbeatMissLimit >= 2,
+                 "heartbeat miss limit must be >= 2");
+  CHISIM_REQUIRE(options_.maxRespawns >= 0, "negative respawn budget");
+  slots_.reserve(static_cast<std::size_t>(options_.rankCount));
+  for (int rank = 0; rank < options_.rankCount; ++rank) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  pumps_.resize(static_cast<std::size_t>(options_.rankCount));
+  try {
+    std::lock_guard<std::mutex> spawnLock(spawnMutex_);
+    for (int rank = 1; rank < options_.rankCount; ++rank) {
+      spawnWorker(rank);
+    }
+  } catch (...) {
+    shuttingDown_ = true;
+    for (auto& s : slots_) {
+      if (s->pid > 0) {
+        ::kill(s->pid, SIGKILL);
+        ::waitpid(s->pid, nullptr, 0);
+      }
+      shutdownSlotFd(*s);
+    }
+    for (std::thread& pump : pumps_) {
+      if (pump.joinable()) {
+        pump.join();
+      }
+    }
+    for (auto& s : slots_) {
+      closeSlotFd(*s);
+    }
+    throw;
+  }
+  monitor_ = std::make_unique<PeriodicTask>(
+      std::chrono::milliseconds(options_.heartbeatMs),
+      [this] { monitorTick(); });
+}
+
+ProcessTransport::~ProcessTransport() {
+  shuttingDown_ = true;
+  monitor_.reset();  // joins the monitor thread; no more respawns
+  aborted_ = true;
+  rootQueue_.notifyAll();
+
+  // Grace period: after quiesce() + stop commands the workers exit on
+  // their own; give them a moment before escalating to SIGKILL.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::vector<pid_t> waiting;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    for (auto& s : slots_) {
+      if (s->pid > 0) {
+        waiting.push_back(s->pid);
+      }
+    }
+  }
+  while (!waiting.empty() && std::chrono::steady_clock::now() < deadline) {
+    for (auto it = waiting.begin(); it != waiting.end();) {
+      if (::waitpid(*it, nullptr, WNOHANG) == *it) {
+        it = waiting.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!waiting.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  for (const pid_t pid : waiting) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+  }
+
+  for (auto& s : slots_) {
+    shutdownSlotFd(*s);  // wakes the pump with EOF
+  }
+  for (std::thread& pump : pumps_) {
+    if (pump.joinable()) {
+      pump.join();
+    }
+  }
+  for (std::thread& pump : retiredPumps_) {
+    if (pump.joinable()) {
+      pump.join();
+    }
+  }
+  for (auto& s : slots_) {
+    closeSlotFd(*s);
+  }
+}
+
+ProcessTransport::Slot& ProcessTransport::slot(int rank) const {
+  CHISIM_REQUIRE(rank >= 1 && rank < options_.rankCount,
+                 "invalid worker rank");
+  return *slots_[static_cast<std::size_t>(rank)];
+}
+
+void ProcessTransport::spawnWorker(int rank) {
+  Slot& s = slot(rank);
+  const std::uint64_t epoch = s.epoch + 1;
+
+  int fds[2] = {-1, -1};
+  CHISIM_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+               std::string("socketpair failed: ") + std::strerror(errno));
+  // Parent end must not leak into later-spawned siblings (spawns are
+  // serialized under spawnMutex_, so no fork happens between socketpair
+  // and this fcntl); the child end stays inheritable for exec.
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+
+  const std::string exe =
+      options_.executable.empty() ? "/proc/self/exe" : options_.executable;
+
+  // Build argv/envp BEFORE fork: the child of a multithreaded parent may
+  // only call async-signal-safe functions, so no allocation after fork.
+  std::vector<std::string> env;
+  for (char** entry = environ; *entry != nullptr; ++entry) {
+    const std::string_view view(*entry);
+    if (view.starts_with(std::string(kWorkerFdEnv) + "=") ||
+        view.starts_with(std::string(kWorkerRankEnv) + "=") ||
+        view.starts_with(std::string(kWorkerRankCountEnv) + "=") ||
+        view.starts_with(std::string(kWorkerFaultPlanEnv) + "=")) {
+      continue;
+    }
+    env.emplace_back(view);
+  }
+  env.push_back(std::string(kWorkerFdEnv) + "=" + std::to_string(fds[1]));
+  env.push_back(std::string(kWorkerRankEnv) + "=" + std::to_string(rank));
+  env.push_back(std::string(kWorkerRankCountEnv) + "=" +
+                std::to_string(options_.rankCount));
+  if (FaultPlan* plan = fault::current()) {
+    env.push_back(std::string(kWorkerFaultPlanEnv) + "=" + plan->encode());
+  }
+  std::vector<char*> envp;
+  envp.reserve(env.size() + 1);
+  for (std::string& entry : env) {
+    envp.push_back(entry.data());
+  }
+  envp.push_back(nullptr);
+  std::string exeArg = exe;
+  std::string workerFlag = "--worker";
+  char* argv[] = {exeArg.data(), workerFlag.data(), nullptr};
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execve(exe.c_str(), argv, envp.data());
+    _exit(127);  // exec failed; parent sees instant EOF + exit status
+  }
+  ::close(fds[1]);
+  if (pid < 0) {
+    ::close(fds[0]);
+    throw std::runtime_error(std::string("fork failed: ") + std::strerror(errno));
+  }
+
+  // Hello handshake, synchronous with a deadline: the worker must prove it
+  // booted (and received the replayed application payload) before the slot
+  // goes live.
+  const auto handshakeDeadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          std::max<std::uint64_t>(10000, options_.heartbeatMs *
+                                             static_cast<std::uint64_t>(
+                                                 options_.heartbeatMissLimit)));
+  bool acked = false;
+  try {
+    wire::Frame hello;
+    hello.kind = wire::FrameKind::kHello;
+    hello.tag = static_cast<std::int32_t>(epoch);
+    hello.payload = options_.helloPayload;
+    CHISIM_CHECK(wire::writeAllFd(fds[0], wire::encodeFrame(hello)),
+                 "failed to send hello to worker");
+    wire::FrameReader reader(deadlineReadFn(fds[0], handshakeDeadline));
+    while (!acked) {
+      auto frame = reader.next();
+      CHISIM_CHECK(frame.has_value(), "worker exited during handshake");
+      if (frame->kind == wire::FrameKind::kHelloAck &&
+          frame->tag == static_cast<std::int32_t>(epoch)) {
+        acked = true;
+      }
+    }
+  } catch (...) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    ::close(fds[0]);
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> stateLock(stateMutex_);
+    std::lock_guard<std::mutex> writeLock(s.writeMutex);
+    s.fd = fds[0];
+    s.pid = pid;
+    s.epoch = epoch;
+    s.spawns += 1;
+    s.live = true;
+    s.deadPending = false;
+    s.lastDeathDetail.clear();
+  }
+  beats_.beat(rank);
+  if (pumps_[static_cast<std::size_t>(rank)].joinable()) {
+    retiredPumps_.push_back(
+        std::move(pumps_[static_cast<std::size_t>(rank)]));
+  }
+  const int fd = fds[0];
+  pumps_[static_cast<std::size_t>(rank)] =
+      std::thread([this, rank, epoch, fd] { pumpLoop(rank, epoch, fd); });
+}
+
+void ProcessTransport::pumpLoop(int rank, std::uint64_t epoch, int fd) {
+  std::string detail = "socket EOF";
+  try {
+    wire::FrameReader reader(wire::fdReadFn(fd));
+    while (true) {
+      auto frame = reader.next();
+      if (!frame.has_value()) {
+        break;
+      }
+      beats_.beat(rank);
+      switch (frame->kind) {
+        case wire::FrameKind::kData: {
+          Message message;
+          message.source = rank;
+          message.tag = frame->tag;
+          message.payload = std::move(frame->payload);
+          rootQueue_.post(std::move(message));
+          break;
+        }
+        case wire::FrameKind::kPong:
+          break;
+        default:
+          break;
+      }
+    }
+  } catch (const std::exception& error) {
+    detail = error.what();
+  }
+  flagDeath(rank, epoch, detail);
+}
+
+void ProcessTransport::shutdownSlotFd(Slot& s) noexcept {
+  std::lock_guard<std::mutex> lock(s.writeMutex);
+  if (s.fd >= 0) {
+    ::shutdown(s.fd, SHUT_RDWR);
+  }
+}
+
+void ProcessTransport::closeSlotFd(Slot& s) noexcept {
+  std::lock_guard<std::mutex> lock(s.writeMutex);
+  if (s.fd >= 0) {
+    ::close(s.fd);
+    s.fd = -1;
+  }
+}
+
+void ProcessTransport::flagDeath(int rank, std::uint64_t epoch,
+                                 const std::string& detail) {
+  if (shuttingDown_.load()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  Slot& s = slot(rank);
+  if (s.epoch != epoch || !s.live) {
+    return;  // stale: the slot was already respawned or flagged
+  }
+  s.live = false;
+  s.deadPending = true;
+  s.lastDeathDetail = detail;
+}
+
+void ProcessTransport::noteEvent(WorkerEvent::Kind kind, int rank,
+                                 std::string detail) {
+  WorkerEvent event;
+  event.kind = kind;
+  event.rank = rank;
+  event.detail = std::move(detail);
+  events_.push_back(std::move(event));
+}
+
+void ProcessTransport::monitorTick() {
+  if (shuttingDown_.load() || aborted_.load()) {
+    return;
+  }
+
+  // Pass 1: reap exited children and SIGKILL heartbeat-silent ones. Both
+  // just poison the connection; the pump thread turns the resulting EOF
+  // into a deadPending flag (the single death-flagging path).
+  const auto silenceLimit = std::chrono::milliseconds(
+      options_.heartbeatMs *
+      static_cast<std::uint64_t>(options_.heartbeatMissLimit));
+  for (int rank = 1; rank < options_.rankCount; ++rank) {
+    Slot& s = slot(rank);
+    pid_t pid = -1;
+    bool live = false;
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      pid = s.pid;
+      live = s.live;
+    }
+    if (pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == pid) {
+      {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        s.pid = -1;  // reaped; never waited on again
+      }
+      shutdownSlotFd(s);
+      continue;
+    }
+    if (live && beats_.overdue(rank, silenceLimit)) {
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);  // presumed hung; reaped next tick
+      }
+      shutdownSlotFd(s);
+    }
+  }
+
+  // Pass 2: ping live workers.
+  wire::Frame ping;
+  ping.kind = wire::FrameKind::kPing;
+  const std::vector<std::byte> pingBytes = wire::encodeFrame(ping);
+  for (int rank = 1; rank < options_.rankCount; ++rank) {
+    Slot& s = slot(rank);
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      if (!s.live) {
+        continue;
+      }
+    }
+    std::lock_guard<std::mutex> lock(s.writeMutex);
+    if (s.fd >= 0 && !wire::writeAllFd(s.fd, pingBytes)) {
+      ::shutdown(s.fd, SHUT_RDWR);
+    }
+  }
+
+  // Pass 3: classify flagged deaths — respawn while budget remains,
+  // otherwise declare the rank permanently dead.
+  struct Decision {
+    int rank;
+    bool respawn;
+    std::string detail;
+  };
+  std::vector<Decision> decisions;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    for (int rank = 1; rank < options_.rankCount; ++rank) {
+      Slot& s = slot(rank);
+      if (!s.deadPending) {
+        continue;
+      }
+      s.deadPending = false;
+      const bool respawn = !quiesced_.load() && !s.forsaken &&
+                           s.spawns <= options_.maxRespawns;
+      if (!respawn) {
+        s.permanentlyDead = true;
+        if (!quiesced_.load() && !s.forsaken) {
+          noteEvent(WorkerEvent::Kind::kPermanentDeath, rank,
+                    s.lastDeathDetail);
+        }
+      }
+      decisions.push_back({rank, respawn, s.lastDeathDetail});
+    }
+  }
+
+  for (const Decision& decision : decisions) {
+    Slot& s = slot(decision.rank);
+    // The pump for the dead connection has flagged its death and is
+    // exiting; join it before the fd can be closed and its number reused.
+    std::thread& pump = pumps_[static_cast<std::size_t>(decision.rank)];
+    if (pump.joinable()) {
+      pump.join();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      if (s.pid > 0) {
+        // EOF/torn-frame death without an exit yet (e.g. worker closed the
+        // socket but lingers, or was poisoned root-side): make it final.
+        ::kill(s.pid, SIGKILL);
+        ::waitpid(s.pid, nullptr, 0);
+        s.pid = -1;
+      }
+    }
+    closeSlotFd(s);
+    if (!decision.respawn) {
+      rootQueue_.notifyAll();  // recvFor waiters re-check permanent death
+      continue;
+    }
+    try {
+      std::lock_guard<std::mutex> spawnLock(spawnMutex_);
+      spawnWorker(decision.rank);
+      respawns_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      noteEvent(WorkerEvent::Kind::kRespawn, decision.rank, decision.detail);
+    } catch (const std::exception& error) {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      s.permanentlyDead = true;
+      noteEvent(WorkerEvent::Kind::kPermanentDeath, decision.rank,
+                decision.detail + "; respawn failed: " + error.what());
+      rootQueue_.notifyAll();
+    }
+  }
+}
+
+void ProcessTransport::send(int self, int dest, int tag,
+                            std::span<const std::byte> payload) {
+  CHISIM_REQUIRE(self == 0, "only rank 0 is local to the process transport");
+  CHISIM_REQUIRE(dest >= 0 && dest < options_.rankCount,
+                 "invalid destination rank");
+  validatePayloadLength(static_cast<std::int64_t>(payload.size()));
+  if (dest == 0) {
+    Message message;
+    message.source = 0;
+    message.tag = tag;
+    message.payload.assign(payload.begin(), payload.end());
+    rootQueue_.post(std::move(message));
+    return;
+  }
+  wire::Frame frame;
+  frame.kind = wire::FrameKind::kData;
+  frame.tag = tag;
+  frame.payload.assign(payload.begin(), payload.end());
+  std::vector<std::byte> encoded = wire::encodeFrame(frame);
+  if (fault::armed()) {
+    FaultSite ctx;
+    ctx.rank = dest;
+    ctx.payload = &encoded;
+    if (fault::hit("proc.send", ctx) == FaultAction::kKillRank) {
+      // Scripted root-side kill: a real SIGKILL against the worker.
+      const pid_t pid = workerPid(dest);
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);
+      }
+      return;
+    }
+  }
+  Slot& s = slot(dest);
+  std::lock_guard<std::mutex> lock(s.writeMutex);
+  if (s.fd < 0) {
+    // Dead or respawning: drop. The driver's per-command timeout resends
+    // after backoff, which lands on the respawned worker or times out
+    // into markLost.
+    return;
+  }
+  if (!wire::writeAllFd(s.fd, encoded)) {
+    ::shutdown(s.fd, SHUT_RDWR);  // poisoned; pump turns this into a death
+  }
+}
+
+Message ProcessTransport::recv(int self, int source, int tag) {
+  CHISIM_REQUIRE(self == 0, "only rank 0 is local to the process transport");
+  Message out;
+  const auto result = rootQueue_.wait(
+      out, source, tag, std::nullopt, [this, source] {
+        return aborted_.load() || (source >= 1 && isPermanentlyDead(source));
+      });
+  if (result == MessageQueue::WaitResult::kInterrupted) {
+    CHISIM_CHECK(!aborted_.load(), "transport aborted while receiving");
+    throw std::runtime_error("rank " + std::to_string(source) +
+                      " is permanently lost; no reply will ever arrive");
+  }
+  return out;
+}
+
+std::optional<Message> ProcessTransport::recvFor(
+    int self, std::chrono::milliseconds timeout, int source, int tag) {
+  CHISIM_REQUIRE(self == 0, "only rank 0 is local to the process transport");
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Message out;
+  const auto result = rootQueue_.wait(
+      out, source, tag, deadline, [this, source] {
+        return aborted_.load() || (source >= 1 && isPermanentlyDead(source));
+      });
+  if (result == MessageQueue::WaitResult::kInterrupted) {
+    CHISIM_CHECK(!aborted_.load(), "transport aborted while receiving");
+    return std::nullopt;  // permanently dead source: fail fast, not at the
+                          // deadline — the driver converges to markLost
+  }
+  if (result == MessageQueue::WaitResult::kTimeout) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+bool ProcessTransport::tryRecv(int self, Message& out, int source, int tag) {
+  CHISIM_REQUIRE(self == 0, "only rank 0 is local to the process transport");
+  return rootQueue_.tryRecv(out, source, tag);
+}
+
+std::size_t ProcessTransport::pendingMessages(int self) const {
+  CHISIM_REQUIRE(self == 0, "only rank 0 is local to the process transport");
+  return rootQueue_.pending();
+}
+
+void ProcessTransport::barrier(int /*self*/) {
+  throw std::runtime_error(
+      "the process transport has no barrier (workers are root-driven)");
+}
+
+void ProcessTransport::abort() noexcept {
+  aborted_ = true;
+  rootQueue_.notifyAll();
+}
+
+void ProcessTransport::quiesce() noexcept { quiesced_ = true; }
+
+void ProcessTransport::forsakeRank(int rank) {
+  if (rank == 0) {
+    return;
+  }
+  Slot& s = slot(rank);
+  pid_t pid = -1;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    s.forsaken = true;
+    s.permanentlyDead = true;
+    s.live = false;
+    pid = s.pid;
+  }
+  if (pid > 0) {
+    ::kill(pid, SIGKILL);  // reaped by the monitor (or the destructor)
+  }
+  shutdownSlotFd(s);
+  rootQueue_.notifyAll();
+}
+
+bool ProcessTransport::isPermanentlyDead(int rank) const {
+  if (rank == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  return slot(rank).permanentlyDead;
+}
+
+pid_t ProcessTransport::workerPid(int rank) const {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  const Slot& s = slot(rank);
+  return s.live ? s.pid : -1;
+}
+
+std::vector<ProcessTransport::WorkerEvent> ProcessTransport::drainEvents() {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  std::vector<WorkerEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+}  // namespace chisimnet::runtime

@@ -1,0 +1,303 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chisimnet/runtime/comm.hpp"
+#include "chisimnet/runtime/heartbeat.hpp"
+
+/// Process-isolated worker transport.
+///
+/// The paper's synthesis runs on real MPI processes; this transport is the
+/// corresponding real process boundary for chisimnet. The root process
+/// fork/execs N-1 worker processes (re-entering the chisim binary — or any
+/// binary whose main() calls the worker entry first — via a hidden
+/// `--worker` mode driven by environment variables) and speaks a
+/// length-framed protocol over Unix-domain stream socketpairs. Only rank 0
+/// lives in this process: ProcessTransport implements the root side of the
+/// Transport API, while workers use ProcessWorkerLink directly.
+///
+/// ## Frame format (all integers little-endian, host order — same host)
+///
+///   magic   u32   0x43534631 ("CSF1")
+///   kind    u32   1=data 2=ping 3=pong 4=hello 5=hello-ack
+///   tag     i32   message tag (data), spawn epoch (hello/hello-ack)
+///   length  u64   payload bytes that follow; validated against
+///                 kMaxPayloadBytes BEFORE any allocation
+///
+/// A short read inside a frame (torn header or payload), a bad magic, an
+/// unknown kind, or an oversized length all poison the connection: the
+/// reader closes it and the peer is handled through the normal death path
+/// (respawn or permanent loss) rather than trusting any further bytes.
+///
+/// ## Liveness and the respawn state machine
+///
+/// Each worker slot moves through:
+///
+///   spawning -> live -> dead -+-> respawning -> live (spawns <= max)
+///                             +-> permanently dead   (budget exhausted,
+///                                                     forsaken, or quiesced)
+///
+/// Death is detected three ways: waitpid (SIGCHLD reaping in the monitor
+/// tick), socket EOF / torn frame in the pump thread, and heartbeat
+/// silence (no pong for heartbeatMissLimit periods -> SIGKILL + dead). A
+/// respawn re-execs a fresh process for the same rank with a bumped epoch
+/// and replays the hello handshake (carrying the application payload, e.g.
+/// serialized stage parameters) before the slot goes live again. Once
+/// permanently dead, recvFor() on that source returns nullopt immediately
+/// so the driver's retry loop converges to markLost + reassignment without
+/// waiting out its full deadline.
+///
+/// Sends to a dead or respawning slot are dropped silently: the driver's
+/// per-command timeout/retry (PR 3) re-sends after backoff, which is
+/// exactly the at-least-once delivery the command protocol already
+/// tolerates via epoch-stamped replies.
+
+namespace chisimnet::runtime {
+
+/// Environment variables that carry the worker bootstrap across exec.
+inline constexpr const char* kWorkerFdEnv = "CHISIM_WORKER_FD";
+inline constexpr const char* kWorkerRankEnv = "CHISIM_WORKER_RANK";
+inline constexpr const char* kWorkerRankCountEnv = "CHISIM_WORKER_RANKS";
+inline constexpr const char* kWorkerFaultPlanEnv = "CHISIM_FAULT_PLAN";
+
+namespace wire {
+
+inline constexpr std::uint32_t kFrameMagic = 0x43534631u;  // "CSF1"
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+enum class FrameKind : std::uint32_t {
+  kData = 1,
+  kPing = 2,
+  kPong = 3,
+  kHello = 4,
+  kHelloAck = 5,
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  std::int32_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Serializes header + payload into one buffer (written with a single
+/// writeAll so a frame is never interleaved with another writer's bytes;
+/// writers hold a per-connection write mutex).
+std::vector<std::byte> encodeFrame(const Frame& frame);
+
+/// Byte source for FrameReader: fills `out` with up to `capacity` bytes,
+/// returns the count actually read (may be short — stream sockets split
+/// frames arbitrarily), or 0 for EOF. Throws on I/O errors.
+using ReadFn = std::function<std::size_t(std::byte* out, std::size_t capacity)>;
+
+/// Incremental frame decoder over a stream of possibly-short reads.
+/// Separated from the socket so tests can feed it adversarial streams
+/// (split headers, zero-length and kMaxPayloadBytes-sized payloads, torn
+/// tails, bad magic) without a live file descriptor.
+class FrameReader {
+ public:
+  explicit FrameReader(ReadFn read);
+
+  /// Next complete frame; nullopt on clean EOF at a frame boundary.
+  /// Throws on torn frames (EOF mid-frame), bad magic, unknown kind, or a
+  /// length above kMaxPayloadBytes — the connection must be discarded.
+  std::optional<Frame> next();
+
+ private:
+  /// Fills `out` completely; false when EOF arrives before the first byte
+  /// (only allowed at a frame boundary), throws when EOF tears the middle.
+  bool readFully(std::span<std::byte> out, bool eofAllowedAtStart);
+
+  ReadFn read_;
+};
+
+/// ReadFn over a file descriptor with EINTR retry.
+ReadFn fdReadFn(int fd);
+
+/// Writes all bytes to `fd`, looping over partial writes and EINTR, using
+/// send(MSG_NOSIGNAL) so a dead peer yields EPIPE instead of SIGPIPE.
+/// Returns false on any write error (the connection should be considered
+/// poisoned); never throws.
+bool writeAllFd(int fd, std::span<const std::byte> bytes) noexcept;
+
+}  // namespace wire
+
+/// Worker-process end of the transport. Constructed from the bootstrap
+/// environment inside the exec'd child.
+class ProcessWorkerLink {
+ public:
+  /// True when this process was exec'd as a transport worker (bootstrap
+  /// env present). Binaries embedding a worker entry call this first
+  /// thing in main().
+  static bool isWorkerProcess();
+
+  ProcessWorkerLink();
+  ~ProcessWorkerLink();
+
+  ProcessWorkerLink(const ProcessWorkerLink&) = delete;
+  ProcessWorkerLink& operator=(const ProcessWorkerLink&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return rankCount_; }
+
+  struct Hello {
+    std::uint64_t epoch = 0;
+    std::vector<std::byte> payload;
+  };
+
+  /// Performs the worker side of the handshake: reads the root's hello
+  /// frame, acks it, and starts the background pump (which answers pings
+  /// and queues data frames). Call exactly once, before recv/send.
+  Hello handshake();
+
+  /// Next data message from the root (source 0). Throws when the root
+  /// connection closes — the worker's cue to exit.
+  Message recv();
+
+  /// Sends a data frame to the root. Injection site "proc.worker.send"
+  /// fires per frame (kTruncate tears the frame; the root rejects it and
+  /// drops this worker).
+  void send(int tag, std::span<const std::byte> payload);
+
+ private:
+  void pumpLoop(wire::FrameReader reader);
+
+  int fd_ = -1;
+  int rank_ = -1;
+  int rankCount_ = 0;
+  std::mutex writeMutex_;
+  MessageQueue queue_;
+  std::atomic<bool> closed_{false};
+  std::thread pump_;
+};
+
+struct ProcessTransportOptions {
+  /// Total ranks including the local root (rank 0); spawns rankCount-1
+  /// worker processes.
+  int rankCount = 0;
+
+  /// Monitor cadence: ping period, reap period, respawn latency.
+  std::uint64_t heartbeatMs = 250;
+
+  /// A worker silent for heartbeatMissLimit * heartbeatMs is presumed hung
+  /// and SIGKILLed (then respawned or declared lost like any death).
+  int heartbeatMissLimit = 8;
+
+  /// Times a single rank may be re-execed after its process dies. 0
+  /// disables respawn (first death is permanent loss).
+  int maxRespawns = 1;
+
+  /// Worker binary; empty means /proc/self/exe (re-enter this binary).
+  std::string executable;
+
+  /// Application handshake payload carried in the hello frame and
+  /// replayed verbatim to every respawned worker (e.g. serialized stage
+  /// parameters the worker needs before its first command).
+  std::vector<std::byte> helloPayload;
+};
+
+/// Root side of the process transport (rank 0 is the calling process).
+class ProcessTransport final : public Transport {
+ public:
+  explicit ProcessTransport(ProcessTransportOptions options);
+  ~ProcessTransport() override;
+
+  int size() const noexcept override { return options_.rankCount; }
+  void send(int self, int dest, int tag,
+            std::span<const std::byte> payload) override;
+  Message recv(int self, int source, int tag) override;
+  std::optional<Message> recvFor(int self, std::chrono::milliseconds timeout,
+                                 int source, int tag) override;
+  bool tryRecv(int self, Message& out, int source, int tag) override;
+  std::size_t pendingMessages(int self) const override;
+  void barrier(int self) override;
+  void abort() noexcept override;
+  void quiesce() noexcept override;
+  void forsakeRank(int rank) override;
+
+  /// True once `rank` is out of respawn budget (or forsaken) — the driver
+  /// should mark it lost.
+  bool isPermanentlyDead(int rank) const;
+
+  /// Current pid of the worker backing `rank`, or -1 when none is live.
+  /// Lets tests deliver a raw external SIGKILL.
+  pid_t workerPid(int rank) const;
+
+  /// Worker lifecycle events since the last drain (for the driver's fault
+  /// log / SynthesisReport counters).
+  struct WorkerEvent {
+    enum class Kind { kRespawn, kPermanentDeath };
+    Kind kind = Kind::kRespawn;
+    int rank = -1;
+    std::string detail;
+  };
+  std::vector<WorkerEvent> drainEvents();
+
+  std::uint64_t respawnCount() const {
+    return respawns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::mutex writeMutex;     // serializes frame writes; guards fd for I/O
+    int fd = -1;               // -1 when no live connection
+    pid_t pid = -1;
+    int spawns = 0;            // completed spawn attempts for this rank
+    std::uint64_t epoch = 0;   // bumped per spawn; hello tag
+    bool live = false;         // handshake done, pump running
+    bool deadPending = false;  // pump/reap noticed death; monitor decides
+    bool permanentlyDead = false;
+    bool forsaken = false;
+    std::string lastDeathDetail;
+  };
+
+  Slot& slot(int rank) const;
+
+  /// socketpair + fork + exec + hello handshake; on success installs fd,
+  /// pid and pump thread into the slot. Throws on failure. Caller holds
+  /// spawnMutex_.
+  void spawnWorker(int rank);
+
+  /// Reader thread for one worker connection; posts data frames into the
+  /// root queue, records pongs, and flags death on EOF / torn frames.
+  void pumpLoop(int rank, std::uint64_t epoch, int fd);
+
+  /// Poisons the connection so the pump wakes with EOF; does not close.
+  void shutdownSlotFd(Slot& s) noexcept;
+
+  /// Closes the slot's fd under the write mutex (safe against in-flight
+  /// sends; prevents fd-number reuse races).
+  void closeSlotFd(Slot& s) noexcept;
+
+  void monitorTick();
+  void flagDeath(int rank, std::uint64_t epoch, const std::string& detail);
+  void noteEvent(WorkerEvent::Kind kind, int rank, std::string detail);
+
+  ProcessTransportOptions options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  MessageQueue rootQueue_;
+  HeartbeatBook beats_;
+
+  mutable std::mutex stateMutex_;  // slot lifecycle fields + events
+  std::vector<WorkerEvent> events_;
+  std::vector<std::thread> retiredPumps_;
+  std::vector<std::thread> pumps_;  // one live pump per slot, joined in dtor
+
+  std::mutex spawnMutex_;  // serializes socketpair+fork (fd inheritance)
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> quiesced_{false};
+  std::atomic<bool> shuttingDown_{false};
+  std::atomic<std::uint64_t> respawns_{0};
+  std::unique_ptr<PeriodicTask> monitor_;
+};
+
+}  // namespace chisimnet::runtime

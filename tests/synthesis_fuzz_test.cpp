@@ -9,6 +9,7 @@
 
 #include "chisimnet/elog/clg5.hpp"
 #include "chisimnet/elog/log_directory.hpp"
+#include "chisimnet/net/executor.hpp"
 #include "chisimnet/net/synthesis.hpp"
 #include "chisimnet/util/rng.hpp"
 
@@ -262,6 +263,45 @@ TEST_P(SynthesisFuzz, PipelineEqualsBruteForceAcrossConfigs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisFuzz,
                          ::testing::Range<std::uint64_t>(0, 100));
 
+/// Process-transport column: the same differential check with the mp
+/// backend's workers in separate OS processes. A seed subset — each case
+/// forks real workers, so the full 100-seed sweep would dominate the
+/// suite's wall clock for no added coverage of the (seed-independent)
+/// transport.
+class SynthesisFuzzProcess : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SynthesisFuzzProcess, ProcessTransportEqualsBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const FuzzCase fuzz = makeCase(seed);
+  const auto reference =
+      bruteForceAdjacency(fuzz.events, fuzz.windowStart, fuzz.windowEnd);
+  ScratchDir scratch("chisimnet_fuzz_proc_" + std::to_string(seed));
+  const int fileCount = 3 + static_cast<int>(seed % 3);
+  const auto files =
+      writePlacePartitionedFiles(fuzz.events, scratch.path(), fileCount);
+
+  SynthesisConfig config;
+  config.windowStart = fuzz.windowStart;
+  config.windowEnd = fuzz.windowEnd;
+  config.backend = SynthesisBackend::kMessagePassing;
+  config.transport = MpTransport::kProcess;
+  config.workers = 2 + static_cast<unsigned>(seed % 2);
+  config.filesPerBatch = seed % 3;
+  for (const bool prefetch : {false, true}) {
+    config.prefetch = prefetch;
+    NetworkSynthesizer synthesizer(config);
+    expectEqualAdjacency(
+        synthesizer.synthesizeAdjacency(files), reference,
+        "process seed " + std::to_string(seed) +
+            (prefetch ? " prefetch" : " serial"));
+    EXPECT_EQ(synthesizer.report().ranksLost, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisFuzzProcess,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
 /// Satellite: filesPerBatch in {1, 3, all} over the same on-disk log set
 /// must produce identical adjacencies and consistent report counters.
 TEST(SynthesisBatching, BatchSizeInvariantOverSameLogSet) {
@@ -390,3 +430,13 @@ TEST(SynthesisBatching, CorruptFileSurfacesAsException) {
 
 }  // namespace
 }  // namespace chisimnet::net
+
+/// The process-transport cases re-enter this binary for their workers, so
+/// the worker hook must run before gtest takes over.
+int main(int argc, char** argv) {
+  if (const auto workerExit = chisimnet::net::maybeRunSynthesisWorker()) {
+    return *workerExit;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -214,6 +214,15 @@ int cmdSynthesize(const Args& args) {
   }
   config.maxQuarantinedFiles = args.u64("max-quarantined-files", 0);
   config.commandTimeoutMs = args.u64("command-timeout-ms", 0);
+  const std::string transport = args.str("transport", "inproc");
+  if (transport == "process") {
+    config.transport = net::MpTransport::kProcess;
+  } else if (transport != "inproc") {
+    throw std::invalid_argument(
+        "--transport expects inproc or process, got: " + transport);
+  }
+  config.maxRespawns = static_cast<int>(args.u64("max-respawns", 1));
+  config.heartbeatMs = args.u64("heartbeat-ms", 250);
   config.checkpointDir = args.str("checkpoint-dir", "");
   config.resume = args.has("resume");
   net::NetworkSynthesizer synthesizer(config);
@@ -228,7 +237,8 @@ int cmdSynthesize(const Args& args) {
   if (report.backend == net::SynthesisBackend::kMessagePassing) {
     std::cout << "comm: scattered " << report.bytesScattered / 1024
               << " KiB to ranks, returned " << report.bytesReturned / 1024
-              << " KiB\n";
+              << " KiB (" << net::mpTransportName(config.transport)
+              << " transport)\n";
   }
   if (config.method == sparse::AdjacencyMethod::kLocalAccumulate) {
     std::cout << "kernel: " << report.kernelDensePlaces << " dense / "
@@ -250,7 +260,11 @@ int cmdSynthesize(const Args& args) {
   std::cout << "\n";
   if (report.resumed) {
     std::cout << "resumed from checkpoint: skipped "
-              << report.filesSkippedByResume << " already-consumed files\n";
+              << report.filesSkippedByResume << " already-consumed files";
+    if (report.inflightRestored) {
+      std::cout << " (in-flight batch restored, re-decode skipped)";
+    }
+    std::cout << "\n";
   }
   if (report.checkpointsWritten > 0) {
     std::cout << "checkpoints: " << report.checkpointsWritten << " written to "
@@ -264,9 +278,11 @@ int cmdSynthesize(const Args& args) {
                 << ": " << entry.reason << "\n";
     }
   }
-  if (report.commandRetries > 0 || report.ranksLost > 0) {
+  if (report.commandRetries > 0 || report.ranksLost > 0 ||
+      report.workersRespawned > 0) {
     std::cout << "recovery: " << report.commandRetries
-              << " command retries, " << report.ranksLost
+              << " command retries, " << report.workersRespawned
+              << " workers respawned, " << report.ranksLost
               << " ranks lost (work reassigned to survivors)\n";
   }
   const std::string out = args.requireStr("out");
@@ -395,6 +411,8 @@ void printUsage() {
       "              [--no-prefetch] [--prefetch-depth N] [--decode-workers W]\n"
       "              [--fault-policy failfast|degrade] [--max-quarantined-files N]\n"
       "              [--command-timeout-ms MS] [--checkpoint-dir DIR] [--resume]\n"
+      "              [--transport inproc|process] [--max-respawns N]\n"
+      "              [--heartbeat-ms MS]\n"
       "  analyze     --net FILE.cadj [--clustering] [--communities]\n"
       "              [--degrees-out FILE.tsv]\n"
       "  ego         --net FILE.cadj --out PREFIX [--person P] [--radius R]\n"
@@ -405,6 +423,12 @@ void printUsage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A process spawned by --transport process re-enters this binary with
+  // worker bootstrap env vars set; it must become a synthesis worker before
+  // any CLI parsing (the root passes no argv to workers).
+  if (const auto workerExit = chisimnet::net::maybeRunSynthesisWorker()) {
+    return *workerExit;
+  }
   if (argc < 2) {
     printUsage();
     return 2;
