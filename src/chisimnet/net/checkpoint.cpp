@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -150,38 +151,33 @@ std::uint32_t checkpointConfigHash(
       std::as_bytes(std::span<const char>(text.data(), text.size())));
 }
 
-void saveCheckpoint(const std::filesystem::path& dir,
-                    const CheckpointManifest& manifest,
-                    const sparse::SymmetricAdjacency& adjacency,
-                    const InflightBatch* inflight) {
-  std::filesystem::create_directories(dir);
+namespace {
 
-  // 1. The adjacency (and in-flight snapshot), under cursor-stamped names
-  //    the manifest will point at. A crash mid-write leaves the old
-  //    manifest pointing at the old (complete) files.
-  const std::string adjacencyName =
-      "adjacency." + std::to_string(manifest.filesConsumed) + ".cadj";
-  sparse::saveAdjacency(adjacency, dir / adjacencyName);
+std::string writeInflightSnapshot(const std::filesystem::path& dir,
+                                  std::uint64_t filesConsumed,
+                                  const InflightBatch& inflight) {
+  const std::string inflightName =
+      "inflight." + std::to_string(filesConsumed) + ".evt";
+  const std::vector<std::byte> body = encodeInflight(inflight);
+  const std::filesystem::path path = dir / inflightName;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CHISIM_CHECK(out.good(),
+               "cannot write in-flight batch snapshot: " + path.string());
+  util::writeU32(out, kInflightMagic);
+  util::writeU32(out, kInflightVersion);
+  util::writeU32(out, util::crc32(body));
+  util::writeBytes(out, body);
+  out.flush();
+  CHISIM_CHECK(out.good(),
+               "in-flight batch snapshot write failed: " + path.string());
+  return inflightName;
+}
 
-  std::string inflightName;
-  if (inflight != nullptr) {
-    inflightName =
-        "inflight." + std::to_string(manifest.filesConsumed) + ".evt";
-    const std::vector<std::byte> body = encodeInflight(*inflight);
-    const std::filesystem::path path = dir / inflightName;
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    CHISIM_CHECK(out.good(),
-                 "cannot write in-flight batch snapshot: " + path.string());
-    util::writeU32(out, kInflightMagic);
-    util::writeU32(out, kInflightVersion);
-    util::writeU32(out, util::crc32(body));
-    util::writeBytes(out, body);
-    out.flush();
-    CHISIM_CHECK(out.good(),
-                 "in-flight batch snapshot write failed: " + path.string());
-  }
-
-  // 2. The manifest, via temp file + rename (atomic on POSIX).
+/// Writes the manifest via temp file + rename (atomic on POSIX).
+void writeManifestFile(const std::filesystem::path& dir,
+                       const CheckpointManifest& manifest,
+                       const std::string& adjacencyName,
+                       const std::string& inflightName) {
   const std::filesystem::path tmp = dir / "manifest.tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
@@ -191,7 +187,16 @@ void saveCheckpoint(const std::filesystem::path& dir,
     out << "files_consumed " << manifest.filesConsumed << "\n";
     out << "batches_done " << manifest.batchesDone << "\n";
     out << "config_hash " << manifest.configHash << "\n";
-    out << "adjacency " << adjacencyName << "\n";
+    if (manifest.spillMode) {
+      out << "spill_mode 1\n";
+      for (const SpillRunEntry& run : manifest.spillRuns) {
+        // Tab-separated like quarantine lines; run names carry no tabs.
+        out << "spill\t" << run.file << "\t" << run.triplets << "\t"
+            << run.bytes << "\n";
+      }
+    } else {
+      out << "adjacency " << adjacencyName << "\n";
+    }
     if (!inflightName.empty()) {
       out << "inflight " << inflightName << "\n";
     }
@@ -205,8 +210,14 @@ void saveCheckpoint(const std::filesystem::path& dir,
                  "checkpoint manifest write failed: " + tmp.string());
   }
   std::filesystem::rename(tmp, manifestPath(dir));
+}
 
-  // 3. Garbage-collect superseded adjacency and in-flight files.
+/// Garbage-collects superseded adjacency and in-flight files after the
+/// manifest rename. An empty `adjacencyName` (spill mode) removes every
+/// .cadj — a spill manifest references none.
+void collectStaleSnapshots(const std::filesystem::path& dir,
+                           const std::string& adjacencyName,
+                           const std::string& inflightName) {
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
     const bool staleAdjacency = name.starts_with("adjacency.") &&
@@ -217,6 +228,77 @@ void saveCheckpoint(const std::filesystem::path& dir,
     if (staleAdjacency || staleInflight) {
       std::error_code ignored;
       std::filesystem::remove(entry.path(), ignored);
+    }
+  }
+}
+
+}  // namespace
+
+void saveCheckpoint(const std::filesystem::path& dir,
+                    const CheckpointManifest& manifest,
+                    const sparse::SymmetricAdjacency& adjacency,
+                    const InflightBatch* inflight) {
+  CHISIM_REQUIRE(!manifest.spillMode,
+                 "spill-mode manifests go through saveSpillCheckpoint");
+  std::filesystem::create_directories(dir);
+
+  // 1. The adjacency (and in-flight snapshot), under cursor-stamped names
+  //    the manifest will point at. A crash mid-write leaves the old
+  //    manifest pointing at the old (complete) files.
+  const std::string adjacencyName =
+      "adjacency." + std::to_string(manifest.filesConsumed) + ".cadj";
+  sparse::saveAdjacency(adjacency, dir / adjacencyName);
+
+  std::string inflightName;
+  if (inflight != nullptr) {
+    inflightName =
+        writeInflightSnapshot(dir, manifest.filesConsumed, *inflight);
+  }
+
+  // 2. The manifest, via temp file + rename (atomic on POSIX).
+  writeManifestFile(dir, manifest, adjacencyName, inflightName);
+
+  // 3. Garbage-collect superseded adjacency and in-flight files.
+  collectStaleSnapshots(dir, adjacencyName, inflightName);
+}
+
+void saveSpillCheckpoint(const std::filesystem::path& dir,
+                         const CheckpointManifest& manifest,
+                         const std::filesystem::path& spillDir,
+                         const InflightBatch* inflight) {
+  CHISIM_REQUIRE(manifest.spillMode,
+                 "saveSpillCheckpoint needs a spill-mode manifest");
+  std::filesystem::create_directories(dir);
+
+  // The accumulated state needs no snapshot step: every run the manifest
+  // names already landed on disk via tmp+rename when it was spilled. Only
+  // the in-flight batch (if any) and the manifest itself get written here.
+  std::string inflightName;
+  if (inflight != nullptr) {
+    inflightName =
+        writeInflightSnapshot(dir, manifest.filesConsumed, *inflight);
+  }
+  writeManifestFile(dir, manifest, /*adjacencyName=*/"", inflightName);
+
+  // GC: snapshots the spill manifest supersedes (all .cadj, stale .evt),
+  // then spill files the new manifest does not reference — compaction
+  // inputs whose output run took their place, worker-run orphans of a
+  // crashed batch, and .tmp husks of interrupted spills. Safe only here,
+  // after the rename: until then the previous manifest may name them.
+  collectStaleSnapshots(dir, /*adjacencyName=*/"", inflightName);
+  std::set<std::string> referenced;
+  for (const SpillRunEntry& run : manifest.spillRuns) {
+    referenced.insert(run.file);
+  }
+  if (std::filesystem::exists(spillDir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(spillDir)) {
+      const std::string name = entry.path().filename().string();
+      const bool spillFile =
+          name.ends_with(".spl") || name.ends_with(".spl.tmp");
+      if (spillFile && !referenced.contains(name)) {
+        std::error_code ignored;
+        std::filesystem::remove(entry.path(), ignored);
+      }
     }
   }
 }
@@ -236,6 +318,26 @@ std::optional<CheckpointManifest> loadCheckpointManifest(
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) {
+      continue;
+    }
+    if (line.starts_with("spill\t")) {
+      // spill\t<file>\t<triplets>\t<bytes>
+      std::vector<std::string> fields;
+      std::size_t begin = 0;
+      for (int i = 0; i < 3; ++i) {
+        const std::size_t tab = line.find('\t', begin);
+        CHISIM_CHECK(tab != std::string::npos,
+                     "malformed spill line in " + path.string());
+        fields.push_back(line.substr(begin, tab - begin));
+        begin = tab + 1;
+      }
+      SpillRunEntry run;
+      run.file = fields[1];
+      run.triplets = std::stoull(fields[2]);
+      run.bytes = std::stoull(line.substr(begin));
+      CHISIM_CHECK(!run.file.empty(),
+                   "spill line names no file in " + path.string());
+      manifest.spillRuns.push_back(std::move(run));
       continue;
     }
     if (line.starts_with("quarantine\t")) {
@@ -268,6 +370,10 @@ std::optional<CheckpointManifest> loadCheckpointManifest(
       fields >> manifest.configHash;
     } else if (key == "adjacency") {
       fields >> manifest.adjacencyFile;
+    } else if (key == "spill_mode") {
+      int value = 0;
+      fields >> value;
+      manifest.spillMode = value != 0;
     } else if (key == "inflight") {
       fields >> manifest.inflightFile;
     } else {
@@ -277,13 +383,22 @@ std::optional<CheckpointManifest> loadCheckpointManifest(
     CHISIM_CHECK(!fields.fail(),
                  "malformed manifest line in " + path.string());
   }
-  CHISIM_CHECK(!manifest.adjacencyFile.empty(),
+  // A spill-mode manifest carries its state as run files (possibly zero of
+  // them: an all-empty prefix of batches is legal); anything else must
+  // name a dense snapshot.
+  CHISIM_CHECK(manifest.spillMode || !manifest.adjacencyFile.empty(),
                "manifest names no adjacency file: " + path.string());
+  CHISIM_CHECK(manifest.spillMode || manifest.spillRuns.empty(),
+               "manifest lists spill runs without spill_mode: " +
+                   path.string());
   return manifest;
 }
 
 sparse::SymmetricAdjacency loadCheckpointAdjacency(
     const std::filesystem::path& dir, const CheckpointManifest& manifest) {
+  CHISIM_REQUIRE(!manifest.spillMode,
+                 "spill-mode checkpoints restore from run files, not a "
+                 ".cadj snapshot");
   return sparse::loadAdjacency(dir / manifest.adjacencyFile);
 }
 

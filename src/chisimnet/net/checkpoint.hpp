@@ -36,6 +36,20 @@ namespace chisimnet::net {
 
 inline constexpr const char* kCheckpointManifestName = "manifest.chkp";
 
+/// One live spill run in a spill-mode checkpoint. Under a memory budget the
+/// accumulated adjacency is a set of sorted run files, not a dense map;
+/// the manifest names them instead of a .cadj snapshot. The run files are
+/// already durable when the manifest is written — each landed via
+/// tmp+rename when it was spilled — so spill-mode checkpoints skip the
+/// snapshot write entirely.
+struct SpillRunEntry {
+  /// File name within the spill directory (config.spillDir; defaults to
+  /// <checkpointDir>/spill for checkpointing runs).
+  std::string file;
+  std::uint64_t triplets = 0;
+  std::uint64_t bytes = 0;
+};
+
 struct CheckpointManifest {
   /// Input files fully consumed (attempted, including quarantined ones).
   std::uint64_t filesConsumed = 0;
@@ -43,8 +57,15 @@ struct CheckpointManifest {
   /// Hash over the output-relevant config fields and the full input file
   /// list; a resume against a different run is rejected.
   std::uint32_t configHash = 0;
-  /// Adjacency file name within the checkpoint directory.
+  /// Adjacency file name within the checkpoint directory. Empty in spill
+  /// mode, where spillRuns carries the accumulated state instead.
   std::string adjacencyFile;
+  /// True when the checkpoint references spill run files instead of a
+  /// dense adjacency snapshot. Either mode can resume the other — the sum
+  /// is order-independent and the budget is outside the config hash.
+  bool spillMode = false;
+  /// Live spill runs at checkpoint time (spill mode only).
+  std::vector<SpillRunEntry> spillRuns;
   /// In-flight batch snapshot file name; empty when the checkpoint carries
   /// none (no prefetch, or the loader had nothing decoded yet).
   std::string inflightFile;
@@ -77,6 +98,17 @@ void saveCheckpoint(const std::filesystem::path& dir,
                     const CheckpointManifest& manifest,
                     const sparse::SymmetricAdjacency& adjacency,
                     const InflightBatch* inflight = nullptr);
+
+/// Spill-mode variant: `manifest.spillRuns` must already name the live run
+/// files (all durable — spilled via tmp+rename before this call). Writes
+/// the in-flight snapshot if given, renames the manifest into place, then
+/// garbage-collects `.spl`/`.spl.tmp` files in `spillDir` the new manifest
+/// does not reference (superseded compaction inputs, orphans of crashed
+/// spills) plus stale `.cadj`/`.evt` files in `dir`.
+void saveSpillCheckpoint(const std::filesystem::path& dir,
+                         const CheckpointManifest& manifest,
+                         const std::filesystem::path& spillDir,
+                         const InflightBatch* inflight = nullptr);
 
 /// Reads the manifest in `dir`; nullopt when none exists.
 std::optional<CheckpointManifest> loadCheckpointManifest(

@@ -79,6 +79,31 @@ std::vector<sparse::CollocationMatrix> SharedMemoryExecutor::mapCollocation() {
 void SharedMemoryExecutor::mapAdjacency(
     const std::vector<sparse::CollocationMatrix>& matrices,
     const runtime::Partition& partition) {
+  if (config_.memoryBudgetBytes > 0) {
+    // Budgeted stage 5: each worker sums into a flushing SpillingSum whose
+    // threshold is an eighth of its budget share — the sink keeps the other
+    // half of the budget for the cross-batch shards and their spill-sort
+    // transient. Run-file names carry worker and batch indices so adopted
+    // files from earlier batches are never overwritten.
+    CHISIM_REQUIRE(!config_.spillDir.empty(),
+                   "memory budget requires a spill directory");
+    const std::uint64_t threshold = std::max<std::uint64_t>(
+        config_.memoryBudgetBytes / (8 * std::max(1u, config_.workers)), 1);
+    spillSums_.clear();
+    for (unsigned w = 0; w < config_.workers; ++w) {
+      spillSums_.push_back(std::make_unique<sparse::SpillingSum>(
+          config_.spillDir,
+          "w" + std::to_string(w) + ".b" + std::to_string(batchCounter_) +
+              ".",
+          threshold));
+    }
+    ++batchCounter_;
+    cluster_.applyPartitioned(
+        partition, [&](std::size_t item, unsigned worker) {
+          spillSums_[worker]->addCollocation(matrices[item], config_.method);
+        });
+    return;
+  }
   workerSums_.clear();
   workerSums_.reserve(config_.workers);
   for (unsigned w = 0; w < config_.workers; ++w) {
@@ -90,7 +115,36 @@ void SharedMemoryExecutor::mapAdjacency(
 }
 
 void SharedMemoryExecutor::reduce(sparse::SymmetricAdjacency& result) {
+  CHISIM_REQUIRE(spillSums_.empty(),
+                 "budgeted stage 5 must reduce into a spilling accumulator");
   reduceSums(workerSums_, result);
+}
+
+void SharedMemoryExecutor::reduceInto(sparse::SpillingAccumulator& sink) {
+  CHISIM_REQUIRE(!spillSums_.empty(),
+                 "reduceInto without a budgeted mapAdjacency");
+  lastReduce_ = ReduceStats{};
+  lastReduce_.tree = false;  // the sink replaces the pairwise tree
+  lastReduce_.mergedSums = spillSums_.size();
+  // The worker maps lived beside the sink's resident shards; their summed
+  // historical peaks are reported as the (pessimistic) stage-5 transient.
+  std::uint64_t workerPeak = 0;
+  for (const auto& sum : spillSums_) {
+    workerPeak += sum->peakBytes();
+  }
+  sink.noteWorkerPeak(workerPeak);
+  util::ThreadCpuTimer timer;
+  for (const auto& sum : spillSums_) {
+    for (const sparse::SpillRunInfo& run : sum->runs()) {
+      sink.adoptRunFile(run);  // already on disk: ownership moves, no copy
+    }
+    const std::vector<sparse::AdjacencyTriplet> remainder =
+        sum->drainInMemory();
+    sink.addSortedRun(remainder);
+    sink.addKernelStats(sum->kernelStats());
+  }
+  lastReduce_.criticalSeconds = timer.seconds();
+  spillSums_.clear();
 }
 
 double SharedMemoryExecutor::adjacencyBusyImbalance() const noexcept {

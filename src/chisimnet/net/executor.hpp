@@ -7,12 +7,14 @@
 #include <span>
 #include <vector>
 
+#include "chisimnet/net/mp_protocol.hpp"
 #include "chisimnet/net/synthesis.hpp"
 #include "chisimnet/runtime/cluster.hpp"
 #include "chisimnet/runtime/comm.hpp"
 #include "chisimnet/runtime/partition.hpp"
 #include "chisimnet/sparse/adjacency.hpp"
 #include "chisimnet/sparse/collocation.hpp"
+#include "chisimnet/sparse/spill.hpp"
 #include "chisimnet/table/event_table.hpp"
 
 /// Pluggable dispatch substrate for synthesis stages 2-6 (paper §IV.A).
@@ -94,6 +96,14 @@ class SynthesisExecutor {
   /// or the serial one-at-a-time root merge (the ablation baseline).
   virtual void reduce(sparse::SymmetricAdjacency& result) = 0;
 
+  /// Stage 6 under a memory budget: fold the worker sums into the
+  /// disk-spilling cross-batch accumulator instead of a dense map. Worker
+  /// spill runs transfer as files (adopted by the sink, never rebuilt in
+  /// memory) and in-memory remainders as sorted runs; each backend also
+  /// reports its stage-5 worker peak bytes through sink.noteWorkerPeak(),
+  /// surfaced separately from the budget-enforced accumulator peak.
+  virtual void reduceInto(sparse::SpillingAccumulator& sink) = 0;
+
   /// Shape and modeled timing of the last reduce().
   const ReduceStats& lastReduceStats() const noexcept { return lastReduce_; }
 
@@ -144,6 +154,7 @@ class SharedMemoryExecutor final : public SynthesisExecutor {
   void mapAdjacency(const std::vector<sparse::CollocationMatrix>& matrices,
                     const runtime::Partition& partition) override;
   void reduce(sparse::SymmetricAdjacency& result) override;
+  void reduceInto(sparse::SpillingAccumulator& sink) override;
   double adjacencyBusyImbalance() const noexcept override;
 
  private:
@@ -151,6 +162,12 @@ class SharedMemoryExecutor final : public SynthesisExecutor {
   const table::EventTable* events_ = nullptr;
   const table::PlaceIndex* index_ = nullptr;
   std::vector<sparse::SymmetricAdjacency> workerSums_;  ///< stage 5 → 6
+  /// Budgeted stage 5: each worker sums into its own flushing SpillingSum
+  /// (threshold ≈ budget/(8·workers)) instead of an unbounded map.
+  std::vector<std::unique_ptr<sparse::SpillingSum>> spillSums_;
+  /// Distinguishes run-file names across batches (adopted files outlive
+  /// the mapAdjacency that wrote them).
+  std::uint64_t batchCounter_ = 0;
 };
 
 /// Message-passing ranks — the paper's Rmpi path, with its exact data
@@ -204,7 +221,13 @@ class MessagePassingExecutor final : public SynthesisExecutor {
   /// (rank 0 inline), and two-pointer-merges them — no hash rebuild.
   /// config.treeReduce=false instead inserts the runs one rank at a time
   /// (the pre-tree baseline). Lost-rank reassignment applies per level.
+  /// Runs too large to cross the wire inline arrive and travel as spill
+  /// files (mp::RunRef) and are streamed, never rebuilt whole in memory.
   void reduce(sparse::SymmetricAdjacency& result) override;
+  /// Budgeted stage 6: worker run files are adopted by the sink directly
+  /// (a rename-scoped ownership transfer — zero copy), inline runs are
+  /// inserted, and the workers' peak bytes reported via noteWorkerPeak().
+  void reduceInto(sparse::SpillingAccumulator& sink) override;
   double adjacencyBusyImbalance() const noexcept override {
     return busyImbalance_;
   }
@@ -269,10 +292,16 @@ class MessagePassingExecutor final : public SynthesisExecutor {
   std::vector<FaultEvent> faultEvents_;
   const table::EventTable* events_ = nullptr;
   const table::PlaceIndex* index_ = nullptr;
-  /// Sorted triplet runs returned by the adjacency stage, consumed by
-  /// reduce(); plus the kernel counters that traveled beside them.
-  std::vector<std::vector<sparse::AdjacencyTriplet>> reduceRuns_;
+  /// Sorted triplet runs returned by the adjacency stage — inline or as
+  /// spill-file references — consumed by reduce()/reduceInto(); plus the
+  /// kernel counters that traveled beside them.
+  std::vector<mp::RunRef> reduceRuns_;
   sparse::AdjacencyKernelStats runKernelStats_;
+  /// Σ of worker peakLocalBytes from the last mapAdjacency (budget
+  /// accounting: these maps were alive concurrently with the sink).
+  std::uint64_t workerPeakBytes_ = 0;
+  /// Uniquifies worker-side spill-file names per command body.
+  std::uint64_t nextRunToken_ = 0;
   /// The socket transport behind team_ when config.transport is kProcess
   /// (non-owning; the team owns it); nullptr for the in-process transport.
   runtime::ProcessTransport* processTransport_ = nullptr;

@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <span>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <utility>
 
@@ -25,7 +27,25 @@ mp::StageParams stageParamsOf(const SynthesisConfig& config) {
   params.windowStart = config.windowStart;
   params.windowEnd = config.windowEnd;
   params.method = config.method;
+  // Each stage-5 worker gets an eighth of its budget share: the cross-batch
+  // sink keeps resident bytes under budget/2, and the per-batch worker maps
+  // (all live at once) plus their drain transients fit in the rest.
+  params.spillThresholdBytes =
+      config.memoryBudgetBytes > 0
+          ? std::max<std::uint64_t>(
+                config.memoryBudgetBytes / (8 * std::max(1u, config.workers)),
+                1)
+          : 0;
+  params.spillDir = config.spillDir.string();
   return params;
+}
+
+sparse::SpillRunInfo runRefInfo(const mp::RunRef& ref) {
+  sparse::SpillRunInfo info;
+  info.file = ref.file;
+  info.triplets = ref.triplets;
+  info.bytes = ref.bytes;
+  return info;
 }
 
 }  // namespace
@@ -371,16 +391,26 @@ void MessagePassingExecutor::mapAdjacency(
   const std::vector<int> live = liveRanks();
   CHISIM_REQUIRE(partition.assignment.size() == live.size(),
                  "partition bin count must equal live rank count");
-  const auto buildBody = [&matrices](std::span<const std::size_t> items) {
+  // A fresh token per built body keeps each body's worker-side spill files
+  // unique: retries resend the same body (same token, deterministic
+  // rewrite); reassignments build a new body and never collide with files
+  // a half-dead rank may still be writing.
+  const auto buildBody = [this,
+                          &matrices](std::span<const std::size_t> items) {
     std::vector<sparse::CollocationMatrix> batch;
     batch.reserve(items.size());
     for (const std::size_t item : items) {
       batch.push_back(matrices[item]);
     }
-    return mp::packMatrices(batch);
+    std::vector<std::byte> body;
+    mp::put64(body, nextRunToken_++);
+    const std::vector<std::byte> packed = mp::packMatrices(batch);
+    body.insert(body.end(), packed.begin(), packed.end());
+    return body;
   };
   reduceRuns_.clear();
   runKernelStats_ = sparse::AdjacencyKernelStats{};
+  workerPeakBytes_ = 0;
   try {
     for (std::size_t bin = 0; bin < live.size(); ++bin) {
       sendCommand(live[bin], mp::kCmdAdjacency,
@@ -388,9 +418,9 @@ void MessagePassingExecutor::mapAdjacency(
                   buildBody(partition.assignment[bin]));
     }
 
-    // Each rank returns its partial sum as a sorted triplet run; the runs
-    // are kept as-is for reduce() to merge pairwise — no per-rank hash
-    // rebuild at the root.
+    // Each rank returns its partial sum as one or more sorted runs (inline
+    // or spill files); the runs are kept as-is for reduce()/reduceInto() to
+    // merge — no per-rank hash rebuild at the root.
     std::vector<double> busySeconds;
     collectStage(mp::kCmdAdjacency, buildBody,
                  [this, &busySeconds](std::span<const std::byte> reply) {
@@ -402,7 +432,14 @@ void MessagePassingExecutor::mapAdjacency(
                    stats.pairHourUpdates = mp::take64(reply, cursor);
                    stats.globalEmits = mp::take64(reply, cursor);
                    runKernelStats_.merge(stats);
-                   reduceRuns_.push_back(mp::takeTriplets(reply, cursor));
+                   mp::take64(reply, cursor);  // flushes (in run adoption)
+                   mp::take64(reply, cursor);  // spilledTriplets (ditto)
+                   mp::take64(reply, cursor);  // spilledBytes (ditto)
+                   workerPeakBytes_ += mp::take64(reply, cursor);
+                   const std::uint32_t runCount = mp::take32(reply, cursor);
+                   for (std::uint32_t run = 0; run < runCount; ++run) {
+                     reduceRuns_.push_back(mp::takeRunRef(reply, cursor));
+                   }
                    CHISIM_CHECK(cursor == reply.size(),
                                 "malformed adjacency reply");
                  });
@@ -435,17 +472,19 @@ void MessagePassingExecutor::mergeRunsLevel() {
   const std::size_t pairCount = reduceRuns_.size() / 2;
   const auto buildBody = [this](std::span<const std::size_t> items) {
     std::vector<std::byte> body;
+    mp::put64(body, nextRunToken_++);
     mp::put32(body, static_cast<std::uint32_t>(items.size()));
     for (const std::size_t pair : items) {
-      mp::putTriplets(body, reduceRuns_[2 * pair]);
-      mp::putTriplets(body, reduceRuns_[2 * pair + 1]);
+      mp::putRunRef(body, reduceRuns_[2 * pair]);
+      mp::putRunRef(body, reduceRuns_[2 * pair + 1]);
     }
     return body;
   };
-  std::vector<std::vector<sparse::AdjacencyTriplet>> next;
+  std::vector<mp::RunRef> next;
   next.reserve(pairCount + (reduceRuns_.size() & 1));
   if (reduceRuns_.size() & 1) {
     next.push_back(std::move(reduceRuns_.back()));
+    reduceRuns_.back() = mp::RunRef{};  // moved-from; not an input file
   }
   const std::vector<int> live = liveRanks();
   std::vector<std::vector<std::size_t>> shares(live.size());
@@ -468,11 +507,19 @@ void MessagePassingExecutor::mergeRunsLevel() {
                      std::max(levelPeak, mp::takeDouble(reply, cursor));
                  const std::uint32_t count = mp::take32(reply, cursor);
                  for (std::uint32_t pair = 0; pair < count; ++pair) {
-                   next.push_back(mp::takeTriplets(reply, cursor));
+                   next.push_back(mp::takeRunRef(reply, cursor));
                  }
                  CHISIM_CHECK(cursor == reply.size(),
                               "malformed merge-runs reply");
                });
+  // Only now that the level is complete (every pair merged somewhere, the
+  // merged outputs in `next`) are the consumed input run files superseded.
+  for (const mp::RunRef& run : reduceRuns_) {
+    if (run.isFile()) {
+      std::error_code ignored;
+      std::filesystem::remove(run.file, ignored);
+    }
+  }
   reduceRuns_ = std::move(next);
   ++lastReduce_.depth;
   lastReduce_.criticalSeconds += levelPeak;
@@ -482,6 +529,25 @@ void MessagePassingExecutor::reduce(sparse::SymmetricAdjacency& result) {
   lastReduce_ = ReduceStats{};
   lastReduce_.tree = config_.treeReduce;
   lastReduce_.mergedSums = reduceRuns_.size();
+  // Inserts one run — inline or streamed off its spill file — into the
+  // running result, consuming (deleting) file-backed runs.
+  const auto insertRun = [&result](const mp::RunRef& run) {
+    if (run.isFile()) {
+      result.reserve(result.edgeCount() + run.triplets);
+      sparse::SpillRunReader reader(run.file);
+      sparse::AdjacencyTriplet triplet;
+      while (reader.next(triplet)) {
+        result.add(triplet.i, triplet.j, triplet.weight);
+      }
+      std::error_code ignored;
+      std::filesystem::remove(run.file, ignored);
+    } else {
+      result.reserve(result.edgeCount() + run.inlineRun.size());
+      for (const sparse::AdjacencyTriplet& triplet : run.inlineRun) {
+        result.add(triplet.i, triplet.j, triplet.weight);
+      }
+    }
+  };
   try {
     if (config_.treeReduce) {
       while (reduceRuns_.size() > 1) {
@@ -490,21 +556,16 @@ void MessagePassingExecutor::reduce(sparse::SymmetricAdjacency& result) {
       // Only the single surviving run crosses into the running result. The
       // root-side insert is on the critical path either way, so it counts.
       util::WallTimer timer;
-      for (const auto& run : reduceRuns_) {
-        result.reserve(result.edgeCount() + run.size());
-        for (const sparse::AdjacencyTriplet& triplet : run) {
-          result.add(triplet.i, triplet.j, triplet.weight);
-        }
+      for (const mp::RunRef& run : reduceRuns_) {
+        insertRun(run);
       }
       lastReduce_.criticalSeconds += timer.seconds();
     } else {
       // Serial baseline: insert each rank's run into the root map one at a
       // time (the pre-tree behavior, kept for the ablation bench).
       util::WallTimer timer;
-      for (const auto& run : reduceRuns_) {
-        for (const sparse::AdjacencyTriplet& triplet : run) {
-          result.add(triplet.i, triplet.j, triplet.weight);
-        }
+      for (const mp::RunRef& run : reduceRuns_) {
+        insertRun(run);
       }
       lastReduce_.criticalSeconds = timer.seconds();
     }
@@ -515,6 +576,34 @@ void MessagePassingExecutor::reduce(sparse::SymmetricAdjacency& result) {
   reduceRuns_.clear();
   result.addKernelStats(runKernelStats_);
   runKernelStats_ = sparse::AdjacencyKernelStats{};
+  workerPeakBytes_ = 0;
+}
+
+void MessagePassingExecutor::reduceInto(sparse::SpillingAccumulator& sink) {
+  lastReduce_ = ReduceStats{};
+  lastReduce_.tree = false;  // the sink replaces the pairwise tree
+  lastReduce_.mergedSums = reduceRuns_.size();
+  // The workers' stage-5 maps were alive concurrently with the sink's
+  // resident shards — the budget guarantee must account for both.
+  sink.noteWorkerPeak(workerPeakBytes_);
+  try {
+    util::WallTimer timer;
+    for (mp::RunRef& run : reduceRuns_) {
+      if (run.isFile()) {
+        sink.adoptRunFile(runRefInfo(run));  // ownership transfer, no copy
+      } else if (!run.inlineRun.empty()) {
+        sink.addSortedRun(run.inlineRun);
+      }
+    }
+    lastReduce_.criticalSeconds = timer.seconds();
+  } catch (...) {
+    team_->rethrowServiceError();
+    throw;
+  }
+  reduceRuns_.clear();
+  sink.addKernelStats(runKernelStats_);
+  runKernelStats_ = sparse::AdjacencyKernelStats{};
+  workerPeakBytes_ = 0;
 }
 
 std::vector<FaultEvent> MessagePassingExecutor::drainFaultEvents() {

@@ -1,15 +1,40 @@
 #include "chisimnet/net/mp_protocol.hpp"
 
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "chisimnet/runtime/comm.hpp"
 #include "chisimnet/runtime/fault.hpp"
+#include "chisimnet/sparse/spill.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
 
 namespace chisimnet::net::mp {
+
+namespace {
+
+/// Headroom kept under runtime::maxPayloadBytes() when deciding whether a
+/// run still fits inline in a reply (frame headers, stats, refs).
+constexpr std::uint64_t kReplySlackBytes = 4096;
+
+std::uint64_t runRefTriplets(const RunRef& ref) noexcept {
+  return ref.isFile() ? ref.triplets : ref.inlineRun.size();
+}
+
+/// Opens a RunRef as a pull stream. Inline refs are viewed, not copied —
+/// the ref must outlive the source.
+std::unique_ptr<sparse::TripletSource> openRunRef(const RunRef& ref) {
+  if (ref.isFile()) {
+    return std::make_unique<sparse::SpillRunReader>(ref.file);
+  }
+  return std::make_unique<sparse::SpanTripletSource>(
+      std::span<const sparse::AdjacencyTriplet>(ref.inlineRun));
+}
+
+}  // namespace
 
 void put32(std::vector<std::byte>& out, std::uint32_t value) {
   for (int shift = 0; shift < 32; shift += 8) {
@@ -75,6 +100,53 @@ std::vector<sparse::AdjacencyTriplet> takeTriplets(
   return triplets;
 }
 
+void putString(std::vector<std::byte>& out, const std::string& text) {
+  put32(out, static_cast<std::uint32_t>(text.size()));
+  const auto bytes = stringBytes(text);
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::string takeString(std::span<const std::byte> bytes,
+                       std::size_t& cursor) {
+  const std::uint32_t length = take32(bytes, cursor);
+  CHISIM_CHECK(length <= bytes.size() - cursor,
+               "string declares more bytes than the frame holds");
+  std::string text(length, '\0');
+  if (length > 0) {
+    std::memcpy(text.data(), bytes.data() + cursor, length);
+    cursor += length;
+  }
+  return text;
+}
+
+void putRunRef(std::vector<std::byte>& out, const RunRef& ref) {
+  if (ref.isFile()) {
+    put32(out, 1);
+    putString(out, ref.file);
+    put64(out, ref.triplets);
+    put64(out, ref.bytes);
+  } else {
+    put32(out, 0);
+    putTriplets(out, ref.inlineRun);
+  }
+}
+
+RunRef takeRunRef(std::span<const std::byte> bytes, std::size_t& cursor) {
+  RunRef ref;
+  const std::uint32_t mode = take32(bytes, cursor);
+  if (mode == 1) {
+    ref.file = takeString(bytes, cursor);
+    CHISIM_CHECK(!ref.file.empty(), "file run ref with an empty path");
+    ref.triplets = take64(bytes, cursor);
+    ref.bytes = take64(bytes, cursor);
+  } else {
+    CHISIM_CHECK(mode == 0,
+                 "unknown run ref mode " + std::to_string(mode));
+    ref.inlineRun = takeTriplets(bytes, cursor);
+  }
+  return ref;
+}
+
 std::vector<std::byte> packMatrices(
     const std::vector<sparse::CollocationMatrix>& matrices) {
   // [count u32][per matrix: byteLength u32 + payload]
@@ -137,10 +209,12 @@ std::span<const std::byte> stringBytes(const std::string& text) {
 
 std::vector<std::byte> encodeStageParams(const StageParams& params) {
   std::vector<std::byte> bytes;
-  bytes.reserve(12);
+  bytes.reserve(24 + params.spillDir.size());
   put32(bytes, params.windowStart);
   put32(bytes, params.windowEnd);
   put32(bytes, static_cast<std::uint32_t>(params.method));
+  put64(bytes, params.spillThresholdBytes);
+  putString(bytes, params.spillDir);
   return bytes;
 }
 
@@ -150,6 +224,8 @@ StageParams decodeStageParams(std::span<const std::byte> bytes) {
   params.windowStart = take32(bytes, cursor);
   params.windowEnd = take32(bytes, cursor);
   params.method = static_cast<sparse::AdjacencyMethod>(take32(bytes, cursor));
+  params.spillThresholdBytes = take64(bytes, cursor);
+  params.spillDir = takeString(bytes, cursor);
   CHISIM_CHECK(cursor == bytes.size(), "malformed stage parameter payload");
   return params;
 }
@@ -196,45 +272,144 @@ std::vector<std::byte> executeSynthesisCommand(
       return packMatrices(built);
     }
     case kCmdAdjacency: {
-      // Body: packed matrix batch.
-      // Reply: [busySeconds f64][kernel stats 4×u64][sorted triplet run].
-      const auto batch = unpackMatrices(body);
+      // Body: [runToken u64][packed matrix batch]. The token makes this
+      // rank's spill-file names unique per command body, so retries rewrite
+      // the same files (deterministic content, tmp+rename) while a
+      // reassigned body — which gets a fresh token — never collides with a
+      // half-dead rank still executing the old one.
+      // Reply: [busySeconds f64][kernel stats 4×u64][spill stats 4×u64]
+      //        [runCount u32][RunRef × runCount].
+      std::size_t cursor = 0;
+      const std::uint64_t token = take64(body, cursor);
+      const auto batch = unpackMatrices(body.subspan(cursor));
       util::WallTimer busy;
-      sparse::SymmetricAdjacency sum(1024);
+      sparse::SpillingSum sum(params.spillDir,
+                              "t" + std::to_string(token) + ".",
+                              params.spillThresholdBytes);
       for (const sparse::CollocationMatrix& matrix : batch) {
         sum.addCollocation(matrix, params.method);
       }
-      const std::vector<sparse::AdjacencyTriplet> triplets = sum.toTriplets();
+      std::vector<sparse::AdjacencyTriplet> remainder = sum.drainInMemory();
       const double busySeconds = busy.seconds();
       const sparse::AdjacencyKernelStats& stats = sum.kernelStats();
+
+      std::vector<RunRef> refs;
+      for (const sparse::SpillRunInfo& info : sum.runs()) {
+        RunRef ref;
+        ref.file = info.file.string();
+        ref.triplets = info.triplets;
+        ref.bytes = info.bytes;
+        refs.push_back(std::move(ref));
+      }
+      WorkerSpillStats spill;
+      spill.flushes = sum.flushes();
+      spill.peakLocalBytes = sum.peakBytes();
+      for (const sparse::SpillRunInfo& info : sum.runs()) {
+        spill.spilledTriplets += info.triplets;
+        spill.spilledBytes += info.bytes;
+      }
+      if (!remainder.empty()) {
+        const std::uint64_t inlineBytes =
+            remainder.size() * sizeof(sparse::AdjacencyTriplet);
+        if (inlineBytes + kReplySlackBytes <= runtime::maxPayloadBytes()) {
+          RunRef ref;
+          ref.inlineRun = std::move(remainder);
+          refs.push_back(std::move(ref));
+        } else {
+          // The remainder alone would overflow the transport frame: spill
+          // it and return the path — the scale-ceiling fix.
+          CHISIM_CHECK(!params.spillDir.empty(),
+                       "adjacency reply exceeds the payload limit and no "
+                       "spill directory is configured");
+          sparse::SpillRunWriter writer(
+              std::filesystem::path(params.spillDir) /
+              ("t" + std::to_string(token) + ".f.spl"));
+          writer.append(std::span<const sparse::AdjacencyTriplet>(remainder));
+          const sparse::SpillRunInfo info = writer.finish();
+          spill.spilledTriplets += info.triplets;
+          spill.spilledBytes += info.bytes;
+          RunRef ref;
+          ref.file = info.file.string();
+          ref.triplets = info.triplets;
+          ref.bytes = info.bytes;
+          refs.push_back(std::move(ref));
+        }
+      }
+
       std::vector<std::byte> reply;
-      reply.reserve(5 * 8 + 8 +
-                    triplets.size() * sizeof(sparse::AdjacencyTriplet));
       putDouble(reply, busySeconds);
       put64(reply, stats.densePlaces);
       put64(reply, stats.hashPlaces);
       put64(reply, stats.pairHourUpdates);
       put64(reply, stats.globalEmits);
-      putTriplets(reply, triplets);
+      put64(reply, spill.flushes);
+      put64(reply, spill.spilledTriplets);
+      put64(reply, spill.spilledBytes);
+      put64(reply, spill.peakLocalBytes);
+      put32(reply, static_cast<std::uint32_t>(refs.size()));
+      for (const RunRef& ref : refs) {
+        putRunRef(reply, ref);
+      }
       return reply;
     }
     case kCmdMergeRuns: {
-      // Body: [pairCount u32][per pair: run A, run B (length-prefixed,
-      // (i,j)-sorted)]. Reply: [busySeconds f64][pairCount u32][per pair:
-      // merged run]. Pure function of its body, so a retried or duplicated
-      // command is harmless — exactly like the other stage commands.
+      // Body: [runToken u64][pairCount u32][per pair: RunRef A, RunRef B
+      // ((i,j)-sorted runs, inline or file)]. Reply: [busySeconds f64]
+      // [pairCount u32][per pair: merged RunRef]. A merged run whose inline
+      // form would overflow the payload limit streams to
+      // <spillDir>/t<token>.m<pair>.spl instead. Pure function of its body
+      // (file contents included), so a retried or duplicated command is
+      // harmless — exactly like the other stage commands.
       std::size_t cursor = 0;
+      const std::uint64_t token = take64(body, cursor);
       const std::uint32_t pairCount = take32(body, cursor);
       // Thread-CPU clock: the reduce critical-path model must not count
       // time-slicing against co-scheduled rank threads as merge work.
       util::ThreadCpuTimer busy;
       std::vector<std::byte> merged;
+      std::uint64_t inlineBytesSoFar = 0;
       for (std::uint32_t pair = 0; pair < pairCount; ++pair) {
-        const std::vector<sparse::AdjacencyTriplet> runA =
-            takeTriplets(body, cursor);
-        const std::vector<sparse::AdjacencyTriplet> runB =
-            takeTriplets(body, cursor);
-        putTriplets(merged, sparse::mergeSortedTriplets(runA, runB));
+        const RunRef runA = takeRunRef(body, cursor);
+        const RunRef runB = takeRunRef(body, cursor);
+        std::vector<std::unique_ptr<sparse::TripletSource>> sources;
+        sources.push_back(openRunRef(runA));
+        sources.push_back(openRunRef(runB));
+        sparse::TripletMerger merger(std::move(sources));
+        // Projection is the pre-merge total (merged size is ≤ that), so an
+        // output routed inline is guaranteed to fit.
+        const std::uint64_t projectedBytes =
+            (runRefTriplets(runA) + runRefTriplets(runB)) *
+            sizeof(sparse::AdjacencyTriplet);
+        RunRef out;
+        if (inlineBytesSoFar + projectedBytes + kReplySlackBytes >
+            runtime::maxPayloadBytes()) {
+          CHISIM_CHECK(!params.spillDir.empty(),
+                       "merged run exceeds the payload limit and no spill "
+                       "directory is configured");
+          sparse::SpillRunWriter writer(
+              std::filesystem::path(params.spillDir) /
+              ("t" + std::to_string(token) + ".m" + std::to_string(pair) +
+               ".spl"));
+          sparse::AdjacencyTriplet triplet;
+          while (merger.next(triplet)) {
+            writer.append(triplet);
+          }
+          const sparse::SpillRunInfo info = writer.finish();
+          out.file = info.file.string();
+          out.triplets = info.triplets;
+          out.bytes = info.bytes;
+        } else {
+          out.inlineRun.reserve(
+              static_cast<std::size_t>(projectedBytes /
+                                       sizeof(sparse::AdjacencyTriplet)));
+          sparse::AdjacencyTriplet triplet;
+          while (merger.next(triplet)) {
+            out.inlineRun.push_back(triplet);
+          }
+          inlineBytesSoFar +=
+              out.inlineRun.size() * sizeof(sparse::AdjacencyTriplet);
+        }
+        putRunRef(merged, out);
       }
       CHISIM_CHECK(cursor == body.size(), "merge-runs body size mismatch");
       std::vector<std::byte> reply;

@@ -65,6 +65,37 @@ void putTriplets(std::vector<std::byte>& out,
 std::vector<sparse::AdjacencyTriplet> takeTriplets(
     std::span<const std::byte> bytes, std::size_t& cursor);
 
+/// Length-prefixed UTF-8 string: [length u32][bytes].
+void putString(std::vector<std::byte>& out, const std::string& text);
+std::string takeString(std::span<const std::byte> bytes, std::size_t& cursor);
+
+/// A sorted triplet run, either inline in the frame or as a CSPL1 spill
+/// file on the shared filesystem. Workers return the file form whenever the
+/// run was flushed to disk under the memory budget OR an inline reply would
+/// exceed runtime::maxPayloadBytes() — the fix for the silent 1 GiB scale
+/// ceiling: a city-scale stage-5 sum crosses the wire as a path, not as a
+/// gigabyte frame the transport would reject.
+struct RunRef {
+  std::vector<sparse::AdjacencyTriplet> inlineRun;
+  std::string file;             ///< empty = inline
+  std::uint64_t triplets = 0;   ///< file mode: rows the file holds
+  std::uint64_t bytes = 0;      ///< file mode: file size on disk
+  bool isFile() const noexcept { return !file.empty(); }
+};
+
+/// [mode u32: 0 inline | 1 file][inline: putTriplets | file: putString +
+/// triplets u64 + bytes u64]
+void putRunRef(std::vector<std::byte>& out, const RunRef& ref);
+RunRef takeRunRef(std::span<const std::byte> bytes, std::size_t& cursor);
+
+/// Worker-side spill activity returned beside each adjacency reply.
+struct WorkerSpillStats {
+  std::uint64_t flushes = 0;          ///< in-memory sum flushes to disk
+  std::uint64_t spilledTriplets = 0;  ///< rows written to run files
+  std::uint64_t spilledBytes = 0;     ///< run-file bytes written
+  std::uint64_t peakLocalBytes = 0;   ///< worker's max in-memory footprint
+};
+
 /// [count u32][per matrix: byteLength u32 + payload]
 std::vector<std::byte> packMatrices(
     const std::vector<sparse::CollocationMatrix>& matrices);
@@ -87,6 +118,13 @@ struct StageParams {
   table::Hour windowStart = 0;
   table::Hour windowEnd = 0;
   sparse::AdjacencyMethod method = sparse::AdjacencyMethod::kLocalAccumulate;
+  /// Stage-5 worker flush threshold (≈ budget/(8·workers)); 0 = keep the
+  /// whole partial sum in memory (unbudgeted).
+  std::uint64_t spillThresholdBytes = 0;
+  /// Directory for worker spill runs and oversized-reply files; must be
+  /// shared with the root (workers are local processes/threads). Empty
+  /// only when no budget is set AND replies are guaranteed to fit inline.
+  std::string spillDir;
 };
 
 std::vector<std::byte> encodeStageParams(const StageParams& params);

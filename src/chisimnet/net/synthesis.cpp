@@ -1,19 +1,56 @@
 #include "chisimnet/net/synthesis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <optional>
 #include <set>
+#include <system_error>
+
+#include <unistd.h>
 
 #include "chisimnet/elog/log_directory.hpp"
 #include "chisimnet/elog/prefetch.hpp"
 #include "chisimnet/net/checkpoint.hpp"
 #include "chisimnet/net/executor.hpp"
 #include "chisimnet/runtime/fault.hpp"
+#include "chisimnet/sparse/adjacency_io.hpp"
+#include "chisimnet/sparse/spill.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
 
 namespace chisimnet::net {
+
+namespace {
+
+/// Unique-per-instance suffix for auto-resolved temp spill directories
+/// (several synthesizers can coexist in one test process).
+std::uint64_t nextSpillDirSerial() {
+  static std::atomic<std::uint64_t> serial{0};
+  return serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+sparse::SpillingAccumulator::Options sinkOptions(
+    const SynthesisConfig& config) {
+  sparse::SpillingAccumulator::Options options;
+  options.dir = config.spillDir;
+  options.budgetBytes = config.memoryBudgetBytes;
+  // Checkpoint manifests reference live run files by name, so compaction
+  // inputs must stay on disk until the next manifest stops naming them.
+  options.deferDeletes = !config.checkpointDir.empty();
+  return options;
+}
+
+void foldSpillStats(SynthesisReport& report, const sparse::SpillStats& stats) {
+  report.spillRunsWritten = stats.runsWritten;
+  report.spilledTriplets = stats.spilledTriplets;
+  report.spilledBytes = stats.spilledBytes;
+  report.spillCompactions = stats.compactions;
+  report.peakAccumulatorBytes = stats.peakResidentBytes;
+  report.peakStage5Bytes = stats.peakWorkerBytes;
+}
+
+}  // namespace
 
 NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
     : config_(config) {
@@ -50,10 +87,33 @@ NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
                  "requires --command-timeout-ms > 0: a crashed worker never "
                  "replies, so without a deadline the root hangs instead of "
                  "recovering");
+  // Resolve the spill directory. A checkpointing run pins it under the
+  // checkpoint directory so a resumed run (possibly a different process,
+  // possibly a different budget) finds the manifest's run files without
+  // extra flags. Otherwise a budgeted run — or any MP run, whose replies
+  // auto-spill when they would exceed the payload cap — gets a private
+  // temp directory that this instance removes on destruction.
+  if (config_.spillDir.empty()) {
+    if (!config_.checkpointDir.empty()) {
+      config_.spillDir = config_.checkpointDir / "spill";
+    } else if (config_.memoryBudgetBytes > 0 ||
+               config_.backend == SynthesisBackend::kMessagePassing) {
+      ownedSpillDir_ =
+          std::filesystem::temp_directory_path() /
+          ("chisim-spill-" + std::to_string(::getpid()) + "-" +
+           std::to_string(nextSpillDirSerial()));
+      config_.spillDir = ownedSpillDir_;
+    }
+  }
   executor_ = makeExecutor(config_);
 }
 
-NetworkSynthesizer::~NetworkSynthesizer() = default;
+NetworkSynthesizer::~NetworkSynthesizer() {
+  if (!ownedSpillDir_.empty()) {
+    std::error_code ignored;
+    std::filesystem::remove_all(ownedSpillDir_, ignored);
+  }
+}
 
 std::uint64_t NetworkSynthesizer::partitionWeight(
     const sparse::CollocationMatrix& matrix) const {
@@ -72,7 +132,10 @@ std::uint64_t NetworkSynthesizer::partitionWeight(
 }
 
 void NetworkSynthesizer::processBatch(const table::EventTable& events,
-                                      sparse::SymmetricAdjacency& result) {
+                                      sparse::SymmetricAdjacency* dense,
+                                      sparse::SpillingAccumulator* sink) {
+  CHISIM_REQUIRE((dense != nullptr) != (sink != nullptr),
+                 "processBatch needs exactly one accumulation target");
   util::WallTimer timer;
 
   // Stage 2: subset the slice, index places, and hand the groups to the
@@ -120,10 +183,16 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
   report_.adjacencyBusyImbalance = executor_->adjacencyBusyImbalance();
   timer.reset();
 
-  // Stage 6: fold the worker sums into the running result (log-depth
-  // merge tree by default, serial root merge behind config.treeReduce).
+  // Stage 6: fold the worker sums into the running result — into the dense
+  // map (log-depth merge tree by default, serial root merge behind
+  // config.treeReduce), or under a memory budget into the spilling
+  // accumulator, which adopts worker run files in place of merging maps.
   runtime::fault::hit("driver.reduce");
-  executor_->reduce(result);
+  if (dense != nullptr) {
+    executor_->reduce(*dense);
+  } else {
+    executor_->reduceInto(*sink);
+  }
   report_.reduceSeconds += timer.seconds();
   const ReduceStats& reduceStats = executor_->lastReduceStats();
   report_.treeReduceEnabled = reduceStats.tree;
@@ -134,32 +203,36 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
 
   // Kernel counters ride on the result (merged up the reduce alongside the
   // weights), so they are cumulative across batches: copy, don't add.
-  const sparse::AdjacencyKernelStats& kernel = result.kernelStats();
+  const sparse::AdjacencyKernelStats& kernel =
+      dense != nullptr ? dense->kernelStats() : sink->kernelStats();
   report_.kernelDensePlaces = kernel.densePlaces;
   report_.kernelHashPlaces = kernel.hashPlaces;
   report_.kernelPairHourUpdates = kernel.pairHourUpdates;
   report_.kernelGlobalEmits = kernel.globalEmits;
 }
 
-sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
-    const std::vector<std::filesystem::path>& logFiles) {
+void NetworkSynthesizer::runFilePipeline(
+    const std::vector<std::filesystem::path>& logFiles,
+    sparse::SymmetricAdjacency* dense, sparse::SpillingAccumulator* sink) {
   CHISIM_REQUIRE(!logFiles.empty(), "no log files given");
   report_ = SynthesisReport{};
   report_.backend = config_.backend;
+  report_.memoryBudgetBytes = config_.memoryBudgetBytes;
   executor_->resetTransferCounters();
-  util::WallTimer total;
 
   const bool degrade = config_.faultPolicy == FaultPolicy::kDegrade;
   const bool checkpointing = !config_.checkpointDir.empty();
 
-  sparse::SymmetricAdjacency result(1024);
   std::uint64_t filesConsumed = 0;
   std::optional<InflightBatch> inflight;
   if (config_.resume) {
-    // Adjacency summation is order-independent u64 addition and the CADJ
-    // round trip is exact, so restoring the checkpointed sum and replaying
-    // only the remaining batches reproduces the uninterrupted run bit for
-    // bit.
+    // Adjacency summation is order-independent u64 addition, and both
+    // snapshot forms round-trip exactly (CADJ is a lossless dump; spill
+    // runs are the accumulated state itself), so restoring the checkpoint
+    // and replaying only the remaining batches reproduces the
+    // uninterrupted run bit for bit — in either accumulation mode,
+    // regardless of which mode wrote the checkpoint (the budget is a perf
+    // knob outside the config hash).
     const auto manifest = loadCheckpointManifest(config_.checkpointDir);
     CHISIM_CHECK(manifest.has_value(), "no checkpoint to resume from in " +
                                            config_.checkpointDir.string());
@@ -170,7 +243,35 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
             "resume into a corrupted result");
     CHISIM_CHECK(manifest->filesConsumed <= logFiles.size(),
                  "checkpoint cursor is beyond the given file list");
-    result = loadCheckpointAdjacency(config_.checkpointDir, *manifest);
+    if (manifest->spillMode) {
+      // The checkpointed sum is the manifest's set of live spill runs.
+      for (const SpillRunEntry& entry : manifest->spillRuns) {
+        sparse::SpillRunInfo info;
+        info.file = config_.spillDir / entry.file;
+        info.triplets = entry.triplets;
+        info.bytes = entry.bytes;
+        if (sink != nullptr) {
+          // Keep the manifest's file names: renaming would break a second
+          // resume if this run dies before its first checkpoint.
+          sink->restoreRunFile(info);
+        } else {
+          // Spill checkpoint resumed without a budget: fold the runs into
+          // the dense map (duplicate pairs across runs sum on add).
+          sparse::SpillRunReader reader(info.file);
+          sparse::AdjacencyTriplet triplet;
+          while (reader.next(triplet)) {
+            dense->add(triplet.i, triplet.j, triplet.weight);
+          }
+        }
+      }
+    } else if (dense != nullptr) {
+      *dense = loadCheckpointAdjacency(config_.checkpointDir, *manifest);
+    } else {
+      // Dense checkpoint resumed under a budget: the snapshot is one
+      // sorted run (CADJ rows are written in packed-key order).
+      sink->addSortedRun(
+          sparse::loadTriplets(config_.checkpointDir / manifest->adjacencyFile));
+    }
     filesConsumed = manifest->filesConsumed;
     report_.batches = manifest->batchesDone;
     report_.quarantined = manifest->quarantined;
@@ -215,7 +316,7 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
   // quarantine limit, and persist the checkpoint. The driver.batch fault
   // site fires last, i.e. after the checkpoint — a kThrow there models a
   // crash between batches, which the kill-and-resume test exploits.
-  const auto finishBatch = [this, &logFiles, &filesConsumed, &result,
+  const auto finishBatch = [this, &logFiles, &filesConsumed, dense, sink,
                             checkpointing](
                                std::vector<elog::QuarantinedFile> quarantined,
                                std::size_t filesInBatch,
@@ -253,7 +354,29 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
       manifest.batchesDone = report_.batches;
       manifest.configHash = checkpointConfigHash(config_, logFiles);
       manifest.quarantined = report_.quarantined;
-      saveCheckpoint(config_.checkpointDir, manifest, result, nextInflight);
+      if (sink != nullptr) {
+        // Persist the accumulated sum as the set of live run files: spill
+        // everything resident (each run lands via tmp+rename, so every
+        // file the manifest will name is already durable), then write the
+        // manifest naming them.
+        sink->spillAll();
+        manifest.spillMode = true;
+        for (const sparse::SpillRunInfo& run : sink->liveRuns()) {
+          manifest.spillRuns.push_back(SpillRunEntry{
+              run.file.filename().string(), run.triplets, run.bytes});
+        }
+        saveSpillCheckpoint(config_.checkpointDir, manifest, config_.spillDir,
+                            nextInflight);
+        // Compaction inputs superseded by this manifest can go only now;
+        // deleting them earlier would break resume from the previous one.
+        for (const std::filesystem::path& retired :
+             sink->takeRetiredFiles()) {
+          std::error_code ignored;
+          std::filesystem::remove(retired, ignored);
+        }
+      } else {
+        saveCheckpoint(config_.checkpointDir, manifest, *dense, nextInflight);
+      }
       ++report_.checkpointsWritten;
       FaultEvent event;
       event.kind = FaultEvent::Kind::kCheckpoint;
@@ -302,7 +425,7 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
       // The batch restored from the checkpoint runs first, before any
       // disk load: its decode already happened in the previous life.
       report_.logEntriesLoaded += inflight->events.size();
-      processBatch(inflight->events, result);
+      processBatch(inflight->events, dense, sink);
       const std::optional<InflightBatch> next = peekInflight();
       finishBatch(std::move(inflight->quarantined),
                   static_cast<std::size_t>(inflight->filesInBatch),
@@ -311,7 +434,7 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     }
     while (std::optional<elog::LoadedBatch> batch = loader.next()) {
       report_.logEntriesLoaded += batch->table.size();
-      processBatch(batch->table, result);
+      processBatch(batch->table, dense, sink);
       const std::optional<InflightBatch> next = peekInflight();
       finishBatch(std::move(batch->quarantined), batch->filesInBatch,
                   next ? &*next : nullptr);
@@ -329,7 +452,7 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
       // A checkpoint written by a prefetching run can still be resumed
       // with prefetch off: the snapshot is just a decoded batch.
       report_.logEntriesLoaded += inflight->events.size();
-      processBatch(inflight->events, result);
+      processBatch(inflight->events, dense, sink);
       finishBatch(std::move(inflight->quarantined),
                   static_cast<std::size_t>(inflight->filesInBatch), nullptr);
       inflight.reset();
@@ -352,28 +475,89 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
       report_.loadSeconds += loadTimer.seconds();
       report_.logEntriesLoaded += events.size();
 
-      processBatch(events, result);
+      processBatch(events, dense, sink);
       finishBatch(std::move(batchQuarantine), batch.size(), nullptr);
     }
     report_.loadExposedSeconds = report_.loadSeconds;
   }
-  report_.edges = result.edgeCount();
   report_.bytesScattered = executor_->bytesScattered();
   report_.bytesReturned = executor_->bytesReturned();
+}
+
+sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
+    const std::vector<std::filesystem::path>& logFiles) {
+  util::WallTimer total;
+  sparse::SymmetricAdjacency result(1024);
+  if (config_.memoryBudgetBytes == 0) {
+    runFilePipeline(logFiles, &result, nullptr);
+  } else {
+    // Budgeted accumulation with an in-memory materialization at the end:
+    // the convenient form for tests and modest inputs. City-scale runs
+    // should use synthesizeToFile, which streams the merge to disk.
+    sparse::SpillingAccumulator sink(sinkOptions(config_));
+    runFilePipeline(logFiles, nullptr, &sink);
+    const std::unique_ptr<sparse::TripletSource> merged = sink.finishMerge();
+    sparse::AdjacencyTriplet triplet;
+    while (merged->next(triplet)) {
+      result.add(triplet.i, triplet.j, triplet.weight);
+    }
+    result.addKernelStats(sink.kernelStats());
+    foldSpillStats(report_, sink.stats());
+  }
+  report_.edges = result.edgeCount();
   report_.totalSeconds = total.seconds();
   return result;
+}
+
+std::uint64_t NetworkSynthesizer::synthesizeToFile(
+    const std::vector<std::filesystem::path>& logFiles,
+    const std::filesystem::path& outPath) {
+  CHISIM_REQUIRE(config_.memoryBudgetBytes > 0,
+                 "synthesizeToFile requires a memory budget (it exists so "
+                 "the result never has to fit in memory)");
+  util::WallTimer total;
+  sparse::SpillingAccumulator sink(sinkOptions(config_));
+  runFilePipeline(logFiles, nullptr, &sink);
+  // External-memory finish: spill whatever is resident and k-way merge all
+  // runs straight into the CADJ writer. The writer's output is
+  // byte-identical to saveTriplets of the equivalent in-memory map because
+  // both emit the same sorted rows through the same framing.
+  const std::unique_ptr<sparse::TripletSource> merged = sink.finishMerge();
+  sparse::StreamingTripletWriter writer(outPath);
+  sparse::AdjacencyTriplet triplet;
+  while (merged->next(triplet)) {
+    writer.append(triplet);
+  }
+  const std::uint64_t edges = writer.finish();
+  foldSpillStats(report_, sink.stats());
+  report_.edges = edges;
+  report_.totalSeconds = total.seconds();
+  return edges;
 }
 
 sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     const table::EventTable& events) {
   report_ = SynthesisReport{};
   report_.backend = config_.backend;
+  report_.memoryBudgetBytes = config_.memoryBudgetBytes;
   executor_->resetTransferCounters();
   util::WallTimer total;
   report_.logEntriesLoaded = events.size();
 
   sparse::SymmetricAdjacency result(1024);
-  processBatch(events, result);
+  if (config_.memoryBudgetBytes == 0) {
+    processBatch(events, &result, nullptr);
+  } else {
+    sparse::SpillingAccumulator sink(sinkOptions(config_));
+    processBatch(events, nullptr, &sink);
+    const std::unique_ptr<sparse::TripletSource> merged = sink.finishMerge();
+    sparse::AdjacencyTriplet triplet;
+    while (merged->next(triplet)) {
+      result.add(triplet.i, triplet.j, triplet.weight);
+    }
+    result.addKernelStats(sink.kernelStats());
+    foldSpillStats(report_, sink.stats());
+  }
   report_.batches = 1;
   for (FaultEvent& event : executor_->drainFaultEvents()) {
     event.batch = 1;

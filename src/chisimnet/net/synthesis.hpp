@@ -35,6 +35,10 @@
 /// ranks (Rmpi). Both run the exact same driver, so batching, prefetch,
 /// per-stage timing, and the report shape are backend-independent.
 
+namespace chisimnet::sparse {
+class SpillingAccumulator;
+}  // namespace chisimnet::sparse
+
 namespace chisimnet::net {
 
 class SynthesisExecutor;
@@ -207,6 +211,30 @@ struct SynthesisConfig {
   /// scratch. Requires checkpointDir; a missing/mismatched checkpoint is a
   /// hard error (resuming the wrong run must not silently corrupt output).
   bool resume = false;
+
+  // ---- memory budget (out-of-core accumulation) ----
+
+  /// When > 0, bound the accumulator memory of the run: the cross-batch
+  /// adjacency accumulates in a row-range-sharded SpillingAccumulator that
+  /// spills CRC-framed sorted runs to spillDir whenever resident bytes
+  /// approach the budget, and stage 5 workers flush their partial sums the
+  /// same way; the final network is an external-memory k-way merge of the
+  /// live runs. Output is bit-identical to the unbounded path (u64 adds
+  /// are order-independent and the merge sums duplicates), so the budget
+  /// is a perf/footprint knob and not part of the checkpoint config hash —
+  /// a run checkpointed unbounded can resume bounded and vice versa.
+  /// 0 = unbounded (the original all-in-memory accumulator).
+  std::uint64_t memoryBudgetBytes = 0;
+  /// Run-file directory for the budgeted path and for oversized
+  /// message-passing replies (which spill to disk and cross the wire as a
+  /// file path once they would exceed runtime::maxPayloadBytes()). Empty
+  /// resolves to checkpointDir/"spill" when checkpointing (so spill runs
+  /// are covered by the checkpoint manifest) or to a unique directory
+  /// under the system temp dir that the synthesizer removes on
+  /// destruction. Note the message-passing process transport requires the
+  /// workers to share this filesystem (they are local fork/exec children,
+  /// so they do).
+  std::filesystem::path spillDir;
 };
 
 /// Timing and size metrics of the last synthesis run. One report type
@@ -287,6 +315,24 @@ struct SynthesisReport {
   /// Resume restored a checkpointed in-flight batch (decoded events that
   /// had not been processed when the run died), skipping its re-decode.
   bool inflightRestored = false;
+
+  // ---- memory budget / spill section (memoryBudgetBytes > 0) ----
+
+  std::uint64_t memoryBudgetBytes = 0;  ///< the configured cap (0 = off)
+  std::uint64_t spillRunsWritten = 0;   ///< sorted run files produced
+  std::uint64_t spilledTriplets = 0;    ///< triplet rows that went to disk
+  std::uint64_t spilledBytes = 0;       ///< run-file bytes written
+  std::uint64_t spillCompactions = 0;   ///< live-run k-way compactions
+  /// Max observed resident accumulator bytes (cross-batch shards + the
+  /// spill-sort transient). The budget guarantee the tests assert:
+  /// peakAccumulatorBytes ≤ memoryBudgetBytes.
+  std::uint64_t peakAccumulatorBytes = 0;
+  /// Max concurrent stage-5 worker bytes (summed per-worker historical
+  /// peaks — pessimistic). Bounded by each worker's flush threshold
+  /// (budget / (8 · workers)) plus the largest single place's pair block:
+  /// per-place kernels cannot flush mid-place, so one crowded place sets
+  /// the floor regardless of the budget.
+  std::uint64_t peakStage5Bytes = 0;
 };
 
 class NetworkSynthesizer {
@@ -298,12 +344,23 @@ class NetworkSynthesizer {
   NetworkSynthesizer& operator=(const NetworkSynthesizer&) = delete;
 
   /// Synthesizes the collocation adjacency from per-rank log files,
-  /// batch by batch.
+  /// batch by batch. Under a memory budget the pipeline accumulates
+  /// out-of-core and this materializes the merged result in memory at the
+  /// end — use synthesizeToFile() when even the final triplet list must
+  /// stay off the heap.
   sparse::SymmetricAdjacency synthesizeAdjacency(
       const std::vector<std::filesystem::path>& logFiles);
 
   /// Synthesizes from an in-memory event table (single batch).
   sparse::SymmetricAdjacency synthesizeAdjacency(const table::EventTable& events);
+
+  /// Fully out-of-core synthesis: runs the batched pipeline, then streams
+  /// the external k-way merge of the spilled runs straight into a CADJ1
+  /// file at `outPath` (bytes identical to saveTriplets of the in-memory
+  /// result). Returns the edge count. Requires memoryBudgetBytes > 0.
+  std::uint64_t synthesizeToFile(
+      const std::vector<std::filesystem::path>& logFiles,
+      const std::filesystem::path& outPath);
 
   /// Convenience: adjacency -> graph.
   graph::Graph synthesizeGraph(
@@ -314,9 +371,18 @@ class NetworkSynthesizer {
   const SynthesisReport& report() const noexcept { return report_; }
 
  private:
-  /// Runs stages 2-6 on one batch table, accumulating into `result`.
+  /// Runs stages 2-6 on one batch table, accumulating into exactly one of
+  /// `dense` (unbounded path) or `sink` (memory-budgeted path).
   void processBatch(const table::EventTable& events,
-                    sparse::SymmetricAdjacency& result);
+                    sparse::SymmetricAdjacency* dense,
+                    sparse::SpillingAccumulator* sink);
+
+  /// Runs the full batched file pipeline (resume, prefetch, checkpoints)
+  /// into the chosen accumulator; shared by the in-memory and to-file
+  /// entry points.
+  void runFilePipeline(const std::vector<std::filesystem::path>& logFiles,
+                       sparse::SymmetricAdjacency* dense,
+                       sparse::SpillingAccumulator* sink);
 
   /// Stage-4 weight of one matrix (nnz, or occupancy-scaled per config).
   std::uint64_t partitionWeight(const sparse::CollocationMatrix& matrix) const;
@@ -324,6 +390,9 @@ class NetworkSynthesizer {
   SynthesisConfig config_;
   SynthesisReport report_;
   std::unique_ptr<SynthesisExecutor> executor_;
+  /// Set when spillDir was auto-resolved to a temp dir this instance owns
+  /// (and removes on destruction).
+  std::filesystem::path ownedSpillDir_;
 };
 
 /// Reference implementation for correctness tests: computes pairwise

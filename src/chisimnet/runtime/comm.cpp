@@ -1,5 +1,8 @@
 #include "chisimnet/runtime/comm.hpp"
 
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
 #include <exception>
 #include <thread>
 
@@ -13,15 +16,48 @@ constexpr int kBroadcastTag = kReservedTagBase + 2;
 
 [[maybe_unused]] constexpr int kReservedTagsEnd = kReservedTagBase + 3;
 
+// 0 = unresolved; resolved lazily so a test override set before the first
+// message wins over the environment.
+std::atomic<std::uint64_t> payloadCeiling{0};
+
+std::uint64_t resolvePayloadCeiling() noexcept {
+  if (const char* env = std::getenv("CHISIMNET_MAX_PAYLOAD_BYTES")) {
+    std::uint64_t parsed = 0;
+    const char* end = env;
+    while (*end != '\0') {
+      ++end;
+    }
+    const auto [ptr, ec] = std::from_chars(env, end, parsed);
+    if (ec == std::errc{} && ptr == end && parsed > 0) {
+      return parsed;
+    }
+  }
+  return kMaxPayloadBytes;
+}
+
 }  // namespace
+
+std::uint64_t maxPayloadBytes() noexcept {
+  std::uint64_t ceiling = payloadCeiling.load(std::memory_order_relaxed);
+  if (ceiling == 0) {
+    ceiling = resolvePayloadCeiling();
+    payloadCeiling.store(ceiling, std::memory_order_relaxed);
+  }
+  return ceiling;
+}
+
+void setMaxPayloadBytesForTesting(std::uint64_t bytes) noexcept {
+  payloadCeiling.store(bytes, std::memory_order_relaxed);
+}
 
 void validatePayloadLength(std::int64_t declaredBytes) {
   CHISIM_CHECK(declaredBytes >= 0,
                "negative payload length in message header: " +
                    std::to_string(declaredBytes));
-  CHISIM_CHECK(static_cast<std::uint64_t>(declaredBytes) <= kMaxPayloadBytes,
+  const std::uint64_t ceiling = maxPayloadBytes();
+  CHISIM_CHECK(static_cast<std::uint64_t>(declaredBytes) <= ceiling,
                "payload length " + std::to_string(declaredBytes) +
-                   " exceeds the " + std::to_string(kMaxPayloadBytes) +
+                   " exceeds the " + std::to_string(ceiling) +
                    "-byte message limit (corrupt or hostile header)");
 }
 

@@ -39,16 +39,29 @@ inline constexpr int kAnyTag = -1;
 /// Tags at or above this value are reserved for collectives.
 inline constexpr int kReservedTagBase = 1 << 24;
 
-/// Hard ceiling on a single message payload. In-process this bounds a
+/// Default ceiling on a single message payload. In-process this bounds a
 /// runaway serialization bug; on the socket transport it is the value a
 /// received length header is validated against before any allocation
-/// happens. 1 GiB is far above the largest legitimate frame (a full
-/// per-rank matrix batch at Chicago scale is tens of MiB).
+/// happens. At city scale a whole-matrix stage-5 reply CAN legitimately
+/// approach this, which is why oversized synthesis replies spill to run
+/// files and cross the wire as paths (net/mp_protocol) instead of aborting
+/// against the cap.
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+
+/// The effective payload ceiling: kMaxPayloadBytes unless overridden by
+/// the CHISIMNET_MAX_PAYLOAD_BYTES environment variable (read once, so
+/// exec'd worker processes inherit the root's value) or by
+/// setMaxPayloadBytesForTesting(). Tests lower it to force the spill-reply
+/// path without gigabyte fixtures.
+std::uint64_t maxPayloadBytes() noexcept;
+
+/// Overrides the effective ceiling for this process (0 restores the
+/// env/default resolution on the next query).
+void setMaxPayloadBytesForTesting(std::uint64_t bytes) noexcept;
 
 /// Validates a payload length as read off a wire header (or any untrusted
 /// framing) BEFORE it is used to size an allocation. Rejects negative
-/// lengths and lengths above kMaxPayloadBytes with a clear error naming
+/// lengths and lengths above maxPayloadBytes() with a clear error naming
 /// both, instead of letting vector::resize() abort the process or OOM.
 void validatePayloadLength(std::int64_t declaredBytes);
 

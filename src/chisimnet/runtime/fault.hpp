@@ -34,6 +34,11 @@
 ///                       destination worker process)
 ///   proc.worker.send    ProcessWorkerLink, per outgoing wire frame in the
 ///                       worker process (kTruncate = torn write)
+///   spill.write         SpillRunWriter::finish, after the run body is on
+///                       disk but BEFORE the tmp→final rename (kThrow models
+///                       a crash mid-spill leaving only a .tmp orphan)
+///   spill.merge         SpillingAccumulator compaction, before the k-way
+///                       merge of live runs begins
 ///
 /// A site costs one relaxed atomic load when no plan is installed — the
 /// hooks are always present, never a build flavor — and sites fire at

@@ -1,6 +1,8 @@
 #include "chisimnet/sparse/adjacency.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 
 #include "chisimnet/util/error.hpp"
 
@@ -261,6 +263,130 @@ std::vector<AdjacencyTriplet> mergeSortedTriplets(
   }
   merged.insert(merged.end(), a.begin() + ia, a.end());
   merged.insert(merged.end(), b.begin() + ib, b.end());
+  return merged;
+}
+
+namespace {
+
+/// Exhausted-leaf sentinel. Real packed keys satisfy i < j, so the key of a
+/// legitimate triplet is at most ((2^32-2) << 32) | (2^32-1) < ~0.
+constexpr std::uint64_t kExhaustedKey = ~std::uint64_t{0};
+
+}  // namespace
+
+TripletMerger::TripletMerger(std::vector<TripletSource*> sources)
+    : sources_(std::move(sources)) {
+  start(sources_.size());
+}
+
+TripletMerger::TripletMerger(
+    std::vector<std::unique_ptr<TripletSource>> sources)
+    : owned_(std::move(sources)) {
+  sources_.reserve(owned_.size());
+  for (const std::unique_ptr<TripletSource>& source : owned_) {
+    sources_.push_back(source.get());
+  }
+  start(sources_.size());
+}
+
+void TripletMerger::start(std::size_t sourceCount) {
+  if (sourceCount == 0) {
+    leafCount_ = 0;
+    return;
+  }
+  leafCount_ = std::bit_ceil(sourceCount);
+  heads_.resize(leafCount_);
+  keys_.assign(leafCount_, kExhaustedKey);
+  for (std::size_t leaf = 0; leaf < sourceCount; ++leaf) {
+    if (sources_[leaf]->next(heads_[leaf])) {
+      keys_[leaf] = packPair(heads_[leaf].i, heads_[leaf].j);
+    }
+  }
+  // Initial tournament, bottom-up: internal node n holds the LOSER of the
+  // match between its subtrees; the winner carries upward. Leaf `l` sits at
+  // tree position leafCount_ + l; internal nodes are 1..leafCount_-1.
+  losers_.assign(leafCount_, 0);
+  std::vector<std::size_t> winners(2 * leafCount_);
+  for (std::size_t leaf = 0; leaf < leafCount_; ++leaf) {
+    winners[leafCount_ + leaf] = leaf;
+  }
+  for (std::size_t node = leafCount_ - 1; node >= 1; --node) {
+    const std::size_t a = winners[2 * node];
+    const std::size_t b = winners[2 * node + 1];
+    if (keyOf(a) <= keyOf(b)) {
+      winners[node] = a;
+      losers_[node] = b;
+    } else {
+      winners[node] = b;
+      losers_[node] = a;
+    }
+  }
+  winner_ = winners[1];
+}
+
+void TripletMerger::advance(std::size_t leaf) {
+  const std::uint64_t previous = keys_[leaf];
+  if (sources_[leaf]->next(heads_[leaf])) {
+    keys_[leaf] = packPair(heads_[leaf].i, heads_[leaf].j);
+    CHISIM_CHECK(keys_[leaf] > previous,
+                 "merge source is not strictly key-ascending (corrupt or "
+                 "unsorted run)");
+  } else {
+    keys_[leaf] = kExhaustedKey;
+  }
+}
+
+void TripletMerger::replay(std::size_t leaf) {
+  // Replay the matches on the path from `leaf` to the root: at each node
+  // the stored loser challenges the carried winner.
+  std::size_t current = leaf;
+  for (std::size_t node = (leafCount_ + leaf) / 2; node >= 1; node /= 2) {
+    if (keyOf(losers_[node]) < keyOf(current)) {
+      std::swap(losers_[node], current);
+    }
+  }
+  winner_ = current;
+}
+
+bool TripletMerger::next(AdjacencyTriplet& out) {
+  if (leafCount_ == 0 || keys_[winner_] == kExhaustedKey) {
+    return false;
+  }
+  const std::uint64_t key = keys_[winner_];
+  out = heads_[winner_];
+  advance(winner_);
+  replay(winner_);
+  // Sources are strictly ascending individually, so every further head with
+  // the same key is a duplicate pair from another source: sum it in.
+  while (keys_[winner_] == key) {
+    out.weight += heads_[winner_].weight;
+    advance(winner_);
+    replay(winner_);
+  }
+  return true;
+}
+
+std::vector<AdjacencyTriplet> mergeKSortedTriplets(
+    std::span<const std::span<const AdjacencyTriplet>> runs) {
+  std::vector<SpanTripletSource> spanSources;
+  spanSources.reserve(runs.size());
+  std::size_t total = 0;
+  for (const std::span<const AdjacencyTriplet> run : runs) {
+    spanSources.emplace_back(run);
+    total += run.size();
+  }
+  std::vector<TripletSource*> sources;
+  sources.reserve(spanSources.size());
+  for (SpanTripletSource& source : spanSources) {
+    sources.push_back(&source);
+  }
+  TripletMerger merger(std::move(sources));
+  std::vector<AdjacencyTriplet> merged;
+  merged.reserve(total);
+  AdjacencyTriplet triplet;
+  while (merger.next(triplet)) {
+    merged.push_back(triplet);
+  }
   return merged;
 }
 

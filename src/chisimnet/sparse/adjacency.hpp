@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -110,6 +111,73 @@ class SymmetricAdjacency {
 /// is rebuilt, just a two-pointer walk.
 std::vector<AdjacencyTriplet> mergeSortedTriplets(
     std::span<const AdjacencyTriplet> a, std::span<const AdjacencyTriplet> b);
+
+/// A pull stream of (i,j)-sorted triplets with strictly increasing packed
+/// keys. The unit the external-memory merge composes over: in-memory runs,
+/// spill-run files (sparse/spill.hpp), and merger outputs all speak it.
+class TripletSource {
+ public:
+  virtual ~TripletSource() = default;
+
+  /// Fills `out` with the next triplet; false once the stream is exhausted
+  /// (and on every call after that).
+  virtual bool next(AdjacencyTriplet& out) = 0;
+};
+
+/// TripletSource over an in-memory sorted run (non-owning view).
+class SpanTripletSource final : public TripletSource {
+ public:
+  explicit SpanTripletSource(std::span<const AdjacencyTriplet> run)
+      : run_(run) {}
+  bool next(AdjacencyTriplet& out) override {
+    if (cursor_ >= run_.size()) {
+      return false;
+    }
+    out = run_[cursor_++];
+    return true;
+  }
+
+ private:
+  std::span<const AdjacencyTriplet> run_;
+  std::size_t cursor_ = 0;
+};
+
+/// K-way generalization of mergeSortedTriplets: a loser-tree tournament
+/// over k sorted sources, emitting one strictly key-ascending stream with
+/// the weights of pairs that appear in several sources summed. Each next()
+/// costs O(log k) comparisons and replays only the path from the winning
+/// leaf to the root, so merging spilled runs streams through bounded
+/// buffers instead of materializing them. Sources must be strictly
+/// ascending (a run never repeats a key); the merger validates that and
+/// rejects mis-ordered input rather than emitting a corrupt sum.
+class TripletMerger final : public TripletSource {
+ public:
+  /// Non-owning: the sources must outlive the merger.
+  explicit TripletMerger(std::vector<TripletSource*> sources);
+  /// Owning variant for composed pipelines (file readers feeding a merge).
+  explicit TripletMerger(std::vector<std::unique_ptr<TripletSource>> sources);
+
+  bool next(AdjacencyTriplet& out) override;
+
+ private:
+  void start(std::size_t sourceCount);
+  void advance(std::size_t leaf);
+  void replay(std::size_t leaf);
+  std::uint64_t keyOf(std::size_t leaf) const noexcept { return keys_[leaf]; }
+
+  std::vector<TripletSource*> sources_;
+  std::vector<std::unique_ptr<TripletSource>> owned_;
+  std::vector<AdjacencyTriplet> heads_;  ///< current head per leaf
+  std::vector<std::uint64_t> keys_;      ///< packed key per leaf (sentinel on EOF)
+  std::vector<std::size_t> losers_;      ///< internal tournament nodes
+  std::size_t leafCount_ = 0;            ///< sources padded to a power of two
+  std::size_t winner_ = 0;
+};
+
+/// Convenience for tests and in-memory reductions: k-way merge of sorted
+/// runs via TripletMerger, materialized.
+std::vector<AdjacencyTriplet> mergeKSortedTriplets(
+    std::span<const std::span<const AdjacencyTriplet>> runs);
 
 /// Accumulates every matrix in `matrices` into a fresh adjacency.
 SymmetricAdjacency adjacencyFromCollocations(

@@ -89,6 +89,56 @@ std::vector<AdjacencyTriplet> loadTriplets(const std::filesystem::path& path) {
   return triplets;
 }
 
+StreamingTripletWriter::StreamingTripletWriter(
+    const std::filesystem::path& path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  CHISIM_CHECK(out_.good(),
+               "cannot open adjacency file for writing: " + path.string());
+  out_.write(kMagic, 4);
+  util::writeU32(out_, kVersion);
+  util::writeU64(out_, 0);  // edge count, patched by finish()
+  buffer_.reserve(kRowBytes * 4096);
+}
+
+void StreamingTripletWriter::append(const AdjacencyTriplet& triplet) {
+  CHISIM_REQUIRE(triplet.i < triplet.j,
+                 "triplets must be upper-triangular (i < j)");
+  const auto put32 = [this](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buffer_.push_back(static_cast<std::byte>(value >> shift));
+    }
+  };
+  put32(triplet.i);
+  put32(triplet.j);
+  put32(static_cast<std::uint32_t>(triplet.weight));
+  put32(static_cast<std::uint32_t>(triplet.weight >> 32));
+  ++count_;
+  if (buffer_.size() >= kRowBytes * 4096) {
+    flushBuffer();
+  }
+}
+
+void StreamingTripletWriter::flushBuffer() {
+  if (buffer_.empty()) {
+    return;
+  }
+  crc_ = util::crc32(buffer_, crc_);  // chained: equals crc32(whole payload)
+  util::writeBytes(out_, buffer_);
+  buffer_.clear();
+}
+
+std::uint64_t StreamingTripletWriter::finish() {
+  CHISIM_REQUIRE(!finished_, "adjacency stream already finished");
+  flushBuffer();
+  util::writeU32(out_, crc_);
+  out_.seekp(8);
+  util::writeU64(out_, count_);
+  out_.flush();
+  CHISIM_CHECK(out_.good(), "adjacency write failed: " + path_.string());
+  finished_ = true;
+  return count_;
+}
+
 SymmetricAdjacency loadAdjacency(const std::filesystem::path& path) {
   const std::vector<AdjacencyTriplet> triplets = loadTriplets(path);
   SymmetricAdjacency adjacency(triplets.size());

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <vector>
 
 #include "chisimnet/sparse/adjacency.hpp"
 
@@ -29,5 +32,31 @@ std::vector<AdjacencyTriplet> loadTriplets(const std::filesystem::path& path);
 
 /// Loads into an accumulator (e.g. to sum stored partial matrices).
 SymmetricAdjacency loadAdjacency(const std::filesystem::path& path);
+
+/// Streams triplets into a CADJ1 file without materializing them: the
+/// header count is patched and the payload CRC chained incrementally at
+/// finish(), producing bytes identical to saveTriplets() on the same
+/// sequence. This is how a memory-budgeted synthesis writes its final
+/// external-merge stream straight to disk.
+class StreamingTripletWriter {
+ public:
+  explicit StreamingTripletWriter(const std::filesystem::path& path);
+
+  /// Rows must arrive upper-triangular (i < j) and in the final order.
+  void append(const AdjacencyTriplet& triplet);
+
+  /// Writes the CRC footer, patches the header count; returns the count.
+  std::uint64_t finish();
+
+ private:
+  void flushBuffer();
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::vector<std::byte> buffer_;
+  std::uint32_t crc_ = 0;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
 
 }  // namespace chisimnet::sparse

@@ -40,6 +40,25 @@ class PairCountMap {
   /// All (key, count) entries in unspecified order.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> entries() const;
 
+  /// Visits every entry without materializing the entries() vector — the
+  /// spill path extracts sorted runs through this so the only transient is
+  /// the run buffer itself.
+  template <typename Visitor>
+  void forEach(Visitor&& visit) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmpty) {
+        visit(slot.key, slot.count);
+      }
+    }
+  }
+
+  /// True when the next insert of a new key would rehash (double) the
+  /// table — a budgeted accumulator checks this to spill BEFORE the growth
+  /// instead of discovering the overshoot after it.
+  bool growthImminent() const noexcept {
+    return (size_ + 1) * 10 > slots_.size() * 7;
+  }
+
   /// Approximate heap bytes held by the table.
   std::size_t memoryBytes() const noexcept {
     return slots_.size() * sizeof(Slot);

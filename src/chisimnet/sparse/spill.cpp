@@ -1,0 +1,475 @@
+#include "chisimnet/sparse/spill.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "chisimnet/runtime/fault.hpp"
+#include "chisimnet/util/binary_io.hpp"
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::sparse {
+
+namespace {
+
+constexpr char kSpillMagic[4] = {'C', 'S', 'P', 'L'};
+constexpr std::uint32_t kSpillVersion = 1;
+/// Header: magic 4 | version u32 | tripletCount u64.
+constexpr std::uint64_t kSpillHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kTripletBytes = sizeof(AdjacencyTriplet);
+static_assert(sizeof(AdjacencyTriplet) == 16,
+              "spill frames assume 16-byte packed triplets");
+
+/// Floor for spill/flush thresholds so pathological tiny budgets still
+/// terminate: a threshold below one minimal hash table would spill on
+/// every insert.
+constexpr std::uint64_t kMinSpillThresholdBytes = 4096;
+
+std::vector<std::byte> encodeFrame(std::span<const AdjacencyTriplet> rows) {
+  std::vector<std::byte> payload(rows.size() * kTripletBytes);
+  std::byte* out = payload.data();
+  const auto put32 = [&out](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      *out++ = static_cast<std::byte>(value >> shift);
+    }
+  };
+  for (const AdjacencyTriplet& row : rows) {
+    put32(row.i);
+    put32(row.j);
+    put32(static_cast<std::uint32_t>(row.weight));
+    put32(static_cast<std::uint32_t>(row.weight >> 32));
+  }
+  return payload;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer
+
+SpillRunWriter::SpillRunWriter(std::filesystem::path path)
+    : path_(std::move(path)), tmp_(path_.string() + ".tmp") {
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  out_.open(tmp_, std::ios::binary | std::ios::trunc);
+  CHISIM_CHECK(out_.good(),
+               "cannot open spill run for writing: " + tmp_.string());
+  out_.write(kSpillMagic, 4);
+  util::writeU32(out_, kSpillVersion);
+  util::writeU64(out_, 0);  // triplet count, patched by finish()
+  frame_.reserve(kSpillFrameTriplets);
+}
+
+SpillRunWriter::~SpillRunWriter() {
+  if (!finished_) {
+    out_.close();
+    std::error_code ignored;
+    std::filesystem::remove(tmp_, ignored);
+  }
+}
+
+void SpillRunWriter::append(const AdjacencyTriplet& triplet) {
+  const std::uint64_t key = packPair(triplet.i, triplet.j);
+  CHISIM_CHECK(!any_ || key > lastKey_,
+               "spill run rows must be strictly key-ascending: " +
+                   path_.string());
+  lastKey_ = key;
+  any_ = true;
+  frame_.push_back(triplet);
+  if (frame_.size() >= kSpillFrameTriplets) {
+    flushFrame();
+  }
+}
+
+void SpillRunWriter::append(std::span<const AdjacencyTriplet> sorted) {
+  for (const AdjacencyTriplet& triplet : sorted) {
+    append(triplet);
+  }
+}
+
+void SpillRunWriter::flushFrame() {
+  if (frame_.empty()) {
+    return;
+  }
+  const std::vector<std::byte> payload = encodeFrame(frame_);
+  util::writeU32(out_, static_cast<std::uint32_t>(frame_.size()));
+  util::writeU32(out_, util::crc32(payload));
+  util::writeBytes(out_, payload);
+  total_ += frame_.size();
+  frame_.clear();
+}
+
+SpillRunInfo SpillRunWriter::finish() {
+  CHISIM_REQUIRE(!finished_, "spill run already finished");
+  flushFrame();
+  out_.seekp(8);
+  util::writeU64(out_, total_);
+  out_.flush();
+  CHISIM_CHECK(out_.good(), "spill run write failed: " + tmp_.string());
+  out_.close();
+  // A kThrow here models dying mid-spill: the complete .tmp is on disk but
+  // never renamed, so resume-side GC sees only an orphan.
+  runtime::fault::hit("spill.write");
+  std::filesystem::rename(tmp_, path_);
+  finished_ = true;
+  SpillRunInfo info;
+  info.file = path_;
+  info.triplets = total_;
+  info.bytes = static_cast<std::uint64_t>(std::filesystem::file_size(path_));
+  return info;
+}
+
+// ---------------------------------------------------------------- reader
+
+SpillRunReader::SpillRunReader(std::filesystem::path path)
+    : path_(std::move(path)), in_(path_, std::ios::binary) {
+  CHISIM_CHECK(in_.good(), "cannot open spill run: " + path_.string());
+  char magic[4];
+  in_.read(magic, 4);
+  CHISIM_CHECK(in_.gcount() == 4 && std::equal(magic, magic + 4, kSpillMagic),
+               "not a CSPL spill run: " + path_.string());
+  CHISIM_CHECK(util::readU32(in_) == kSpillVersion,
+               "unsupported spill run version: " + path_.string());
+  total_ = util::readU64(in_);
+  frame_.reserve(kSpillFrameTriplets);
+}
+
+void SpillRunReader::fail(const std::string& what,
+                          std::uint64_t offset) const {
+  CHISIM_CHECK(false, "spill run " + path_.string() + " at byte offset " +
+                          std::to_string(offset) + ": " + what);
+}
+
+void SpillRunReader::readFrame() {
+  const std::uint64_t frameOffset =
+      static_cast<std::uint64_t>(in_.tellg());
+  unsigned char header[8];
+  in_.read(reinterpret_cast<char*>(header), 8);
+  if (in_.gcount() == 0 && in_.eof()) {
+    // Clean end of file at a frame boundary: the header count must agree.
+    if (delivered_ != total_) {
+      fail("truncated: header declares " + std::to_string(total_) +
+               " triplets but only " + std::to_string(delivered_) +
+               " are present",
+           frameOffset);
+    }
+    exhausted_ = true;
+    return;
+  }
+  if (in_.gcount() != 8) {
+    fail("truncated frame header", frameOffset);
+  }
+  const auto get32 = [&header](int at) {
+    return static_cast<std::uint32_t>(header[at]) |
+           (static_cast<std::uint32_t>(header[at + 1]) << 8) |
+           (static_cast<std::uint32_t>(header[at + 2]) << 16) |
+           (static_cast<std::uint32_t>(header[at + 3]) << 24);
+  };
+  const std::uint32_t count = get32(0);
+  const std::uint32_t storedCrc = get32(4);
+  if (count == 0 || count > kSpillFrameTriplets) {
+    fail("corrupt frame header: implausible row count " +
+             std::to_string(count),
+         frameOffset);
+  }
+  std::vector<std::byte> payload(count * kTripletBytes);
+  in_.read(reinterpret_cast<char*>(payload.data()),
+           static_cast<std::streamsize>(payload.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(payload.size())) {
+    fail("truncated frame payload (wanted " + std::to_string(payload.size()) +
+             " bytes, got " + std::to_string(in_.gcount()) + ")",
+         frameOffset);
+  }
+  const std::uint32_t actualCrc = util::crc32(payload);
+  if (actualCrc != storedCrc) {
+    fail("frame CRC mismatch (stored " + std::to_string(storedCrc) +
+             ", computed " + std::to_string(actualCrc) + ")",
+         frameOffset);
+  }
+  frame_.resize(count);
+  std::size_t cursor = 0;
+  const auto take32 = [&payload, &cursor]() {
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(payload[cursor]) |
+        (static_cast<std::uint32_t>(payload[cursor + 1]) << 8) |
+        (static_cast<std::uint32_t>(payload[cursor + 2]) << 16) |
+        (static_cast<std::uint32_t>(payload[cursor + 3]) << 24);
+    cursor += 4;
+    return value;
+  };
+  for (AdjacencyTriplet& row : frame_) {
+    row.i = take32();
+    row.j = take32();
+    const std::uint64_t low = take32();
+    const std::uint64_t high = take32();
+    row.weight = low | (high << 32);
+  }
+  cursor_ = 0;
+}
+
+bool SpillRunReader::next(AdjacencyTriplet& out) {
+  while (cursor_ >= frame_.size()) {
+    if (exhausted_) {
+      return false;
+    }
+    readFrame();
+  }
+  out = frame_[cursor_++];
+  ++delivered_;
+  if (delivered_ > total_) {
+    fail("more triplets than the header declares (" + std::to_string(total_) +
+             ")",
+         static_cast<std::uint64_t>(in_.tellg()));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------- accumulator
+
+SpillingAccumulator::SpillingAccumulator(Options options)
+    : options_(std::move(options)) {
+  CHISIM_REQUIRE(!options_.dir.empty(),
+                 "a spilling accumulator needs a run directory");
+  CHISIM_REQUIRE(options_.rowsPerShard >= 1, "rowsPerShard must be >= 1");
+  CHISIM_REQUIRE(options_.maxLiveRuns >= 2, "maxLiveRuns must be >= 2");
+  std::filesystem::create_directories(options_.dir);
+  if (options_.budgetBytes > 0) {
+    spillThreshold_ =
+        std::max(options_.budgetBytes / 2, kMinSpillThresholdBytes);
+  }
+  // Resume-safe run numbering: start above any run file of this prefix
+  // already in the directory (adopted checkpoint runs keep their names).
+  for (const auto& entry : std::filesystem::directory_iterator(options_.dir)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with(options_.runPrefix) || !name.ends_with(".spl")) {
+      continue;
+    }
+    const std::string middle = name.substr(
+        options_.runPrefix.size(),
+        name.size() - options_.runPrefix.size() - 4);
+    std::uint64_t index = 0;
+    const auto [ptr, ec] =
+        std::from_chars(middle.data(), middle.data() + middle.size(), index);
+    if (ec == std::errc{} && ptr == middle.data() + middle.size()) {
+      nextRunIndex_ = std::max(nextRunIndex_, index + 1);
+    }
+  }
+}
+
+std::filesystem::path SpillingAccumulator::nextRunPath() {
+  return options_.dir /
+         (options_.runPrefix + std::to_string(nextRunIndex_++) + ".spl");
+}
+
+void SpillingAccumulator::notePeak(std::uint64_t extraBytes) noexcept {
+  stats_.peakResidentBytes =
+      std::max(stats_.peakResidentBytes, residentBytes_ + extraBytes);
+}
+
+void SpillingAccumulator::noteWorkerPeak(std::uint64_t extraBytes) noexcept {
+  stats_.peakWorkerBytes = std::max(stats_.peakWorkerBytes, extraBytes);
+}
+
+void SpillingAccumulator::add(std::uint32_t i, std::uint32_t j,
+                              std::uint64_t weight) {
+  CHISIM_REQUIRE(i != j, "self-collocation is not an edge");
+  if (weight == 0) {
+    return;
+  }
+  const std::uint32_t lo = i < j ? i : j;
+  const std::uint32_t shard = lo / options_.rowsPerShard;
+  auto found = shards_.find(shard);
+  if (found == shards_.end()) {
+    found = shards_.emplace(shard, PairCountMap(16)).first;
+    residentBytes_ += found->second.memoryBytes();
+  }
+  PairCountMap* pairs = &found->second;
+  if (spillThreshold_ > 0 && pairs->growthImminent() &&
+      residentBytes_ + pairs->memoryBytes() > spillThreshold_) {
+    // The next insert would double this shard past the budget line: spill
+    // everything resident first, then insert into a fresh minimal shard.
+    spillAll();
+    found = shards_.emplace(shard, PairCountMap(16)).first;
+    residentBytes_ += found->second.memoryBytes();
+    pairs = &found->second;
+  }
+  const std::size_t before = pairs->memoryBytes();
+  pairs->add(packPair(i, j), weight);
+  residentBytes_ += pairs->memoryBytes() - before;
+  notePeak(0);
+}
+
+void SpillingAccumulator::addSortedRun(std::span<const AdjacencyTriplet> run) {
+  for (const AdjacencyTriplet& triplet : run) {
+    add(triplet.i, triplet.j, triplet.weight);
+  }
+}
+
+void SpillingAccumulator::adoptRunFile(const SpillRunInfo& info) {
+  CHISIM_CHECK(std::filesystem::exists(info.file),
+               "cannot adopt a missing spill run: " + info.file.string());
+  SpillRunInfo owned = info;
+  owned.file = nextRunPath();
+  std::filesystem::rename(info.file, owned.file);
+  runs_.push_back(std::move(owned));
+  ++stats_.runsWritten;
+  stats_.spilledTriplets += info.triplets;
+  stats_.spilledBytes += info.bytes;
+  maybeCompact();
+}
+
+void SpillingAccumulator::restoreRunFile(const SpillRunInfo& info) {
+  CHISIM_CHECK(std::filesystem::exists(info.file),
+               "checkpoint manifest references a missing spill run: " +
+                   info.file.string());
+  // Restored runs are prior-life state, not this run's spill activity:
+  // they count toward the live set but not the written/spilled counters.
+  runs_.push_back(info);
+  maybeCompact();
+}
+
+void SpillingAccumulator::spillShard(std::uint32_t shard,
+                                     PairCountMap& pairs) {
+  if (pairs.empty()) {
+    return;
+  }
+  std::vector<AdjacencyTriplet> triplets;
+  triplets.reserve(pairs.size());
+  pairs.forEach([&triplets](std::uint64_t key, std::uint64_t count) {
+    triplets.push_back(
+        AdjacencyTriplet{pairLow(key), pairHigh(key), count});
+  });
+  std::sort(triplets.begin(), triplets.end());
+  // The sort buffer is the spill transient: it lives beside the resident
+  // shards, which is why the spill threshold is half the budget.
+  notePeak(triplets.size() * kTripletBytes);
+  // Release the shard table before the file write so the transient and the
+  // table never both count twice against the budget.
+  residentBytes_ -= pairs.memoryBytes();
+  pairs = PairCountMap(16);
+  residentBytes_ += pairs.memoryBytes();
+
+  SpillRunWriter writer(nextRunPath());
+  writer.append(std::span<const AdjacencyTriplet>(triplets));
+  const SpillRunInfo info = writer.finish();
+  (void)shard;
+  runs_.push_back(info);
+  ++stats_.runsWritten;
+  stats_.spilledTriplets += info.triplets;
+  stats_.spilledBytes += info.bytes;
+}
+
+void SpillingAccumulator::spillAll() {
+  for (auto& [shard, pairs] : shards_) {
+    spillShard(shard, pairs);
+  }
+  for (const auto& [shard, pairs] : shards_) {
+    residentBytes_ -= pairs.memoryBytes();
+  }
+  shards_.clear();
+  maybeCompact();
+}
+
+void SpillingAccumulator::maybeCompact() {
+  if (runs_.size() <= options_.maxLiveRuns) {
+    return;
+  }
+  runtime::fault::hit("spill.merge");
+  ++stats_.compactions;
+  std::vector<std::unique_ptr<TripletSource>> readers;
+  readers.reserve(runs_.size());
+  for (const SpillRunInfo& run : runs_) {
+    readers.push_back(std::make_unique<SpillRunReader>(run.file));
+  }
+  TripletMerger merger(std::move(readers));
+  SpillRunWriter writer(nextRunPath());
+  AdjacencyTriplet triplet;
+  while (merger.next(triplet)) {
+    writer.append(triplet);
+  }
+  const SpillRunInfo compacted = writer.finish();
+  // The inputs are superseded; under deferDeletes they stay on disk until
+  // the caller's next checkpoint manifest no longer references them.
+  for (SpillRunInfo& run : runs_) {
+    if (options_.deferDeletes) {
+      retired_.push_back(std::move(run.file));
+    } else {
+      std::error_code ignored;
+      std::filesystem::remove(run.file, ignored);
+    }
+  }
+  runs_.clear();
+  runs_.push_back(compacted);
+  ++stats_.runsWritten;
+  stats_.spilledTriplets += compacted.triplets;
+  stats_.spilledBytes += compacted.bytes;
+}
+
+std::unique_ptr<TripletSource> SpillingAccumulator::finishMerge() {
+  spillAll();
+  std::vector<std::unique_ptr<TripletSource>> readers;
+  readers.reserve(runs_.size());
+  for (const SpillRunInfo& run : runs_) {
+    readers.push_back(std::make_unique<SpillRunReader>(run.file));
+  }
+  return std::make_unique<TripletMerger>(std::move(readers));
+}
+
+std::vector<std::filesystem::path> SpillingAccumulator::takeRetiredFiles() {
+  return std::exchange(retired_, {});
+}
+
+// ---------------------------------------------------------- worker sum
+
+SpillingSum::SpillingSum(std::filesystem::path dir, std::string filePrefix,
+                         std::uint64_t flushThresholdBytes)
+    : dir_(std::move(dir)), filePrefix_(std::move(filePrefix)), sum_(1024) {
+  if (flushThresholdBytes > 0) {
+    flushThreshold_ = std::max(flushThresholdBytes, kMinSpillThresholdBytes);
+    CHISIM_REQUIRE(!dir_.empty(),
+                   "a flushing stage-5 sum needs a spill directory");
+  }
+}
+
+void SpillingSum::addCollocation(const CollocationMatrix& matrix,
+                                 AdjacencyMethod method) {
+  sum_.addCollocation(matrix, method);
+  peakBytes_ = std::max<std::uint64_t>(peakBytes_, sum_.memoryBytes());
+  if (flushThreshold_ > 0 && sum_.memoryBytes() > flushThreshold_) {
+    flush();
+  }
+}
+
+void SpillingSum::flush() {
+  if (sum_.edgeCount() == 0) {
+    return;
+  }
+  const std::vector<AdjacencyTriplet> triplets = drainInMemory();
+  SpillRunWriter writer(
+      dir_ / (filePrefix_ + std::to_string(nextRunIndex_++) + ".spl"));
+  writer.append(std::span<const AdjacencyTriplet>(triplets));
+  runs_.push_back(writer.finish());
+  ++flushes_;
+}
+
+const AdjacencyKernelStats& SpillingSum::kernelStats() const noexcept {
+  return sum_.kernelStats();
+}
+
+std::vector<AdjacencyTriplet> SpillingSum::drainInMemory() {
+  std::vector<AdjacencyTriplet> triplets = sum_.toTriplets();
+  peakBytes_ = std::max<std::uint64_t>(
+      peakBytes_, sum_.memoryBytes() + triplets.size() * kTripletBytes);
+  const AdjacencyKernelStats stats = sum_.kernelStats();
+  sum_ = SymmetricAdjacency(1024);
+  sum_.addKernelStats(stats);  // counters survive the drain
+  return triplets;
+}
+
+void SpillingSum::flushAll() {
+  flush();
+}
+
+}  // namespace chisimnet::sparse

@@ -1,0 +1,268 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chisimnet/sparse/adjacency.hpp"
+#include "chisimnet/sparse/pair_count_map.hpp"
+
+/// Memory-bounded adjacency accumulation: disk-spilled sorted runs and the
+/// row-range-sharded accumulator that produces them (paper-scale unlock —
+/// the full 2.9 M-person Chicago week needs more accumulator memory than a
+/// single box has, so the accumulator spills CRC-framed sorted runs and
+/// stage 6 finishes with an external k-way merge, sparse/adjacency.hpp's
+/// TripletMerger).
+///
+/// Spill-run container (CSPL1):
+///   header  magic "CSPL" | version u32 | tripletCount u64 (patched last)
+///   frames  [count u32][crc32 u32][count × 16-byte triplet rows]*
+/// Runs are written to `<path>.tmp` and renamed into place when complete —
+/// the same crash-safe tmp+rename idiom as the checkpoint manifest — so a
+/// run file that exists under its real name is always whole. Each frame
+/// carries its own CRC, so the reader streams through one bounded buffer
+/// and still rejects a torn or bit-flipped frame with the file and byte
+/// offset in the error.
+///
+/// Fault sites: "spill.write" fires in SpillRunWriter::finish() before the
+/// rename (a kThrow models a crash mid-spill, leaving the .tmp orphan);
+/// "spill.merge" fires when SpillingAccumulator compacts its live runs.
+
+namespace chisimnet::sparse {
+
+/// A completed on-disk sorted run.
+struct SpillRunInfo {
+  std::filesystem::path file;
+  std::uint64_t triplets = 0;
+  std::uint64_t bytes = 0;  ///< file size, for budget/IO accounting
+};
+
+/// Triplets per CRC frame (64 Ki rows = 1 MiB payload): the unit of both
+/// the writer's buffering and the reader's resident window.
+inline constexpr std::size_t kSpillFrameTriplets = std::size_t{1} << 16;
+
+/// Streams a strictly key-ascending triplet run into a CSPL1 file.
+class SpillRunWriter {
+ public:
+  explicit SpillRunWriter(std::filesystem::path path);
+  ~SpillRunWriter();
+
+  SpillRunWriter(const SpillRunWriter&) = delete;
+  SpillRunWriter& operator=(const SpillRunWriter&) = delete;
+
+  void append(const AdjacencyTriplet& triplet);
+  void append(std::span<const AdjacencyTriplet> sorted);
+
+  /// Flushes, patches the header count, and renames the .tmp into place.
+  SpillRunInfo finish();
+
+ private:
+  void flushFrame();
+
+  std::filesystem::path path_;
+  std::filesystem::path tmp_;
+  std::ofstream out_;
+  std::vector<AdjacencyTriplet> frame_;
+  std::uint64_t total_ = 0;
+  std::uint64_t lastKey_ = 0;
+  bool any_ = false;
+  bool finished_ = false;
+};
+
+/// Streams a CSPL1 run back, one CRC-checked frame resident at a time.
+class SpillRunReader final : public TripletSource {
+ public:
+  explicit SpillRunReader(std::filesystem::path path);
+
+  bool next(AdjacencyTriplet& out) override;
+
+  /// Total triplets the header declares.
+  std::uint64_t tripletCount() const noexcept { return total_; }
+
+ private:
+  void readFrame();
+  [[noreturn]] void fail(const std::string& what, std::uint64_t offset) const;
+
+  std::filesystem::path path_;
+  std::ifstream in_;
+  std::vector<AdjacencyTriplet> frame_;
+  std::size_t cursor_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Spill activity counters, folded into SynthesisReport.
+struct SpillStats {
+  std::uint64_t runsWritten = 0;      ///< run files produced (incl. adopted)
+  std::uint64_t spilledTriplets = 0;  ///< triplet rows that went to disk
+  std::uint64_t spilledBytes = 0;     ///< run file bytes written
+  std::uint64_t compactions = 0;      ///< live-run merges (spill.merge)
+  /// Max observed resident accumulator bytes: shard tables plus the sort
+  /// transient during a spill. This is what the budget enforces
+  /// (peakResidentBytes <= budgetBytes).
+  std::uint64_t peakResidentBytes = 0;
+  /// Max concurrent stage-5 worker bytes the caller reported via
+  /// noteWorkerPeak(): a pessimistic sum of per-worker historical peaks,
+  /// bounded by each worker's flush threshold plus the largest single
+  /// place's pair block (per-place kernels cannot flush mid-place).
+  std::uint64_t peakWorkerBytes = 0;
+
+  void merge(const SpillStats& other) noexcept {
+    runsWritten += other.runsWritten;
+    spilledTriplets += other.spilledTriplets;
+    spilledBytes += other.spilledBytes;
+    compactions += other.compactions;
+    peakResidentBytes = peakResidentBytes > other.peakResidentBytes
+                            ? peakResidentBytes
+                            : other.peakResidentBytes;
+    peakWorkerBytes = peakWorkerBytes > other.peakWorkerBytes
+                          ? peakWorkerBytes
+                          : other.peakWorkerBytes;
+  }
+};
+
+/// The memory-bounded cross-batch accumulator: pair counts are sharded by
+/// global row range (shard = lowId / rowsPerShard), resident bytes are
+/// tracked against the budget, and when the next insert would grow a shard
+/// past the spill threshold every shard is sorted and spilled as one run
+/// per shard. Spilled runs cover disjoint key ranges within one flush and
+/// overlapping ranges across flushes; the final merge (TripletMerger over
+/// SpillRunReaders) sums duplicates, so the drained stream equals the
+/// unbounded accumulator's sorted triplets bit for bit.
+class SpillingAccumulator {
+ public:
+  struct Options {
+    std::filesystem::path dir;  ///< run-file directory (required)
+    /// Total budget this accumulator enforces; resident bytes are kept
+    /// under budgetBytes/2 so the spill-sort transient fits in the other
+    /// half. 0 = never auto-spill (spillAll() on demand only). Enforcement
+    /// granularity is one insert: a single shard-table doubling can
+    /// overshoot the threshold by that shard's size, which the floor of
+    /// kMinSpillThresholdBytes makes irrelevant for budgets ≥ a few MiB.
+    std::uint64_t budgetBytes = 0;
+    /// Global rows (low person ids) per shard.
+    std::uint32_t rowsPerShard = std::uint32_t{1} << 18;
+    /// Compact (k-way merge all live runs into one) above this many runs.
+    std::size_t maxLiveRuns = 32;
+    /// Run files are named <runPrefix><n>.spl; numbering resumes above any
+    /// existing files with this prefix in dir.
+    std::string runPrefix = "run.";
+    /// true: superseded compaction inputs are retired (takeRetiredFiles)
+    /// instead of deleted, so a checkpoint manifest that still references
+    /// them stays valid until the next manifest rename.
+    bool deferDeletes = false;
+  };
+
+  explicit SpillingAccumulator(Options options);
+
+  SpillingAccumulator(const SpillingAccumulator&) = delete;
+  SpillingAccumulator& operator=(const SpillingAccumulator&) = delete;
+
+  void add(std::uint32_t i, std::uint32_t j, std::uint64_t weight);
+  void addSortedRun(std::span<const AdjacencyTriplet> run);
+  /// Takes ownership of an existing run file (a stage-5 worker spill) by
+  /// renaming it into this accumulator's own <runPrefix><n>.spl namespace.
+  /// The rename matters for checkpointing: worker file names restart from
+  /// zero after a resume (batch counters, command tokens), so a
+  /// manifest-referenced run left under its worker name would get
+  /// overwritten by the next life's identically-named spill.
+  void adoptRunFile(const SpillRunInfo& info);
+  /// Re-registers a checkpointed run under its existing name. Unlike
+  /// adoptRunFile this never renames: the current manifest references the
+  /// file by that name, and a crash before the next manifest write must
+  /// leave the old one resolvable.
+  void restoreRunFile(const SpillRunInfo& info);
+
+  void addKernelStats(const AdjacencyKernelStats& stats) noexcept {
+    kernelStats_.merge(stats);
+  }
+  const AdjacencyKernelStats& kernelStats() const noexcept {
+    return kernelStats_;
+  }
+
+  /// Records that `extraBytes` lived beside the resident shards (e.g. the
+  /// sum of concurrent stage-5 worker peaks) for peak accounting. Worker
+  /// bytes are tracked as stats().peakWorkerBytes, separate from the
+  /// budget-enforced peakResidentBytes.
+  void noteWorkerPeak(std::uint64_t extraBytes) noexcept;
+
+  /// Spills every resident shard to disk (one sorted run per shard).
+  /// Afterwards the full accumulated state is the live run files — what a
+  /// checkpoint persists and what finishMerge() streams.
+  void spillAll();
+
+  /// Spills residual shards, then returns the external-memory k-way merge
+  /// over all live runs: the final sorted, duplicate-summed stream. The
+  /// accumulator must not be modified while the stream is being drained.
+  std::unique_ptr<TripletSource> finishMerge();
+
+  const std::vector<SpillRunInfo>& liveRuns() const noexcept { return runs_; }
+  /// Compaction inputs superseded since the last call (deferDeletes mode);
+  /// the caller deletes them once its manifest no longer references them.
+  std::vector<std::filesystem::path> takeRetiredFiles();
+
+  std::uint64_t residentBytes() const noexcept { return residentBytes_; }
+  const SpillStats& stats() const noexcept { return stats_; }
+
+ private:
+  void spillShard(std::uint32_t shard, PairCountMap& pairs);
+  void maybeCompact();
+  std::filesystem::path nextRunPath();
+  /// Folds `extraBytes` beside the current resident shards into the
+  /// budget-enforced peak (the spill-sort transient).
+  void notePeak(std::uint64_t extraBytes) noexcept;
+
+  Options options_;
+  std::uint64_t spillThreshold_ = 0;  ///< 0 = unbounded
+  std::map<std::uint32_t, PairCountMap> shards_;
+  std::uint64_t residentBytes_ = 0;
+  std::vector<SpillRunInfo> runs_;
+  std::vector<std::filesystem::path> retired_;
+  std::uint64_t nextRunIndex_ = 0;
+  SpillStats stats_;
+  AdjacencyKernelStats kernelStats_;
+};
+
+/// Stage-5 worker-local sum that bounds its own footprint: collocation
+/// contributions accumulate into an in-memory map, and whenever the map
+/// outgrows `flushThresholdBytes` it is sorted and flushed as a spill run.
+/// Both backends' workers use this under a memory budget, so per-batch
+/// stage-5 memory is capped at roughly the threshold per worker.
+class SpillingSum {
+ public:
+  /// flushThresholdBytes 0 = never flush (plain in-memory sum).
+  SpillingSum(std::filesystem::path dir, std::string filePrefix,
+              std::uint64_t flushThresholdBytes);
+
+  void addCollocation(const CollocationMatrix& matrix, AdjacencyMethod method);
+
+  const AdjacencyKernelStats& kernelStats() const noexcept;
+  /// Max in-memory bytes observed (map plus flush-sort transient).
+  std::uint64_t peakBytes() const noexcept { return peakBytes_; }
+  std::uint64_t flushes() const noexcept { return flushes_; }
+
+  const std::vector<SpillRunInfo>& runs() const noexcept { return runs_; }
+  /// The not-yet-flushed remainder as a sorted run; resets the sum.
+  std::vector<AdjacencyTriplet> drainInMemory();
+  /// Flushes the remainder to disk too, leaving only run files.
+  void flushAll();
+
+ private:
+  void flush();
+
+  std::filesystem::path dir_;
+  std::string filePrefix_;
+  std::uint64_t flushThreshold_ = 0;
+  SymmetricAdjacency sum_;
+  std::vector<SpillRunInfo> runs_;
+  std::uint64_t nextRunIndex_ = 0;
+  std::uint64_t peakBytes_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace chisimnet::sparse

@@ -19,6 +19,7 @@
 #include "chisimnet/runtime/comm.hpp"
 #include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/runtime/thread_pool.hpp"
+#include "chisimnet/sparse/spill.hpp"
 #include "chisimnet/util/rng.hpp"
 
 /// Fault-tolerance suite: the deterministic injection framework itself,
@@ -783,6 +784,225 @@ TEST(CheckpointTest, ResumeRejectsAMismatchedRun) {
   config.checkpointDir = empty.path();
   NetworkSynthesizer missing(config);
   EXPECT_THROW(missing.synthesizeAdjacency(files), std::runtime_error);
+}
+
+// ---- memory-bounded (spill-mode) checkpointing ----
+
+TEST(CheckpointTest, SpillManifestRoundTrips) {
+  ScratchDir scratch("chisimnet_fault_spill_manifest");
+  const auto spillDir = scratch.path() / "spill";
+  std::filesystem::create_directories(spillDir);
+
+  // Two real runs the manifest references, plus an orphan run and a .tmp
+  // husk that the checkpoint GC must sweep.
+  std::vector<sparse::SpillRunInfo> runs;
+  for (int i = 0; i < 2; ++i) {
+    sparse::SpillRunWriter writer(spillDir /
+                                  ("run." + std::to_string(i) + ".spl"));
+    writer.append(sparse::AdjacencyTriplet{
+        static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 3), 5});
+    runs.push_back(writer.finish());
+  }
+  {
+    sparse::SpillRunWriter orphan(spillDir / "run.9.spl");
+    orphan.append(sparse::AdjacencyTriplet{7, 8, 1});
+    orphan.finish();
+    std::ofstream husk(spillDir / "run.5.spl.tmp");
+    husk << "torn";
+  }
+
+  CheckpointManifest manifest;
+  manifest.spillMode = true;
+  manifest.filesConsumed = 4;
+  manifest.batchesDone = 2;
+  manifest.configHash = 0xFEEDFACE;
+  for (const auto& run : runs) {
+    manifest.spillRuns.push_back(SpillRunEntry{
+        run.file.filename().string(), run.triplets, run.bytes});
+  }
+  saveSpillCheckpoint(scratch.path(), manifest, spillDir);
+
+  const auto loaded = loadCheckpointManifest(scratch.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->spillMode);
+  EXPECT_TRUE(loaded->adjacencyFile.empty());
+  EXPECT_EQ(loaded->filesConsumed, 4u);
+  EXPECT_EQ(loaded->batchesDone, 2u);
+  EXPECT_EQ(loaded->configHash, 0xFEEDFACE);
+  ASSERT_EQ(loaded->spillRuns.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded->spillRuns[i].file, runs[i].file.filename().string());
+    EXPECT_EQ(loaded->spillRuns[i].triplets, runs[i].triplets);
+    EXPECT_EQ(loaded->spillRuns[i].bytes, runs[i].bytes);
+  }
+  // A spill-mode manifest has no dense snapshot to load.
+  EXPECT_THROW(loadCheckpointAdjacency(scratch.path(), *loaded),
+               std::exception);
+
+  // GC: referenced runs survive, the orphan and the .tmp husk are gone.
+  EXPECT_TRUE(std::filesystem::exists(runs[0].file));
+  EXPECT_TRUE(std::filesystem::exists(runs[1].file));
+  EXPECT_FALSE(std::filesystem::exists(spillDir / "run.9.spl"));
+  EXPECT_FALSE(std::filesystem::exists(spillDir / "run.5.spl.tmp"));
+}
+
+/// Acceptance: crash *inside a spill write* — after a spill-mode
+/// checkpoint is durable — then resume, and require the resumed
+/// memory-bounded run to be bit-identical to the unbounded dense path.
+/// The budget is large so the only spill.write hits are the one-run-per-
+/// batch checkpoint spills, which makes hit 2 land deterministically in
+/// batch 2 on both backends: the crash tears batch 2's run file (the
+/// writer unwinds its .tmp) while batch 1's manifest still resolves.
+TEST(CheckpointTest, KillDuringSpillResumesBitIdentical) {
+  const FuzzCase fuzz = makeCase(83);
+  ScratchDir scratch("chisimnet_fault_spill_resume");
+  const auto files =
+      writePlacePartitionedFiles(fuzz.events, scratch.path(), 6);
+  const auto reference =
+      bruteForceAdjacency(fuzz.events, fuzz.windowStart, fuzz.windowEnd);
+
+  for (const SynthesisBackend backend :
+       {SynthesisBackend::kSharedMemory, SynthesisBackend::kMessagePassing}) {
+    const std::string label = std::string(backendName(backend));
+    ScratchDir checkpoints("chisimnet_fault_spill_resume_ckpt_" + label);
+
+    SynthesisConfig config;
+    config.windowStart = fuzz.windowStart;
+    config.windowEnd = fuzz.windowEnd;
+    config.workers = 3;
+    config.backend = backend;
+    config.filesPerBatch = 2;  // 3 batches over 6 files
+    config.memoryBudgetBytes = std::uint64_t{64} << 20;
+    config.checkpointDir = checkpoints.path();
+    {
+      FaultPlan plan;
+      plan.at("spill.write",
+              FaultSpec{.action = FaultAction::kThrow, .hit = 2});
+      runtime::fault::ScopedFaultPlan scoped(plan);
+      NetworkSynthesizer interrupted(config);
+      EXPECT_THROW(interrupted.synthesizeAdjacency(files), FaultInjected)
+          << label;
+      EXPECT_GE(interrupted.report().checkpointsWritten, 1u) << label;
+    }
+    const auto manifest = loadCheckpointManifest(checkpoints.path());
+    ASSERT_TRUE(manifest.has_value()) << label;
+    EXPECT_TRUE(manifest->spillMode) << label;
+    EXPECT_EQ(manifest->filesConsumed, 2u) << label;
+    EXPECT_EQ(manifest->batchesDone, 1u) << label;
+    ASSERT_FALSE(manifest->spillRuns.empty()) << label;
+    for (const SpillRunEntry& run : manifest->spillRuns) {
+      EXPECT_TRUE(std::filesystem::exists(checkpoints.path() / "spill" /
+                                          run.file))
+          << label << " " << run.file;
+    }
+
+    config.resume = true;
+    NetworkSynthesizer resumed(config);
+    const auto adjacency = resumed.synthesizeAdjacency(files);
+    expectEqualAdjacency(adjacency, reference, label + " spill resume");
+    const SynthesisReport& report = resumed.report();
+    EXPECT_TRUE(report.resumed) << label;
+    EXPECT_EQ(report.filesSkippedByResume, 2u) << label;
+    EXPECT_GT(report.spillRunsWritten, 0u) << label;
+    EXPECT_TRUE(hasFault(report, FaultEvent::Kind::kResume)) << label;
+  }
+}
+
+/// Kill during run compaction (the spill.merge site): the crash happens
+/// before any compacted output replaces the inputs, so every input run is
+/// still on disk, and an accumulator rebuilt over those runs — the resume
+/// path's restoreRunFile — merges to exactly the pre-crash totals.
+TEST(SpillFaultTest, KillDuringCompactionLeavesRunsRestorable) {
+  ScratchDir scratch("chisimnet_fault_spill_merge");
+  util::Rng rng(7);
+  sparse::SymmetricAdjacency expected(64);
+
+  sparse::SpillingAccumulator::Options options;
+  options.dir = scratch.path();
+  options.maxLiveRuns = 2;
+  options.deferDeletes = true;
+  sparse::SpillingAccumulator victim(options);
+
+  FaultPlan plan;
+  plan.at("spill.merge", FaultSpec{.action = FaultAction::kThrow, .hit = 1});
+  runtime::fault::ScopedFaultPlan scoped(plan);
+
+  // Three spills of overlapping keys; the third pushes the live-run count
+  // past maxLiveRuns and the injected fault kills the compaction.
+  bool threw = false;
+  for (int slice = 0; slice < 3; ++slice) {
+    for (int n = 0; n < 400; ++n) {
+      const auto i = static_cast<std::uint32_t>(rng.uniformBelow(40));
+      auto j = static_cast<std::uint32_t>(rng.uniformBelow(40));
+      if (i == j) j = (j + 1) % 40;
+      const std::uint64_t weight = 1 + rng.uniformBelow(9);
+      victim.add(i, j, weight);
+      expected.add(i, j, weight);
+    }
+    try {
+      victim.spillAll();
+    } catch (const FaultInjected&) {
+      threw = true;
+    }
+  }
+  ASSERT_TRUE(threw);
+  ASSERT_EQ(victim.liveRuns().size(), 3u);
+  std::vector<sparse::SpillRunInfo> survivors = victim.liveRuns();
+  for (const auto& run : survivors) {
+    EXPECT_TRUE(std::filesystem::exists(run.file)) << run.file;
+  }
+
+  // "Resume": a fresh accumulator restores the surviving runs by name
+  // (compaction now succeeds — the plan's single shot is spent) and the
+  // merged stream matches the unbounded reference bit for bit.
+  sparse::SpillingAccumulator resumed(options);
+  for (const auto& run : survivors) {
+    resumed.restoreRunFile(run);
+  }
+  const auto merged = resumed.finishMerge();
+  std::vector<sparse::AdjacencyTriplet> drained;
+  sparse::AdjacencyTriplet triplet;
+  while (merged->next(triplet)) {
+    drained.push_back(triplet);
+  }
+  EXPECT_EQ(drained, expected.toTriplets());
+}
+
+// ---- payload-cap regression ----
+
+/// Regression for the silent scale ceiling: a stage-5 reply whose inline
+/// triplets would exceed runtime::maxPayloadBytes() must come back as a
+/// spilled run file, not abort the send. One crowded place gives ~4000
+/// pairs (64 KiB inline) against a 16 KiB test cap.
+TEST(PayloadCapTest, OversizedStageFiveReplySpillsInsteadOfAborting) {
+  struct CapGuard {
+    explicit CapGuard(std::uint64_t bytes) {
+      runtime::setMaxPayloadBytesForTesting(bytes);
+    }
+    ~CapGuard() { runtime::setMaxPayloadBytesForTesting(0); }
+  } guard(16 * 1024);
+
+  table::EventTable events;
+  for (std::uint32_t person = 0; person < 90; ++person) {
+    events.append(Event{1, 5, person, 0, 0});
+  }
+  const auto reference = bruteForceAdjacency(events, 0, 8);
+  ASSERT_GT(reference.edgeCount() * 16, std::uint64_t{16} * 1024);
+
+  ScratchDir scratch("chisimnet_fault_payload_cap");
+  const auto files = writePlacePartitionedFiles(events, scratch.path(), 2);
+
+  for (const std::uint64_t budget : {std::uint64_t{0}, std::uint64_t{1}}) {
+    SynthesisConfig config;
+    config.windowStart = 0;
+    config.windowEnd = 8;
+    config.workers = 2;
+    config.backend = SynthesisBackend::kMessagePassing;
+    config.memoryBudgetBytes = budget;
+    NetworkSynthesizer synthesizer(config);
+    expectEqualAdjacency(synthesizer.synthesizeAdjacency(files), reference,
+                         "payload cap, budget " + std::to_string(budget));
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <span>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "chisimnet/elog/log_directory.hpp"
 #include "chisimnet/net/executor.hpp"
 #include "chisimnet/net/synthesis.hpp"
+#include "chisimnet/sparse/adjacency_io.hpp"
 #include "chisimnet/util/rng.hpp"
 
 /// Randomized differential harness for the synthesis pipeline: seeded random
@@ -258,6 +260,58 @@ TEST_P(SynthesisFuzz, PipelineEqualsBruteForceAcrossConfigs) {
       }
     }
   }
+
+  // Memory-budget axis: the disk-spilling accumulator is a perf/footprint
+  // knob, never an output knob. A tight budget (forces spills every few
+  // batches) and a pathological one (the 4 KiB threshold floor: spill on
+  // practically every batch) must both stay bit-identical to the brute
+  // force, per backend and kernel.
+  config.method = sparse::AdjacencyMethod::kLocalAccumulate;
+  config.treeReduce = true;
+  for (const std::uint64_t budget : {std::uint64_t{32} * 1024,
+                                     std::uint64_t{1}}) {
+    for (const SynthesisBackend backend :
+         {SynthesisBackend::kSharedMemory,
+          SynthesisBackend::kMessagePassing}) {
+      config.backend = backend;
+      config.workers = backend == SynthesisBackend::kSharedMemory ? 7u : 3u;
+      config.memoryBudgetBytes = budget;
+      const std::string label = "seed " + std::to_string(seed) + " " +
+                                backendName(backend) + " budget " +
+                                std::to_string(budget);
+      NetworkSynthesizer synthesizer(config);
+      expectEqualAdjacency(synthesizer.synthesizeAdjacency(files), reference,
+                           label);
+      const SynthesisReport& report = synthesizer.report();
+      EXPECT_EQ(report.memoryBudgetBytes, budget) << label;
+      EXPECT_GT(report.spillRunsWritten, 0u) << label;
+      // Budget ceiling, floor-aware: sub-threshold budgets are clamped to
+      // the 4 KiB spill-threshold floor (plus its sort transient), so the
+      // enforceable cap is max(budget, a few multiples of the floor).
+      EXPECT_LE(report.peakAccumulatorBytes,
+                std::max<std::uint64_t>(budget, 16 * 1024))
+          << label;
+
+      // The streaming file writer must produce the same CADJ bytes as
+      // saving the equivalent in-memory result.
+      const std::filesystem::path streamed =
+          scratch.path() / ("streamed_" + label + ".cadj");
+      const std::filesystem::path dense =
+          scratch.path() / ("dense_" + label + ".cadj");
+      NetworkSynthesizer streaming(config);
+      const std::uint64_t edges = streaming.synthesizeToFile(files, streamed);
+      EXPECT_EQ(edges, reference.edgeCount()) << label;
+      sparse::saveAdjacency(reference, dense);
+      std::ifstream a(streamed, std::ios::binary);
+      std::ifstream b(dense, std::ios::binary);
+      const std::string bytesA((std::istreambuf_iterator<char>(a)),
+                               std::istreambuf_iterator<char>());
+      const std::string bytesB((std::istreambuf_iterator<char>(b)),
+                               std::istreambuf_iterator<char>());
+      EXPECT_EQ(bytesA, bytesB) << label;
+    }
+  }
+  config.memoryBudgetBytes = 0;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisFuzz,

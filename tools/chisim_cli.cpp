@@ -81,6 +81,37 @@ class Args {
     return value;
   }
 
+  /// Byte size with an optional K/M/G (KiB/MiB/GiB) suffix, e.g.
+  /// --memory-budget 256M.
+  std::uint64_t bytes(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    std::string text = it->second;
+    std::uint64_t multiplier = 1;
+    if (!text.empty()) {
+      switch (text.back()) {
+        case 'K': case 'k': multiplier = std::uint64_t{1} << 10; break;
+        case 'M': case 'm': multiplier = std::uint64_t{1} << 20; break;
+        case 'G': case 'g': multiplier = std::uint64_t{1} << 30; break;
+        default: break;
+      }
+      if (multiplier != 1) {
+        text.pop_back();
+      }
+    }
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw std::invalid_argument(
+          "--" + key + " expects a byte size like 4096, 256M or 12G, got: " +
+          it->second);
+    }
+    return value * multiplier;
+  }
+
   double real(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
     if (it == values_.end()) {
@@ -225,10 +256,23 @@ int cmdSynthesize(const Args& args) {
   config.heartbeatMs = args.u64("heartbeat-ms", 250);
   config.checkpointDir = args.str("checkpoint-dir", "");
   config.resume = args.has("resume");
+  config.memoryBudgetBytes = args.bytes("memory-budget", 0);
+  config.spillDir = args.str("spill-dir", "");
+  const std::string out = args.requireStr("out");
   net::NetworkSynthesizer synthesizer(config);
-  const auto adjacency = synthesizer.synthesizeAdjacency(files);
+  std::uint64_t edges = 0;
+  if (config.memoryBudgetBytes > 0) {
+    // Bounded-memory path: the accumulator spills sorted runs and the
+    // final k-way merge streams straight into the CADJ file, so the
+    // result never has to be resident.
+    edges = synthesizer.synthesizeToFile(files, out);
+  } else {
+    const auto adjacency = synthesizer.synthesizeAdjacency(files);
+    edges = adjacency.edgeCount();
+    sparse::saveAdjacency(adjacency, out);
+  }
   const auto& report = synthesizer.report();
-  std::cout << "synthesized " << adjacency.edgeCount() << " edges from "
+  std::cout << "synthesized " << edges << " edges from "
             << report.logEntriesLoaded << " entries / "
             << report.placesProcessed << " places in "
             << report.totalSeconds << " s (" << net::backendName(report.backend)
@@ -285,8 +329,17 @@ int cmdSynthesize(const Args& args) {
               << " workers respawned, " << report.ranksLost
               << " ranks lost (work reassigned to survivors)\n";
   }
-  const std::string out = args.requireStr("out");
-  sparse::saveAdjacency(adjacency, out);
+  if (report.memoryBudgetBytes > 0) {
+    std::cout << "spill: budget " << report.memoryBudgetBytes / 1024 / 1024
+              << " MiB, peak accumulator "
+              << report.peakAccumulatorBytes / 1024 / 1024
+              << " MiB, stage-5 transient "
+              << report.peakStage5Bytes / 1024 / 1024 << " MiB, "
+              << report.spillRunsWritten << " runs ("
+              << report.spilledBytes / 1024 / 1024 << " MiB, "
+              << report.spilledTriplets << " triplets), "
+              << report.spillCompactions << " compactions\n";
+  }
   std::cout << "wrote " << out << " ("
             << std::filesystem::file_size(out) / 1024 / 1024 << " MiB)\n";
   return 0;
@@ -413,6 +466,7 @@ void printUsage() {
       "              [--command-timeout-ms MS] [--checkpoint-dir DIR] [--resume]\n"
       "              [--transport inproc|process] [--max-respawns N]\n"
       "              [--heartbeat-ms MS]\n"
+      "              [--memory-budget BYTES[K|M|G]] [--spill-dir DIR]\n"
       "  analyze     --net FILE.cadj [--clustering] [--communities]\n"
       "              [--degrees-out FILE.tsv]\n"
       "  ego         --net FILE.cadj --out PREFIX [--person P] [--radius R]\n"
