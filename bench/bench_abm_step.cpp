@@ -1,69 +1,183 @@
-/// ABM-STEP — simulation throughput and agent migration (paper §II, §V).
+/// ABM-STEP — simulation throughput: hourly core vs event-driven core
+/// (paper §II, §V).
 ///
 /// Paper claims: a one-year, 2.9 M-agent chiSIM run takes only several
 /// minutes of wall time on a modest cluster (128 processes); the four-week
 /// §V run took ~1 minute on 256 processes; and the spatial partitioning of
-/// places minimizes cross-process agent movement. This bench measures
-/// agent-hours/second, sweeps rank counts, and contrasts the
-/// movement-minimizing neighborhood partition with round-robin.
+/// places minimizes cross-process agent movement.
+///
+/// This bench contrasts the two simulation cores on identical workloads.
+/// The hourly core touches every resident every hour (cost follows
+/// person-hours, 24/person/day); the event-driven core wakes an agent only
+/// when its activity stint ends (cost follows activity changes,
+/// ~5/person/day — the same ratio that drives the paper's §III log-size
+/// arithmetic). Both cores produce byte-identical logs, so the comparison
+/// is pure mechanism.
+///
+/// `--smoke` runs a reduced PR-sized pass and gates on the event core being
+/// >= 3x faster than the hourly core on the disease-enabled single-rank
+/// configuration (where per-hour epidemic scans dominate the hourly cost).
+/// The full run also writes BENCH_abm_step.json for CI archiving.
+
+#include <algorithm>
+#include <cstring>
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace chisimnet;
-  using namespace chisimnet::bench;
+namespace {
 
-  printHeader("ABM-STEP model throughput & migration",
-              "§II: 1 year @2.9M in minutes on 128 procs; spatial "
-              "partitioning minimizes movement");
+using namespace chisimnet;
+using namespace chisimnet::bench;
 
-  const auto population = makePopulation(scaledPersons(30'000));
+struct CoreRun {
+  abm::ModelStats stats;
+  abm::DiseaseStats disease;
+};
 
-  std::cout << "rank sweep (neighborhood partition):\n";
-  std::cout << "  ranks  wall(s)  agent-hours/s  migrations  migration%\n";
-  double bestThroughput = 0.0;
-  for (int ranks : {1, 2, 4, 8}) {
-    const SimulatedLogs logs = simulate(population, ranks);
-    const double throughput =
-        static_cast<double>(logs.stats.agentHours) / logs.stats.wallSeconds;
-    bestThroughput = std::max(bestThroughput, throughput);
-    std::cout << "  " << ranks << "      " << fmt(logs.stats.wallSeconds, 2)
-              << "     " << fmt(throughput / 1e6, 2) << "M         "
-              << fmtCount(logs.stats.migrations) << "     "
-              << fmt(100.0 * logs.stats.migrationFraction(), 1) << "%\n";
+CoreRun runCore(const pop::SyntheticPopulation& population, abm::ModelCore core,
+                int ranks, bool withDisease, std::uint32_t weeks = 1) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("chisimnet_bench_abm_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  abm::ModelConfig config;
+  config.logDirectory = dir;
+  config.rankCount = ranks;
+  config.weeks = weeks;
+  config.core = core;
+  CoreRun run;
+  if (withDisease) {
+    abm::DiseaseConfig disease;  // defaults: beta 0.002, 24h latent, 96h infectious
+    run.stats = abm::runModel(population, config, disease, run.disease);
+  } else {
+    run.stats = abm::runModel(population, config);
+  }
+  std::error_code ignored;
+  std::filesystem::remove_all(dir, ignored);
+  return run;
+}
+
+double eventsPerSecond(const abm::ModelStats& stats) {
+  return static_cast<double>(stats.eventsLogged) / stats.wallSeconds;
+}
+
+double agentHoursPerSecond(const abm::ModelStats& stats) {
+  return static_cast<double>(stats.agentHours) / stats.wallSeconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
   }
 
-  // Partition ablation: migrations under spatial vs naive placement.
-  const SimulatedLogs spatial =
-      simulate(population, 8, 1, abm::PartitionStrategy::kNeighborhood);
-  const SimulatedLogs naive =
-      simulate(population, 8, 1, abm::PartitionStrategy::kRoundRobin);
+  printHeader("ABM-STEP hourly vs event-driven core",
+              "§II: 1 year @2.9M in minutes on 128 procs; cost should track "
+              "~5 changes/day, not 24 h/day");
+
+  // The same population for smoke and full runs: the hourly core's per-hour
+  // scans degrade superlinearly with population (hash-map traversal), so a
+  // smaller smoke workload would understate the gap the gate checks.
+  // Smoke instead trims the grid to the single-rank columns.
+  const auto population = makePopulation(scaledPersons(30'000));
+  const auto persons = static_cast<double>(population.persons().size());
+
+  JsonReport report("abm_step");
+  report.put("persons", static_cast<std::uint64_t>(persons));
+  report.put("smoke", smoke);
+
+  // ---- core comparison grid ----------------------------------------------
+  // Single-machine container: ranks are contending threads, so the
+  // interesting axis is the core, not rank scaling.
+  std::cout << "core grid (1 week, neighborhood partition):\n";
+  std::cout << "  config            core    wall(s)  events/s   agent-hours/s"
+               "  active-hours  peak-queue\n";
+  double gateHourly = 0.0;
+  double gateEvent = 0.0;
+  for (const bool disease : {false, true}) {
+    for (const int ranks : smoke ? std::vector<int>{1}
+                                 : std::vector<int>{1, 4}) {
+      for (const abm::ModelCore core :
+           {abm::ModelCore::kHourly, abm::ModelCore::kEventDriven}) {
+        const bool isEvent = core == abm::ModelCore::kEventDriven;
+        const CoreRun run = runCore(population, core, ranks, disease);
+        const std::string label = std::string(disease ? "disease" : "plain  ") +
+                                  " r" + std::to_string(ranks);
+        std::cout << "  " << label << "        "
+                  << (isEvent ? "event " : "hourly") << "  "
+                  << fmt(run.stats.wallSeconds, 3) << "    "
+                  << fmt(eventsPerSecond(run.stats) / 1e6, 2) << "M     "
+                  << fmt(agentHoursPerSecond(run.stats) / 1e6, 2) << "M"
+                  << "          " << run.stats.hoursActive << "           "
+                  << fmtCount(run.stats.peakQueueDepth) << "\n";
+
+        const std::string prefix = std::string(disease ? "disease" : "plain") +
+                                   "_r" + std::to_string(ranks) + "_" +
+                                   (isEvent ? "event" : "hourly");
+        report.put(prefix + "_wall_s", run.stats.wallSeconds);
+        report.put(prefix + "_events_per_s", eventsPerSecond(run.stats));
+        report.put(prefix + "_agent_hours_per_s", agentHoursPerSecond(run.stats));
+        report.put(prefix + "_active_hours", run.stats.hoursActive);
+        report.put(prefix + "_peak_queue_depth", run.stats.peakQueueDepth);
+      }
+    }
+  }
+
+  // ---- the gate pair, min-of-3 -------------------------------------------
+  // Re-measure the disease-on single-rank column with dedicated back-to-back
+  // two-week runs and take the minimum wall per core (the bench_spgemm
+  // convention): single grid passes on a shared core are too noisy to gate
+  // on, and the longer horizon both amortizes startup and grows the
+  // epidemic the hourly core has to keep scanning for.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const CoreRun hourly =
+        runCore(population, abm::ModelCore::kHourly, 1, true, 2);
+    const CoreRun event =
+        runCore(population, abm::ModelCore::kEventDriven, 1, true, 2);
+    gateHourly = repeat == 0 ? hourly.stats.wallSeconds
+                             : std::min(gateHourly, hourly.stats.wallSeconds);
+    gateEvent = repeat == 0 ? event.stats.wallSeconds
+                            : std::min(gateEvent, event.stats.wallSeconds);
+  }
+
+  // ---- why it wins: events vs person-hours --------------------------------
+  const CoreRun probe =
+      runCore(population, abm::ModelCore::kEventDriven, 1, false);
+  const double changesPerPersonDay =
+      static_cast<double>(probe.stats.eventsLogged) / (persons * 7.0);
+  const double hourRatio = static_cast<double>(probe.stats.agentHours) /
+                           static_cast<double>(probe.stats.eventsLogged);
   std::cout << "\n";
-  printRow("migration fraction, spatial partition", "minimized by design",
-           fmt(100.0 * spatial.stats.migrationFraction(), 1) + "%");
-  printRow("migration fraction, round-robin", "baseline (maximal)",
-           fmt(100.0 * naive.stats.migrationFraction(), 1) + "%");
-  printRow("migration reduction", "the partition's purpose",
-           fmt(static_cast<double>(naive.stats.migrations) /
-                   std::max<std::uint64_t>(1, spatial.stats.migrations),
-               1) + "x fewer cross-rank moves");
+  printRow("activity changes/person/day", "~5 (paper §III)",
+           fmt(changesPerPersonDay, 2));
+  printRow("person-hours per logged event", "24/5 = 4.8",
+           fmt(hourRatio, 1) + "x",
+           "the event core's structural advantage");
+  report.put("changes_per_person_day", changesPerPersonDay);
+  report.put("agent_hours_per_event", hourRatio);
 
-  // Extrapolation to paper scale.
+  // ---- the gate: disease-on, single rank ----------------------------------
+  const double speedup = gateHourly / gateEvent;
+  printRow("event-core speedup (disease, r1)", ">= 3x required",
+           fmt(speedup, 2) + "x");
+  report.put("gate_speedup_disease_r1", speedup);
+  report.put("gate_pass", speedup >= 3.0);
+
+  // Extrapolation to paper scale from the fastest event-core run.
+  const double best = agentHoursPerSecond(probe.stats);
   const double paperAgentHoursYear = kPaperPersons * 365.0 * 24.0;
-  printRow("1 year @2.9M at this throughput",
-           "minutes on 128 processes",
-           fmt(paperAgentHoursYear / bestThroughput / 3600.0, 1) +
-               " h single-core",
+  printRow("1 year @2.9M, event core", "minutes on 128 procs",
+           fmt(paperAgentHoursYear / best / 3600.0, 1) + " h single-core",
            "divide by cluster width for the paper's setup");
-  const double paperAgentHours4Weeks = kPaperPersons * 28.0 * 24.0;
-  printRow("4 weeks @2.9M at this throughput", "~1 min on 256 processes",
-           fmt(paperAgentHours4Weeks / bestThroughput / 60.0, 0) +
-               " min single-core");
 
-  const bool migrationWin =
-      spatial.stats.migrations * 2 < naive.stats.migrations;
-  std::cout << "\nshape check: spatial partition at least halves migrations: "
-            << (migrationWin ? "YES (matches paper's design goal)" : "NO")
-            << "\n";
-  return migrationWin ? 0 : 1;
+  const auto jsonPath = report.write();
+  std::cout << "\nwrote " << jsonPath.string() << "\n";
+
+  std::cout << "shape check: event core >= 3x on disease-on single-rank: "
+            << (speedup >= 3.0 ? "YES" : "NO") << "\n";
+  return speedup >= 3.0 ? 0 : 1;
 }

@@ -1,9 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "chisimnet/elog/extended.hpp"
 #include "chisimnet/pop/types.hpp"
 
 /// SEIR disease layer for the distributed model (paper §II: chiSIM "is an
@@ -57,6 +61,164 @@ struct DiseaseStats {
                : static_cast<double>(infections + seeded) /
                      static_cast<double>(finalStates.size());
   }
+};
+
+// ---------------------------------------------------------------------------
+// Runtime machinery shared by the hourly and event-driven model cores. Both
+// cores drive the same DiseaseRank engine through the same hooks, and the
+// engine emits transitions in a canonical order (within each hour:
+// progressions sorted by person id, then exposures sorted by person id), so
+// the per-rank CLX5 files are byte-identical across cores AND rank counts.
+// ---------------------------------------------------------------------------
+
+/// Uniform double in [0, 1) from a hash of (seed, a, b) — rank-count
+/// invariant randomness for transmission draws.
+double diseaseUniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+/// Shared (cross-rank) epidemic state. Each agent resides on exactly one
+/// rank and only that rank reads/writes its entries; the mailbox hand-off
+/// at migration provides the required happens-before ordering.
+struct DiseaseShared {
+  const DiseaseConfig* config = nullptr;
+  std::vector<std::uint8_t> state;  ///< SeirState per person
+  std::vector<table::Hour> since;   ///< hour the current state was entered
+  /// hourlyInfectious[rank][hour]: I residents of that rank at that hour.
+  std::vector<std::vector<std::uint32_t>> hourlyInfectious;
+
+  bool enabled() const noexcept { return config != nullptr; }
+};
+
+/// Seeds `config->seedCount` distinct infectious persons (deterministic in
+/// config->seed); returns the number seeded. Call before any rank starts.
+std::uint64_t seedInfections(DiseaseShared& shared, std::size_t personCount);
+
+/// Per-rank SEIR engine. Tracks this rank's residents (current activity and
+/// place), per-place occupancy, and the infectious head-count, and writes
+/// state transitions to the rank's CLX5 log.
+///
+/// The hourly core calls stepHourly() every hour: progression is a full
+/// scan over residents and transmission a scan over all occupied places —
+/// O(residents + occupied places) per hour regardless of epidemic size.
+/// The event-driven core calls stepEvent() only on *active* hours:
+/// progression comes from a calendar of pre-scheduled due hours (stale
+/// entries are skipped) and transmission visits only places that currently
+/// hold an infectious occupant — interval-based exposure accounting that
+/// costs nothing while the epidemic is quiet. Both orderings produce the
+/// same transitions; see stepEvent() for the equivalence argument.
+class DiseaseRank {
+ public:
+  /// `eventCore` enables the progression calendar (sized totalHours + 1).
+  DiseaseRank(DiseaseShared& shared, int rank,
+              const std::filesystem::path& directory, table::Hour totalHours,
+              bool eventCore);
+
+  // ---- residency hooks (called by the model core) ----
+
+  /// Initial adoption or migration arrival. In event mode also schedules
+  /// the person's pending progression (if any) on the calendar.
+  void arrive(table::PersonId person, table::ActivityId activity,
+              table::PlaceId place, table::Hour now);
+
+  /// Local move to a new place on this rank.
+  void move(table::PersonId person, table::ActivityId activity,
+            table::PlaceId place);
+
+  /// Migration departure (or end-of-simulation removal).
+  void depart(table::PersonId person);
+
+  // ---- epidemic steps ----
+
+  /// Logs this rank's seed infections (state I at hour 0), sorted by
+  /// person id. Call once before the hour-0 step.
+  void logSeeds();
+
+  /// One epidemic hour in hourly mode: full progression scan, then
+  /// transmission over all occupied places.
+  void stepHourly(table::Hour now, std::uint64_t& infections);
+
+  /// One epidemic hour in event mode: progression from the calendar bucket
+  /// for `now`, then transmission over infectious places only.
+  void stepEvent(table::Hour now, std::uint64_t& infections);
+
+  // ---- event-core scheduling queries ----
+
+  /// Earliest hour > `now` at which this rank's epidemic may act, from
+  /// local knowledge available *before* the hour-`now` transmission phase:
+  /// the next scheduled progression, plus `now + 1` when anything this
+  /// hour could create or sustain infectiousness (an infectious resident
+  /// now, or a progression due this hour). Conservative: may name an hour
+  /// with no actual work, never misses one. Returns `limit` when idle.
+  table::Hour conservativeNextEvent(table::Hour now, table::Hour limit) const;
+
+  /// Contribution of a departing migrant to the sender's lookahead hint:
+  /// earliest hour > `now` the migrant could make its destination act.
+  table::Hour migrantNextEvent(table::PersonId person, table::Hour now,
+                               table::Hour limit) const;
+
+  std::size_t pendingProgressions() const noexcept {
+    return pendingProgressions_;
+  }
+  std::uint32_t infectiousResidents() const noexcept {
+    return infectiousResidents_;
+  }
+
+  void close();
+
+ private:
+  struct StintInfo {
+    table::ActivityId activity = 0;
+    table::PlaceId place = 0;
+  };
+  struct Transition {
+    table::PersonId person = 0;
+    SeirState newState = SeirState::kSusceptible;
+    std::uint32_t infector = kNoInfector;
+  };
+
+  std::uint8_t stateOf(table::PersonId person) const {
+    return shared_.state[person];
+  }
+  void occupy(table::PersonId person, table::PlaceId place);
+  void vacate(table::PersonId person, table::PlaceId place);
+  void addInfectiousAt(table::PlaceId place);
+  void removeInfectiousAt(table::PlaceId place);
+  /// First hour this person's current state progresses, given the hourly
+  /// core's scan semantics (threshold floor of one hour for states entered
+  /// during a scan; exact threshold for hour-0 seeds).
+  table::Hour progressionDue(table::PersonId person) const;
+  void scheduleProgression(table::PersonId person, table::Hour due);
+  void logTransition(table::Hour now, table::PersonId person,
+                     SeirState newState, std::uint32_t infector);
+  /// Collects S->E exposures at one place into `out` (no state mutation).
+  void collectExposures(table::Hour now,
+                        const std::vector<table::PersonId>& persons,
+                        std::vector<Transition>& out) const;
+  /// Sorts by person id, applies and logs progressions (E->I / I->R).
+  void applyProgressions(table::Hour now, std::vector<Transition>& transitions);
+  /// Sorts by person id, applies and logs exposures (S->E).
+  void applyExposures(table::Hour now, std::vector<Transition>& exposures,
+                      std::uint64_t& infections);
+
+  DiseaseShared& shared_;
+  int rank_;
+  table::Hour totalHours_;
+  bool eventCore_;
+  std::unique_ptr<elog::ExtendedLogWriter> writer_;
+  std::vector<elog::ExtendedEvent> buffer_;
+  std::unordered_map<table::PersonId, StintInfo> residents_;
+  std::unordered_map<table::PlaceId, std::vector<table::PersonId>> occupants_;
+  /// occupantSlot_[person]: position within occupants_[place of person] —
+  /// makes vacate() an O(1) swap-remove with no hash lookups (flat array,
+  /// sized to the population). Occupant order is free to permute: exposure
+  /// draws key on (person, hour) and the infector argmin is
+  /// order-canonical, so a swap never changes the emitted transitions.
+  std::vector<std::uint32_t> occupantSlot_;
+  /// Places with at least one infectious occupant -> infectious count.
+  std::unordered_map<table::PlaceId, std::uint32_t> infectiousAt_;
+  std::uint32_t infectiousResidents_ = 0;
+  /// Event mode: progressionCalendar_[hour] -> persons possibly due then.
+  std::vector<std::vector<table::PersonId>> progressionCalendar_;
+  std::size_t pendingProgressions_ = 0;
 };
 
 }  // namespace chisimnet::abm

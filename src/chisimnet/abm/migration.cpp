@@ -1,0 +1,91 @@
+#include "chisimnet/abm/migration.hpp"
+
+#include <cstring>
+
+#include "chisimnet/util/error.hpp"
+
+namespace chisimnet::abm {
+
+namespace {
+
+constexpr std::uint32_t kBatchMagic = 0x31424D43;  // "CMB1"
+
+template <typename T>
+void appendRaw(std::vector<std::byte>& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T readRaw(std::span<const std::byte> payload, std::size_t& offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CHISIM_CHECK(offset + sizeof(T) <= payload.size(),
+               "migration batch truncated");
+  T value;
+  std::memcpy(&value, payload.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::byte> encodeMigrationBatch(const MigrationBatch& batch) {
+  std::size_t bytes = 4 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  for (const MigrantRecord& record : batch.migrants) {
+    bytes += 4 * sizeof(std::uint32_t) +
+             record.stints.size() * sizeof(pop::PackedStint);
+  }
+  std::vector<std::byte> out;
+  out.reserve(bytes);
+  appendRaw(out, kBatchMagic);
+  appendRaw(out, batch.hour);
+  appendRaw(out, batch.nextEventHint);
+  appendRaw(out, static_cast<std::uint32_t>(batch.migrants.size()));
+  for (const MigrantRecord& record : batch.migrants) {
+    appendRaw(out, record.person);
+    appendRaw(out, record.weekIndex);
+    appendRaw(out, record.stintIndex);
+    appendRaw(out, static_cast<std::uint32_t>(record.stints.size()));
+    for (const pop::PackedStint& stint : record.stints) {
+      appendRaw(out, stint);
+    }
+  }
+  return out;
+}
+
+MigrationBatch decodeMigrationBatch(std::span<const std::byte> payload,
+                                    table::Hour expectedHour) {
+  std::size_t offset = 0;
+  CHISIM_CHECK(readRaw<std::uint32_t>(payload, offset) == kBatchMagic,
+               "migration batch has a bad magic");
+  MigrationBatch batch;
+  batch.hour = readRaw<table::Hour>(payload, offset);
+  CHISIM_CHECK(batch.hour == expectedHour,
+               "migration batch timestamp does not match the current hour");
+  batch.nextEventHint = readRaw<std::uint64_t>(payload, offset);
+  const auto count = readRaw<std::uint32_t>(payload, offset);
+  // Each record is at least 16 bytes of header plus one stint.
+  CHISIM_CHECK(count <= payload.size() / 16, "migration batch count implausible");
+  batch.migrants.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MigrantRecord record;
+    record.person = readRaw<table::PersonId>(payload, offset);
+    record.weekIndex = readRaw<std::uint32_t>(payload, offset);
+    record.stintIndex = readRaw<std::uint32_t>(payload, offset);
+    const auto stintCount = readRaw<std::uint32_t>(payload, offset);
+    CHISIM_CHECK(stintCount >= 1 && stintCount <= pop::kHoursPerWeek,
+                 "migrant stint count out of range");
+    CHISIM_CHECK(record.stintIndex < stintCount,
+                 "migrant stint index out of range");
+    record.stints.reserve(stintCount);
+    for (std::uint32_t s = 0; s < stintCount; ++s) {
+      record.stints.push_back(readRaw<pop::PackedStint>(payload, offset));
+    }
+    batch.migrants.push_back(std::move(record));
+  }
+  CHISIM_CHECK(offset == payload.size(), "migration batch has trailing bytes");
+  return batch;
+}
+
+}  // namespace chisimnet::abm

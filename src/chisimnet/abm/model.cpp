@@ -1,15 +1,14 @@
 #include "chisimnet/abm/model.hpp"
 
-#include <cmath>
+#include <fstream>
 #include <memory>
 #include <unordered_map>
 
-#include "chisimnet/elog/extended.hpp"
+#include "chisimnet/abm/event_core.hpp"
 #include "chisimnet/elog/log_directory.hpp"
 #include "chisimnet/runtime/comm.hpp"
 #include "chisimnet/runtime/scheduler.hpp"
 #include "chisimnet/util/error.hpp"
-#include "chisimnet/util/rng.hpp"
 #include "chisimnet/util/timer.hpp"
 
 namespace chisimnet::abm {
@@ -18,13 +17,13 @@ namespace {
 
 using pop::kHoursPerWeek;
 using pop::PersonId;
-using pop::PlaceId;
 using pop::ScheduleEntry;
 using table::Hour;
 
 constexpr int kMigrationTagBase = 1 << 20;  // below the reserved collective tags
 
-/// A resident agent: its current week's schedule and position within it.
+/// A resident agent in the hourly core: its current week's schedule and
+/// position within it.
 struct AgentCursor {
   PersonId person = 0;
   std::uint32_t week = 0;
@@ -35,19 +34,15 @@ struct AgentCursor {
 };
 
 /// Loads the stint that covers hour `now` (regenerating the weekly schedule
-/// as needed).
+/// as needed). Cold loads binary-search to the covering stint instead of
+/// scanning from the start of the week.
 AgentCursor makeCursor(PersonId person, Hour now,
                        const pop::ScheduleGenerator& generator) {
   AgentCursor cursor;
   cursor.person = person;
   cursor.week = now / kHoursPerWeek;
   cursor.schedule = generator.weeklySchedule(person, cursor.week);
-  cursor.index = 0;
-  while (cursor.current().end <= now) {
-    ++cursor.index;
-    CHISIM_CHECK(cursor.index < cursor.schedule.size(),
-                 "schedule does not cover the requested hour");
-  }
+  cursor.index = pop::coveringStintIndex(cursor.schedule, now);
   return cursor;
 }
 
@@ -66,184 +61,182 @@ const ScheduleEntry& advanceCursor(AgentCursor& cursor, Hour now,
   return cursor.current();
 }
 
-struct RankOutcome {
-  std::uint64_t events = 0;
-  std::uint64_t migrationsOut = 0;
-  std::uint64_t localMoves = 0;
-  std::uint64_t initialAgents = 0;
-  std::uint64_t logBytes = 0;
-  std::uint64_t infections = 0;
-};
-
-/// Uniform double in [0, 1) from a hash of (seed, a, b) — rank-count
-/// invariant randomness for transmission draws.
-double hashUniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
-  std::uint64_t state =
-      seed ^ (a * 0x9e3779b97f4a7c15ULL) ^ (b * 0xbf58476d1ce4e5b9ULL);
-  return static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+/// Rejects unusable configurations up front, before any rank starts: a bad
+/// week count, rank count, or an unusable log directory should fail as
+/// std::invalid_argument at the API boundary rather than as a confusing
+/// mid-run I/O error on some rank.
+void validateModelConfig(const ModelConfig& config) {
+  CHISIM_REQUIRE(config.rankCount >= 1, "need at least one rank");
+  CHISIM_REQUIRE(config.weeks >= 1, "need at least one week");
+  CHISIM_REQUIRE(!config.logDirectory.empty(), "logDirectory must be set");
+  std::error_code ec;
+  std::filesystem::create_directories(config.logDirectory, ec);
+  CHISIM_REQUIRE(!ec && std::filesystem::is_directory(config.logDirectory),
+                 "logDirectory is not a creatable directory: " +
+                     config.logDirectory.string());
+  // Probe writability directly: permissions are only half the story (ACLs,
+  // read-only mounts), so try to create a file.
+  const auto probe = config.logDirectory / ".chisim_write_probe";
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    CHISIM_REQUIRE(out.good(), "logDirectory is not writable: " +
+                                   config.logDirectory.string());
+  }
+  std::filesystem::remove(probe, ec);
 }
 
-/// Shared (cross-rank) epidemic state. Each agent resides on exactly one
-/// rank and only that rank reads/writes its entries; the mailbox hand-off
-/// at migration provides the required happens-before ordering.
-struct DiseaseShared {
-  const DiseaseConfig* config = nullptr;
-  std::vector<std::uint8_t> state;  ///< SeirState per person
-  std::vector<Hour> since;          ///< hour the current state was entered
-  /// hourlyInfectious[rank][hour]: I residents of that rank at that hour.
-  std::vector<std::vector<std::uint32_t>> hourlyInfectious;
+/// One rank of the hourly (reference) core: tick every hour, agents in
+/// transition move, the epidemic layer scans every resident and occupied
+/// place each hour.
+void runHourlyRank(runtime::RankHandle& rank, const EventCoreContext& context,
+                   RankOutcome& outcome) {
+  const int self = rank.rank();
+  const ModelConfig& config = *context.config;
+  const pop::ScheduleGenerator& generator = *context.generator;
+  const std::vector<int>& placeRank = *context.placeRank;
+  const Hour totalHours = context.totalHours;
 
-  bool enabled() const noexcept { return config != nullptr; }
-};
+  elog::EventLogger logger(
+      std::make_unique<elog::ChunkedLogWriter>(
+          elog::logFilePath(config.logDirectory, self), config.logCompression),
+      config.logCacheEntries);
 
-/// Per-rank epidemic bookkeeping: who is at which owned place right now,
-/// and the extended log of state transitions.
-class DiseaseRank {
- public:
-  DiseaseRank(DiseaseShared& shared, int rank,
-              const std::filesystem::path& directory)
-      : shared_(shared), rank_(rank) {
-    char name[32];
-    std::snprintf(name, sizeof(name), "rank_%04d.clx5", rank);
-    writer_ = std::make_unique<elog::ExtendedLogWriter>(directory / name, 2);
+  std::unique_ptr<DiseaseRank> epidemic;
+  if (context.disease->enabled()) {
+    epidemic = std::make_unique<DiseaseRank>(*context.disease, self,
+                                             config.logDirectory, totalHours,
+                                             /*eventCore=*/false);
   }
 
-  void occupy(PersonId person, PlaceId place) {
-    occupants_[place].push_back(person);
+  // Agents whose current place this rank owns, plus an agenda of stint
+  // end hours -> persons, so each step touches only agents in transition.
+  std::unordered_map<PersonId, AgentCursor> residents;
+  std::vector<std::vector<PersonId>> agenda(totalHours + 1);
+
+  const auto adopt = [&](AgentCursor cursor, Hour now) {
+    const Hour due = std::min<Hour>(cursor.current().end, totalHours);
+    agenda[due].push_back(cursor.person);
+    if (epidemic) {
+      epidemic->arrive(cursor.person, cursor.current().activity,
+                       cursor.current().place, now);
+    }
+    residents.emplace(cursor.person, std::move(cursor));
+  };
+
+  // Initial residency from the first stint of week 0.
+  for (const pop::Person& person : context.population->persons()) {
+    AgentCursor cursor = makeCursor(person.id, 0, generator);
+    if (placeRank[cursor.current().place] == self) {
+      adopt(std::move(cursor), 0);
+    }
+  }
+  outcome.initialAgents = residents.size();
+
+  if (epidemic) {
+    // Record the seed infections owned by this rank, then run hour 0.
+    epidemic->logSeeds();
+    epidemic->stepHourly(0, outcome.infections);
   }
 
-  void vacate(PersonId person, PlaceId place) {
-    auto& list = occupants_[place];
-    for (auto& occupant : list) {
-      if (occupant == person) {
-        occupant = list.back();
-        list.pop_back();
-        return;
+  std::vector<std::vector<std::uint32_t>> outbound(
+      static_cast<std::size_t>(rank.size()));
+
+  // Each rank drives its hour loop from a Repast-style tick schedule: the
+  // movement/logging action runs at normal priority each hour, the
+  // epidemic action late in the same tick (after migrants have arrived).
+  runtime::Scheduler scheduler;
+  const auto hourAction = [&](runtime::Tick tick) {
+    const Hour now = static_cast<Hour>(tick);
+    ++outcome.hoursProcessed;
+    for (auto& bucket : outbound) {
+      bucket.clear();
+    }
+
+    for (PersonId personId : agenda[now]) {
+      auto it = residents.find(personId);
+      CHISIM_CHECK(it != residents.end(), "agenda references missing agent");
+      AgentCursor& cursor = it->second;
+      const ScheduleEntry ending = cursor.current();
+      CHISIM_CHECK(ending.end == now || now == totalHours,
+                   "agenda hour mismatch");
+
+      // Event-based logging: the stint is recorded when it ends
+      // (clipped to the simulation horizon).
+      logger.log(table::Event{ending.start,
+                              std::min<Hour>(ending.end, totalHours),
+                              personId, ending.activity, ending.place});
+      ++outcome.events;
+
+      if (now == totalHours) {
+        residents.erase(it);
+        continue;  // simulation over; no further movement
+      }
+
+      const ScheduleEntry& next = advanceCursor(cursor, now, generator);
+      const int dest = placeRank[next.place];
+      if (dest == self) {
+        ++outcome.localMoves;
+        if (epidemic) {
+          epidemic->move(personId, next.activity, next.place);
+        }
+        agenda[std::min<Hour>(next.end, totalHours)].push_back(personId);
+      } else {
+        ++outcome.migrationsOut;
+        if (epidemic) {
+          epidemic->depart(personId);
+        }
+        outbound[static_cast<std::size_t>(dest)].push_back(personId);
+        residents.erase(it);
       }
     }
-    CHISIM_CHECK(false, "vacate: person not present at place");
-  }
 
-  void logTransition(Hour now, const AgentCursor& cursor, SeirState newState,
-                     std::uint32_t infector, RankOutcome& outcome) {
-    elog::ExtendedEvent entry;
-    entry.base = table::Event{now, now + 1, cursor.person,
-                              cursor.current().activity,
-                              cursor.current().place};
-    entry.extras = {static_cast<std::uint32_t>(newState), infector};
-    buffer_.push_back(std::move(entry));
-    if (buffer_.size() >= 4096) {
-      writer_->writeChunk(buffer_);
-      buffer_.clear();
+    if (now == totalHours) {
+      scheduler.stop();  // simulation horizon: skip exchange and epidemic
+      return;
     }
-    if (newState == SeirState::kExposed && infector != kNoInfector) {
-      ++outcome.infections;
-    }
-  }
 
-  /// One epidemic hour covering [now, now+1): progress E->I->R for this
-  /// rank's residents, then transmit within each owned place.
-  void step(Hour now, std::unordered_map<PersonId, AgentCursor>& residents,
-            RankOutcome& outcome) {
-    const DiseaseConfig& config = *shared_.config;
-
-    // Progression.
-    std::uint32_t infectiousCount = 0;
-    for (auto& [person, cursor] : residents) {
-      auto& state = shared_.state[person];
-      if (state == static_cast<std::uint8_t>(SeirState::kExposed) &&
-          now - shared_.since[person] >= config.latentHours) {
-        state = static_cast<std::uint8_t>(SeirState::kInfectious);
-        shared_.since[person] = now;
-        logTransition(now, cursor, SeirState::kInfectious, kNoInfector,
-                      outcome);
-      } else if (state == static_cast<std::uint8_t>(SeirState::kInfectious) &&
-                 now - shared_.since[person] >= config.infectiousHours) {
-        state = static_cast<std::uint8_t>(SeirState::kRecovered);
-        shared_.since[person] = now;
-        logTransition(now, cursor, SeirState::kRecovered, kNoInfector, outcome);
-      }
-      if (state == static_cast<std::uint8_t>(SeirState::kInfectious)) {
-        ++infectiousCount;
+    // Exchange migrants: every rank sends to every other rank each step
+    // (possibly empty), so receive counts are deterministic.
+    const int tag = kMigrationTagBase + static_cast<int>(now % (1 << 19));
+    for (int dest = 0; dest < rank.size(); ++dest) {
+      if (dest != self) {
+        rank.sendVector<std::uint32_t>(
+            dest, tag, outbound[static_cast<std::size_t>(dest)]);
       }
     }
-    shared_.hourlyInfectious[static_cast<std::size_t>(rank_)][now] =
-        infectiousCount;
-
-    // Transmission per owned place.
-    for (auto& [place, persons] : occupants_) {
-      if (persons.size() < 2) {
+    for (int source = 0; source < rank.size(); ++source) {
+      if (source == self) {
         continue;
       }
-      std::uint32_t infectious = 0;
-      for (PersonId person : persons) {
-        if (shared_.state[person] ==
-            static_cast<std::uint8_t>(SeirState::kInfectious)) {
-          ++infectious;
-        }
-      }
-      if (infectious == 0) {
-        continue;
-      }
-      const double escape =
-          std::pow(1.0 - config.beta, static_cast<double>(infectious));
-      const double infectionProbability = 1.0 - escape;
-      for (PersonId person : persons) {
-        if (shared_.state[person] !=
-            static_cast<std::uint8_t>(SeirState::kSusceptible)) {
-          continue;
-        }
-        if (hashUniform(config.seed, person, now) >= infectionProbability) {
-          continue;
-        }
-        shared_.state[person] = static_cast<std::uint8_t>(SeirState::kExposed);
-        shared_.since[person] = now;
-        // Deterministic, rank-invariant infector choice: the infectious
-        // occupant minimizing a pair hash.
-        std::uint32_t infector = kNoInfector;
-        double best = 2.0;
-        for (PersonId candidate : persons) {
-          if (shared_.state[candidate] !=
-              static_cast<std::uint8_t>(SeirState::kInfectious)) {
-            continue;
-          }
-          const double score =
-              hashUniform(config.seed ^ 0xD15EA5Eull,
-                          static_cast<std::uint64_t>(person) * 2654435761ull + now,
-                          candidate);
-          if (score < best) {
-            best = score;
-            infector = candidate;
-          }
-        }
-        logTransition(now, residents.at(person), SeirState::kExposed, infector,
-                      outcome);
+      const runtime::Message message = rank.recv(source, tag);
+      for (std::uint32_t personId : message.as<std::uint32_t>()) {
+        adopt(makeCursor(personId, now, generator), now);
       }
     }
+  };
+  scheduler.scheduleRepeating(1, 1, hourAction, runtime::Scheduler::kNormal);
+  if (epidemic) {
+    scheduler.scheduleRepeating(
+        1, 1,
+        [&](runtime::Tick tick) {
+          epidemic->stepHourly(static_cast<Hour>(tick), outcome.infections);
+        },
+        runtime::Scheduler::kLate);
   }
+  scheduler.run(totalHours);
 
-  void close() {
-    if (!buffer_.empty()) {
-      writer_->writeChunk(buffer_);
-      buffer_.clear();
-    }
-    writer_->close();
+  CHISIM_CHECK(residents.empty(), "agents left after the final hour");
+  logger.close();
+  if (epidemic) {
+    epidemic->close();
   }
-
- private:
-  DiseaseShared& shared_;
-  int rank_;
-  std::unique_ptr<elog::ExtendedLogWriter> writer_;
-  std::vector<elog::ExtendedEvent> buffer_;
-  std::unordered_map<PlaceId, std::vector<PersonId>> occupants_;
-};
+  outcome.logBytes = logger.writer().bytesWritten();
+}
 
 ModelStats runModelImpl(const pop::SyntheticPopulation& population,
                         const ModelConfig& config, DiseaseShared& disease,
                         DiseaseStats* diseaseStats) {
-  CHISIM_REQUIRE(config.rankCount >= 1, "need at least one rank");
-  CHISIM_REQUIRE(config.weeks >= 1, "need at least one week");
-  std::filesystem::create_directories(config.logDirectory);
+  validateModelConfig(config);
 
   const std::vector<int> placeRank =
       assignPlacesToRanks(population, config.rankCount, config.strategy);
@@ -259,165 +252,27 @@ ModelStats runModelImpl(const pop::SyntheticPopulation& population,
     disease.hourlyInfectious.assign(
         static_cast<std::size_t>(config.rankCount),
         std::vector<std::uint32_t>(totalHours + 1, 0));
-    util::Rng seedRng(disease.config->seed);
-    while (seeded < disease.config->seedCount && seeded < personCount) {
-      const auto person =
-          static_cast<PersonId>(seedRng.uniformBelow(personCount));
-      if (disease.state[person] ==
-          static_cast<std::uint8_t>(SeirState::kSusceptible)) {
-        disease.state[person] =
-            static_cast<std::uint8_t>(SeirState::kInfectious);
-        ++seeded;
-      }
-    }
+    seeded = seedInfections(disease, personCount);
   }
+
+  EventCoreContext context;
+  context.population = &population;
+  context.config = &config;
+  context.placeRank = &placeRank;
+  context.generator = &generator;
+  context.disease = &disease;
+  context.totalHours = totalHours;
 
   std::vector<RankOutcome> outcomes(static_cast<std::size_t>(config.rankCount));
   util::WallTimer wall;
 
   runtime::Communicator::run(config.rankCount, [&](runtime::RankHandle& rank) {
-    const int self = rank.rank();
-    RankOutcome& outcome = outcomes[static_cast<std::size_t>(self)];
-
-    elog::EventLogger logger(
-        std::make_unique<elog::ChunkedLogWriter>(
-            elog::logFilePath(config.logDirectory, self),
-            config.logCompression),
-        config.logCacheEntries);
-
-    std::unique_ptr<DiseaseRank> epidemic;
-    if (disease.enabled()) {
-      epidemic =
-          std::make_unique<DiseaseRank>(disease, self, config.logDirectory);
+    RankOutcome& outcome = outcomes[static_cast<std::size_t>(rank.rank())];
+    if (config.core == ModelCore::kEventDriven) {
+      runEventCoreRank(rank, context, outcome);
+    } else {
+      runHourlyRank(rank, context, outcome);
     }
-
-    // Agents whose current place this rank owns, plus an agenda of stint
-    // end hours -> persons, so each step touches only agents in transition.
-    std::unordered_map<PersonId, AgentCursor> residents;
-    std::vector<std::vector<PersonId>> agenda(totalHours + 1);
-
-    const auto adopt = [&](AgentCursor cursor) {
-      const Hour due = std::min<Hour>(cursor.current().end, totalHours);
-      agenda[due].push_back(cursor.person);
-      if (epidemic) {
-        epidemic->occupy(cursor.person, cursor.current().place);
-      }
-      residents.emplace(cursor.person, std::move(cursor));
-    };
-
-    // Initial residency from the first stint of week 0.
-    for (const pop::Person& person : population.persons()) {
-      AgentCursor cursor = makeCursor(person.id, 0, generator);
-      if (placeRank[cursor.current().place] == self) {
-        adopt(std::move(cursor));
-      }
-    }
-    outcome.initialAgents = residents.size();
-
-    if (epidemic) {
-      // Record the seed infections owned by this rank, then run hour 0.
-      for (auto& [person, cursor] : residents) {
-        if (disease.state[person] ==
-            static_cast<std::uint8_t>(SeirState::kInfectious)) {
-          epidemic->logTransition(0, cursor, SeirState::kInfectious,
-                                  kNoInfector, outcome);
-        }
-      }
-      epidemic->step(0, residents, outcome);
-    }
-
-    std::vector<std::vector<std::uint32_t>> outbound(
-        static_cast<std::size_t>(rank.size()));
-
-    // Each rank drives its hour loop from a Repast-style tick schedule: the
-    // movement/logging action runs at normal priority each hour, the
-    // epidemic action late in the same tick (after migrants have arrived).
-    runtime::Scheduler scheduler;
-    const auto hourAction = [&](runtime::Tick tick) {
-      const Hour now = static_cast<Hour>(tick);
-      for (auto& bucket : outbound) {
-        bucket.clear();
-      }
-
-      for (PersonId personId : agenda[now]) {
-        auto it = residents.find(personId);
-        CHISIM_CHECK(it != residents.end(), "agenda references missing agent");
-        AgentCursor& cursor = it->second;
-        const ScheduleEntry ending = cursor.current();
-        CHISIM_CHECK(ending.end == now || now == totalHours,
-                     "agenda hour mismatch");
-
-        // Event-based logging: the stint is recorded when it ends
-        // (clipped to the simulation horizon).
-        logger.log(table::Event{ending.start,
-                                std::min<Hour>(ending.end, totalHours),
-                                personId, ending.activity, ending.place});
-        ++outcome.events;
-
-        if (now == totalHours) {
-          residents.erase(it);
-          continue;  // simulation over; no further movement
-        }
-
-        const ScheduleEntry& next = advanceCursor(cursor, now, generator);
-        const int dest = placeRank[next.place];
-        if (epidemic) {
-          epidemic->vacate(personId, ending.place);
-        }
-        if (dest == self) {
-          ++outcome.localMoves;
-          if (epidemic) {
-            epidemic->occupy(personId, next.place);
-          }
-          agenda[std::min<Hour>(next.end, totalHours)].push_back(personId);
-        } else {
-          ++outcome.migrationsOut;
-          outbound[static_cast<std::size_t>(dest)].push_back(personId);
-          residents.erase(it);
-        }
-      }
-
-      if (now == totalHours) {
-        scheduler.stop();  // simulation horizon: skip exchange and epidemic
-        return;
-      }
-
-      // Exchange migrants: every rank sends to every other rank each step
-      // (possibly empty), so receive counts are deterministic.
-      const int tag = kMigrationTagBase + static_cast<int>(now % (1 << 19));
-      for (int dest = 0; dest < rank.size(); ++dest) {
-        if (dest != self) {
-          rank.sendVector<std::uint32_t>(
-              dest, tag, outbound[static_cast<std::size_t>(dest)]);
-        }
-      }
-      for (int source = 0; source < rank.size(); ++source) {
-        if (source == self) {
-          continue;
-        }
-        const runtime::Message message = rank.recv(source, tag);
-        for (std::uint32_t personId : message.as<std::uint32_t>()) {
-          adopt(makeCursor(personId, now, generator));
-        }
-      }
-    };
-    scheduler.scheduleRepeating(1, 1, hourAction, runtime::Scheduler::kNormal);
-    if (epidemic) {
-      scheduler.scheduleRepeating(
-          1, 1,
-          [&](runtime::Tick tick) {
-            epidemic->step(static_cast<Hour>(tick), residents, outcome);
-          },
-          runtime::Scheduler::kLate);
-    }
-    scheduler.run(totalHours);
-
-    CHISIM_CHECK(residents.empty(), "agents left after the final hour");
-    logger.close();
-    if (epidemic) {
-      epidemic->close();
-    }
-    outcome.logBytes = logger.writer().bytesWritten();
   });
 
   ModelStats stats;
@@ -433,6 +288,8 @@ ModelStats runModelImpl(const pop::SyntheticPopulation& population,
     stats.migrations += outcome.migrationsOut;
     stats.localMoves += outcome.localMoves;
     stats.logBytes += outcome.logBytes;
+    stats.hoursActive = std::max(stats.hoursActive, outcome.hoursProcessed);
+    stats.peakQueueDepth = std::max(stats.peakQueueDepth, outcome.peakQueueDepth);
     stats.perRankEvents.push_back(outcome.events);
     stats.perRankMigrationsOut.push_back(outcome.migrationsOut);
     stats.perRankInitialAgents.push_back(outcome.initialAgents);

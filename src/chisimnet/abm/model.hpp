@@ -23,8 +23,23 @@
 
 namespace chisimnet::abm {
 
+/// Which simulation core drives the run. Both cores produce byte-identical
+/// CLG5/CLX5 logs for the same (population, scheduleSeed, disease.seed) at
+/// any rank count (enforced by the differential grid in tests/abm_test.cpp);
+/// they differ only in how time advances.
+enum class ModelCore : std::uint8_t {
+  /// Tick every hour; each hour touches agents in transition plus a full
+  /// per-hour epidemic scan. The reference implementation.
+  kHourly = 0,
+  /// Calendar queue of activity-change events per rank; agents lie dormant
+  /// between events, epidemic work is interval-scheduled, and globally
+  /// quiet hours are skipped (abm/event_core.hpp). Scales with activity
+  /// changes (~5/day) instead of person-hours (24/day).
+  kEventDriven = 1,
+};
+
 struct ModelConfig {
-  std::filesystem::path logDirectory;  ///< created if missing
+  std::filesystem::path logDirectory;  ///< created if missing; must be writable
   int rankCount = 4;
   std::uint32_t weeks = 1;
   std::size_t logCacheEntries = elog::kDefaultCacheEntries;
@@ -33,6 +48,7 @@ struct ModelConfig {
   elog::LogCompression logCompression = elog::LogCompression::kRaw;
   std::uint64_t scheduleSeed = 7;
   PartitionStrategy strategy = PartitionStrategy::kNeighborhood;
+  ModelCore core = ModelCore::kEventDriven;
 };
 
 struct ModelStats {
@@ -42,6 +58,13 @@ struct ModelStats {
   std::uint64_t localMoves = 0;        ///< location changes that stayed on-rank
   std::uint64_t agentHours = 0;        ///< persons x hours simulated
   std::uint64_t logBytes = 0;          ///< total CLG5 bytes written
+  /// Hours the step loop actually visited: always simulatedHours for the
+  /// hourly core; for the event core, the number of globally active hours
+  /// (quiet hours are skipped entirely).
+  std::uint64_t hoursActive = 0;
+  /// Max simultaneously pending calendar events (activity changes plus
+  /// scheduled disease progressions) on any rank; 0 for the hourly core.
+  std::uint64_t peakQueueDepth = 0;
   double wallSeconds = 0.0;
   std::vector<std::uint64_t> perRankEvents;
   std::vector<std::uint64_t> perRankMigrationsOut;

@@ -17,6 +17,74 @@ std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
+std::size_t coveringStintIndex(std::span<const ScheduleEntry> schedule,
+                               Hour now) {
+  const auto it = std::partition_point(
+      schedule.begin(), schedule.end(),
+      [now](const ScheduleEntry& entry) { return entry.end <= now; });
+  CHISIM_CHECK(it != schedule.end() && it->start <= now,
+               "schedule does not cover the requested hour");
+  return static_cast<std::size_t>(it - schedule.begin());
+}
+
+PackedWeek::PackedWeek(std::uint32_t weekIndex, std::vector<PackedStint> stints)
+    : weekIndex_(weekIndex), stints_(std::move(stints)) {
+  CHISIM_CHECK(!stints_.empty() && stints_.size() <= kHoursPerWeek,
+               "packed week must hold between 1 and 168 stints");
+  Hour cursor = 0;
+  for (const PackedStint& stint : stints_) {
+    CHISIM_CHECK(stint.startHour == cursor && stint.endHour > stint.startHour &&
+                     stint.endHour <= kHoursPerWeek,
+                 "packed week stints must tile the week contiguously");
+    cursor = stint.endHour;
+  }
+  CHISIM_CHECK(cursor == kHoursPerWeek, "packed week must cover all 168 hours");
+}
+
+ScheduleEntry PackedWeek::entry(std::size_t index) const {
+  CHISIM_CHECK(index < stints_.size(), "packed week stint index out of range");
+  const PackedStint& stint = stints_[index];
+  const Hour weekBase = weekIndex_ * kHoursPerWeek;
+  return ScheduleEntry{weekBase + stint.startHour, weekBase + stint.endHour,
+                       stint.activity, stint.place};
+}
+
+std::size_t PackedWeek::coveringIndex(Hour now) const {
+  const Hour weekBase = weekIndex_ * kHoursPerWeek;
+  CHISIM_CHECK(now >= weekBase && now < weekBase + kHoursPerWeek,
+               "hour outside this packed week");
+  const Hour offset = now - weekBase;
+  const auto it = std::partition_point(
+      stints_.begin(), stints_.end(),
+      [offset](const PackedStint& stint) { return stint.endHour <= offset; });
+  CHISIM_CHECK(it != stints_.end(), "packed week does not cover the hour");
+  return static_cast<std::size_t>(it - stints_.begin());
+}
+
+StintCursor::StintCursor(const ScheduleGenerator& generator, PersonId person,
+                         Hour now)
+    : person_(person), week_(generator.packedWeek(person, now / kHoursPerWeek)) {
+  index_ = static_cast<std::uint32_t>(week_.coveringIndex(now));
+}
+
+StintCursor::StintCursor(PersonId person, PackedWeek week, std::uint32_t index)
+    : person_(person), index_(index), week_(std::move(week)) {
+  CHISIM_CHECK(index_ < week_.size(), "stint cursor index out of range");
+}
+
+ScheduleEntry StintCursor::advance(const ScheduleGenerator& generator,
+                                   Hour now) {
+  CHISIM_CHECK(current().end == now, "advance called off-boundary");
+  ++index_;
+  if (index_ >= week_.size()) {
+    week_ = generator.packedWeek(person_, week_.weekIndex() + 1);
+    index_ = 0;
+  }
+  const ScheduleEntry next = current();
+  CHISIM_CHECK(next.start == now, "schedule has a gap");
+  return next;
+}
+
 ScheduleGenerator::ScheduleGenerator(const SyntheticPopulation& population,
                                      std::uint64_t seed)
     : population_(&population), seed_(seed) {}
@@ -191,6 +259,27 @@ std::vector<ScheduleEntry> ScheduleGenerator::weeklySchedule(
   }
   schedule.push_back(current);
   return schedule;
+}
+
+PackedWeek ScheduleGenerator::packedWeek(PersonId person,
+                                         std::uint32_t weekIndex) const {
+  CHISIM_REQUIRE(person < population_->persons().size(), "person out of range");
+  const WeekSlots slots = weeklySlots(person, weekIndex);
+
+  std::vector<PackedStint> stints;
+  Hour start = 0;
+  for (Hour h = 1; h <= kHoursPerWeek; ++h) {
+    if (h == kHoursPerWeek || slots[h] != slots[start]) {
+      CHISIM_CHECK(slots[start].activity <= 0xFF,
+                   "activity id does not fit the packed stint");
+      stints.push_back(PackedStint{static_cast<std::uint8_t>(start),
+                                   static_cast<std::uint8_t>(h),
+                                   static_cast<std::uint8_t>(slots[start].activity),
+                                   0, slots[start].place});
+      start = h;
+    }
+  }
+  return PackedWeek(weekIndex, std::move(stints));
 }
 
 double ScheduleGenerator::activityChangesPerDay(PersonId person,

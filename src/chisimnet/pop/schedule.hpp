@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "chisimnet/pop/population.hpp"
@@ -34,6 +35,87 @@ struct ScheduleEntry {
   friend bool operator==(const ScheduleEntry&, const ScheduleEntry&) = default;
 };
 
+/// Index of the stint covering hour `now` in a contiguous, sorted weekly
+/// schedule — binary search on ScheduleEntry::end (entries are contiguous,
+/// so the first entry with end > now is the covering one). Throws when the
+/// schedule does not cover `now`.
+std::size_t coveringStintIndex(std::span<const ScheduleEntry> schedule,
+                               Hour now);
+
+/// One stint in packed 8-byte form: hour-of-week offsets plus activity and
+/// place. This is both the in-memory resident format of the event-driven
+/// ABM core (half the footprint of ScheduleEntry) and the wire format its
+/// migration messages ship, so a destination rank never regenerates a
+/// schedule it can be handed.
+struct PackedStint {
+  std::uint8_t startHour = 0;  ///< offset within the week, [0, 168)
+  std::uint8_t endHour = 0;    ///< offset within the week, (startHour, 168]
+  std::uint8_t activity = 0;
+  std::uint8_t reserved = 0;
+  PlaceId place = kNoPlace;
+
+  friend bool operator==(const PackedStint&, const PackedStint&) = default;
+};
+static_assert(sizeof(PackedStint) == 8, "packed stint is an 8-byte record");
+
+/// A person's schedule for one week in packed form. Unpacks to exactly the
+/// ScheduleEntry sequence weeklySchedule() returns for the same
+/// (person, week).
+class PackedWeek {
+ public:
+  PackedWeek() = default;
+  /// From explicit stints (e.g. decoded off a migration message).
+  PackedWeek(std::uint32_t weekIndex, std::vector<PackedStint> stints);
+
+  std::uint32_t weekIndex() const noexcept { return weekIndex_; }
+  std::size_t size() const noexcept { return stints_.size(); }
+  std::span<const PackedStint> stints() const noexcept { return stints_; }
+
+  /// Unpacks stint `index` to absolute simulation hours.
+  ScheduleEntry entry(std::size_t index) const;
+
+  /// Index of the stint covering absolute hour `now` (binary search).
+  std::size_t coveringIndex(Hour now) const;
+
+ private:
+  std::uint32_t weekIndex_ = 0;
+  std::vector<PackedStint> stints_;
+};
+
+/// Streaming cursor over a person's stint sequence: holds one packed week
+/// at a time and advances stint by stint, regenerating the next week only
+/// when the current one is exhausted. The event-driven core keeps one of
+/// these per resident agent; dormant agents cost one PackedWeek, not a
+/// materialized ScheduleEntry vector.
+class StintCursor {
+ public:
+  StintCursor() = default;
+
+  /// Positions at the stint covering absolute hour `now`.
+  StintCursor(const class ScheduleGenerator& generator, PersonId person,
+              Hour now);
+
+  /// Rebuilds from shipped state (migration hand-off): `index` must be a
+  /// valid stint index within `week`.
+  StintCursor(PersonId person, PackedWeek week, std::uint32_t index);
+
+  PersonId person() const noexcept { return person_; }
+  std::uint32_t weekIndex() const noexcept { return week_.weekIndex(); }
+  std::uint32_t index() const noexcept { return index_; }
+  const PackedWeek& week() const noexcept { return week_; }
+
+  ScheduleEntry current() const { return week_.entry(index_); }
+
+  /// Advances past the stint ending at `now`; rolls into the next week when
+  /// the week is exhausted. Returns the new current stint.
+  ScheduleEntry advance(const class ScheduleGenerator& generator, Hour now);
+
+ private:
+  PersonId person_ = 0;
+  std::uint32_t index_ = 0;
+  PackedWeek week_;
+};
+
 class ScheduleGenerator {
  public:
   ScheduleGenerator(const SyntheticPopulation& population, std::uint64_t seed);
@@ -43,6 +125,10 @@ class ScheduleGenerator {
   /// stints always differ in activity or place.
   std::vector<ScheduleEntry> weeklySchedule(PersonId person,
                                             std::uint32_t weekIndex) const;
+
+  /// The same week compressed directly from the hourly slots into packed
+  /// stints, without materializing the ScheduleEntry vector.
+  PackedWeek packedWeek(PersonId person, std::uint32_t weekIndex) const;
 
   /// Expected number of activity *changes* per simulated day for a person,
   /// i.e. (stints - 1) / 7 for one week (diagnostic for the paper's

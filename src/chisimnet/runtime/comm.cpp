@@ -209,6 +209,12 @@ std::uint64_t RankHandle::allReduceU64(
   return result;
 }
 
+std::uint64_t RankHandle::allReduceMinU64(std::uint64_t value) {
+  return allReduceU64(value, [](std::uint64_t a, std::uint64_t b) {
+    return std::min(a, b);
+  });
+}
+
 // --------------------------------------------------------- communicator
 
 Communicator::Communicator(int rankCount) {

@@ -226,6 +226,10 @@ class RankHandle {
                              const std::function<std::uint64_t(
                                  std::uint64_t, std::uint64_t)>& op);
 
+  /// allReduceU64 with min — the agreement primitive of the event-driven
+  /// ABM core's first lookahead round.
+  std::uint64_t allReduceMinU64(std::uint64_t value);
+
  private:
   Transport* transport_;
   int rank_;

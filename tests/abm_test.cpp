@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 
+#include "chisimnet/abm/disease.hpp"
 #include "chisimnet/abm/model.hpp"
 #include "chisimnet/abm/place_partition.hpp"
 #include "chisimnet/elog/log_directory.hpp"
@@ -55,6 +59,22 @@ class AbmTest : public ::testing::Test {
     }
     std::sort(events.begin(), events.end());
     return events;
+  }
+
+  /// Every regular file in `dir` (CLG5 and CLX5 alike), name -> raw bytes.
+  static std::map<std::string, std::string> readRawFiles(
+      const std::filesystem::path& dir) {
+    std::map<std::string, std::string> out;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream bytes;
+      bytes << in.rdbuf();
+      out[entry.path().filename().string()] = bytes.str();
+    }
+    return out;
   }
 
   static pop::SyntheticPopulation* population_;
@@ -200,11 +220,140 @@ TEST_F(AbmTest, InitialAgentsSumToPopulation) {
   EXPECT_EQ(total, population_->persons().size());
 }
 
+// ---------------------------------------------------------------------------
+// Differential grid: hourly vs event-driven core. The hard invariant is
+// byte identity — for a given (population, scheduleSeed, disease.seed,
+// rankCount), every rank's CLG5 (and CLX5 when the disease layer is on)
+// file must be byte-for-byte identical between the two cores.
+// ---------------------------------------------------------------------------
+
+TEST_F(AbmTest, DifferentialGridBytesIdenticalAcrossCores) {
+  for (const std::uint64_t scheduleSeed : {777u, 31u}) {
+    for (const int ranks : {1, 2, 4}) {
+      std::map<std::string, std::string> reference;
+      ModelStats referenceStats;
+      for (const ModelCore core : {ModelCore::kHourly, ModelCore::kEventDriven}) {
+        std::filesystem::remove_all(dir_);
+        ModelConfig config = modelConfig(ranks);
+        config.scheduleSeed = scheduleSeed;
+        config.core = core;
+        const ModelStats stats = runModel(*population_, config);
+        if (core == ModelCore::kHourly) {
+          reference = readRawFiles(dir_);
+          referenceStats = stats;
+          EXPECT_EQ(stats.hoursActive, stats.simulatedHours);
+          EXPECT_EQ(stats.peakQueueDepth, 0u);
+          continue;
+        }
+        const auto actual = readRawFiles(dir_);
+        ASSERT_EQ(actual.size(), reference.size())
+            << "ranks=" << ranks << " seed=" << scheduleSeed;
+        for (const auto& [name, bytes] : reference) {
+          const auto it = actual.find(name);
+          ASSERT_NE(it, actual.end()) << name;
+          EXPECT_EQ(it->second, bytes)
+              << name << " differs between cores at ranks=" << ranks
+              << " seed=" << scheduleSeed;
+        }
+        EXPECT_EQ(stats.eventsLogged, referenceStats.eventsLogged);
+        EXPECT_EQ(stats.migrations, referenceStats.migrations);
+        EXPECT_EQ(stats.localMoves, referenceStats.localMoves);
+        EXPECT_EQ(stats.agentHours, referenceStats.agentHours);
+        EXPECT_EQ(stats.logBytes, referenceStats.logBytes);
+        EXPECT_LE(stats.hoursActive, stats.simulatedHours);
+        EXPECT_GT(stats.peakQueueDepth, 0u);
+      }
+    }
+  }
+}
+
+TEST_F(AbmTest, DifferentialGridWithDiseaseBytesIdenticalAcrossCores) {
+  for (const std::uint64_t diseaseSeed : {99u, 5u}) {
+    for (const int ranks : {1, 2, 4}) {
+      DiseaseConfig disease;
+      disease.beta = 0.02;  // brisk epidemic: progressions and exposures
+      disease.latentHours = 12;
+      disease.infectiousHours = 48;
+      disease.seed = diseaseSeed;
+
+      std::map<std::string, std::string> reference;
+      ModelStats referenceStats;
+      DiseaseStats referenceDisease;
+      for (const ModelCore core : {ModelCore::kHourly, ModelCore::kEventDriven}) {
+        std::filesystem::remove_all(dir_);
+        ModelConfig config = modelConfig(ranks);
+        config.core = core;
+        DiseaseStats diseaseStats;
+        const ModelStats stats =
+            runModel(*population_, config, disease, diseaseStats);
+        if (core == ModelCore::kHourly) {
+          reference = readRawFiles(dir_);
+          referenceStats = stats;
+          referenceDisease = diseaseStats;
+          EXPECT_GT(diseaseStats.infections, 0u)
+              << "grid config too mild to exercise transmission";
+          continue;
+        }
+        const auto actual = readRawFiles(dir_);
+        ASSERT_EQ(actual.size(), reference.size())
+            << "ranks=" << ranks << " diseaseSeed=" << diseaseSeed;
+        for (const auto& [name, bytes] : reference) {
+          const auto it = actual.find(name);
+          ASSERT_NE(it, actual.end()) << name;
+          EXPECT_EQ(it->second, bytes)
+              << name << " differs between cores at ranks=" << ranks
+              << " diseaseSeed=" << diseaseSeed;
+        }
+        EXPECT_EQ(stats.eventsLogged, referenceStats.eventsLogged);
+        EXPECT_EQ(stats.migrations, referenceStats.migrations);
+        EXPECT_EQ(stats.localMoves, referenceStats.localMoves);
+        EXPECT_EQ(stats.agentHours, referenceStats.agentHours);
+        EXPECT_EQ(diseaseStats.seeded, referenceDisease.seeded);
+        EXPECT_EQ(diseaseStats.infections, referenceDisease.infections);
+        EXPECT_EQ(diseaseStats.recovered, referenceDisease.recovered);
+        EXPECT_EQ(diseaseStats.peakInfectious, referenceDisease.peakInfectious);
+        EXPECT_EQ(diseaseStats.peakHour, referenceDisease.peakHour);
+        EXPECT_EQ(diseaseStats.hourlyInfectious,
+                  referenceDisease.hourlyInfectious);
+        EXPECT_EQ(diseaseStats.finalStates, referenceDisease.finalStates);
+      }
+    }
+  }
+}
+
+TEST_F(AbmTest, EventCoreSkipsQuietHoursWithoutDisease) {
+  // With no epidemic, hours where no stint ends anywhere are skipped
+  // outright; the active-hour count is what the step loop actually visited.
+  ModelConfig config = modelConfig(2);
+  config.core = ModelCore::kEventDriven;
+  const ModelStats stats = runModel(*population_, config);
+  EXPECT_GT(stats.hoursActive, 0u);
+  EXPECT_LE(stats.hoursActive, stats.simulatedHours);
+  EXPECT_GT(stats.peakQueueDepth, 0u);
+  // Every pending event is bounded by the resident population.
+  EXPECT_LE(stats.peakQueueDepth, population_->persons().size());
+}
+
 TEST_F(AbmTest, RejectsBadConfig) {
   ModelConfig config = modelConfig(0);
   EXPECT_THROW(runModel(*population_, config), std::invalid_argument);
   config = modelConfig(1);
   config.weeks = 0;
+  EXPECT_THROW(runModel(*population_, config), std::invalid_argument);
+}
+
+TEST_F(AbmTest, RejectsEmptyLogDirectory) {
+  ModelConfig config = modelConfig(1);
+  config.logDirectory.clear();
+  EXPECT_THROW(runModel(*population_, config), std::invalid_argument);
+}
+
+TEST_F(AbmTest, RejectsLogDirectoryThatIsAFile) {
+  std::filesystem::create_directories(dir_);
+  const auto file = dir_ / "not_a_directory";
+  { std::ofstream out(file); }
+  ModelConfig config = modelConfig(1);
+  config.logDirectory = file;
   EXPECT_THROW(runModel(*population_, config), std::invalid_argument);
 }
 

@@ -176,6 +176,20 @@ TEST(Comm, AllReduceMax) {
   });
 }
 
+TEST(Comm, AllReduceMin) {
+  Communicator::run(4, [](RankHandle& rank) {
+    // Rank 2 holds the minimum; every rank must agree on it.
+    const std::uint64_t mine = rank.rank() == 2 ? 3u : 100u + rank.rank();
+    EXPECT_EQ(rank.allReduceMinU64(mine), 3u);
+  });
+}
+
+TEST(Comm, AllReduceMinSingleRank) {
+  Communicator::run(1, [](RankHandle& rank) {
+    EXPECT_EQ(rank.allReduceMinU64(42u), 42u);
+  });
+}
+
 TEST(Comm, RingPassAccumulates) {
   // Token circles the ring twice, each rank adding its id.
   constexpr int kRanks = 6;

@@ -230,5 +230,87 @@ TEST_F(ScheduleTest, OutOfRangePersonRejected) {
   EXPECT_THROW(generator_->weeklySchedule(10000000, 0), std::invalid_argument);
 }
 
+TEST_F(ScheduleTest, CoveringStintIndexMatchesLinearScan) {
+  for (PersonId person : {PersonId{0}, PersonId{57}, PersonId{4096}}) {
+    for (std::uint32_t week : {0u, 2u}) {
+      const auto schedule = generator_->weeklySchedule(person, week);
+      for (table::Hour now = week * kHoursPerWeek;
+           now < (week + 1) * kHoursPerWeek; ++now) {
+        std::size_t expected = 0;
+        while (schedule[expected].end <= now) {
+          ++expected;
+        }
+        EXPECT_EQ(coveringStintIndex(schedule, now), expected)
+            << "person " << person << " hour " << now;
+      }
+    }
+  }
+}
+
+TEST_F(ScheduleTest, CoveringStintIndexRejectsHourOutsideWeek) {
+  const auto schedule = generator_->weeklySchedule(0, 0);
+  EXPECT_THROW(coveringStintIndex(schedule, kHoursPerWeek),
+               std::runtime_error);
+}
+
+TEST_F(ScheduleTest, PackedWeekRoundTripsWeeklySchedule) {
+  for (PersonId person : {PersonId{0}, PersonId{991}, PersonId{9999}}) {
+    for (std::uint32_t week : {0u, 3u}) {
+      const auto schedule = generator_->weeklySchedule(person, week);
+      const PackedWeek packed = generator_->packedWeek(person, week);
+      ASSERT_EQ(packed.size(), schedule.size());
+      for (std::size_t i = 0; i < schedule.size(); ++i) {
+        EXPECT_EQ(packed.entry(i), schedule[i]) << "stint " << i;
+      }
+      // The packed covering search agrees with the unpacked one.
+      for (table::Hour now = week * kHoursPerWeek;
+           now < (week + 1) * kHoursPerWeek; now += 7) {
+        EXPECT_EQ(packed.coveringIndex(now), coveringStintIndex(schedule, now));
+      }
+    }
+  }
+}
+
+TEST_F(ScheduleTest, PackedWeekRejectsNonTilingStints) {
+  // A gap between stints must be caught at construction.
+  std::vector<PackedStint> stints;
+  stints.push_back(PackedStint{0, 10, 0, 0, 1});
+  stints.push_back(PackedStint{12, 168, 1, 0, 2});  // gap: 10 != 12
+  EXPECT_THROW(PackedWeek(0, std::move(stints)), std::runtime_error);
+}
+
+TEST_F(ScheduleTest, StintCursorWalksAcrossWeeks) {
+  // Resuming mid-week must land on the covering stint (regression for the
+  // cursor cold-load), and advancing must replay the schedule exactly,
+  // including week rollovers.
+  for (PersonId person : {PersonId{3}, PersonId{777}}) {
+    for (table::Hour start : {table::Hour{0}, table::Hour{13},
+                              table::Hour{100}, table::Hour{167}}) {
+      StintCursor cursor(*generator_, person, start);
+      const auto week0 = generator_->weeklySchedule(person, start / kHoursPerWeek);
+      EXPECT_EQ(cursor.current(),
+                week0[coveringStintIndex(week0, start)]);
+
+      // Walk two full weeks from the resume point, checking every stint
+      // against the reference schedules.
+      table::Hour now = cursor.current().end;
+      for (int steps = 0; now < start + 2 * kHoursPerWeek; ++steps) {
+        const ScheduleEntry next = cursor.advance(*generator_, now);
+        const auto reference =
+            generator_->weeklySchedule(person, now / kHoursPerWeek);
+        EXPECT_EQ(next, reference[coveringStintIndex(reference, now)])
+            << "person " << person << " start " << start << " step " << steps;
+        now = next.end;
+      }
+    }
+  }
+}
+
+TEST_F(ScheduleTest, StintCursorRejectsOffBoundaryAdvance) {
+  StintCursor cursor(*generator_, 0, 0);
+  const table::Hour wrong = cursor.current().end + 1;
+  EXPECT_THROW(cursor.advance(*generator_, wrong), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace chisimnet::pop

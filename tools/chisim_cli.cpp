@@ -144,6 +144,15 @@ int cmdSimulate(const Args& args) {
   if (args.has("compress")) {
     config.logCompression = elog::LogCompression::kPacked;
   }
+  const std::string core = args.str("abm-core", "event");
+  if (core == "hourly") {
+    config.core = abm::ModelCore::kHourly;
+  } else if (core == "event") {
+    config.core = abm::ModelCore::kEventDriven;
+  } else {
+    std::cerr << "unknown --abm-core '" << core << "' (hourly|event)\n";
+    return 2;
+  }
 
   abm::ModelStats stats;
   if (args.has("disease")) {
@@ -160,7 +169,8 @@ int cmdSimulate(const Args& args) {
   } else {
     stats = abm::runModel(population, config);
   }
-  std::cout << "simulated " << stats.simulatedHours << " h on "
+  std::cout << "simulated " << stats.simulatedHours << " h ("
+            << stats.hoursActive << " active, " << core << " core) on "
             << config.rankCount << " ranks in " << stats.wallSeconds << " s; "
             << stats.eventsLogged << " events ("
             << stats.logBytes / 1024 / 1024 << " MiB), migration "
@@ -455,7 +465,8 @@ void printUsage() {
       "commands:\n"
       "  simulate    --logs DIR [--persons N] [--seed S] [--weeks W]\n"
       "              [--ranks R] [--cache N] [--partition neighborhood|round-robin]\n"
-      "              [--compress] [--disease [--beta B] [--seeds K] [--disease-seed S]]\n"
+      "              [--compress] [--abm-core hourly|event]\n"
+      "              [--disease [--beta B] [--seeds K] [--disease-seed S]]\n"
       "  info        --logs DIR\n"
       "  synthesize  --logs DIR --out FILE.cadj [--window-start H] [--window-end H]\n"
       "              [--backend shared|mp] [--workers W] [--batch N]\n"
