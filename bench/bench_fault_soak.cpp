@@ -18,6 +18,11 @@
 ///   mp-process  the above plus real SIGKILLs (root-scripted and
 ///               worker-side kill-process), absorbed by respawn or
 ///               loss reassignment
+///   abm-ckpt    the simulation side: a checkpointing ABM run killed at a
+///               seeded random simulated hour (abm.step throw), resumed
+///               from the last committed checkpoint, and required to
+///               produce CLG5/CLX5 logs bit-identical to an uninterrupted
+///               run — randomized over core, rank count and disease layer
 ///
 /// Runs nightly in CI (not tier-1): ~24 seeds by default, --seeds N to
 /// change, --smoke for a 6-seed PR-sized pass. Honors CHISIMNET_SCALE for
@@ -25,11 +30,16 @@
 /// stays >= 20 seeds regardless of scale.
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "chisimnet/abm/sim_checkpoint.hpp"
 #include "chisimnet/net/executor.hpp"
 #include "chisimnet/runtime/fault.hpp"
 
@@ -40,7 +50,7 @@ using runtime::FaultAction;
 using runtime::FaultPlan;
 using runtime::FaultSpec;
 
-enum class Column { kShared, kMpInproc, kMpProcess };
+enum class Column { kShared, kMpInproc, kMpProcess, kAbmCkpt };
 
 const char* columnName(Column column) {
   switch (column) {
@@ -50,6 +60,8 @@ const char* columnName(Column column) {
       return "mp-inproc";
     case Column::kMpProcess:
       return "mp-process";
+    case Column::kAbmCkpt:
+      return "abm-ckpt";
   }
   return "?";
 }
@@ -135,6 +147,97 @@ net::SynthesisConfig makeConfig(Column column, util::Rng& rng) {
   return config;
 }
 
+/// Every regular file in `dir`, name -> raw bytes.
+std::map<std::string, std::string> readRawFiles(
+    const std::filesystem::path& dir) {
+  std::map<std::string, std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    out[entry.path().filename().string()] = bytes.str();
+  }
+  return out;
+}
+
+/// One abm-ckpt soak iteration: clean run, killed-and-checkpointed run,
+/// resume, byte compare. Returns "identical" or a failure description.
+std::string soakAbmCheckpoint(const pop::SyntheticPopulation& population,
+                              std::uint64_t seed, util::Rng& rng) {
+  const auto scratch = std::filesystem::temp_directory_path() /
+                       ("chisimnet_soak_abm_" + std::to_string(seed));
+  std::filesystem::remove_all(scratch);
+  struct Cleanup {
+    std::filesystem::path dir;
+    ~Cleanup() {
+      std::error_code ignored;
+      std::filesystem::remove_all(dir, ignored);
+    }
+  } cleanup{scratch};
+
+  abm::ModelConfig config;
+  config.logDirectory = scratch / "clean";
+  config.rankCount = 1 << rng.uniformBelow(3);  // 1, 2 or 4
+  config.weeks = 1;
+  config.scheduleSeed = 1000 + seed;
+  config.core = rng.bernoulli(0.5) ? abm::ModelCore::kEventDriven
+                                   : abm::ModelCore::kHourly;
+  const bool disease = rng.bernoulli(0.5);
+  const table::Hour killHour =
+      static_cast<table::Hour>(20 + rng.uniformBelow(140));
+  abm::DiseaseConfig diseaseConfig;
+  diseaseConfig.seed = seed * 31 + 7;
+
+  const auto run = [&](const abm::ModelConfig& modelConfig) {
+    if (disease) {
+      abm::DiseaseStats stats;
+      return abm::runModel(population, modelConfig, diseaseConfig, stats);
+    }
+    return abm::runModel(population, modelConfig);
+  };
+
+  run(config);  // uninterrupted reference
+
+  abm::ModelConfig crash = config;
+  crash.logDirectory = scratch / "crash";
+  crash.checkpointDir = scratch / "ckpt";
+  crash.checkpointEveryHours = 12 + rng.uniformBelow(36);
+  bool killed = false;
+  try {
+    FaultPlan plan(seed);
+    plan.at("abm.step", FaultSpec{.action = FaultAction::kThrow,
+                                  .hit = killHour});
+    runtime::fault::ScopedFaultPlan scoped(plan);
+    run(crash);
+  } catch (const std::exception&) {
+    killed = true;  // the injected kill; resume below
+  }
+  // The event core may skip the kill hour entirely when it is globally
+  // quiet; the run then completes and the resume replays its tail from
+  // the last checkpoint — still a valid byte-identity check.
+  crash.resume = true;
+  const abm::ModelStats stats = run(crash);
+  if (killed && !stats.resumed) {
+    return "NO-RESUME: killed run left no committed checkpoint";
+  }
+
+  const auto got = readRawFiles(crash.logDirectory);
+  const auto want = readRawFiles(config.logDirectory);
+  if (got.size() != want.size()) {
+    return "MISMATCH: file count";
+  }
+  for (const auto& [name, bytes] : want) {
+    const auto it = got.find(name);
+    if (it == got.end() || it->second != bytes) {
+      return "MISMATCH: " + name;
+    }
+  }
+  return "identical";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -182,21 +285,41 @@ int main(int argc, char** argv) {
   json.put("reference_edges", reference.edgeCount());
 
   std::uint64_t failures = 0;
+  std::uint64_t abmSeeds = 0;
+  std::uint64_t abmFailures = 0;
   std::uint64_t totalRetries = 0;
   std::uint64_t totalRespawns = 0;
   std::uint64_t totalRanksLost = 0;
   std::cout << "  seed  column      result     retries  respawns  lost\n";
   for (std::uint64_t seed = 0; seed < seedCount; ++seed) {
-    const Column column = static_cast<Column>(seed % 3);
+    const Column column = static_cast<Column>(seed % 4);
     util::Rng rng(seed * 0x9E3779B97F4A7C15ull + 3);
-    FaultPlan plan(seed);
-    makePlan(plan, column, rng);
-    net::SynthesisConfig config = makeConfig(column, rng);
 
     std::string result = "identical";
     std::uint64_t retries = 0;
     std::uint64_t respawns = 0;
     int ranksLost = 0;
+    if (column == Column::kAbmCkpt) {
+      // The simulation column exercises its own kill/checkpoint/resume
+      // cycle instead of the synthesis fault plan.
+      try {
+        result = soakAbmCheckpoint(population, seed, rng);
+      } catch (const std::exception& error) {
+        result = std::string("THROW: ") + error.what();
+      }
+      ++abmSeeds;
+      if (result != "identical") {
+        ++failures;
+        ++abmFailures;
+      }
+      std::cout << "  " << seed << "     " << columnName(column) << "  "
+                << result << "  0  0  0\n";
+      continue;
+    }
+    FaultPlan plan(seed);
+    makePlan(plan, column, rng);
+    net::SynthesisConfig config = makeConfig(column, rng);
+
     try {
       runtime::fault::ScopedFaultPlan scoped(plan);
       net::NetworkSynthesizer synthesizer(config);
@@ -222,6 +345,8 @@ int main(int argc, char** argv) {
   }
 
   json.put("failures", failures);
+  json.put("abm_ckpt_seeds", abmSeeds);
+  json.put("abm_ckpt_failures", abmFailures);
   json.put("total_command_retries", totalRetries);
   json.put("total_workers_respawned", totalRespawns);
   json.put("total_ranks_lost", totalRanksLost);

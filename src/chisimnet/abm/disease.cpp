@@ -55,12 +55,19 @@ std::uint64_t seedInfections(DiseaseShared& shared, std::size_t personCount) {
 
 DiseaseRank::DiseaseRank(DiseaseShared& shared, int rank,
                          const std::filesystem::path& directory,
-                         Hour totalHours, bool eventCore)
+                         Hour totalHours, bool eventCore,
+                         std::uint64_t resumeWriterAtBytes)
     : shared_(shared), rank_(rank), totalHours_(totalHours),
       eventCore_(eventCore) {
   char name[32];
   std::snprintf(name, sizeof(name), "rank_%04d.clx5", rank);
-  writer_ = std::make_unique<elog::ExtendedLogWriter>(directory / name, 2);
+  if (resumeWriterAtBytes != 0) {
+    writer_ = std::make_unique<elog::ExtendedLogWriter>(
+        directory / name, 2,
+        elog::ExtendedLogWriter::ResumeAt{resumeWriterAtBytes});
+  } else {
+    writer_ = std::make_unique<elog::ExtendedLogWriter>(directory / name, 2);
+  }
   occupantSlot_.resize(shared_.state.size());
   if (eventCore_) {
     progressionCalendar_.resize(totalHours_);
@@ -400,6 +407,49 @@ void DiseaseRank::close() {
     buffer_.clear();
   }
   writer_->close();
+}
+
+std::vector<DiseaseRank::CalendarBucket> DiseaseRank::calendarSnapshot(
+    Hour fromHour) const {
+  std::vector<CalendarBucket> buckets;
+  for (Hour h = fromHour; h < totalHours_; ++h) {
+    if (!progressionCalendar_[h].empty()) {
+      buckets.push_back(CalendarBucket{h, progressionCalendar_[h]});
+    }
+  }
+  return buckets;
+}
+
+void DiseaseRank::restoreResident(PersonId person, ActivityId activity,
+                                  PlaceId place) {
+  residents_[person] = StintInfo{activity, place};
+  occupy(person, place);
+  if (stateOf(person) == raw(SeirState::kInfectious)) {
+    ++infectiousResidents_;
+    addInfectiousAt(place);
+  }
+}
+
+void DiseaseRank::restoreCalendar(const CalendarBucket& bucket) {
+  CHISIM_REQUIRE(eventCore_, "restoreCalendar requires the event core");
+  CHISIM_CHECK(bucket.hour < totalHours_,
+               "checkpointed calendar bucket past the horizon");
+  auto& target = progressionCalendar_[bucket.hour];
+  CHISIM_CHECK(target.empty(), "calendar bucket restored twice");
+  target = bucket.persons;
+  pendingProgressions_ += bucket.persons.size();
+}
+
+void DiseaseRank::restoreBuffer(std::vector<elog::ExtendedEvent> entries) {
+  CHISIM_CHECK(buffer_.empty(), "CLX5 buffer restored twice");
+  buffer_ = std::move(entries);
+}
+
+void DiseaseRank::sync() { writer_->sync(); }
+
+void DiseaseRank::abandon() {
+  buffer_.clear();
+  writer_->abandon();
 }
 
 }  // namespace chisimnet::abm

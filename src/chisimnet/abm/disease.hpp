@@ -108,9 +108,11 @@ std::uint64_t seedInfections(DiseaseShared& shared, std::size_t personCount);
 class DiseaseRank {
  public:
   /// `eventCore` enables the progression calendar (sized totalHours + 1).
+  /// `resumeWriterAtBytes` nonzero reopens the rank's CLX5 file for
+  /// appending at that checkpoint offset instead of truncating it.
   DiseaseRank(DiseaseShared& shared, int rank,
               const std::filesystem::path& directory, table::Hour totalHours,
-              bool eventCore);
+              bool eventCore, std::uint64_t resumeWriterAtBytes = 0);
 
   // ---- residency hooks (called by the model core) ----
 
@@ -163,6 +165,52 @@ class DiseaseRank {
   }
 
   void close();
+
+  // ---- checkpoint/restart hooks (abm/sim_checkpoint) ----
+
+  /// One non-empty progression-calendar bucket, persons in FIFO order.
+  struct CalendarBucket {
+    table::Hour hour = 0;
+    std::vector<table::PersonId> persons;
+  };
+
+  /// All non-empty calendar buckets at hours >= `fromHour`, ascending.
+  /// Bucket order is serialized verbatim: the FIFO order feeds the
+  /// sort+unique in stepEvent, and pendingProgressions_ is exactly the sum
+  /// of bucket sizes, so restoreCalendar rebuilds both.
+  std::vector<CalendarBucket> calendarSnapshot(table::Hour fromHour) const;
+
+  /// Unflushed CLX5 entries (checkpointing must not flush the buffer —
+  /// that would move chunk boundaries vs an uninterrupted run).
+  const std::vector<elog::ExtendedEvent>& bufferSnapshot() const noexcept {
+    return buffer_;
+  }
+
+  std::uint64_t writerBytes() const noexcept { return writer_->bytesWritten(); }
+  std::uint64_t writerEntries() const noexcept {
+    return writer_->entriesWritten();
+  }
+
+  /// Resume-time residency rebuild: occupancy + infectious accounting only.
+  /// Unlike arrive(), schedules NOTHING — the progression calendar is
+  /// restored verbatim by restoreCalendar, and re-scheduling here would
+  /// duplicate (or subtly reorder) entries the checkpoint already carries.
+  void restoreResident(table::PersonId person, table::ActivityId activity,
+                       table::PlaceId place);
+
+  /// Reinstates one checkpointed calendar bucket (event core only).
+  void restoreCalendar(const CalendarBucket& bucket);
+
+  /// Reinstates the unflushed CLX5 buffer.
+  void restoreBuffer(std::vector<elog::ExtendedEvent> entries);
+
+  /// Flushes the writer's buffered bytes to the OS (called before a
+  /// checkpoint records writerBytes()).
+  void sync();
+
+  /// Crash-shaped close: drops the buffer, leaves the CLX5 file without a
+  /// footer so readers detect the torn file.
+  void abandon();
 
  private:
   struct StintInfo {

@@ -64,6 +64,9 @@ struct RankOutcome {
   std::uint64_t infections = 0;
   std::uint64_t hoursProcessed = 0;   ///< hours this core actually visited
   std::uint64_t peakQueueDepth = 0;   ///< max pending events on this rank
+  // Not serialized into checkpoints (run-local, not campaign state):
+  std::uint64_t checkpointsWritten = 0;  ///< checkpoints THIS run committed
+  bool interrupted = false;  ///< exited early on a shutdown request
 };
 
 /// Inputs shared (read-only, or rank-sliced as documented on
@@ -75,6 +78,14 @@ struct EventCoreContext {
   const pop::ScheduleGenerator* generator = nullptr;
   DiseaseShared* disease = nullptr;
   table::Hour totalHours = 0;
+  /// Loaded checkpoint set when resuming; nullptr for a fresh run. Declared
+  /// opaque here to avoid an include cycle with abm/sim_checkpoint.hpp.
+  const struct SimResume* resume = nullptr;
+  /// simConfigHash of this run — stamped into manifests it commits.
+  std::uint32_t configHash = 0;
+  /// manifest.checkpointsWritten at resume (0 fresh): committed manifests
+  /// record checkpointsBase + this run's count so the total is cumulative.
+  std::uint64_t checkpointsBase = 0;
 };
 
 /// Runs one rank of the event-driven core to completion.

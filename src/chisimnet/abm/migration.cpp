@@ -8,7 +8,9 @@ namespace chisimnet::abm {
 
 namespace {
 
-constexpr std::uint32_t kBatchMagic = 0x31424D43;  // "CMB1"
+// v2 ("CMB2") added the flags word for the shutdown agreement; the magic
+// doubles as the version so a mixed-build mismatch fails loudly.
+constexpr std::uint32_t kBatchMagic = 0x32424D43;  // "CMB2"
 
 template <typename T>
 void appendRaw(std::vector<std::byte>& out, const T& value) {
@@ -31,7 +33,7 @@ T readRaw(std::span<const std::byte> payload, std::size_t& offset) {
 }  // namespace
 
 std::vector<std::byte> encodeMigrationBatch(const MigrationBatch& batch) {
-  std::size_t bytes = 4 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  std::size_t bytes = 5 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
   for (const MigrantRecord& record : batch.migrants) {
     bytes += 4 * sizeof(std::uint32_t) +
              record.stints.size() * sizeof(pop::PackedStint);
@@ -41,6 +43,7 @@ std::vector<std::byte> encodeMigrationBatch(const MigrationBatch& batch) {
   appendRaw(out, kBatchMagic);
   appendRaw(out, batch.hour);
   appendRaw(out, batch.nextEventHint);
+  appendRaw(out, batch.flags);
   appendRaw(out, static_cast<std::uint32_t>(batch.migrants.size()));
   for (const MigrantRecord& record : batch.migrants) {
     appendRaw(out, record.person);
@@ -64,6 +67,7 @@ MigrationBatch decodeMigrationBatch(std::span<const std::byte> payload,
   CHISIM_CHECK(batch.hour == expectedHour,
                "migration batch timestamp does not match the current hour");
   batch.nextEventHint = readRaw<std::uint64_t>(payload, offset);
+  batch.flags = readRaw<std::uint32_t>(payload, offset);
   const auto count = readRaw<std::uint32_t>(payload, offset);
   // Each record is at least 16 bytes of header plus one stint.
   CHISIM_CHECK(count <= payload.size() / 16, "migration batch count implausible");

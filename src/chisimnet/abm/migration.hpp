@@ -29,11 +29,16 @@ struct MigrantRecord {
   std::vector<pop::PackedStint> stints;  ///< the full current packed week
 };
 
+/// Control flags OR-combined across ranks via the hourly exchange (every
+/// rank receives every other rank's flags, so the OR is a free all-reduce).
+inline constexpr std::uint32_t kBatchFlagShutdown = 1u << 0;
+
 /// Everything one rank sends another for one simulation hour.
 struct MigrationBatch {
   table::Hour hour = 0;               ///< the hour the moves happened
   std::uint64_t nextEventHint = 0;    ///< sender's earliest possible next
                                       ///< active hour (> hour)
+  std::uint32_t flags = 0;            ///< kBatchFlag* bits (shutdown request)
   std::vector<MigrantRecord> migrants;
 };
 

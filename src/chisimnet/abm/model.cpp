@@ -1,12 +1,17 @@
 #include "chisimnet/abm/model.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "chisimnet/abm/event_core.hpp"
+#include "chisimnet/abm/migration.hpp"
+#include "chisimnet/abm/sim_checkpoint.hpp"
 #include "chisimnet/elog/log_directory.hpp"
 #include "chisimnet/runtime/comm.hpp"
+#include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/runtime/scheduler.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
@@ -83,6 +88,11 @@ void validateModelConfig(const ModelConfig& config) {
                                    config.logDirectory.string());
   }
   std::filesystem::remove(probe, ec);
+  CHISIM_REQUIRE(config.checkpointEveryHours == 0 ||
+                     !config.checkpointDir.empty(),
+                 "checkpointEveryHours requires checkpointDir");
+  CHISIM_REQUIRE(!config.resume || !config.checkpointDir.empty(),
+                 "resume requires checkpointDir");
 }
 
 /// One rank of the hourly (reference) core: tick every hour, agents in
@@ -96,18 +106,35 @@ void runHourlyRank(runtime::RankHandle& rank, const EventCoreContext& context,
   const std::vector<int>& placeRank = *context.placeRank;
   const Hour totalHours = context.totalHours;
 
-  elog::EventLogger logger(
-      std::make_unique<elog::ChunkedLogWriter>(
-          elog::logFilePath(config.logDirectory, self), config.logCompression),
-      config.logCacheEntries);
+  const RankCheckpoint* resumePoint =
+      context.resume != nullptr
+          ? &context.resume->ranks.at(static_cast<std::size_t>(self))
+          : nullptr;
+
+  auto writer =
+      resumePoint != nullptr
+          ? std::make_unique<elog::ChunkedLogWriter>(
+                elog::logFilePath(config.logDirectory, self),
+                config.logCompression,
+                elog::ChunkedLogWriter::ResumeAt{resumePoint->logBytes})
+          : std::make_unique<elog::ChunkedLogWriter>(
+                elog::logFilePath(config.logDirectory, self),
+                config.logCompression);
+  elog::EventLogger logger(std::move(writer), config.logCacheEntries);
+  logger.setFaultRank(self);
 
   std::unique_ptr<DiseaseRank> epidemic;
   if (context.disease->enabled()) {
-    epidemic = std::make_unique<DiseaseRank>(*context.disease, self,
-                                             config.logDirectory, totalHours,
-                                             /*eventCore=*/false);
+    epidemic = std::make_unique<DiseaseRank>(
+        *context.disease, self, config.logDirectory, totalHours,
+        /*eventCore=*/false,
+        resumePoint != nullptr ? resumePoint->clxBytes : 0);
   }
 
+  // A failing rank (fault injection, I/O error, a peer's abort waking our
+  // recv) must leave crash-shaped logs — no footer — so readers treat them
+  // exactly like a SIGKILL's torn files.
+  try {
   // Agents whose current place this rank owns, plus an agenda of stint
   // end hours -> persons, so each step touches only agents in transition.
   std::unordered_map<PersonId, AgentCursor> residents;
@@ -123,20 +150,118 @@ void runHourlyRank(runtime::RankHandle& rank, const EventCoreContext& context,
     residents.emplace(cursor.person, std::move(cursor));
   };
 
-  // Initial residency from the first stint of week 0.
-  for (const pop::Person& person : context.population->persons()) {
-    AgentCursor cursor = makeCursor(person.id, 0, generator);
-    if (placeRank[cursor.current().place] == self) {
-      adopt(std::move(cursor), 0);
+  if (resumePoint == nullptr) {
+    // Initial residency from the first stint of week 0.
+    for (const pop::Person& person : context.population->persons()) {
+      AgentCursor cursor = makeCursor(person.id, 0, generator);
+      if (placeRank[cursor.current().place] == self) {
+        adopt(std::move(cursor), 0);
+      }
+    }
+    outcome.initialAgents = residents.size();
+
+    if (epidemic) {
+      // Record the seed infections owned by this rank, then run hour 0.
+      epidemic->logSeeds();
+      epidemic->stepHourly(0, outcome.infections);
+    }
+  } else {
+    // Resume: counters, cursors, agenda buckets and the unflushed log
+    // caches come from the checkpoint; weekly schedules regenerate exactly
+    // from (person, weekIndex). No seeding replay, no hour-0 step — the
+    // hours below the checkpoint are already on disk.
+    outcome = resumePoint->outcome;
+    logger.restoreCache(resumePoint->logCache, resumePoint->logEntries,
+                        resumePoint->logFlushCount);
+    for (const AgentSnapshot& agent : resumePoint->residents) {
+      AgentCursor cursor;
+      cursor.person = agent.person;
+      cursor.week = agent.weekIndex;
+      cursor.schedule = generator.weeklySchedule(agent.person, agent.weekIndex);
+      cursor.index = agent.stintIndex;
+      if (epidemic) {
+        epidemic->restoreResident(agent.person, cursor.current().activity,
+                                  cursor.current().place);
+      }
+      residents.emplace(agent.person, std::move(cursor));
+    }
+    for (const HourBucket& bucket : resumePoint->calendar) {
+      for (PersonId person : bucket.persons) {
+        agenda[bucket.hour].push_back(person);
+      }
+    }
+    if (epidemic) {
+      // The hourly engine has no progression calendar; only the unflushed
+      // CLX5 buffer needs reinstating.
+      epidemic->restoreBuffer(resumePoint->clxBuffer);
+      CHISIM_CHECK(epidemic->writerEntries() == resumePoint->clxEntries,
+                   "resumed CLX5 entry count does not match the checkpoint");
     }
   }
-  outcome.initialAgents = residents.size();
 
-  if (epidemic) {
-    // Record the seed infections owned by this rank, then run hour 0.
-    epidemic->logSeeds();
-    epidemic->stepHourly(0, outcome.infections);
-  }
+  const bool checkpointing = !config.checkpointDir.empty();
+  Hour nextCheckpointDue = static_cast<Hour>(
+      (resumePoint != nullptr ? resumePoint->hour : 0) +
+      config.checkpointEveryHours);
+  bool shutdownAgreed = false;
+
+  const auto writeCheckpoint = [&](Hour now) {
+    // Buffered file bytes go to the OS so everything below the recorded
+    // offsets survives a kill right after the manifest commit; the
+    // unflushed caches travel inside the checkpoint (a flush here would
+    // move chunk boundaries vs an uninterrupted run).
+    logger.sync();
+    if (epidemic) {
+      epidemic->sync();
+    }
+    RankCheckpoint ckpt;
+    ckpt.hour = now;
+    ckpt.diseaseEnabled = epidemic != nullptr;
+    ckpt.outcome = outcome;
+    ckpt.residents.reserve(residents.size());
+    for (const auto& [person, cursor] : residents) {
+      AgentSnapshot agent;
+      agent.person = person;
+      agent.weekIndex = cursor.week;
+      agent.stintIndex = static_cast<std::uint32_t>(cursor.index);
+      if (epidemic) {
+        agent.state = context.disease->state[person];
+        agent.since = context.disease->since[person];
+      }
+      ckpt.residents.push_back(agent);
+    }
+    std::sort(ckpt.residents.begin(), ckpt.residents.end(),
+              [](const AgentSnapshot& a, const AgentSnapshot& b) {
+                return a.person < b.person;
+              });
+    for (Hour h = now; h <= totalHours; ++h) {
+      if (!agenda[h].empty()) {
+        ckpt.calendar.push_back(HourBucket{h, agenda[h]});
+      }
+    }
+    ckpt.logBytes = logger.writer().bytesWritten();
+    ckpt.logEntries = logger.entriesLogged();
+    ckpt.logFlushCount = logger.flushCount();
+    ckpt.logCache = logger.cacheSnapshot();
+    if (epidemic) {
+      ckpt.clxBytes = epidemic->writerBytes();
+      ckpt.clxEntries = epidemic->writerEntries();
+      ckpt.clxBuffer = epidemic->bufferSnapshot();
+      const std::vector<std::uint32_t>& rows =
+          context.disease->hourlyInfectious[static_cast<std::size_t>(self)];
+      ckpt.hourlyInfectious.assign(rows.begin(), rows.begin() + now);
+    }
+    saveRankCheckpoint(config.checkpointDir, self, ckpt);
+    ++outcome.checkpointsWritten;
+    rank.barrier();
+    if (self == 0) {
+      commitSimManifest(config.checkpointDir,
+                        SimManifest{now, rank.size(), context.configHash,
+                                    context.checkpointsBase +
+                                        outcome.checkpointsWritten});
+    }
+    rank.barrier();
+  };
 
   std::vector<std::vector<std::uint32_t>> outbound(
       static_cast<std::size_t>(rank.size()));
@@ -147,6 +272,38 @@ void runHourlyRank(runtime::RankHandle& rank, const EventCoreContext& context,
   runtime::Scheduler scheduler;
   const auto hourAction = [&](runtime::Tick tick) {
     const Hour now = static_cast<Hour>(tick);
+    if (runtime::fault::armed()) {
+      runtime::FaultSite site;
+      site.rank = self;
+      site.ordinal = now;
+      runtime::fault::hit("abm.step", site);
+    }
+    // Checkpoint at the top of the hour, before this hour's movement and
+    // epidemic actions touch any state — exactly what the resumed loop
+    // will redo.
+    if (checkpointing && now < totalHours) {
+      const bool stopNow =
+          shutdownAgreed || (rank.size() == 1 && shutdownRequested());
+      if (stopNow ||
+          (config.checkpointEveryHours > 0 && now >= nextCheckpointDue)) {
+        writeCheckpoint(now);
+        if (stopNow) {
+          // Graceful shutdown: ordinary close. The footer lands above the
+          // checkpointed offsets; resume truncation removes it. stop()
+          // also cancels this tick's kLate epidemic action.
+          outcome.interrupted = true;
+          logger.close();
+          if (epidemic) {
+            epidemic->close();
+          }
+          outcome.logBytes = logger.writer().bytesWritten();
+          scheduler.stop();
+          return;
+        }
+        nextCheckpointDue =
+            static_cast<Hour>(now + config.checkpointEveryHours);
+      }
+    }
     ++outcome.hoursProcessed;
     for (auto& bucket : outbound) {
       bucket.clear();
@@ -196,28 +353,57 @@ void runHourlyRank(runtime::RankHandle& rank, const EventCoreContext& context,
     }
 
     // Exchange migrants: every rank sends to every other rank each step
-    // (possibly empty), so receive counts are deterministic.
+    // (possibly empty), so receive counts are deterministic. Word 0 of the
+    // payload carries the shutdown-agreement flags (kBatchFlagShutdown);
+    // person ids follow. The flags OR together across ranks, so a signal
+    // on any rank makes EVERY rank checkpoint-and-exit at the top of the
+    // next hour.
+    const std::uint32_t flags =
+        checkpointing && shutdownRequested() ? kBatchFlagShutdown : 0;
     const int tag = kMigrationTagBase + static_cast<int>(now % (1 << 19));
     for (int dest = 0; dest < rank.size(); ++dest) {
       if (dest != self) {
-        rank.sendVector<std::uint32_t>(
-            dest, tag, outbound[static_cast<std::size_t>(dest)]);
+        if (runtime::fault::armed()) {
+          runtime::FaultSite site;
+          site.rank = self;
+          site.ordinal = now;
+          runtime::fault::hit("abm.migrate.send", site);
+        }
+        std::vector<std::uint32_t> wire;
+        wire.reserve(1 + outbound[static_cast<std::size_t>(dest)].size());
+        wire.push_back(flags);
+        wire.insert(wire.end(),
+                    outbound[static_cast<std::size_t>(dest)].begin(),
+                    outbound[static_cast<std::size_t>(dest)].end());
+        rank.sendVector<std::uint32_t>(dest, tag, wire);
       }
     }
+    std::uint32_t combinedFlags = flags;
     for (int source = 0; source < rank.size(); ++source) {
       if (source == self) {
         continue;
       }
       const runtime::Message message = rank.recv(source, tag);
-      for (std::uint32_t personId : message.as<std::uint32_t>()) {
-        adopt(makeCursor(personId, now, generator), now);
+      const std::vector<std::uint32_t> wire = message.as<std::uint32_t>();
+      CHISIM_CHECK(!wire.empty(), "migration payload missing the flags word");
+      combinedFlags |= wire[0];
+      for (std::size_t i = 1; i < wire.size(); ++i) {
+        adopt(makeCursor(wire[i], now, generator), now);
       }
     }
+    if ((combinedFlags & kBatchFlagShutdown) != 0) {
+      shutdownAgreed = true;
+    }
   };
-  scheduler.scheduleRepeating(1, 1, hourAction, runtime::Scheduler::kNormal);
+  // A fresh run ticks from hour 1; a resumed run from the checkpoint hour
+  // (hours below it are already on disk).
+  const runtime::Tick firstTick =
+      resumePoint != nullptr ? resumePoint->hour : 1;
+  scheduler.scheduleRepeating(firstTick, 1, hourAction,
+                              runtime::Scheduler::kNormal);
   if (epidemic) {
     scheduler.scheduleRepeating(
-        1, 1,
+        firstTick, 1,
         [&](runtime::Tick tick) {
           epidemic->stepHourly(static_cast<Hour>(tick), outcome.infections);
         },
@@ -225,12 +411,22 @@ void runHourlyRank(runtime::RankHandle& rank, const EventCoreContext& context,
   }
   scheduler.run(totalHours);
 
+  if (outcome.interrupted) {
+    return;  // checkpointed and closed inside the stopping hour action
+  }
   CHISIM_CHECK(residents.empty(), "agents left after the final hour");
   logger.close();
   if (epidemic) {
     epidemic->close();
   }
   outcome.logBytes = logger.writer().bytesWritten();
+  } catch (...) {
+    logger.abandon();
+    if (epidemic) {
+      epidemic->abandon();
+    }
+    throw;
+  }
 }
 
 ModelStats runModelImpl(const pop::SyntheticPopulation& population,
@@ -255,6 +451,46 @@ ModelStats runModelImpl(const pop::SyntheticPopulation& population,
     seeded = seedInfections(disease, personCount);
   }
 
+  const std::uint32_t configHash =
+      simConfigHash(population.persons().size(), population.places().size(),
+                    config, disease.config);
+
+  // Resume: a committed checkpoint in checkpointDir restarts the run at the
+  // manifest hour; no manifest means a fresh start (first launch with
+  // --resume already set, or a run killed before its first checkpoint).
+  std::optional<SimResume> resume;
+  if (config.resume) {
+    resume = loadSimResume(config.checkpointDir, config.rankCount, configHash);
+  }
+  if (resume.has_value() && disease.enabled()) {
+    // Seeding already ran (deterministically); overwrite with the
+    // checkpointed epidemic. The rank records partition the population —
+    // every person resides on exactly one rank — so together they cover
+    // every (state, since) entry; each rank also restores its own
+    // prevalence rows below the checkpoint hour.
+    for (std::size_t rankIndex = 0; rankIndex < resume->ranks.size();
+         ++rankIndex) {
+      const RankCheckpoint& ckpt = resume->ranks[rankIndex];
+      CHISIM_CHECK(ckpt.diseaseEnabled,
+                   "checkpoint was written without the disease layer");
+      for (const AgentSnapshot& agent : ckpt.residents) {
+        disease.state[agent.person] = static_cast<std::uint8_t>(agent.state);
+        disease.since[agent.person] = agent.since;
+      }
+      std::vector<std::uint32_t>& rows = disease.hourlyInfectious[rankIndex];
+      CHISIM_CHECK(ckpt.hourlyInfectious.size() <= rows.size(),
+                   "checkpoint prevalence rows exceed the horizon");
+      std::copy(ckpt.hourlyInfectious.begin(), ckpt.hourlyInfectious.end(),
+                rows.begin());
+    }
+  }
+  if (resume.has_value()) {
+    for (const RankCheckpoint& ckpt : resume->ranks) {
+      CHISIM_CHECK(ckpt.diseaseEnabled == disease.enabled(),
+                   "checkpoint disease layer does not match this run");
+    }
+  }
+
   EventCoreContext context;
   context.population = &population;
   context.config = &config;
@@ -262,6 +498,10 @@ ModelStats runModelImpl(const pop::SyntheticPopulation& population,
   context.generator = &generator;
   context.disease = &disease;
   context.totalHours = totalHours;
+  context.resume = resume.has_value() ? &*resume : nullptr;
+  context.configHash = configHash;
+  context.checkpointsBase =
+      resume.has_value() ? resume->manifest.checkpointsWritten : 0;
 
   std::vector<RankOutcome> outcomes(static_cast<std::size_t>(config.rankCount));
   util::WallTimer wall;
@@ -278,6 +518,13 @@ ModelStats runModelImpl(const pop::SyntheticPopulation& population,
   ModelStats stats;
   stats.simulatedHours = totalHours;
   stats.wallSeconds = wall.seconds();
+  stats.resumed = resume.has_value();
+  stats.hoursReplayed = resume.has_value() ? resume->manifest.hour : 0;
+  // Every rank writes each checkpoint (the commit barriers keep them in
+  // lockstep), so rank 0's count is THE count; the base carries totals
+  // from before the resume.
+  stats.checkpointsWritten =
+      context.checkpointsBase + outcomes[0].checkpointsWritten;
   stats.agentHours =
       static_cast<std::uint64_t>(population.persons().size()) * totalHours;
   stats.perRankEvents.reserve(outcomes.size());
@@ -288,6 +535,7 @@ ModelStats runModelImpl(const pop::SyntheticPopulation& population,
     stats.migrations += outcome.migrationsOut;
     stats.localMoves += outcome.localMoves;
     stats.logBytes += outcome.logBytes;
+    stats.interrupted = stats.interrupted || outcome.interrupted;
     stats.hoursActive = std::max(stats.hoursActive, outcome.hoursProcessed);
     stats.peakQueueDepth = std::max(stats.peakQueueDepth, outcome.peakQueueDepth);
     stats.perRankEvents.push_back(outcome.events);

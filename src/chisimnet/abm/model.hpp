@@ -49,6 +49,19 @@ struct ModelConfig {
   std::uint64_t scheduleSeed = 7;
   PartitionStrategy strategy = PartitionStrategy::kNeighborhood;
   ModelCore core = ModelCore::kEventDriven;
+  /// Non-empty enables crash-safe checkpointing (abm/sim_checkpoint.hpp):
+  /// periodic rank-state snapshots land here, and a SIGTERM/SIGINT (when
+  /// the caller installed ScopedShutdownHandler or called requestShutdown)
+  /// checkpoints and exits gracefully at the top of the next hour.
+  std::filesystem::path checkpointDir;
+  /// Checkpoint every N simulated hours (0 = only on shutdown request).
+  /// Requires checkpointDir.
+  std::uint32_t checkpointEveryHours = 0;
+  /// Resume from the manifest in checkpointDir when one exists; falls back
+  /// to a fresh start when the directory holds no committed checkpoint.
+  /// The resumed run's CLG5/CLX5 logs are byte-identical to an
+  /// uninterrupted run (files truncate to the checkpointed offsets).
+  bool resume = false;
 };
 
 struct ModelStats {
@@ -65,6 +78,15 @@ struct ModelStats {
   /// Max simultaneously pending calendar events (activity changes plus
   /// scheduled disease progressions) on any rank; 0 for the hourly core.
   std::uint64_t peakQueueDepth = 0;
+  /// Checkpoints committed over the campaign (cumulative across resumes).
+  std::uint64_t checkpointsWritten = 0;
+  /// True when this run started from a committed checkpoint.
+  bool resumed = false;
+  /// Hours already on disk at resume (the checkpoint hour); 0 fresh runs.
+  std::uint64_t hoursReplayed = 0;
+  /// True when the run checkpointed and exited early on a shutdown
+  /// request instead of reaching the horizon.
+  bool interrupted = false;
   double wallSeconds = 0.0;
   std::vector<std::uint64_t> perRankEvents;
   std::vector<std::uint64_t> perRankMigrationsOut;

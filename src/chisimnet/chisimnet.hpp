@@ -14,6 +14,7 @@
 #include "chisimnet/abm/disease.hpp"
 #include "chisimnet/abm/model.hpp"
 #include "chisimnet/abm/place_partition.hpp"
+#include "chisimnet/abm/sim_checkpoint.hpp"
 #include "chisimnet/elog/clg5.hpp"
 #include "chisimnet/elog/extended.hpp"
 #include "chisimnet/elog/event_logger.hpp"

@@ -161,6 +161,70 @@ ChunkedLogWriter::ChunkedLogWriter(const std::filesystem::path& path,
   bytesWritten_ = kHeaderBytes;
 }
 
+ChunkedLogWriter::ChunkedLogWriter(const std::filesystem::path& path,
+                                   LogCompression compression, ResumeAt resume)
+    : path_(path), compression_(compression) {
+  // Scan the existing file's chunk headers and require the walk to land
+  // exactly on the checkpoint offset: an offset inside a chunk (or past
+  // the end of the file) means the checkpoint and the log disagree, and
+  // resuming would splice chunks mid-payload.
+  {
+    std::ifstream in(path, std::ios::binary);
+    CHISIM_CHECK(in.good(),
+                 "cannot open log file for resume: " + path.string());
+    char magic[4];
+    in.read(magic, 4);
+    CHISIM_CHECK(in.gcount() == 4 && std::equal(magic, magic + 4, kMagic),
+                 "resume target is not a CLG5 file: " + path.string());
+    CHISIM_CHECK(util::readU32(in) == kClg5Version,
+                 "resume target has an unsupported CLG5 version: " +
+                     path.string());
+    CHISIM_CHECK(util::readU32(in) == 5,
+                 "resume target has an unsupported CLG5 schema: " +
+                     path.string());
+    util::readU64(in);  // footerOffset: 0 (torn) or valid (graceful close)
+    CHISIM_CHECK(resume.bytes >= kHeaderBytes,
+                 "resume offset inside the CLG5 header: " + path.string());
+    std::error_code sizeError;
+    const std::uintmax_t fileBytes = std::filesystem::file_size(path, sizeError);
+    CHISIM_CHECK(!sizeError && fileBytes >= resume.bytes,
+                 "log file shorter than its checkpoint offset: " +
+                     path.string());
+    std::uint64_t cursor = kHeaderBytes;
+    while (cursor < resume.bytes) {
+      in.seekg(static_cast<std::streamoff>(cursor));
+      ChunkInfo info;
+      info.offset = cursor;
+      info.entryCount = util::readU32(in);
+      info.minStart = util::readU32(in);
+      info.maxEnd = util::readU32(in);
+      util::readU32(in);  // crc
+      util::readU32(in);  // encoding
+      const std::uint32_t payloadBytes = util::readU32(in);
+      cursor += kChunkHeaderBytes + payloadBytes;
+      CHISIM_CHECK(cursor <= resume.bytes,
+                   "checkpoint offset is not on a chunk boundary: " +
+                       path.string());
+      chunks_.push_back(info);
+      entriesWritten_ += info.entryCount;
+    }
+    CHISIM_CHECK(in.good(), "log chunk scan failed during resume: " +
+                                path.string());
+  }
+  // Drop everything past the checkpoint offset (a later flush chunk, a
+  // graceful-close footer, or a torn tail from the crash) and mark the
+  // file unfinished again until the resumed run's close().
+  std::filesystem::resize_file(path, resume.bytes);
+  out_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  CHISIM_CHECK(out_.good(),
+               "cannot reopen log file for resume: " + path.string());
+  out_.seekp(12);  // footerOffset slot in the header
+  util::writeU64(out_, 0);
+  out_.seekp(static_cast<std::streamoff>(resume.bytes));
+  CHISIM_CHECK(out_.good(), "resume reposition failed: " + path.string());
+  bytesWritten_ = resume.bytes;
+}
+
 ChunkedLogWriter::~ChunkedLogWriter() {
   try {
     close();
@@ -202,6 +266,21 @@ void ChunkedLogWriter::writeChunk(std::span<const table::Event> entries) {
   bytesWritten_ += kChunkHeaderBytes + payload.size();
   entriesWritten_ += entries.size();
   chunks_.push_back(info);
+}
+
+void ChunkedLogWriter::sync() {
+  CHISIM_REQUIRE(!closed_, "writer already closed");
+  out_.flush();
+  CHISIM_CHECK(out_.good(), "log sync failed: " + path_.string());
+}
+
+void ChunkedLogWriter::abandon() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  out_.flush();
+  out_.close();  // footerOffset stays 0: readers reject the torn file
 }
 
 void ChunkedLogWriter::close() {

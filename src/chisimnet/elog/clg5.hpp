@@ -79,10 +79,33 @@ struct ChunkInfo {
 
 /// Appends chunks of log entries to one CLG5 file. Single writer per file
 /// (each rank owns its own file, exactly as in the paper).
+///
+/// Crash-safety contract: the header's footerOffset slot stays 0 until
+/// close() patches it, so a file torn by a crash (or left by abandon())
+/// is rejected by ChunkedLogReader with "missing footer" instead of being
+/// silently short — the synthesis quarantine path handles it from there.
 class ChunkedLogWriter {
  public:
+  /// Resume marker for the checkpoint/restart path: reopen `path` for
+  /// appending at exactly `bytes` (a chunk boundary recorded at checkpoint
+  /// time), discarding any bytes past it.
+  struct ResumeAt {
+    std::uint64_t bytes = 0;
+  };
+
   explicit ChunkedLogWriter(const std::filesystem::path& path,
                             LogCompression compression = LogCompression::kRaw);
+
+  /// Resume-open: validates the existing header, scans chunk headers from
+  /// the top of the file and requires the scan to land *exactly* on
+  /// `resume.bytes` (a checkpoint offset is always a chunk boundary),
+  /// truncates the file there — dropping any chunks, torn tails or footer a
+  /// crashed or gracefully-closed run left past the checkpoint — rebuilds
+  /// the chunk index from the scan, and resets the header's footerOffset
+  /// slot to 0 so the resumed file is again detectably-unfinished until the
+  /// next close().
+  ChunkedLogWriter(const std::filesystem::path& path,
+                   LogCompression compression, ResumeAt resume);
   ~ChunkedLogWriter();
 
   ChunkedLogWriter(const ChunkedLogWriter&) = delete;
@@ -90,6 +113,17 @@ class ChunkedLogWriter {
 
   /// Writes one chunk containing all `entries` (no-op for an empty span).
   void writeChunk(std::span<const table::Event> entries);
+
+  /// Flushes buffered bytes to the OS so everything below bytesWritten()
+  /// survives a SIGKILL of this process. Called before a checkpoint
+  /// records this writer's offset.
+  void sync();
+
+  /// Closes the stream WITHOUT writing the footer — models what a crash
+  /// leaves behind (used when a rank aborts on an injected fault, so the
+  /// torn file is detectable instead of accidentally finalized by the
+  /// destructor). Idempotent with close().
+  void abandon();
 
   /// Writes the footer and closes the file. Idempotent; called by the
   /// destructor if not called explicitly.

@@ -1,5 +1,6 @@
 #include "chisimnet/elog/event_logger.hpp"
 
+#include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/util/error.hpp"
 
 namespace chisimnet::elog {
@@ -34,6 +35,12 @@ void EventLogger::flush() {
   if (cache_.empty()) {
     return;
   }
+  if (runtime::fault::armed()) {
+    runtime::FaultSite site;
+    site.rank = faultRank_;
+    site.ordinal = flushCount_ + 1;  // 1-based flush number of this logger
+    runtime::fault::hit("abm.log.flush", site);
+  }
   std::vector<table::Event> entries;
   entries.reserve(cache_.size());
   for (const CacheRow& row : cache_) {
@@ -44,6 +51,17 @@ void EventLogger::flush() {
   ++flushCount_;
 }
 
+void EventLogger::sync() { writer_->sync(); }
+
+void EventLogger::abandon() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  cache_.clear();
+  writer_->abandon();
+}
+
 void EventLogger::close() {
   if (closed_) {
     return;
@@ -51,6 +69,31 @@ void EventLogger::close() {
   flush();
   writer_->close();
   closed_ = true;
+}
+
+std::vector<table::Event> EventLogger::cacheSnapshot() const {
+  std::vector<table::Event> events;
+  events.reserve(cache_.size());
+  for (const CacheRow& row : cache_) {
+    events.push_back(table::Event{row[0], row[1], row[2], row[3], row[4]});
+  }
+  return events;
+}
+
+void EventLogger::restoreCache(const std::vector<table::Event>& events,
+                               std::uint64_t entriesLogged,
+                               std::uint64_t flushCount) {
+  CHISIM_REQUIRE(!closed_, "logger already closed");
+  CHISIM_REQUIRE(cache_.empty() && entriesLogged_ == 0,
+                 "restoreCache on a logger that already logged");
+  CHISIM_REQUIRE(events.size() <= cacheCapacity_,
+                 "checkpointed cache larger than the configured capacity");
+  for (const table::Event& event : events) {
+    cache_.push_back(CacheRow{event.start, event.end, event.person,
+                              event.activity, event.place});
+  }
+  entriesLogged_ = entriesLogged;
+  flushCount_ = flushCount;
 }
 
 }  // namespace chisimnet::elog

@@ -35,11 +35,34 @@ class EventLogger {
   /// Records an activity-change entry; flushes the cache when it fills.
   void log(const table::Event& event);
 
-  /// Forces the cache to disk (no-op when empty).
+  /// Forces the cache to disk (no-op when empty). Fires the
+  /// `abm.log.flush` fault site (rank from setFaultRank, ordinal = the
+  /// 1-based flush number) before writing the chunk.
   void flush();
+
+  /// Pushes the writer's buffered bytes to the OS WITHOUT flushing the
+  /// cache — checkpointing must not move chunk boundaries, so the cache is
+  /// serialized into the checkpoint instead (cacheSnapshot()).
+  void sync();
+
+  /// Closes the underlying file without a footer (crash-shaped exit);
+  /// the cache is dropped. Idempotent with close().
+  void abandon();
 
   /// Flushes and finalizes the underlying file. Idempotent.
   void close();
+
+  /// The unflushed cache as events, oldest first — checkpoint payload.
+  std::vector<table::Event> cacheSnapshot() const;
+
+  /// Resume counterpart of cacheSnapshot(): reinstates the unflushed rows
+  /// and the logger counters exactly as they were at checkpoint time, so
+  /// every future chunk boundary matches the uninterrupted run.
+  void restoreCache(const std::vector<table::Event>& events,
+                    std::uint64_t entriesLogged, std::uint64_t flushCount);
+
+  /// Rank reported to the abm.log.flush fault site (-1 = no rank).
+  void setFaultRank(int rank) noexcept { faultRank_ = rank; }
 
   std::uint64_t entriesLogged() const noexcept { return entriesLogged_; }
   std::uint64_t flushCount() const noexcept { return flushCount_; }
@@ -56,6 +79,7 @@ class EventLogger {
   std::size_t cacheCapacity_;
   std::uint64_t entriesLogged_ = 0;
   std::uint64_t flushCount_ = 0;
+  int faultRank_ = -1;
   bool closed_ = false;
 };
 

@@ -47,6 +47,64 @@ ExtendedLogWriter::ExtendedLogWriter(const std::filesystem::path& path,
   bytesWritten_ = kHeaderBytes;
 }
 
+ExtendedLogWriter::ExtendedLogWriter(const std::filesystem::path& path,
+                                     std::uint32_t extraColumns,
+                                     ResumeAt resume)
+    : path_(path), extraColumns_(extraColumns) {
+  const std::size_t rowBytes = (5 + extraColumns_) * 4;
+  {
+    std::ifstream in(path, std::ios::binary);
+    CHISIM_CHECK(in.good(),
+                 "cannot open extended log for resume: " + path.string());
+    char magic[4];
+    in.read(magic, 4);
+    CHISIM_CHECK(in.gcount() == 4 && std::equal(magic, magic + 4, kMagic),
+                 "resume target is not a CLX5 file: " + path.string());
+    CHISIM_CHECK(util::readU32(in) == kVersion,
+                 "resume target has an unsupported CLX5 version: " +
+                     path.string());
+    CHISIM_CHECK(util::readU32(in) == 5 + extraColumns_,
+                 "resume target has a different CLX5 schema: " +
+                     path.string());
+    util::readU64(in);  // footerOffset: 0 (torn) or valid (graceful close)
+    CHISIM_CHECK(resume.bytes >= kHeaderBytes,
+                 "resume offset inside the CLX5 header: " + path.string());
+    std::error_code sizeError;
+    const std::uintmax_t fileBytes = std::filesystem::file_size(path, sizeError);
+    CHISIM_CHECK(!sizeError && fileBytes >= resume.bytes,
+                 "extended log shorter than its checkpoint offset: " +
+                     path.string());
+    std::uint64_t cursor = kHeaderBytes;
+    while (cursor < resume.bytes) {
+      in.seekg(static_cast<std::streamoff>(cursor));
+      ExtendedChunkInfo info;
+      info.offset = cursor;
+      info.entryCount = util::readU32(in);
+      info.minStart = util::readU32(in);
+      info.maxEnd = util::readU32(in);
+      util::readU32(in);  // crc
+      cursor += kChunkHeaderBytes +
+                static_cast<std::uint64_t>(info.entryCount) * rowBytes;
+      CHISIM_CHECK(cursor <= resume.bytes,
+                   "checkpoint offset is not on a chunk boundary: " +
+                       path.string());
+      chunks_.push_back(info);
+      entriesWritten_ += info.entryCount;
+    }
+    CHISIM_CHECK(in.good(), "extended log chunk scan failed during resume: " +
+                                path.string());
+  }
+  std::filesystem::resize_file(path, resume.bytes);
+  out_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+  CHISIM_CHECK(out_.good(),
+               "cannot reopen extended log for resume: " + path.string());
+  out_.seekp(12);  // footerOffset slot in the header
+  util::writeU64(out_, 0);
+  out_.seekp(static_cast<std::streamoff>(resume.bytes));
+  CHISIM_CHECK(out_.good(), "resume reposition failed: " + path.string());
+  bytesWritten_ = resume.bytes;
+}
+
 ExtendedLogWriter::~ExtendedLogWriter() {
   try {
     close();
@@ -94,6 +152,21 @@ void ExtendedLogWriter::writeChunk(std::span<const ExtendedEvent> entries) {
   bytesWritten_ += kChunkHeaderBytes + payload.size();
   entriesWritten_ += entries.size();
   chunks_.push_back(info);
+}
+
+void ExtendedLogWriter::sync() {
+  CHISIM_REQUIRE(!closed_, "writer already closed");
+  out_.flush();
+  CHISIM_CHECK(out_.good(), "extended log sync failed: " + path_.string());
+}
+
+void ExtendedLogWriter::abandon() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  out_.flush();
+  out_.close();  // footerOffset stays 0: readers reject the torn file
 }
 
 void ExtendedLogWriter::close() {

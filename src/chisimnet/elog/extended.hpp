@@ -37,10 +37,28 @@ struct ExtendedChunkInfo {
 };
 
 /// Writer for CLX5 files with a fixed number of extra columns.
+///
+/// Like CLG5, the header's footerOffset slot stays 0 until close(), so a
+/// half-written file from a crash (or abandon()) is rejected by
+/// ExtendedLogReader instead of being silently short.
 class ExtendedLogWriter {
  public:
+  /// Resume marker: reopen `path` for appending at exactly `bytes` (a
+  /// chunk boundary recorded at checkpoint time).
+  struct ResumeAt {
+    std::uint64_t bytes = 0;
+  };
+
   ExtendedLogWriter(const std::filesystem::path& path,
                     std::uint32_t extraColumns);
+
+  /// Resume-open: validates the header, scans chunk headers (payload size
+  /// is derivable — entryCount x (5 + extras) x 4 bytes) and requires the
+  /// scan to land exactly on `resume.bytes`, truncates there, rebuilds the
+  /// chunk index and resets footerOffset to 0 (see
+  /// ChunkedLogWriter's resume constructor for the full contract).
+  ExtendedLogWriter(const std::filesystem::path& path,
+                    std::uint32_t extraColumns, ResumeAt resume);
   ~ExtendedLogWriter();
 
   ExtendedLogWriter(const ExtendedLogWriter&) = delete;
@@ -50,6 +68,14 @@ class ExtendedLogWriter {
 
   /// Writes one chunk. Every entry must carry exactly extraColumns extras.
   void writeChunk(std::span<const ExtendedEvent> entries);
+
+  /// Flushes buffered bytes to the OS so everything below bytesWritten()
+  /// survives a SIGKILL (called before a checkpoint records the offset).
+  void sync();
+
+  /// Closes without a footer — the crash-shaped exit (see
+  /// ChunkedLogWriter::abandon). Idempotent with close().
+  void abandon();
 
   void close();
 

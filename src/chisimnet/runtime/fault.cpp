@@ -64,6 +64,7 @@ FaultPlan& FaultPlan::at(std::string site, FaultSpec spec) {
 FaultAction FaultPlan::fire(std::string_view site, FaultSite& ctx) {
   FaultSpec chosen;
   std::uint64_t hitNumber = 0;
+  std::uint64_t matchOrdinal = 0;
   bool act = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -73,6 +74,10 @@ FaultAction FaultPlan::fire(std::string_view site, FaultSite& ctx) {
     } else {
       hitNumber = ++hits_[std::string(site)];
     }
+    // Sites that know a deterministic position (the ABM sites pass the
+    // simulated hour) match exact-hit specs on that ordinal; the global
+    // counter is only meaningful when one thread drives the site.
+    matchOrdinal = ctx.ordinal != 0 ? ctx.ordinal : hitNumber;
     const auto it = specs_.find(site);
     if (it != specs_.end()) {
       for (const FaultSpec& spec : it->second) {
@@ -80,7 +85,7 @@ FaultAction FaultPlan::fire(std::string_view site, FaultSite& ctx) {
           continue;
         }
         if (spec.hit != 0) {
-          if (spec.hit != hitNumber) {
+          if (spec.hit != matchOrdinal) {
             continue;
           }
         } else if (spec.probability < 1.0) {
@@ -111,7 +116,7 @@ FaultAction FaultPlan::fire(std::string_view site, FaultSite& ctx) {
     case FaultAction::kNone:
       return FaultAction::kNone;
     case FaultAction::kThrow:
-      throw FaultInjected(site, hitNumber);
+      throw FaultInjected(site, matchOrdinal);
     case FaultAction::kDelay:
       std::this_thread::sleep_for(std::chrono::milliseconds(chosen.delayMs));
       return FaultAction::kDelay;

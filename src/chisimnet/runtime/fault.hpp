@@ -39,6 +39,16 @@
 ///                       a crash mid-spill leaving only a .tmp orphan)
 ///   spill.merge         SpillingAccumulator compaction, before the k-way
 ///                       merge of live runs begins
+///   abm.step            ABM rank loop, top of each simulated hour (both
+///                       cores); ordinal = the simulated hour, so a spec's
+///                       exact hit means "at hour H" regardless of thread
+///                       interleaving
+///   abm.migrate.send    ABM rank loop, before each migration batch send;
+///                       ordinal = the simulated hour
+///   abm.log.flush       EventLogger::flush, before the chunk write;
+///                       ordinal = the 1-based flush number of that logger
+///   abm.ckpt.write      sim-checkpoint save, before a rank's state file is
+///                       written; ordinal = the checkpointed hour
 ///
 /// A site costs one relaxed atomic load when no plan is installed — the
 /// hooks are always present, never a build flavor — and sites fire at
@@ -110,6 +120,12 @@ struct FaultSite {
   int rank = -1;
   /// Mutable payload for kTruncate sites (the bytes about to be sent).
   std::vector<std::byte>* payload = nullptr;
+  /// Deterministic hit ordinal supplied by the site (e.g. the simulated
+  /// hour at the ABM sites). When nonzero, an exact-hit spec matches
+  /// `spec.hit == ordinal` instead of the global per-site hit counter —
+  /// which interleaves nondeterministically when several rank threads
+  /// fire the same site. 0 keeps the counter semantics.
+  std::uint64_t ordinal = 0;
 };
 
 /// A scripted (or seeded-random) set of faults. Install with

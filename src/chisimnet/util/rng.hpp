@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -81,6 +82,26 @@ class Rng {
   /// Fork a statistically independent child generator; the stream index
   /// decorrelates children forked from the same parent state.
   Rng fork(std::uint64_t streamIndex) noexcept;
+
+  /// The full 256-bit engine state, for checkpointing. fromState() resumes
+  /// the exact draw sequence: fromState(r.state()) produces the same
+  /// stream as continuing with r.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Rebuilds a generator from a state() snapshot. The state must not be
+  /// all-zero (xoshiro's one forbidden fixed point).
+  static Rng fromState(const std::array<std::uint64_t, 4>& state) {
+    CHISIM_REQUIRE(state[0] | state[1] | state[2] | state[3],
+                   "all-zero xoshiro state");
+    Rng rng(0);
+    rng.state_[0] = state[0];
+    rng.state_[1] = state[1];
+    rng.state_[2] = state[2];
+    rng.state_[3] = state[3];
+    return rng;
+  }
 
  private:
   std::uint64_t state_[4];

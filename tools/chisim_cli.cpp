@@ -20,13 +20,17 @@
 ///                     --out /tmp/ego
 
 #include <charconv>
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "chisimnet/chisimnet.hpp"
+#include "chisimnet/runtime/fault.hpp"
+#include "chisimnet/runtime/process_transport.hpp"
 
 namespace {
 
@@ -153,6 +157,29 @@ int cmdSimulate(const Args& args) {
     std::cerr << "unknown --abm-core '" << core << "' (hourly|event)\n";
     return 2;
   }
+  config.checkpointDir = args.str("checkpoint-dir", "");
+  config.checkpointEveryHours =
+      static_cast<std::uint32_t>(args.u64("sim-checkpoint-hours", 0));
+  config.resume = args.has("resume");
+
+  // A scripted fault plan shipped through the environment (the same
+  // mechanism the process transport uses for synthesis workers) lets CI
+  // and the nightly soak kill a simulation at an exact hour and then
+  // resume it in a fresh process.
+  std::unique_ptr<runtime::FaultPlan> faultPlan;
+  if (const char* planText = std::getenv(runtime::kWorkerFaultPlanEnv)) {
+    faultPlan = runtime::FaultPlan::decode(planText);
+    runtime::fault::install(faultPlan.get());
+  }
+
+  // SIGTERM/SIGINT become a graceful checkpoint-and-exit only when there
+  // is a checkpoint directory to write to; otherwise the default
+  // dispositions (terminate) stay in place.
+  std::optional<abm::ScopedShutdownHandler> shutdownHandler;
+  if (!config.checkpointDir.empty()) {
+    abm::clearShutdownRequest();
+    shutdownHandler.emplace();
+  }
 
   abm::ModelStats stats;
   if (args.has("disease")) {
@@ -175,6 +202,20 @@ int cmdSimulate(const Args& args) {
             << stats.eventsLogged << " events ("
             << stats.logBytes / 1024 / 1024 << " MiB), migration "
             << 100.0 * stats.migrationFraction() << "%\n";
+  if (stats.checkpointsWritten > 0 || stats.resumed) {
+    std::cout << "checkpoint: " << stats.checkpointsWritten << " written to "
+              << config.checkpointDir.string();
+    if (stats.resumed) {
+      std::cout << ", resumed at h" << stats.hoursReplayed << " ("
+                << stats.hoursReplayed << " h already on disk)";
+    }
+    std::cout << "\n";
+  }
+  if (stats.interrupted) {
+    std::cout << "interrupted: checkpointed and stopped on a shutdown "
+                 "signal; rerun with --resume to continue\n";
+    return 3;
+  }
   return 0;
 }
 
@@ -467,6 +508,7 @@ void printUsage() {
       "              [--ranks R] [--cache N] [--partition neighborhood|round-robin]\n"
       "              [--compress] [--abm-core hourly|event]\n"
       "              [--disease [--beta B] [--seeds K] [--disease-seed S]]\n"
+      "              [--checkpoint-dir DIR [--sim-checkpoint-hours N] [--resume]]\n"
       "  info        --logs DIR\n"
       "  synthesize  --logs DIR --out FILE.cadj [--window-start H] [--window-end H]\n"
       "              [--backend shared|mp] [--workers W] [--batch N]\n"
