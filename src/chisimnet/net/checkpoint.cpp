@@ -191,8 +191,16 @@ void writeManifestFile(const std::filesystem::path& dir,
       out << "spill_mode 1\n";
       for (const SpillRunEntry& run : manifest.spillRuns) {
         // Tab-separated like quarantine lines; run names carry no tabs.
+        // An inverted key range (1 > 0) encodes "range unknown" — a real
+        // range always has firstKey <= lastKey.
         out << "spill\t" << run.file << "\t" << run.triplets << "\t"
-            << run.bytes << "\n";
+            << run.bytes << "\t" << (run.hasKeyRange ? run.firstKey : 1)
+            << "\t" << (run.hasKeyRange ? run.lastKey : 0) << "\n";
+      }
+      for (const MergeSegmentEntry& segment : manifest.mergeSegments) {
+        out << "mergeseg\t" << segment.shard << "\t" << segment.file << "\t"
+            << segment.triplets << "\t" << segment.bytes << "\t"
+            << segment.crc << "\n";
       }
     } else {
       out << "adjacency " << adjacencyName << "\n";
@@ -265,7 +273,7 @@ void saveCheckpoint(const std::filesystem::path& dir,
 void saveSpillCheckpoint(const std::filesystem::path& dir,
                          const CheckpointManifest& manifest,
                          const std::filesystem::path& spillDir,
-                         const InflightBatch* inflight) {
+                         const InflightBatch* inflight, bool gcSpillDir) {
   CHISIM_REQUIRE(manifest.spillMode,
                  "saveSpillCheckpoint needs a spill-mode manifest");
   std::filesystem::create_directories(dir);
@@ -286,15 +294,22 @@ void saveSpillCheckpoint(const std::filesystem::path& dir,
   // crashed batch, and .tmp husks of interrupted spills. Safe only here,
   // after the rename: until then the previous manifest may name them.
   collectStaleSnapshots(dir, /*adjacencyName=*/"", inflightName);
+  if (!gcSpillDir) {
+    return;
+  }
   std::set<std::string> referenced;
   for (const SpillRunEntry& run : manifest.spillRuns) {
     referenced.insert(run.file);
+  }
+  for (const MergeSegmentEntry& segment : manifest.mergeSegments) {
+    referenced.insert(segment.file);
   }
   if (std::filesystem::exists(spillDir)) {
     for (const auto& entry : std::filesystem::directory_iterator(spillDir)) {
       const std::string name = entry.path().filename().string();
       const bool spillFile =
-          name.ends_with(".spl") || name.ends_with(".spl.tmp");
+          name.ends_with(".spl") || name.ends_with(".spl.tmp") ||
+          name.ends_with(".cseg") || name.ends_with(".cseg.tmp");
       if (spillFile && !referenced.contains(name)) {
         std::error_code ignored;
         std::filesystem::remove(entry.path(), ignored);
@@ -321,23 +336,64 @@ std::optional<CheckpointManifest> loadCheckpointManifest(
       continue;
     }
     if (line.starts_with("spill\t")) {
-      // spill\t<file>\t<triplets>\t<bytes>
+      // spill\t<file>\t<triplets>\t<bytes>[\t<firstKey>\t<lastKey>]
+      // The key-range tail is absent in manifests from older builds; an
+      // inverted range (first > last) means "unknown".
       std::vector<std::string> fields;
       std::size_t begin = 0;
-      for (int i = 0; i < 3; ++i) {
+      while (begin <= line.size()) {
         const std::size_t tab = line.find('\t', begin);
-        CHISIM_CHECK(tab != std::string::npos,
-                     "malformed spill line in " + path.string());
+        if (tab == std::string::npos) {
+          fields.push_back(line.substr(begin));
+          break;
+        }
         fields.push_back(line.substr(begin, tab - begin));
         begin = tab + 1;
       }
+      CHISIM_CHECK(fields.size() == 4 || fields.size() == 6,
+                   "malformed spill line in " + path.string());
       SpillRunEntry run;
       run.file = fields[1];
       run.triplets = std::stoull(fields[2]);
-      run.bytes = std::stoull(line.substr(begin));
+      run.bytes = std::stoull(fields[3]);
+      if (fields.size() == 6) {
+        const std::uint64_t first = std::stoull(fields[4]);
+        const std::uint64_t last = std::stoull(fields[5]);
+        if (first <= last) {
+          run.hasKeyRange = true;
+          run.firstKey = first;
+          run.lastKey = last;
+        }
+      }
       CHISIM_CHECK(!run.file.empty(),
                    "spill line names no file in " + path.string());
       manifest.spillRuns.push_back(std::move(run));
+      continue;
+    }
+    if (line.starts_with("mergeseg\t")) {
+      // mergeseg\t<shard>\t<file>\t<triplets>\t<bytes>\t<crc>
+      std::vector<std::string> fields;
+      std::size_t begin = 0;
+      while (begin <= line.size()) {
+        const std::size_t tab = line.find('\t', begin);
+        if (tab == std::string::npos) {
+          fields.push_back(line.substr(begin));
+          break;
+        }
+        fields.push_back(line.substr(begin, tab - begin));
+        begin = tab + 1;
+      }
+      CHISIM_CHECK(fields.size() == 6,
+                   "malformed mergeseg line in " + path.string());
+      MergeSegmentEntry segment;
+      segment.shard = static_cast<std::uint32_t>(std::stoul(fields[1]));
+      segment.file = fields[2];
+      segment.triplets = std::stoull(fields[3]);
+      segment.bytes = std::stoull(fields[4]);
+      segment.crc = static_cast<std::uint32_t>(std::stoul(fields[5]));
+      CHISIM_CHECK(!segment.file.empty(),
+                   "mergeseg line names no file in " + path.string());
+      manifest.mergeSegments.push_back(std::move(segment));
       continue;
     }
     if (line.starts_with("quarantine\t")) {
@@ -390,6 +446,9 @@ std::optional<CheckpointManifest> loadCheckpointManifest(
                "manifest names no adjacency file: " + path.string());
   CHISIM_CHECK(manifest.spillMode || manifest.spillRuns.empty(),
                "manifest lists spill runs without spill_mode: " +
+                   path.string());
+  CHISIM_CHECK(manifest.spillMode || manifest.mergeSegments.empty(),
+               "manifest lists merge segments without spill_mode: " +
                    path.string());
   return manifest;
 }

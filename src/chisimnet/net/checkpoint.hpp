@@ -48,6 +48,27 @@ struct SpillRunEntry {
   std::string file;
   std::uint64_t triplets = 0;
   std::uint64_t bytes = 0;
+  /// Packed-key range of the run, recorded so a resumed run can tell
+  /// shard-pure runs from straddlers without re-reading them. Manifests
+  /// written before this field existed restore with hasKeyRange=false —
+  /// the sharded merge then treats those runs as straddlers (correct,
+  /// just one extra split pass).
+  bool hasKeyRange = false;
+  std::uint64_t firstKey = 0;
+  std::uint64_t lastKey = 0;
+};
+
+/// One completed per-shard merge segment recorded mid-merge. A resume that
+/// finds these re-merges only the shards without a segment; the recorded
+/// ones are spliced into the final CADJ as-is (their CRC is re-verified at
+/// splice time).
+struct MergeSegmentEntry {
+  std::uint32_t shard = 0;  ///< fine-shard index (lowId / rowsPerShard)
+  /// Segment file name within the spill directory.
+  std::string file;
+  std::uint64_t triplets = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
 };
 
 struct CheckpointManifest {
@@ -66,6 +87,10 @@ struct CheckpointManifest {
   bool spillMode = false;
   /// Live spill runs at checkpoint time (spill mode only).
   std::vector<SpillRunEntry> spillRuns;
+  /// Per-shard merge segments completed so far (spill mode only; populated
+  /// by the checkpoints the driver writes between shard merges, so a kill
+  /// during the external merge resumes with only the unfinished shards).
+  std::vector<MergeSegmentEntry> mergeSegments;
   /// In-flight batch snapshot file name; empty when the checkpoint carries
   /// none (no prefetch, or the loader had nothing decoded yet).
   std::string inflightFile;
@@ -102,13 +127,19 @@ void saveCheckpoint(const std::filesystem::path& dir,
 /// Spill-mode variant: `manifest.spillRuns` must already name the live run
 /// files (all durable — spilled via tmp+rename before this call). Writes
 /// the in-flight snapshot if given, renames the manifest into place, then
-/// garbage-collects `.spl`/`.spl.tmp` files in `spillDir` the new manifest
-/// does not reference (superseded compaction inputs, orphans of crashed
-/// spills) plus stale `.cadj`/`.evt` files in `dir`.
+/// garbage-collects `.spl`/`.spl.tmp` and `.cseg`/`.cseg.tmp` files in
+/// `spillDir` the new manifest does not reference (superseded compaction
+/// inputs, orphans of crashed spills, husks of killed shard merges) plus
+/// stale `.cadj`/`.evt` files in `dir`. Pass `gcSpillDir = false` for
+/// checkpoints written while other threads are still merging into
+/// `spillDir`: the sweep would delete their in-flight `.cseg.tmp` files
+/// (and freshly renamed segments this manifest predates). The parallel
+/// merge GCs once at its serial entry point instead.
 void saveSpillCheckpoint(const std::filesystem::path& dir,
                          const CheckpointManifest& manifest,
                          const std::filesystem::path& spillDir,
-                         const InflightBatch* inflight = nullptr);
+                         const InflightBatch* inflight = nullptr,
+                         bool gcSpillDir = true);
 
 /// Reads the manifest in `dir`; nullopt when none exists.
 std::optional<CheckpointManifest> loadCheckpointManifest(

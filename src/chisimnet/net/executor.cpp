@@ -1,6 +1,8 @@
 #include "chisimnet/net/executor.hpp"
 
 #include <algorithm>
+#include <mutex>
+#include <string>
 #include <utility>
 
 #include "chisimnet/runtime/thread_pool.hpp"
@@ -89,13 +91,19 @@ void SharedMemoryExecutor::mapAdjacency(
                    "memory budget requires a spill directory");
     const std::uint64_t threshold = std::max<std::uint64_t>(
         config_.memoryBudgetBytes / (8 * std::max(1u, config_.workers)), 1);
+    // splitRows routes every flush to its reduce-shard owner at write
+    // time (shard-pure runs), unless the serial merge was requested —
+    // that path keeps the legacy one-run-per-flush layout.
+    const std::uint32_t splitRows = resolvedReduceShards(config_) > 1
+                                        ? resolvedMergeRowsPerShard(config_)
+                                        : 0;
     spillSums_.clear();
     for (unsigned w = 0; w < config_.workers; ++w) {
       spillSums_.push_back(std::make_unique<sparse::SpillingSum>(
           config_.spillDir,
           "w" + std::to_string(w) + ".b" + std::to_string(batchCounter_) +
               ".",
-          threshold));
+          threshold, splitRows));
     }
     ++batchCounter_;
     cluster_.applyPartitioned(
@@ -145,6 +153,38 @@ void SharedMemoryExecutor::reduceInto(sparse::SpillingAccumulator& sink) {
   }
   lastReduce_.criticalSeconds = timer.seconds();
   spillSums_.clear();
+}
+
+std::vector<sparse::ShardSegment> SharedMemoryExecutor::mergeSpillShards(
+    const std::vector<sparse::SpillingAccumulator::ShardRunGroup>& groups,
+    const std::function<void(const sparse::ShardSegment&)>& onSegment) {
+  CHISIM_REQUIRE(!config_.spillDir.empty(),
+                 "sharded merge requires a spill directory");
+  // Stable ownership: group g belongs to owner g % owners, and each owner
+  // merges its groups in ascending shard order. One cluster item per
+  // owner, so the owners run concurrently while a shard's merge stays
+  // single-threaded (segment bytes never depend on scheduling).
+  const unsigned owners = std::max(1u, resolvedReduceShards(config_));
+  std::vector<std::vector<std::size_t>> byOwner(owners);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    byOwner[g % owners].push_back(g);
+  }
+  std::vector<sparse::ShardSegment> segments(groups.size());
+  std::mutex mutex;
+  cluster_.applyDynamic(owners, [&](std::size_t owner, unsigned) {
+    for (const std::size_t g : byOwner[owner]) {
+      const sparse::SpillingAccumulator::ShardRunGroup& group = groups[g];
+      const std::filesystem::path segmentFile =
+          config_.spillDir / ("seg." + std::to_string(group.shard) + ".cseg");
+      sparse::ShardSegment segment = sparse::mergeShardRuns(
+          group.shard, group.runs, segmentFile, config_.mergeReadahead);
+      segment.owner = static_cast<unsigned>(owner);
+      const std::lock_guard<std::mutex> lock(mutex);
+      segments[g] = segment;
+      onSegment(segment);
+    }
+  });
+  return segments;
 }
 
 double SharedMemoryExecutor::adjacencyBusyImbalance() const noexcept {

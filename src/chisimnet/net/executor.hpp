@@ -104,6 +104,17 @@ class SynthesisExecutor {
   /// surfaced separately from the budget-enforced accumulator peak.
   virtual void reduceInto(sparse::SpillingAccumulator& sink) = 0;
 
+  /// Stage-6 tail under a budget: merge each row-range shard's spill runs
+  /// into a sorted CADJ payload segment, the shards distributed across
+  /// this substrate's workers/ranks by stable round-robin ownership so
+  /// no single thread funnels the external merge. `onSegment` fires once
+  /// per completed segment, never concurrently — the driver checkpoints
+  /// from it mid-merge. Returns one segment per group, in unspecified
+  /// order (callers sort by shard before concatenating).
+  virtual std::vector<sparse::ShardSegment> mergeSpillShards(
+      const std::vector<sparse::SpillingAccumulator::ShardRunGroup>& groups,
+      const std::function<void(const sparse::ShardSegment&)>& onSegment) = 0;
+
   /// Shape and modeled timing of the last reduce().
   const ReduceStats& lastReduceStats() const noexcept { return lastReduce_; }
 
@@ -155,6 +166,13 @@ class SharedMemoryExecutor final : public SynthesisExecutor {
                     const runtime::Partition& partition) override;
   void reduce(sparse::SymmetricAdjacency& result) override;
   void reduceInto(sparse::SpillingAccumulator& sink) override;
+  /// Owners are worker threads: shard groups are assigned round-robin to
+  /// `resolvedReduceShards(config)` owners and each owner merges its
+  /// groups in ascending shard order on the cluster.
+  std::vector<sparse::ShardSegment> mergeSpillShards(
+      const std::vector<sparse::SpillingAccumulator::ShardRunGroup>& groups,
+      const std::function<void(const sparse::ShardSegment&)>& onSegment)
+      override;
   double adjacencyBusyImbalance() const noexcept override;
 
  private:
@@ -228,6 +246,15 @@ class MessagePassingExecutor final : public SynthesisExecutor {
   /// (a rename-scoped ownership transfer — zero copy), inline runs are
   /// inserted, and the workers' peak bytes reported via noteWorkerPeak().
   void reduceInto(sparse::SpillingAccumulator& sink) override;
+  /// Owners are live ranks: shard groups travel round-robin as
+  /// kCmdMergeShard commands (rank 0 executes its share inline), with the
+  /// stage-level retry and lost-rank reassignment semantics of every
+  /// other command. Segments come back as file references; run files are
+  /// read directly off the shared filesystem, never shipped.
+  std::vector<sparse::ShardSegment> mergeSpillShards(
+      const std::vector<sparse::SpillingAccumulator::ShardRunGroup>& groups,
+      const std::function<void(const sparse::ShardSegment&)>& onSegment)
+      override;
   double adjacencyBusyImbalance() const noexcept override {
     return busyImbalance_;
   }

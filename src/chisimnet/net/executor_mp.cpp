@@ -9,6 +9,7 @@
 #include <string>
 #include <system_error>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "chisimnet/net/executor.hpp"
@@ -37,6 +38,12 @@ mp::StageParams stageParamsOf(const SynthesisConfig& config) {
                 1)
           : 0;
   params.spillDir = config.spillDir.string();
+  // Shard-pure worker runs: each stage-5 flush splits at reduce-shard
+  // boundaries so the root's merge planner never has to rewrite a run.
+  // The serial merge (reduceShards == 1) keeps the legacy layout.
+  params.splitRows = resolvedReduceShards(config) > 1
+                         ? resolvedMergeRowsPerShard(config)
+                         : 0;
   return params;
 }
 
@@ -45,6 +52,9 @@ sparse::SpillRunInfo runRefInfo(const mp::RunRef& ref) {
   info.file = ref.file;
   info.triplets = ref.triplets;
   info.bytes = ref.bytes;
+  info.hasKeyRange = ref.hasKeyRange;
+  info.firstKey = ref.firstKey;
+  info.lastKey = ref.lastKey;
   return info;
 }
 
@@ -431,6 +441,7 @@ void MessagePassingExecutor::mapAdjacency(
                    stats.hashPlaces = mp::take64(reply, cursor);
                    stats.pairHourUpdates = mp::take64(reply, cursor);
                    stats.globalEmits = mp::take64(reply, cursor);
+                   stats.mergeReservedEntries = mp::take64(reply, cursor);
                    runKernelStats_.merge(stats);
                    mp::take64(reply, cursor);  // flushes (in run adoption)
                    mp::take64(reply, cursor);  // spilledTriplets (ditto)
@@ -530,10 +541,13 @@ void MessagePassingExecutor::reduce(sparse::SymmetricAdjacency& result) {
   lastReduce_.tree = config_.treeReduce;
   lastReduce_.mergedSums = reduceRuns_.size();
   // Inserts one run — inline or streamed off its spill file — into the
-  // running result, consuming (deleting) file-backed runs.
-  const auto insertRun = [&result](const mp::RunRef& run) {
+  // running result, consuming (deleting) file-backed runs. The reserve is
+  // the summed-row-count pre-size (satellite of the sharded merge: sized
+  // from run metadata, counted in the kernel stats).
+  const auto insertRun = [this, &result](const mp::RunRef& run) {
     if (run.isFile()) {
       result.reserve(result.edgeCount() + run.triplets);
+      runKernelStats_.mergeReservedEntries += run.triplets;
       sparse::SpillRunReader reader(run.file);
       sparse::AdjacencyTriplet triplet;
       while (reader.next(triplet)) {
@@ -543,6 +557,7 @@ void MessagePassingExecutor::reduce(sparse::SymmetricAdjacency& result) {
       std::filesystem::remove(run.file, ignored);
     } else {
       result.reserve(result.edgeCount() + run.inlineRun.size());
+      runKernelStats_.mergeReservedEntries += run.inlineRun.size();
       for (const sparse::AdjacencyTriplet& triplet : run.inlineRun) {
         result.add(triplet.i, triplet.j, triplet.weight);
       }
@@ -604,6 +619,90 @@ void MessagePassingExecutor::reduceInto(sparse::SpillingAccumulator& sink) {
   sink.addKernelStats(runKernelStats_);
   runKernelStats_ = sparse::AdjacencyKernelStats{};
   workerPeakBytes_ = 0;
+}
+
+std::vector<sparse::ShardSegment> MessagePassingExecutor::mergeSpillShards(
+    const std::vector<sparse::SpillingAccumulator::ShardRunGroup>& groups,
+    const std::function<void(const sparse::ShardSegment&)>& onSegment) {
+  CHISIM_REQUIRE(!config_.spillDir.empty(),
+                 "sharded merge requires a spill directory");
+  // Work items are group indices; shard groups spread round-robin over the
+  // live ranks (rank 0 executes its share inline). Each body carries every
+  // shard of its rank plus the run references — the files themselves stay
+  // on the shared filesystem. A reassigned body gets a fresh token, so a
+  // half-dead rank still merging the old body writes different segment
+  // names and never corrupts the survivor's output.
+  const std::vector<int> live = liveRanks();
+  std::vector<std::vector<std::size_t>> shares(live.size());
+  std::unordered_map<std::uint32_t, unsigned> ownerOfShard;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    shares[g % shares.size()].push_back(g);
+    // Modeled owner = the initial assignment; a fault-driven reassignment
+    // shifts real work elsewhere but the model keeps the healthy-run shape.
+    ownerOfShard[groups[g].shard] =
+        static_cast<unsigned>(live[g % live.size()]);
+  }
+  const auto buildBody = [this, &groups](std::span<const std::size_t> items) {
+    std::vector<std::byte> body;
+    mp::put64(body, nextRunToken_++);
+    mp::put32(body, static_cast<std::uint32_t>(config_.mergeReadahead));
+    mp::put32(body, static_cast<std::uint32_t>(items.size()));
+    for (const std::size_t g : items) {
+      const sparse::SpillingAccumulator::ShardRunGroup& group = groups[g];
+      mp::put32(body, group.shard);
+      mp::put32(body, static_cast<std::uint32_t>(group.runs.size()));
+      for (const sparse::SpillRunInfo& run : group.runs) {
+        mp::RunRef ref;
+        ref.file = run.file.string();
+        ref.triplets = run.triplets;
+        ref.bytes = run.bytes;
+        ref.hasKeyRange = run.hasKeyRange;
+        ref.firstKey = run.firstKey;
+        ref.lastKey = run.lastKey;
+        mp::putRunRef(body, ref);
+      }
+    }
+    return body;
+  };
+  std::vector<sparse::ShardSegment> segments;
+  segments.reserve(groups.size());
+  try {
+    for (std::size_t slot = 0; slot < live.size(); ++slot) {
+      if (shares[slot].empty()) {
+        continue;
+      }
+      std::vector<std::byte> body = buildBody(shares[slot]);
+      sendCommand(live[slot], mp::kCmdMergeShard, std::move(shares[slot]),
+                  std::move(body));
+    }
+    collectStage(
+        mp::kCmdMergeShard, buildBody,
+        [&segments, &ownerOfShard,
+         &onSegment](std::span<const std::byte> reply) {
+          std::size_t cursor = 0;
+          mp::takeDouble(reply, cursor);  // rank busy; per-shard is below
+          const std::uint32_t count = mp::take32(reply, cursor);
+          for (std::uint32_t s = 0; s < count; ++s) {
+            sparse::ShardSegment segment;
+            segment.shard = mp::take32(reply, cursor);
+            segment.mergeSeconds = mp::takeDouble(reply, cursor);
+            segment.file = mp::takeString(reply, cursor);
+            segment.triplets = mp::take64(reply, cursor);
+            segment.bytes = mp::take64(reply, cursor);
+            segment.crc = mp::take32(reply, cursor);
+            const auto owner = ownerOfShard.find(segment.shard);
+            segment.owner = owner != ownerOfShard.end() ? owner->second : 0;
+            segments.push_back(segment);
+            onSegment(segment);  // collectStage runs replies serially
+          }
+          CHISIM_CHECK(cursor == reply.size(),
+                       "malformed merge-shard reply");
+        });
+  } catch (...) {
+    team_->rethrowServiceError();
+    throw;
+  }
+  return segments;
 }
 
 std::vector<FaultEvent> MessagePassingExecutor::drainFaultEvents() {

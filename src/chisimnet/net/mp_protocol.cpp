@@ -125,6 +125,9 @@ void putRunRef(std::vector<std::byte>& out, const RunRef& ref) {
     putString(out, ref.file);
     put64(out, ref.triplets);
     put64(out, ref.bytes);
+    put32(out, ref.hasKeyRange ? 1 : 0);
+    put64(out, ref.firstKey);
+    put64(out, ref.lastKey);
   } else {
     put32(out, 0);
     putTriplets(out, ref.inlineRun);
@@ -139,6 +142,9 @@ RunRef takeRunRef(std::span<const std::byte> bytes, std::size_t& cursor) {
     CHISIM_CHECK(!ref.file.empty(), "file run ref with an empty path");
     ref.triplets = take64(bytes, cursor);
     ref.bytes = take64(bytes, cursor);
+    ref.hasKeyRange = take32(bytes, cursor) != 0;
+    ref.firstKey = take64(bytes, cursor);
+    ref.lastKey = take64(bytes, cursor);
   } else {
     CHISIM_CHECK(mode == 0,
                  "unknown run ref mode " + std::to_string(mode));
@@ -215,6 +221,7 @@ std::vector<std::byte> encodeStageParams(const StageParams& params) {
   put32(bytes, static_cast<std::uint32_t>(params.method));
   put64(bytes, params.spillThresholdBytes);
   putString(bytes, params.spillDir);
+  put32(bytes, params.splitRows);
   return bytes;
 }
 
@@ -226,6 +233,7 @@ StageParams decodeStageParams(std::span<const std::byte> bytes) {
   params.method = static_cast<sparse::AdjacencyMethod>(take32(bytes, cursor));
   params.spillThresholdBytes = take64(bytes, cursor);
   params.spillDir = takeString(bytes, cursor);
+  params.splitRows = take32(bytes, cursor);
   CHISIM_CHECK(cursor == bytes.size(), "malformed stage parameter payload");
   return params;
 }
@@ -277,7 +285,7 @@ std::vector<std::byte> executeSynthesisCommand(
       // the same files (deterministic content, tmp+rename) while a
       // reassigned body — which gets a fresh token — never collides with a
       // half-dead rank still executing the old one.
-      // Reply: [busySeconds f64][kernel stats 4×u64][spill stats 4×u64]
+      // Reply: [busySeconds f64][kernel stats 5×u64][spill stats 4×u64]
       //        [runCount u32][RunRef × runCount].
       std::size_t cursor = 0;
       const std::uint64_t token = take64(body, cursor);
@@ -285,7 +293,7 @@ std::vector<std::byte> executeSynthesisCommand(
       util::WallTimer busy;
       sparse::SpillingSum sum(params.spillDir,
                               "t" + std::to_string(token) + ".",
-                              params.spillThresholdBytes);
+                              params.spillThresholdBytes, params.splitRows);
       for (const sparse::CollocationMatrix& matrix : batch) {
         sum.addCollocation(matrix, params.method);
       }
@@ -299,6 +307,9 @@ std::vector<std::byte> executeSynthesisCommand(
         ref.file = info.file.string();
         ref.triplets = info.triplets;
         ref.bytes = info.bytes;
+        ref.hasKeyRange = info.hasKeyRange;
+        ref.firstKey = info.firstKey;
+        ref.lastKey = info.lastKey;
         refs.push_back(std::move(ref));
       }
       WorkerSpillStats spill;
@@ -332,6 +343,9 @@ std::vector<std::byte> executeSynthesisCommand(
           ref.file = info.file.string();
           ref.triplets = info.triplets;
           ref.bytes = info.bytes;
+          ref.hasKeyRange = info.hasKeyRange;
+          ref.firstKey = info.firstKey;
+          ref.lastKey = info.lastKey;
           refs.push_back(std::move(ref));
         }
       }
@@ -342,6 +356,7 @@ std::vector<std::byte> executeSynthesisCommand(
       put64(reply, stats.hashPlaces);
       put64(reply, stats.pairHourUpdates);
       put64(reply, stats.globalEmits);
+      put64(reply, stats.mergeReservedEntries);
       put64(reply, spill.flushes);
       put64(reply, spill.spilledTriplets);
       put64(reply, spill.spilledBytes);
@@ -398,6 +413,9 @@ std::vector<std::byte> executeSynthesisCommand(
           out.file = info.file.string();
           out.triplets = info.triplets;
           out.bytes = info.bytes;
+          out.hasKeyRange = info.hasKeyRange;
+          out.firstKey = info.firstKey;
+          out.lastKey = info.lastKey;
         } else {
           out.inlineRun.reserve(
               static_cast<std::size_t>(projectedBytes /
@@ -417,6 +435,62 @@ std::vector<std::byte> executeSynthesisCommand(
       putDouble(reply, busy.seconds());
       put32(reply, pairCount);
       reply.insert(reply.end(), merged.begin(), merged.end());
+      return reply;
+    }
+    case kCmdMergeShard: {
+      // Body: [runToken u64][readahead u32][shardCount u32][per shard:
+      // shard u32, runCount u32, RunRef × runCount (file runs, shard-pure)].
+      // Reply: [busySeconds f64][shardCount u32][per shard: shard u32,
+      // mergeSeconds f64, segment file string, triplets u64, bytes u64,
+      // crc u32]. Segment names carry the token, so a retried body rewrites
+      // its own files (deterministic content, tmp+rename) while a
+      // reassigned body — fresh token — never collides with a half-dead
+      // rank still merging the old one.
+      std::size_t cursor = 0;
+      const std::uint64_t token = take64(body, cursor);
+      const auto readahead =
+          static_cast<sparse::SpillReadahead>(take32(body, cursor));
+      const std::uint32_t shardCount = take32(body, cursor);
+      CHISIM_CHECK(!params.spillDir.empty(),
+                   "shard merge needs a spill directory");
+      util::ThreadCpuTimer busy;
+      std::vector<std::byte> segments;
+      for (std::uint32_t s = 0; s < shardCount; ++s) {
+        const std::uint32_t shard = take32(body, cursor);
+        const std::uint32_t runCount = take32(body, cursor);
+        std::vector<sparse::SpillRunInfo> runs;
+        runs.reserve(runCount);
+        for (std::uint32_t r = 0; r < runCount; ++r) {
+          const RunRef ref = takeRunRef(body, cursor);
+          CHISIM_CHECK(ref.isFile(), "shard merge inputs must be run files");
+          sparse::SpillRunInfo info;
+          info.file = ref.file;
+          info.triplets = ref.triplets;
+          info.bytes = ref.bytes;
+          info.hasKeyRange = ref.hasKeyRange;
+          info.firstKey = ref.firstKey;
+          info.lastKey = ref.lastKey;
+          runs.push_back(std::move(info));
+        }
+        const std::filesystem::path segmentFile =
+            std::filesystem::path(params.spillDir) /
+            ("seg." + std::to_string(shard) + ".t" + std::to_string(token) +
+             ".cseg");
+        const sparse::ShardSegment segment =
+            sparse::mergeShardRuns(shard, runs, segmentFile, readahead);
+        put32(segments, shard);
+        putDouble(segments, segment.mergeSeconds);
+        putString(segments, segment.file.string());
+        put64(segments, segment.triplets);
+        put64(segments, segment.bytes);
+        put32(segments, segment.crc);
+      }
+      CHISIM_CHECK(cursor == body.size(), "merge-shard body size mismatch");
+      std::vector<std::byte> reply;
+      reply.reserve(8 + 4 + segments.size());
+      putDouble(reply, busy.seconds());
+      put32(reply, shardCount);
+      reply.insert(reply.end(), segments.begin(), segments.end());
       return reply;
     }
     default:

@@ -39,7 +39,9 @@ enum Command : std::uint32_t {
   kCmdCollocation = 1,
   kCmdAdjacency = 2,
   kCmdStop = 3,
-  kCmdMergeRuns = 4,  ///< one reduce-tree level: merge sorted triplet runs
+  kCmdMergeRuns = 4,   ///< one reduce-tree level: merge sorted triplet runs
+  kCmdMergeShard = 5,  ///< merge the spill runs of row-range shards into
+                       ///< CADJ payload segments (stage-6 external merge)
 };
 
 inline constexpr std::uint32_t kStatusOk = 0;
@@ -80,11 +82,17 @@ struct RunRef {
   std::string file;             ///< empty = inline
   std::uint64_t triplets = 0;   ///< file mode: rows the file holds
   std::uint64_t bytes = 0;      ///< file mode: file size on disk
+  /// Packed-key range of a file run, carried across the wire so the root's
+  /// sharded merge planner can tell shard-pure worker runs from straddlers
+  /// without re-reading the files.
+  bool hasKeyRange = false;
+  std::uint64_t firstKey = 0;
+  std::uint64_t lastKey = 0;
   bool isFile() const noexcept { return !file.empty(); }
 };
 
 /// [mode u32: 0 inline | 1 file][inline: putTriplets | file: putString +
-/// triplets u64 + bytes u64]
+/// triplets u64 + bytes u64 + hasRange u32 + firstKey u64 + lastKey u64]
 void putRunRef(std::vector<std::byte>& out, const RunRef& ref);
 RunRef takeRunRef(std::span<const std::byte> bytes, std::size_t& cursor);
 
@@ -125,6 +133,11 @@ struct StageParams {
   /// shared with the root (workers are local processes/threads). Empty
   /// only when no budget is set AND replies are guaranteed to fit inline.
   std::string spillDir;
+  /// Row-range width of one reduce shard. Non-zero makes workers partition
+  /// each stage-5 flush at shard boundaries, so every run they return is
+  /// shard-pure and the root's sharded merge never has to split it. 0 =
+  /// one run per flush (serial-merge runs, the legacy layout).
+  std::uint32_t splitRows = 0;
 };
 
 std::vector<std::byte> encodeStageParams(const StageParams& params);

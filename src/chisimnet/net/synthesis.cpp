@@ -38,6 +38,12 @@ sparse::SpillingAccumulator::Options sinkOptions(
   // Checkpoint manifests reference live run files by name, so compaction
   // inputs must stay on disk until the next manifest stops naming them.
   options.deferDeletes = !config.checkpointDir.empty();
+  // Sharded merges align the sink's row-range shards with the reduce
+  // shards, so sink spills are shard-pure too. The serial merge keeps the
+  // legacy width (identical behavior to pre-shard builds).
+  if (config.mergeRowsPerShard != 0 || resolvedReduceShards(config) > 1) {
+    options.rowsPerShard = resolvedMergeRowsPerShard(config);
+  }
   return options;
 }
 
@@ -48,9 +54,28 @@ void foldSpillStats(SynthesisReport& report, const sparse::SpillStats& stats) {
   report.spillCompactions = stats.compactions;
   report.peakAccumulatorBytes = stats.peakResidentBytes;
   report.peakStage5Bytes = stats.peakWorkerBytes;
+  report.spillRunsSplit = stats.runsSplit;
 }
 
 }  // namespace
+
+unsigned resolvedReduceShards(const SynthesisConfig& config) noexcept {
+  return config.reduceShards != 0 ? config.reduceShards
+                                  : std::max(1u, config.workers);
+}
+
+std::uint32_t resolvedMergeRowsPerShard(
+    const SynthesisConfig& config) noexcept {
+  if (config.mergeRowsPerShard != 0) {
+    return config.mergeRowsPerShard;
+  }
+  // The legacy shard width divided across the owners: every owner gets
+  // multiple fine shards to balance over once the population crosses one
+  // legacy shard, while small runs still collapse to a single shard.
+  constexpr std::uint32_t kLegacyRowsPerShard = 1u << 18;
+  return std::max<std::uint32_t>(
+      1, kLegacyRowsPerShard / std::max(1u, resolvedReduceShards(config)));
+}
 
 NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
     : config_(config) {
@@ -209,6 +234,7 @@ void NetworkSynthesizer::processBatch(const table::EventTable& events,
   report_.kernelHashPlaces = kernel.hashPlaces;
   report_.kernelPairHourUpdates = kernel.pairHourUpdates;
   report_.kernelGlobalEmits = kernel.globalEmits;
+  report_.mergeReservedEntries = kernel.mergeReservedEntries;
 }
 
 void NetworkSynthesizer::runFilePipeline(
@@ -218,6 +244,7 @@ void NetworkSynthesizer::runFilePipeline(
   report_ = SynthesisReport{};
   report_.backend = config_.backend;
   report_.memoryBudgetBytes = config_.memoryBudgetBytes;
+  restoredSegments_.clear();
   executor_->resetTransferCounters();
 
   const bool degrade = config_.faultPolicy == FaultPolicy::kDegrade;
@@ -250,6 +277,9 @@ void NetworkSynthesizer::runFilePipeline(
         info.file = config_.spillDir / entry.file;
         info.triplets = entry.triplets;
         info.bytes = entry.bytes;
+        info.hasKeyRange = entry.hasKeyRange;
+        info.firstKey = entry.firstKey;
+        info.lastKey = entry.lastKey;
         if (sink != nullptr) {
           // Keep the manifest's file names: renaming would break a second
           // resume if this run dies before its first checkpoint.
@@ -262,6 +292,19 @@ void NetworkSynthesizer::runFilePipeline(
           while (reader.next(triplet)) {
             dense->add(triplet.i, triplet.j, triplet.weight);
           }
+        }
+      }
+      // Merge segments completed by a previous life (killed during the
+      // sharded merge): remembered so synthesizeToFile can splice the
+      // validated segment instead of re-merging its shard. Processing any
+      // further batch invalidates them (finishBatch clears the list).
+      if (sink != nullptr) {
+        for (const MergeSegmentEntry& segment : manifest->mergeSegments) {
+          restoredSegments_.push_back(RestoredSegment{segment.shard,
+                                                      segment.file,
+                                                      segment.triplets,
+                                                      segment.bytes,
+                                                      segment.crc});
         }
       }
     } else if (dense != nullptr) {
@@ -323,6 +366,9 @@ void NetworkSynthesizer::runFilePipeline(
                                const InflightBatch* nextInflight) {
     filesConsumed += filesInBatch;
     ++report_.batches;
+    // New data supersedes any merge segments restored from a checkpoint:
+    // their shards' run sets just changed.
+    restoredSegments_.clear();
     for (elog::QuarantinedFile& entry : quarantined) {
       FaultEvent event;
       event.kind = FaultEvent::Kind::kFileQuarantined;
@@ -362,8 +408,10 @@ void NetworkSynthesizer::runFilePipeline(
         sink->spillAll();
         manifest.spillMode = true;
         for (const sparse::SpillRunInfo& run : sink->liveRuns()) {
-          manifest.spillRuns.push_back(SpillRunEntry{
-              run.file.filename().string(), run.triplets, run.bytes});
+          manifest.spillRuns.push_back(
+              SpillRunEntry{run.file.filename().string(), run.triplets,
+                            run.bytes, run.hasKeyRange, run.firstKey,
+                            run.lastKey});
         }
         saveSpillCheckpoint(config_.checkpointDir, manifest, config_.spillDir,
                             nextInflight);
@@ -497,6 +545,10 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     sparse::SpillingAccumulator sink(sinkOptions(config_));
     runFilePipeline(logFiles, nullptr, &sink);
     const std::unique_ptr<sparse::TripletSource> merged = sink.finishMerge();
+    // Pre-size the result from the summed run row counts (an upper bound:
+    // duplicate pairs across runs collapse) so the drain never rehashes.
+    result.reserve(result.edgeCount() + merged->sizeHint());
+    report_.mergeReservedEntries += merged->sizeHint();
     sparse::AdjacencyTriplet triplet;
     while (merged->next(triplet)) {
       result.add(triplet.i, triplet.j, triplet.weight);
@@ -518,21 +570,154 @@ std::uint64_t NetworkSynthesizer::synthesizeToFile(
   util::WallTimer total;
   sparse::SpillingAccumulator sink(sinkOptions(config_));
   runFilePipeline(logFiles, nullptr, &sink);
-  // External-memory finish: spill whatever is resident and k-way merge all
-  // runs straight into the CADJ writer. The writer's output is
-  // byte-identical to saveTriplets of the equivalent in-memory map because
-  // both emit the same sorted rows through the same framing.
-  const std::unique_ptr<sparse::TripletSource> merged = sink.finishMerge();
-  sparse::StreamingTripletWriter writer(outPath);
-  sparse::AdjacencyTriplet triplet;
-  while (merged->next(triplet)) {
-    writer.append(triplet);
+  const unsigned owners = resolvedReduceShards(config_);
+  report_.reduceShardsUsed = owners;
+  std::uint64_t edges = 0;
+  if (owners <= 1) {
+    // Serial external finish: spill whatever is resident and k-way merge
+    // all runs straight into the CADJ writer. The writer's output is
+    // byte-identical to saveTriplets of the equivalent in-memory map
+    // because both emit the same sorted rows through the same framing.
+    const std::unique_ptr<sparse::TripletSource> merged = sink.finishMerge();
+    sparse::StreamingTripletWriter writer(outPath);
+    sparse::AdjacencyTriplet triplet;
+    while (merged->next(triplet)) {
+      writer.append(triplet);
+    }
+    edges = writer.finish();
+  } else {
+    edges = mergeShardsToFile(logFiles, sink, outPath);
   }
-  const std::uint64_t edges = writer.finish();
   foldSpillStats(report_, sink.stats());
   report_.edges = edges;
   report_.totalSeconds = total.seconds();
   return edges;
+}
+
+std::uint64_t NetworkSynthesizer::mergeShardsToFile(
+    const std::vector<std::filesystem::path>& logFiles,
+    sparse::SpillingAccumulator& sink, const std::filesystem::path& outPath) {
+  const bool checkpointing = !config_.checkpointDir.empty();
+  // The plan routes every live run to its row-range shard, splitting
+  // straddlers; under deferDeletes the split inputs stay on disk so the
+  // previous manifest remains resumable until the next one is written.
+  std::vector<sparse::SpillingAccumulator::ShardRunGroup> plan =
+      sink.buildShardMergePlan();
+
+  // Segments completed by a previous life: splice them instead of
+  // re-merging their shards. Validation here is existence plus recorded
+  // size; content integrity is re-verified by CRC at splice time.
+  std::map<std::uint32_t, sparse::ShardSegment> completed;
+  for (const RestoredSegment& restored : restoredSegments_) {
+    const std::filesystem::path file = config_.spillDir / restored.file;
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(file, ec);
+    if (ec || size != restored.bytes) {
+      continue;  // half-written husk: its shard re-merges from the runs
+    }
+    sparse::ShardSegment segment;
+    segment.shard = restored.shard;
+    segment.file = file;
+    segment.triplets = restored.triplets;
+    segment.bytes = restored.bytes;
+    segment.crc = restored.crc;
+    completed.emplace(restored.shard, std::move(segment));
+  }
+  report_.mergeSegmentsReused = completed.size();
+  restoredSegments_.clear();
+
+  std::vector<sparse::SpillingAccumulator::ShardRunGroup> todo;
+  todo.reserve(plan.size());
+  for (sparse::SpillingAccumulator::ShardRunGroup& group : plan) {
+    if (!completed.contains(group.shard)) {
+      todo.push_back(std::move(group));
+    }
+  }
+
+  const auto buildManifest = [&]() {
+    CheckpointManifest manifest;
+    manifest.filesConsumed = logFiles.size();
+    manifest.batchesDone = report_.batches;
+    manifest.configHash = checkpointConfigHash(config_, logFiles);
+    manifest.quarantined = report_.quarantined;
+    manifest.spillMode = true;
+    for (const sparse::SpillRunInfo& run : sink.liveRuns()) {
+      manifest.spillRuns.push_back(SpillRunEntry{run.file.filename().string(),
+                                                 run.triplets, run.bytes,
+                                                 run.hasKeyRange, run.firstKey,
+                                                 run.lastKey});
+    }
+    for (const auto& [shard, done] : completed) {
+      manifest.mergeSegments.push_back(
+          MergeSegmentEntry{shard, done.file.filename().string(),
+                            done.triplets, done.bytes, done.crc});
+    }
+    return manifest;
+  };
+
+  // Pre-merge checkpoint, written at this serial point so the spill-dir GC
+  // cannot race owner threads: it references the post-split runs and the
+  // reused segments, and sweeps everything else — previous-life merge
+  // husks, superseded segments, and the split straddler originals the
+  // previous manifest needed. Mid-merge checkpoints below skip the sweep
+  // (gcSpillDir=false): a GC there would delete other owners' in-flight
+  // .cseg.tmp files and freshly renamed segments its manifest predates.
+  if (checkpointing) {
+    saveSpillCheckpoint(config_.checkpointDir, buildManifest(),
+                        config_.spillDir);
+    ++report_.checkpointsWritten;
+  }
+  // The new manifest (or, without checkpointing, nothing) references the
+  // split originals no longer — drop them now.
+  for (const std::filesystem::path& retired : sink.takeRetiredFiles()) {
+    std::error_code ignored;
+    std::filesystem::remove(retired, ignored);
+  }
+
+  // Per-segment checkpoint: after each shard lands, persist the manifest
+  // so a killed merge resumes with only the unfinished shards. The runs
+  // stay listed (and on disk) even for finished shards — a resume
+  // re-validates segments against them and re-merges any that fail. The
+  // spill.shard fault site fires after the checkpoint, modeling a crash
+  // between segments.
+  const auto onSegment = [&](const sparse::ShardSegment& segment) {
+    completed.emplace(segment.shard, segment);
+    ++report_.mergeSegmentsWritten;
+    report_.mergeSeconds += segment.mergeSeconds;
+    if (checkpointing) {
+      saveSpillCheckpoint(config_.checkpointDir, buildManifest(),
+                          config_.spillDir, nullptr, /*gcSpillDir=*/false);
+      ++report_.checkpointsWritten;
+    }
+    runtime::fault::hit("spill.shard");
+  };
+
+  std::vector<sparse::ShardSegment> merged;
+  if (!todo.empty()) {
+    merged = executor_->mergeSpillShards(todo, onSegment);
+  }
+  // Modeled parallel merge time: the busiest owner's summed thread-CPU
+  // seconds (reused segments cost nothing this run, so they don't count).
+  std::map<unsigned, double> perOwner;
+  for (const sparse::ShardSegment& segment : merged) {
+    perOwner[segment.owner] += segment.mergeSeconds;
+  }
+  for (const auto& [owner, seconds] : perOwner) {
+    report_.mergeCriticalSeconds =
+        std::max(report_.mergeCriticalSeconds, seconds);
+  }
+
+  // Splice: ascending shard order over disjoint ascending key ranges is
+  // the globally sorted stream, so the concatenation is byte-identical to
+  // the serial merge's CADJ (same rows, same framing). appendSegmentFile
+  // re-verifies each segment's CRC as it copies.
+  sparse::StreamingTripletWriter writer(outPath);
+  for (const auto& [shard, segment] : completed) {
+    const sparse::TripletSegmentInfo info{segment.triplets, segment.bytes,
+                                          segment.crc};
+    writer.appendSegmentFile(segment.file, info);
+  }
+  return writer.finish();
 }
 
 sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
@@ -551,6 +736,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
     sparse::SpillingAccumulator sink(sinkOptions(config_));
     processBatch(events, nullptr, &sink);
     const std::unique_ptr<sparse::TripletSource> merged = sink.finishMerge();
+    result.reserve(result.edgeCount() + merged->sizeHint());
+    report_.mergeReservedEntries += merged->sizeHint();
     sparse::AdjacencyTriplet triplet;
     while (merged->next(triplet)) {
       result.add(triplet.i, triplet.j, triplet.weight);

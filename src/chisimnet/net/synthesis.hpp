@@ -11,6 +11,7 @@
 #include "chisimnet/runtime/partition.hpp"
 #include "chisimnet/sparse/adjacency.hpp"
 #include "chisimnet/sparse/collocation.hpp"
+#include "chisimnet/sparse/spill.hpp"
 #include "chisimnet/table/event_table.hpp"
 
 /// The paper's core contribution (§IV): parallel synthesis of the person
@@ -34,10 +35,6 @@
 /// paper: shared-memory workers (SNOW fork cluster) and message-passing
 /// ranks (Rmpi). Both run the exact same driver, so batching, prefetch,
 /// per-stage timing, and the report shape are backend-independent.
-
-namespace chisimnet::sparse {
-class SpillingAccumulator;
-}  // namespace chisimnet::sparse
 
 namespace chisimnet::net {
 
@@ -235,7 +232,38 @@ struct SynthesisConfig {
   /// workers to share this filesystem (they are local fork/exec children,
   /// so they do).
   std::filesystem::path spillDir;
+
+  // ---- sharded external merge (stage-6 spill reduce) ----
+
+  /// Owners of the stage-6 external merge: the spill runs are grouped by
+  /// row-range shard and the shards distributed round-robin across this
+  /// many owners (worker threads on the shared backend, ranks on message
+  /// passing), each running an independent loser-tree merge. The final
+  /// CADJ is the byte-identical concatenation of the per-shard segments,
+  /// so the output does not depend on this knob (it stays outside the
+  /// checkpoint config hash). 0 = auto (= workers); 1 = the serial
+  /// single-merge baseline.
+  unsigned reduceShards = 0;
+  /// Row-range width of one merge shard (the granularity owners balance
+  /// over, and the unit the final concatenation is ordered by). 0 = auto:
+  /// 2^18 rows divided by the resolved owner count, floored at 1. Exposed
+  /// mainly so tests and benches can force multi-shard layouts on small
+  /// populations.
+  std::uint32_t mergeRowsPerShard = 0;
+  /// Read-side prefetch policy of the merge's run readers (per-run
+  /// double-buffered frame decode by default; kFadvise adds OS readahead
+  /// hints on top).
+  sparse::SpillReadahead mergeReadahead =
+      sparse::SpillReadahead::kDoubleBuffer;
 };
+
+/// Resolved owner count of the sharded external merge (reduceShards,
+/// with 0 = the configured worker count).
+unsigned resolvedReduceShards(const SynthesisConfig& config) noexcept;
+
+/// Resolved row-range width of one merge shard (mergeRowsPerShard, with
+/// 0 = 2^18 / owners so each owner has work to balance).
+std::uint32_t resolvedMergeRowsPerShard(const SynthesisConfig& config) noexcept;
 
 /// Timing and size metrics of the last synthesis run. One report type
 /// serves both backends; fields a backend has no source for (e.g. comm
@@ -333,6 +361,27 @@ struct SynthesisReport {
   /// per-place kernels cannot flush mid-place, so one crowded place sets
   /// the floor regardless of the budget.
   std::uint64_t peakStage5Bytes = 0;
+
+  // ---- sharded external merge (synthesizeToFile under a budget) ----
+
+  unsigned reduceShardsUsed = 0;  ///< resolved merge owner count
+  std::uint64_t mergeSegmentsWritten = 0;  ///< per-shard segments merged
+  /// Segments restored intact from a checkpoint and spliced without
+  /// re-merging (kill-during-merge resume).
+  std::uint64_t mergeSegmentsReused = 0;
+  /// Straddling/unknown-range runs rewritten into shard-pure runs before
+  /// the merge (zero when every spill was routed at flush time).
+  std::uint64_t spillRunsSplit = 0;
+  /// Output entries pre-reserved by merge sinks from summed per-run row
+  /// counts (TripletMerger / PairCountMap reservations).
+  std::uint64_t mergeReservedEntries = 0;
+  /// Σ thread-CPU seconds across all shard merges (the serial-equivalent
+  /// merge work).
+  double mergeSeconds = 0.0;
+  /// Modeled parallel merge time: max per-owner sum of shard merge
+  /// seconds — what the external merge costs when every owner runs
+  /// concurrently (single-core wall time cannot show the win).
+  double mergeCriticalSeconds = 0.0;
 };
 
 class NetworkSynthesizer {
@@ -387,12 +436,32 @@ class NetworkSynthesizer {
   /// Stage-4 weight of one matrix (nnz, or occupancy-scaled per config).
   std::uint64_t partitionWeight(const sparse::CollocationMatrix& matrix) const;
 
+  /// Sharded tail of synthesizeToFile (resolvedReduceShards > 1): builds
+  /// the shard merge plan, reuses validated segments restored by a resume,
+  /// runs the remaining shards through the executor's owners (with a
+  /// per-segment checkpoint when checkpointing), and splices the segments
+  /// into `outPath` in ascending shard order. Returns the edge count.
+  std::uint64_t mergeShardsToFile(
+      const std::vector<std::filesystem::path>& logFiles,
+      sparse::SpillingAccumulator& sink, const std::filesystem::path& outPath);
+
   SynthesisConfig config_;
   SynthesisReport report_;
   std::unique_ptr<SynthesisExecutor> executor_;
   /// Set when spillDir was auto-resolved to a temp dir this instance owns
   /// (and removes on destruction).
   std::filesystem::path ownedSpillDir_;
+  /// Merge segments restored by a resume (shard, file name, identity) for
+  /// synthesizeToFile to splice without re-merging; cleared per pipeline
+  /// run. Kept as opaque tuples to avoid a checkpoint.hpp dependency here.
+  struct RestoredSegment {
+    std::uint32_t shard = 0;
+    std::string file;
+    std::uint64_t triplets = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t crc = 0;
+  };
+  std::vector<RestoredSegment> restoredSegments_;
 };
 
 /// Reference implementation for correctness tests: computes pairwise

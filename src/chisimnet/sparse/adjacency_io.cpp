@@ -1,6 +1,8 @@
 #include "chisimnet/sparse/adjacency_io.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <system_error>
 
 #include "chisimnet/util/binary_io.hpp"
 #include "chisimnet/util/error.hpp"
@@ -89,6 +91,64 @@ std::vector<AdjacencyTriplet> loadTriplets(const std::filesystem::path& path) {
   return triplets;
 }
 
+TripletSegmentWriter::TripletSegmentWriter(std::filesystem::path path)
+    : path_(std::move(path)), tmp_(path_.string() + ".tmp") {
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  out_.open(tmp_, std::ios::binary | std::ios::trunc);
+  CHISIM_CHECK(out_.good(),
+               "cannot open segment file for writing: " + tmp_.string());
+  buffer_.reserve(kRowBytes * 4096);
+}
+
+TripletSegmentWriter::~TripletSegmentWriter() {
+  if (!finished_) {
+    out_.close();
+    std::error_code ignored;
+    std::filesystem::remove(tmp_, ignored);
+  }
+}
+
+void TripletSegmentWriter::append(const AdjacencyTriplet& triplet) {
+  CHISIM_REQUIRE(triplet.i < triplet.j,
+                 "triplets must be upper-triangular (i < j)");
+  const auto put32 = [this](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buffer_.push_back(static_cast<std::byte>(value >> shift));
+    }
+  };
+  put32(triplet.i);
+  put32(triplet.j);
+  put32(static_cast<std::uint32_t>(triplet.weight));
+  put32(static_cast<std::uint32_t>(triplet.weight >> 32));
+  ++count_;
+  if (buffer_.size() >= kRowBytes * 4096) {
+    flushBuffer();
+  }
+}
+
+void TripletSegmentWriter::flushBuffer() {
+  if (buffer_.empty()) {
+    return;
+  }
+  crc_ = util::crc32(buffer_, crc_);
+  bytes_ += buffer_.size();
+  util::writeBytes(out_, buffer_);
+  buffer_.clear();
+}
+
+TripletSegmentInfo TripletSegmentWriter::finish() {
+  CHISIM_REQUIRE(!finished_, "segment already finished");
+  flushBuffer();
+  out_.flush();
+  CHISIM_CHECK(out_.good(), "segment write failed: " + tmp_.string());
+  out_.close();
+  std::filesystem::rename(tmp_, path_);
+  finished_ = true;
+  return TripletSegmentInfo{count_, bytes_, crc_};
+}
+
 StreamingTripletWriter::StreamingTripletWriter(
     const std::filesystem::path& path)
     : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
@@ -125,6 +185,33 @@ void StreamingTripletWriter::flushBuffer() {
   crc_ = util::crc32(buffer_, crc_);  // chained: equals crc32(whole payload)
   util::writeBytes(out_, buffer_);
   buffer_.clear();
+}
+
+void StreamingTripletWriter::appendSegmentFile(
+    const std::filesystem::path& segment, const TripletSegmentInfo& info) {
+  CHISIM_REQUIRE(!finished_, "adjacency stream already finished");
+  flushBuffer();  // everything appended so far must precede the segment
+  std::ifstream in(segment, std::ios::binary);
+  CHISIM_CHECK(in.good(), "cannot open segment file: " + segment.string());
+  std::vector<std::byte> chunk(kRowBytes * 4096);
+  std::uint64_t copied = 0;
+  std::uint32_t segmentCrc = 0;
+  while (copied < info.bytes) {
+    const std::uint64_t want = std::min<std::uint64_t>(
+        chunk.size(), info.bytes - copied);
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(want));
+    CHISIM_CHECK(in.gcount() == static_cast<std::streamsize>(want),
+                 "segment file truncated: " + segment.string());
+    const std::span<const std::byte> bytes(chunk.data(), want);
+    segmentCrc = util::crc32(bytes, segmentCrc);
+    crc_ = util::crc32(bytes, crc_);  // chained: composes across segments
+    util::writeBytes(out_, bytes);
+    copied += want;
+  }
+  CHISIM_CHECK(segmentCrc == info.crc,
+               "segment CRC mismatch (corrupt or stale): " + segment.string());
+  count_ += info.triplets;
 }
 
 std::uint64_t StreamingTripletWriter::finish() {

@@ -33,6 +33,48 @@ std::vector<AdjacencyTriplet> loadTriplets(const std::filesystem::path& path);
 /// Loads into an accumulator (e.g. to sum stored partial matrices).
 SymmetricAdjacency loadAdjacency(const std::filesystem::path& path);
 
+/// Identity of a finished CADJ payload segment: a headerless file of
+/// LE-encoded (i, j, weight) rows covering one sorted key range, produced
+/// by a per-shard external merge and later concatenated into the final
+/// CADJ via StreamingTripletWriter::appendSegmentFile.
+struct TripletSegmentInfo {
+  std::uint64_t triplets = 0;
+  std::uint64_t bytes = 0;  ///< file size = 16 × triplets
+  std::uint32_t crc = 0;    ///< crc32 over the segment's bytes
+};
+
+/// Streams sorted triplets into a raw payload-segment file (tmp+rename, so
+/// a segment that exists under its real name is always whole). The byte
+/// encoding is exactly StreamingTripletWriter's payload encoding, which is
+/// what makes a shard-ordered concatenation of segments reproduce the
+/// serial writer's payload bit for bit.
+class TripletSegmentWriter {
+ public:
+  explicit TripletSegmentWriter(std::filesystem::path path);
+  ~TripletSegmentWriter();
+
+  TripletSegmentWriter(const TripletSegmentWriter&) = delete;
+  TripletSegmentWriter& operator=(const TripletSegmentWriter&) = delete;
+
+  /// Rows must arrive upper-triangular (i < j) and in final sorted order.
+  void append(const AdjacencyTriplet& triplet);
+
+  /// Flushes and renames the .tmp into place.
+  TripletSegmentInfo finish();
+
+ private:
+  void flushBuffer();
+
+  std::filesystem::path path_;
+  std::filesystem::path tmp_;
+  std::ofstream out_;
+  std::vector<std::byte> buffer_;
+  std::uint32_t crc_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
 /// Streams triplets into a CADJ1 file without materializing them: the
 /// header count is patched and the payload CRC chained incrementally at
 /// finish(), producing bytes identical to saveTriplets() on the same
@@ -44,6 +86,16 @@ class StreamingTripletWriter {
 
   /// Rows must arrive upper-triangular (i < j) and in the final order.
   void append(const AdjacencyTriplet& triplet);
+
+  /// Splices a finished payload segment (TripletSegmentWriter output) into
+  /// the stream by raw byte copy: no decode, no re-encode. The chained
+  /// payload CRC composes across the copy, and the copied bytes are
+  /// re-CRCed against `info.crc` so a segment corrupted at rest (or a
+  /// stale resume artifact) fails loudly instead of poisoning the output.
+  /// Segments must be appended in ascending key order relative to every
+  /// other append.
+  void appendSegmentFile(const std::filesystem::path& segment,
+                         const TripletSegmentInfo& info);
 
   /// Writes the CRC footer, patches the header count; returns the count.
   std::uint64_t finish();

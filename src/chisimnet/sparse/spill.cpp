@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <charconv>
 #include <cstring>
+#include <map>
 #include <system_error>
 #include <utility>
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/util/binary_io.hpp"
 #include "chisimnet/util/error.hpp"
+#include "chisimnet/util/timer.hpp"
 
 namespace chisimnet::sparse {
 
@@ -75,6 +82,9 @@ void SpillRunWriter::append(const AdjacencyTriplet& triplet) {
   CHISIM_CHECK(!any_ || key > lastKey_,
                "spill run rows must be strictly key-ascending: " +
                    path_.string());
+  if (!any_) {
+    firstKey_ = key;
+  }
   lastKey_ = key;
   any_ = true;
   frame_.push_back(triplet);
@@ -118,13 +128,19 @@ SpillRunInfo SpillRunWriter::finish() {
   info.file = path_;
   info.triplets = total_;
   info.bytes = static_cast<std::uint64_t>(std::filesystem::file_size(path_));
+  info.hasKeyRange = any_;
+  info.firstKey = firstKey_;
+  info.lastKey = lastKey_;
   return info;
 }
 
 // ---------------------------------------------------------------- reader
 
-SpillRunReader::SpillRunReader(std::filesystem::path path)
-    : path_(std::move(path)), in_(path_, std::ios::binary) {
+SpillRunReader::SpillRunReader(std::filesystem::path path,
+                               SpillReadahead readahead)
+    : path_(std::move(path)),
+      in_(path_, std::ios::binary),
+      readahead_(readahead) {
   CHISIM_CHECK(in_.good(), "cannot open spill run: " + path_.string());
   char magic[4];
   in_.read(magic, 4);
@@ -134,6 +150,36 @@ SpillRunReader::SpillRunReader(std::filesystem::path path)
                "unsupported spill run version: " + path_.string());
   total_ = util::readU64(in_);
   frame_.reserve(kSpillFrameTriplets);
+#if defined(__linux__)
+  if (readahead_ == SpillReadahead::kFadvise) {
+    // A side fd carries the kernel hints; the ifstream keeps the read path.
+    hintFd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+    if (hintFd_ >= 0) {
+      posix_fadvise(hintFd_, 0, 0, POSIX_FADV_SEQUENTIAL);
+    }
+  }
+#endif
+  if (readahead_ != SpillReadahead::kNone) {
+    staged_.reserve(kSpillFrameTriplets);
+    // After this point only the prefetcher touches in_ (and hintFd_).
+    prefetcher_ = std::thread([this] { prefetchLoop(); });
+  }
+}
+
+SpillRunReader::~SpillRunReader() {
+  if (prefetcher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    frameTaken_.notify_all();
+    prefetcher_.join();
+  }
+#if defined(__linux__)
+  if (hintFd_ >= 0) {
+    ::close(hintFd_);
+  }
+#endif
 }
 
 void SpillRunReader::fail(const std::string& what,
@@ -142,21 +188,20 @@ void SpillRunReader::fail(const std::string& what,
                           std::to_string(offset) + ": " + what);
 }
 
-void SpillRunReader::readFrame() {
+bool SpillRunReader::decodeFrame(std::vector<AdjacencyTriplet>& dest) {
   const std::uint64_t frameOffset =
       static_cast<std::uint64_t>(in_.tellg());
   unsigned char header[8];
   in_.read(reinterpret_cast<char*>(header), 8);
   if (in_.gcount() == 0 && in_.eof()) {
     // Clean end of file at a frame boundary: the header count must agree.
-    if (delivered_ != total_) {
+    if (decoded_ != total_) {
       fail("truncated: header declares " + std::to_string(total_) +
-               " triplets but only " + std::to_string(delivered_) +
+               " triplets but only " + std::to_string(decoded_) +
                " are present",
            frameOffset);
     }
-    exhausted_ = true;
-    return;
+    return false;
   }
   if (in_.gcount() != 8) {
     fail("truncated frame header", frameOffset);
@@ -188,7 +233,13 @@ void SpillRunReader::readFrame() {
              ", computed " + std::to_string(actualCrc) + ")",
          frameOffset);
   }
-  frame_.resize(count);
+  decoded_ += count;
+  if (decoded_ > total_) {
+    fail("more triplets than the header declares (" + std::to_string(total_) +
+             ")",
+         frameOffset);
+  }
+  dest.resize(count);
   std::size_t cursor = 0;
   const auto take32 = [&payload, &cursor]() {
     const std::uint32_t value =
@@ -199,30 +250,87 @@ void SpillRunReader::readFrame() {
     cursor += 4;
     return value;
   };
-  for (AdjacencyTriplet& row : frame_) {
+  for (AdjacencyTriplet& row : dest) {
     row.i = take32();
     row.j = take32();
     const std::uint64_t low = take32();
     const std::uint64_t high = take32();
     row.weight = low | (high << 32);
   }
-  cursor_ = 0;
+#if defined(__linux__)
+  if (hintFd_ >= 0) {
+    // Ask the kernel to stage the next frame while this one is consumed:
+    // readahead depth 2 in total (one frame in the double buffer, one in
+    // the page cache).
+    posix_fadvise(hintFd_, static_cast<off_t>(in_.tellg()),
+                  static_cast<off_t>(kSpillFrameTriplets * kTripletBytes + 8),
+                  POSIX_FADV_WILLNEED);
+  }
+#endif
+  return true;
+}
+
+void SpillRunReader::prefetchLoop() {
+  try {
+    std::vector<AdjacencyTriplet> local;
+    local.reserve(kSpillFrameTriplets);
+    for (;;) {
+      local.clear();
+      if (!decodeFrame(local)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        producerDone_ = true;
+        frameReady_.notify_all();
+        return;
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      frameTaken_.wait(lock, [this] { return !stagedFull_ || stop_; });
+      if (stop_) {
+        return;
+      }
+      staged_.swap(local);
+      stagedFull_ = true;
+      frameReady_.notify_all();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    producerError_ = std::current_exception();
+    producerDone_ = true;
+    frameReady_.notify_all();
+  }
 }
 
 bool SpillRunReader::next(AdjacencyTriplet& out) {
   while (cursor_ >= frame_.size()) {
-    if (exhausted_) {
-      return false;
+    if (readahead_ == SpillReadahead::kNone) {
+      if (exhausted_) {
+        return false;
+      }
+      frame_.clear();
+      cursor_ = 0;
+      if (!decodeFrame(frame_)) {
+        exhausted_ = true;
+        return false;
+      }
+      continue;
     }
-    readFrame();
+    std::unique_lock<std::mutex> lock(mutex_);
+    frameReady_.wait(lock, [this] { return stagedFull_ || producerDone_; });
+    if (stagedFull_) {
+      frame_.swap(staged_);
+      staged_.clear();
+      stagedFull_ = false;
+      cursor_ = 0;
+      frameTaken_.notify_all();
+      continue;
+    }
+    // Producer finished: surface its error on the consumer thread, or a
+    // clean end of stream.
+    if (producerError_) {
+      std::rethrow_exception(producerError_);
+    }
+    return false;
   }
   out = frame_[cursor_++];
-  ++delivered_;
-  if (delivered_ > total_) {
-    fail("more triplets than the header declares (" + std::to_string(total_) +
-             ")",
-         static_cast<std::uint64_t>(in_.tellg()));
-  }
   return true;
 }
 
@@ -243,7 +351,18 @@ SpillingAccumulator::SpillingAccumulator(Options options)
   // already in the directory (adopted checkpoint runs keep their names).
   for (const auto& entry : std::filesystem::directory_iterator(options_.dir)) {
     const std::string name = entry.path().filename().string();
-    if (!name.starts_with(options_.runPrefix) || !name.ends_with(".spl")) {
+    if (!name.starts_with(options_.runPrefix)) {
+      continue;
+    }
+    if (name.ends_with(".spl.tmp")) {
+      // A SIGKILL during spill-write in a previous non-checkpoint run leaves
+      // a complete-but-unrenamed .tmp behind; it is unreachable state and
+      // would otherwise accumulate across fresh starts.
+      std::error_code ignored;
+      std::filesystem::remove(entry.path(), ignored);
+      continue;
+    }
+    if (!name.ends_with(".spl")) {
       continue;
     }
     const std::string middle = name.substr(
@@ -372,39 +491,77 @@ void SpillingAccumulator::spillAll() {
   maybeCompact();
 }
 
+void SpillingAccumulator::retireRunFile(std::filesystem::path file) {
+  if (options_.deferDeletes) {
+    retired_.push_back(std::move(file));
+  } else {
+    std::error_code ignored;
+    std::filesystem::remove(file, ignored);
+  }
+}
+
 void SpillingAccumulator::maybeCompact() {
-  if (runs_.size() <= options_.maxLiveRuns) {
+  // Compaction is per shard group: runs that cover a single reduce shard
+  // only ever merge with runs of the same shard, so the shard-ownership
+  // invariant survives compaction and a later sharded merge still sees
+  // shard-pure inputs. Runs without a known shard (legacy manifests,
+  // pre-split compactions) pool in a catch-all group.
+  std::map<std::int64_t, std::vector<std::size_t>> groups;
+  for (std::size_t at = 0; at < runs_.size(); ++at) {
+    groups[runs_[at].shardOf(options_.rowsPerShard)].push_back(at);
+  }
+  // The bound compaction enforces is per-group merge fan-in, not global
+  // file count: a sharded merge opens one group at a time, so a global
+  // trigger that rewrites every group whenever the total run count trips
+  // makes compaction IO scale with the shard count for no fan-in benefit
+  // (each cycle re-reads and re-writes nearly all spilled data). Compact
+  // exactly the groups whose own member count exceeds maxLiveRuns and
+  // leave the rest untouched; with one group this is the legacy global
+  // trigger.
+  bool oversized = false;
+  for (const auto& [shard, members] : groups) {
+    if (members.size() > options_.maxLiveRuns) {
+      oversized = true;
+      break;
+    }
+  }
+  if (!oversized) {
     return;
   }
   runtime::fault::hit("spill.merge");
   ++stats_.compactions;
-  std::vector<std::unique_ptr<TripletSource>> readers;
-  readers.reserve(runs_.size());
-  for (const SpillRunInfo& run : runs_) {
-    readers.push_back(std::make_unique<SpillRunReader>(run.file));
-  }
-  TripletMerger merger(std::move(readers));
-  SpillRunWriter writer(nextRunPath());
-  AdjacencyTriplet triplet;
-  while (merger.next(triplet)) {
-    writer.append(triplet);
-  }
-  const SpillRunInfo compacted = writer.finish();
-  // The inputs are superseded; under deferDeletes they stay on disk until
-  // the caller's next checkpoint manifest no longer references them.
-  for (SpillRunInfo& run : runs_) {
-    if (options_.deferDeletes) {
-      retired_.push_back(std::move(run.file));
-    } else {
-      std::error_code ignored;
-      std::filesystem::remove(run.file, ignored);
+  std::vector<SpillRunInfo> survivors;
+  survivors.reserve(runs_.size());
+  for (auto& [shard, members] : groups) {
+    if (members.size() <= options_.maxLiveRuns) {
+      for (const std::size_t at : members) {
+        survivors.push_back(std::move(runs_[at]));
+      }
+      continue;
     }
+    std::vector<std::unique_ptr<TripletSource>> readers;
+    readers.reserve(members.size());
+    for (const std::size_t at : members) {
+      readers.push_back(std::make_unique<SpillRunReader>(runs_[at].file));
+    }
+    TripletMerger merger(std::move(readers));
+    SpillRunWriter writer(nextRunPath());
+    AdjacencyTriplet triplet;
+    while (merger.next(triplet)) {
+      writer.append(triplet);
+    }
+    const SpillRunInfo compacted = writer.finish();
+    // The inputs are superseded; under deferDeletes they stay on disk until
+    // the caller's next checkpoint manifest no longer references them.
+    for (const std::size_t at : members) {
+      retireRunFile(std::move(runs_[at].file));
+    }
+    survivors.push_back(compacted);
+    ++stats_.runsWritten;
+    stats_.spilledTriplets += compacted.triplets;
+    stats_.spilledBytes += compacted.bytes;
   }
-  runs_.clear();
-  runs_.push_back(compacted);
-  ++stats_.runsWritten;
-  stats_.spilledTriplets += compacted.triplets;
-  stats_.spilledBytes += compacted.bytes;
+  runs_ = std::move(survivors);
 }
 
 std::unique_ptr<TripletSource> SpillingAccumulator::finishMerge() {
@@ -417,6 +574,74 @@ std::unique_ptr<TripletSource> SpillingAccumulator::finishMerge() {
   return std::make_unique<TripletMerger>(std::move(readers));
 }
 
+void SpillingAccumulator::splitRun(const SpillRunInfo& run,
+                                   std::vector<SpillRunInfo>& out) {
+  SpillRunReader reader(run.file);
+  std::unique_ptr<SpillRunWriter> writer;
+  std::int64_t currentShard = -1;
+  AdjacencyTriplet triplet;
+  const auto finishPart = [this, &writer, &out] {
+    if (!writer) {
+      return;
+    }
+    const SpillRunInfo part = writer->finish();
+    writer.reset();
+    out.push_back(part);
+    ++stats_.runsWritten;
+    stats_.spilledTriplets += part.triplets;
+    stats_.spilledBytes += part.bytes;
+  };
+  while (reader.next(triplet)) {
+    const std::int64_t shard =
+        static_cast<std::int64_t>(triplet.i / options_.rowsPerShard);
+    if (shard != currentShard) {
+      finishPart();
+      writer = std::make_unique<SpillRunWriter>(nextRunPath());
+      currentShard = shard;
+    }
+    writer->append(triplet);
+  }
+  finishPart();
+  ++stats_.runsSplit;
+  retireRunFile(run.file);
+}
+
+std::vector<SpillingAccumulator::ShardRunGroup>
+SpillingAccumulator::buildShardMergePlan() {
+  spillAll();
+  std::vector<SpillRunInfo> pure;
+  std::vector<SpillRunInfo> straddlers;
+  pure.reserve(runs_.size());
+  for (SpillRunInfo& run : runs_) {
+    if (run.triplets == 0) {
+      retireRunFile(std::move(run.file));
+      continue;
+    }
+    if (run.shardOf(options_.rowsPerShard) >= 0) {
+      pure.push_back(std::move(run));
+    } else {
+      straddlers.push_back(std::move(run));
+    }
+  }
+  for (const SpillRunInfo& straddler : straddlers) {
+    splitRun(straddler, pure);
+  }
+  runs_ = std::move(pure);
+  std::map<std::uint32_t, std::vector<SpillRunInfo>> byShard;
+  for (const SpillRunInfo& run : runs_) {
+    const std::int64_t shard = run.shardOf(options_.rowsPerShard);
+    CHISIM_CHECK(shard >= 0, "split left a straddling run: " +
+                                 run.file.string());
+    byShard[static_cast<std::uint32_t>(shard)].push_back(run);
+  }
+  std::vector<ShardRunGroup> plan;
+  plan.reserve(byShard.size());
+  for (auto& [shard, runs] : byShard) {
+    plan.push_back(ShardRunGroup{shard, std::move(runs)});
+  }
+  return plan;
+}
+
 std::vector<std::filesystem::path> SpillingAccumulator::takeRetiredFiles() {
   return std::exchange(retired_, {});
 }
@@ -424,8 +649,12 @@ std::vector<std::filesystem::path> SpillingAccumulator::takeRetiredFiles() {
 // ---------------------------------------------------------- worker sum
 
 SpillingSum::SpillingSum(std::filesystem::path dir, std::string filePrefix,
-                         std::uint64_t flushThresholdBytes)
-    : dir_(std::move(dir)), filePrefix_(std::move(filePrefix)), sum_(1024) {
+                         std::uint64_t flushThresholdBytes,
+                         std::uint32_t splitRows)
+    : dir_(std::move(dir)),
+      filePrefix_(std::move(filePrefix)),
+      splitRows_(splitRows),
+      sum_(1024) {
   if (flushThresholdBytes > 0) {
     flushThreshold_ = std::max(flushThresholdBytes, kMinSpillThresholdBytes);
     CHISIM_REQUIRE(!dir_.empty(),
@@ -447,10 +676,26 @@ void SpillingSum::flush() {
     return;
   }
   const std::vector<AdjacencyTriplet> triplets = drainInMemory();
-  SpillRunWriter writer(
-      dir_ / (filePrefix_ + std::to_string(nextRunIndex_++) + ".spl"));
-  writer.append(std::span<const AdjacencyTriplet>(triplets));
-  runs_.push_back(writer.finish());
+  // With splitRows_ the sorted flush is partitioned at reduce-shard
+  // boundaries into shard-pure runs, so the sink can route each run
+  // straight to its shard owner without a split-and-rewrite pass.
+  std::size_t begin = 0;
+  while (begin < triplets.size()) {
+    std::size_t end = triplets.size();
+    if (splitRows_ > 0) {
+      const std::uint32_t shard = triplets[begin].i / splitRows_;
+      end = begin + 1;
+      while (end < triplets.size() && triplets[end].i / splitRows_ == shard) {
+        ++end;
+      }
+    }
+    SpillRunWriter writer(
+        dir_ / (filePrefix_ + std::to_string(nextRunIndex_++) + ".spl"));
+    writer.append(std::span<const AdjacencyTriplet>(triplets.data() + begin,
+                                                    end - begin));
+    runs_.push_back(writer.finish());
+    begin = end;
+  }
   ++flushes_;
 }
 
@@ -470,6 +715,35 @@ std::vector<AdjacencyTriplet> SpillingSum::drainInMemory() {
 
 void SpillingSum::flushAll() {
   flush();
+}
+
+// -------------------------------------------------------- shard merge
+
+ShardSegment mergeShardRuns(std::uint32_t shard,
+                            std::span<const SpillRunInfo> runs,
+                            const std::filesystem::path& segmentFile,
+                            SpillReadahead readahead) {
+  util::ThreadCpuTimer timer;
+  std::vector<std::unique_ptr<TripletSource>> readers;
+  readers.reserve(runs.size());
+  for (const SpillRunInfo& run : runs) {
+    readers.push_back(std::make_unique<SpillRunReader>(run.file, readahead));
+  }
+  TripletMerger merger(std::move(readers));
+  TripletSegmentWriter writer(segmentFile);
+  AdjacencyTriplet triplet;
+  while (merger.next(triplet)) {
+    writer.append(triplet);
+  }
+  const TripletSegmentInfo info = writer.finish();
+  ShardSegment segment;
+  segment.shard = shard;
+  segment.file = segmentFile;
+  segment.triplets = info.triplets;
+  segment.bytes = info.bytes;
+  segment.crc = info.crc;
+  segment.mergeSeconds = timer.seconds();
+  return segment;
 }
 
 }  // namespace chisimnet::sparse

@@ -1,14 +1,19 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chisimnet/sparse/adjacency.hpp"
+#include "chisimnet/sparse/adjacency_io.hpp"
 #include "chisimnet/sparse/pair_count_map.hpp"
 
 /// Memory-bounded adjacency accumulation: disk-spilled sorted runs and the
@@ -39,6 +44,42 @@ struct SpillRunInfo {
   std::filesystem::path file;
   std::uint64_t triplets = 0;
   std::uint64_t bytes = 0;  ///< file size, for budget/IO accounting
+  /// Packed-key range the run covers, when known. Writer-produced runs
+  /// always know it; runs restored from a pre-range checkpoint manifest do
+  /// not (hasKeyRange = false) and are treated as potentially straddling
+  /// every shard boundary.
+  bool hasKeyRange = false;
+  std::uint64_t firstKey = 0;
+  std::uint64_t lastKey = 0;
+
+  /// The row-range shard this run is confined to, or -1 when the range is
+  /// unknown or crosses a shard boundary (such a run must be split before
+  /// a per-shard merge can own it).
+  std::int64_t shardOf(std::uint32_t rowsPerShard) const noexcept {
+    if (!hasKeyRange || triplets == 0) {
+      return -1;
+    }
+    const std::uint32_t first =
+        static_cast<std::uint32_t>(firstKey >> 32) / rowsPerShard;
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(lastKey >> 32) / rowsPerShard;
+    return first == last ? static_cast<std::int64_t>(first) : -1;
+  }
+};
+
+/// Read-side prefetch policy for SpillRunReader during external merges.
+enum class SpillReadahead : std::uint32_t {
+  /// Synchronous single-frame reads (the pre-readahead behavior).
+  kNone = 0,
+  /// Double-buffered: a background thread decodes and CRC-checks the next
+  /// frame while the merge drains the current one, so merge wall-time
+  /// tracks disk bandwidth instead of single-frame latency.
+  kDoubleBuffer = 1,
+  /// kDoubleBuffer plus kernel IO hints on a side fd: POSIX_FADV_SEQUENTIAL
+  /// at open and POSIX_FADV_WILLNEED ahead of each frame read (no-op on
+  /// platforms without posix_fadvise). An O_DIRECT page-cache-bypass flavor
+  /// is the designed next plug point if merge IO ever dominates here.
+  kFadvise = 2,
 };
 
 /// Triplets per CRC frame (64 Ki rows = 1 MiB payload): the unit of both
@@ -68,23 +109,37 @@ class SpillRunWriter {
   std::ofstream out_;
   std::vector<AdjacencyTriplet> frame_;
   std::uint64_t total_ = 0;
+  std::uint64_t firstKey_ = 0;
   std::uint64_t lastKey_ = 0;
   bool any_ = false;
   bool finished_ = false;
 };
 
 /// Streams a CSPL1 run back, one CRC-checked frame resident at a time.
+/// With a readahead mode, a background prefetcher decodes the *next* frame
+/// into a standby buffer while the consumer drains the current one (double
+/// buffering: exactly one frame in flight), optionally backed by
+/// posix_fadvise hints — so a k-way merge's per-run stalls overlap instead
+/// of serializing.
 class SpillRunReader final : public TripletSource {
  public:
-  explicit SpillRunReader(std::filesystem::path path);
+  explicit SpillRunReader(std::filesystem::path path,
+                          SpillReadahead readahead = SpillReadahead::kNone);
+  ~SpillRunReader() override;
 
   bool next(AdjacencyTriplet& out) override;
 
   /// Total triplets the header declares.
   std::uint64_t tripletCount() const noexcept { return total_; }
+  std::uint64_t sizeHint() const noexcept override { return total_; }
 
  private:
-  void readFrame();
+  /// Reads, CRC-checks and decodes one frame into `dest`; false on a clean
+  /// end of file (after validating the header count). Called only by the
+  /// owning read context: the consumer in kNone mode, the prefetcher
+  /// thread otherwise.
+  bool decodeFrame(std::vector<AdjacencyTriplet>& dest);
+  void prefetchLoop();
   [[noreturn]] void fail(const std::string& what, std::uint64_t offset) const;
 
   std::filesystem::path path_;
@@ -92,8 +147,21 @@ class SpillRunReader final : public TripletSource {
   std::vector<AdjacencyTriplet> frame_;
   std::size_t cursor_ = 0;
   std::uint64_t total_ = 0;
-  std::uint64_t delivered_ = 0;
+  std::uint64_t decoded_ = 0;
   bool exhausted_ = false;
+
+  // Double-buffer machinery (readahead modes only).
+  SpillReadahead readahead_ = SpillReadahead::kNone;
+  std::thread prefetcher_;
+  std::mutex mutex_;
+  std::condition_variable frameReady_;
+  std::condition_variable frameTaken_;
+  std::vector<AdjacencyTriplet> staged_;
+  bool stagedFull_ = false;
+  bool producerDone_ = false;
+  bool stop_ = false;
+  std::exception_ptr producerError_;
+  int hintFd_ = -1;
 };
 
 /// Spill activity counters, folded into SynthesisReport.
@@ -102,6 +170,9 @@ struct SpillStats {
   std::uint64_t spilledTriplets = 0;  ///< triplet rows that went to disk
   std::uint64_t spilledBytes = 0;     ///< run file bytes written
   std::uint64_t compactions = 0;      ///< live-run merges (spill.merge)
+  /// Runs rewritten at shard boundaries because they straddled one (or had
+  /// no recorded key range) when a per-shard merge plan was built.
+  std::uint64_t runsSplit = 0;
   /// Max observed resident accumulator bytes: shard tables plus the sort
   /// transient during a spill. This is what the budget enforces
   /// (peakResidentBytes <= budgetBytes).
@@ -117,6 +188,7 @@ struct SpillStats {
     spilledTriplets += other.spilledTriplets;
     spilledBytes += other.spilledBytes;
     compactions += other.compactions;
+    runsSplit += other.runsSplit;
     peakResidentBytes = peakResidentBytes > other.peakResidentBytes
                             ? peakResidentBytes
                             : other.peakResidentBytes;
@@ -201,6 +273,25 @@ class SpillingAccumulator {
   /// accumulator must not be modified while the stream is being drained.
   std::unique_ptr<TripletSource> finishMerge();
 
+  /// One row-range shard's slice of the merge plan: every live run whose
+  /// keys fall in that shard. Groups come back in ascending shard order,
+  /// so concatenating each group's merged stream reproduces the global
+  /// sorted order.
+  struct ShardRunGroup {
+    std::uint32_t shard = 0;
+    std::vector<SpillRunInfo> runs;
+  };
+
+  /// Spills residual shards, splits any live run that straddles a shard
+  /// boundary (or whose key range is unknown — e.g. restored from an older
+  /// manifest) into shard-pure runs, and returns the live set grouped per
+  /// shard in ascending shard order. Afterwards liveRuns() reflects the
+  /// split set, so a checkpoint manifest written mid-merge references
+  /// exactly the files an owner will read; superseded originals are
+  /// retired under deferDeletes as usual. Each group can then be merged
+  /// independently (mergeShardRuns) by its owner.
+  std::vector<ShardRunGroup> buildShardMergePlan();
+
   const std::vector<SpillRunInfo>& liveRuns() const noexcept { return runs_; }
   /// Compaction inputs superseded since the last call (deferDeletes mode);
   /// the caller deletes them once its manifest no longer references them.
@@ -212,6 +303,12 @@ class SpillingAccumulator {
  private:
   void spillShard(std::uint32_t shard, PairCountMap& pairs);
   void maybeCompact();
+  /// Rewrites one run as shard-pure runs (appended to `out`); retires or
+  /// deletes the original.
+  void splitRun(const SpillRunInfo& run, std::vector<SpillRunInfo>& out);
+  /// Deletes a superseded run file, or parks it in retired_ under
+  /// deferDeletes.
+  void retireRunFile(std::filesystem::path file);
   std::filesystem::path nextRunPath();
   /// Folds `extraBytes` beside the current resident shards into the
   /// budget-enforced peak (the spill-sort transient).
@@ -236,8 +333,13 @@ class SpillingAccumulator {
 class SpillingSum {
  public:
   /// flushThresholdBytes 0 = never flush (plain in-memory sum).
+  /// splitRows > 0 routes spills to their reduce-shard owners at flush
+  /// time: each flush is partitioned at row-range boundaries (shard =
+  /// low id / splitRows) and written as one shard-pure run per touched
+  /// shard, so the sink can hand every run to its owner without a
+  /// split-and-rewrite pass before the parallel merge.
   SpillingSum(std::filesystem::path dir, std::string filePrefix,
-              std::uint64_t flushThresholdBytes);
+              std::uint64_t flushThresholdBytes, std::uint32_t splitRows = 0);
 
   void addCollocation(const CollocationMatrix& matrix, AdjacencyMethod method);
 
@@ -258,11 +360,38 @@ class SpillingSum {
   std::filesystem::path dir_;
   std::string filePrefix_;
   std::uint64_t flushThreshold_ = 0;
+  std::uint32_t splitRows_ = 0;
   SymmetricAdjacency sum_;
   std::vector<SpillRunInfo> runs_;
   std::uint64_t nextRunIndex_ = 0;
   std::uint64_t peakBytes_ = 0;
   std::uint64_t flushes_ = 0;
 };
+
+/// One finished per-shard merge: the shard's duplicate-summed sorted
+/// stream as a raw CADJ payload segment on disk (TripletSegmentWriter
+/// format), plus the timing the shard-scaling bench and report aggregate.
+struct ShardSegment {
+  std::uint32_t shard = 0;
+  std::filesystem::path file;
+  std::uint64_t triplets = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+  /// Thread-CPU seconds of this shard's merge. Per-owner sums of these
+  /// model the parallel critical path on one-core hosts, the same way
+  /// runtime::TreeReduceStats does for the stage-6 reduce tree.
+  double mergeSeconds = 0.0;
+  unsigned owner = 0;  ///< worker index / rank that ran the merge
+};
+
+/// Runs one shard's independent loser-tree merge over its (shard-pure)
+/// runs, streaming the result into `segmentFile` (tmp+rename). This is
+/// the unit of work a shard owner — worker thread or rank — executes; the
+/// final CADJ is the byte-identical concatenation of the resulting
+/// segments in ascending shard order.
+ShardSegment mergeShardRuns(std::uint32_t shard,
+                            std::span<const SpillRunInfo> runs,
+                            const std::filesystem::path& segmentFile,
+                            SpillReadahead readahead);
 
 }  // namespace chisimnet::sparse

@@ -293,22 +293,39 @@ TEST_P(SynthesisFuzz, PipelineEqualsBruteForceAcrossConfigs) {
           << label;
 
       // The streaming file writer must produce the same CADJ bytes as
-      // saving the equivalent in-memory result.
-      const std::filesystem::path streamed =
-          scratch.path() / ("streamed_" + label + ".cadj");
+      // saving the equivalent in-memory result — across the reduce-shard
+      // axis. 1 takes the legacy serial k-way merge, 3 and 0 (auto =
+      // workers) take the owner-sharded parallel merge; the shard count is
+      // a perf knob only, never an output knob.
       const std::filesystem::path dense =
           scratch.path() / ("dense_" + label + ".cadj");
-      NetworkSynthesizer streaming(config);
-      const std::uint64_t edges = streaming.synthesizeToFile(files, streamed);
-      EXPECT_EQ(edges, reference.edgeCount()) << label;
       sparse::saveAdjacency(reference, dense);
-      std::ifstream a(streamed, std::ios::binary);
       std::ifstream b(dense, std::ios::binary);
-      const std::string bytesA((std::istreambuf_iterator<char>(a)),
-                               std::istreambuf_iterator<char>());
       const std::string bytesB((std::istreambuf_iterator<char>(b)),
                                std::istreambuf_iterator<char>());
-      EXPECT_EQ(bytesA, bytesB) << label;
+      for (const unsigned reduceShards : {1u, 3u, 0u}) {
+        config.reduceShards = reduceShards;
+        // Small rows per shard so the sharded runs exercise a multi-segment
+        // merge plan even at fuzz-case person counts.
+        config.mergeRowsPerShard = reduceShards == 1 ? 0 : 16;
+        const std::string shardLabel =
+            label + " reduce-shards " + std::to_string(reduceShards);
+        const std::filesystem::path streamed =
+            scratch.path() / ("streamed_" + shardLabel + ".cadj");
+        NetworkSynthesizer streaming(config);
+        const std::uint64_t edges =
+            streaming.synthesizeToFile(files, streamed);
+        EXPECT_EQ(edges, reference.edgeCount()) << shardLabel;
+        std::ifstream a(streamed, std::ios::binary);
+        const std::string bytesA((std::istreambuf_iterator<char>(a)),
+                                 std::istreambuf_iterator<char>());
+        EXPECT_EQ(bytesA, bytesB) << shardLabel;
+        EXPECT_EQ(streaming.report().reduceShardsUsed,
+                  resolvedReduceShards(config))
+            << shardLabel;
+      }
+      config.reduceShards = 0;
+      config.mergeRowsPerShard = 0;
     }
   }
   config.memoryBudgetBytes = 0;

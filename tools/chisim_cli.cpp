@@ -309,6 +309,19 @@ int cmdSynthesize(const Args& args) {
   config.resume = args.has("resume");
   config.memoryBudgetBytes = args.bytes("memory-budget", 0);
   config.spillDir = args.str("spill-dir", "");
+  config.reduceShards = static_cast<unsigned>(args.u64("reduce-shards", 0));
+  const std::string readahead = args.str("merge-readahead", "buffer");
+  if (readahead == "none") {
+    config.mergeReadahead = sparse::SpillReadahead::kNone;
+  } else if (readahead == "buffer") {
+    config.mergeReadahead = sparse::SpillReadahead::kDoubleBuffer;
+  } else if (readahead == "fadvise") {
+    config.mergeReadahead = sparse::SpillReadahead::kFadvise;
+  } else {
+    throw std::invalid_argument(
+        "--merge-readahead expects none, buffer or fadvise, got: " +
+        readahead);
+  }
   const std::string out = args.requireStr("out");
   net::NetworkSynthesizer synthesizer(config);
   std::uint64_t edges = 0;
@@ -390,6 +403,14 @@ int cmdSynthesize(const Args& args) {
               << report.spilledBytes / 1024 / 1024 << " MiB, "
               << report.spilledTriplets << " triplets), "
               << report.spillCompactions << " compactions\n";
+    if (report.reduceShardsUsed > 1) {
+      std::cout << "merge: " << report.reduceShardsUsed << " owners, "
+                << report.mergeSegmentsWritten << " segments ("
+                << report.mergeSegmentsReused << " reused, "
+                << report.spillRunsSplit << " runs split), "
+                << report.mergeSeconds << " s merge CPU, critical path "
+                << report.mergeCriticalSeconds << " s\n";
+    }
   }
   std::cout << "wrote " << out << " ("
             << std::filesystem::file_size(out) / 1024 / 1024 << " MiB)\n";
@@ -520,6 +541,7 @@ void printUsage() {
       "              [--transport inproc|process] [--max-respawns N]\n"
       "              [--heartbeat-ms MS]\n"
       "              [--memory-budget BYTES[K|M|G]] [--spill-dir DIR]\n"
+      "              [--reduce-shards N] [--merge-readahead none|buffer|fadvise]\n"
       "  analyze     --net FILE.cadj [--clustering] [--communities]\n"
       "              [--degrees-out FILE.tsv]\n"
       "  ego         --net FILE.cadj --out PREFIX [--person P] [--radius R]\n"
