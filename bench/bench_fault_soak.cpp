@@ -18,6 +18,10 @@
 ///   mp-process  the above plus real SIGKILLs (root-scripted and
 ///               worker-side kill-process), absorbed by respawn or
 ///               loss reassignment
+///   mp-tcp      the mp-inproc set plus real connection drops and torn
+///               wire frames (the worker re-dials — the reconnect path)
+///               and worker-side kill-process, absorbed by loss
+///               reassignment (no respawn over TCP)
 ///   abm-ckpt    the simulation side: a checkpointing ABM run killed at a
 ///               seeded random simulated hour (abm.step throw), resumed
 ///               from the last committed checkpoint, and required to
@@ -50,7 +54,8 @@ using runtime::FaultAction;
 using runtime::FaultPlan;
 using runtime::FaultSpec;
 
-enum class Column { kShared, kMpInproc, kMpProcess, kAbmCkpt };
+enum class Column { kShared, kMpInproc, kMpProcess, kMpTcp, kAbmCkpt };
+inline constexpr std::uint64_t kColumnCount = 5;
 
 const char* columnName(Column column) {
   switch (column) {
@@ -60,6 +65,8 @@ const char* columnName(Column column) {
       return "mp-inproc";
     case Column::kMpProcess:
       return "mp-process";
+    case Column::kMpTcp:
+      return "mp-tcp";
     case Column::kAbmCkpt:
       return "abm-ckpt";
   }
@@ -107,20 +114,45 @@ void makePlan(FaultPlan& plan, Column column, util::Rng& rng) {
     }
     return;
   }
-  // Process column: real process deaths. The root-side variant SIGKILLs
-  // the destination of one scripted frame; the worker-side variant makes
-  // one rank SIGKILL itself with low probability (the plan is replayed
-  // into respawns, so a hot streak can exhaust the budget — that is the
-  // reassignment path, still recoverable).
-  if (rng.bernoulli(0.5)) {
-    plan.at("proc.send",
+  if (column == Column::kMpProcess) {
+    // Process column: real process deaths. The root-side variant SIGKILLs
+    // the destination of one scripted frame; the worker-side variant makes
+    // one rank SIGKILL itself with low probability (the plan is replayed
+    // into respawns, so a hot streak can exhaust the budget — that is the
+    // reassignment path, still recoverable).
+    if (rng.bernoulli(0.5)) {
+      plan.at("proc.send",
+              FaultSpec{.action = FaultAction::kKillRank,
+                        .hit = 1 + rng.uniformBelow(8)});
+    }
+    if (rng.bernoulli(0.4)) {
+      plan.at("mp.service.command",
+              FaultSpec{.action = FaultAction::kKillProcess,
+                        .probability = rng.uniformReal(0.05, 0.25),
+                        .rank = static_cast<int>(1 + rng.uniformBelow(3))});
+    }
+    return;
+  }
+  // TCP column: real connection drops. A scripted kKillRank at tcp.drop
+  // severs one live connection (the worker re-dials — the reconnect
+  // path); probabilistic frame tears poison the worker's read side into a
+  // re-dial as well; and a worker-side kill-process drains straight into
+  // loss reassignment, since there is no respawn over TCP.
+  if (rng.bernoulli(0.6)) {
+    plan.at("tcp.drop",
             FaultSpec{.action = FaultAction::kKillRank,
                       .hit = 1 + rng.uniformBelow(8)});
   }
   if (rng.bernoulli(0.4)) {
+    plan.at("tcp.drop",
+            FaultSpec{.action = FaultAction::kTruncate,
+                      .probability = rng.uniformReal(0.01, 0.05),
+                      .truncateTo = rng.uniformBelow(12)});
+  }
+  if (rng.bernoulli(0.3)) {
     plan.at("mp.service.command",
             FaultSpec{.action = FaultAction::kKillProcess,
-                      .probability = rng.uniformReal(0.05, 0.25),
+                      .probability = rng.uniformReal(0.02, 0.1),
                       .rank = static_cast<int>(1 + rng.uniformBelow(3))});
   }
 }
@@ -143,6 +175,12 @@ net::SynthesisConfig makeConfig(Column column, util::Rng& rng) {
     config.transport = net::MpTransport::kProcess;
     config.heartbeatMs = 100;
     config.maxRespawns = 1 + static_cast<int>(rng.uniformBelow(2));
+  } else if (column == Column::kMpTcp) {
+    config.transport = net::MpTransport::kTcp;
+    config.heartbeatMs = 100;
+    config.connectTimeoutMs = 2000;
+    config.connectRetries = 3;
+    config.reconnectGraceMs = 1500;
   }
   return config;
 }
@@ -289,15 +327,18 @@ int main(int argc, char** argv) {
   std::uint64_t abmFailures = 0;
   std::uint64_t totalRetries = 0;
   std::uint64_t totalRespawns = 0;
+  std::uint64_t totalReconnects = 0;
   std::uint64_t totalRanksLost = 0;
-  std::cout << "  seed  column      result     retries  respawns  lost\n";
+  std::cout
+      << "  seed  column      result     retries  respawns  reconn  lost\n";
   for (std::uint64_t seed = 0; seed < seedCount; ++seed) {
-    const Column column = static_cast<Column>(seed % 4);
+    const Column column = static_cast<Column>(seed % kColumnCount);
     util::Rng rng(seed * 0x9E3779B97F4A7C15ull + 3);
 
     std::string result = "identical";
     std::uint64_t retries = 0;
     std::uint64_t respawns = 0;
+    std::uint64_t reconnects = 0;
     int ranksLost = 0;
     if (column == Column::kAbmCkpt) {
       // The simulation column exercises its own kill/checkpoint/resume
@@ -313,7 +354,7 @@ int main(int argc, char** argv) {
         ++abmFailures;
       }
       std::cout << "  " << seed << "     " << columnName(column) << "  "
-                << result << "  0  0  0\n";
+                << result << "  0  0  0  0\n";
       continue;
     }
     FaultPlan plan(seed);
@@ -327,6 +368,7 @@ int main(int argc, char** argv) {
       const auto& report = synthesizer.report();
       retries = report.commandRetries;
       respawns = report.workersRespawned;
+      reconnects = report.workersReconnected;
       ranksLost = report.ranksLost;
       if (adjacency.toTriplets() != referenceTriplets) {
         result = "MISMATCH";
@@ -338,10 +380,11 @@ int main(int argc, char** argv) {
     }
     totalRetries += retries;
     totalRespawns += respawns;
+    totalReconnects += reconnects;
     totalRanksLost += static_cast<std::uint64_t>(ranksLost);
     std::cout << "  " << seed << "     " << columnName(column) << "  "
               << result << "  " << retries << "  " << respawns << "  "
-              << ranksLost << "\n";
+              << reconnects << "  " << ranksLost << "\n";
   }
 
   json.put("failures", failures);
@@ -349,11 +392,13 @@ int main(int argc, char** argv) {
   json.put("abm_ckpt_failures", abmFailures);
   json.put("total_command_retries", totalRetries);
   json.put("total_workers_respawned", totalRespawns);
+  json.put("total_workers_reconnected", totalReconnects);
   json.put("total_ranks_lost", totalRanksLost);
   const auto jsonPath = json.write();
   std::cout << "\nsoak: " << seedCount << " seeds, " << failures
             << " failures, " << totalRetries << " retries, " << totalRespawns
-            << " respawns, " << totalRanksLost << " ranks lost\n"
+            << " respawns, " << totalReconnects << " reconnects, "
+            << totalRanksLost << " ranks lost\n"
             << "json: " << jsonPath.string() << "\n";
   if (failures > 0) {
     std::cout << "FAULT-SOAK FAILED\n";

@@ -42,6 +42,7 @@
 
 namespace chisimnet::runtime {
 class ProcessTransport;
+class TcpTransport;
 }  // namespace chisimnet::runtime
 
 namespace chisimnet::net {
@@ -216,7 +217,15 @@ class SharedMemoryExecutor final : public SynthesisExecutor {
 /// that crashes is respawned by the transport (config.maxRespawns) while
 /// the in-flight command rides the existing timeout/retry path; once the
 /// respawn budget is exhausted, the death feeds the same markLost +
-/// reassignment flow as an in-process loss.
+/// reassignment flow as an in-process loss. With kTcp the workers dial
+/// rank 0 over TCP (runtime::TcpTransport) — a dropped connection is
+/// survived by worker-initiated reconnect inside a grace window, and one
+/// that never returns feeds the same markLost + reassignment flow. Under
+/// kTcp the workers need no shared filesystem: stage commands carry
+/// shipRuns, workers spill into private local directories, and run-file
+/// bytes travel to the root as mp::kShipTag chunks ahead of the replies
+/// that reference them (the root materializes them into its own spill
+/// directory before decoding the reply).
 class MessagePassingExecutor final : public SynthesisExecutor {
  public:
   explicit MessagePassingExecutor(const SynthesisConfig& config);
@@ -332,6 +341,23 @@ class MessagePassingExecutor final : public SynthesisExecutor {
   /// The socket transport behind team_ when config.transport is kProcess
   /// (non-owning; the team owns it); nullptr for the in-process transport.
   runtime::ProcessTransport* processTransport_ = nullptr;
+  /// The TCP transport behind team_ when config.transport is kTcp
+  /// (non-owning; the team owns it); nullptr otherwise.
+  runtime::TcpTransport* tcpTransport_ = nullptr;
+  /// True when stage commands run with shipRuns: worker file runs arrive
+  /// as kShipTag chunks and decode points must localizeRun() every ref.
+  bool shipRuns_ = false;
+  /// Root-side assembler of in-flight kShipTag run files (pimpl — holds
+  /// open output streams keyed by run name).
+  class RunShipSink;
+  std::unique_ptr<RunShipSink> shipSink_;
+  /// Drains every kShipTag chunk `rank` has delivered into shipSink_
+  /// (called at each reply receipt — chunks precede the reply that
+  /// references them on the connection).
+  void drainShippedRuns(int rank);
+  /// Rewrites a shipped ref into the root-side file the sink materialized
+  /// (<spillDir>/<name>); identity for inline and plain file refs.
+  mp::RunRef localizeRun(mp::RunRef ref) const;
   /// Must be constructed last: service threads read config_/ranks_.
   std::unique_ptr<runtime::RankTeam> team_;
 };

@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
@@ -5,10 +7,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <span>
 #include <string>
 #include <system_error>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -16,6 +20,7 @@
 #include "chisimnet/net/mp_protocol.hpp"
 #include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/runtime/process_transport.hpp"
+#include "chisimnet/runtime/tcp_transport.hpp"
 #include "chisimnet/util/error.hpp"
 #include "chisimnet/util/timer.hpp"
 
@@ -44,6 +49,10 @@ mp::StageParams stageParamsOf(const SynthesisConfig& config) {
   params.splitRows = resolvedReduceShards(config) > 1
                          ? resolvedMergeRowsPerShard(config)
                          : 0;
+  // TCP workers may live on other hosts: they spill into private local
+  // directories and ship run bytes over the wire instead of returning
+  // paths into a filesystem the root may not share.
+  params.shipRuns = config.transport == MpTransport::kTcp;
   return params;
 }
 
@@ -58,7 +67,103 @@ sparse::SpillRunInfo runRefInfo(const mp::RunRef& ref) {
   return info;
 }
 
+/// One "host:port" per line for ranks 1..N-1; blank lines and #-comments
+/// are skipped, an empty slot string means "dial the root's listen
+/// address".
+std::vector<std::string> readTcpJobFile(const std::string& path) {
+  std::ifstream in(path);
+  CHISIM_CHECK(in.good(), "cannot open tcp job file " + path);
+  std::vector<std::string> slots;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') {
+      continue;
+    }
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    slots.push_back(line.substr(begin, end - begin + 1));
+  }
+  return slots;
+}
+
 }  // namespace
+
+/// Root-side assembler of in-flight kShipTag run files: chunks append to
+/// <spillDir>/<name>.part, offset 0 restarts (a retried command re-ships
+/// from scratch), and a completed file is committed via rename — so a
+/// reply's shipped refs always resolve to whole files (the chunks precede
+/// the reply on the connection and are drained before it is decoded).
+class MessagePassingExecutor::RunShipSink {
+ public:
+  explicit RunShipSink(std::filesystem::path dir) : dir_(std::move(dir)) {}
+
+  void accept(const mp::ShipChunkView& chunk) {
+    // The name becomes a path component under the root's spill dir; never
+    // let a (buggy or hostile) worker steer it elsewhere.
+    CHISIM_CHECK(chunk.name.find('/') == std::string::npos &&
+                     chunk.name.find('\\') == std::string::npos &&
+                     chunk.name != "." && chunk.name != "..",
+                 "shipped run name must be a bare file name");
+    Inflight& in = inflight_[chunk.name];
+    if (chunk.offset == 0) {
+      in.out = std::make_unique<std::ofstream>(
+          tmpPath(chunk.name), std::ios::binary | std::ios::trunc);
+      CHISIM_CHECK(in.out->good(), "cannot open shipped-run temp file " +
+                                       tmpPath(chunk.name).string());
+      in.received = 0;
+      in.total = chunk.total;
+    }
+    CHISIM_CHECK(in.out != nullptr && chunk.offset == in.received &&
+                     chunk.total == in.total,
+                 "shipped run chunk out of sequence for " + chunk.name);
+    if (!chunk.data.empty()) {
+      in.out->write(reinterpret_cast<const char*>(chunk.data.data()),
+                    static_cast<std::streamsize>(chunk.data.size()));
+      in.received += chunk.data.size();
+    }
+    if (in.received == in.total) {
+      in.out->flush();
+      CHISIM_CHECK(in.out->good(),
+                   "failed writing shipped run " + chunk.name);
+      in.out.reset();
+      std::filesystem::rename(tmpPath(chunk.name), dir_ / chunk.name);
+      inflight_.erase(chunk.name);
+    }
+  }
+
+ private:
+  struct Inflight {
+    std::unique_ptr<std::ofstream> out;
+    std::uint64_t received = 0;
+    std::uint64_t total = 0;
+  };
+
+  std::filesystem::path tmpPath(const std::string& name) const {
+    return dir_ / (name + ".part");
+  }
+
+  std::filesystem::path dir_;
+  std::unordered_map<std::string, Inflight> inflight_;
+};
+
+void MessagePassingExecutor::drainShippedRuns(int rank) {
+  if (shipSink_ == nullptr) {
+    return;
+  }
+  runtime::Message message;
+  while (team_->root().tryRecv(message, rank, mp::kShipTag)) {
+    bytesReturned_ += message.payload.size();
+    shipSink_->accept(mp::decodeShipChunk(message.payload));
+  }
+}
+
+mp::RunRef MessagePassingExecutor::localizeRun(mp::RunRef ref) const {
+  if (ref.shipped) {
+    ref.file = (config_.spillDir / ref.file).string();
+    ref.shipped = false;
+  }
+  return ref;
+}
 
 MessagePassingExecutor::MessagePassingExecutor(const SynthesisConfig& config)
     : SynthesisExecutor(config),
@@ -77,6 +182,46 @@ MessagePassingExecutor::MessagePassingExecutor(const SynthesisConfig& config)
     auto transport = std::make_unique<runtime::ProcessTransport>(options);
     processTransport_ = transport.get();
     team_ = std::make_unique<runtime::RankTeam>(std::move(transport));
+  } else if (config.transport == MpTransport::kTcp) {
+    // Worker ranks dial rank 0 over TCP. Stage commands run with shipRuns:
+    // workers spill locally and ship run bytes on kShipTag, which the sink
+    // materializes into the root's spill directory.
+    runtime::TcpTransportOptions options;
+    options.rankCount = ranks_;
+    options.heartbeatMs = config.heartbeatMs;
+    options.connectTimeoutMs = config.connectTimeoutMs;
+    options.connectRetries = config.connectRetries;
+    options.reconnectGraceMs = config.reconnectGraceMs;
+    options.executable = config.workerExecutable;
+    if (!config.tcpListen.empty()) {
+      std::tie(options.listenHost, options.listenPort) =
+          runtime::parseHostPort(config.tcpListen);
+    }
+    if (!config.tcpJob.empty()) {
+      // Job mode: workers are launched out-of-band (`chisim worker`)
+      // against the addresses listed, one per rank 1..N-1.
+      options.spawnWorkers = false;
+      options.connectAddresses = readTcpJobFile(config.tcpJob);
+    }
+    options.helloPayload = mp::encodeStageParams(stageParamsOf(config));
+    auto transport = std::make_unique<runtime::TcpTransport>(options);
+    tcpTransport_ = transport.get();
+    team_ = std::make_unique<runtime::RankTeam>(std::move(transport));
+    shipRuns_ = true;
+    shipSink_ = std::make_unique<RunShipSink>(config.spillDir);
+    // Bound the wait by the workers' own dial budget plus slack, so a
+    // worker that is still backing off is not declared missing.
+    const std::uint64_t waitMs = std::max<std::uint64_t>(
+        10000,
+        config.connectTimeoutMs *
+                static_cast<std::uint64_t>(config.connectRetries + 1) +
+            5000);
+    CHISIM_CHECK(
+        tcpTransport_->waitForWorkers(std::chrono::milliseconds(waitMs)),
+        "tcp transport: not all workers connected within " +
+            std::to_string(waitMs) + " ms (listening on " +
+            options.listenHost + ":" + std::to_string(tcpTransport_->port()) +
+            ")");
   } else {
     team_ = std::make_unique<runtime::RankTeam>(
         ranks_, [this](runtime::RankHandle& handle) { serviceLoop(handle); });
@@ -174,6 +319,10 @@ std::optional<std::vector<std::byte>> MessagePassingExecutor::awaitReply(
     }
     std::string failure;
     if (message) {
+      // Any run files this reply references were shipped ahead of it on
+      // the same connection, so they are already queued: materialize them
+      // before the reply body is decoded.
+      drainShippedRuns(rank);
       runtime::FaultSite site{rank, &message->payload};
       runtime::fault::hit("mp.collect", site);
       std::uint32_t status = mp::kStatusFailed;
@@ -449,7 +598,8 @@ void MessagePassingExecutor::mapAdjacency(
                    workerPeakBytes_ += mp::take64(reply, cursor);
                    const std::uint32_t runCount = mp::take32(reply, cursor);
                    for (std::uint32_t run = 0; run < runCount; ++run) {
-                     reduceRuns_.push_back(mp::takeRunRef(reply, cursor));
+                     reduceRuns_.push_back(
+                         localizeRun(mp::takeRunRef(reply, cursor)));
                    }
                    CHISIM_CHECK(cursor == reply.size(),
                                 "malformed adjacency reply");
@@ -500,7 +650,13 @@ void MessagePassingExecutor::mergeRunsLevel() {
   const std::vector<int> live = liveRanks();
   std::vector<std::vector<std::size_t>> shares(live.size());
   for (std::size_t pair = 0; pair < pairCount; ++pair) {
-    shares[pair % shares.size()].push_back(pair);
+    // Under run shipping the root's run files are local to the root —
+    // remote workers cannot open them, so any pair touching a file run is
+    // pinned to rank 0 (live[0]; the root is always live) and executes
+    // inline. Inline-only pairs still spread across the workers.
+    const bool rootOnly = shipRuns_ && (reduceRuns_[2 * pair].isFile() ||
+                                        reduceRuns_[2 * pair + 1].isFile());
+    shares[rootOnly ? 0 : pair % shares.size()].push_back(pair);
   }
   for (std::size_t slot = 0; slot < live.size(); ++slot) {
     if (shares[slot].empty()) {
@@ -512,13 +668,14 @@ void MessagePassingExecutor::mergeRunsLevel() {
   }
   double levelPeak = 0.0;
   collectStage(mp::kCmdMergeRuns, buildBody,
-               [&next, &levelPeak](std::span<const std::byte> reply) {
+               [this, &next, &levelPeak](std::span<const std::byte> reply) {
                  std::size_t cursor = 0;
                  levelPeak =
                      std::max(levelPeak, mp::takeDouble(reply, cursor));
                  const std::uint32_t count = mp::take32(reply, cursor);
                  for (std::uint32_t pair = 0; pair < count; ++pair) {
-                   next.push_back(mp::takeRunRef(reply, cursor));
+                   next.push_back(
+                       localizeRun(mp::takeRunRef(reply, cursor)));
                  }
                  CHISIM_CHECK(cursor == reply.size(),
                               "malformed merge-runs reply");
@@ -636,11 +793,16 @@ std::vector<sparse::ShardSegment> MessagePassingExecutor::mergeSpillShards(
   std::vector<std::vector<std::size_t>> shares(live.size());
   std::unordered_map<std::uint32_t, unsigned> ownerOfShard;
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    shares[g % shares.size()].push_back(g);
+    // Under run shipping the spill runs live only in the root's spill
+    // directory, so every shard merge is pinned to rank 0 (live[0]) and
+    // executes inline — distributing the shard merge without a shared
+    // filesystem would require shipping run files root->worker (see
+    // ROADMAP follow-up).
+    const std::size_t slot = shipRuns_ ? 0 : g % shares.size();
+    shares[slot].push_back(g);
     // Modeled owner = the initial assignment; a fault-driven reassignment
     // shifts real work elsewhere but the model keeps the healthy-run shape.
-    ownerOfShard[groups[g].shard] =
-        static_cast<unsigned>(live[g % live.size()]);
+    ownerOfShard[groups[g].shard] = static_cast<unsigned>(live[slot]);
   }
   const auto buildBody = [this, &groups](std::span<const std::size_t> items) {
     std::vector<std::byte> body;
@@ -723,23 +885,149 @@ std::vector<FaultEvent> MessagePassingExecutor::drainFaultEvents() {
       faultEvents_.push_back(std::move(mapped));
     }
   }
+  if (tcpTransport_ != nullptr) {
+    for (runtime::TcpTransport::WorkerEvent& event :
+         tcpTransport_->drainEvents()) {
+      if (event.kind != runtime::TcpTransport::WorkerEvent::Kind::kReconnect) {
+        // Permanent deaths are accounted as kRankLost by the command retry
+        // loop (markLost), which owns the live set.
+        continue;
+      }
+      FaultEvent mapped;
+      mapped.kind = FaultEvent::Kind::kWorkerReconnect;
+      mapped.rank = event.rank;
+      mapped.detail = std::move(event.detail);
+      faultEvents_.push_back(std::move(mapped));
+    }
+  }
   return std::exchange(faultEvents_, {});
 }
 
+namespace {
+
+/// Worker-side RunShipper over a TcpWorkerLink: streams the file as
+/// kShipTag chunks (ahead of the reply that references it) and returns
+/// the bare name the reply's shipped ref carries.
+class TcpLinkShipper final : public mp::RunShipper {
+ public:
+  explicit TcpLinkShipper(runtime::TcpWorkerLink& link) : link_(link) {}
+
+  std::string ship(const std::filesystem::path& file,
+                   std::uint64_t bytes) override {
+    const std::string name = file.filename().string();
+    const std::uint64_t cap = runtime::maxPayloadBytes();
+    // Keep headroom for the chunk header under the payload ceiling; 8 MiB
+    // chunks otherwise (bounded memory, few frames).
+    const std::uint64_t chunkBytes = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(8ull << 20, cap > 4096 ? cap - 4096 : 1));
+    std::ifstream in(file, std::ios::binary);
+    CHISIM_CHECK(in.good(),
+                 "cannot open run file for shipping: " + file.string());
+    std::vector<std::byte> buffer(
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            chunkBytes, std::max<std::uint64_t>(bytes, 1))));
+    std::uint64_t offset = 0;
+    // A zero-byte file still ships one empty chunk so the root creates it.
+    do {
+      const std::uint64_t want =
+          std::min<std::uint64_t>(chunkBytes, bytes - offset);
+      in.read(reinterpret_cast<char*>(buffer.data()),
+              static_cast<std::streamsize>(want));
+      CHISIM_CHECK(static_cast<std::uint64_t>(in.gcount()) == want,
+                   "short read while shipping run file " + file.string());
+      link_.send(mp::kShipTag,
+                 mp::encodeShipChunk(
+                     name, offset, bytes,
+                     std::span<const std::byte>(buffer.data(),
+                                                static_cast<std::size_t>(
+                                                    want))));
+      offset += want;
+    } while (offset < bytes);
+    return name;
+  }
+
+ private:
+  runtime::TcpWorkerLink& link_;
+};
+
+void installWorkerFaultPlan() {
+  // A fault plan shipped by the root arms this process too, so scripted
+  // worker-side faults fire with the same seed and specs as in-process
+  // runs. Counters start from zero in each exec'd process.
+  if (const char* planText = std::getenv(runtime::kWorkerFaultPlanEnv)) {
+    static std::unique_ptr<runtime::FaultPlan> plan =
+        runtime::FaultPlan::decode(planText);
+    runtime::fault::install(plan.get());
+  }
+}
+
+int runTcpSynthesisWorker() {
+  std::filesystem::path localSpill;
+  const auto cleanup = [&localSpill]() {
+    if (!localSpill.empty()) {
+      std::error_code ignored;
+      std::filesystem::remove_all(localSpill, ignored);
+    }
+  };
+  try {
+    installWorkerFaultPlan();
+    runtime::TcpWorkerLink link;
+    const runtime::TcpWorkerLink::Hello hello = link.handshake();
+    mp::StageParams params = mp::decodeStageParams(hello.payload);
+    if (params.shipRuns) {
+      // No shared filesystem is assumed: spill into a private local
+      // directory and ship run bytes to the root over the wire. The
+      // root's spillDir in the params is meaningless on this host.
+      localSpill = std::filesystem::temp_directory_path() /
+                   ("chisim-tcp-worker-" + std::to_string(link.rank()) +
+                    "-" + std::to_string(::getpid()));
+      std::filesystem::create_directories(localSpill);
+      params.spillDir = localSpill.string();
+    }
+    TcpLinkShipper shipper(link);
+    while (true) {
+      const runtime::Message message = link.recv();
+      if (message.tag != mp::kCommandTag) {
+        continue;  // not a command frame; nothing to service
+      }
+      std::vector<std::byte> reply;
+      switch (mp::serviceSynthesisCommand(params, link.rank(),
+                                          message.payload, reply, &shipper)) {
+        case mp::ServiceOutcome::kReply:
+          link.send(mp::kReplyTag, reply);
+          break;
+        case mp::ServiceOutcome::kStop:
+          cleanup();
+          return 0;
+        case mp::ServiceOutcome::kDie:
+          // Injected silent death: exit without replying. The root sees
+          // the connection close; the slot machine decides between the
+          // reconnect grace and permanent loss.
+          cleanup();
+          return 0;
+      }
+    }
+  } catch (const std::exception& error) {
+    // Includes the orderly "root connection closed" on root teardown and
+    // the permanent-down link after an exhausted re-dial budget; either
+    // way the worker has nothing left to do.
+    cleanup();
+    std::fprintf(stderr, "chisim worker: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
 std::optional<int> maybeRunSynthesisWorker() {
+  if (runtime::TcpWorkerLink::isTcpWorkerProcess()) {
+    return runTcpSynthesisWorker();
+  }
   if (!runtime::ProcessWorkerLink::isWorkerProcess()) {
     return std::nullopt;
   }
   try {
-    // A fault plan shipped by the root arms this process too, so scripted
-    // worker-side faults (kThrow in a stage, kKillProcess mid-command)
-    // fire with the same seed and specs as in-process runs. Counters start
-    // from zero in each exec'd process.
-    if (const char* planText = std::getenv(runtime::kWorkerFaultPlanEnv)) {
-      static std::unique_ptr<runtime::FaultPlan> plan =
-          runtime::FaultPlan::decode(planText);
-      runtime::fault::install(plan.get());
-    }
+    installWorkerFaultPlan();
     runtime::ProcessWorkerLink link;
     const runtime::ProcessWorkerLink::Hello hello = link.handshake();
     const mp::StageParams params = mp::decodeStageParams(hello.payload);

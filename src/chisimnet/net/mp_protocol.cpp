@@ -34,6 +34,23 @@ std::unique_ptr<sparse::TripletSource> openRunRef(const RunRef& ref) {
       std::span<const sparse::AdjacencyTriplet>(ref.inlineRun));
 }
 
+/// Under run shipping, converts a local file ref into a shipped ref: the
+/// bytes stream to the root on kShipTag, the reply carries the bare name,
+/// and the local file is deleted (a retried command re-executes the pure
+/// body and re-ships). A no-op for inline refs or without a shipper.
+RunRef maybeShip(const StageParams& params, RunShipper* shipper, RunRef ref) {
+  if (!params.shipRuns || shipper == nullptr || !ref.isFile() ||
+      ref.shipped) {
+    return ref;
+  }
+  const std::filesystem::path local(ref.file);
+  ref.file = shipper->ship(local, ref.bytes);
+  ref.shipped = true;
+  std::error_code ignored;
+  std::filesystem::remove(local, ignored);
+  return ref;
+}
+
 }  // namespace
 
 void put32(std::vector<std::byte>& out, std::uint32_t value) {
@@ -121,7 +138,7 @@ std::string takeString(std::span<const std::byte> bytes,
 
 void putRunRef(std::vector<std::byte>& out, const RunRef& ref) {
   if (ref.isFile()) {
-    put32(out, 1);
+    put32(out, ref.shipped ? 2 : 1);
     putString(out, ref.file);
     put64(out, ref.triplets);
     put64(out, ref.bytes);
@@ -137,9 +154,12 @@ void putRunRef(std::vector<std::byte>& out, const RunRef& ref) {
 RunRef takeRunRef(std::span<const std::byte> bytes, std::size_t& cursor) {
   RunRef ref;
   const std::uint32_t mode = take32(bytes, cursor);
-  if (mode == 1) {
+  if (mode == 1 || mode == 2) {
+    ref.shipped = mode == 2;
     ref.file = takeString(bytes, cursor);
-    CHISIM_CHECK(!ref.file.empty(), "file run ref with an empty path");
+    CHISIM_CHECK(!ref.file.empty(),
+                 ref.shipped ? "shipped run ref with an empty name"
+                             : "file run ref with an empty path");
     ref.triplets = take64(bytes, cursor);
     ref.bytes = take64(bytes, cursor);
     ref.hasKeyRange = take32(bytes, cursor) != 0;
@@ -151,6 +171,32 @@ RunRef takeRunRef(std::span<const std::byte> bytes, std::size_t& cursor) {
     ref.inlineRun = takeTriplets(bytes, cursor);
   }
   return ref;
+}
+
+std::vector<std::byte> encodeShipChunk(const std::string& name,
+                                       std::uint64_t offset,
+                                       std::uint64_t total,
+                                       std::span<const std::byte> data) {
+  std::vector<std::byte> chunk;
+  chunk.reserve(4 + name.size() + 16 + data.size());
+  putString(chunk, name);
+  put64(chunk, offset);
+  put64(chunk, total);
+  chunk.insert(chunk.end(), data.begin(), data.end());
+  return chunk;
+}
+
+ShipChunkView decodeShipChunk(std::span<const std::byte> bytes) {
+  std::size_t cursor = 0;
+  ShipChunkView view;
+  view.name = takeString(bytes, cursor);
+  CHISIM_CHECK(!view.name.empty(), "ship chunk with an empty run name");
+  view.offset = take64(bytes, cursor);
+  view.total = take64(bytes, cursor);
+  view.data = bytes.subspan(cursor);
+  CHISIM_CHECK(view.offset + view.data.size() <= view.total,
+               "ship chunk overruns its declared total");
+  return view;
 }
 
 std::vector<std::byte> packMatrices(
@@ -222,6 +268,7 @@ std::vector<std::byte> encodeStageParams(const StageParams& params) {
   put64(bytes, params.spillThresholdBytes);
   putString(bytes, params.spillDir);
   put32(bytes, params.splitRows);
+  put32(bytes, params.shipRuns ? 1 : 0);
   return bytes;
 }
 
@@ -234,13 +281,14 @@ StageParams decodeStageParams(std::span<const std::byte> bytes) {
   params.spillThresholdBytes = take64(bytes, cursor);
   params.spillDir = takeString(bytes, cursor);
   params.splitRows = take32(bytes, cursor);
+  params.shipRuns = take32(bytes, cursor) != 0;
   CHISIM_CHECK(cursor == bytes.size(), "malformed stage parameter payload");
   return params;
 }
 
 std::vector<std::byte> executeSynthesisCommand(
     const StageParams& params, std::uint32_t command,
-    std::span<const std::byte> body) {
+    std::span<const std::byte> body, RunShipper* shipper) {
   switch (command) {
     case kCmdCollocation: {
       // Body: [groupCount u32][per group: eventCount u32][events].
@@ -310,7 +358,7 @@ std::vector<std::byte> executeSynthesisCommand(
         ref.hasKeyRange = info.hasKeyRange;
         ref.firstKey = info.firstKey;
         ref.lastKey = info.lastKey;
-        refs.push_back(std::move(ref));
+        refs.push_back(maybeShip(params, shipper, std::move(ref)));
       }
       WorkerSpillStats spill;
       spill.flushes = sum.flushes();
@@ -346,7 +394,7 @@ std::vector<std::byte> executeSynthesisCommand(
           ref.hasKeyRange = info.hasKeyRange;
           ref.firstKey = info.firstKey;
           ref.lastKey = info.lastKey;
-          refs.push_back(std::move(ref));
+          refs.push_back(maybeShip(params, shipper, std::move(ref)));
         }
       }
 
@@ -427,7 +475,7 @@ std::vector<std::byte> executeSynthesisCommand(
           inlineBytesSoFar +=
               out.inlineRun.size() * sizeof(sparse::AdjacencyTriplet);
         }
-        putRunRef(merged, out);
+        putRunRef(merged, maybeShip(params, shipper, std::move(out)));
       }
       CHISIM_CHECK(cursor == body.size(), "merge-runs body size mismatch");
       std::vector<std::byte> reply;
@@ -502,7 +550,8 @@ std::vector<std::byte> executeSynthesisCommand(
 
 ServiceOutcome serviceSynthesisCommand(const StageParams& params, int rank,
                                        std::span<const std::byte> frame,
-                                       std::vector<std::byte>& reply) {
+                                       std::vector<std::byte>& reply,
+                                       RunShipper* shipper) {
   std::uint32_t command = 0;
   std::uint64_t epoch = 0;
   bool headerOk = false;
@@ -526,7 +575,7 @@ ServiceOutcome serviceSynthesisCommand(const StageParams& params, int rank,
       return ServiceOutcome::kDie;  // simulate a rank dying silently mid-run
     }
     const std::vector<std::byte> body = executeSynthesisCommand(
-        params, command, frame.subspan(kCommandHeaderBytes));
+        params, command, frame.subspan(kCommandHeaderBytes), shipper);
     reply = frameReply(command, kStatusOk, epoch, body);
   } catch (const std::exception& error) {
     // Recoverable worker failure: report it and stay in the loop so the

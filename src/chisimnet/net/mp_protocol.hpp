@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,6 +35,11 @@ namespace chisimnet::net::mp {
 inline constexpr int kRoot = 0;
 inline constexpr int kCommandTag = 99;  ///< root -> worker framed commands
 inline constexpr int kReplyTag = 100;   ///< worker -> root framed replies
+inline constexpr int kShipTag = 101;    ///< worker -> root run-file chunks,
+                                        ///< sent AHEAD of the reply that
+                                        ///< references them (per-connection
+                                        ///< ordering makes the reply the
+                                        ///< commit point)
 
 enum Command : std::uint32_t {
   kCmdCollocation = 1,
@@ -71,15 +77,21 @@ std::vector<sparse::AdjacencyTriplet> takeTriplets(
 void putString(std::vector<std::byte>& out, const std::string& text);
 std::string takeString(std::span<const std::byte> bytes, std::size_t& cursor);
 
-/// A sorted triplet run, either inline in the frame or as a CSPL1 spill
-/// file on the shared filesystem. Workers return the file form whenever the
-/// run was flushed to disk under the memory budget OR an inline reply would
-/// exceed runtime::maxPayloadBytes() — the fix for the silent 1 GiB scale
-/// ceiling: a city-scale stage-5 sum crosses the wire as a path, not as a
-/// gigabyte frame the transport would reject.
+/// A sorted triplet run: inline in the frame, a CSPL1 spill file on a
+/// filesystem shared with the root, or — when the transport spans hosts
+/// with no shared filesystem — a *shipped* file whose bytes were streamed
+/// to the root on kShipTag ahead of the reply. Workers return a non-inline
+/// form whenever the run was flushed to disk under the memory budget OR an
+/// inline reply would exceed runtime::maxPayloadBytes() — the fix for the
+/// silent 1 GiB scale ceiling: a city-scale stage-5 sum crosses the wire
+/// as a path (or as framed chunks), not as a gigabyte frame the transport
+/// would reject.
 struct RunRef {
   std::vector<sparse::AdjacencyTriplet> inlineRun;
-  std::string file;             ///< empty = inline
+  std::string file;             ///< empty = inline; shipped mode: bare name
+  bool shipped = false;         ///< bytes travelled on kShipTag; `file` is
+                                ///< a name the root resolves into its own
+                                ///< spill directory
   std::uint64_t triplets = 0;   ///< file mode: rows the file holds
   std::uint64_t bytes = 0;      ///< file mode: file size on disk
   /// Packed-key range of a file run, carried across the wire so the root's
@@ -91,10 +103,38 @@ struct RunRef {
   bool isFile() const noexcept { return !file.empty(); }
 };
 
-/// [mode u32: 0 inline | 1 file][inline: putTriplets | file: putString +
-/// triplets u64 + bytes u64 + hasRange u32 + firstKey u64 + lastKey u64]
+/// [mode u32: 0 inline | 1 file | 2 shipped][inline: putTriplets |
+/// file/shipped: putString + triplets u64 + bytes u64 + hasRange u32 +
+/// firstKey u64 + lastKey u64]
 void putRunRef(std::vector<std::byte>& out, const RunRef& ref);
 RunRef takeRunRef(std::span<const std::byte> bytes, std::size_t& cursor);
+
+/// One kShipTag frame: [name string][offset u64][total u64][raw bytes].
+/// Chunks of one file arrive in order on one connection; offset 0 restarts
+/// the file (a retried command re-ships from scratch), and offset+size ==
+/// total completes it.
+std::vector<std::byte> encodeShipChunk(const std::string& name,
+                                       std::uint64_t offset,
+                                       std::uint64_t total,
+                                       std::span<const std::byte> data);
+
+struct ShipChunkView {
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t total = 0;
+  std::span<const std::byte> data;  ///< view into the decoded frame
+};
+ShipChunkView decodeShipChunk(std::span<const std::byte> bytes);
+
+/// Worker-side hook that moves a run file's bytes to the root when the
+/// filesystems are not shared. ship() streams the file on kShipTag and
+/// returns the bare name the reply's shipped RunRef should carry.
+class RunShipper {
+ public:
+  virtual ~RunShipper() = default;
+  virtual std::string ship(const std::filesystem::path& file,
+                           std::uint64_t bytes) = 0;
+};
 
 /// Worker-side spill activity returned beside each adjacency reply.
 struct WorkerSpillStats {
@@ -138,6 +178,11 @@ struct StageParams {
   /// shard-pure and the root's sharded merge never has to split it. 0 =
   /// one run per flush (serial-merge runs, the legacy layout).
   std::uint32_t splitRows = 0;
+  /// True when the worker and root may not share a filesystem (the TCP
+  /// transport). The worker then spills into a private local directory and
+  /// ships every file run's bytes to the root on kShipTag instead of
+  /// returning a path. The root clears this for its own inline execution.
+  bool shipRuns = false;
 };
 
 std::vector<std::byte> encodeStageParams(const StageParams& params);
@@ -148,10 +193,14 @@ StageParams decodeStageParams(std::span<const std::byte> bytes);
 /// Executes one stage command body and returns the reply body. Pure with
 /// respect to (params, command, body) — run by service ranks on command,
 /// by worker processes, and by rank 0 inline (the root is also a worker).
-/// Throws on malformed bodies or unknown commands.
+/// Throws on malformed bodies or unknown commands. When params.shipRuns is
+/// set and a shipper is given, file runs are streamed through it and the
+/// reply carries shipped refs (the local files are deleted after shipping,
+/// so a retried command re-executes and re-ships deterministically).
 std::vector<std::byte> executeSynthesisCommand(const StageParams& params,
                                                std::uint32_t command,
-                                               std::span<const std::byte> body);
+                                               std::span<const std::byte> body,
+                                               RunShipper* shipper = nullptr);
 
 enum class ServiceOutcome {
   kReply,  ///< `reply` holds a framed reply to send to the root
@@ -168,6 +217,7 @@ enum class ServiceOutcome {
 /// error becomes a status=failed reply so the root can retry.
 ServiceOutcome serviceSynthesisCommand(const StageParams& params, int rank,
                                        std::span<const std::byte> frame,
-                                       std::vector<std::byte>& reply);
+                                       std::vector<std::byte>& reply,
+                                       RunShipper* shipper = nullptr);
 
 }  // namespace chisimnet::net::mp

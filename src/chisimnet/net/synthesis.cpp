@@ -100,7 +100,7 @@ NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
                  "resume requires a checkpoint directory");
   CHISIM_REQUIRE(config.transport == MpTransport::kInProcess ||
                      config.backend == SynthesisBackend::kMessagePassing,
-                 "--transport process requires --backend mp");
+                 "--transport process/tcp requires --backend mp");
   CHISIM_REQUIRE(config.maxRespawns >= 0, "maxRespawns must be >= 0");
   CHISIM_REQUIRE(config.transport == MpTransport::kInProcess ||
                      config.heartbeatMs >= 1,
@@ -108,10 +108,20 @@ NetworkSynthesizer::NetworkSynthesizer(SynthesisConfig config)
   CHISIM_REQUIRE(config.transport == MpTransport::kInProcess ||
                      config.faultPolicy != FaultPolicy::kDegrade ||
                      config.commandTimeoutMs > 0,
-                 "the process transport under --fault-policy degrade "
+                 "the process/tcp transport under --fault-policy degrade "
                  "requires --command-timeout-ms > 0: a crashed worker never "
                  "replies, so without a deadline the root hangs instead of "
                  "recovering");
+  CHISIM_REQUIRE(config.connectRetries >= 0, "connectRetries must be >= 0");
+  CHISIM_REQUIRE(config.transport != MpTransport::kTcp ||
+                     config.connectTimeoutMs >= 1,
+                 "connectTimeoutMs must be >= 1");
+  CHISIM_REQUIRE(config.tcpListen.empty() ||
+                     config.transport == MpTransport::kTcp,
+                 "--tcp-listen requires --transport tcp");
+  CHISIM_REQUIRE(config.tcpJob.empty() || !config.tcpListen.empty(),
+                 "--tcp-job requires --tcp-listen (external workers need a "
+                 "known address to dial)");
   // Resolve the spill directory. A checkpointing run pins it under the
   // checkpoint directory so a resumed run (possibly a different process,
   // possibly a different budget) finds the manifest's run files without
@@ -391,6 +401,8 @@ void NetworkSynthesizer::runFilePipeline(
         ++report_.ranksLost;
       } else if (event.kind == FaultEvent::Kind::kWorkerRespawn) {
         ++report_.workersRespawned;
+      } else if (event.kind == FaultEvent::Kind::kWorkerReconnect) {
+        ++report_.workersReconnected;
       }
       report_.faults.push_back(std::move(event));
     }
@@ -754,6 +766,8 @@ sparse::SymmetricAdjacency NetworkSynthesizer::synthesizeAdjacency(
       ++report_.ranksLost;
     } else if (event.kind == FaultEvent::Kind::kWorkerRespawn) {
       ++report_.workersRespawned;
+    } else if (event.kind == FaultEvent::Kind::kWorkerReconnect) {
+      ++report_.workersReconnected;
     }
     report_.faults.push_back(std::move(event));
   }

@@ -66,10 +66,24 @@ enum class MpTransport {
   /// SIGKILL included — is survived by respawn and/or the rank-loss
   /// reassignment path, with bit-identical output.
   kProcess,
+  /// Ranks dial rank 0 over TCP (runtime::TcpTransport) speaking the same
+  /// CSF1 frames — the multi-host story. A dropped connection is survived
+  /// by worker-initiated reconnect inside a grace window (epoch-replayed
+  /// handshake) and/or the same rank-loss reassignment path; spill runs
+  /// ship their bytes over the wire, so workers need no shared filesystem.
+  kTcp,
 };
 
 inline const char* mpTransportName(MpTransport transport) noexcept {
-  return transport == MpTransport::kInProcess ? "inproc" : "process";
+  switch (transport) {
+    case MpTransport::kInProcess:
+      return "inproc";
+    case MpTransport::kProcess:
+      return "process";
+    case MpTransport::kTcp:
+      return "tcp";
+  }
+  return "unknown";
 }
 
 /// How the pipeline responds to recoverable failures (corrupt input files,
@@ -94,6 +108,7 @@ struct FaultEvent {
     kCommandRetry,     ///< a worker command failed/timed out and was retried
     kRankLost,         ///< a rank was declared dead; its work reassigned
     kWorkerRespawn,    ///< a dead worker process was re-execed for its rank
+    kWorkerReconnect,  ///< a disconnected TCP worker re-dialed and resumed
     kFileQuarantined,  ///< an input file was excluded as undecodable
     kResume,           ///< the run restarted from a checkpoint
     kCheckpoint,       ///< a batch checkpoint was persisted
@@ -112,6 +127,8 @@ inline const char* faultEventKindName(FaultEvent::Kind kind) noexcept {
       return "rank-lost";
     case FaultEvent::Kind::kWorkerRespawn:
       return "worker-respawn";
+    case FaultEvent::Kind::kWorkerReconnect:
+      return "worker-reconnect";
     case FaultEvent::Kind::kFileQuarantined:
       return "file-quarantined";
     case FaultEvent::Kind::kResume:
@@ -181,26 +198,48 @@ struct SynthesisConfig {
   /// Base of the exponential backoff between command retries.
   std::uint64_t commandBackoffMs = 10;
 
-  // ---- process transport (kMessagePassing backend only) ----
+  // ---- process / tcp transport (kMessagePassing backend only) ----
 
-  /// Where the ranks live: service threads in this process (default) or
-  /// fork/exec'd worker processes over Unix-domain sockets. The process
-  /// transport under kDegrade requires commandTimeoutMs > 0 — a crashed
-  /// worker never replies, so without a deadline the root would hang on it
-  /// instead of retrying into the respawn/reassignment path.
+  /// Where the ranks live: service threads in this process (default),
+  /// fork/exec'd worker processes over Unix-domain sockets, or TCP-dialing
+  /// workers (possibly on other hosts). The process and tcp transports
+  /// under kDegrade require commandTimeoutMs > 0 — a crashed worker never
+  /// replies, so without a deadline the root would hang on it instead of
+  /// retrying into the respawn/reconnect/reassignment path.
   MpTransport transport = MpTransport::kInProcess;
   /// Process transport: times a rank's worker process is re-execed after
   /// it dies before the rank is abandoned to the loss/reassignment path.
   /// 0 disables respawn (first death is permanent loss).
   int maxRespawns = 1;
-  /// Process transport: heartbeat ping period (also the liveness monitor
-  /// cadence, so ~the respawn latency). A worker silent for 8 periods is
-  /// presumed hung and killed.
+  /// Process/tcp transport: heartbeat ping period (also the liveness
+  /// monitor cadence, so ~the respawn/reconnect-detection latency). A
+  /// worker silent for 8 periods is presumed hung and dropped.
   std::uint64_t heartbeatMs = 250;
-  /// Process transport: worker binary to exec; empty re-enters the current
-  /// binary (/proc/self/exe), whose main() must call
+  /// Process/tcp transport: worker binary to exec; empty re-enters the
+  /// current binary (/proc/self/exe), whose main() must call
   /// maybeRunSynthesisWorker() first.
   std::string workerExecutable;
+
+  // ---- tcp transport (transport == kTcp only) ----
+
+  /// Per-attempt deadline of a worker's dial + hello handshake.
+  std::uint64_t connectTimeoutMs = 5000;
+  /// Extra dial attempts after the first (exponential backoff between
+  /// them) before a worker gives up — both at startup and on reconnect.
+  int connectRetries = 5;
+  /// How long a disconnected worker's slot waits for it to re-dial before
+  /// the rank is declared permanently dead and its work reassigned. 0 =
+  /// every disconnect is immediately permanent.
+  std::uint64_t reconnectGraceMs = 3000;
+  /// Root listen address as "host:port"; empty = 127.0.0.1 on an ephemeral
+  /// port with workers spawned locally (loopback CI mode).
+  std::string tcpListen;
+  /// Job file of worker connect addresses, one "host:port" per line for
+  /// ranks 1..N-1 (what each worker should dial — normally this root's
+  /// address as reachable from that host). Empty = every worker dials the
+  /// listen address. Requires tcpListen; workers are then NOT spawned
+  /// locally — they are launched out-of-band via `chisim worker`.
+  std::string tcpJob;
   /// When non-empty, persist a checkpoint (accumulated adjacency + cursor
   /// manifest) into this directory after every file batch.
   std::filesystem::path checkpointDir;
@@ -230,7 +269,9 @@ struct SynthesisConfig {
   /// under the system temp dir that the synthesizer removes on
   /// destruction. Note the message-passing process transport requires the
   /// workers to share this filesystem (they are local fork/exec children,
-  /// so they do).
+  /// so they do); the tcp transport does not — its workers spill into
+  /// private local directories and ship run bytes over the wire, and this
+  /// directory is where the root materializes them.
   std::filesystem::path spillDir;
 
   // ---- sharded external merge (stage-6 spill reduce) ----
@@ -337,6 +378,9 @@ struct SynthesisReport {
   int ranksLost = 0;                 ///< ranks declared dead this run
   /// Process transport: dead worker processes re-execed for their rank.
   std::uint64_t workersRespawned = 0;
+  /// Tcp transport: disconnected workers that re-dialed inside the grace
+  /// window and resumed their rank (epoch-replayed handshake).
+  std::uint64_t workersReconnected = 0;
   bool resumed = false;              ///< run started from a checkpoint
   std::uint64_t checkpointsWritten = 0;
   std::uint64_t filesSkippedByResume = 0;

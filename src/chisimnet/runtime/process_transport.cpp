@@ -19,153 +19,7 @@ extern char** environ;
 
 namespace chisimnet::runtime {
 
-namespace wire {
-
 namespace {
-
-template <typename T>
-void putScalar(std::vector<std::byte>& out, T value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  const std::size_t offset = out.size();
-  out.resize(offset + sizeof(T));
-  std::memcpy(out.data() + offset, &value, sizeof(T));
-}
-
-template <typename T>
-T takeAt(std::span<const std::byte> bytes, std::size_t offset) {
-  T value;
-  std::memcpy(&value, bytes.data() + offset, sizeof(T));
-  return value;
-}
-
-}  // namespace
-
-std::vector<std::byte> encodeFrame(const Frame& frame) {
-  std::vector<std::byte> out;
-  out.reserve(kFrameHeaderBytes + frame.payload.size());
-  putScalar<std::uint32_t>(out, kFrameMagic);
-  putScalar<std::uint32_t>(out, static_cast<std::uint32_t>(frame.kind));
-  putScalar<std::int32_t>(out, frame.tag);
-  putScalar<std::uint64_t>(out, static_cast<std::uint64_t>(frame.payload.size()));
-  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
-  return out;
-}
-
-FrameReader::FrameReader(ReadFn read) : read_(std::move(read)) {}
-
-bool FrameReader::readFully(std::span<std::byte> out, bool eofAllowedAtStart) {
-  std::size_t have = 0;
-  while (have < out.size()) {
-    const std::size_t got = read_(out.data() + have, out.size() - have);
-    if (got == 0) {
-      if (have == 0 && eofAllowedAtStart) {
-        return false;
-      }
-      throw std::runtime_error("torn wire frame: EOF after " + std::to_string(have) +
-                        " of " + std::to_string(out.size()) + " bytes");
-    }
-    have += got;
-  }
-  return true;
-}
-
-std::optional<Frame> FrameReader::next() {
-  std::byte header[kFrameHeaderBytes];
-  if (!readFully(std::span<std::byte>(header, kFrameHeaderBytes),
-                 /*eofAllowedAtStart=*/true)) {
-    return std::nullopt;  // clean EOF at a frame boundary
-  }
-  const std::span<const std::byte> view(header, kFrameHeaderBytes);
-  const std::uint32_t magic = takeAt<std::uint32_t>(view, 0);
-  CHISIM_CHECK(magic == kFrameMagic,
-               "bad wire frame magic 0x" + std::to_string(magic) +
-                   " (corrupt or desynchronized stream)");
-  const std::uint32_t kind = takeAt<std::uint32_t>(view, 4);
-  CHISIM_CHECK(kind >= static_cast<std::uint32_t>(FrameKind::kData) &&
-                   kind <= static_cast<std::uint32_t>(FrameKind::kHelloAck),
-               "unknown wire frame kind " + std::to_string(kind));
-  Frame frame;
-  frame.kind = static_cast<FrameKind>(kind);
-  frame.tag = takeAt<std::int32_t>(view, 8);
-  const std::uint64_t length = takeAt<std::uint64_t>(view, 12);
-  // Validate the declared length BEFORE sizing the allocation: a corrupt
-  // header must not be able to OOM the receiver.
-  validatePayloadLength(static_cast<std::int64_t>(length));
-  frame.payload.resize(static_cast<std::size_t>(length));
-  if (length > 0) {
-    readFully(frame.payload, /*eofAllowedAtStart=*/false);
-  }
-  return frame;
-}
-
-ReadFn fdReadFn(int fd) {
-  return [fd](std::byte* out, std::size_t capacity) -> std::size_t {
-    while (true) {
-      const ssize_t got = ::read(fd, out, capacity);
-      if (got >= 0) {
-        return static_cast<std::size_t>(got);
-      }
-      if (errno == EINTR) {
-        continue;
-      }
-      throw std::runtime_error(std::string("socket read failed: ") +
-                        std::strerror(errno));
-    }
-  };
-}
-
-bool writeAllFd(int fd, std::span<const std::byte> bytes) noexcept {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-wide SIGPIPE.
-    const ssize_t wrote = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                                 MSG_NOSIGNAL);
-    if (wrote < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<std::size_t>(wrote);
-  }
-  return true;
-}
-
-}  // namespace wire
-
-namespace {
-
-/// ReadFn over `fd` that gives up at `deadline` (handshake reads only; the
-/// steady-state pump blocks indefinitely and is woken by shutdown()).
-wire::ReadFn deadlineReadFn(int fd, std::chrono::steady_clock::time_point deadline) {
-  return [fd, deadline](std::byte* out, std::size_t capacity) -> std::size_t {
-    while (true) {
-      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-          deadline - std::chrono::steady_clock::now());
-      CHISIM_CHECK(remaining.count() > 0, "worker handshake timed out");
-      struct pollfd pfd = {fd, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
-      if (ready < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        throw std::runtime_error(std::string("poll failed: ") + std::strerror(errno));
-      }
-      if (ready == 0) {
-        continue;  // loop re-checks the deadline
-      }
-      const ssize_t got = ::read(fd, out, capacity);
-      if (got >= 0) {
-        return static_cast<std::size_t>(got);
-      }
-      if (errno == EINTR) {
-        continue;
-      }
-      throw std::runtime_error(std::string("socket read failed: ") +
-                        std::strerror(errno));
-    }
-  };
-}
 
 int envInt(const char* name) {
   const char* value = std::getenv(name);
@@ -405,7 +259,7 @@ void ProcessTransport::spawnWorker(int rank) {
   // Parent end must not leak into later-spawned siblings (spawns are
   // serialized under spawnMutex_, so no fork happens between socketpair
   // and this fcntl); the child end stays inheritable for exec.
-  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  wire::configureStreamSocket(fds[0], /*tcp=*/false);
 
   const std::string exe =
       options_.executable.empty() ? "/proc/self/exe" : options_.executable;
@@ -468,7 +322,7 @@ void ProcessTransport::spawnWorker(int rank) {
     hello.payload = options_.helloPayload;
     CHISIM_CHECK(wire::writeAllFd(fds[0], wire::encodeFrame(hello)),
                  "failed to send hello to worker");
-    wire::FrameReader reader(deadlineReadFn(fds[0], handshakeDeadline));
+    wire::FrameReader reader(wire::deadlineReadFn(fds[0], handshakeDeadline));
     while (!acked) {
       auto frame = reader.next();
       CHISIM_CHECK(frame.has_value(), "worker exited during handshake");
@@ -583,6 +437,13 @@ void ProcessTransport::monitorTick() {
   // Pass 1: reap exited children and SIGKILL heartbeat-silent ones. Both
   // just poison the connection; the pump thread turns the resulting EOF
   // into a deadPending flag (the single death-flagging path).
+  //
+  // waitpid-reaping and silence-SIGKILL are LOCAL-CHILD operations: they
+  // only apply to slots backed by a pid this process forked (pid > 0). A
+  // slot without a local pid — possible once a transport hosts remote
+  // peers, as the TCP transport does — must never reach waitpid or kill;
+  // its only death signals are socket EOF and ping silence, and silence is
+  // handled by poisoning the fd alone.
   const auto silenceLimit = std::chrono::milliseconds(
       options_.heartbeatMs *
       static_cast<std::uint64_t>(options_.heartbeatMissLimit));
@@ -595,7 +456,8 @@ void ProcessTransport::monitorTick() {
       pid = s.pid;
       live = s.live;
     }
-    if (pid > 0 && ::waitpid(pid, nullptr, WNOHANG) == pid) {
+    const bool hasLocalChild = pid > 0;
+    if (hasLocalChild && ::waitpid(pid, nullptr, WNOHANG) == pid) {
       {
         std::lock_guard<std::mutex> lock(stateMutex_);
         s.pid = -1;  // reaped; never waited on again
@@ -604,7 +466,7 @@ void ProcessTransport::monitorTick() {
       continue;
     }
     if (live && beats_.overdue(rank, silenceLimit)) {
-      if (pid > 0) {
+      if (hasLocalChild) {
         ::kill(pid, SIGKILL);  // presumed hung; reaped next tick
       }
       shutdownSlotFd(s);

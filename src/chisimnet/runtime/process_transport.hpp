@@ -14,6 +14,7 @@
 
 #include "chisimnet/runtime/comm.hpp"
 #include "chisimnet/runtime/heartbeat.hpp"
+#include "chisimnet/runtime/wire.hpp"
 
 /// Process-isolated worker transport.
 ///
@@ -21,23 +22,11 @@
 /// corresponding real process boundary for chisimnet. The root process
 /// fork/execs N-1 worker processes (re-entering the chisim binary — or any
 /// binary whose main() calls the worker entry first — via a hidden
-/// `--worker` mode driven by environment variables) and speaks a
-/// length-framed protocol over Unix-domain stream socketpairs. Only rank 0
-/// lives in this process: ProcessTransport implements the root side of the
-/// Transport API, while workers use ProcessWorkerLink directly.
-///
-/// ## Frame format (all integers little-endian, host order — same host)
-///
-///   magic   u32   0x43534631 ("CSF1")
-///   kind    u32   1=data 2=ping 3=pong 4=hello 5=hello-ack
-///   tag     i32   message tag (data), spawn epoch (hello/hello-ack)
-///   length  u64   payload bytes that follow; validated against
-///                 kMaxPayloadBytes BEFORE any allocation
-///
-/// A short read inside a frame (torn header or payload), a bad magic, an
-/// unknown kind, or an oversized length all poison the connection: the
-/// reader closes it and the peer is handled through the normal death path
-/// (respawn or permanent loss) rather than trusting any further bytes.
+/// `--worker` mode driven by environment variables) and speaks the CSF1
+/// length-framed protocol (runtime/wire.hpp) over Unix-domain stream
+/// socketpairs. Only rank 0 lives in this process: ProcessTransport
+/// implements the root side of the Transport API, while workers use
+/// ProcessWorkerLink directly.
 ///
 /// ## Liveness and the respawn state machine
 ///
@@ -69,67 +58,6 @@ inline constexpr const char* kWorkerFdEnv = "CHISIM_WORKER_FD";
 inline constexpr const char* kWorkerRankEnv = "CHISIM_WORKER_RANK";
 inline constexpr const char* kWorkerRankCountEnv = "CHISIM_WORKER_RANKS";
 inline constexpr const char* kWorkerFaultPlanEnv = "CHISIM_FAULT_PLAN";
-
-namespace wire {
-
-inline constexpr std::uint32_t kFrameMagic = 0x43534631u;  // "CSF1"
-inline constexpr std::size_t kFrameHeaderBytes = 20;
-
-enum class FrameKind : std::uint32_t {
-  kData = 1,
-  kPing = 2,
-  kPong = 3,
-  kHello = 4,
-  kHelloAck = 5,
-};
-
-struct Frame {
-  FrameKind kind = FrameKind::kData;
-  std::int32_t tag = 0;
-  std::vector<std::byte> payload;
-};
-
-/// Serializes header + payload into one buffer (written with a single
-/// writeAll so a frame is never interleaved with another writer's bytes;
-/// writers hold a per-connection write mutex).
-std::vector<std::byte> encodeFrame(const Frame& frame);
-
-/// Byte source for FrameReader: fills `out` with up to `capacity` bytes,
-/// returns the count actually read (may be short — stream sockets split
-/// frames arbitrarily), or 0 for EOF. Throws on I/O errors.
-using ReadFn = std::function<std::size_t(std::byte* out, std::size_t capacity)>;
-
-/// Incremental frame decoder over a stream of possibly-short reads.
-/// Separated from the socket so tests can feed it adversarial streams
-/// (split headers, zero-length and kMaxPayloadBytes-sized payloads, torn
-/// tails, bad magic) without a live file descriptor.
-class FrameReader {
- public:
-  explicit FrameReader(ReadFn read);
-
-  /// Next complete frame; nullopt on clean EOF at a frame boundary.
-  /// Throws on torn frames (EOF mid-frame), bad magic, unknown kind, or a
-  /// length above kMaxPayloadBytes — the connection must be discarded.
-  std::optional<Frame> next();
-
- private:
-  /// Fills `out` completely; false when EOF arrives before the first byte
-  /// (only allowed at a frame boundary), throws when EOF tears the middle.
-  bool readFully(std::span<std::byte> out, bool eofAllowedAtStart);
-
-  ReadFn read_;
-};
-
-/// ReadFn over a file descriptor with EINTR retry.
-ReadFn fdReadFn(int fd);
-
-/// Writes all bytes to `fd`, looping over partial writes and EINTR, using
-/// send(MSG_NOSIGNAL) so a dead peer yields EPIPE instead of SIGPIPE.
-/// Returns false on any write error (the connection should be considered
-/// poisoned); never throws.
-bool writeAllFd(int fd, std::span<const std::byte> bytes) noexcept;
-
-}  // namespace wire
 
 /// Worker-process end of the transport. Constructed from the bootstrap
 /// environment inside the exec'd child.

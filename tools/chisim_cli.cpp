@@ -31,6 +31,7 @@
 #include "chisimnet/chisimnet.hpp"
 #include "chisimnet/runtime/fault.hpp"
 #include "chisimnet/runtime/process_transport.hpp"
+#include "chisimnet/runtime/tcp_transport.hpp"
 
 namespace {
 
@@ -162,16 +163,6 @@ int cmdSimulate(const Args& args) {
       static_cast<std::uint32_t>(args.u64("sim-checkpoint-hours", 0));
   config.resume = args.has("resume");
 
-  // A scripted fault plan shipped through the environment (the same
-  // mechanism the process transport uses for synthesis workers) lets CI
-  // and the nightly soak kill a simulation at an exact hour and then
-  // resume it in a fresh process.
-  std::unique_ptr<runtime::FaultPlan> faultPlan;
-  if (const char* planText = std::getenv(runtime::kWorkerFaultPlanEnv)) {
-    faultPlan = runtime::FaultPlan::decode(planText);
-    runtime::fault::install(faultPlan.get());
-  }
-
   // SIGTERM/SIGINT become a graceful checkpoint-and-exit only when there
   // is a checkpoint directory to write to; otherwise the default
   // dispositions (terminate) stay in place.
@@ -299,12 +290,19 @@ int cmdSynthesize(const Args& args) {
   const std::string transport = args.str("transport", "inproc");
   if (transport == "process") {
     config.transport = net::MpTransport::kProcess;
+  } else if (transport == "tcp") {
+    config.transport = net::MpTransport::kTcp;
   } else if (transport != "inproc") {
     throw std::invalid_argument(
-        "--transport expects inproc or process, got: " + transport);
+        "--transport expects inproc, process or tcp, got: " + transport);
   }
   config.maxRespawns = static_cast<int>(args.u64("max-respawns", 1));
   config.heartbeatMs = args.u64("heartbeat-ms", 250);
+  config.connectTimeoutMs = args.u64("connect-timeout-ms", 5000);
+  config.connectRetries = static_cast<int>(args.u64("connect-retries", 5));
+  config.reconnectGraceMs = args.u64("reconnect-grace-ms", 3000);
+  config.tcpListen = args.str("tcp-listen", "");
+  config.tcpJob = args.str("tcp-job", "");
   config.checkpointDir = args.str("checkpoint-dir", "");
   config.resume = args.has("resume");
   config.memoryBudgetBytes = args.bytes("memory-budget", 0);
@@ -387,10 +385,11 @@ int cmdSynthesize(const Args& args) {
     }
   }
   if (report.commandRetries > 0 || report.ranksLost > 0 ||
-      report.workersRespawned > 0) {
+      report.workersRespawned > 0 || report.workersReconnected > 0) {
     std::cout << "recovery: " << report.commandRetries
               << " command retries, " << report.workersRespawned
-              << " workers respawned, " << report.ranksLost
+              << " workers respawned, " << report.workersReconnected
+              << " workers reconnected, " << report.ranksLost
               << " ranks lost (work reassigned to survivors)\n";
   }
   if (report.memoryBudgetBytes > 0) {
@@ -520,6 +519,38 @@ int cmdEgo(const Args& args) {
   return 0;
 }
 
+/// `chisim worker` — join a remote synthesis root over TCP. The flags are
+/// translated into the same bootstrap environment the root exports when it
+/// spawns loopback workers itself, then the shared worker entry point takes
+/// over: dial, handshake, serve commands until kStop/kDie.
+int cmdWorker(const Args& args) {
+  const std::string connect = args.requireStr("connect");
+  runtime::parseHostPort(connect);  // fail fast on a malformed address
+  const auto rank = args.u64("rank", 0);
+  const auto rankCount = args.u64("rank-count", 0);
+  if (rank < 1) {
+    throw std::invalid_argument(
+        "--rank must be >= 1 (rank 0 is the listening root)");
+  }
+  if (rankCount < 2 || rank >= rankCount) {
+    throw std::invalid_argument(
+        "--rank-count must be >= 2 and greater than --rank");
+  }
+  ::setenv(runtime::kWorkerTcpEnv, connect.c_str(), 1);
+  ::setenv(runtime::kWorkerRankEnv, std::to_string(rank).c_str(), 1);
+  ::setenv(runtime::kWorkerRankCountEnv, std::to_string(rankCount).c_str(), 1);
+  ::setenv(runtime::kWorkerConnectTimeoutEnv,
+           std::to_string(args.u64("connect-timeout-ms", 5000)).c_str(), 1);
+  ::setenv(runtime::kWorkerConnectRetriesEnv,
+           std::to_string(args.u64("connect-retries", 5)).c_str(), 1);
+  const auto workerExit = net::maybeRunSynthesisWorker();
+  if (!workerExit.has_value()) {
+    std::cerr << "chisim worker: bootstrap environment rejected\n";
+    return 1;
+  }
+  return *workerExit;
+}
+
 void printUsage() {
   std::cout <<
       "usage: chisim <command> [--options]\n"
@@ -538,10 +569,15 @@ void printUsage() {
       "              [--no-prefetch] [--prefetch-depth N] [--decode-workers W]\n"
       "              [--fault-policy failfast|degrade] [--max-quarantined-files N]\n"
       "              [--command-timeout-ms MS] [--checkpoint-dir DIR] [--resume]\n"
-      "              [--transport inproc|process] [--max-respawns N]\n"
-      "              [--heartbeat-ms MS]\n"
+      "              [--transport inproc|process|tcp] [--max-respawns N]\n"
+      "              [--heartbeat-ms MS] [--connect-timeout-ms MS]\n"
+      "              [--connect-retries N] [--reconnect-grace-ms MS]\n"
+      "              [--tcp-listen HOST:PORT [--tcp-job FILE]]\n"
       "              [--memory-budget BYTES[K|M|G]] [--spill-dir DIR]\n"
       "              [--reduce-shards N] [--merge-readahead none|buffer|fadvise]\n"
+      "  worker      --connect HOST:PORT --rank N --rank-count R\n"
+      "              [--connect-timeout-ms MS] [--connect-retries N]\n"
+      "              (join a --transport tcp synthesis root from another host)\n"
       "  analyze     --net FILE.cadj [--clustering] [--communities]\n"
       "              [--degrees-out FILE.tsv]\n"
       "  ego         --net FILE.cadj --out PREFIX [--person P] [--radius R]\n"
@@ -557,6 +593,17 @@ int main(int argc, char** argv) {
   // any CLI parsing (the root passes no argv to workers).
   if (const auto workerExit = chisimnet::net::maybeRunSynthesisWorker()) {
     return *workerExit;
+  }
+  // A scripted fault plan shipped through the environment (the same
+  // mechanism the transports use for synthesis workers) lets CI and the
+  // nightly soak kill a simulation at an exact hour, tear a wire frame, or
+  // drop a TCP connection — root-side sites (proc.send, tcp.drop, ...)
+  // fire in this process; worker-side sites ride the env into the workers.
+  std::unique_ptr<chisimnet::runtime::FaultPlan> faultPlan;
+  if (const char* planText =
+          std::getenv(chisimnet::runtime::kWorkerFaultPlanEnv)) {
+    faultPlan = chisimnet::runtime::FaultPlan::decode(planText);
+    chisimnet::runtime::fault::install(faultPlan.get());
   }
   if (argc < 2) {
     printUsage();
@@ -582,6 +629,9 @@ int main(int argc, char** argv) {
     }
     if (command == "export") {
       return cmdExport(args);
+    }
+    if (command == "worker") {
+      return cmdWorker(args);
     }
     printUsage();
     return 2;
